@@ -1,0 +1,57 @@
+//! Bench: point-to-seed assignment — brute force vs. triangle-inequality
+//! pruning (the paper's Section 3 / Figure 10 claim, in wall-clock form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idb_bench::random_fixture;
+use idb_core::{AssignStrategy, IncrementalBubbles, MaintainerConfig};
+use idb_geometry::SearchStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_assignment");
+    group.sample_size(10);
+    for &(dim, size, bubbles) in &[
+        (2usize, 20_000usize, 100usize),
+        (10, 20_000, 100),
+        (2, 20_000, 400),
+    ] {
+        let (store, _) = random_fixture(dim, size, 7);
+        let label = format!("d{dim}_n{size}_s{bubbles}");
+        group.bench_with_input(BenchmarkId::new("brute", &label), &store, |b, store| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut stats = SearchStats::new();
+                let ib = IncrementalBubbles::build(
+                    store,
+                    MaintainerConfig::new(bubbles).with_strategy(AssignStrategy::Brute),
+                    &mut rng,
+                    &mut stats,
+                );
+                black_box(ib.total_points())
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("triangle_inequality", &label),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    let mut stats = SearchStats::new();
+                    let ib = IncrementalBubbles::build(
+                        store,
+                        MaintainerConfig::new(bubbles),
+                        &mut rng,
+                        &mut stats,
+                    );
+                    black_box(ib.total_points())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment);
+criterion_main!(benches);

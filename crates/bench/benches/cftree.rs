@@ -1,0 +1,48 @@
+//! Bench: summarization ingestion throughput — data-bubble construction
+//! vs. BIRCH CF-tree insertion over the same database (the baseline
+//! comparison of the paper's related-work positioning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idb_bench::random_fixture;
+use idb_birch::CfTree;
+use idb_core::{IncrementalBubbles, MaintainerConfig};
+use idb_geometry::SearchStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_summarizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("summarizer_ingest");
+    group.sample_size(10);
+    let size = 20_000;
+
+    for &dim in &[2usize, 10] {
+        let (store, _) = random_fixture(dim, size, 21);
+        group.bench_function(BenchmarkId::new("data_bubbles", dim), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(9);
+                let mut stats = SearchStats::new();
+                let ib = IncrementalBubbles::build(
+                    &store,
+                    MaintainerConfig::new(200),
+                    &mut rng,
+                    &mut stats,
+                );
+                black_box(ib.num_bubbles())
+            });
+        });
+        group.bench_function(BenchmarkId::new("cf_tree", dim), |b| {
+            b.iter(|| {
+                let mut tree = CfTree::new(dim, 8, 16, 5.0);
+                for (_, p, _) in store.iter() {
+                    tree.insert(p);
+                }
+                black_box(tree.leaf_entries().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_summarizers);
+criterion_main!(benches);

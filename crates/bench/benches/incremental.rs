@@ -1,0 +1,73 @@
+//! Bench: maintaining the summary through one update batch — incremental
+//! (statistics updates + merge/split) vs. complete rebuild (the paper's
+//! Figure 11 claim, in wall-clock form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idb_core::{AssignStrategy, IncrementalBubbles, MaintainerConfig};
+use idb_geometry::SearchStats;
+use idb_synth::{ScenarioEngine, ScenarioKind, ScenarioSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_incremental_vs_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_batch_maintenance");
+    group.sample_size(10);
+    let size = 20_000;
+    let bubbles = 200;
+
+    for &update in &[0.02f64, 0.10] {
+        // A warmed-up dynamic run; the measured iteration applies one
+        // withheld batch to cloned state (identical input for both schemes).
+        let mut rng = StdRng::seed_from_u64(11);
+        let spec = ScenarioSpec::named(ScenarioKind::Complex, 2, size, update);
+        let mut engine = ScenarioEngine::new(spec);
+        let mut store = engine.populate(&mut rng);
+        let mut search = SearchStats::new();
+        let mut ib = IncrementalBubbles::build(
+            &store,
+            MaintainerConfig::new(bubbles),
+            &mut rng,
+            &mut search,
+        );
+        for _ in 0..3 {
+            let batch = engine.plan(&mut rng);
+            let ids = ib.apply_batch(&mut store, &batch, &mut search);
+            engine.confirm(&ids);
+            ib.maintain(&store, &mut rng, &mut search);
+        }
+        let batch = engine.plan(&mut rng);
+
+        let label = format!("update_{:.0}pct", update * 100.0);
+        group.bench_function(BenchmarkId::new("incremental", &label), |b| {
+            b.iter(|| {
+                let mut ib = ib.clone();
+                let mut store = store.clone();
+                let mut rng = StdRng::seed_from_u64(3);
+                let mut stats = SearchStats::new();
+                ib.apply_batch(&mut store, &batch, &mut stats);
+                ib.maintain(&store, &mut rng, &mut stats);
+                black_box(stats.computed)
+            });
+        });
+        group.bench_function(BenchmarkId::new("complete_rebuild", &label), |b| {
+            b.iter(|| {
+                let mut store = store.clone();
+                store.apply(&batch);
+                let mut rng = StdRng::seed_from_u64(3);
+                let mut stats = SearchStats::new();
+                let rebuilt = IncrementalBubbles::build(
+                    &store,
+                    MaintainerConfig::new(bubbles).with_strategy(AssignStrategy::Brute),
+                    &mut rng,
+                    &mut stats,
+                );
+                black_box(rebuilt.total_points())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_rebuild);
+criterion_main!(benches);

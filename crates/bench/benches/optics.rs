@@ -1,0 +1,46 @@
+//! Bench: hierarchical clustering cost — OPTICS over the raw points vs.
+//! OPTICS over the data-bubble summary (the reason data summarization
+//! exists: the paper's core motivation from the Data Bubbles line of work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idb_bench::random_fixture;
+use idb_clustering::{optics_bubbles, optics_points};
+use idb_core::{IncrementalBubbles, MaintainerConfig};
+use idb_geometry::SearchStats;
+use std::hint::black_box;
+
+fn bench_optics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optics");
+    group.sample_size(10);
+
+    for &size in &[2_000usize, 5_000] {
+        let (store, mut rng) = random_fixture(2, size, 5);
+        let mut search = SearchStats::new();
+        let ib =
+            IncrementalBubbles::build(&store, MaintainerConfig::new(200), &mut rng, &mut search);
+
+        group.bench_function(BenchmarkId::new("points", size), |b| {
+            b.iter(|| {
+                let plot = optics_points(&store, f64::INFINITY, 10);
+                black_box(plot.len())
+            });
+        });
+        group.bench_function(BenchmarkId::new("bubbles", size), |b| {
+            b.iter(|| {
+                let ordering = optics_bubbles(ib.bubbles(), f64::INFINITY, 10);
+                let plot = ordering.expand(|i| {
+                    ib.bubble(i)
+                        .members()
+                        .iter()
+                        .map(|id| u64::from(id.0))
+                        .collect::<Vec<_>>()
+                });
+                black_box(plot.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optics);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Bench: the maintenance machinery itself — β classification and a full
+//! maintain round (classification + merge/split), plus the ablation
+//! between the two split-seed policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idb_bench::complex_fixture;
+use idb_core::{IncrementalBubbles, MaintainerConfig, SplitSeedPolicy};
+use idb_geometry::SearchStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_quality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance");
+    group.sample_size(10);
+    let size = 20_000;
+
+    // A state right after a disruptive batch, so maintain() has real work.
+    let make_state = |policy: SplitSeedPolicy| {
+        let (mut engine, mut store, mut rng) = complex_fixture(2, size, 31);
+        let mut search = SearchStats::new();
+        let mut ib = IncrementalBubbles::build(
+            &store,
+            MaintainerConfig::new(200).with_split_seeds(policy),
+            &mut rng,
+            &mut search,
+        );
+        for _ in 0..4 {
+            let batch = engine.plan(&mut rng);
+            let ids = ib.apply_batch(&mut store, &batch, &mut search);
+            engine.confirm(&ids);
+            // No maintain: pressure accumulates for the measured round.
+        }
+        (ib, store)
+    };
+
+    let (ib, store) = make_state(SplitSeedPolicy::Random);
+    group.bench_function("classify_only", |b| {
+        b.iter(|| black_box(ib.classify_now().over_filled().len()));
+    });
+
+    for (policy, name) in [
+        (SplitSeedPolicy::Random, "maintain_random_seeds"),
+        (SplitSeedPolicy::Spread, "maintain_spread_seeds"),
+    ] {
+        let (ib, store) = make_state(policy);
+        group.bench_function(BenchmarkId::new(name, size), |b| {
+            b.iter(|| {
+                let mut ib = ib.clone();
+                let mut rng = StdRng::seed_from_u64(2);
+                let mut stats = SearchStats::new();
+                let report = ib.maintain(&store, &mut rng, &mut stats);
+                black_box(report.splits)
+            });
+        });
+    }
+    drop(store);
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each bench target maps to one of the paper's efficiency claims (see
+//! DESIGN.md): the benches re-measure in wall-clock what the experiment
+//! harness measures in distance computations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use idb_store::PointStore;
+use idb_synth::{ScenarioEngine, ScenarioKind, ScenarioSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic complex-scenario engine and populated store.
+#[must_use]
+pub fn complex_fixture(dim: usize, size: usize, seed: u64) -> (ScenarioEngine, PointStore, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = ScenarioSpec::named(ScenarioKind::Complex, dim, size, 0.05);
+    let mut engine = ScenarioEngine::new(spec);
+    let store = engine.populate(&mut rng);
+    (engine, store, rng)
+}
+
+/// A deterministic random-scenario store (static content).
+#[must_use]
+pub fn random_fixture(dim: usize, size: usize, seed: u64) -> (PointStore, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = ScenarioSpec::named(ScenarioKind::Random, dim, size, 0.05);
+    let mut engine = ScenarioEngine::new(spec);
+    let store = engine.populate(&mut rng);
+    (store, rng)
+}

@@ -1,0 +1,174 @@
+//! Clustering features and their summary view.
+//!
+//! A clustering feature is the same `(n, LS, SS)` triple as a data bubble's
+//! sufficient statistics ([`SufficientStats`]); what differs is how BIRCH
+//! uses it (absorb-under-threshold) and which derived quantity gates
+//! absorption (the *diameter* — the average pairwise distance, i.e. the
+//! bubble extent).
+
+use idb_core::{DataSummary, SufficientStats};
+
+/// One clustering feature: `(n, LS, SS)` plus BIRCH's derived quantities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfSummary {
+    stats: SufficientStats,
+}
+
+impl CfSummary {
+    /// An empty CF for points of dimensionality `dim`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        Self {
+            stats: SufficientStats::new(dim),
+        }
+    }
+
+    /// A CF absorbing a single point.
+    #[must_use]
+    pub fn from_point(p: &[f64]) -> Self {
+        let mut cf = Self::new(p.len());
+        cf.stats.add(p);
+        cf
+    }
+
+    /// The underlying sufficient statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SufficientStats {
+        &self.stats
+    }
+
+    /// Absorbs one point.
+    pub fn add(&mut self, p: &[f64]) {
+        self.stats.add(p);
+    }
+
+    /// CF additivity: merges another feature into this one.
+    pub fn merge(&mut self, other: &Self) {
+        self.stats.merge(other.stats());
+    }
+
+    /// Centroid `LS / n`; `None` when empty.
+    #[must_use]
+    pub fn centroid(&self) -> Option<Vec<f64>> {
+        self.stats.rep()
+    }
+
+    /// BIRCH diameter: the average pairwise distance among the points
+    /// (equal to the data-bubble extent by construction).
+    #[must_use]
+    pub fn diameter(&self) -> f64 {
+        self.stats.extent()
+    }
+
+    /// BIRCH radius: root mean squared distance of the points to the
+    /// centroid, `sqrt(SS/n − |LS/n|²)` (clamped at zero).
+    #[must_use]
+    pub fn radius(&self) -> f64 {
+        let n = self.stats.n();
+        if n == 0 {
+            return 0.0;
+        }
+        let n = n as f64;
+        let c_sq: f64 = self
+            .stats
+            .linear_sum()
+            .iter()
+            .map(|&l| (l / n) * (l / n))
+            .sum();
+        (self.stats.square_sum() / n - c_sq).max(0.0).sqrt()
+    }
+
+    /// Diameter the feature would have after absorbing `p`, computed from
+    /// the merged statistics without mutating the feature.
+    #[must_use]
+    pub fn diameter_with(&self, p: &[f64]) -> f64 {
+        let mut tmp = self.clone();
+        tmp.add(p);
+        tmp.diameter()
+    }
+}
+
+impl DataSummary for CfSummary {
+    fn dim(&self) -> usize {
+        self.stats.dim()
+    }
+    fn n(&self) -> u64 {
+        self.stats.n()
+    }
+    fn rep(&self) -> Vec<f64> {
+        self.stats.rep().expect("rep() of an empty clustering feature")
+    }
+    fn extent(&self) -> f64 {
+        self.stats.extent()
+    }
+    fn nn_dist(&self, k: usize) -> f64 {
+        self.stats.nn_dist(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_point_and_absorb() {
+        let mut cf = CfSummary::from_point(&[1.0, 1.0]);
+        cf.add(&[3.0, 3.0]);
+        assert_eq!(cf.n(), 2);
+        assert_eq!(cf.centroid().unwrap(), vec![2.0, 2.0]);
+        // Two points at distance 2√2: diameter = 2√2.
+        assert!((cf.diameter() - 8f64.sqrt()).abs() < 1e-12);
+        // Radius = distance from centroid = √2.
+        assert!((cf.radius() - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn additivity() {
+        let mut a = CfSummary::from_point(&[0.0]);
+        a.add(&[2.0]);
+        let mut b = CfSummary::from_point(&[10.0]);
+        b.add(&[12.0]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut direct = CfSummary::new(1);
+        for p in [[0.0], [2.0], [10.0], [12.0]] {
+            direct.add(&p);
+        }
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn diameter_with_previews_absorption() {
+        let mut cf = CfSummary::from_point(&[0.0]);
+        cf.add(&[1.0]);
+        let before = cf.clone();
+        let d = cf.diameter_with(&[10.0]);
+        assert_eq!(cf, before, "preview must not mutate");
+        let mut abs = cf.clone();
+        abs.add(&[10.0]);
+        assert!((d - abs.diameter()).abs() < 1e-12);
+        assert!(d > cf.diameter());
+    }
+
+    #[test]
+    fn empty_feature_derived_quantities() {
+        let cf = CfSummary::new(3);
+        assert_eq!(cf.n(), 0);
+        assert!(cf.centroid().is_none());
+        assert_eq!(cf.diameter(), 0.0);
+        assert_eq!(cf.radius(), 0.0);
+    }
+
+    #[test]
+    fn summary_trait_matches_bubble_semantics() {
+        let mut cf = CfSummary::new(2);
+        for i in 0..50 {
+            let t = i as f64 * 0.13;
+            cf.add(&[5.0 + t.sin(), 5.0 + t.cos()]);
+        }
+        assert_eq!(cf.dim(), 2);
+        assert_eq!(cf.n(), 50);
+        assert!(cf.extent() > 0.0);
+        assert!(cf.nn_dist(1) < cf.nn_dist(10));
+    }
+}

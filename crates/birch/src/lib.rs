@@ -1,0 +1,26 @@
+//! BIRCH substrate (Zhang, Ramakrishnan, Livny — the paper's \[20\]).
+//!
+//! BIRCH compresses a database into *clustering features* `CF = (n, LS,
+//! SS)` held in the leaves of a height-balanced CF-tree: each insertion
+//! descends to the closest leaf entry and is absorbed when the entry's
+//! diameter stays below a global threshold `T`, otherwise it starts a new
+//! entry; full nodes split.
+//!
+//! Two roles in this reproduction:
+//!
+//! * the **comparison baseline** — the paper (following the Data Bubbles
+//!   work) argues that data bubbles beat CF-based summaries for
+//!   hierarchical clustering; [`cf::CfSummary`] implements
+//!   [`idb_core::DataSummary`] so leaf CFs feed the same OPTICS pipeline;
+//! * the **extent-threshold contrast** — the global threshold `T` is
+//!   exactly the "spatial extent as quality measure" that Section 4.1
+//!   argues against and Figure 7 demonstrates failing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cf;
+pub mod tree;
+
+pub use cf::CfSummary;
+pub use tree::CfTree;

@@ -1,0 +1,413 @@
+//! The CF-tree: BIRCH's height-balanced insertion structure.
+//!
+//! Parameters: branching factor `B` (maximum children of an internal
+//! node), leaf capacity `L` (maximum clustering features per leaf) and the
+//! absorption threshold `T` — a new point is absorbed by the closest leaf
+//! entry iff the entry's *diameter* stays at most `T`, otherwise it starts
+//! a new entry; overfull nodes split along their two farthest-apart
+//! entries, and splits propagate upward (growing the tree at the root).
+//!
+//! The global, fixed `T` is precisely the "extent as a quality threshold"
+//! design the paper's Section 4.1 critiques: it equalizes the spatial size
+//! of all summaries regardless of how many points they hold.
+
+use crate::cf::CfSummary;
+use idb_core::DataSummary;
+use idb_geometry::dist;
+
+/// Node payload: either leaf entries (CFs) or child nodes.
+#[derive(Debug, Clone)]
+enum Children {
+    Leaf(Vec<CfSummary>),
+    Internal(Vec<Node>),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Aggregate CF of the whole subtree.
+    cf: CfSummary,
+    children: Children,
+}
+
+impl Node {
+    fn new_leaf(dim: usize) -> Self {
+        Self {
+            cf: CfSummary::new(dim),
+            children: Children::Leaf(Vec::new()),
+        }
+    }
+
+    fn centroid_distance(&self, p: &[f64]) -> f64 {
+        match self.cf.centroid() {
+            Some(c) => dist(&c, p),
+            None => f64::INFINITY,
+        }
+    }
+}
+
+/// A CF-tree.
+///
+/// # Examples
+/// ```
+/// use idb_birch::CfTree;
+/// use idb_core::DataSummary;
+///
+/// let mut tree = CfTree::new(1, 4, 8, 2.0);
+/// for i in 0..50 {
+///     tree.insert(&[i as f64 % 2.0]);        // dense spot near 0..1
+///     tree.insert(&[100.0 + i as f64 % 2.0]); // dense spot near 100..101
+/// }
+/// let leaves = tree.leaf_entries();
+/// assert_eq!(leaves.len(), 2);
+/// assert_eq!(leaves.iter().map(|l| l.n()).sum::<u64>(), 100);
+/// assert!(leaves.iter().all(|l| l.diameter() <= 2.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CfTree {
+    dim: usize,
+    branching: usize,
+    leaf_capacity: usize,
+    threshold: f64,
+    root: Node,
+    points: u64,
+}
+
+impl CfTree {
+    /// Creates an empty tree.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`, `branching < 2`, `leaf_capacity < 2` or the
+    /// threshold is negative/NaN.
+    #[must_use]
+    pub fn new(dim: usize, branching: usize, leaf_capacity: usize, threshold: f64) -> Self {
+        assert!(dim > 0, "CfTree requires dim > 0");
+        assert!(branching >= 2, "branching factor must be at least 2");
+        assert!(leaf_capacity >= 2, "leaf capacity must be at least 2");
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        Self {
+            dim,
+            branching,
+            leaf_capacity,
+            threshold,
+            root: Node::new_leaf(dim),
+            points: 0,
+        }
+    }
+
+    /// Number of absorbed points.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.points
+    }
+
+    /// `true` when no point was inserted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points == 0
+    }
+
+    /// The absorption threshold `T`.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Inserts a point.
+    ///
+    /// # Panics
+    /// Panics if the point's dimensionality differs from the tree's.
+    pub fn insert(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.dim, "point dimensionality mismatch");
+        self.points += 1;
+        if let Some(sibling) = Self::insert_rec(
+            &mut self.root,
+            p,
+            self.threshold,
+            self.branching,
+            self.leaf_capacity,
+        ) {
+            // Root split: grow the tree by one level.
+            let old_root = std::mem::replace(&mut self.root, Node::new_leaf(self.dim));
+            let mut cf = old_root.cf.clone();
+            cf.merge(&sibling.cf);
+            self.root = Node {
+                cf,
+                children: Children::Internal(vec![old_root, sibling]),
+            };
+        }
+    }
+
+    /// Recursive insertion; returns a new sibling when `node` split.
+    fn insert_rec(
+        node: &mut Node,
+        p: &[f64],
+        threshold: f64,
+        branching: usize,
+        leaf_capacity: usize,
+    ) -> Option<Node> {
+        node.cf.add(p);
+        match &mut node.children {
+            Children::Leaf(entries) => {
+                // Closest entry by centroid.
+                let closest = entries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| (i, e.centroid().map_or(f64::INFINITY, |c| dist(&c, p))))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i);
+                match closest {
+                    Some(i) if entries[i].diameter_with(p) <= threshold => {
+                        entries[i].add(p);
+                        None
+                    }
+                    _ => {
+                        entries.push(CfSummary::from_point(p));
+                        if entries.len() > leaf_capacity {
+                            Some(Self::split_leaf(node))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            Children::Internal(kids) => {
+                let i = kids
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        a.1.centroid_distance(p)
+                            .partial_cmp(&b.1.centroid_distance(p))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i)
+                    .expect("internal nodes always have children");
+                if let Some(sibling) =
+                    Self::insert_rec(&mut kids[i], p, threshold, branching, leaf_capacity)
+                {
+                    kids.push(sibling);
+                    if kids.len() > branching {
+                        return Some(Self::split_internal(node));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Splits an overfull leaf along its two farthest-apart entries,
+    /// returning the new sibling. `node.cf` is recomputed for both halves.
+    fn split_leaf(node: &mut Node) -> Node {
+        let Children::Leaf(entries) = &mut node.children else {
+            unreachable!("split_leaf on an internal node");
+        };
+        let taken = std::mem::take(entries);
+        let (ia, ib) = farthest_pair(&taken, |e| e.centroid().expect("leaf entries non-empty"));
+        let mut left: Vec<CfSummary> = Vec::with_capacity(taken.len());
+        let mut right: Vec<CfSummary> = Vec::with_capacity(taken.len());
+        let ca = taken[ia].centroid().expect("non-empty");
+        let cb = taken[ib].centroid().expect("non-empty");
+        for (i, e) in taken.into_iter().enumerate() {
+            let c = e.centroid().expect("non-empty");
+            if i == ia || (i != ib && dist(&c, &ca) <= dist(&c, &cb)) {
+                left.push(e);
+            } else {
+                right.push(e);
+            }
+        }
+        let dim = node.cf.dim();
+        let agg = |entries: &[CfSummary]| {
+            let mut cf = CfSummary::new(dim);
+            for e in entries {
+                cf.merge(e);
+            }
+            cf
+        };
+        node.cf = agg(&left);
+        let sibling_cf = agg(&right);
+        node.children = Children::Leaf(left);
+        Node {
+            cf: sibling_cf,
+            children: Children::Leaf(right),
+        }
+    }
+
+    /// Splits an overfull internal node along its two farthest children.
+    fn split_internal(node: &mut Node) -> Node {
+        let Children::Internal(kids) = &mut node.children else {
+            unreachable!("split_internal on a leaf");
+        };
+        let taken = std::mem::take(kids);
+        let (ia, ib) = farthest_pair(&taken, |n| n.cf.centroid().expect("children non-empty"));
+        let ca = taken[ia].cf.centroid().expect("non-empty");
+        let cb = taken[ib].cf.centroid().expect("non-empty");
+        let mut left = Vec::with_capacity(taken.len());
+        let mut right = Vec::with_capacity(taken.len());
+        for (i, n) in taken.into_iter().enumerate() {
+            let c = n.cf.centroid().expect("non-empty");
+            if i == ia || (i != ib && dist(&c, &ca) <= dist(&c, &cb)) {
+                left.push(n);
+            } else {
+                right.push(n);
+            }
+        }
+        let dim = node.cf.dim();
+        let agg = |nodes: &[Node]| {
+            let mut cf = CfSummary::new(dim);
+            for n in nodes {
+                cf.merge(&n.cf);
+            }
+            cf
+        };
+        node.cf = agg(&left);
+        let sibling_cf = agg(&right);
+        node.children = Children::Internal(left);
+        Node {
+            cf: sibling_cf,
+            children: Children::Internal(right),
+        }
+    }
+
+    /// All leaf clustering features, left to right — the summary set a
+    /// clustering algorithm consumes.
+    #[must_use]
+    pub fn leaf_entries(&self) -> Vec<CfSummary> {
+        let mut out = Vec::new();
+        let mut stack = vec![&self.root];
+        while let Some(node) = stack.pop() {
+            match &node.children {
+                Children::Leaf(entries) => out.extend(entries.iter().cloned()),
+                Children::Internal(kids) => stack.extend(kids.iter()),
+            }
+        }
+        out
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Children::Internal(kids) = &node.children {
+            h += 1;
+            node = &kids[0];
+        }
+        h
+    }
+}
+
+/// Indices of the two elements whose centroids are farthest apart
+/// (O(n²); node fan-outs are small constants).
+fn farthest_pair<T, F: Fn(&T) -> Vec<f64>>(items: &[T], centroid: F) -> (usize, usize) {
+    debug_assert!(items.len() >= 2);
+    let cs: Vec<Vec<f64>> = items.iter().map(centroid).collect();
+    let mut best = (0usize, 1usize, -1.0f64);
+    for i in 0..cs.len() {
+        for j in (i + 1)..cs.len() {
+            let d = dist(&cs[i], &cs[j]);
+            if d > best.2 {
+                best = (i, j, d);
+            }
+        }
+    }
+    (best.0, best.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorbs_points_under_threshold() {
+        let mut t = CfTree::new(2, 4, 4, 10.0);
+        for i in 0..50 {
+            t.insert(&[(i % 5) as f64 * 0.1, 0.0]);
+        }
+        assert_eq!(t.len(), 50);
+        // Everything fits in one entry: the spread is far below T.
+        let leaves = t.leaf_entries();
+        assert_eq!(leaves.len(), 1);
+        assert_eq!(leaves[0].n(), 50);
+    }
+
+    #[test]
+    fn separate_clusters_get_separate_entries() {
+        let mut t = CfTree::new(2, 4, 8, 5.0);
+        for i in 0..30 {
+            t.insert(&[i as f64 * 0.01, 0.0]);
+            t.insert(&[100.0 + i as f64 * 0.01, 0.0]);
+        }
+        let leaves = t.leaf_entries();
+        assert_eq!(leaves.len(), 2);
+        let total: u64 = leaves.iter().map(CfSummary::n).sum();
+        assert_eq!(total, 60);
+        for l in &leaves {
+            assert!(l.diameter() <= 5.0, "threshold respected");
+        }
+    }
+
+    #[test]
+    fn point_count_is_preserved_through_splits() {
+        let mut t = CfTree::new(2, 3, 3, 0.5);
+        // 100 well-separated points force many entries and splits.
+        for i in 0..100 {
+            t.insert(&[(i % 10) as f64 * 10.0, (i / 10) as f64 * 10.0]);
+        }
+        let leaves = t.leaf_entries();
+        let total: u64 = leaves.iter().map(CfSummary::n).sum();
+        assert_eq!(total, 100);
+        assert!(leaves.len() >= 10, "distinct locations stay distinct");
+        assert!(t.height() > 1, "splits grew the tree");
+    }
+
+    #[test]
+    fn threshold_zero_gives_one_entry_per_distinct_point() {
+        let mut t = CfTree::new(1, 4, 4, 0.0);
+        for i in 0..20 {
+            t.insert(&[i as f64]);
+            t.insert(&[i as f64]); // duplicate: diameter stays 0, absorbed
+        }
+        let leaves = t.leaf_entries();
+        assert_eq!(leaves.len(), 20);
+        assert!(leaves.iter().all(|l| l.n() == 2));
+    }
+
+    #[test]
+    fn aggregate_cf_is_consistent() {
+        let mut t = CfTree::new(2, 3, 3, 1.0);
+        let mut direct = CfSummary::new(2);
+        for i in 0..200 {
+            let p = [(i % 17) as f64 * 3.0, (i % 13) as f64 * 7.0];
+            t.insert(&p);
+            direct.add(&p);
+        }
+        let leaves = t.leaf_entries();
+        let mut agg = CfSummary::new(2);
+        for l in &leaves {
+            agg.merge(l);
+        }
+        assert_eq!(agg.n(), direct.n());
+        for (a, b) in agg
+            .stats()
+            .linear_sum()
+            .iter()
+            .zip(direct.stats().linear_sum())
+        {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = CfTree::new(3, 4, 4, 1.0);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert!(t.leaf_entries().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn wrong_dim_panics() {
+        let mut t = CfTree::new(2, 4, 4, 1.0);
+        t.insert(&[1.0]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the CF-tree.
+//!
+//! Whatever the insertion order and parameters, a CF-tree must (a) never
+//! lose or duplicate a point, (b) keep every leaf entry's diameter within
+//! the threshold, and (c) keep the additive statistics consistent with a
+//! direct one-pass computation.
+
+use idb_birch::{CfSummary, CfTree};
+use idb_core::DataSummary;
+use proptest::prelude::*;
+
+fn points(dim: usize, max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, dim), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn point_count_preserved(
+        pts in points(3, 200),
+        branching in 2usize..6,
+        leaf_cap in 2usize..8,
+        threshold in 0.0f64..30.0,
+    ) {
+        let mut tree = CfTree::new(3, branching, leaf_cap, threshold);
+        for p in &pts {
+            tree.insert(p);
+        }
+        prop_assert_eq!(tree.len(), pts.len() as u64);
+        let total: u64 = tree.leaf_entries().iter().map(CfSummary::n).sum();
+        prop_assert_eq!(total, pts.len() as u64);
+    }
+
+    #[test]
+    fn threshold_respected_by_every_leaf(
+        pts in points(2, 150),
+        threshold in 0.1f64..20.0,
+    ) {
+        let mut tree = CfTree::new(2, 4, 8, threshold);
+        for p in &pts {
+            tree.insert(p);
+        }
+        for leaf in tree.leaf_entries() {
+            // The absorb test uses the post-insertion diameter, so every
+            // multi-point entry obeys the threshold exactly.
+            prop_assert!(
+                leaf.diameter() <= threshold + 1e-9,
+                "diameter {} > threshold {threshold}",
+                leaf.diameter()
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_statistics_match_direct_computation(
+        pts in points(2, 150),
+        threshold in 0.0f64..10.0,
+    ) {
+        let mut tree = CfTree::new(2, 3, 4, threshold);
+        let mut direct = CfSummary::new(2);
+        for p in &pts {
+            tree.insert(p);
+            direct.add(p);
+        }
+        let mut agg = CfSummary::new(2);
+        for leaf in tree.leaf_entries() {
+            prop_assert!(leaf.n() > 0, "no empty leaf entries");
+            agg.merge(&leaf);
+        }
+        prop_assert_eq!(agg.n(), direct.n());
+        for (a, b) in agg.stats().linear_sum().iter().zip(direct.stats().linear_sum()) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+        let ss_tol = 1e-9 * (1.0 + direct.stats().square_sum().abs());
+        prop_assert!((agg.stats().square_sum() - direct.stats().square_sum()).abs() < ss_tol.max(1e-6));
+    }
+
+    #[test]
+    fn radius_never_exceeds_diameter_bound(pts in points(2, 100)) {
+        // For any point set, radius <= diameter (in fact diameter² =
+        // 2·(n/(n−1))·radius², so radius < diameter for n >= 2).
+        let mut cf = CfSummary::new(2);
+        for p in &pts {
+            cf.add(p);
+        }
+        if cf.n() >= 2 {
+            prop_assert!(cf.radius() <= cf.diameter() + 1e-9);
+        }
+    }
+}

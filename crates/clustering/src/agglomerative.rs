@@ -1,0 +1,332 @@
+//! Generic agglomerative hierarchical clustering via the nearest-neighbour
+//! chain algorithm with Lance–Williams updates.
+//!
+//! SLINK covers the single-link case in O(n) memory; this module provides
+//! the remaining classic linkages — complete, average (UPGMA) and Ward —
+//! exactly, in `O(n²)` time and memory. The NN-chain algorithm produces
+//! the correct hierarchy for all *reducible* linkages, which includes all
+//! four offered here.
+//!
+//! These serve as baselines for the hierarchical-clustering substrate and
+//! let examples contrast the chaining behaviour of single-link with the
+//! compact clusters of complete/Ward linkage.
+
+use std::cmp::Ordering;
+
+/// The linkage criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance (chains).
+    Single,
+    /// Maximum pairwise distance (compact, diameter-bounded clusters —
+    /// the criterion of Charikar et al., the paper's reference \[6\]).
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+    /// Ward's minimum-variance criterion. Input distances must be
+    /// Euclidean; merge heights are in squared-distance units.
+    Ward,
+}
+
+/// One merge step: the two cluster representatives joined and the linkage
+/// height, in merge order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged cluster (slot of one original point).
+    pub a: usize,
+    /// Second merged cluster.
+    pub b: usize,
+    /// Linkage height of the merge.
+    pub height: f64,
+}
+
+/// An agglomerative clustering result: `n − 1` merges over `n` points.
+#[derive(Debug, Clone)]
+pub struct AgglomerativeResult {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl AgglomerativeResult {
+    /// The merges, in the order they were performed. NN-chain emits merges
+    /// in non-monotone order for some inputs; they are sorted by height
+    /// here, which is valid for reducible linkages.
+    #[must_use]
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Number of clustered points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when no point was clustered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Flat clustering into exactly `min(k, n)` clusters (dense labels).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn cut_into(&self, k: usize) -> Vec<usize> {
+        assert!(k > 0, "k must be positive");
+        let n = self.n;
+        if n == 0 {
+            return Vec::new();
+        }
+        let k = k.min(n);
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut i: u32) -> u32 {
+            while parent[i as usize] != i {
+                parent[i as usize] = parent[parent[i as usize] as usize];
+                i = parent[i as usize];
+            }
+            i
+        }
+        for m in self.merges.iter().take(n - k) {
+            let a = find(&mut parent, m.a as u32);
+            let b = find(&mut parent, m.b as u32);
+            if a != b {
+                parent[a as usize] = b;
+            }
+        }
+        let mut labels = vec![usize::MAX; n];
+        let mut next = 0;
+        for i in 0..n {
+            let root = find(&mut parent, i as u32) as usize;
+            if labels[root] == usize::MAX {
+                labels[root] = next;
+                next += 1;
+            }
+            labels[i] = labels[root];
+        }
+        labels
+    }
+}
+
+/// Runs agglomerative clustering over `n` points with a caller-provided
+/// distance oracle (`dist(i, j)`, symmetric; for [`Linkage::Ward`] it must
+/// be the Euclidean distance — squaring happens internally).
+///
+/// `O(n²)` time and memory.
+pub fn agglomerative<F: FnMut(usize, usize) -> f64>(
+    n: usize,
+    linkage: Linkage,
+    mut dist: F,
+) -> AgglomerativeResult {
+    if n == 0 {
+        return AgglomerativeResult {
+            n,
+            merges: Vec::new(),
+        };
+    }
+    // Working distance matrix (squared for Ward).
+    let mut d = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut v = dist(i, j);
+            if linkage == Linkage::Ward {
+                v *= v;
+            }
+            d[i * n + j] = v;
+            d[j * n + i] = v;
+        }
+    }
+    let mut active = vec![true; n];
+    let mut size = vec![1usize; n];
+    let mut merges: Vec<Merge> = Vec::with_capacity(n.saturating_sub(1));
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining = n;
+
+    while remaining > 1 {
+        if chain.is_empty() {
+            let start = (0..n).find(|&i| active[i]).expect("remaining > 1");
+            chain.push(start);
+        }
+        loop {
+            let top = *chain.last().expect("chain non-empty");
+            // Nearest active neighbour of `top`, preferring the previous
+            // chain element on ties (required for NN-chain correctness).
+            let prev = if chain.len() >= 2 {
+                Some(chain[chain.len() - 2])
+            } else {
+                None
+            };
+            let mut nearest = None;
+            let mut best = f64::INFINITY;
+            for j in 0..n {
+                if j == top || !active[j] {
+                    continue;
+                }
+                let v = d[top * n + j];
+                let better = match v.partial_cmp(&best) {
+                    Some(Ordering::Less) => true,
+                    Some(Ordering::Equal) => Some(j) == prev,
+                    _ => false,
+                };
+                if (better || nearest.is_none()) && v <= best {
+                    best = v;
+                    nearest = Some(j);
+                }
+            }
+            let nearest = nearest.expect("at least one other active cluster");
+            if Some(nearest) == prev {
+                // Reciprocal nearest neighbours: merge.
+                chain.pop();
+                chain.pop();
+                let (a, b) = (top, nearest);
+                merges.push(Merge { a, b, height: best });
+                // Lance–Williams update into slot `a`; deactivate `b`.
+                let (na, nb) = (size[a] as f64, size[b] as f64);
+                for m in 0..n {
+                    if !active[m] || m == a || m == b {
+                        continue;
+                    }
+                    let dam = d[a * n + m];
+                    let dbm = d[b * n + m];
+                    let nm = size[m] as f64;
+                    let new = match linkage {
+                        Linkage::Single => dam.min(dbm),
+                        Linkage::Complete => dam.max(dbm),
+                        Linkage::Average => (na * dam + nb * dbm) / (na + nb),
+                        Linkage::Ward => {
+                            ((na + nm) * dam + (nb + nm) * dbm - nm * best) / (na + nb + nm)
+                        }
+                    };
+                    d[a * n + m] = new;
+                    d[m * n + a] = new;
+                }
+                size[a] += size[b];
+                active[b] = false;
+                remaining -= 1;
+                break;
+            }
+            chain.push(nearest);
+        }
+    }
+
+    // NN-chain can emit merges out of height order; sorting restores the
+    // dendrogram order (valid for reducible linkages).
+    merges.sort_by(|x, y| x.height.partial_cmp(&y.height).unwrap_or(Ordering::Equal));
+    AgglomerativeResult { n, merges }
+}
+
+/// Agglomerative clustering over explicit coordinates with the Euclidean
+/// metric.
+pub fn agglomerative_points(points: &[Vec<f64>], linkage: Linkage) -> AgglomerativeResult {
+    agglomerative(points.len(), linkage, |i, j| {
+        idb_geometry::dist(&points[i], &points[j])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![i as f64 * 0.3, 0.0]);
+            pts.push(vec![100.0 + i as f64 * 0.3, 0.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn all_linkages_separate_two_blobs() {
+        let pts = two_blobs();
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
+            let r = agglomerative_points(&pts, linkage);
+            assert_eq!(r.merges().len(), pts.len() - 1);
+            let labels = r.cut_into(2);
+            for (i, &l) in labels.iter().enumerate() {
+                assert_eq!(l, labels[i % 2], "{linkage:?}");
+            }
+            assert_ne!(labels[0], labels[1], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn single_link_matches_slink() {
+        // Cross-validate against the independent SLINK implementation: the
+        // sorted merge heights must coincide (they are the MST weights).
+        let pts: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i as f64 * 0.77).sin() * 10.0, (i as f64 * 1.3).cos() * 10.0])
+            .collect();
+        let agg = agglomerative_points(&pts, Linkage::Single);
+        let slk = crate::slink::slink_points(&pts);
+        let mut a: Vec<f64> = agg.merges().iter().map(|m| m.height).collect();
+        let mut b = slk.merge_levels();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn complete_linkage_resists_chaining() {
+        // A tight pair, a uniform chain, another tight pair — the classic
+        // single-vs-complete discriminator. Single-link cuts at the single
+        // largest gap (between the chain end at 7 and the pair at 9), so
+        // the chain clings to the left pair; complete-link minimizes
+        // diameters and splits the chain near its middle, so the chain's
+        // right end joins the right pair.
+        let xs = [0.0, 0.6, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 9.0, 9.6];
+        let pts: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+
+        let single = agglomerative_points(&pts, Linkage::Single).cut_into(2);
+        let complete = agglomerative_points(&pts, Linkage::Complete).cut_into(2);
+        // index 7 is x = 7.0, index 0 is x = 0.0, index 9 is x = 9.6.
+        assert_eq!(single[7], single[0], "single link chains the bridge left");
+        assert_ne!(single[7], single[9]);
+        assert_eq!(complete[7], complete[9], "complete link balances diameters");
+        assert_ne!(complete[7], complete[0]);
+    }
+
+    #[test]
+    fn ward_merges_low_variance_first() {
+        // Three points: a close pair and a far outlier — the pair merges
+        // first under Ward.
+        let pts = vec![vec![0.0], vec![1.0], vec![10.0]];
+        let r = agglomerative_points(&pts, Linkage::Ward);
+        let first = r.merges()[0];
+        let pair = [first.a, first.b];
+        assert!(pair.contains(&0) && pair.contains(&1));
+    }
+
+    #[test]
+    fn average_linkage_height_is_mean_distance() {
+        // Two singletons at distance 4 and 6 from a pair: UPGMA height of
+        // the final merge is the average of all inter-cluster distances.
+        let pts = vec![vec![0.0], vec![2.0], vec![10.0]];
+        let r = agglomerative_points(&pts, Linkage::Average);
+        // First merge: {0, 2} at height 2. Final: avg(d(0,10), d(2,10)) =
+        // avg(10, 8) = 9.
+        assert!((r.merges()[0].height - 2.0).abs() < 1e-9);
+        assert!((r.merges()[1].height - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let r = agglomerative_points(&[], Linkage::Average);
+        assert!(r.is_empty());
+        assert!(r.cut_into(3).is_empty());
+
+        let r = agglomerative_points(&[vec![1.0]], Linkage::Ward);
+        assert_eq!(r.len(), 1);
+        assert!(r.merges().is_empty());
+        assert_eq!(r.cut_into(1), vec![0]);
+    }
+}

@@ -1,0 +1,204 @@
+//! DBSCAN — flat density-based clustering (Ester et al., the paper's \[9\]).
+//!
+//! Included as the flat-clustering baseline: OPTICS generalizes DBSCAN, and
+//! several tests use DBSCAN as an oracle for "what the obvious clusters
+//! are" on synthetic data. ε-neighbourhood queries use the k-d tree over a
+//! snapshot of the store.
+
+use idb_geometry::KdTree;
+use idb_store::{PointId, PointStore};
+
+/// Result of a DBSCAN run.
+#[derive(Debug, Clone)]
+pub struct DbscanResult {
+    /// Ids in snapshot order.
+    pub ids: Vec<PointId>,
+    /// Cluster label per id (`None` = noise), aligned with `ids`.
+    pub labels: Vec<Option<usize>>,
+    /// Number of clusters found.
+    pub num_clusters: usize,
+}
+
+impl DbscanResult {
+    /// Clusters as id lists, indexed by cluster label.
+    #[must_use]
+    pub fn clusters(&self) -> Vec<Vec<PointId>> {
+        let mut out = vec![Vec::new(); self.num_clusters];
+        for (id, label) in self.ids.iter().zip(&self.labels) {
+            if let Some(c) = label {
+                out[*c].push(*id);
+            }
+        }
+        out
+    }
+
+    /// Ids labelled as noise.
+    #[must_use]
+    pub fn noise(&self) -> Vec<PointId> {
+        self.ids
+            .iter()
+            .zip(&self.labels)
+            .filter(|(_, l)| l.is_none())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+/// Runs DBSCAN over all live points.
+///
+/// A point is a *core point* when at least `min_pts` points (itself
+/// included) lie within `eps`. Clusters are the connected components of
+/// core points under the ε-relation plus their border points; everything
+/// else is noise.
+///
+/// # Panics
+/// Panics if `min_pts == 0` or `eps` is not positive and finite.
+#[must_use]
+pub fn dbscan(store: &PointStore, eps: f64, min_pts: usize) -> DbscanResult {
+    assert!(min_pts > 0, "min_pts must be positive");
+    assert!(eps > 0.0 && eps.is_finite(), "eps must be positive and finite");
+    let n = store.len();
+    let ids: Vec<PointId> = store.ids().collect();
+    let coords: Vec<&[f64]> = ids.iter().map(|&id| store.point(id)).collect();
+    let mut labels: Vec<Option<usize>> = vec![None; n];
+    if n == 0 {
+        return DbscanResult {
+            ids,
+            labels,
+            num_clusters: 0,
+        };
+    }
+    let tree = KdTree::build(
+        store.dim(),
+        ids.iter()
+            .enumerate()
+            .map(|(i, _)| (i as u64, coords[i])),
+    );
+
+    let mut visited = vec![false; n];
+    let mut num_clusters = 0usize;
+    let mut queue: Vec<u32> = Vec::new();
+
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let neigh = tree.range(coords[start], eps);
+        if neigh.len() < min_pts {
+            continue; // noise (may later become a border point)
+        }
+        let cluster = num_clusters;
+        num_clusters += 1;
+        labels[start] = Some(cluster);
+        queue.clear();
+        queue.extend(neigh.iter().map(|&(i, _)| i as u32));
+        while let Some(j) = queue.pop() {
+            let j = j as usize;
+            if labels[j].is_none() {
+                labels[j] = Some(cluster); // border or core
+            }
+            if visited[j] {
+                continue;
+            }
+            visited[j] = true;
+            let jn = tree.range(coords[j], eps);
+            if jn.len() >= min_pts {
+                queue.extend(jn.iter().map(|&(i, _)| i as u32));
+            }
+        }
+    }
+    DbscanResult {
+        ids,
+        labels,
+        num_clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_store() -> PointStore {
+        let mut s = PointStore::new(2);
+        // Two dense 5×5 grids far apart plus two isolated points.
+        for x in 0..5 {
+            for y in 0..5 {
+                s.insert(&[x as f64, y as f64], Some(0));
+                s.insert(&[x as f64 + 100.0, y as f64], Some(1));
+            }
+        }
+        s.insert(&[50.0, 50.0], None);
+        s.insert(&[-50.0, -50.0], None);
+        s
+    }
+
+    #[test]
+    fn finds_two_clusters_and_noise() {
+        let store = blob_store();
+        let res = dbscan(&store, 1.5, 4);
+        assert_eq!(res.num_clusters, 2);
+        let clusters = res.clusters();
+        assert_eq!(clusters[0].len(), 25);
+        assert_eq!(clusters[1].len(), 25);
+        assert_eq!(res.noise().len(), 2);
+        // Labels respect ground truth.
+        for (id, label) in res.ids.iter().zip(&res.labels) {
+            match store.label(*id) {
+                Some(g) => {
+                    let c = label.expect("clustered point");
+                    // All points of one ground-truth blob share a label.
+                    let _ = (g, c);
+                }
+                None => assert!(label.is_none(), "outliers are noise"),
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_consistent_within_ground_truth_blobs() {
+        let store = blob_store();
+        let res = dbscan(&store, 1.5, 4);
+        let mut truth_to_found: std::collections::HashMap<u32, usize> = Default::default();
+        for (id, label) in res.ids.iter().zip(&res.labels) {
+            if let (Some(g), Some(c)) = (store.label(*id), label) {
+                let prev = truth_to_found.entry(g).or_insert(*c);
+                assert_eq!(prev, c, "blob {g} split");
+            }
+        }
+        assert_eq!(truth_to_found.len(), 2);
+    }
+
+    #[test]
+    fn huge_eps_merges_everything() {
+        let store = blob_store();
+        let res = dbscan(&store, 1000.0, 4);
+        assert_eq!(res.num_clusters, 1);
+        assert!(res.noise().is_empty());
+    }
+
+    #[test]
+    fn tiny_eps_makes_everything_noise() {
+        let store = blob_store();
+        let res = dbscan(&store, 1e-6, 2);
+        assert_eq!(res.num_clusters, 0);
+        assert_eq!(res.noise().len(), store.len());
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = PointStore::new(3);
+        let res = dbscan(&store, 1.0, 3);
+        assert_eq!(res.num_clusters, 0);
+        assert!(res.ids.is_empty());
+    }
+
+    #[test]
+    fn min_pts_one_clusters_every_point() {
+        let mut store = PointStore::new(1);
+        store.insert(&[0.0], None);
+        store.insert(&[10.0], None);
+        let res = dbscan(&store, 1.0, 1);
+        assert_eq!(res.num_clusters, 2, "singletons are their own clusters");
+    }
+}

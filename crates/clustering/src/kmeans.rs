@@ -1,0 +1,295 @@
+//! k-means (Lloyd's algorithm with k-means++ seeding), plain and weighted.
+//!
+//! Two roles: the classic *partitioning* baseline the paper's introduction
+//! contrasts with hierarchical methods (\[14\]), and the macro-clustering
+//! step of the stream literature it reviews (Aggarwal et al. run a
+//! modified k-means that treats micro-clusters as weighted points — here,
+//! [`kmeans_weighted`] over any [`DataSummary`] set via
+//! [`kmeans_summaries`]).
+
+use idb_core::DataSummary;
+use idb_geometry::sq_dist;
+use idb_store::PointStore;
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Final centroids (k of them, possibly fewer if the input had fewer
+    /// distinct weighted positions).
+    pub centroids: Vec<Vec<f64>>,
+    /// Per-input cluster index, aligned with the input order.
+    pub assignments: Vec<usize>,
+    /// Weighted sum of squared distances to the assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// Weighted k-means over `(position, weight)` pairs.
+///
+/// Uses k-means++ seeding (weight-proportional) and runs Lloyd iterations
+/// until assignments stabilize or `max_iter` is reached. Empty clusters are
+/// re-seeded on the farthest point, so `k` centroids survive whenever the
+/// input has at least `k` distinct positions.
+///
+/// # Panics
+/// Panics if `k == 0`, the input is empty, any weight is non-positive, or
+/// positions disagree in dimensionality.
+pub fn kmeans_weighted<R: Rng + ?Sized>(
+    positions: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    max_iter: usize,
+    rng: &mut R,
+) -> KMeansResult {
+    assert!(k > 0, "k must be positive");
+    assert!(!positions.is_empty(), "k-means on empty input");
+    assert_eq!(positions.len(), weights.len(), "positions/weights mismatch");
+    let dim = positions[0].len();
+    for p in positions {
+        assert_eq!(p.len(), dim, "dimensionality mismatch");
+    }
+    assert!(
+        weights.iter().all(|&w| w > 0.0),
+        "weights must be positive"
+    );
+    let n = positions.len();
+    let k = k.min(n);
+
+    // --- k-means++ seeding (weight-proportional D² sampling). ------------
+    let total_w: f64 = weights.iter().sum();
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = weighted_pick(weights, total_w, rng);
+    centroids.push(positions[first].clone());
+    let mut d2: Vec<f64> = positions
+        .iter()
+        .map(|p| sq_dist(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let scores: Vec<f64> = d2.iter().zip(weights).map(|(d, w)| d * w).collect();
+        let total: f64 = scores.iter().sum();
+        let next = if total > 0.0 {
+            weighted_pick(&scores, total, rng)
+        } else {
+            rng.gen_range(0..n)
+        };
+        centroids.push(positions[next].clone());
+        let c = centroids.last().expect("just pushed").clone();
+        for (d, p) in d2.iter_mut().zip(positions) {
+            *d = d.min(sq_dist(p, &c));
+        }
+    }
+
+    // --- Lloyd iterations. ------------------------------------------------
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0usize;
+    for _ in 0..max_iter {
+        iterations += 1;
+        let mut changed = false;
+        for (i, p) in positions.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    sq_dist(p, a.1)
+                        .partial_cmp(&sq_dist(p, b.1))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(c, _)| c)
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Weighted centroid update.
+        let mut sums = vec![vec![0.0; dim]; centroids.len()];
+        let mut mass = vec![0.0f64; centroids.len()];
+        for ((p, &w), &a) in positions.iter().zip(weights).zip(&assignments) {
+            mass[a] += w;
+            for (s, &x) in sums[a].iter_mut().zip(p) {
+                *s += w * x;
+            }
+        }
+        for (c, (s, &m)) in centroids.iter_mut().zip(sums.iter().zip(&mass)) {
+            if m > 0.0 {
+                for (cc, &ss) in c.iter_mut().zip(s) {
+                    *cc = ss / m;
+                }
+            } else {
+                // Re-seed an emptied cluster on the farthest point.
+                let far = positions
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| {
+                        let da = sq_dist(a.1, c);
+                        let db = sq_dist(b.1, c);
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty input");
+                c.clone_from(&positions[far]);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = positions
+        .iter()
+        .zip(weights)
+        .zip(&assignments)
+        .map(|((p, &w), &a)| w * sq_dist(p, &centroids[a]))
+        .sum();
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+fn weighted_pick<R: Rng + ?Sized>(weights: &[f64], total: f64, rng: &mut R) -> usize {
+    let mut t = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Plain k-means over all live store points (weight 1 each).
+pub fn kmeans_points<R: Rng + ?Sized>(
+    store: &PointStore,
+    k: usize,
+    max_iter: usize,
+    rng: &mut R,
+) -> KMeansResult {
+    let positions: Vec<Vec<f64>> = store.iter().map(|(_, p, _)| p.to_vec()).collect();
+    let weights = vec![1.0; positions.len()];
+    kmeans_weighted(&positions, &weights, k, max_iter, rng)
+}
+
+/// Macro-clustering: weighted k-means over summaries, each summary counted
+/// with its point count (empty summaries are skipped; their positions in
+/// the result carry `usize::MAX`).
+pub fn kmeans_summaries<S: DataSummary, R: Rng + ?Sized>(
+    summaries: &[S],
+    k: usize,
+    max_iter: usize,
+    rng: &mut R,
+) -> (KMeansResult, Vec<usize>) {
+    let live: Vec<usize> = (0..summaries.len())
+        .filter(|&i| summaries[i].n() > 0)
+        .collect();
+    let positions: Vec<Vec<f64>> = live.iter().map(|&i| summaries[i].rep()).collect();
+    let weights: Vec<f64> = live.iter().map(|&i| summaries[i].n() as f64).collect();
+    let result = kmeans_weighted(&positions, &weights, k, max_iter, rng);
+    let mut full = vec![usize::MAX; summaries.len()];
+    for (pos, &i) in live.iter().enumerate() {
+        full[i] = result.assignments[pos];
+    }
+    (result, full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob_positions() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut pos = Vec::new();
+        for i in 0..30 {
+            pos.push(vec![(i % 6) as f64 * 0.2, (i / 6) as f64 * 0.2]);
+            pos.push(vec![50.0 + (i % 6) as f64 * 0.2, (i / 6) as f64 * 0.2]);
+        }
+        let w = vec![1.0; pos.len()];
+        (pos, w)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (pos, w) = blob_positions();
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = kmeans_weighted(&pos, &w, 2, 50, &mut rng);
+        assert_eq!(r.centroids.len(), 2);
+        // All left-blob points share one label, all right-blob the other.
+        let left_label = r.assignments[0];
+        for (i, &a) in r.assignments.iter().enumerate() {
+            if pos[i][0] < 25.0 {
+                assert_eq!(a, left_label);
+            } else {
+                assert_ne!(a, left_label);
+            }
+        }
+        assert!(r.inertia < 30.0, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    fn weights_pull_centroids() {
+        // Two positions; one has 99x the weight: the k=1 centroid must sit
+        // at the weighted mean.
+        let pos = vec![vec![0.0], vec![100.0]];
+        let w = vec![99.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = kmeans_weighted(&pos, &w, 1, 10, &mut rng);
+        assert!((r.centroids[0][0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_capped_at_input_size() {
+        let pos = vec![vec![0.0], vec![10.0]];
+        let w = vec![1.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = kmeans_weighted(&pos, &w, 10, 10, &mut rng);
+        assert_eq!(r.centroids.len(), 2);
+    }
+
+    #[test]
+    fn kmeans_points_runs_on_store() {
+        let mut store = PointStore::new(2);
+        for i in 0..40 {
+            store.insert(&[(i % 2) as f64 * 30.0, 0.0], Some(i % 2));
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = kmeans_points(&store, 2, 20, &mut rng);
+        assert_eq!(r.assignments.len(), 40);
+        let mut by_label = [usize::MAX; 2];
+        for ((_, p, label), &a) in store.iter().zip(&r.assignments) {
+            let l = label.unwrap() as usize;
+            if by_label[l] == usize::MAX {
+                by_label[l] = a;
+            }
+            assert_eq!(by_label[l], a, "point {p:?}");
+        }
+        assert_ne!(by_label[0], by_label[1]);
+    }
+
+    #[test]
+    fn convergence_is_reported() {
+        let (pos, w) = blob_positions();
+        let mut rng = StdRng::seed_from_u64(8);
+        let r = kmeans_weighted(&pos, &w, 2, 100, &mut rng);
+        assert!(r.iterations < 100, "converged in {} iterations", r.iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn empty_input_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = kmeans_weighted(&[], &[], 2, 10, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = kmeans_weighted(&[vec![1.0]], &[0.0], 1, 10, &mut rng);
+    }
+}

@@ -1,0 +1,290 @@
+//! OPTICS over raw database points (Ankerst et al., the paper's \[2\]).
+//!
+//! The algorithm orders the points such that density-based clusters at all
+//! resolutions up to `eps` appear as valleys of the reachability plot:
+//!
+//! * the *core distance* of `p` is the distance to its `min_pts`-th
+//!   neighbour, undefined when fewer than `min_pts` points lie within
+//!   `eps`;
+//! * the *reachability distance* of `q` from `p` is
+//!   `max(core_dist(p), dist(p, q))`;
+//! * points are emitted in the order of a best-first expansion that always
+//!   processes the not-yet-emitted point with the smallest current
+//!   reachability.
+//!
+//! ε-neighbourhoods come from a [`KdTree`] built over a snapshot of the
+//! store, so one call is `O(n · (log n + |N_eps|))` instead of the `O(n²)`
+//! of a scan-based implementation. The priority queue uses lazy deletion:
+//! stale heap entries (whose reachability has since improved) are skipped
+//! on pop.
+
+use crate::reachability::ReachabilityPlot;
+use idb_geometry::KdTree;
+use idb_store::PointStore;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Min-heap entry (reversed ordering over reachability).
+#[derive(Debug, Clone, Copy)]
+struct Seed {
+    reach: f64,
+    /// Dense index of the point (position in the snapshot id table).
+    idx: u32,
+}
+
+impl PartialEq for Seed {
+    fn eq(&self, other: &Self) -> bool {
+        self.reach == other.reach && self.idx == other.idx
+    }
+}
+impl Eq for Seed {}
+impl PartialOrd for Seed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Seed {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the smallest reach.
+        other
+            .reach
+            .partial_cmp(&self.reach)
+            .unwrap_or(Ordering::Equal)
+            .then(other.idx.cmp(&self.idx))
+    }
+}
+
+/// Runs OPTICS over all live points of the store.
+///
+/// Returns the reachability plot in processing order; ids are the
+/// [`idb_store::PointId`] raw values. `eps` bounds the neighbourhood search
+/// (pass `f64::INFINITY` for the complete hierarchy at any density);
+/// `min_pts` is the usual density smoothing parameter.
+///
+/// # Examples
+/// ```
+/// use idb_clustering::optics_points;
+/// use idb_store::PointStore;
+///
+/// // Two tight groups with a wide gap.
+/// let mut store = PointStore::new(1);
+/// for i in 0..10 {
+///     store.insert(&[i as f64 * 0.1], None);
+///     store.insert(&[50.0 + i as f64 * 0.1], None);
+/// }
+/// let plot = optics_points(&store, f64::INFINITY, 3);
+/// assert_eq!(plot.len(), 20);
+/// // Exactly one reachability spike marks the jump between the groups.
+/// let spikes = plot.entries().iter()
+///     .filter(|e| e.reachability.is_finite() && e.reachability > 10.0)
+///     .count();
+/// assert_eq!(spikes, 1);
+/// ```
+///
+/// # Panics
+/// Panics if `min_pts == 0`.
+#[must_use]
+pub fn optics_points(store: &PointStore, eps: f64, min_pts: usize) -> ReachabilityPlot {
+    assert!(min_pts > 0, "min_pts must be positive");
+    let n = store.len();
+    let mut plot = ReachabilityPlot::new();
+    if n == 0 {
+        return plot;
+    }
+
+    // Snapshot: dense indices 0..n with an id table.
+    let ids: Vec<u64> = store.ids().map(|id| u64::from(id.0)).collect();
+    let coords: Vec<&[f64]> = store.ids().map(|id| store.point(id)).collect();
+    let tree = KdTree::build(store.dim(), ids.iter().copied().zip(coords.iter().copied()));
+    // Map raw id -> dense index for neighbour lookups.
+    let max_id = ids.iter().copied().max().unwrap_or(0) as usize;
+    let mut dense = vec![u32::MAX; max_id + 1];
+    for (i, &id) in ids.iter().enumerate() {
+        dense[id as usize] = i as u32;
+    }
+
+    let mut processed = vec![false; n];
+    let mut reach = vec![f64::INFINITY; n];
+    let mut heap: BinaryHeap<Seed> = BinaryHeap::new();
+
+    // Reusable neighbour buffer: (dense index, distance).
+    let mut neigh: Vec<(u32, f64)> = Vec::new();
+
+    let expand = |i: usize,
+                      processed: &mut Vec<bool>,
+                      reach: &mut Vec<f64>,
+                      heap: &mut BinaryHeap<Seed>,
+                      neigh: &mut Vec<(u32, f64)>| {
+        // Neighbourhood of the point being emitted.
+        neigh.clear();
+        let eps_query = if eps.is_finite() { eps } else { f64::MAX };
+        for (id, d) in tree.range(coords[i], eps_query) {
+            neigh.push((dense[id as usize], d));
+        }
+        // Core distance: distance to the min_pts-th closest (the point
+        // itself is part of its own neighbourhood, as in the original
+        // formulation).
+        if neigh.len() < min_pts {
+            return;
+        }
+        neigh.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
+        let core = neigh[min_pts - 1].1;
+        for &(j, d) in neigh.iter() {
+            let j = j as usize;
+            if processed[j] {
+                continue;
+            }
+            let r = core.max(d);
+            if r < reach[j] {
+                reach[j] = r;
+                heap.push(Seed {
+                    reach: r,
+                    idx: j as u32,
+                });
+            }
+        }
+    };
+
+    for start in 0..n {
+        if processed[start] {
+            continue;
+        }
+        // Emit the component starting at `start`.
+        processed[start] = true;
+        plot.push(ids[start], f64::INFINITY);
+        expand(start, &mut processed, &mut reach, &mut heap, &mut neigh);
+
+        while let Some(Seed { reach: r, idx }) = heap.pop() {
+            let i = idx as usize;
+            if processed[i] || r > reach[i] {
+                continue; // stale entry
+            }
+            processed[i] = true;
+            plot.push(ids[i], reach[i]);
+            expand(i, &mut processed, &mut reach, &mut heap, &mut neigh);
+        }
+    }
+    plot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idb_store::PointId;
+
+    /// Two 1-d clusters with a wide gap.
+    fn two_cluster_store() -> PointStore {
+        let mut s = PointStore::new(1);
+        for i in 0..20 {
+            s.insert(&[i as f64 * 0.1], Some(0));
+        }
+        for i in 0..20 {
+            s.insert(&[100.0 + i as f64 * 0.1], Some(1));
+        }
+        s
+    }
+
+    #[test]
+    fn plot_covers_every_point_exactly_once() {
+        let store = two_cluster_store();
+        let plot = optics_points(&store, f64::INFINITY, 3);
+        assert_eq!(plot.len(), store.len());
+        let mut seen: Vec<u64> = plot.entries().iter().map(|e| e.id).collect();
+        seen.sort_unstable();
+        let mut want: Vec<u64> = store.ids().map(|id| u64::from(id.0)).collect();
+        want.sort_unstable();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn gap_appears_as_reachability_spike() {
+        let store = two_cluster_store();
+        let plot = optics_points(&store, f64::INFINITY, 3);
+        // Exactly one entry (the jump across the gap) has reachability near
+        // 100 − 1.9 ≈ 98; everything else is tiny or the initial infinity.
+        let big: Vec<f64> = plot
+            .entries()
+            .iter()
+            .map(|e| e.reachability)
+            .filter(|r| r.is_finite() && *r > 50.0)
+            .collect();
+        assert_eq!(big.len(), 1, "one inter-cluster jump, got {big:?}");
+        assert!(big[0] > 90.0);
+        // In-cluster reachability is bounded by the point spacing times
+        // min_pts.
+        let small = plot
+            .entries()
+            .iter()
+            .filter(|e| e.reachability.is_finite() && e.reachability < 1.0)
+            .count();
+        assert_eq!(small, store.len() - 2);
+    }
+
+    #[test]
+    fn bounded_eps_splits_components() {
+        let store = two_cluster_store();
+        let plot = optics_points(&store, 5.0, 3);
+        // With eps = 5 the gap cannot be bridged: two infinite entries.
+        let inf = plot
+            .entries()
+            .iter()
+            .filter(|e| e.reachability.is_infinite())
+            .count();
+        assert_eq!(inf, 2);
+    }
+
+    #[test]
+    fn cluster_order_is_contiguous() {
+        let store = two_cluster_store();
+        let plot = optics_points(&store, f64::INFINITY, 3);
+        // Once the plot leaves the first cluster it never returns: labels
+        // along the order look like A..AB..B.
+        let labels: Vec<u32> = plot
+            .entries()
+            .iter()
+            .map(|e| store.label(PointId(e.id as u32)).unwrap())
+            .collect();
+        let switches = labels.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(switches, 1, "order {labels:?}");
+    }
+
+    #[test]
+    fn empty_store_gives_empty_plot() {
+        let store = PointStore::new(2);
+        assert!(optics_points(&store, 1.0, 3).is_empty());
+    }
+
+    #[test]
+    fn min_pts_one_reachability_is_nearest_neighbor_distance() {
+        let mut store = PointStore::new(1);
+        store.insert(&[0.0], None);
+        store.insert(&[1.0], None);
+        store.insert(&[3.0], None);
+        let plot = optics_points(&store, f64::INFINITY, 1);
+        // With min_pts = 1 the core distance is 0 (the point itself), so
+        // reachability = plain distance to the predecessor's neighbourhood.
+        let finite: Vec<f64> = plot
+            .entries()
+            .iter()
+            .map(|e| e.reachability)
+            .filter(|r| r.is_finite())
+            .collect();
+        assert_eq!(finite, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_pts")]
+    fn zero_min_pts_panics() {
+        let store = PointStore::new(1);
+        let _ = optics_points(&store, 1.0, 0);
+    }
+
+    #[test]
+    fn singleton_store() {
+        let mut store = PointStore::new(2);
+        store.insert(&[1.0, 2.0], None);
+        let plot = optics_points(&store, 1.0, 2);
+        assert_eq!(plot.len(), 1);
+        assert!(plot.entries()[0].reachability.is_infinite());
+    }
+}

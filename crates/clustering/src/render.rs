@@ -1,0 +1,124 @@
+//! ASCII rendering of reachability plots.
+//!
+//! OPTICS results are best read visually; the examples and the experiment
+//! harness use this compact terminal renderer to show the valleys-and-walls
+//! structure without a plotting stack. Wide plots are downsampled by taking
+//! the *maximum* reachability per column (walls must never disappear).
+
+use crate::reachability::ReachabilityPlot;
+
+/// Renders the plot as `height` text rows of `width` columns. Infinite
+/// reachability renders as a full column with a `^` cap. Returns an empty
+/// string for an empty plot.
+///
+/// # Panics
+/// Panics if `width == 0` or `height == 0`.
+#[must_use]
+pub fn render_reachability(plot: &ReachabilityPlot, width: usize, height: usize) -> String {
+    assert!(width > 0 && height > 0, "render dimensions must be positive");
+    if plot.is_empty() {
+        return String::new();
+    }
+    let n = plot.len();
+    let width = width.min(n);
+
+    // Column values: max reachability in each bucket (infinite → cap).
+    let mut cols: Vec<f64> = Vec::with_capacity(width);
+    for c in 0..width {
+        let lo = c * n / width;
+        let hi = ((c + 1) * n / width).max(lo + 1);
+        let v = plot.entries()[lo..hi]
+            .iter()
+            .map(|e| e.reachability)
+            .fold(0.0f64, f64::max);
+        cols.push(v);
+    }
+    let max_finite = plot.max_finite_reachability().unwrap_or(1.0).max(1e-300);
+
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in 0..height {
+        // Row 0 is the top; a column is filled when its value exceeds the
+        // level at the *bottom* of this row, so the bottom row shows any
+        // positive reachability and the top row only near-maximal ones.
+        let level = (height - row - 1) as f64 / height as f64 * max_finite;
+        for &v in &cols {
+            let ch = if v.is_infinite() {
+                if row == 0 {
+                    '^'
+                } else {
+                    '#'
+                }
+            } else if v > level {
+                '#'
+            } else {
+                ' '
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reachability::PlotEntry;
+
+    fn plot_of(reach: &[f64]) -> ReachabilityPlot {
+        ReachabilityPlot::from_entries(
+            reach
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| PlotEntry {
+                    id: i as u64,
+                    reachability: r,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn walls_are_taller_than_valleys() {
+        let plot = plot_of(&[0.1, 0.1, 5.0, 0.1, 0.1]);
+        let s = render_reachability(&plot, 5, 4);
+        let rows: Vec<&str> = s.lines().collect();
+        assert_eq!(rows.len(), 4);
+        // Top row: only the wall column is filled.
+        assert_eq!(rows[0], "  #  ");
+        // Bottom row: everything is filled.
+        assert_eq!(rows[3], "#####");
+    }
+
+    #[test]
+    fn infinite_columns_have_caps() {
+        let plot = plot_of(&[f64::INFINITY, 0.5, 0.5]);
+        let s = render_reachability(&plot, 3, 3);
+        let rows: Vec<&str> = s.lines().collect();
+        assert!(rows[0].starts_with('^'));
+        assert!(rows[1].starts_with('#'));
+    }
+
+    #[test]
+    fn downsampling_keeps_maxima() {
+        // 100 tiny values with one spike; 10 columns must keep the spike.
+        let mut reach = vec![0.01f64; 100];
+        reach[57] = 9.0;
+        let plot = plot_of(&reach);
+        let s = render_reachability(&plot, 10, 5);
+        let top = s.lines().next().unwrap();
+        assert_eq!(top.matches('#').count(), 1, "spike survives: {top:?}");
+    }
+
+    #[test]
+    fn empty_plot_renders_empty() {
+        assert_eq!(render_reachability(&ReachabilityPlot::new(), 10, 5), "");
+    }
+
+    #[test]
+    fn width_capped_at_plot_length() {
+        let plot = plot_of(&[1.0, 2.0]);
+        let s = render_reachability(&plot, 80, 2);
+        assert_eq!(s.lines().next().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,289 @@
+//! SLINK — the Single-Link hierarchical clustering method (Sibson 1973),
+//! the classic dendrogram-producing baseline the paper's introduction
+//! cites (\[17\]).
+//!
+//! SLINK computes the single-linkage dendrogram in `O(n²)` time and `O(n)`
+//! working memory using the pointer representation: for every point `i`,
+//! `lambda[i]` is the level at which `i` ceases to be the last point of its
+//! cluster and `pi[i]` is the point it is then merged into. Flat clusterings
+//! at any level fall out by cutting: two points are in the same cluster at
+//! level `t` iff they are connected by merges with `lambda <= t`.
+
+use std::cmp::Ordering;
+
+/// A single-linkage dendrogram in pointer representation.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    /// `pi[i]`: the point `i` merges into at level `lambda[i]`.
+    pi: Vec<u32>,
+    /// `lambda[i]`: the merge level of `i` (infinite for the last point).
+    lambda: Vec<f64>,
+}
+
+impl Dendrogram {
+    /// Number of clustered points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pi.len()
+    }
+
+    /// `true` when no point was clustered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pi.is_empty()
+    }
+
+    /// Merge target of point `i`.
+    #[must_use]
+    pub fn merge_target(&self, i: usize) -> usize {
+        self.pi[i] as usize
+    }
+
+    /// Merge level of point `i` (`f64::INFINITY` for the final point).
+    #[must_use]
+    pub fn merge_level(&self, i: usize) -> f64 {
+        self.lambda[i]
+    }
+
+    /// The sorted finite merge levels — the heights at which the number of
+    /// clusters decreases by one.
+    #[must_use]
+    pub fn merge_levels(&self) -> Vec<f64> {
+        let mut levels: Vec<f64> = self.lambda.iter().copied().filter(|l| l.is_finite()).collect();
+        levels.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+        levels
+    }
+
+    /// Flat clustering at distance threshold `t`: returns dense cluster
+    /// labels (0-based, in order of first appearance).
+    #[must_use]
+    pub fn cut_at(&self, t: f64) -> Vec<usize> {
+        let n = self.pi.len();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut i: u32) -> u32 {
+            while parent[i as usize] != i {
+                parent[i as usize] = parent[parent[i as usize] as usize];
+                i = parent[i as usize];
+            }
+            i
+        }
+        for i in 0..n {
+            if self.lambda[i] <= t {
+                let a = find(&mut parent, i as u32);
+                let b = find(&mut parent, self.pi[i]);
+                if a != b {
+                    parent[a as usize] = b;
+                }
+            }
+        }
+        let mut labels = vec![usize::MAX; n];
+        let mut next = 0usize;
+        for i in 0..n {
+            let root = find(&mut parent, i as u32) as usize;
+            if labels[root] == usize::MAX {
+                labels[root] = next;
+                next += 1;
+            }
+            labels[i] = labels[root];
+        }
+        labels
+    }
+
+    /// Flat clustering into exactly `min(k, n)` clusters, by applying the
+    /// `n − k` smallest merges. (The pointer representation's edges form a
+    /// spanning tree, so every applied edge reduces the cluster count by
+    /// exactly one — exact even when merge levels tie.)
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn cut_into(&self, k: usize) -> Vec<usize> {
+        assert!(k > 0, "k must be positive");
+        let n = self.pi.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let k = k.min(n);
+        let mut edges: Vec<usize> = (0..n).filter(|&i| self.lambda[i].is_finite()).collect();
+        edges.sort_by(|&a, &b| {
+            self.lambda[a]
+                .partial_cmp(&self.lambda[b])
+                .unwrap_or(Ordering::Equal)
+        });
+
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut i: u32) -> u32 {
+            while parent[i as usize] != i {
+                parent[i as usize] = parent[parent[i as usize] as usize];
+                i = parent[i as usize];
+            }
+            i
+        }
+        for &i in edges.iter().take(n - k) {
+            let a = find(&mut parent, i as u32);
+            let b = find(&mut parent, self.pi[i]);
+            if a != b {
+                parent[a as usize] = b;
+            }
+        }
+        let mut labels = vec![usize::MAX; n];
+        let mut next = 0usize;
+        for i in 0..n {
+            let root = find(&mut parent, i as u32) as usize;
+            if labels[root] == usize::MAX {
+                labels[root] = next;
+                next += 1;
+            }
+            labels[i] = labels[root];
+        }
+        labels
+    }
+}
+
+/// Runs SLINK over points provided through a distance oracle.
+///
+/// `dist(i, j)` must be a symmetric dissimilarity; it is called `O(n²)`
+/// times, once per pair.
+///
+/// # Panics
+/// Never panics for `n >= 0`.
+#[must_use]
+pub fn slink<F: FnMut(usize, usize) -> f64>(n: usize, mut dist: F) -> Dendrogram {
+    let mut pi = vec![0u32; n];
+    let mut lambda = vec![f64::INFINITY; n];
+    let mut m = vec![0.0f64; n];
+
+    for i in 0..n {
+        pi[i] = i as u32;
+        lambda[i] = f64::INFINITY;
+        for (j, mj) in m.iter_mut().enumerate().take(i) {
+            *mj = dist(j, i);
+        }
+        for j in 0..i {
+            if lambda[j] >= m[j] {
+                let p = pi[j] as usize;
+                m[p] = m[p].min(lambda[j]);
+                lambda[j] = m[j];
+                pi[j] = i as u32;
+            } else {
+                let p = pi[j] as usize;
+                m[p] = m[p].min(m[j]);
+            }
+        }
+        for j in 0..i {
+            if lambda[j] >= lambda[pi[j] as usize] {
+                pi[j] = i as u32;
+            }
+        }
+    }
+    Dendrogram { pi, lambda }
+}
+
+/// Convenience: SLINK over explicit point coordinates with the Euclidean
+/// metric.
+///
+/// # Examples
+/// ```
+/// use idb_clustering::slink::slink_points;
+///
+/// let points = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+/// let dendrogram = slink_points(&points);
+/// let labels = dendrogram.cut_into(2);
+/// assert_eq!(labels[0], labels[1]);
+/// assert_eq!(labels[2], labels[3]);
+/// assert_ne!(labels[0], labels[2]);
+/// ```
+#[must_use]
+pub fn slink_points(points: &[Vec<f64>]) -> Dendrogram {
+    slink(points.len(), |i, j| idb_geometry::dist(&points[i], &points[j]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_obvious_clusters() {
+        let pts: Vec<Vec<f64>> = vec![
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![100.0],
+            vec![101.0],
+            vec![102.0],
+        ];
+        let d = slink_points(&pts);
+        let labels = d.cut_into(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn cut_at_threshold_matches_connectivity() {
+        let pts: Vec<Vec<f64>> = vec![vec![0.0], vec![1.5], vec![3.0], vec![10.0]];
+        let d = slink_points(&pts);
+        // At t = 2.0 the chain 0–1–2 is connected, 3 is alone.
+        let labels = d.cut_at(2.0);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+        // At t = 0.5 everything is separate.
+        let labels = d.cut_at(0.5);
+        let unique: std::collections::HashSet<usize> = labels.iter().copied().collect();
+        assert_eq!(unique.len(), 4);
+        // At t = 10 everything merges.
+        let labels = d.cut_at(10.0);
+        assert!(labels.iter().all(|&l| l == labels[0]));
+    }
+
+    #[test]
+    fn merge_levels_are_the_mst_edges() {
+        // Single-link merge levels equal the MST edge weights: for the
+        // chain {0, 1.5, 3, 10} these are 1.5, 1.5, 7.
+        let pts: Vec<Vec<f64>> = vec![vec![0.0], vec![1.5], vec![3.0], vec![10.0]];
+        let d = slink_points(&pts);
+        let levels = d.merge_levels();
+        assert_eq!(levels.len(), 3);
+        assert!((levels[0] - 1.5).abs() < 1e-12);
+        assert!((levels[1] - 1.5).abs() < 1e-12);
+        assert!((levels[2] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_and_empty() {
+        let d = slink_points(&[]);
+        assert!(d.is_empty());
+        assert!(d.merge_levels().is_empty());
+
+        let d = slink_points(&[vec![5.0, 5.0]]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.cut_into(1), vec![0]);
+        assert!(d.merge_level(0).is_infinite());
+    }
+
+    #[test]
+    fn cut_into_more_clusters_than_points_degrades_gracefully() {
+        let pts: Vec<Vec<f64>> = vec![vec![0.0], vec![1.0]];
+        let d = slink_points(&pts);
+        let labels = d.cut_into(5);
+        assert_eq!(labels.len(), 2);
+    }
+
+    #[test]
+    fn chaining_effect_is_present() {
+        // Single-link famously chains: a bridge of close points merges two
+        // groups early. Verify the behaviour (it distinguishes single-link
+        // from complete/average link).
+        let mut pts: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 * 0.5]).collect();
+        pts.extend((0..5).map(|i| vec![50.0 + i as f64 * 0.5]));
+        // Bridge every 0.5 units.
+        pts.extend((1..100).map(|i| vec![2.0 + i as f64 * 0.5]));
+        let d = slink_points(&pts);
+        let labels = d.cut_at(0.75);
+        // Everything is one chain at threshold 0.75.
+        assert!(labels.iter().all(|&l| l == labels[0]));
+    }
+}

@@ -1,0 +1,353 @@
+//! ξ-cluster extraction from reachability plots (Ankerst, Breunig,
+//! Kriegel, Sander — the original OPTICS paper's own extraction method).
+//!
+//! Where the cluster-tree method of [`crate::extract`] splits at
+//! significant local *maxima*, the ξ method finds clusters bounded by
+//! *ξ-steep areas*: a region is a cluster when the reachability falls by a
+//! factor `1 − ξ` on its left flank (a steep-down area) and rises by the
+//! same factor on its right flank (a steep-up area), with the interior
+//! staying below both flanks. The output is a *set of nested clusters*
+//! (the hierarchy), not a flat partition.
+//!
+//! The implementation follows the published ExtractClusters algorithm with
+//! its `mib` (maximum-in-between) filtering; the documented simplification
+//! is that plateaus of infinite reachability are not themselves steep
+//! (they separate components outright).
+
+use crate::reachability::ReachabilityPlot;
+
+/// Parameters of the ξ extraction.
+#[derive(Debug, Clone, Copy)]
+pub struct XiParams {
+    /// Relative reachability drop/rise that counts as steep, in `(0, 1)`.
+    pub xi: f64,
+    /// Minimum number of plot entries per cluster (also the bound on
+    /// interruptions inside a steep area), typically OPTICS' MinPts.
+    pub min_cluster_size: usize,
+}
+
+impl XiParams {
+    /// Standard parameters: `xi = 0.05`, minimum size as given.
+    #[must_use]
+    pub fn new(xi: f64, min_cluster_size: usize) -> Self {
+        assert!(xi > 0.0 && xi < 1.0, "xi must be in (0, 1)");
+        assert!(min_cluster_size >= 2, "min_cluster_size must be at least 2");
+        Self {
+            xi,
+            min_cluster_size,
+        }
+    }
+}
+
+/// One extracted ξ-cluster: a half-open entry range `[start, end)` of the
+/// plot. Clusters may nest (the hierarchy); they never partially overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XiCluster {
+    /// First plot index of the cluster.
+    pub start: usize,
+    /// One past the last plot index.
+    pub end: usize,
+}
+
+impl XiCluster {
+    /// Number of entries covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` for a degenerate empty range (never produced).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SteepDownArea {
+    start: usize,
+    end: usize,
+    /// Maximum reachability seen between this area's end and the current
+    /// scan position.
+    mib: f64,
+}
+
+/// `r[i]` with one-past-the-end reading as infinity (a virtual wall).
+fn reach_at(r: &[f64], i: usize) -> f64 {
+    r.get(i).copied().unwrap_or(f64::INFINITY)
+}
+
+fn steep_down(r: &[f64], i: usize, xi: f64) -> bool {
+    let a = reach_at(r, i);
+    let b = reach_at(r, i + 1);
+    if a.is_infinite() {
+        return b.is_finite();
+    }
+    a * (1.0 - xi) >= b
+}
+
+fn steep_up(r: &[f64], i: usize, xi: f64) -> bool {
+    let a = reach_at(r, i);
+    let b = reach_at(r, i + 1);
+    if b.is_infinite() {
+        return a.is_finite();
+    }
+    a <= b * (1.0 - xi)
+}
+
+/// Extends a steep area starting at `i`: returns its last index. `steep`
+/// tests single-point steepness; `monotone` tests the allowed direction.
+fn extend_area<FS, FM>(
+    r: &[f64],
+    mut i: usize,
+    max_gap: usize,
+    steep: FS,
+    monotone: FM,
+) -> usize
+where
+    FS: Fn(&[f64], usize) -> bool,
+    FM: Fn(f64, f64) -> bool,
+{
+    let mut end = i;
+    let mut gap = 0usize;
+    while i + 1 < r.len() {
+        if !monotone(reach_at(r, i), reach_at(r, i + 1)) {
+            break;
+        }
+        i += 1;
+        if steep(r, i) {
+            end = i;
+            gap = 0;
+        } else {
+            gap += 1;
+            if gap >= max_gap {
+                break;
+            }
+        }
+    }
+    end
+}
+
+/// Extracts the ξ-clusters of a reachability plot, sorted by start index
+/// (outer clusters before the nested ones they contain).
+#[must_use]
+pub fn extract_xi(plot: &ReachabilityPlot, params: &XiParams) -> Vec<XiCluster> {
+    let r: Vec<f64> = plot.entries().iter().map(|e| e.reachability).collect();
+    let n = r.len();
+    let xi = params.xi;
+    let min_size = params.min_cluster_size;
+    let mut sdas: Vec<SteepDownArea> = Vec::new();
+    let mut clusters: Vec<XiCluster> = Vec::new();
+    let mut mib = 0.0f64;
+    let mut index = 0usize;
+
+    // The scan runs up to and including the last entry: `reach_at` reads
+    // one-past-the-end as an infinite wall, so a trailing valley still has
+    // a steep-up flank.
+    while index < n {
+        mib = mib.max(reach_at(&r, index));
+        if steep_down(&r, index, xi) {
+            // Filter SDAs that the global mib invalidates, update the rest.
+            sdas.retain(|d| {
+                let start_r = reach_at(&r, d.start);
+                start_r.is_infinite() || start_r * (1.0 - xi) >= mib
+            });
+            for d in &mut sdas {
+                d.mib = d.mib.max(mib);
+            }
+            let end = extend_area(&r, index, min_size, |r, i| steep_down(r, i, xi), |a, b| a >= b);
+            sdas.push(SteepDownArea {
+                start: index,
+                end,
+                mib: 0.0,
+            });
+            index = end + 1;
+            mib = reach_at(&r, index.min(n - 1));
+        } else if steep_up(&r, index, xi) {
+            sdas.retain(|d| {
+                let start_r = reach_at(&r, d.start);
+                start_r.is_infinite() || start_r * (1.0 - xi) >= mib
+            });
+            for d in &mut sdas {
+                d.mib = d.mib.max(mib);
+            }
+            let end = extend_area(&r, index, min_size, |r, i| steep_up(r, i, xi), |a, b| a <= b);
+            let end_next = reach_at(&r, end + 1);
+            for d in &sdas {
+                let start_r = reach_at(&r, d.start);
+                // mib condition (sc2*): the in-between region must be
+                // xi-significantly below both flanks.
+                let bound = if start_r.is_finite() && end_next.is_finite() {
+                    start_r.min(end_next) * (1.0 - xi)
+                } else if start_r.is_finite() {
+                    start_r * (1.0 - xi)
+                } else if end_next.is_finite() {
+                    end_next * (1.0 - xi)
+                } else {
+                    f64::INFINITY
+                };
+                if d.mib > bound {
+                    continue;
+                }
+                // Boundary adjustment (cases a/b/c of the published
+                // algorithm).
+                let (mut s, mut e) = (d.start, end);
+                if start_r.is_infinite() || start_r * (1.0 - xi) >= end_next {
+                    // Left flank towers over the right: trim the start down
+                    // to the first entry not above the right wall.
+                    if end_next.is_finite() {
+                        s = (d.start..=d.end)
+                            .filter(|&x| reach_at(&r, x) > end_next)
+                            .max()
+                            .map_or(d.start, |x| x)
+                            .max(d.start);
+                    }
+                } else if end_next * (1.0 - xi) >= start_r {
+                    // Right flank towers over the left: trim the end back.
+                    e = (index..=end)
+                        .filter(|&x| reach_at(&r, x) < start_r)
+                        .min()
+                        .map_or(end, |x| x);
+                }
+                // Half-open range: the steep-up area's entries belong to
+                // the cluster, the wall after them does not.
+                let cluster = XiCluster { start: s, end: e + 1 };
+                if cluster.len() >= min_size {
+                    clusters.push(cluster);
+                }
+            }
+            index = end + 1;
+            mib = reach_at(&r, index.min(n - 1));
+        } else {
+            index += 1;
+        }
+    }
+
+    clusters.sort_by_key(|c| (c.start, std::cmp::Reverse(c.end)));
+    clusters.dedup();
+    clusters
+}
+
+/// Materializes ξ-clusters as id lists.
+#[must_use]
+pub fn xi_cluster_ids(plot: &ReachabilityPlot, clusters: &[XiCluster]) -> Vec<Vec<u64>> {
+    clusters
+        .iter()
+        .map(|c| plot.entries()[c.start..c.end].iter().map(|e| e.id).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reachability::PlotEntry;
+
+    fn plot_of(reach: &[f64]) -> ReachabilityPlot {
+        ReachabilityPlot::from_entries(
+            reach
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| PlotEntry {
+                    id: i as u64,
+                    reachability: r,
+                })
+                .collect(),
+        )
+    }
+
+    const INF: f64 = f64::INFINITY;
+
+    #[test]
+    fn two_deep_valleys_give_two_clusters() {
+        // Steep fall into each valley, steep rise out.
+        let reach = [INF, 0.1, 0.1, 0.1, 0.1, 5.0, 0.1, 0.1, 0.1, 0.1];
+        let plot = plot_of(&reach);
+        let clusters = extract_xi(&plot, &XiParams::new(0.1, 3));
+        assert!(
+            clusters.iter().any(|c| c.start <= 1 && c.end >= 4),
+            "left valley found: {clusters:?}"
+        );
+        assert!(
+            clusters.iter().any(|c| c.start >= 5 && c.end >= 9),
+            "right valley found: {clusters:?}"
+        );
+    }
+
+    #[test]
+    fn shallow_fluctuation_is_not_a_cluster_boundary() {
+        // Values fluctuate by far less than xi = 0.3: no steep area exists
+        // except the initial fall from infinity, so at most one cluster.
+        let reach = [INF, 1.0, 0.99, 1.0, 0.98, 1.0, 0.99, 1.0];
+        let plot = plot_of(&reach);
+        let clusters = extract_xi(&plot, &XiParams::new(0.3, 3));
+        assert!(clusters.len() <= 1, "{clusters:?}");
+    }
+
+    #[test]
+    fn nested_valleys_produce_nested_clusters() {
+        let mut reach = vec![INF];
+        reach.extend(std::iter::repeat(0.1).take(5));
+        reach.push(1.0);
+        reach.extend(std::iter::repeat(0.1).take(5));
+        reach.push(10.0);
+        reach.extend(std::iter::repeat(3.0).take(5));
+        let plot = plot_of(&reach);
+        let clusters = extract_xi(&plot, &XiParams::new(0.2, 3));
+        // Expect at least the two fine valleys; a surrounding coarse
+        // cluster may also appear (nesting).
+        let covers = |lo: usize, hi: usize| {
+            clusters.iter().any(|c| c.start <= lo && c.end >= hi)
+        };
+        assert!(covers(1, 6), "first fine valley: {clusters:?}");
+        assert!(covers(7, 12), "second fine valley: {clusters:?}");
+        for c in &clusters {
+            assert!(c.len() >= 3);
+        }
+        // Nesting only — no partial overlap.
+        for a in &clusters {
+            for b in &clusters {
+                let disjoint = a.end <= b.start || b.end <= a.start;
+                let nested = (a.start <= b.start && b.end <= a.end)
+                    || (b.start <= a.start && a.end <= b.end);
+                assert!(disjoint || nested, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn xi_ids_match_ranges() {
+        let reach = [INF, 0.1, 0.1, 0.1, 5.0, 0.2, 0.2, 0.2];
+        let plot = plot_of(&reach);
+        let clusters = extract_xi(&plot, &XiParams::new(0.1, 3));
+        let ids = xi_cluster_ids(&plot, &clusters);
+        for (c, id_list) in clusters.iter().zip(&ids) {
+            assert_eq!(id_list.len(), c.len());
+            assert_eq!(id_list[0], c.start as u64);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_plots() {
+        let plot = ReachabilityPlot::new();
+        assert!(extract_xi(&plot, &XiParams::new(0.1, 3)).is_empty());
+        let plot = plot_of(&[INF]);
+        assert!(extract_xi(&plot, &XiParams::new(0.1, 3)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "xi must be")]
+    fn invalid_xi_panics() {
+        let _ = XiParams::new(1.0, 3);
+    }
+
+    #[test]
+    fn larger_xi_is_more_conservative() {
+        // A moderate wall (factor 2): xi = 0.3 splits, xi = 0.6 does not
+        // (0.4 * wall > valley means the rise isn't steep enough).
+        let reach = [INF, 1.0, 1.0, 1.0, 1.0, 2.0, 1.0, 1.0, 1.0, 1.0];
+        let plot = plot_of(&reach);
+        let fine = extract_xi(&plot, &XiParams::new(0.3, 3));
+        let coarse = extract_xi(&plot, &XiParams::new(0.6, 3));
+        assert!(fine.len() >= coarse.len(), "{fine:?} vs {coarse:?}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the clustering substrate.
+
+use idb_clustering::{
+    agglomerative::{agglomerative_points, Linkage},
+    extract_clusters, extract_clusters_at,
+    kmeans::kmeans_weighted,
+    optics_points, slink::slink_points, ExtractParams,
+};
+use idb_store::PointStore;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn points(dim: usize, max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-100.0f64..100.0, dim), 2..max)
+}
+
+fn store_of(pts: &[Vec<f64>]) -> PointStore {
+    let mut s = PointStore::new(pts[0].len());
+    for p in pts {
+        s.insert(p, None);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// OPTICS emits every point exactly once, for any eps and min_pts.
+    #[test]
+    fn optics_is_a_permutation(
+        pts in points(2, 80),
+        eps in prop::sample::select(vec![5.0, 50.0, f64::INFINITY]),
+        min_pts in 1usize..8,
+    ) {
+        let store = store_of(&pts);
+        let plot = optics_points(&store, eps, min_pts);
+        prop_assert_eq!(plot.len(), store.len());
+        let mut got: Vec<u64> = plot.entries().iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = store.ids().map(|id| u64::from(id.0)).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        // The first entry of the plot is always an infinity (new component).
+        prop_assert!(plot.entries()[0].reachability.is_infinite());
+    }
+
+    /// Extracted clusters are disjoint contiguous subsets of the plot.
+    #[test]
+    fn extraction_yields_disjoint_clusters(
+        pts in points(2, 80),
+        min_size in 2usize..10,
+    ) {
+        let store = store_of(&pts);
+        let plot = optics_points(&store, f64::INFINITY, 3);
+        let clusters = extract_clusters(&plot, &ExtractParams::with_min_size(min_size));
+        let mut seen = std::collections::HashSet::new();
+        for c in &clusters {
+            prop_assert!(c.len() >= min_size);
+            for id in c {
+                prop_assert!(seen.insert(*id), "id {id} in two clusters");
+            }
+        }
+        prop_assert!(seen.len() <= plot.len());
+    }
+
+    /// Horizontal cuts also yield disjoint clusters covering at most the
+    /// whole plot, and a cut above the maximum finite reachability puts
+    /// everything into one cluster.
+    #[test]
+    fn horizontal_cut_properties(pts in points(2, 60)) {
+        let store = store_of(&pts);
+        let plot = optics_points(&store, f64::INFINITY, 2);
+        let max = plot.max_finite_reachability().unwrap_or(1.0);
+        let all = extract_clusters_at(&plot, max + 1.0, 1);
+        prop_assert_eq!(all.len(), 1);
+        prop_assert_eq!(all[0].len(), plot.len());
+
+        let some = extract_clusters_at(&plot, max / 2.0, 2);
+        let mut seen = std::collections::HashSet::new();
+        for c in &some {
+            for id in c {
+                prop_assert!(seen.insert(*id));
+            }
+        }
+    }
+
+    /// SLINK and the NN-chain single-link implementation produce identical
+    /// merge-height multisets on any input.
+    #[test]
+    fn slink_equals_nn_chain_single(pts in points(3, 40)) {
+        let slk = slink_points(&pts);
+        let agg = agglomerative_points(&pts, Linkage::Single);
+        let mut a = slk.merge_levels();
+        let mut b: Vec<f64> = agg.merges().iter().map(|m| m.height).collect();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    /// Cutting any linkage into k clusters yields exactly min(k, n) labels.
+    #[test]
+    fn cut_into_respects_k(
+        pts in points(2, 40),
+        k in 1usize..10,
+    ) {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let labels = agglomerative_points(&pts, linkage).cut_into(k);
+            let distinct: std::collections::HashSet<usize> = labels.iter().copied().collect();
+            prop_assert_eq!(distinct.len(), k.min(pts.len()), "{:?}", linkage);
+        }
+    }
+
+    /// Weighted k-means: assignments index live centroids and the inertia
+    /// never exceeds the single-centroid inertia.
+    #[test]
+    fn kmeans_inertia_monotone_in_k(
+        pts in points(2, 60),
+        seed in 0u64..1000,
+    ) {
+        let weights = vec![1.0; pts.len()];
+        let mut rng1 = StdRng::seed_from_u64(seed);
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let one = kmeans_weighted(&pts, &weights, 1, 30, &mut rng1);
+        let many = kmeans_weighted(&pts, &weights, 4, 30, &mut rng2);
+        for &a in &many.assignments {
+            prop_assert!(a < many.centroids.len());
+        }
+        prop_assert!(many.inertia <= one.inertia + 1e-9);
+    }
+}

@@ -1,0 +1,141 @@
+//! Scratch cross-checks part 2 (review only).
+
+use idb_clustering::extract::{extract_clusters, ExtractParams};
+use idb_clustering::reachability::{PlotEntry, ReachabilityPlot};
+use idb_clustering::xi::{extract_xi, XiParams};
+use idb_store::PointStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_plot(rng: &mut StdRng, n: usize) -> ReachabilityPlot {
+    let entries: Vec<PlotEntry> = (0..n)
+        .map(|i| {
+            let r = if i == 0 || rng.gen_bool(0.05) {
+                f64::INFINITY
+            } else {
+                rng.gen_range(0.01..10.0)
+            };
+            PlotEntry {
+                id: i as u64,
+                reachability: r,
+            }
+        })
+        .collect();
+    ReachabilityPlot::from_entries(entries)
+}
+
+#[test]
+fn xi_clusters_never_partially_overlap_and_in_bounds() {
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..80);
+        let plot = random_plot(&mut rng, n);
+        let clusters = extract_xi(&plot, &XiParams::new(0.1, 3));
+        for c in &clusters {
+            assert!(c.start < c.end, "seed {seed} bad range {c:?}");
+            assert!(c.end <= n, "seed {seed} out of bounds {c:?} n {n}");
+        }
+        for a in &clusters {
+            for b in &clusters {
+                let disjoint = a.end <= b.start || b.end <= a.start;
+                let nested = (a.start <= b.start && b.end <= a.end)
+                    || (b.start <= a.start && a.end <= b.end);
+                assert!(disjoint || nested, "seed {seed}: {a:?} vs {b:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn extract_clusters_cover_subset_and_in_bounds() {
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(500 + seed);
+        let n = rng.gen_range(1..100);
+        let plot = random_plot(&mut rng, n);
+        let clusters = extract_clusters(&plot, &ExtractParams::with_min_size(3));
+        let mut seen = vec![false; n];
+        for c in &clusters {
+            for &id in c {
+                assert!(!seen[id as usize], "seed {seed}: id {id} in two clusters");
+                seen[id as usize] = true;
+            }
+        }
+    }
+}
+
+fn brute_dbscan(pts: &[Vec<f64>], eps: f64, min_pts: usize) -> Vec<Option<usize>> {
+    let n = pts.len();
+    let d = |i: usize, j: usize| idb_geometry::dist(&pts[i], &pts[j]);
+    let core: Vec<bool> = (0..n)
+        .map(|i| (0..n).filter(|&j| d(i, j) <= eps).count() >= min_pts)
+        .collect();
+    let mut labels: Vec<Option<usize>> = vec![None; n];
+    let mut c = 0usize;
+    for i in 0..n {
+        if !core[i] || labels[i].is_some() {
+            continue;
+        }
+        // BFS over core points
+        let mut stack = vec![i];
+        labels[i] = Some(c);
+        while let Some(x) = stack.pop() {
+            for j in 0..n {
+                if d(x, j) <= eps {
+                    if labels[j].is_none() {
+                        labels[j] = Some(c);
+                        if core[j] {
+                            stack.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        c += 1;
+    }
+    labels
+}
+
+#[test]
+fn dbscan_matches_bruteforce_partition() {
+    for seed in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(900 + seed);
+        let n = 50;
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)])
+            .collect();
+        for (eps, min_pts) in [(1.0, 3), (0.7, 4), (2.0, 6)] {
+            let mut store = PointStore::new(2);
+            for p in &pts {
+                store.insert(p, None);
+            }
+            let res = idb_clustering::dbscan::dbscan(&store, eps, min_pts);
+            let want = brute_dbscan(&pts, eps, min_pts);
+            // Noise sets must match exactly; clustered points up to border
+            // ambiguity: core points must agree as a partition.
+            let d = |i: usize, j: usize| idb_geometry::dist(&pts[i], &pts[j]);
+            let core: Vec<bool> = (0..n)
+                .map(|i| (0..n).filter(|&j| d(i, j) <= eps).count() >= min_pts)
+                .collect();
+            for i in 0..n {
+                assert_eq!(
+                    res.labels[i].is_none(),
+                    want[i].is_none(),
+                    "seed {seed} eps {eps} mp {min_pts} pt {i}: noise mismatch (core={})",
+                    core[i]
+                );
+            }
+            // Core-point partition equality.
+            for i in 0..n {
+                for j in 0..n {
+                    if core[i] && core[j] {
+                        assert_eq!(
+                            res.labels[i] == res.labels[j],
+                            want[i] == want[j],
+                            "seed {seed} eps {eps} mp {min_pts}: core pts {i},{j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

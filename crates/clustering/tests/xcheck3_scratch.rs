@@ -1,0 +1,71 @@
+//! Dump the failing xi case (review only).
+use idb_clustering::reachability::{PlotEntry, ReachabilityPlot};
+use idb_clustering::xi::{extract_xi, XiParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_plot(rng: &mut StdRng, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            if i == 0 || rng.gen_bool(0.05) {
+                f64::INFINITY
+            } else {
+                rng.gen_range(0.01..10.0)
+            }
+        })
+        .collect()
+}
+
+fn plot_of(reach: &[f64]) -> ReachabilityPlot {
+    ReachabilityPlot::from_entries(
+        reach
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| PlotEntry {
+                id: i as u64,
+                reachability: r,
+            })
+            .collect(),
+    )
+}
+
+fn overlaps(r: &[f64]) -> Option<(usize, usize, usize, usize)> {
+    let clusters = extract_xi(&plot_of(r), &XiParams::new(0.1, 3));
+    for a in &clusters {
+        for b in &clusters {
+            let disjoint = a.end <= b.start || b.end <= a.start;
+            let nested = (a.start <= b.start && b.end <= a.end)
+                || (b.start <= a.start && a.end <= b.end);
+            if !(disjoint || nested) {
+                return Some((a.start, a.end, b.start, b.end));
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn dump_failing_case() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = rng.gen_range(1..80);
+    let mut r = random_plot(&mut rng, n);
+    assert!(overlaps(&r).is_some(), "expected failure");
+    // Greedy shrink: try removing elements while overlap persists.
+    loop {
+        let mut shrunk = false;
+        for i in 0..r.len() {
+            let mut cand = r.clone();
+            cand.remove(i);
+            if overlaps(&cand).is_some() {
+                r = cand;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    let (a0, a1, b0, b1) = overlaps(&r).unwrap();
+    panic!("minimal plot ({} entries): {:?}\noverlap: [{a0},{a1}) vs [{b0},{b1})", r.len(), r);
+}

@@ -1,0 +1,85 @@
+//! review only: validity of NN-chain dendrogram under ties.
+use idb_clustering::agglomerative::{agglomerative_points, Linkage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Replays merges in emitted (sorted) order and checks each height equals
+/// the true linkage distance between the two clusters at merge time.
+fn check_valid(pts: &[Vec<f64>], linkage: Linkage, seed: u64) -> Result<(), String> {
+    let r = agglomerative_points(pts, linkage);
+    let n = pts.len();
+    // cluster membership: map slot -> member set
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut slot: Vec<usize> = (0..n).collect(); // point -> current cluster slot root
+    let d0 = |i: usize, j: usize| {
+        let v = idb_geometry::dist(&pts[i], &pts[j]);
+        if linkage == Linkage::Ward { v * v } else { v }
+    };
+    for m in r.merges() {
+        let sa = slot[m.a];
+        let sb = slot[m.b];
+        if sa == sb {
+            return Err(format!("seed {seed} {linkage:?}: merge {m:?} within one cluster"));
+        }
+        let (ca, cb) = (&members[sa], &members[sb]);
+        let true_h = match linkage {
+            Linkage::Single => {
+                let mut best = f64::INFINITY;
+                for &x in ca { for &y in cb { best = best.min(d0(x, y)); } }
+                best
+            }
+            Linkage::Complete => {
+                let mut best = 0.0f64;
+                for &x in ca { for &y in cb { best = best.max(d0(x, y)); } }
+                best
+            }
+            Linkage::Average => {
+                let mut s = 0.0;
+                for &x in ca { for &y in cb { s += d0(x, y); } }
+                s / (ca.len() * cb.len()) as f64
+            }
+            Linkage::Ward => {
+                // Ward height via centroid formula: (|A||B|/(|A|+|B|)) * ||ma-mb||^2
+                let dim = pts[0].len();
+                let mean = |c: &Vec<usize>| -> Vec<f64> {
+                    let mut v = vec![0.0; dim];
+                    for &x in c { for k in 0..dim { v[k] += pts[x][k]; } }
+                    for k in 0..dim { v[k] /= c.len() as f64; }
+                    v
+                };
+                let (ma, mb) = (mean(ca), mean(cb));
+                let sq = idb_geometry::sq_dist(&ma, &mb);
+                2.0 * (ca.len() * cb.len()) as f64 / (ca.len() + cb.len()) as f64 * sq
+            }
+        };
+        if (m.height - true_h).abs() > 1e-7 {
+            return Err(format!(
+                "seed {seed} {linkage:?}: merge height {} but true linkage distance {true_h}",
+                m.height
+            ));
+        }
+        // apply merge
+        let moved = std::mem::take(&mut members[sb]);
+        for &x in &moved { slot[x] = sa; }
+        members[sa].extend(moved);
+    }
+    Ok(())
+}
+
+#[test]
+fn nn_chain_dendrogram_is_valid_under_ties() {
+    let mut failures = Vec::new();
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(3000 + seed);
+        let n = 18;
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(0..4) as f64, rng.gen_range(0..4) as f64])
+            .collect();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            if let Err(e) = check_valid(&pts, linkage, seed) {
+                failures.push(e);
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{} failures, first 5:\n{}", failures.len(), failures[..failures.len().min(5)].join("\n"));
+}

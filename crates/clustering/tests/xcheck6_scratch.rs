@@ -1,0 +1,63 @@
+//! review only: degenerate-input fuzz.
+use idb_clustering::extract::{extract_clusters, ExtractParams};
+use idb_clustering::optics_bubbles::{optics_bubbles, bubble_distance};
+use idb_clustering::optics_points;
+use idb_clustering::xi::{extract_xi, XiParams};
+use idb_core::{DataSummary, SufficientStats};
+use idb_store::PointStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone)]
+struct B(SufficientStats);
+impl DataSummary for B {
+    fn dim(&self) -> usize { self.0.dim() }
+    fn n(&self) -> u64 { self.0.n() }
+    fn rep(&self) -> Vec<f64> { self.0.rep().unwrap() }
+    fn extent(&self) -> f64 { self.0.extent() }
+    fn nn_dist(&self, k: usize) -> f64 { self.0.nn_dist(k) }
+}
+
+#[test]
+fn degenerate_fuzz() {
+    for seed in 0..100u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..40);
+        // Duplicate-heavy points.
+        let mut store = PointStore::new(2);
+        let mut pts = Vec::new();
+        for _ in 0..n {
+            let p = vec![rng.gen_range(0..3) as f64, rng.gen_range(0..3) as f64];
+            store.insert(&p, None);
+            pts.push(p);
+        }
+        for (eps, mp) in [(f64::INFINITY, 3), (1.0, 2), (0.0_f64.max(0.5), 7)] {
+            let plot = optics_points(&store, eps, mp);
+            assert_eq!(plot.len(), n);
+            let _ = extract_clusters(&plot, &ExtractParams::with_min_size(3));
+            let _ = extract_xi(&plot, &XiParams::new(0.15, 3));
+        }
+        // Bubbles, incl. singletons and coincident bubbles.
+        let summaries: Vec<B> = (0..rng.gen_range(1..10))
+            .map(|_| {
+                let mut s = SufficientStats::new(2);
+                let c = [rng.gen_range(0..2) as f64, 0.0];
+                for _ in 0..rng.gen_range(1..5) {
+                    s.add(&c);
+                }
+                B(s)
+            })
+            .collect();
+        for a in &summaries {
+            for b in &summaries {
+                let d = bubble_distance(a, b);
+                assert!(!d.is_nan(), "NaN bubble distance");
+                assert!(d >= 0.0, "negative bubble distance {d}");
+            }
+        }
+        let ord = optics_bubbles(&summaries, f64::INFINITY, 3);
+        assert_eq!(ord.len(), summaries.len());
+        let ord2 = optics_bubbles(&summaries, 0.5, 3);
+        assert_eq!(ord2.len(), summaries.len());
+    }
+}

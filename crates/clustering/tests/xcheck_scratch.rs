@@ -1,0 +1,211 @@
+//! Scratch cross-checks (review only).
+
+use idb_clustering::agglomerative::{agglomerative_points, Linkage};
+use idb_clustering::optics_points;
+use idb_store::PointStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Brute-force OPTICS reference: O(n^2), textbook.
+fn optics_ref(points: &[Vec<f64>], eps: f64, min_pts: usize) -> Vec<(usize, f64)> {
+    let n = points.len();
+    let d = |i: usize, j: usize| idb_geometry::dist(&points[i], &points[j]);
+    let mut processed = vec![false; n];
+    let mut reach = vec![f64::INFINITY; n];
+    let mut out = Vec::new();
+    let core_dist = |i: usize| -> f64 {
+        let mut ds: Vec<f64> = (0..n).map(|j| d(i, j)).filter(|&x| x <= eps).collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if ds.len() < min_pts {
+            f64::INFINITY
+        } else {
+            ds[min_pts - 1]
+        }
+    };
+    for start in 0..n {
+        if processed[start] {
+            continue;
+        }
+        // seeds as a simple list, take min each step (reference, slow)
+        processed[start] = true;
+        out.push((start, f64::INFINITY));
+        let update = |i: usize,
+                      processed: &[bool],
+                      reach: &mut Vec<f64>,
+                      seeds: &mut Vec<usize>| {
+            let cd = core_dist(i);
+            if cd.is_infinite() {
+                return;
+            }
+            for j in 0..n {
+                if processed[j] || j == i {
+                    continue;
+                }
+                let dij = d(i, j);
+                if dij > eps {
+                    continue;
+                }
+                let r = cd.max(dij);
+                if r < reach[j] {
+                    reach[j] = r;
+                    if !seeds.contains(&j) {
+                        seeds.push(j);
+                    }
+                }
+            }
+        };
+        let mut seeds: Vec<usize> = Vec::new();
+        update(start, &processed, &mut reach, &mut seeds);
+        while !seeds.is_empty() {
+            // pick min reach, tie-break smaller index
+            let mut best = 0usize;
+            for k in 1..seeds.len() {
+                let (a, b) = (seeds[k], seeds[best]);
+                if reach[a] < reach[b] || (reach[a] == reach[b] && a < b) {
+                    best = k;
+                }
+            }
+            let i = seeds.swap_remove(best);
+            processed[i] = true;
+            out.push((i, reach[i]));
+            update(i, &processed, &mut reach, &mut seeds);
+        }
+    }
+    out
+}
+
+#[test]
+fn optics_matches_reference_reach_multiset() {
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 60;
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)])
+            .collect();
+        for (eps, min_pts) in [(f64::INFINITY, 4), (1.5, 3), (0.8, 5), (2.5, 1)] {
+            let mut store = PointStore::new(2);
+            for p in &pts {
+                store.insert(p, None);
+            }
+            let plot = optics_points(&store, eps, min_pts);
+            let mut got: Vec<f64> = plot.entries().iter().map(|e| e.reachability).collect();
+            let reference = optics_ref(&pts, eps, min_pts);
+            let mut want: Vec<f64> = reference.iter().map(|&(_, r)| r).collect();
+            got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert!(
+                    (g - w).abs() < 1e-9 || (g.is_infinite() && w.is_infinite()),
+                    "seed {seed} eps {eps} min_pts {min_pts}: {g} vs {w}\n got {got:?}\nwant {want:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Brute-force agglomerative: repeatedly merge the globally closest pair.
+fn agg_ref(points: &[Vec<f64>], linkage: Linkage) -> Vec<f64> {
+    let n = points.len();
+    let mut d = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut v = idb_geometry::dist(&points[i], &points[j]);
+            if linkage == Linkage::Ward {
+                v *= v;
+            }
+            d[i * n + j] = v;
+        }
+    }
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut size = vec![1.0f64; n];
+    let mut heights = Vec::new();
+    while active.len() > 1 {
+        let (mut ba, mut bb, mut best) = (0, 0, f64::INFINITY);
+        for (x, &i) in active.iter().enumerate() {
+            for &j in &active[x + 1..] {
+                if d[i * n + j] < best {
+                    best = d[i * n + j];
+                    ba = i;
+                    bb = j;
+                }
+            }
+        }
+        heights.push(best);
+        let (na, nb) = (size[ba], size[bb]);
+        for &m in &active {
+            if m == ba || m == bb {
+                continue;
+            }
+            let dam = d[ba * n + m];
+            let dbm = d[bb * n + m];
+            let nm = size[m];
+            let new = match linkage {
+                Linkage::Single => dam.min(dbm),
+                Linkage::Complete => dam.max(dbm),
+                Linkage::Average => (na * dam + nb * dbm) / (na + nb),
+                Linkage::Ward => ((na + nm) * dam + (nb + nm) * dbm - nm * best) / (na + nb + nm),
+            };
+            d[ba * n + m] = new;
+            d[m * n + ba] = new;
+        }
+        size[ba] += size[bb];
+        active.retain(|&x| x != bb);
+    }
+    heights.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    heights
+}
+
+#[test]
+fn nn_chain_matches_bruteforce_heights() {
+    for seed in 0..15u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let n = 25;
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)])
+            .collect();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let got: Vec<f64> = {
+                let mut h: Vec<f64> = agglomerative_points(&pts, linkage)
+                    .merges()
+                    .iter()
+                    .map(|m| m.height)
+                    .collect();
+                h.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                h
+            };
+            let want = agg_ref(&pts, linkage);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-7, "seed {seed} {linkage:?}: {g} vs {w}");
+            }
+        }
+    }
+}
+
+/// Ties: integer grid points force many equal distances.
+#[test]
+fn nn_chain_matches_bruteforce_heights_with_ties() {
+    for seed in 0..15u64 {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let n = 20;
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(0..4) as f64, rng.gen_range(0..4) as f64])
+            .collect();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let got: Vec<f64> = {
+                let mut h: Vec<f64> = agglomerative_points(&pts, linkage)
+                    .merges()
+                    .iter()
+                    .map(|m| m.height)
+                    .collect();
+                h.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                h
+            };
+            let want = agg_ref(&pts, linkage);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-7, "seed {seed} {linkage:?}: got {got:?} want {want:?}");
+            }
+        }
+    }
+}

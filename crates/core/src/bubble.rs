@@ -1,0 +1,168 @@
+//! One data bubble and the abstract summary interface.
+//!
+//! A maintained [`Bubble`] couples the paper's Definition 1 quantities
+//! (derived from [`SufficientStats`]) with the bookkeeping the incremental
+//! scheme needs: the *seed* (the fixed anchor point used for assignment,
+//! only changed when the bubble is rebuilt by a merge/split) and the list of
+//! member point ids (required to decrement statistics on deletion and to
+//! redistribute points during merge/split).
+//!
+//! The [`DataSummary`] trait is what the clustering crate consumes: any
+//! summarization — data bubbles here, BIRCH clustering-feature leaves in
+//! `idb-birch` — that can produce a representative, a point count, an
+//! extent and expected k-NN distances can be clustered by the
+//! summary-aware OPTICS.
+
+use crate::stats::SufficientStats;
+use idb_store::PointId;
+
+/// Interface of a data summarization object consumable by hierarchical
+/// clustering on summaries.
+pub trait DataSummary {
+    /// Dimensionality of the summarized points.
+    fn dim(&self) -> usize;
+    /// Number of summarized points.
+    fn n(&self) -> u64;
+    /// Representative (mean) of the summarized points. Must only be called
+    /// when `n() > 0`.
+    fn rep(&self) -> Vec<f64>;
+    /// Radius around the representative enclosing most of the points.
+    fn extent(&self) -> f64;
+    /// Estimated average k-nearest-neighbour distance inside the summary.
+    fn nn_dist(&self, k: usize) -> f64;
+}
+
+/// One data bubble: seed anchor, sufficient statistics and member ids.
+///
+/// Fields are read-only outside the maintainer; all mutation goes through
+/// [`IncrementalBubbles`](crate::incremental::IncrementalBubbles) so the
+/// membership side tables stay consistent.
+#[derive(Debug, Clone)]
+pub struct Bubble {
+    seed: Vec<f64>,
+    stats: SufficientStats,
+    members: Vec<PointId>,
+}
+
+impl Bubble {
+    /// Creates an empty bubble anchored at `seed`.
+    #[must_use]
+    pub fn new(seed: Vec<f64>) -> Self {
+        let dim = seed.len();
+        Self {
+            seed,
+            stats: SufficientStats::new(dim),
+            members: Vec::new(),
+        }
+    }
+
+    /// The fixed assignment anchor. Equals the original random seed until
+    /// the bubble is rebuilt by a merge/split, which re-anchors it.
+    #[must_use]
+    pub fn seed(&self) -> &[f64] {
+        &self.seed
+    }
+
+    /// The sufficient statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SufficientStats {
+        &self.stats
+    }
+
+    /// Ids of the member points.
+    #[must_use]
+    pub fn members(&self) -> &[PointId] {
+        &self.members
+    }
+
+    /// `true` when the bubble summarizes no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    // --- crate-internal mutation, used by the maintainer ---------------
+
+    pub(crate) fn seed_mut(&mut self) -> &mut Vec<f64> {
+        &mut self.seed
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut SufficientStats {
+        &mut self.stats
+    }
+
+    pub(crate) fn members_mut(&mut self) -> &mut Vec<PointId> {
+        &mut self.members
+    }
+
+    pub(crate) fn take_members(&mut self) -> Vec<PointId> {
+        std::mem::take(&mut self.members)
+    }
+
+    /// The representative when non-empty, else the seed — a convenience for
+    /// tests and diagnostics that need *some* location for any bubble.
+    #[must_use]
+    pub fn rep_or_seed(&self) -> Vec<f64> {
+        self.stats.rep().unwrap_or_else(|| self.seed.clone())
+    }
+}
+
+impl DataSummary for Bubble {
+    fn dim(&self) -> usize {
+        self.stats.dim()
+    }
+
+    fn n(&self) -> u64 {
+        self.stats.n()
+    }
+
+    fn rep(&self) -> Vec<f64> {
+        self.stats
+            .rep()
+            .expect("rep() called on an empty bubble")
+    }
+
+    fn extent(&self) -> f64 {
+        self.stats.extent()
+    }
+
+    fn nn_dist(&self, k: usize) -> f64 {
+        self.stats.nn_dist(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_bubble_is_empty_and_anchored() {
+        let b = Bubble::new(vec![1.0, 2.0]);
+        assert!(b.is_empty());
+        assert_eq!(b.seed(), &[1.0, 2.0]);
+        assert_eq!(b.members(), &[]);
+        assert_eq!(b.n(), 0);
+        assert_eq!(b.dim(), 2);
+    }
+
+    #[test]
+    fn summary_view_derives_from_stats() {
+        let mut b = Bubble::new(vec![0.0, 0.0]);
+        b.stats_mut().add(&[2.0, 0.0]);
+        b.stats_mut().add(&[4.0, 0.0]);
+        b.members_mut().push(PointId(0));
+        b.members_mut().push(PointId(1));
+        assert_eq!(b.n(), 2);
+        assert_eq!(b.rep(), vec![3.0, 0.0]);
+        assert!((b.extent() - 2.0).abs() < 1e-12);
+        assert!(b.nn_dist(1) > 0.0);
+        assert_eq!(b.members().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bubble")]
+    fn rep_on_empty_bubble_panics() {
+        let b = Bubble::new(vec![0.0]);
+        let _ = b.rep();
+    }
+}

@@ -1,0 +1,138 @@
+//! Configuration of the incremental maintainer.
+
+/// How points are assigned to their closest seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignStrategy {
+    /// Compute the distance to every seed (the standard implementation the
+    /// paper optimizes away).
+    Brute,
+    /// Triangle-inequality pruning over the seed distance matrix
+    /// (Section 3, Figure 2).
+    TriangleInequality,
+}
+
+/// Which compression-quality measure classifies the bubbles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QualityKind {
+    /// The data summarization index `β = n/N` (Definition 2) — the paper's
+    /// proposed measure.
+    Beta,
+    /// The spatial extent, as implied by BIRCH-style thresholds — the
+    /// alternative the paper shows to fail to adapt (Figure 7).
+    Extent,
+}
+
+/// How the two seeds of a split are chosen from the over-filled bubble's
+/// members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitSeedPolicy {
+    /// Two distinct members chosen uniformly at random (the paper).
+    Random,
+    /// First seed random, second seed the member farthest from it — an
+    /// ablation that spreads the split more aggressively.
+    Spread,
+}
+
+/// Tuning knobs of [`IncrementalBubbles`](crate::incremental::IncrementalBubbles).
+#[derive(Debug, Clone)]
+pub struct MaintainerConfig {
+    /// Number of data bubbles (the compression rate `s`).
+    pub num_bubbles: usize,
+    /// Chebyshev coverage probability `p` of Definition 3 (the paper uses
+    /// 0.9 and validates 0.8); determines `k = 1/sqrt(1-p)`.
+    pub probability: f64,
+    /// Assignment strategy for construction, insertion and redistribution.
+    pub strategy: AssignStrategy,
+    /// Quality measure used by [`maintain`](crate::incremental::IncrementalBubbles::maintain).
+    pub quality: QualityKind,
+    /// Split seed selection policy.
+    pub split_seeds: SplitSeedPolicy,
+}
+
+impl MaintainerConfig {
+    /// Paper defaults: triangle-inequality assignment, β quality measure at
+    /// `p = 0.9`, random split seeds.
+    #[must_use]
+    pub fn new(num_bubbles: usize) -> Self {
+        assert!(num_bubbles >= 2, "at least two bubbles are required");
+        Self {
+            num_bubbles,
+            probability: 0.9,
+            strategy: AssignStrategy::TriangleInequality,
+            quality: QualityKind::Beta,
+            split_seeds: SplitSeedPolicy::Random,
+        }
+    }
+
+    /// Sets the Chebyshev probability.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p < 1`.
+    #[must_use]
+    pub fn with_probability(mut self, p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1)");
+        self.probability = p;
+        self
+    }
+
+    /// Sets the assignment strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: AssignStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the quality measure.
+    #[must_use]
+    pub fn with_quality(mut self, quality: QualityKind) -> Self {
+        self.quality = quality;
+        self
+    }
+
+    /// Sets the split seed policy.
+    #[must_use]
+    pub fn with_split_seeds(mut self, policy: SplitSeedPolicy) -> Self {
+        self.split_seeds = policy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MaintainerConfig::new(100);
+        assert_eq!(c.num_bubbles, 100);
+        assert_eq!(c.probability, 0.9);
+        assert_eq!(c.strategy, AssignStrategy::TriangleInequality);
+        assert_eq!(c.quality, QualityKind::Beta);
+        assert_eq!(c.split_seeds, SplitSeedPolicy::Random);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = MaintainerConfig::new(50)
+            .with_probability(0.8)
+            .with_strategy(AssignStrategy::Brute)
+            .with_quality(QualityKind::Extent)
+            .with_split_seeds(SplitSeedPolicy::Spread);
+        assert_eq!(c.probability, 0.8);
+        assert_eq!(c.strategy, AssignStrategy::Brute);
+        assert_eq!(c.quality, QualityKind::Extent);
+        assert_eq!(c.split_seeds, SplitSeedPolicy::Spread);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn too_few_bubbles_panics() {
+        let _ = MaintainerConfig::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = MaintainerConfig::new(10).with_probability(1.0);
+    }
+}

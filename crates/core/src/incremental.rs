@@ -1,0 +1,1148 @@
+//! Incremental maintenance of a set of data bubbles (paper, Section 4).
+//!
+//! [`IncrementalBubbles`] owns the bubble population over a dynamic
+//! database:
+//!
+//! * **Construction** ([`IncrementalBubbles::build`]): `s` seeds are drawn
+//!   uniformly from the database and every point is assigned to its closest
+//!   seed — by brute force or with the triangle-inequality pruning of
+//!   Section 3, per [`MaintainerConfig::strategy`]. The *complete rebuild*
+//!   baseline of the evaluation is this same function invoked afresh.
+//! * **Updates**: deleting a point maps its bubble's statistics to
+//!   `(n−1, LS−p, SS−p²)`; inserting assigns the new point to the closest
+//!   seed and maps that bubble to `(n+1, LS+p, SS+p²)` (Figure 3).
+//!   [`IncrementalBubbles::apply_batch`] performs both for a whole
+//!   [`Batch`], mutating the store alongside its own side tables.
+//! * **Maintenance** ([`IncrementalBubbles::maintain`]): bubbles are
+//!   classified by the configured quality measure (Definition 3); each
+//!   over-filled bubble is repaired by *merging away* a donor (an
+//!   under-filled bubble when available, otherwise the lowest-quality good
+//!   bubble) — its points are released to their next-closest bubbles — and
+//!   *splitting* the over-filled bubble between two fresh seeds drawn from
+//!   its own members (Figure 6). Only the two bubbles involved are rebuilt;
+//!   the rest of the population adapts in place.
+//!
+//! All point-to-seed distance work is charged to the caller's
+//! [`SearchStats`], which is what Figures 10 and 11 measure.
+
+use crate::bubble::Bubble;
+use crate::config::{AssignStrategy, MaintainerConfig, SplitSeedPolicy};
+use crate::quality::{classify, Classification};
+use idb_geometry::{dist, NearestSeeds, SearchStats};
+use idb_store::{Batch, PointId, PointStore};
+use rand::Rng;
+
+const NONE: u32 = u32::MAX;
+
+/// What one maintenance round did (feeds Figure 9).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Bubbles classified as over-filled.
+    pub over_filled: usize,
+    /// Bubbles classified as under-filled.
+    pub under_filled: usize,
+    /// Merge/split operations executed.
+    pub splits: usize,
+    /// Bubbles rebuilt (re-seeded): two per split.
+    pub rebuilt_bubbles: usize,
+    /// Splits whose donor had to be recruited from the good class because
+    /// no under-filled bubble was available.
+    pub donors_from_good: usize,
+    /// Points released from donors and reassigned to neighbours.
+    pub released_points: u64,
+    /// Points redistributed between the two halves of splits.
+    pub reassigned_points: u64,
+}
+
+/// Policy of the adaptive-count extension: keep the average number of
+/// points per bubble inside `[min_avg_points, max_avg_points]` by growing
+/// or shrinking the population (the paper's Section 6 names this as future
+/// work; the fixed-count scheme of Section 4 never changes the population
+/// size).
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptivePolicy {
+    /// Shrink while the average points-per-bubble is below this.
+    pub min_avg_points: f64,
+    /// Grow while the average points-per-bubble is above this.
+    pub max_avg_points: f64,
+    /// Maximum growth steps and maximum shrink steps per round.
+    pub max_adjustments: usize,
+}
+
+impl AdaptivePolicy {
+    /// A band around a target average: `[target/2, target*2]`, adjusting at
+    /// most 16 bubbles per round.
+    #[must_use]
+    pub fn around(target_avg_points: f64) -> Self {
+        Self {
+            min_avg_points: target_avg_points / 2.0,
+            max_avg_points: target_avg_points * 2.0,
+            max_adjustments: 16,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.min_avg_points > 0.0 && self.max_avg_points > self.min_avg_points,
+            "adaptive policy requires 0 < min_avg_points < max_avg_points"
+        );
+    }
+}
+
+/// What one adaptive maintenance round did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveReport {
+    /// The regular merge/split round that ran first.
+    pub base: MaintenanceReport,
+    /// Bubbles added by splitting heavy ones.
+    pub grown: usize,
+    /// Bubbles retired by releasing light ones.
+    pub retired: usize,
+}
+
+/// A maintained population of data bubbles over a [`PointStore`].
+#[derive(Debug, Clone)]
+pub struct IncrementalBubbles {
+    dim: usize,
+    config: MaintainerConfig,
+    seeds: NearestSeeds,
+    bubbles: Vec<Bubble>,
+    /// slot -> owning bubble index, `NONE` when unassigned.
+    assign: Vec<u32>,
+    /// slot -> position inside the owning bubble's member vector.
+    member_pos: Vec<u32>,
+    total_points: u64,
+    scratch: Vec<u32>,
+}
+
+impl IncrementalBubbles {
+    /// Builds a fresh bubble population over the current store contents:
+    /// random seed selection followed by the assignment of every live point
+    /// (step 1 and 2 of the construction algorithm in Section 3).
+    ///
+    /// # Panics
+    /// Panics if the store holds fewer points than `config.num_bubbles`.
+    pub fn build<R: Rng + ?Sized>(
+        store: &PointStore,
+        config: MaintainerConfig,
+        rng: &mut R,
+        search: &mut SearchStats,
+    ) -> Self {
+        assert!(
+            store.len() >= config.num_bubbles,
+            "database smaller than the requested number of bubbles"
+        );
+        let dim = store.dim();
+        let seed_ids = store.sample_distinct(config.num_bubbles, rng);
+        let mut seeds = NearestSeeds::new(dim);
+        let mut bubbles = Vec::with_capacity(config.num_bubbles);
+        for id in &seed_ids {
+            let p = store.point(*id);
+            seeds.push(p);
+            bubbles.push(Bubble::new(p.to_vec()));
+        }
+        let mut this = Self {
+            dim,
+            config,
+            seeds,
+            bubbles,
+            assign: vec![NONE; store.slots()],
+            member_pos: vec![NONE; store.slots()],
+            total_points: 0,
+            scratch: Vec::new(),
+        };
+        for (id, p, _) in store.iter() {
+            this.insert_point(id, p, search);
+        }
+        this
+    }
+
+    /// [`Self::build`] with the assignment scan fanned out over `threads`
+    /// worker threads (`std::thread::scope`; no extra dependencies). Seed
+    /// selection and the resulting summarization are identical to the
+    /// sequential build for the same RNG seed — only the scan is
+    /// parallelized, and per-point assignments are order-independent.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0` or the store holds fewer points than
+    /// `config.num_bubbles`.
+    pub fn build_parallel<R: Rng + ?Sized>(
+        store: &PointStore,
+        config: MaintainerConfig,
+        rng: &mut R,
+        threads: usize,
+        search: &mut SearchStats,
+    ) -> Self {
+        assert!(threads > 0, "at least one thread is required");
+        assert!(
+            store.len() >= config.num_bubbles,
+            "database smaller than the requested number of bubbles"
+        );
+        let dim = store.dim();
+        let seed_ids = store.sample_distinct(config.num_bubbles, rng);
+        let mut seeds = NearestSeeds::new(dim);
+        let mut bubbles = Vec::with_capacity(config.num_bubbles);
+        for id in &seed_ids {
+            let p = store.point(*id);
+            seeds.push(p);
+            bubbles.push(Bubble::new(p.to_vec()));
+        }
+
+        let ids: Vec<PointId> = store.ids().collect();
+        let chunk_len = ids.len().div_ceil(threads);
+        let strategy = config.strategy;
+        let seeds_ref = &seeds;
+        let (assignments, stats): (Vec<Vec<(PointId, u32)>>, Vec<SearchStats>) =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ids
+                    .chunks(chunk_len.max(1))
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let mut local = SearchStats::new();
+                            let mut scratch = Vec::new();
+                            let out: Vec<(PointId, u32)> = chunk
+                                .iter()
+                                .map(|&id| {
+                                    let p = store.point(id);
+                                    let (b, _) = match strategy {
+                                        AssignStrategy::Brute => {
+                                            seeds_ref.nearest_brute(p, None, &mut local)
+                                        }
+                                        AssignStrategy::TriangleInequality => seeds_ref
+                                            .nearest_pruned_with(
+                                                p,
+                                                None,
+                                                None,
+                                                &mut local,
+                                                &mut scratch,
+                                            ),
+                                    }
+                                    .expect("bubble population is never empty");
+                                    (id, b as u32)
+                                })
+                                .collect();
+                            (out, local)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("assignment worker panicked"))
+                    .unzip()
+            });
+
+        let mut this = Self {
+            dim,
+            config,
+            seeds,
+            bubbles,
+            assign: vec![NONE; store.slots()],
+            member_pos: vec![NONE; store.slots()],
+            total_points: 0,
+            scratch: Vec::new(),
+        };
+        for s in stats {
+            *search += s;
+        }
+        for chunk in assignments {
+            for (id, bubble) in chunk {
+                this.attach(id, bubble as usize, store.point(id));
+                this.total_points += 1;
+            }
+        }
+        this
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &MaintainerConfig {
+        &self.config
+    }
+
+    /// Dimensionality of the summarized points.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of bubbles (constant over the lifetime of the maintainer —
+    /// the scheme maintains a fixed compression rate).
+    #[must_use]
+    pub fn num_bubbles(&self) -> usize {
+        self.bubbles.len()
+    }
+
+    /// Number of points currently summarized.
+    #[must_use]
+    pub fn total_points(&self) -> u64 {
+        self.total_points
+    }
+
+    /// The bubble population.
+    #[must_use]
+    pub fn bubbles(&self) -> &[Bubble] {
+        &self.bubbles
+    }
+
+    /// One bubble.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bubble(&self, i: usize) -> &Bubble {
+        &self.bubbles[i]
+    }
+
+    /// The bubble a live point is currently assigned to, if any.
+    #[must_use]
+    pub fn assignment(&self, id: PointId) -> Option<usize> {
+        match self.assign.get(id.index()) {
+            Some(&b) if b != NONE => Some(b as usize),
+            _ => None,
+        }
+    }
+
+    /// Classifies the current population under the configured quality
+    /// measure without modifying anything.
+    #[must_use]
+    pub fn classify_now(&self) -> Classification {
+        classify(
+            self.config.quality,
+            &self.bubbles,
+            self.total_points,
+            self.config.probability,
+        )
+    }
+
+    fn ensure_slots(&mut self, slots: usize) {
+        if self.assign.len() < slots {
+            self.assign.resize(slots, NONE);
+            self.member_pos.resize(slots, NONE);
+        }
+    }
+
+    /// Finds the closest seed to `p` under the configured strategy.
+    fn nearest(
+        &mut self,
+        p: &[f64],
+        exclude: Option<usize>,
+        search: &mut SearchStats,
+    ) -> Option<usize> {
+        match self.config.strategy {
+            AssignStrategy::Brute => self.seeds.nearest_brute(p, exclude, search),
+            AssignStrategy::TriangleInequality => {
+                self.seeds
+                    .nearest_pruned_with(p, exclude, None, search, &mut self.scratch)
+            }
+        }
+        .map(|(i, _)| i)
+    }
+
+    /// Attaches a point to a bubble, maintaining the membership tables.
+    fn attach(&mut self, id: PointId, bubble: usize, p: &[f64]) {
+        let slot = id.index();
+        debug_assert_eq!(self.assign[slot], NONE, "attach of already-assigned point");
+        let b = &mut self.bubbles[bubble];
+        self.member_pos[slot] = b.members().len() as u32;
+        b.members_mut().push(id);
+        b.stats_mut().add(p);
+        self.assign[slot] = bubble as u32;
+    }
+
+    /// Detaches a point from its bubble (O(1) swap-remove), returning the
+    /// bubble index. Statistics are *not* touched — callers decide whether
+    /// the point's mass leaves the bubble ([`Self::remove_point`]) or the
+    /// whole bubble is being rebuilt.
+    fn detach(&mut self, id: PointId) -> usize {
+        let slot = id.index();
+        let bubble = self.assign[slot];
+        assert!(bubble != NONE, "detach of unassigned point {id:?}");
+        let bubble = bubble as usize;
+        let pos = self.member_pos[slot] as usize;
+        let members = self.bubbles[bubble].members_mut();
+        members.swap_remove(pos);
+        if pos < members.len() {
+            let moved = members[pos];
+            self.member_pos[moved.index()] = pos as u32;
+        }
+        self.assign[slot] = NONE;
+        self.member_pos[slot] = NONE;
+        bubble
+    }
+
+    /// Handles the insertion of point `id` with coordinates `p`: the point
+    /// is assigned to its closest seed and that bubble's statistics are
+    /// incremented. The point must already be live in the store.
+    pub fn insert_point(&mut self, id: PointId, p: &[f64], search: &mut SearchStats) {
+        assert_eq!(p.len(), self.dim, "point dimensionality mismatch");
+        self.ensure_slots(id.index() + 1);
+        let bubble = self
+            .nearest(p, None, search)
+            .expect("bubble population is never empty");
+        self.attach(id, bubble, p);
+        self.total_points += 1;
+    }
+
+    /// Handles the deletion of point `id` with coordinates `p`: its
+    /// bubble's statistics are decremented. Call *before* removing the
+    /// point from the store (the coordinates are still needed).
+    ///
+    /// # Panics
+    /// Panics if the point is not currently assigned.
+    pub fn remove_point(&mut self, id: PointId, p: &[f64]) {
+        assert_eq!(p.len(), self.dim, "point dimensionality mismatch");
+        let bubble = self.detach(id);
+        self.bubbles[bubble].stats_mut().remove(p);
+        self.total_points -= 1;
+    }
+
+    /// Applies a whole update batch: deletions are removed from both the
+    /// summary and the store, then insertions are added to the store and
+    /// assigned. Returns the ids of the inserted points, in order.
+    pub fn apply_batch(
+        &mut self,
+        store: &mut PointStore,
+        batch: &Batch,
+        search: &mut SearchStats,
+    ) -> Vec<PointId> {
+        for &id in &batch.deletes {
+            let p = store.point(id).to_vec();
+            self.remove_point(id, &p);
+            store.remove(id);
+        }
+        let mut new_ids = Vec::with_capacity(batch.inserts.len());
+        for (p, label) in &batch.inserts {
+            let id = store.insert(p, *label);
+            self.insert_point(id, p, search);
+            new_ids.push(id);
+        }
+        new_ids
+    }
+
+    /// Releases all members of a bubble to their next-closest bubbles
+    /// (the *merge* of Figure 6), leaving it empty. Returns the number of
+    /// released points.
+    fn merge_away(&mut self, donor: usize, store: &PointStore, search: &mut SearchStats) -> u64 {
+        let members = self.bubbles[donor].take_members();
+        self.bubbles[donor].stats_mut().clear();
+        let released = members.len() as u64;
+        for id in members {
+            let slot = id.index();
+            self.assign[slot] = NONE;
+            self.member_pos[slot] = NONE;
+            let p = store.point(id);
+            // `detach` was bypassed (the member list is already drained), so
+            // attach directly to the closest bubble other than the donor.
+            let target = self
+                .nearest(p, Some(donor), search)
+                .expect("at least two bubbles exist");
+            self.attach(id, target, p);
+        }
+        released
+    }
+
+    /// Splits an over-filled bubble between two fresh seeds drawn from its
+    /// members: one half keeps the bubble, the other is adopted by the
+    /// (now empty) donor. Returns the number of redistributed points.
+    fn split<R: Rng + ?Sized>(
+        &mut self,
+        over: usize,
+        donor: usize,
+        store: &PointStore,
+        rng: &mut R,
+        search: &mut SearchStats,
+    ) -> u64 {
+        let members = self.bubbles[over].take_members();
+        self.bubbles[over].stats_mut().clear();
+        debug_assert!(members.len() >= 2, "split requires at least two members");
+
+        // Seed 1: a random member, repositioning the donor (Figure 6:
+        // "select a new seed s1 from the current points in B_overfilled").
+        let i1 = rng.gen_range(0..members.len());
+        let p1 = store.point(members[i1]).to_vec();
+
+        // Seed 2: per policy — another random member, or the member
+        // farthest from seed 1.
+        let p2 = match self.config.split_seeds {
+            SplitSeedPolicy::Random => {
+                let mut i2 = rng.gen_range(0..members.len());
+                // Distinct index (identical coordinates are tolerated; a
+                // degenerate bubble of duplicates splits arbitrarily).
+                if members.len() > 1 {
+                    while i2 == i1 {
+                        i2 = rng.gen_range(0..members.len());
+                    }
+                }
+                store.point(members[i2]).to_vec()
+            }
+            SplitSeedPolicy::Spread => {
+                let mut best = (0usize, -1.0f64);
+                for (i, &id) in members.iter().enumerate() {
+                    let d = dist(&p1, store.point(id));
+                    search.computed += 1;
+                    if d > best.1 {
+                        best = (i, d);
+                    }
+                }
+                store.point(members[best.0]).to_vec()
+            }
+        };
+
+        self.seeds.replace(donor, &p1);
+        self.seeds.replace(over, &p2);
+        *self.bubbles[donor].seed_mut() = p1.clone();
+        *self.bubbles[over].seed_mut() = p2.clone();
+
+        // Distribute the members between the two new seeds only (the paper
+        // restricts the redistribution to s1 and s2).
+        let reassigned = members.len() as u64;
+        for id in members {
+            let slot = id.index();
+            self.assign[slot] = NONE;
+            self.member_pos[slot] = NONE;
+            let p = store.point(id);
+            let d1 = dist(p, &p1);
+            let d2 = dist(p, &p2);
+            search.computed += 2;
+            let target = if d1 <= d2 { donor } else { over };
+            self.attach(id, target, p);
+        }
+        reassigned
+    }
+
+    /// One maintenance round (run after each applied batch): classify the
+    /// population, then repair every over-filled bubble with a synchronized
+    /// merge/split. Returns what was done.
+    pub fn maintain<R: Rng + ?Sized>(
+        &mut self,
+        store: &PointStore,
+        rng: &mut R,
+        search: &mut SearchStats,
+    ) -> MaintenanceReport {
+        let classification = self.classify_now();
+        let over = classification.over_filled();
+        let mut under = classification.under_filled();
+        let mut good = classification.good_ascending();
+        // Donor recruitment consumes each list front-to-back; reverse so
+        // `pop` yields the emptiest/lowest-quality candidates first.
+        under.reverse();
+        good.reverse();
+
+        let mut report = MaintenanceReport {
+            over_filled: over.len(),
+            under_filled: under.len(),
+            ..MaintenanceReport::default()
+        };
+        let mut used = vec![false; self.bubbles.len()];
+        for &o in &over {
+            used[o] = true;
+        }
+
+        for &o in &over {
+            if self.bubbles[o].members().len() < 2 {
+                continue;
+            }
+            // Donor: emptiest under-filled bubble, else lowest-β good one.
+            let mut donor = None;
+            let mut from_good = false;
+            while let Some(u) = under.pop() {
+                if !used[u] {
+                    donor = Some(u);
+                    break;
+                }
+            }
+            if donor.is_none() {
+                while let Some(g) = good.pop() {
+                    if !used[g] {
+                        donor = Some(g);
+                        from_good = true;
+                        break;
+                    }
+                }
+            }
+            let Some(d) = donor else {
+                break; // No donors left; remaining over-filled bubbles wait.
+            };
+            used[d] = true;
+
+            report.released_points += self.merge_away(d, store, search);
+            report.reassigned_points += self.split(o, d, store, rng, search);
+            report.splits += 1;
+            report.rebuilt_bubbles += 2;
+            if from_good {
+                report.donors_from_good += 1;
+            }
+        }
+        report
+    }
+
+    /// Splits the given bubble into two by *adding a brand-new bubble*
+    /// (instead of recruiting a donor), increasing the population size by
+    /// one. Returns the new bubble's index.
+    ///
+    /// Part of the adaptive-count extension (the paper's Section 6 future
+    /// work: dynamically increasing the number of incremental data
+    /// bubbles).
+    ///
+    /// # Panics
+    /// Panics if the bubble has fewer than two members.
+    pub fn grow_bubble<R: Rng + ?Sized>(
+        &mut self,
+        over: usize,
+        store: &PointStore,
+        rng: &mut R,
+        search: &mut SearchStats,
+    ) -> usize {
+        assert!(
+            self.bubbles[over].members().len() >= 2,
+            "growing requires at least two members to split"
+        );
+        // Materialize the new bubble at a placeholder position; `split`
+        // re-seeds both participants from the over-filled members.
+        let placeholder = self.bubbles[over].seed().to_vec();
+        let new_idx = self.seeds.push(&placeholder);
+        self.bubbles.push(Bubble::new(placeholder));
+        debug_assert_eq!(new_idx, self.bubbles.len() - 1);
+        self.split(over, new_idx, store, rng, search);
+        new_idx
+    }
+
+    /// Retires bubble `i`: releases its members to their next-closest
+    /// bubbles and removes it, decreasing the population size by one (the
+    /// shrink direction of the adaptive-count extension). The last bubble
+    /// takes index `i` (swap-remove semantics).
+    ///
+    /// # Panics
+    /// Panics if fewer than three bubbles exist (the population never
+    /// shrinks below two) or `i` is out of bounds.
+    pub fn retire_bubble(&mut self, i: usize, store: &PointStore, search: &mut SearchStats) {
+        assert!(
+            self.bubbles.len() > 2,
+            "the bubble population never shrinks below two"
+        );
+        assert!(i < self.bubbles.len(), "bubble index out of bounds");
+        self.merge_away(i, store, search);
+        self.bubbles.swap_remove(i);
+        self.seeds.swap_remove(i);
+        if i < self.bubbles.len() {
+            // The moved bubble's members must point at its new index.
+            for &id in self.bubbles[i].members() {
+                self.assign[id.index()] = i as u32;
+            }
+        }
+    }
+
+    /// Maintenance with a dynamic bubble budget: runs the regular
+    /// merge/split round, then grows the population while the average
+    /// points-per-bubble exceeds `policy.max_avg_points` (splitting the
+    /// heaviest bubbles into new ones) and shrinks it while the average
+    /// falls below `policy.min_avg_points` (retiring the lightest
+    /// bubbles). At most `policy.max_adjustments` structural changes per
+    /// round keep the work bounded.
+    pub fn maintain_adaptive<R: Rng + ?Sized>(
+        &mut self,
+        store: &PointStore,
+        rng: &mut R,
+        search: &mut SearchStats,
+        policy: &AdaptivePolicy,
+    ) -> AdaptiveReport {
+        policy.validate();
+        let base = self.maintain(store, rng, search);
+        let mut grown = 0usize;
+        let mut retired = 0usize;
+
+        while grown < policy.max_adjustments {
+            let avg = self.total_points as f64 / self.bubbles.len() as f64;
+            if avg <= policy.max_avg_points {
+                break;
+            }
+            let heaviest = (0..self.bubbles.len())
+                .max_by_key(|&i| self.bubbles[i].members().len())
+                .expect("population is non-empty");
+            if self.bubbles[heaviest].members().len() < 2 {
+                break;
+            }
+            self.grow_bubble(heaviest, store, rng, search);
+            grown += 1;
+        }
+
+        while retired < policy.max_adjustments && self.bubbles.len() > 2 {
+            let avg = self.total_points as f64 / self.bubbles.len() as f64;
+            if avg >= policy.min_avg_points {
+                break;
+            }
+            let lightest = (0..self.bubbles.len())
+                .min_by_key(|&i| self.bubbles[i].members().len())
+                .expect("population is non-empty");
+            self.retire_bubble(lightest, store, search);
+            retired += 1;
+        }
+
+        AdaptiveReport {
+            base,
+            grown,
+            retired,
+        }
+    }
+
+    /// Reassembles a maintainer from its raw parts (snapshot decoding
+    /// only; the decoder has validated consistency against the store).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_parts(
+        dim: usize,
+        config: MaintainerConfig,
+        seeds: NearestSeeds,
+        bubbles: Vec<Bubble>,
+        assign: Vec<u32>,
+        member_pos: Vec<u32>,
+        total_points: u64,
+    ) -> Self {
+        Self {
+            dim,
+            config,
+            seeds,
+            bubbles,
+            assign,
+            member_pos,
+            total_points,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Exhaustively checks every internal invariant against the store.
+    /// Intended for tests; O(N).
+    ///
+    /// # Panics
+    /// Panics (with a description) on the first violated invariant.
+    pub fn validate(&self, store: &PointStore) {
+        assert_eq!(self.total_points, store.len() as u64, "total point count");
+        let mut seen = 0u64;
+        for (bi, b) in self.bubbles.iter().enumerate() {
+            assert_eq!(
+                b.stats().n() as usize,
+                b.members().len(),
+                "bubble {bi}: stats n vs member count"
+            );
+            let mut ls = vec![0.0; self.dim];
+            for (pos, &id) in b.members().iter().enumerate() {
+                assert!(store.contains(id), "bubble {bi}: dead member {id:?}");
+                assert_eq!(
+                    self.assign[id.index()], bi as u32,
+                    "bubble {bi}: assign table disagrees for {id:?}"
+                );
+                assert_eq!(
+                    self.member_pos[id.index()] as usize, pos,
+                    "bubble {bi}: member_pos disagrees for {id:?}"
+                );
+                for (l, &x) in ls.iter_mut().zip(store.point(id)) {
+                    *l += x;
+                }
+                seen += 1;
+            }
+            let tolerance = 1e-6 * (1.0 + b.stats().n() as f64);
+            for (got, want) in b.stats().linear_sum().iter().zip(&ls) {
+                assert!(
+                    (got - want).abs() < tolerance,
+                    "bubble {bi}: linear sum drifted ({got} vs {want})"
+                );
+            }
+            // The seed matrix row must match the actual seed coordinates.
+            assert_eq!(self.seeds.seed(bi), b.seed(), "bubble {bi}: seed sync");
+        }
+        assert_eq!(seen, self.total_points, "membership covers all points");
+        for (id, _, _) in store.iter() {
+            assert!(
+                self.assign[id.index()] != NONE,
+                "live point {id:?} unassigned"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QualityKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two tight clusters of 100 points each plus sparse noise.
+    fn toy_store(rng: &mut StdRng) -> PointStore {
+        let mut store = PointStore::new(2);
+        for i in 0..100 {
+            let t = i as f64 * 0.063;
+            store.insert(&[10.0 + t.sin(), 10.0 + t.cos()], Some(0));
+            store.insert(&[90.0 + t.cos(), 90.0 + t.sin()], Some(1));
+        }
+        for _ in 0..20 {
+            store.insert(&[rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)], None);
+        }
+        store
+    }
+
+    #[test]
+    fn build_assigns_every_point() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let store = toy_store(&mut rng);
+        let mut search = SearchStats::new();
+        let ib = IncrementalBubbles::build(
+            &store,
+            MaintainerConfig::new(10),
+            &mut rng,
+            &mut search,
+        );
+        assert_eq!(ib.num_bubbles(), 10);
+        assert_eq!(ib.total_points(), store.len() as u64);
+        ib.validate(&store);
+        // Triangle-inequality pruning did real work on a clustered layout.
+        assert!(search.pruned > 0, "pruning occurred");
+        assert_eq!(search.total(), store.len() as u64 * 10);
+    }
+
+    #[test]
+    fn brute_and_ti_builds_summarize_identically() {
+        // Same RNG seed → same bubble seeds → identical assignment counts.
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let store = {
+            let mut r = StdRng::seed_from_u64(3);
+            toy_store(&mut r)
+        };
+        let mut sa = SearchStats::new();
+        let mut sb = SearchStats::new();
+        let a = IncrementalBubbles::build(
+            &store,
+            MaintainerConfig::new(8).with_strategy(AssignStrategy::Brute),
+            &mut rng_a,
+            &mut sa,
+        );
+        let b = IncrementalBubbles::build(
+            &store,
+            MaintainerConfig::new(8),
+            &mut rng_b,
+            &mut sb,
+        );
+        let na: Vec<u64> = a.bubbles().iter().map(|x| x.stats().n()).collect();
+        let nb: Vec<u64> = b.bubbles().iter().map(|x| x.stats().n()).collect();
+        assert_eq!(na, nb, "strategies agree on the summarization");
+        assert_eq!(sa.pruned, 0);
+        assert!(sb.computed < sa.computed, "TI computes fewer distances");
+    }
+
+    #[test]
+    fn insert_and_remove_roundtrip_preserves_invariants() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = toy_store(&mut rng);
+        let mut search = SearchStats::new();
+        let mut ib =
+            IncrementalBubbles::build(&store, MaintainerConfig::new(10), &mut rng, &mut search);
+
+        let id = store.insert(&[50.0, 50.0], None);
+        ib.insert_point(id, &[50.0, 50.0], &mut search);
+        ib.validate(&store);
+        assert!(ib.assignment(id).is_some());
+
+        let p = store.point(id).to_vec();
+        ib.remove_point(id, &p);
+        store.remove(id);
+        ib.validate(&store);
+        assert!(ib.assignment(id).is_none());
+    }
+
+    #[test]
+    fn apply_batch_keeps_summary_in_sync() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = toy_store(&mut rng);
+        let mut search = SearchStats::new();
+        let mut ib =
+            IncrementalBubbles::build(&store, MaintainerConfig::new(10), &mut rng, &mut search);
+        let victims: Vec<PointId> = store.ids().take(15).collect();
+        let batch = Batch {
+            deletes: victims,
+            inserts: (0..15)
+                .map(|i| (vec![40.0 + i as f64, 42.0], Some(5)))
+                .collect(),
+        };
+        let new_ids = ib.apply_batch(&mut store, &batch, &mut search);
+        assert_eq!(new_ids.len(), 15);
+        ib.validate(&store);
+        assert_eq!(ib.total_points(), store.len() as u64);
+    }
+
+    #[test]
+    fn maintain_splits_an_overfilled_bubble() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut store = toy_store(&mut rng);
+        let mut search = SearchStats::new();
+        // With only 12 bubbles a single β outlier inflates σ so much that
+        // the k = 1/sqrt(1-0.9) ≈ √12 bound is marginal; p = 0.8 (also
+        // validated in the paper) is robust at this miniature scale.
+        let mut ib = IncrementalBubbles::build(
+            &store,
+            MaintainerConfig::new(12).with_probability(0.8),
+            &mut rng,
+            &mut search,
+        );
+
+        // Inject a new far-away cluster of 150 points: one bubble absorbs it.
+        let batch = Batch {
+            deletes: Vec::new(),
+            inserts: (0..150)
+                .map(|i| {
+                    let t = i as f64 * 0.041;
+                    (vec![200.0 + t.sin() * 2.0, 200.0 + t.cos() * 2.0], Some(9))
+                })
+                .collect(),
+        };
+        ib.apply_batch(&mut store, &batch, &mut search);
+        ib.validate(&store);
+
+        let before = ib.classify_now();
+        assert!(
+            !before.over_filled().is_empty(),
+            "absorbing a cluster over-fills a bubble"
+        );
+
+        let report = ib.maintain(&store, &mut rng, &mut search);
+        assert!(report.splits >= 1);
+        assert_eq!(report.rebuilt_bubbles, report.splits * 2);
+        ib.validate(&store);
+
+        // One round may leave a split seed in the old region; the scheme
+        // converges over repeated rounds (one per batch in production).
+        for _ in 0..4 {
+            ib.maintain(&store, &mut rng, &mut search);
+            ib.validate(&store);
+        }
+
+        // After maintenance, the new cluster region is covered by more than
+        // one bubble. A split half can also adopt a few far-away stragglers
+        // that pull its representative off-center, hence the loose radius.
+        let near = ib
+            .bubbles()
+            .iter()
+            .filter(|b| !b.is_empty() && dist(&b.rep_or_seed(), &[200.0, 200.0]) < 30.0)
+            .count();
+        assert!(near >= 2, "new cluster now covered by {near} bubbles");
+    }
+
+    #[test]
+    fn maintain_with_uniform_population_is_a_noop() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut store = PointStore::new(2);
+        for i in 0..400 {
+            store.insert(
+                &[(i % 20) as f64 * 5.0, (i / 20) as f64 * 5.0],
+                Some(0),
+            );
+        }
+        let mut search = SearchStats::new();
+        let mut ib =
+            IncrementalBubbles::build(&store, MaintainerConfig::new(16), &mut rng, &mut search);
+        let report = ib.maintain(&store, &mut rng, &mut search);
+        assert_eq!(report.splits, 0);
+        assert_eq!(report.rebuilt_bubbles, 0);
+        ib.validate(&store);
+    }
+
+    #[test]
+    fn extent_quality_measure_is_selectable() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let store = toy_store(&mut rng);
+        let mut search = SearchStats::new();
+        let ib = IncrementalBubbles::build(
+            &store,
+            MaintainerConfig::new(10).with_quality(QualityKind::Extent),
+            &mut rng,
+            &mut search,
+        );
+        let c = ib.classify_now();
+        // Extent values, not β values: they are not bounded by 1/N ratios.
+        assert_eq!(c.values.len(), 10);
+        assert!(c.values.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let store = {
+            let mut r = StdRng::seed_from_u64(41);
+            toy_store(&mut r)
+        };
+        let mut seq_rng = StdRng::seed_from_u64(8);
+        let mut seq_stats = SearchStats::new();
+        let seq = IncrementalBubbles::build(
+            &store,
+            MaintainerConfig::new(10),
+            &mut seq_rng,
+            &mut seq_stats,
+        );
+        for threads in [1usize, 2, 4] {
+            let mut rng = StdRng::seed_from_u64(8);
+            let mut stats = SearchStats::new();
+            let par = IncrementalBubbles::build_parallel(
+                &store,
+                MaintainerConfig::new(10),
+                &mut rng,
+                threads,
+                &mut stats,
+            );
+            par.validate(&store);
+            let a: Vec<u64> = seq.bubbles().iter().map(|b| b.stats().n()).collect();
+            let b: Vec<u64> = par.bubbles().iter().map(|b| b.stats().n()).collect();
+            assert_eq!(a, b, "threads = {threads}");
+            assert_eq!(stats.total(), seq_stats.total(), "same total work");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let store = toy_store(&mut rng);
+        let mut stats = SearchStats::new();
+        let _ = IncrementalBubbles::build_parallel(
+            &store,
+            MaintainerConfig::new(4),
+            &mut rng,
+            0,
+            &mut stats,
+        );
+    }
+
+    #[test]
+    fn grow_bubble_increases_population_and_splits() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let store = toy_store(&mut rng);
+        let mut search = SearchStats::new();
+        let mut ib =
+            IncrementalBubbles::build(&store, MaintainerConfig::new(6), &mut rng, &mut search);
+        let heaviest = (0..6)
+            .max_by_key(|&i| ib.bubble(i).members().len())
+            .unwrap();
+        let before = ib.bubble(heaviest).members().len();
+        let new_idx = ib.grow_bubble(heaviest, &store, &mut rng, &mut search);
+        assert_eq!(ib.num_bubbles(), 7);
+        assert_eq!(new_idx, 6);
+        ib.validate(&store);
+        let after = ib.bubble(heaviest).members().len() + ib.bubble(new_idx).members().len();
+        assert_eq!(after, before, "split preserves the member set");
+        assert!(!ib.bubble(new_idx).is_empty());
+    }
+
+    #[test]
+    fn retire_bubble_shrinks_population() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let store = toy_store(&mut rng);
+        let mut search = SearchStats::new();
+        let mut ib =
+            IncrementalBubbles::build(&store, MaintainerConfig::new(8), &mut rng, &mut search);
+        let total = ib.total_points();
+        ib.retire_bubble(0, &store, &mut search);
+        assert_eq!(ib.num_bubbles(), 7);
+        assert_eq!(ib.total_points(), total, "no point is lost");
+        ib.validate(&store);
+        // Retire down to the floor of two bubbles.
+        for _ in 0..5 {
+            ib.retire_bubble(0, &store, &mut search);
+        }
+        assert_eq!(ib.num_bubbles(), 2);
+        ib.validate(&store);
+    }
+
+    #[test]
+    #[should_panic(expected = "never shrinks below two")]
+    fn retiring_below_two_panics() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let store = toy_store(&mut rng);
+        let mut search = SearchStats::new();
+        let mut ib =
+            IncrementalBubbles::build(&store, MaintainerConfig::new(2), &mut rng, &mut search);
+        ib.retire_bubble(0, &store, &mut search);
+    }
+
+    #[test]
+    fn adaptive_maintenance_tracks_database_growth() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut store = toy_store(&mut rng); // 220 points
+        let mut search = SearchStats::new();
+        let mut ib =
+            IncrementalBubbles::build(&store, MaintainerConfig::new(10), &mut rng, &mut search);
+        let policy = AdaptivePolicy::around(22.0); // band [11, 44]
+
+        // The database quadruples: the fixed count would leave ~88 points
+        // per bubble; the adaptive round grows the population back into
+        // the band.
+        let batch = Batch {
+            deletes: Vec::new(),
+            inserts: (0..660)
+                .map(|i| {
+                    let t = i as f64 * 0.0095;
+                    (
+                        vec![40.0 + t.sin() * 30.0, 60.0 + t.cos() * 30.0],
+                        Some(7),
+                    )
+                })
+                .collect(),
+        };
+        ib.apply_batch(&mut store, &batch, &mut search);
+        let report = ib.maintain_adaptive(&store, &mut rng, &mut search, &policy);
+        ib.validate(&store);
+        assert!(report.grown > 0, "population grew: {report:?}");
+        let avg = ib.total_points() as f64 / ib.num_bubbles() as f64;
+        assert!(avg <= 44.0 * 1.5, "avg {avg} moved toward the band");
+
+        // The database shrinks below the band (the growth phase stops at
+        // avg == 44, i.e. 20 bubbles; 200 remaining points put the average
+        // at 10 < 11): the adaptive round retires bubbles.
+        let victims: Vec<PointId> = store.ids().take(680).collect();
+        let batch = Batch {
+            deletes: victims,
+            inserts: Vec::new(),
+        };
+        ib.apply_batch(&mut store, &batch, &mut search);
+        let report = ib.maintain_adaptive(&store, &mut rng, &mut search, &policy);
+        ib.validate(&store);
+        assert!(report.retired > 0, "population shrank: {report:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "adaptive policy")]
+    fn invalid_adaptive_policy_panics() {
+        let mut rng = StdRng::seed_from_u64(39);
+        let store = toy_store(&mut rng);
+        let mut search = SearchStats::new();
+        let mut ib =
+            IncrementalBubbles::build(&store, MaintainerConfig::new(4), &mut rng, &mut search);
+        let bad = AdaptivePolicy {
+            min_avg_points: 10.0,
+            max_avg_points: 5.0,
+            max_adjustments: 4,
+        };
+        ib.maintain_adaptive(&store, &mut rng, &mut search, &bad);
+    }
+
+    #[test]
+    fn spread_split_policy_works() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut store = toy_store(&mut rng);
+        let mut search = SearchStats::new();
+        let mut ib = IncrementalBubbles::build(
+            &store,
+            MaintainerConfig::new(12)
+                .with_probability(0.8)
+                .with_split_seeds(SplitSeedPolicy::Spread),
+            &mut rng,
+            &mut search,
+        );
+        let batch = Batch {
+            deletes: Vec::new(),
+            inserts: (0..150)
+                .map(|i| (vec![250.0 + (i % 10) as f64, 250.0], Some(8)))
+                .collect(),
+        };
+        ib.apply_batch(&mut store, &batch, &mut search);
+        let report = ib.maintain(&store, &mut rng, &mut search);
+        assert!(report.splits >= 1);
+        ib.validate(&store);
+    }
+}

@@ -1,0 +1,279 @@
+//! The compression-quality measure and Chebyshev classification
+//! (paper, Section 4.1).
+//!
+//! The *data summarization index* of bubble `i` is `β_i = n_i / N`
+//! (Definition 2). Over a set of bubbles, β follows some unknown
+//! distribution with mean `μ_β` and standard deviation `σ_β`; Chebyshev's
+//! inequality guarantees that at least a fraction `p = 1 − 1/k²` of all β
+//! values lies within `k` standard deviations of the mean *regardless of
+//! the distribution*, which yields the classification of Definition 3:
+//!
+//! * **good** — `β ∈ [μ_β − k·σ_β, μ_β + k·σ_β]`
+//! * **under-filled** — `β < μ_β − k·σ_β`
+//! * **over-filled** — `β > μ_β + k·σ_β`
+//!
+//! The same machinery applied to the bubbles' spatial *extent* instead of β
+//! gives the BIRCH-style measure the paper's Figure 7 experiment shows to
+//! fail; both are provided here behind [`QualityKind`].
+
+use crate::bubble::Bubble;
+use crate::config::QualityKind;
+
+/// Converts the Chebyshev coverage probability `p` into the multiplier `k`:
+/// `p = 1 − 1/k²  ⇒  k = 1/sqrt(1 − p)`.
+///
+/// # Panics
+/// Panics unless `0 < p < 1`.
+///
+/// # Examples
+/// ```
+/// let k = idb_core::chebyshev_k(0.9);
+/// assert!((k - 10f64.sqrt()).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn chebyshev_k(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1)");
+    (1.0 - p).sqrt().recip()
+}
+
+/// Compression-quality class of one bubble (Definition 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BubbleClass {
+    /// β within `k` standard deviations of the mean.
+    Good,
+    /// β below `μ − k·σ`: (nearly) empty; a candidate donor for splits.
+    UnderFilled,
+    /// β above `μ + k·σ`: compresses too large a fraction of the database,
+    /// possibly spanning several substructures; must be split.
+    OverFilled,
+}
+
+/// Result of classifying a bubble population.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// Per-bubble measure values (β or extent, per [`QualityKind`]).
+    pub values: Vec<f64>,
+    /// Mean of the measure distribution.
+    pub mean: f64,
+    /// Standard deviation of the measure distribution.
+    pub std_dev: f64,
+    /// Lower boundary `μ − k·σ`.
+    pub lower: f64,
+    /// Upper boundary `μ + k·σ`.
+    pub upper: f64,
+    /// Per-bubble class, aligned with the input order.
+    pub classes: Vec<BubbleClass>,
+}
+
+impl Classification {
+    /// Indices of the over-filled bubbles, worst (largest measure) first.
+    #[must_use]
+    pub fn over_filled(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..self.classes.len())
+            .filter(|&i| self.classes[i] == BubbleClass::OverFilled)
+            .collect();
+        v.sort_by(|&a, &b| {
+            self.values[b]
+                .partial_cmp(&self.values[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        v
+    }
+
+    /// Indices of the under-filled bubbles, emptiest (smallest measure)
+    /// first.
+    #[must_use]
+    pub fn under_filled(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..self.classes.len())
+            .filter(|&i| self.classes[i] == BubbleClass::UnderFilled)
+            .collect();
+        v.sort_by(|&a, &b| {
+            self.values[a]
+                .partial_cmp(&self.values[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        v
+    }
+
+    /// Indices of the good bubbles, lowest measure first — the order in
+    /// which the paper recruits donors when no under-filled bubble exists.
+    #[must_use]
+    pub fn good_ascending(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..self.classes.len())
+            .filter(|&i| self.classes[i] == BubbleClass::Good)
+            .collect();
+        v.sort_by(|&a, &b| {
+            self.values[a]
+                .partial_cmp(&self.values[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        v
+    }
+}
+
+/// Computes the per-bubble measure value.
+fn measure_value(kind: QualityKind, bubble: &Bubble, total_points: u64) -> f64 {
+    match kind {
+        QualityKind::Beta => {
+            if total_points == 0 {
+                0.0
+            } else {
+                bubble.stats().n() as f64 / total_points as f64
+            }
+        }
+        QualityKind::Extent => bubble.stats().extent(),
+    }
+}
+
+/// Classifies a bubble population under the given quality measure and
+/// Chebyshev probability.
+///
+/// `total_points` is the current database size `N` (only used by the β
+/// measure).
+#[must_use]
+pub fn classify(
+    kind: QualityKind,
+    bubbles: &[Bubble],
+    total_points: u64,
+    probability: f64,
+) -> Classification {
+    let k = chebyshev_k(probability);
+    let values: Vec<f64> = bubbles
+        .iter()
+        .map(|b| measure_value(kind, b, total_points))
+        .collect();
+    let n = values.len() as f64;
+    let mean = if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / n
+    };
+    let var = if values.is_empty() {
+        0.0
+    } else {
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n
+    };
+    let std_dev = var.sqrt();
+    let lower = mean - k * std_dev;
+    let upper = mean + k * std_dev;
+    let classes = values
+        .iter()
+        .map(|&v| {
+            if v < lower {
+                BubbleClass::UnderFilled
+            } else if v > upper {
+                BubbleClass::OverFilled
+            } else {
+                BubbleClass::Good
+            }
+        })
+        .collect();
+    Classification {
+        values,
+        mean,
+        std_dev,
+        lower,
+        upper,
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idb_store::PointId;
+
+    /// Builds a bubble with `n` synthetic members near `center` (1-d).
+    fn bubble_with(n: usize, center: f64) -> Bubble {
+        let mut b = Bubble::new(vec![center]);
+        for i in 0..n {
+            let x = center + (i as f64 % 5.0) * 0.1;
+            b.stats_mut().add(&[x]);
+            b.members_mut().push(PointId(i as u32));
+        }
+        b
+    }
+
+    #[test]
+    fn chebyshev_k_values() {
+        assert!((chebyshev_k(0.9) - 3.1622776601683795).abs() < 1e-12);
+        assert!((chebyshev_k(0.8) - 2.23606797749979).abs() < 1e-12);
+        assert!((chebyshev_k(0.75) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn chebyshev_k_rejects_one() {
+        let _ = chebyshev_k(1.0);
+    }
+
+    #[test]
+    fn uniform_population_is_all_good() {
+        let bubbles: Vec<Bubble> = (0..20).map(|i| bubble_with(50, i as f64 * 10.0)).collect();
+        let c = classify(QualityKind::Beta, &bubbles, 1000, 0.9);
+        assert!(c.classes.iter().all(|&cl| cl == BubbleClass::Good));
+        assert!((c.mean - 0.05).abs() < 1e-12);
+        assert!(c.std_dev < 1e-12);
+        assert!(c.over_filled().is_empty());
+        assert!(c.under_filled().is_empty());
+        assert_eq!(c.good_ascending().len(), 20);
+    }
+
+    #[test]
+    fn oversized_bubble_is_over_filled() {
+        let mut bubbles: Vec<Bubble> = (0..20).map(|i| bubble_with(50, i as f64 * 10.0)).collect();
+        // One bubble absorbs a new cluster: 10x the typical mass.
+        bubbles.push(bubble_with(500, 300.0));
+        let total = 20 * 50 + 500;
+        let c = classify(QualityKind::Beta, &bubbles, total, 0.9);
+        assert_eq!(c.classes[20], BubbleClass::OverFilled);
+        assert_eq!(c.over_filled(), vec![20]);
+        // The ordinary bubbles stay good (β lower bound can be negative).
+        assert!(c.classes[..20].iter().all(|&cl| cl == BubbleClass::Good));
+    }
+
+    #[test]
+    fn over_filled_sorted_worst_first() {
+        let mut bubbles: Vec<Bubble> = (0..30).map(|i| bubble_with(10, i as f64)).collect();
+        bubbles.push(bubble_with(500, 500.0)); // idx 30
+        bubbles.push(bubble_with(800, 600.0)); // idx 31
+        let total = 30 * 10 + 500 + 800;
+        // Two heavy outliers inflate σ; the milder p = 0.75 (k = 2) bound
+        // still catches both, ordered worst first.
+        let c = classify(QualityKind::Beta, &bubbles, total, 0.75);
+        assert_eq!(c.over_filled(), vec![31, 30]);
+    }
+
+    #[test]
+    fn extent_measure_flags_wide_bubble() {
+        let mut bubbles: Vec<Bubble> = (0..20).map(|i| bubble_with(50, i as f64 * 10.0)).collect();
+        // A wide bubble: same mass, but members spread over a huge range.
+        let mut wide = Bubble::new(vec![0.0]);
+        for i in 0..50 {
+            wide.stats_mut().add(&[i as f64 * 100.0]);
+            wide.members_mut().push(PointId(i));
+        }
+        bubbles.push(wide);
+        let c = classify(QualityKind::Extent, &bubbles, 1050, 0.9);
+        assert_eq!(c.classes[20], BubbleClass::OverFilled);
+        // Under the β measure the same bubble is NOT flagged — the paper's
+        // core argument for β over extent, in miniature.
+        let cb = classify(QualityKind::Beta, &bubbles, 1050, 0.9);
+        assert_eq!(cb.classes[20], BubbleClass::Good);
+    }
+
+    #[test]
+    fn good_ascending_orders_by_measure() {
+        let bubbles: Vec<Bubble> = vec![bubble_with(30, 0.0), bubble_with(10, 5.0), bubble_with(20, 9.0)];
+        let c = classify(QualityKind::Beta, &bubbles, 60, 0.9);
+        assert_eq!(c.good_ascending(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_population_classifies_trivially() {
+        let c = classify(QualityKind::Beta, &[], 0, 0.9);
+        assert!(c.values.is_empty());
+        assert!(c.classes.is_empty());
+        assert_eq!(c.mean, 0.0);
+    }
+}

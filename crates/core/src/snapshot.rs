@@ -1,0 +1,327 @@
+//! Binary snapshots of a maintained bubble population.
+//!
+//! Pairs with [`idb_store::snapshot`]: a deployment checkpoints its store
+//! and its [`IncrementalBubbles`] together and restores both after a
+//! restart — *without* re-running the O(N·s) construction. The decoder
+//! validates the snapshot against the store it is restored over (every
+//! member must be a live point, every live point must be claimed exactly
+//! once, counts must match), so a snapshot from a diverged store is
+//! rejected instead of silently producing a corrupt summary.
+
+use crate::bubble::Bubble;
+use crate::config::{AssignStrategy, MaintainerConfig, QualityKind, SplitSeedPolicy};
+use crate::incremental::IncrementalBubbles;
+use crate::stats::SufficientStats;
+use idb_geometry::NearestSeeds;
+use idb_store::snapshot::{
+    read_f64, read_u32, read_u64, write_f64, write_u32, write_u64, SnapshotError,
+};
+use idb_store::{PointId, PointStore};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"IDBB";
+const VERSION: u32 = 1;
+
+fn enum_to_u8(config: &MaintainerConfig) -> (u8, u8, u8) {
+    let strategy = match config.strategy {
+        AssignStrategy::Brute => 0u8,
+        AssignStrategy::TriangleInequality => 1,
+    };
+    let quality = match config.quality {
+        QualityKind::Beta => 0u8,
+        QualityKind::Extent => 1,
+    };
+    let split = match config.split_seeds {
+        SplitSeedPolicy::Random => 0u8,
+        SplitSeedPolicy::Spread => 1,
+    };
+    (strategy, quality, split)
+}
+
+fn u8_to_enums(
+    strategy: u8,
+    quality: u8,
+    split: u8,
+) -> Result<(AssignStrategy, QualityKind, SplitSeedPolicy), SnapshotError> {
+    let strategy = match strategy {
+        0 => AssignStrategy::Brute,
+        1 => AssignStrategy::TriangleInequality,
+        other => {
+            return Err(SnapshotError::Corrupt(format!(
+                "unknown assignment strategy {other}"
+            )))
+        }
+    };
+    let quality = match quality {
+        0 => QualityKind::Beta,
+        1 => QualityKind::Extent,
+        other => {
+            return Err(SnapshotError::Corrupt(format!(
+                "unknown quality kind {other}"
+            )))
+        }
+    };
+    let split = match split {
+        0 => SplitSeedPolicy::Random,
+        1 => SplitSeedPolicy::Spread,
+        other => {
+            return Err(SnapshotError::Corrupt(format!(
+                "unknown split policy {other}"
+            )))
+        }
+    };
+    Ok((strategy, quality, split))
+}
+
+impl IncrementalBubbles {
+    /// Writes a binary snapshot: configuration, every bubble's seed,
+    /// sufficient statistics and member list.
+    pub fn write_snapshot<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(MAGIC)?;
+        write_u32(w, VERSION)?;
+        write_u64(w, self.dim() as u64)?;
+        let config = self.config();
+        write_u64(w, config.num_bubbles as u64)?;
+        write_f64(w, config.probability)?;
+        let (s, q, p) = enum_to_u8(config);
+        w.write_all(&[s, q, p])?;
+        write_u64(w, self.bubbles().len() as u64)?;
+        for b in self.bubbles() {
+            for &x in b.seed() {
+                write_f64(w, x)?;
+            }
+            write_u64(w, b.stats().n())?;
+            for &l in b.stats().linear_sum() {
+                write_f64(w, l)?;
+            }
+            write_f64(w, b.stats().square_sum())?;
+            write_u64(w, b.members().len() as u64)?;
+            for id in b.members() {
+                write_u32(w, id.0)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores a population from a snapshot, validating it against the
+    /// store it summarizes.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Corrupt`] when the header is invalid, a member id
+    /// is not live in `store`, a point is claimed by two bubbles, or the
+    /// summary does not cover the store exactly.
+    pub fn read_snapshot<R: Read>(
+        r: &mut R,
+        store: &PointStore,
+    ) -> Result<Self, SnapshotError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(SnapshotError::Corrupt("bad magic".into()));
+        }
+        let version = read_u32(r)?;
+        if version != VERSION {
+            return Err(SnapshotError::Corrupt(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let dim = read_u64(r)? as usize;
+        if dim != store.dim() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot dim {dim} vs store dim {}",
+                store.dim()
+            )));
+        }
+        let num_bubbles = read_u64(r)? as usize;
+        let probability = read_f64(r)?;
+        if !(probability > 0.0 && probability < 1.0) {
+            return Err(SnapshotError::Corrupt(format!(
+                "implausible probability {probability}"
+            )));
+        }
+        let mut enums = [0u8; 3];
+        r.read_exact(&mut enums)?;
+        let (strategy, quality, split) = u8_to_enums(enums[0], enums[1], enums[2])?;
+        if num_bubbles < 2 {
+            return Err(SnapshotError::Corrupt(format!(
+                "implausible bubble count {num_bubbles}"
+            )));
+        }
+        let config = MaintainerConfig::new(num_bubbles)
+            .with_probability(probability)
+            .with_strategy(strategy)
+            .with_quality(quality)
+            .with_split_seeds(split);
+
+        let live_count = read_u64(r)? as usize;
+        if !(2..=(1usize << 24)).contains(&live_count) {
+            return Err(SnapshotError::Corrupt(format!(
+                "implausible live bubble count {live_count}"
+            )));
+        }
+        let mut seeds = NearestSeeds::new(dim);
+        let mut bubbles = Vec::with_capacity(live_count);
+        let mut assign = vec![u32::MAX; store.slots()];
+        let mut member_pos = vec![u32::MAX; store.slots()];
+        let mut total_points: u64 = 0;
+        let mut coord = vec![0.0f64; dim];
+
+        for bi in 0..live_count {
+            for x in coord.iter_mut() {
+                *x = read_f64(r)?;
+            }
+            seeds.push(&coord);
+            let mut bubble = Bubble::new(coord.clone());
+
+            let n = read_u64(r)?;
+            let mut ls = vec![0.0f64; dim];
+            for l in ls.iter_mut() {
+                *l = read_f64(r)?;
+            }
+            let ss = read_f64(r)?;
+            let member_count = read_u64(r)? as usize;
+            if member_count as u64 != n {
+                return Err(SnapshotError::Corrupt(format!(
+                    "bubble {bi}: n = {n} but {member_count} members"
+                )));
+            }
+            for pos in 0..member_count {
+                let raw = read_u32(r)?;
+                let id = PointId(raw);
+                if !store.contains(id) {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "bubble {bi}: member {raw} is not live in the store"
+                    )));
+                }
+                if assign[id.index()] != u32::MAX {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "point {raw} claimed by two bubbles"
+                    )));
+                }
+                assign[id.index()] = bi as u32;
+                member_pos[id.index()] = pos as u32;
+                bubble.members_mut().push(id);
+                total_points += 1;
+            }
+            *bubble.stats_mut() = SufficientStats::from_raw_parts(n, ls, ss);
+            bubbles.push(bubble);
+        }
+
+        if total_points != store.len() as u64 {
+            return Err(SnapshotError::Corrupt(format!(
+                "summary covers {total_points} points, store holds {}",
+                store.len()
+            )));
+        }
+
+        Ok(Self::from_raw_parts(
+            dim,
+            config,
+            seeds,
+            bubbles,
+            assign,
+            member_pos,
+            total_points,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idb_geometry::SearchStats;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fixture() -> (PointStore, IncrementalBubbles, StdRng) {
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut store = PointStore::new(2);
+        for i in 0..400 {
+            let t = i as f64 * 0.031;
+            store.insert(
+                &[
+                    (i % 3) as f64 * 40.0 + t.sin(),
+                    (i % 3) as f64 * 40.0 + t.cos(),
+                ],
+                Some(i % 3),
+            );
+        }
+        let mut search = SearchStats::new();
+        let mut ib =
+            IncrementalBubbles::build(&store, MaintainerConfig::new(12), &mut rng, &mut search);
+        // Some churn so the snapshot captures a non-trivial state.
+        let victims: Vec<PointId> = store.ids().take(30).collect();
+        let batch = idb_store::Batch {
+            deletes: victims,
+            inserts: (0..30)
+                .map(|_| (vec![rng.gen_range(0.0..80.0), 40.0], None))
+                .collect(),
+        };
+        ib.apply_batch(&mut store, &batch, &mut search);
+        ib.maintain(&store, &mut rng, &mut search);
+        (store, ib, rng)
+    }
+
+    #[test]
+    fn round_trip_restores_identical_state() {
+        let (store, ib, _) = fixture();
+        let mut buf = Vec::new();
+        ib.write_snapshot(&mut buf).unwrap();
+        let restored = IncrementalBubbles::read_snapshot(&mut buf.as_slice(), &store).unwrap();
+        restored.validate(&store);
+        assert_eq!(restored.num_bubbles(), ib.num_bubbles());
+        assert_eq!(restored.total_points(), ib.total_points());
+        for (a, b) in ib.bubbles().iter().zip(restored.bubbles()) {
+            assert_eq!(a.seed(), b.seed());
+            assert_eq!(a.stats(), b.stats());
+            assert_eq!(a.members(), b.members());
+        }
+    }
+
+    #[test]
+    fn restored_population_keeps_working() {
+        let (mut store, ib, mut rng) = fixture();
+        let mut buf = Vec::new();
+        ib.write_snapshot(&mut buf).unwrap();
+        let mut restored =
+            IncrementalBubbles::read_snapshot(&mut buf.as_slice(), &store).unwrap();
+        let mut search = SearchStats::new();
+        let batch = idb_store::Batch {
+            deletes: store.ids().take(10).collect(),
+            inserts: (0..10).map(|i| (vec![i as f64, 0.0], None)).collect(),
+        };
+        restored.apply_batch(&mut store, &batch, &mut search);
+        restored.maintain(&store, &mut rng, &mut search);
+        restored.validate(&store);
+    }
+
+    #[test]
+    fn snapshot_rejected_over_diverged_store() {
+        let (mut store, ib, _) = fixture();
+        let mut buf = Vec::new();
+        ib.write_snapshot(&mut buf).unwrap();
+        // The store moves on after the checkpoint: a member disappears.
+        let victim = ib.bubbles()[0].members()[0];
+        store.remove(victim);
+        let err = IncrementalBubbles::read_snapshot(&mut buf.as_slice(), &store).unwrap_err();
+        assert!(err.to_string().contains("not live"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_rejected_when_store_grew() {
+        let (mut store, ib, _) = fixture();
+        let mut buf = Vec::new();
+        ib.write_snapshot(&mut buf).unwrap();
+        store.insert(&[0.0, 0.0], None);
+        let err = IncrementalBubbles::read_snapshot(&mut buf.as_slice(), &store).unwrap_err();
+        assert!(err.to_string().contains("covers"), "{err}");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        let (store, _, _) = fixture();
+        let err =
+            IncrementalBubbles::read_snapshot(&mut &b"GARBAGEGARBAGE"[..], &store).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+    }
+}

@@ -1,0 +1,375 @@
+//! Sufficient statistics `(n, LS, SS)` and their derived quantities.
+//!
+//! Following the data-bubbles line of work the paper builds on, a set of
+//! points `X = {X_i}` is compressed into
+//!
+//! * `n` — the number of points,
+//! * `LS` — their linear (vector) sum, and
+//! * `SS` — their scalar sum of squared norms,
+//!
+//! from which the quantities of Definition 1 are derived:
+//!
+//! * the representative `rep = LS / n` (the mean),
+//! * the `extent` — the radius around `rep` enclosing most of the points,
+//!   computed as the average pairwise distance
+//!   `sqrt((2·n·SS − 2·|LS|²) / (n·(n−1)))`, and
+//! * `nnDist(k) = (k/n)^(1/d) · extent` — the expected k-nearest-neighbour
+//!   distance under a uniform-density assumption inside the bubble.
+//!
+//! The triple is *exactly* incrementable and decrementable: deleting point
+//! `p` maps `(n, LS, SS)` to `(n−1, LS−p, SS−p²)` and inserting maps it to
+//! `(n+1, LS+p, SS+p²)` (paper, Section 4). Floating-point cancellation
+//! after long delete sequences can drive the extent radicand slightly
+//! negative; it is clamped at zero, which the tests pin down.
+
+use idb_geometry::metric::sq_norm;
+
+/// The incrementally maintainable `(n, LS, SS)` triple of one data bubble.
+///
+/// # Examples
+/// ```
+/// use idb_core::SufficientStats;
+///
+/// let mut stats = SufficientStats::new(2);
+/// stats.add(&[0.0, 0.0]);
+/// stats.add(&[2.0, 0.0]);
+/// assert_eq!(stats.rep().unwrap(), vec![1.0, 0.0]);
+/// assert!((stats.extent() - 2.0).abs() < 1e-12);
+///
+/// // Deletion is the exact inverse of insertion.
+/// stats.remove(&[2.0, 0.0]);
+/// assert_eq!(stats.n(), 1);
+/// assert_eq!(stats.rep().unwrap(), vec![0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SufficientStats {
+    n: u64,
+    ls: Vec<f64>,
+    ss: f64,
+}
+
+impl SufficientStats {
+    /// Empty statistics for points of dimensionality `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "SufficientStats requires dim > 0");
+        Self {
+            n: 0,
+            ls: vec![0.0; dim],
+            ss: 0.0,
+        }
+    }
+
+    /// Statistics of a point set, computed in one pass.
+    pub fn from_points<'a, I>(dim: usize, points: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let mut s = Self::new(dim);
+        for p in points {
+            s.add(p);
+        }
+        s
+    }
+
+    /// Reassembles statistics from raw parts (snapshot decoding only; the
+    /// caller guarantees consistency with the member set).
+    pub(crate) fn from_raw_parts(n: u64, ls: Vec<f64>, ss: f64) -> Self {
+        Self { n, ls, ss }
+    }
+
+    /// Number of summarized points.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// `true` when no point is summarized.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dimensionality of the summarized points.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.ls.len()
+    }
+
+    /// The linear sum `LS`.
+    #[must_use]
+    pub fn linear_sum(&self) -> &[f64] {
+        &self.ls
+    }
+
+    /// The square sum `SS`.
+    #[must_use]
+    pub fn square_sum(&self) -> f64 {
+        self.ss
+    }
+
+    /// Absorbs one point: `(n+1, LS+p, SS+p²)`.
+    ///
+    /// # Panics
+    /// Panics if `p` has the wrong dimensionality.
+    #[inline]
+    pub fn add(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.ls.len(), "point dimensionality mismatch");
+        self.n += 1;
+        for (l, &x) in self.ls.iter_mut().zip(p) {
+            *l += x;
+        }
+        self.ss += sq_norm(p);
+    }
+
+    /// Releases one point: `(n−1, LS−p, SS−p²)`.
+    ///
+    /// # Panics
+    /// Panics if the statistics are empty or `p` has the wrong
+    /// dimensionality. Removing a point that was never added is a caller
+    /// logic error that this type cannot detect; the incremental maintainer
+    /// guarantees it by tracking memberships.
+    #[inline]
+    pub fn remove(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.ls.len(), "point dimensionality mismatch");
+        assert!(self.n > 0, "remove from empty statistics");
+        self.n -= 1;
+        for (l, &x) in self.ls.iter_mut().zip(p) {
+            *l -= x;
+        }
+        self.ss -= sq_norm(p);
+        if self.n == 0 {
+            // Snap exactly to the empty state so long-lived bubbles do not
+            // accumulate drift across empty episodes.
+            self.ls.iter_mut().for_each(|l| *l = 0.0);
+            self.ss = 0.0;
+        }
+    }
+
+    /// Merges another bubble's statistics into this one (the CF additivity
+    /// property; used by the BIRCH substrate and by tests).
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.dim(), other.dim(), "dimensionality mismatch");
+        self.n += other.n;
+        for (l, &o) in self.ls.iter_mut().zip(&other.ls) {
+            *l += o;
+        }
+        self.ss += other.ss;
+    }
+
+    /// Resets to the empty state.
+    pub fn clear(&mut self) {
+        self.n = 0;
+        self.ls.iter_mut().for_each(|l| *l = 0.0);
+        self.ss = 0.0;
+    }
+
+    /// The representative `rep = LS/n`, or `None` when empty.
+    #[must_use]
+    pub fn rep(&self) -> Option<Vec<f64>> {
+        if self.n == 0 {
+            return None;
+        }
+        let inv = 1.0 / self.n as f64;
+        Some(self.ls.iter().map(|&l| l * inv).collect())
+    }
+
+    /// Writes the representative into `out` (resizing it), returning `false`
+    /// when the statistics are empty. Allocation-free variant of
+    /// [`Self::rep`] for hot loops.
+    pub fn rep_into(&self, out: &mut Vec<f64>) -> bool {
+        if self.n == 0 {
+            return false;
+        }
+        let inv = 1.0 / self.n as f64;
+        out.clear();
+        out.extend(self.ls.iter().map(|&l| l * inv));
+        true
+    }
+
+    /// The extent: the average pairwise distance
+    /// `sqrt((2·n·SS − 2·|LS|²) / (n·(n−1)))`, clamped at zero against
+    /// floating-point cancellation. Zero for `n <= 1`.
+    #[must_use]
+    pub fn extent(&self) -> f64 {
+        if self.n <= 1 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let radicand = (2.0 * n * self.ss - 2.0 * sq_norm(&self.ls)) / (n * (n - 1.0));
+        radicand.max(0.0).sqrt()
+    }
+
+    /// Expected average k-nearest-neighbour distance inside the bubble
+    /// under a uniform-density assumption: `(k/n)^(1/d) · extent`.
+    ///
+    /// Defined for `1 <= k`; callers pass `k <= n` (OPTICS only queries
+    /// `nnDist(MinPts)` on bubbles with at least `MinPts` points). For an
+    /// empty bubble the value is zero.
+    #[must_use]
+    pub fn nn_dist(&self, k: usize) -> f64 {
+        if self.n == 0 || k == 0 {
+            return 0.0;
+        }
+        let d = self.dim() as f64;
+        (k as f64 / self.n as f64).powf(1.0 / d) * self.extent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idb_geometry::dist;
+
+    #[test]
+    fn add_then_rep_is_mean() {
+        let mut s = SufficientStats::new(2);
+        s.add(&[1.0, 2.0]);
+        s.add(&[3.0, 6.0]);
+        assert_eq!(s.n(), 2);
+        assert_eq!(s.rep().unwrap(), vec![2.0, 4.0]);
+        let mut out = Vec::new();
+        assert!(s.rep_into(&mut out));
+        assert_eq!(out, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_rep_is_none() {
+        let s = SufficientStats::new(3);
+        assert!(s.rep().is_none());
+        let mut out = vec![9.0];
+        assert!(!s.rep_into(&mut out));
+        assert_eq!(s.extent(), 0.0);
+        assert_eq!(s.nn_dist(3), 0.0);
+    }
+
+    #[test]
+    fn extent_matches_average_pairwise_distance_definition() {
+        // Points {0, 2} in 1-d: the only pair has squared distance 4, so
+        // the average pairwise squared distance is (2*4)/(2*1) = 4 — the
+        // definition averages over ordered pairs i != j.
+        let s = SufficientStats::from_points(1, [[0.0].as_slice(), [2.0].as_slice()]);
+        assert!((s.extent() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extent_brute_force_cross_check() {
+        let pts: Vec<Vec<f64>> = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 3.0],
+            vec![-2.0, 1.0],
+            vec![4.0, -1.0],
+            vec![2.0, 2.0],
+        ];
+        let s = SufficientStats::from_points(2, pts.iter().map(|p| p.as_slice()));
+        let n = pts.len() as f64;
+        let mut acc = 0.0;
+        for a in &pts {
+            for b in &pts {
+                let d = dist(a, b);
+                acc += d * d;
+            }
+        }
+        let expect = (acc / (n * (n - 1.0))).sqrt();
+        assert!((s.extent() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remove_is_exact_inverse_of_add() {
+        let pts: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![i as f64 * 1.5, -(i as f64), i as f64 * i as f64])
+            .collect();
+        let mut s = SufficientStats::from_points(3, pts.iter().map(|p| p.as_slice()));
+        let snapshot = s.clone();
+        s.add(&[7.0, 8.0, 9.0]);
+        s.remove(&[7.0, 8.0, 9.0]);
+        assert_eq!(s.n(), snapshot.n());
+        for (a, b) in s.linear_sum().iter().zip(snapshot.linear_sum()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert!((s.square_sum() - snapshot.square_sum()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn remove_to_empty_snaps_to_zero() {
+        let mut s = SufficientStats::new(2);
+        s.add(&[0.1, 0.2]);
+        s.add(&[0.3, 0.4]);
+        s.remove(&[0.1, 0.2]);
+        s.remove(&[0.3, 0.4]);
+        assert!(s.is_empty());
+        assert_eq!(s.linear_sum(), &[0.0, 0.0]);
+        assert_eq!(s.square_sum(), 0.0);
+        assert_eq!(s.extent(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn remove_from_empty_panics() {
+        let mut s = SufficientStats::new(1);
+        s.remove(&[1.0]);
+    }
+
+    #[test]
+    fn extent_clamped_non_negative_under_cancellation() {
+        // A single far-away pair added and removed leaves tiny negative
+        // radicands; the clamp keeps extent at exactly zero.
+        let mut s = SufficientStats::new(1);
+        s.add(&[1e8]);
+        s.add(&[1e8 + 1e-4]);
+        s.remove(&[1e8 + 1e-4]);
+        assert!(s.extent() >= 0.0);
+        assert_eq!(s.n(), 1);
+        assert_eq!(s.extent(), 0.0, "n == 1 has zero extent");
+    }
+
+    #[test]
+    fn merge_equals_bulk_construction() {
+        let a_pts = [[1.0, 2.0], [3.0, 4.0]];
+        let b_pts = [[5.0, 6.0], [7.0, 8.0], [9.0, 0.0]];
+        let mut a = SufficientStats::from_points(2, a_pts.iter().map(|p| p.as_slice()));
+        let b = SufficientStats::from_points(2, b_pts.iter().map(|p| p.as_slice()));
+        a.merge(&b);
+        let all = SufficientStats::from_points(
+            2,
+            a_pts.iter().chain(b_pts.iter()).map(|p| p.as_slice()),
+        );
+        assert_eq!(a.n(), all.n());
+        for (x, y) in a.linear_sum().iter().zip(all.linear_sum()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        assert!((a.square_sum() - all.square_sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nn_dist_scales_with_k_and_dim() {
+        // 100 points of extent e: nnDist(1) = (1/100)^(1/d) * e.
+        let mut s = SufficientStats::new(2);
+        for i in 0..100 {
+            let t = i as f64 / 10.0;
+            s.add(&[t.sin() * 5.0, t.cos() * 5.0]);
+        }
+        let e = s.extent();
+        assert!(e > 0.0);
+        let d1 = s.nn_dist(1);
+        let d4 = s.nn_dist(4);
+        assert!((d1 - (0.01f64).sqrt() * e).abs() < 1e-12);
+        assert!((d4 / d1 - 2.0).abs() < 1e-9, "(4/1)^(1/2) = 2");
+        assert!(d1 < d4 && d4 < e * 1.0001);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = SufficientStats::from_points(2, [[1.0, 1.0].as_slice()]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.square_sum(), 0.0);
+        assert_eq!(s.linear_sum(), &[0.0, 0.0]);
+    }
+}

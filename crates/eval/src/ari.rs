@@ -1,0 +1,152 @@
+//! Adjusted Rand Index — a second, chance-corrected clustering quality
+//! metric complementing the F-measure.
+//!
+//! The F-measure rewards each class's best-matching cluster; the ARI
+//! scores the *whole partition* against ground truth, corrected for
+//! chance: 1.0 for identical partitions, ≈0 for random labelings,
+//! negative for worse-than-random. Both are reported by the extended
+//! experiment harness so quality claims don't hinge on one metric's
+//! idiosyncrasies.
+//!
+//! ARI is defined over points present in both partitions, so noise points
+//! (no ground-truth class) and unclustered points are excluded here — the
+//! same convention the F-measure module documents.
+
+use idb_store::{PointId, PointStore};
+use std::collections::HashMap;
+
+/// Number of unordered pairs in a group of `n` elements.
+fn pairs(n: u64) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand Index between the store's ground-truth classes and the
+/// given clusters, over the points that are in both a class and a cluster.
+///
+/// Returns 0.0 when fewer than two such points exist (no pair to score).
+#[must_use]
+pub fn adjusted_rand_index(store: &PointStore, clusters: &[Vec<u64>]) -> f64 {
+    // Contingency table over co-labeled points.
+    let mut cont: HashMap<(u32, usize), u64> = HashMap::new();
+    let mut class_totals: HashMap<u32, u64> = HashMap::new();
+    let mut cluster_totals: HashMap<usize, u64> = HashMap::new();
+    let mut n: u64 = 0;
+    for (j, cluster) in clusters.iter().enumerate() {
+        for &id in cluster {
+            let pid = PointId(id as u32);
+            if !store.contains(pid) {
+                continue;
+            }
+            if let Some(class) = store.label(pid) {
+                *cont.entry((class, j)).or_default() += 1;
+                *class_totals.entry(class).or_default() += 1;
+                *cluster_totals.entry(j).or_default() += 1;
+                n += 1;
+            }
+        }
+    }
+    if n < 2 {
+        return 0.0;
+    }
+
+    let sum_ij: f64 = cont.values().map(|&c| pairs(c)).sum();
+    let sum_a: f64 = class_totals.values().map(|&c| pairs(c)).sum();
+    let sum_b: f64 = cluster_totals.values().map(|&c| pairs(c)).sum();
+    let total_pairs = pairs(n);
+    let expected = sum_a * sum_b / total_pairs;
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < f64::EPSILON {
+        // Degenerate: both partitions are single groups (or equivalent);
+        // identical partitions score 1 by convention.
+        return if (sum_ij - expected).abs() < f64::EPSILON {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeled_store() -> (PointStore, Vec<u64>, Vec<u64>) {
+        let mut s = PointStore::new(1);
+        let a: Vec<u64> = (0..20)
+            .map(|i| u64::from(s.insert(&[i as f64], Some(0)).0))
+            .collect();
+        let b: Vec<u64> = (0..20)
+            .map(|i| u64::from(s.insert(&[100.0 + i as f64], Some(1)).0))
+            .collect();
+        (s, a, b)
+    }
+
+    #[test]
+    fn perfect_partition_scores_one() {
+        let (s, a, b) = labeled_store();
+        assert!((adjusted_rand_index(&s, &[a, b]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuted_cluster_ids_still_score_one() {
+        let (s, a, b) = labeled_store();
+        assert!((adjusted_rand_index(&s, &[b, a]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_partition_scores_below_one() {
+        let (s, a, b) = labeled_store();
+        let mut merged = a;
+        merged.extend(b);
+        let ari = adjusted_rand_index(&s, &[merged]);
+        assert!(ari < 0.1, "ari = {ari}");
+    }
+
+    #[test]
+    fn half_swapped_partition_scores_in_between() {
+        let (s, a, b) = labeled_store();
+        // Swap the first 5 elements between clusters.
+        let mut c1 = a.clone();
+        let mut c2 = b.clone();
+        for i in 0..5 {
+            std::mem::swap(&mut c1[i], &mut c2[i]);
+        }
+        let ari = adjusted_rand_index(&s, &[c1, c2]);
+        assert!(ari > 0.2 && ari < 0.9, "ari = {ari}");
+    }
+
+    #[test]
+    fn noise_points_are_ignored() {
+        let mut s = PointStore::new(1);
+        let a: Vec<u64> = (0..10)
+            .map(|i| u64::from(s.insert(&[i as f64], Some(0)).0))
+            .collect();
+        let mut with_noise = a.clone();
+        for i in 0..10 {
+            with_noise.push(u64::from(s.insert(&[50.0 + i as f64], None).0));
+        }
+        // The noise in the cluster doesn't change the score: only labeled
+        // points count, and they are perfectly grouped.
+        assert!((adjusted_rand_index(&s, &[with_noise]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_few_points_scores_zero() {
+        let mut s = PointStore::new(1);
+        let id = s.insert(&[0.0], Some(0));
+        assert_eq!(adjusted_rand_index(&s, &[vec![u64::from(id.0)]]), 0.0);
+        assert_eq!(adjusted_rand_index(&s, &[]), 0.0);
+    }
+
+    #[test]
+    fn random_partition_scores_near_zero() {
+        let (s, a, b) = labeled_store();
+        // Interleave ids to destroy any correlation with the classes.
+        let all: Vec<u64> = a.into_iter().chain(b).collect();
+        let even: Vec<u64> = all.iter().copied().step_by(2).collect();
+        let odd: Vec<u64> = all.iter().copied().skip(1).step_by(2).collect();
+        let ari = adjusted_rand_index(&s, &[even, odd]);
+        assert!(ari.abs() < 0.15, "ari = {ari}");
+    }
+}

@@ -1,0 +1,184 @@
+//! The clustering F-measure (Larsen & Aone; the paper's reference \[13\]).
+//!
+//! For a ground-truth class `i` and an extracted cluster `j`, with overlap
+//! `n_ij`, precision is `p = n_ij / |j|` and recall is `r = n_ij / |i|`;
+//! `F(i, j) = 2pr / (p + r)`. The overall score weights each class by its
+//! share of the labeled points and takes the best-matching cluster:
+//!
+//! `F = Σ_i (|i| / N_labeled) · max_j F(i, j)`
+//!
+//! Noise points (label `None`) are not a class — a generator's uniform
+//! background is not something a clustering should be rewarded or punished
+//! for reconstructing — but they *do* count toward cluster sizes, so a
+//! cluster that lumps noise together with a class pays for it in precision.
+
+use idb_store::{PointId, PointStore};
+use std::collections::HashMap;
+
+/// Result of an F-measure evaluation.
+#[derive(Debug, Clone)]
+pub struct FScore {
+    /// The class-size weighted overall score in `[0, 1]`.
+    pub overall: f64,
+    /// Per-class best `F(i, j)`, keyed by ground-truth label.
+    pub per_class: Vec<(u32, f64)>,
+    /// Number of labeled points considered.
+    pub labeled_points: usize,
+}
+
+/// Scores extracted clusters (lists of raw point ids) against the store's
+/// ground-truth labels.
+///
+/// # Examples
+/// ```
+/// use idb_eval::fscore;
+/// use idb_store::PointStore;
+///
+/// let mut store = PointStore::new(1);
+/// let a: Vec<u64> = (0..4).map(|i| u64::from(store.insert(&[i as f64], Some(0)).0)).collect();
+/// let b: Vec<u64> = (0..4).map(|i| u64::from(store.insert(&[9.0 + i as f64], Some(1)).0)).collect();
+/// assert_eq!(fscore(&store, &[a.clone(), b.clone()]).overall, 1.0);
+///
+/// // Merging both classes into one cluster costs precision.
+/// let merged: Vec<u64> = a.into_iter().chain(b).collect();
+/// let f = fscore(&store, &[merged]);
+/// assert!((f.overall - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+///
+/// Returns `overall == 0` when the store holds no labeled points or the
+/// clustering is empty.
+#[must_use]
+pub fn fscore(store: &PointStore, clusters: &[Vec<u64>]) -> FScore {
+    // Class sizes over the *current* database contents.
+    let mut class_size: HashMap<u32, usize> = HashMap::new();
+    for (_, _, label) in store.iter() {
+        if let Some(l) = label {
+            *class_size.entry(l).or_default() += 1;
+        }
+    }
+    let labeled_points: usize = class_size.values().sum();
+    if labeled_points == 0 || clusters.is_empty() {
+        return FScore {
+            overall: 0.0,
+            per_class: class_size.keys().map(|&l| (l, 0.0)).collect(),
+            labeled_points,
+        };
+    }
+
+    // Overlap counts n_ij.
+    let mut best: HashMap<u32, f64> = class_size.keys().map(|&l| (l, 0.0)).collect();
+    for cluster in clusters {
+        let cluster_size = cluster.len();
+        if cluster_size == 0 {
+            continue;
+        }
+        let mut overlap: HashMap<u32, usize> = HashMap::new();
+        for &id in cluster {
+            if let Some(l) = store.label(PointId(id as u32)) {
+                *overlap.entry(l).or_default() += 1;
+            }
+        }
+        for (l, n_ij) in overlap {
+            let p = n_ij as f64 / cluster_size as f64;
+            let r = n_ij as f64 / class_size[&l] as f64;
+            let f = if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+            let e = best.get_mut(&l).expect("class seen in store");
+            if f > *e {
+                *e = f;
+            }
+        }
+    }
+
+    let overall = best
+        .iter()
+        .map(|(l, f)| class_size[l] as f64 / labeled_points as f64 * f)
+        .sum();
+    let mut per_class: Vec<(u32, f64)> = best.into_iter().collect();
+    per_class.sort_unstable_by_key(|&(l, _)| l);
+    FScore {
+        overall,
+        per_class,
+        labeled_points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_two_classes() -> (PointStore, Vec<u64>, Vec<u64>) {
+        let mut s = PointStore::new(1);
+        let a: Vec<u64> = (0..10)
+            .map(|i| u64::from(s.insert(&[i as f64], Some(0)).0))
+            .collect();
+        let b: Vec<u64> = (0..30)
+            .map(|i| u64::from(s.insert(&[100.0 + i as f64], Some(1)).0))
+            .collect();
+        (s, a, b)
+    }
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let (store, a, b) = store_with_two_classes();
+        let f = fscore(&store, &[a, b]);
+        assert!((f.overall - 1.0).abs() < 1e-12);
+        assert_eq!(f.labeled_points, 40);
+        assert_eq!(f.per_class.len(), 2);
+        assert!(f.per_class.iter().all(|&(_, v)| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn merged_clusters_lose_precision() {
+        let (store, a, b) = store_with_two_classes();
+        let mut merged = a.clone();
+        merged.extend_from_slice(&b);
+        let f = fscore(&store, &[merged]);
+        // Class 0: p = 10/40, r = 1 → F = 0.4; class 1: p = 30/40, r = 1 →
+        // F = 6/7. Weighted: (10·0.4 + 30·6/7)/40.
+        let expect = (10.0 * 0.4 + 30.0 * (6.0 / 7.0)) / 40.0;
+        assert!((f.overall - expect).abs() < 1e-12, "{}", f.overall);
+    }
+
+    #[test]
+    fn split_class_loses_recall() {
+        let (store, a, b) = store_with_two_classes();
+        let (b1, b2) = b.split_at(15);
+        let f = fscore(&store, &[a, b1.to_vec(), b2.to_vec()]);
+        // Class 1's best match has p = 1, r = 0.5 → F = 2/3.
+        let expect = (10.0 * 1.0 + 30.0 * (2.0 / 3.0)) / 40.0;
+        assert!((f.overall - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_in_cluster_reduces_precision_only() {
+        let mut s = PointStore::new(1);
+        let mut cluster: Vec<u64> = (0..10)
+            .map(|i| u64::from(s.insert(&[i as f64], Some(0)).0))
+            .collect();
+        for i in 0..10 {
+            cluster.push(u64::from(s.insert(&[50.0 + i as f64], None).0));
+        }
+        let f = fscore(&s, &[cluster]);
+        // p = 0.5, r = 1 → F = 2/3; noise is not a class.
+        assert!((f.overall - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(f.labeled_points, 10);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (store, _, _) = store_with_two_classes();
+        assert_eq!(fscore(&store, &[]).overall, 0.0);
+
+        let empty = PointStore::new(1);
+        assert_eq!(fscore(&empty, &[vec![]]).overall, 0.0);
+    }
+
+    #[test]
+    fn unclustered_class_scores_zero_for_that_class() {
+        let (store, a, _) = store_with_two_classes();
+        let f = fscore(&store, &[a]);
+        let class1 = f.per_class.iter().find(|&&(l, _)| l == 1).unwrap().1;
+        assert_eq!(class1, 0.0);
+        assert!((f.overall - 10.0 / 40.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! Evaluation machinery for the paper's experiments.
+//!
+//! * [`fscore`](mod@fscore) — the F-measure of Larsen & Aone (the paper's \[13\]):
+//!   per-(class, cluster) `F = 2pr/(p+r)`, aggregated as the class-size
+//!   weighted maximum over clusters. This is the quality number of Table 1.
+//! * [`compactness`] — the sum of squared distances of each bubble's
+//!   members to its representative (Table 1's second metric), reported per
+//!   point so databases of different sizes are comparable.
+//! * [`ari`] — the Adjusted Rand Index, a chance-corrected whole-partition
+//!   metric complementing the best-match F-measure.
+//! * [`accounting`] — distance-computation bookkeeping: pruning fractions
+//!   (Figure 10) and the distance saving factor of incremental maintenance
+//!   vs. complete rebuild (Figure 11).
+//! * [`stats`] — mean/standard-deviation aggregation over experiment
+//!   repetitions.
+//! * [`table`] — fixed-width console tables and CSV files for the
+//!   experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod ari;
+pub mod compactness;
+pub mod fscore;
+pub mod stats;
+pub mod table;
+
+pub use accounting::{distance_saving_factor, rebuild_cost};
+pub use ari::adjusted_rand_index;
+pub use compactness::compactness_per_point;
+pub use fscore::{fscore, FScore};
+pub use stats::Aggregate;
+pub use table::{write_csv, Table};

@@ -1,0 +1,106 @@
+//! Aggregation of repeated measurements.
+//!
+//! Table 1 reports every number as mean and standard deviation over ten
+//! repetitions; [`Aggregate`] is that pair, computed with Welford's online
+//! algorithm so very long series stay numerically stable.
+
+/// Online mean / standard-deviation accumulator (Welford).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Aggregate {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Aggregate {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Aggregates an iterator of samples.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut a = Self::new();
+        for s in samples {
+            a.push(s);
+        }
+        a
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (0 for fewer than two samples) — the
+    /// spread of the repetitions themselves, as Table 1 reports.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_series() {
+        let a = Aggregate::from_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(a.count(), 8);
+        assert!((a.mean() - 5.0).abs() < 1e-12);
+        assert!((a.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample() {
+        let a = Aggregate::from_samples([3.5]);
+        assert_eq!(a.mean(), 3.5);
+        assert_eq!(a.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn empty() {
+        let a = Aggregate::new();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn constant_series_has_zero_std() {
+        let a = Aggregate::from_samples(std::iter::repeat(1.25).take(100));
+        assert!((a.mean() - 1.25).abs() < 1e-12);
+        assert!(a.std_dev() < 1e-12);
+    }
+
+    #[test]
+    fn stable_for_large_offsets() {
+        // Welford keeps precision where the naive sum-of-squares would
+        // catastrophically cancel.
+        let base = 1e9;
+        let a = Aggregate::from_samples((0..1000).map(|i| base + (i % 2) as f64));
+        assert!((a.mean() - (base + 0.5)).abs() < 1e-3);
+        assert!((a.std_dev() - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,167 @@
+//! Console tables and CSV output for the experiment harness.
+//!
+//! Deliberately tiny: a fixed-width text renderer whose output mirrors the
+//! paper's tables, plus a CSV writer for downstream plotting. No external
+//! dependencies.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header width.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data row exists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}", w = w);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let sep: Vec<String> = (0..cols).map(|i| "-".repeat(widths[i])).collect();
+        line(&sep, &mut out);
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Serializes as CSV (header + rows). Commas inside cells are replaced
+    /// by semicolons — the harness never produces them, this is a guard.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |c: &str| c.replace(',', ";");
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes a table as a CSV file, creating parent directories.
+pub fn write_csv(table: &Table, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, table.to_csv())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["dataset", "F"]);
+        t.push_row(["random2d", "0.84"]);
+        t.push_row(["complex20d", "0.62"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("dataset"));
+        assert!(lines[1].starts_with("----------"));
+        assert!(lines[2].contains("0.84"));
+        // The second column starts at the same offset in every row.
+        let col = lines[2].find("0.84").unwrap();
+        assert_eq!(lines[3].find("0.62").unwrap(), col);
+    }
+
+    #[test]
+    fn csv_round_trip_structure() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(["a"]);
+        t.push_row(["x,y"]);
+        assert_eq!(t.to_csv(), "a\nx;y\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("idb_eval_test_csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        let mut t = Table::new(["x"]);
+        t.push_row(["1"]);
+        write_csv(&t, &path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

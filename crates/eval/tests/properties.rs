@@ -1,0 +1,106 @@
+//! Property-based tests for the evaluation metrics.
+
+use idb_eval::{adjusted_rand_index, fscore, Aggregate};
+use idb_store::PointStore;
+use proptest::prelude::*;
+
+/// Builds a labeled store of `sizes.len()` classes and returns the id
+/// lists per class.
+fn labeled_store(sizes: &[usize]) -> (PointStore, Vec<Vec<u64>>) {
+    let mut store = PointStore::new(1);
+    let mut classes = Vec::new();
+    for (c, &n) in sizes.iter().enumerate() {
+        let ids: Vec<u64> = (0..n)
+            .map(|i| u64::from(store.insert(&[i as f64], Some(c as u32)).0))
+            .collect();
+        classes.push(ids);
+    }
+    (store, classes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// F-score is in [0, 1]; the ground-truth partition itself scores 1.
+    #[test]
+    fn fscore_bounds_and_identity(sizes in prop::collection::vec(2usize..30, 1..6)) {
+        let (store, classes) = labeled_store(&sizes);
+        let perfect = fscore(&store, &classes);
+        prop_assert!((perfect.overall - 1.0).abs() < 1e-12);
+        // Any sub-partition still scores within bounds.
+        let halves: Vec<Vec<u64>> = classes
+            .iter()
+            .flat_map(|c| {
+                let mid = c.len() / 2;
+                vec![c[..mid].to_vec(), c[mid..].to_vec()]
+            })
+            .filter(|c| !c.is_empty())
+            .collect();
+        let f = fscore(&store, &halves);
+        prop_assert!(f.overall >= 0.0 && f.overall <= 1.0 + 1e-12);
+    }
+
+    /// F-score and ARI are invariant under permutation of cluster order.
+    #[test]
+    fn metrics_invariant_under_cluster_permutation(
+        sizes in prop::collection::vec(2usize..20, 2..5),
+        rotate in 1usize..4,
+    ) {
+        let (store, classes) = labeled_store(&sizes);
+        let mut rotated = classes.clone();
+        let by = rotate % rotated.len();
+        rotated.rotate_left(by);
+        // Summation order differs after rotation → compare approximately.
+        prop_assert!(
+            (fscore(&store, &classes).overall - fscore(&store, &rotated).overall).abs() < 1e-12
+        );
+        prop_assert!(
+            (adjusted_rand_index(&store, &classes) - adjusted_rand_index(&store, &rotated)).abs()
+                < 1e-12
+        );
+    }
+
+    /// ARI never exceeds 1 and equals 1 exactly for the true partition
+    /// (when it has at least two classes).
+    #[test]
+    fn ari_bounds(sizes in prop::collection::vec(2usize..20, 2..5)) {
+        let (store, classes) = labeled_store(&sizes);
+        let ari = adjusted_rand_index(&store, &classes);
+        prop_assert!((ari - 1.0).abs() < 1e-12);
+        // A coarsening (merge all) scores strictly less.
+        let merged: Vec<u64> = classes.iter().flatten().copied().collect();
+        let coarse = adjusted_rand_index(&store, &[merged]);
+        prop_assert!(coarse <= 1.0);
+        prop_assert!(coarse < 0.5);
+    }
+
+    /// Welford aggregate matches the naive two-pass computation.
+    #[test]
+    fn aggregate_matches_two_pass(samples in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+        let agg = Aggregate::from_samples(samples.iter().copied());
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert!((agg.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((agg.std_dev() - var.sqrt()).abs() < 1e-6 * (1.0 + var.sqrt()));
+    }
+
+    /// The F-score of a clustering never improves when a cluster is split
+    /// at random (best-match F per class can only stay or drop).
+    #[test]
+    fn splitting_never_helps_fscore(
+        sizes in prop::collection::vec(4usize..30, 1..4),
+        which in 0usize..4,
+    ) {
+        let (store, classes) = labeled_store(&sizes);
+        let base = fscore(&store, &classes).overall;
+        let mut split = classes.clone();
+        let idx = which % split.len();
+        let victim = split.remove(idx);
+        let mid = victim.len() / 2;
+        split.push(victim[..mid].to_vec());
+        split.push(victim[mid..].to_vec());
+        let f = fscore(&store, &split).overall;
+        prop_assert!(f <= base + 1e-12, "split improved F: {f} > {base}");
+    }
+}

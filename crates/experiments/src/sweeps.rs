@@ -1,0 +1,113 @@
+//! Figures 9, 10 and 11 — the update-size sweeps on the complex database.
+//!
+//! All three figures vary the batch size (percentage of the database
+//! deleted and inserted per batch) on the complex scenario and plot one
+//! bookkeeping metric:
+//!
+//! * **Figure 9** — average percentage of bubbles rebuilt per maintenance
+//!   round (small; grows with update size).
+//! * **Figure 10** — percentage of point-to-seed distance computations
+//!   pruned by the triangle inequality (60–80 %, slowly decreasing).
+//! * **Figure 11** — the distance saving factor of incremental+TI over a
+//!   complete rebuild without TI (≈200× at 2 % updates down to ≈40× at
+//!   10 %).
+
+use crate::common::{f1, run_rep_with, RunConfig};
+use idb_eval::{write_csv, Aggregate, Table};
+use idb_synth::ScenarioKind;
+
+/// The update sizes the paper sweeps (fractions of the database).
+pub const UPDATE_FRACTIONS: [f64; 5] = [0.02, 0.04, 0.06, 0.08, 0.10];
+
+struct SweepPoint {
+    update_pct: f64,
+    rebuilt_pct: Aggregate,
+    pruned_pct: Aggregate,
+    saving: Aggregate,
+}
+
+fn sweep(cfg: &RunConfig) -> Vec<SweepPoint> {
+    UPDATE_FRACTIONS
+        .iter()
+        .map(|&f| {
+            let mut point = SweepPoint {
+                update_pct: f * 100.0,
+                rebuilt_pct: Aggregate::new(),
+                pruned_pct: Aggregate::new(),
+                saving: Aggregate::new(),
+            };
+            let cfg_f = RunConfig {
+                update_fraction: f,
+                ..cfg.clone()
+            };
+            for rep in 0..cfg.reps {
+                let out = run_rep_with(ScenarioKind::Complex, 2, &cfg_f, rep, false);
+                point.rebuilt_pct.push(out.rebuilt_fraction * 100.0);
+                point.pruned_pct.push(out.pruned_fraction * 100.0);
+                point.saving.push(out.saving_factor);
+            }
+            eprintln!("  finished update size {:.0} %", f * 100.0);
+            point
+        })
+        .collect()
+}
+
+/// Runs all three sweeps in one pass (they share the runs) and emits each
+/// figure's series. `which` selects the figures to print: any subset of
+/// {9, 10, 11}.
+pub fn run(cfg: &RunConfig, which: &[u8]) {
+    println!(
+        "Figures {:?}: update-size sweeps on the complex database ({} reps, \
+         {} points, {} bubbles, {} batches each)",
+        which, cfg.reps, cfg.size, cfg.num_bubbles, cfg.batches
+    );
+    let points = sweep(cfg);
+
+    if which.contains(&9) {
+        let mut t = Table::new(["update %", "rebuilt bubbles % (mean)", "std"]);
+        for p in &points {
+            t.push_row([
+                f1(p.update_pct),
+                format!("{:.2}", p.rebuilt_pct.mean()),
+                format!("{:.2}", p.rebuilt_pct.std_dev()),
+            ]);
+        }
+        println!("\nFigure 9: average % of rebuilt data bubbles vs % of points updated");
+        println!("{}", t.render());
+        write_csv(&t, &cfg.out_dir.join("fig9.csv")).expect("write fig9.csv");
+        println!("expected shape: a small percentage, increasing with update size");
+    }
+
+    if which.contains(&10) {
+        let mut t = Table::new(["update %", "pruned distance computations % (mean)", "std"]);
+        for p in &points {
+            t.push_row([
+                f1(p.update_pct),
+                f1(p.pruned_pct.mean()),
+                format!("{:.2}", p.pruned_pct.std_dev()),
+            ]);
+        }
+        println!("\nFigure 10: % of distance computations pruned by the triangle inequality");
+        println!("{}", t.render());
+        write_csv(&t, &cfg.out_dir.join("fig10.csv")).expect("write fig10.csv");
+        println!("expected shape: 60–80 %, slowly decreasing as updates grow");
+    }
+
+    if which.contains(&11) {
+        let mut t = Table::new(["update %", "distance saving factor (mean)", "std"]);
+        for p in &points {
+            t.push_row([
+                f1(p.update_pct),
+                f1(p.saving.mean()),
+                f1(p.saving.std_dev()),
+            ]);
+        }
+        println!(
+            "\nFigure 11: distance saving factor — complete rebuild w/o triangle \
+             inequality vs incremental with it"
+        );
+        println!("{}", t.render());
+        write_csv(&t, &cfg.out_dir.join("fig11.csv")).expect("write fig11.csv");
+        println!("expected shape: ≈200x at 2 % updates falling to ≈40x at 10 %");
+    }
+}

@@ -1,0 +1,89 @@
+//! Table 1 — F-score and compactness of the incremental scheme vs.
+//! complete rebuilds, over the paper's eleven dataset/dimension
+//! combinations, as mean ± standard deviation over repetitions.
+
+use crate::common::{f4, run_rep, RunConfig};
+use idb_eval::{write_csv, Aggregate, Table};
+use idb_synth::ScenarioKind;
+
+/// The dataset list of Table 1, in the paper's row order.
+pub fn datasets() -> Vec<(ScenarioKind, usize)> {
+    vec![
+        (ScenarioKind::Random, 2),
+        (ScenarioKind::Appear, 2),
+        (ScenarioKind::Disappear, 2),
+        (ScenarioKind::ExtremeAppear, 2),
+        (ScenarioKind::GradMove, 2),
+        (ScenarioKind::Random, 10),
+        (ScenarioKind::ExtremeAppear, 10),
+        (ScenarioKind::Complex, 2),
+        (ScenarioKind::Complex, 5),
+        (ScenarioKind::Complex, 10),
+        (ScenarioKind::Complex, 20),
+    ]
+}
+
+/// Runs the full table.
+pub fn run(cfg: &RunConfig) {
+    println!(
+        "Table 1: F-score and compactness, complete rebuild vs incremental \
+         ({} reps, {} points, {} bubbles, {} batches of {:.0} % updates)",
+        cfg.reps,
+        cfg.size,
+        cfg.num_bubbles,
+        cfg.batches,
+        cfg.update_fraction * 100.0
+    );
+    let mut table = Table::new([
+        "dataset",
+        "scheme",
+        "F mean",
+        "F std",
+        "ARI mean",
+        "compact mean",
+        "compact std",
+    ]);
+
+    for (kind, dim) in datasets() {
+        let name = format!("{}{}d", kind.name(), dim);
+        let mut f_inc = Aggregate::new();
+        let mut f_com = Aggregate::new();
+        let mut ari_inc = Aggregate::new();
+        let mut ari_com = Aggregate::new();
+        let mut c_inc = Aggregate::new();
+        let mut c_com = Aggregate::new();
+        for rep in 0..cfg.reps {
+            let out = run_rep(kind, dim, cfg, rep);
+            f_inc.push(out.f_incremental);
+            f_com.push(out.f_complete);
+            ari_inc.push(out.ari_incremental);
+            ari_com.push(out.ari_complete);
+            c_inc.push(out.compact_incremental);
+            c_com.push(out.compact_complete);
+        }
+        table.push_row([
+            name.clone(),
+            "complete".into(),
+            f4(f_com.mean()),
+            f4(f_com.std_dev()),
+            f4(ari_com.mean()),
+            f4(c_com.mean()),
+            f4(c_com.std_dev()),
+        ]);
+        table.push_row([
+            name.clone(),
+            "inc".into(),
+            f4(f_inc.mean()),
+            f4(f_inc.std_dev()),
+            f4(ari_inc.mean()),
+            f4(c_inc.mean()),
+            f4(c_inc.std_dev()),
+        ]);
+        eprintln!("  finished {name}");
+    }
+
+    println!("{}", table.render());
+    let path = cfg.out_dir.join("table1.csv");
+    write_csv(&table, &path).expect("write table1.csv");
+    println!("(csv written to {})", path.display());
+}

@@ -1,0 +1,440 @@
+//! Nearest-seed search with triangle-inequality pruning (paper, Section 3).
+//!
+//! Constructing data bubbles assigns every database point to its closest
+//! seed. Lemma 1 of the paper lets us skip computing `dist(p, s_j)` whenever
+//! `dist(s_c, s_j) >= 2 · dist(p, s_c)` for the current best candidate
+//! `s_c`: the pairwise seed distances are precomputed once in a
+//! [`SymMatrix`], and each skipped evaluation is recorded as *pruned* in the
+//! caller's [`SearchStats`].
+//!
+//! [`NearestSeeds`] owns the seed coordinates (flat, contiguous) together
+//! with their pairwise distance matrix and offers:
+//!
+//! * [`NearestSeeds::nearest_brute`] — the baseline that computes all `s`
+//!   distances (what a standard implementation does);
+//! * [`NearestSeeds::nearest_pruned`] — the Figure 2 algorithm;
+//! * O(s) seed replacement ([`NearestSeeds::replace`]) used when a bubble is
+//!   rebuilt by a merge/split, which refreshes one matrix row.
+
+use crate::matrix::SymMatrix;
+use crate::metric::dist;
+use crate::stats::SearchStats;
+
+/// A set of seed points plus their pairwise distance matrix.
+///
+/// Seeds are identified by dense indices `0..len()`; the incremental
+/// maintainer keeps these indices aligned with its bubble ids.
+///
+/// # Examples
+/// ```
+/// use idb_geometry::{NearestSeeds, SearchStats};
+///
+/// let seeds = NearestSeeds::from_seeds(
+///     1,
+///     [[0.0].as_slice(), [10.0].as_slice(), [20.0].as_slice()],
+/// );
+/// let mut stats = SearchStats::new();
+/// // Start from seed 0 (the hint): its distance is 1, and both other
+/// // seeds are >= 2x that far from it, so the triangle inequality prunes
+/// // them without ever measuring their distance to the query.
+/// let (idx, d) = seeds.nearest_pruned(&[1.0], None, Some(0), &mut stats).unwrap();
+/// assert_eq!(idx, 0);
+/// assert_eq!(d, 1.0);
+/// assert_eq!(stats.computed, 1);
+/// assert_eq!(stats.pruned, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NearestSeeds {
+    dim: usize,
+    coords: Vec<f64>,
+    pairwise: SymMatrix,
+}
+
+impl NearestSeeds {
+    /// Creates an empty seed set for points of dimensionality `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "NearestSeeds requires dim > 0");
+        Self {
+            dim,
+            coords: Vec::new(),
+            pairwise: SymMatrix::zeros(0),
+        }
+    }
+
+    /// Builds a seed set from an iterator of seed coordinates.
+    ///
+    /// # Panics
+    /// Panics if any seed's dimensionality differs from `dim`.
+    pub fn from_seeds<'a, I>(dim: usize, seeds: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let mut set = Self::new(dim);
+        for s in seeds {
+            set.push(s);
+        }
+        set
+    }
+
+    /// Dimensionality of the seeds.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of seeds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairwise.len()
+    }
+
+    /// `true` when the set holds no seeds.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Coordinates of seed `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn seed(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Pairwise distance between seeds `i` and `j` as stored in the matrix.
+    #[inline]
+    #[must_use]
+    pub fn pair_distance(&self, i: usize, j: usize) -> f64 {
+        self.pairwise.get(i, j)
+    }
+
+    /// Appends a new seed, filling in its pairwise distance row, and returns
+    /// its index.
+    ///
+    /// # Panics
+    /// Panics if the seed's dimensionality differs from the set's.
+    pub fn push(&mut self, seed: &[f64]) -> usize {
+        assert_eq!(seed.len(), self.dim, "seed dimensionality mismatch");
+        self.coords.extend_from_slice(seed);
+        let idx = self.pairwise.push_row();
+        let coords = &self.coords;
+        let dim = self.dim;
+        self.pairwise
+            .refresh_row(idx, |j| dist(seed, &coords[j * dim..(j + 1) * dim]));
+        idx
+    }
+
+    /// Replaces seed `i` with new coordinates, recomputing its pairwise
+    /// distance row in O(s) — the bookkeeping the paper performs when a
+    /// bubble is re-seeded during a merge/split rebuild.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds or the dimensionality differs.
+    pub fn replace(&mut self, i: usize, seed: &[f64]) {
+        assert_eq!(seed.len(), self.dim, "seed dimensionality mismatch");
+        assert!(i < self.len(), "seed index out of bounds");
+        self.coords[i * self.dim..(i + 1) * self.dim].copy_from_slice(seed);
+        let coords = &self.coords;
+        let dim = self.dim;
+        self.pairwise
+            .refresh_row(i, |j| dist(seed, &coords[j * dim..(j + 1) * dim]));
+    }
+
+    /// Removes seed `i` with swap-remove semantics: the last seed takes
+    /// index `i`. The pairwise matrix follows. O(s²); used only when a
+    /// bubble is retired by the adaptive maintenance extension.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn swap_remove(&mut self, i: usize) {
+        let s = self.len();
+        assert!(i < s, "seed index out of bounds");
+        let last = s - 1;
+        if i != last {
+            let (head, tail) = self.coords.split_at_mut(last * self.dim);
+            head[i * self.dim..(i + 1) * self.dim].copy_from_slice(&tail[..self.dim]);
+        }
+        self.coords.truncate(last * self.dim);
+        self.pairwise.swap_remove(i);
+    }
+
+    /// Brute-force nearest seed: computes the distance from `p` to every
+    /// seed (optionally skipping `exclude`). Returns `(index, distance)`,
+    /// or `None` when no candidate exists.
+    ///
+    /// Every evaluated distance is charged to `stats.computed`.
+    pub fn nearest_brute(
+        &self,
+        p: &[f64],
+        exclude: Option<usize>,
+        stats: &mut SearchStats,
+    ) -> Option<(usize, f64)> {
+        debug_assert_eq!(p.len(), self.dim, "query dimensionality mismatch");
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.len() {
+            if Some(i) == exclude {
+                continue;
+            }
+            let d = dist(p, self.seed(i));
+            stats.computed += 1;
+            match best {
+                Some((_, bd)) if bd <= d => {}
+                _ => best = Some((i, d)),
+            }
+        }
+        best
+    }
+
+    /// Nearest seed via the triangle-inequality algorithm of Figure 2.
+    ///
+    /// `hint`, when given, is used as the initial candidate seed — a caller
+    /// that suspects a nearby seed (e.g. the bubble a point used to belong
+    /// to) can seed the search with it to maximize pruning. `exclude` removes
+    /// one seed from consideration (used when releasing the members of a
+    /// merged-away donor bubble, which must not re-attract its own points).
+    ///
+    /// Computed distances are charged to `stats.computed`; candidates
+    /// eliminated by Lemma 1 are charged to `stats.pruned`. The result is
+    /// identical to [`Self::nearest_brute`] up to ties.
+    ///
+    /// This variant allocates a candidate scratch buffer; the zero-allocation
+    /// version is [`Self::nearest_pruned_with`].
+    pub fn nearest_pruned(
+        &self,
+        p: &[f64],
+        exclude: Option<usize>,
+        hint: Option<usize>,
+        stats: &mut SearchStats,
+    ) -> Option<(usize, f64)> {
+        let mut scratch = Vec::new();
+        self.nearest_pruned_with(p, exclude, hint, stats, &mut scratch)
+    }
+
+    /// [`Self::nearest_pruned`] with a caller-owned scratch buffer, so the
+    /// per-point assignment loop performs no heap allocation.
+    pub fn nearest_pruned_with(
+        &self,
+        p: &[f64],
+        exclude: Option<usize>,
+        hint: Option<usize>,
+        stats: &mut SearchStats,
+        scratch: &mut Vec<u32>,
+    ) -> Option<(usize, f64)> {
+        debug_assert_eq!(p.len(), self.dim, "query dimensionality mismatch");
+        let s = self.len();
+        scratch.clear();
+        scratch.reserve(s);
+
+        // Initial candidate: the hint when valid, otherwise the last seed
+        // (so the remaining candidates can be popped from the back).
+        let start = match (hint, exclude) {
+            (Some(h), e) if h < s && Some(h) != e => h,
+            _ => {
+                let mut chosen = None;
+                for i in (0..s).rev() {
+                    if Some(i) != exclude {
+                        chosen = Some(i);
+                        break;
+                    }
+                }
+                chosen?
+            }
+        };
+        for i in 0..s {
+            if i != start && Some(i) != exclude {
+                scratch.push(i as u32);
+            }
+        }
+
+        let mut cur = start;
+        let mut min_d = dist(p, self.seed(cur));
+        stats.computed += 1;
+
+        loop {
+            // Prune every remaining candidate that Lemma 1 rules out with
+            // respect to the current best candidate.
+            let row = self.pairwise.row(cur);
+            let before = scratch.len();
+            scratch.retain(|&j| row[j as usize] < 2.0 * min_d);
+            stats.pruned += (before - scratch.len()) as u64;
+
+            // The next surviving candidate must have its distance computed.
+            let Some(j) = scratch.pop() else {
+                return Some((cur, min_d));
+            };
+            let j = j as usize;
+            let d = dist(p, self.seed(j));
+            stats.computed += 1;
+            if d < min_d {
+                cur = j;
+                min_d = d;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_seeds() -> NearestSeeds {
+        // Four seeds on a 2-d grid, well separated.
+        NearestSeeds::from_seeds(
+            2,
+            [
+                [0.0, 0.0].as_slice(),
+                [10.0, 0.0].as_slice(),
+                [0.0, 10.0].as_slice(),
+                [10.0, 10.0].as_slice(),
+            ],
+        )
+    }
+
+    #[test]
+    fn pairwise_matrix_filled_on_push() {
+        let s = grid_seeds();
+        assert_eq!(s.len(), 4);
+        assert!((s.pair_distance(0, 1) - 10.0).abs() < 1e-12);
+        assert!((s.pair_distance(0, 3) - 200f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.pair_distance(2, 2), 0.0);
+    }
+
+    #[test]
+    fn brute_and_pruned_agree() {
+        let s = grid_seeds();
+        let queries = [
+            [1.0, 1.0],
+            [9.0, 1.0],
+            [2.0, 9.0],
+            [8.5, 8.5],
+            [5.0, 5.0],
+            [-3.0, -4.0],
+        ];
+        for q in &queries {
+            let mut b = SearchStats::new();
+            let mut t = SearchStats::new();
+            let (bi, bd) = s.nearest_brute(q, None, &mut b).unwrap();
+            let (ti, td) = s.nearest_pruned(q, None, None, &mut t).unwrap();
+            assert!((bd - td).abs() < 1e-12);
+            // Ties could pick different indices; for these queries there are
+            // no ties except the exact center, where distance equality holds.
+            if (q[0] - 5.0).abs() > 1e-9 || (q[1] - 5.0).abs() > 1e-9 {
+                assert_eq!(bi, ti, "query {q:?}");
+            }
+            assert_eq!(t.total(), b.computed, "pruned+computed == brute cost");
+        }
+    }
+
+    #[test]
+    fn pruning_actually_happens_near_a_seed() {
+        let s = grid_seeds();
+        let mut stats = SearchStats::new();
+        // A point almost on seed 0: every other seed is >= 10 away, i.e.
+        // >= 2 * dist(p, s0), so all three must be pruned after one
+        // distance computation when starting from seed 0.
+        let (idx, _) = s
+            .nearest_pruned(&[0.1, 0.1], None, Some(0), &mut stats)
+            .unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(stats.computed, 1);
+        assert_eq!(stats.pruned, 3);
+    }
+
+    #[test]
+    fn exclusion_is_respected() {
+        let s = grid_seeds();
+        let mut stats = SearchStats::new();
+        let (idx, d) = s
+            .nearest_pruned(&[0.1, 0.1], Some(0), None, &mut stats)
+            .unwrap();
+        assert_ne!(idx, 0);
+        // Next closest are seeds 1 and 2, symmetric; distance ~ 9.9.
+        assert!(d > 9.0 && d < 11.0);
+
+        let mut stats = SearchStats::new();
+        let (bidx, bd) = s.nearest_brute(&[0.1, 0.1], Some(0), &mut stats).unwrap();
+        assert_ne!(bidx, 0);
+        assert!((bd - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_returns_none() {
+        let s = NearestSeeds::new(3);
+        let mut stats = SearchStats::new();
+        assert!(s.nearest_brute(&[0.0, 0.0, 0.0], None, &mut stats).is_none());
+        assert!(s
+            .nearest_pruned(&[0.0, 0.0, 0.0], None, None, &mut stats)
+            .is_none());
+    }
+
+    #[test]
+    fn single_seed_excluded_returns_none() {
+        let mut s = NearestSeeds::new(1);
+        s.push(&[5.0]);
+        let mut stats = SearchStats::new();
+        assert!(s.nearest_pruned(&[0.0], Some(0), None, &mut stats).is_none());
+    }
+
+    #[test]
+    fn replace_updates_matrix_and_results() {
+        let mut s = grid_seeds();
+        // Move seed 3 next to the origin.
+        s.replace(3, &[0.5, 0.5]);
+        assert!((s.pair_distance(3, 0) - 0.5f64.sqrt()).abs() < 1e-12);
+        let mut stats = SearchStats::new();
+        let (idx, _) = s
+            .nearest_pruned(&[0.6, 0.6], None, None, &mut stats)
+            .unwrap();
+        assert_eq!(idx, 3);
+    }
+
+    #[test]
+    fn swap_remove_keeps_matrix_consistent() {
+        let mut s = grid_seeds();
+        s.swap_remove(1); // seed (10, 0) removed; (10, 10) takes index 1
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.seed(1), &[10.0, 10.0]);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = dist(s.seed(i), s.seed(j));
+                assert!((s.pair_distance(i, j) - expect).abs() < 1e-12, "({i},{j})");
+            }
+        }
+        // Searches still agree with brute force.
+        let mut b = SearchStats::new();
+        let mut p = SearchStats::new();
+        let q = [9.0, 9.0];
+        let (bi, bd) = s.nearest_brute(&q, None, &mut b).unwrap();
+        let (pi, pd) = s.nearest_pruned(&q, None, None, &mut p).unwrap();
+        assert_eq!(bi, pi);
+        assert!((bd - pd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_remove_last_seed() {
+        let mut s = grid_seeds();
+        s.swap_remove(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.seed(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn hint_does_not_change_result() {
+        let s = grid_seeds();
+        for hint in 0..4 {
+            let mut stats = SearchStats::new();
+            let (idx, d) = s
+                .nearest_pruned(&[9.0, 9.5], None, Some(hint), &mut stats)
+                .unwrap();
+            assert_eq!(idx, 3);
+            assert!((d - dist(&[9.0, 9.5], &[10.0, 10.0])).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Geometric primitives for the incremental data bubbles pipeline.
+//!
+//! This crate provides the low-level machinery every other crate builds on:
+//!
+//! * [`metric`] — Euclidean distance kernels over flat `&[f64]` coordinate
+//!   slices, in plain and *instrumented* (distance-counting) flavours. The
+//!   paper's Figures 10 and 11 report distance-computation counts, so the
+//!   counting is a first-class citizen rather than an afterthought.
+//! * [`stats`] — [`SearchStats`], the accumulator for
+//!   computed vs. pruned distance calculations.
+//! * [`matrix`] — [`SymMatrix`], the seed–seed pairwise
+//!   distance matrix required by the triangle-inequality pruning lemma.
+//! * [`assign`] — [`NearestSeeds`], the Figure 2
+//!   algorithm of the paper: nearest-seed search that prunes candidate seeds
+//!   with the triangle inequality, plus the brute-force baseline.
+//! * [`kdtree`] — a k-d tree for point-level range and k-NN queries, used by
+//!   the point-level OPTICS and DBSCAN substrates.
+//!
+//! Points are represented as `&[f64]` slices of a fixed dimensionality; all
+//! containers store coordinates contiguously (structure-of-arrays) to keep
+//! the hot distance loops cache-friendly and allocation-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assign;
+pub mod kdtree;
+pub mod matrix;
+pub mod metric;
+pub mod stats;
+
+pub use assign::NearestSeeds;
+pub use kdtree::KdTree;
+pub use matrix::SymMatrix;
+pub use metric::{dist, sq_dist};
+pub use stats::SearchStats;

@@ -1,0 +1,224 @@
+//! Symmetric pairwise distance matrix over a set of seeds.
+//!
+//! The triangle-inequality pruning of the paper (Section 3) requires the
+//! pairwise distances among all data-bubble seeds to be known before points
+//! are assigned. The number of seeds `s` is small relative to the database
+//! (hundreds to low thousands), so we store the full `s × s` matrix in one
+//! contiguous buffer: row access during the pruning pass is then a linear
+//! scan, which matters because the pruning loop is the hottest comparison
+//! loop in the whole system.
+
+/// Dense symmetric `n × n` matrix of `f64` values with zero diagonal.
+///
+/// Both `(i, j)` and `(j, i)` entries are materialized so that reading a full
+/// row never needs index arithmetic beyond `row * n + col`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Creates an `n × n` matrix of zeros.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Number of rows (== number of columns).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the matrix has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Reads the entry at `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "SymMatrix index out of bounds");
+        self.data[i * self.n + j]
+    }
+
+    /// Sets the symmetric pair `(i, j)` and `(j, i)` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.n && j < self.n, "SymMatrix index out of bounds");
+        self.data[i * self.n + j] = value;
+        self.data[j * self.n + i] = value;
+    }
+
+    /// Borrow of row `i` as a contiguous slice of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n, "SymMatrix row out of bounds");
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Grows the matrix by one zero row/column, returning the new index.
+    pub fn push_row(&mut self) -> usize {
+        let old = self.n;
+        let new = old + 1;
+        let mut data = vec![0.0; new * new];
+        for i in 0..old {
+            data[i * new..i * new + old].copy_from_slice(&self.data[i * old..(i + 1) * old]);
+        }
+        self.n = new;
+        self.data = data;
+        old
+    }
+
+    /// Removes row/column `i` by moving the last row/column into its place
+    /// (swap-remove semantics): the element previously at index `n − 1` is
+    /// afterwards at index `i`. O(n²), used only by rare structural
+    /// operations (retiring a data bubble).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn swap_remove(&mut self, i: usize) {
+        let n = self.n;
+        assert!(i < n, "SymMatrix index out of bounds");
+        let m = n - 1;
+        let map = |k: usize| if k == i { m } else { k };
+        let mut data = vec![0.0; m * m];
+        for a in 0..m {
+            for b in 0..m {
+                data[a * m + b] = self.data[map(a) * n + map(b)];
+            }
+        }
+        self.n = m;
+        self.data = data;
+    }
+
+    /// Recomputes row (and the mirrored column) `i` from a distance oracle.
+    ///
+    /// The oracle receives the *other* index `j != i` and must return the new
+    /// distance between element `i` and element `j`. The diagonal stays zero.
+    /// This is exactly the O(s) bookkeeping the paper performs when a bubble
+    /// is re-seeded by a merge/split rebuild.
+    pub fn refresh_row<F: FnMut(usize) -> f64>(&mut self, i: usize, mut oracle: F) {
+        assert!(i < self.n, "SymMatrix row out of bounds");
+        for j in 0..self.n {
+            if j == i {
+                continue;
+            }
+            let d = oracle(j);
+            self.set(i, j, d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = SymMatrix::zeros(3);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn set_is_symmetric() {
+        let mut m = SymMatrix::zeros(4);
+        m.set(1, 3, 2.5);
+        assert_eq!(m.get(1, 3), 2.5);
+        assert_eq!(m.get(3, 1), 2.5);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn row_is_contiguous_view() {
+        let mut m = SymMatrix::zeros(3);
+        m.set(0, 1, 1.0);
+        m.set(0, 2, 2.0);
+        assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(m.row(1), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn push_row_preserves_existing_entries() {
+        let mut m = SymMatrix::zeros(2);
+        m.set(0, 1, 7.0);
+        let idx = m.push_row();
+        assert_eq!(idx, 2);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(0, 1), 7.0);
+        assert_eq!(m.get(2, 0), 0.0);
+        assert_eq!(m.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn refresh_row_updates_row_and_column() {
+        let mut m = SymMatrix::zeros(3);
+        m.set(0, 1, 9.0);
+        m.refresh_row(1, |j| j as f64 + 10.0);
+        assert_eq!(m.get(1, 0), 10.0);
+        assert_eq!(m.get(0, 1), 10.0);
+        assert_eq!(m.get(1, 2), 12.0);
+        assert_eq!(m.get(2, 1), 12.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn swap_remove_moves_last_into_place() {
+        let mut m = SymMatrix::zeros(4);
+        m.set(0, 1, 1.0);
+        m.set(0, 3, 3.0);
+        m.set(2, 3, 23.0);
+        m.set(1, 3, 13.0);
+        m.swap_remove(1); // index 3 moves into slot 1
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(0, 1), 3.0, "old (0,3)");
+        assert_eq!(m.get(2, 1), 23.0, "old (2,3)");
+        assert_eq!(m.get(1, 1), 0.0, "diagonal stays zero");
+    }
+
+    #[test]
+    fn swap_remove_last_just_shrinks() {
+        let mut m = SymMatrix::zeros(3);
+        m.set(0, 1, 5.0);
+        m.set(0, 2, 7.0);
+        m.swap_remove(2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(0, 1), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = SymMatrix::zeros(2);
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = SymMatrix::zeros(0);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+}

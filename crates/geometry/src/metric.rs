@@ -1,0 +1,83 @@
+//! Euclidean distance kernels.
+//!
+//! All coordinates in the workspace are `f64` and points of one dataset share
+//! a fixed dimensionality, so the kernels take plain slices. The slice
+//! lengths are checked with `debug_assert!` only: the callers (stores, seed
+//! sets, trees) guarantee consistent dimensionality by construction, and the
+//! kernels sit on the innermost loops of every algorithm in the workspace.
+
+/// Squared Euclidean distance between two points.
+///
+/// Preferred over [`dist`] wherever only comparisons are needed (k-d tree
+/// descent, compactness accumulation) because it avoids the square root.
+///
+/// # Examples
+/// ```
+/// use idb_geometry::metric::sq_dist;
+/// assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+/// ```
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let mut acc = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance between two points.
+///
+/// # Examples
+/// ```
+/// use idb_geometry::metric::dist;
+/// assert_eq!(dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+/// ```
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    sq_dist(a, b).sqrt()
+}
+
+/// Squared Euclidean norm of a vector (`|v|²`), used when deriving a data
+/// bubble's extent from its sufficient statistics.
+#[inline]
+pub fn sq_norm(v: &[f64]) -> f64 {
+    v.iter().map(|&x| x * x).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = [1.5, -2.5, 3.25];
+        assert_eq!(sq_dist(&p, &p), 0.0);
+        assert_eq!(dist(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [-1.0, 0.5, 9.0];
+        assert_eq!(dist(&a, &b), dist(&b, &a));
+    }
+
+    #[test]
+    fn one_dimensional_is_absolute_difference() {
+        assert_eq!(dist(&[3.0], &[-4.0]), 7.0);
+    }
+
+    #[test]
+    fn sq_norm_matches_sq_dist_from_origin() {
+        let v = [2.0, -3.0, 6.0];
+        assert_eq!(sq_norm(&v), sq_dist(&v, &[0.0, 0.0, 0.0]));
+        assert_eq!(sq_norm(&v), 49.0);
+    }
+
+    #[test]
+    fn empty_points_have_zero_distance() {
+        assert_eq!(sq_dist(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Accounting of distance computations.
+//!
+//! The paper evaluates the triangle-inequality optimization (Figure 10) and
+//! the incremental-vs-rebuild speedup (Figure 11) in terms of *distance
+//! computations performed* and *distance computations pruned*. Every search
+//! routine in this workspace therefore threads a mutable [`SearchStats`]
+//! accumulator through its hot loop, so the experiment harness can report
+//! exactly the quantities the paper plots.
+
+use std::ops::AddAssign;
+
+/// Counter of point-to-seed distance computations performed and avoided.
+///
+/// `computed` counts actual Euclidean distance evaluations between a query
+/// point and a candidate seed. `pruned` counts candidate seeds that were
+/// eliminated by the triangle inequality (Lemma 1) *without* computing their
+/// distance to the query point. `computed + pruned` equals the number of
+/// distance computations a brute-force search would have performed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Point–seed distances actually evaluated.
+    pub computed: u64,
+    /// Point–seed distances avoided via the triangle inequality.
+    pub pruned: u64,
+}
+
+impl SearchStats {
+    /// A fresh, zeroed accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total candidates considered (`computed + pruned`); equals the cost of
+    /// the brute-force baseline on the same queries.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.computed + self.pruned
+    }
+
+    /// Fraction of candidate distances that were pruned, in `[0, 1]`.
+    ///
+    /// Returns `0.0` when no candidate was considered at all, so the value
+    /// is always finite.
+    #[must_use]
+    pub fn pruned_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / total as f64
+        }
+    }
+
+    /// Resets both counters to zero, keeping the allocation-free value type
+    /// reusable across experiment phases.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl AddAssign for SearchStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.computed += rhs.computed;
+        self.pruned += rhs.pruned;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let s = SearchStats::new();
+        assert_eq!(s.computed, 0);
+        assert_eq!(s.pruned, 0);
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.pruned_fraction(), 0.0);
+    }
+
+    #[test]
+    fn pruned_fraction_is_ratio_of_total() {
+        let s = SearchStats {
+            computed: 25,
+            pruned: 75,
+        };
+        assert_eq!(s.total(), 100);
+        assert!((s.pruned_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = SearchStats {
+            computed: 1,
+            pruned: 2,
+        };
+        a += SearchStats {
+            computed: 10,
+            pruned: 20,
+        };
+        assert_eq!(
+            a,
+            SearchStats {
+                computed: 11,
+                pruned: 22
+            }
+        );
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = SearchStats {
+            computed: 5,
+            pruned: 7,
+        };
+        s.reset();
+        assert_eq!(s, SearchStats::default());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the geometry substrate.
+//!
+//! The triangle-inequality search is the paper's Section 3 contribution; its
+//! single most important invariant is that pruning never changes the result
+//! relative to the brute-force baseline. The k-d tree's range/knn results are
+//! likewise checked against exhaustive scans on random inputs.
+
+use idb_geometry::{dist, KdTree, NearestSeeds, SearchStats};
+use proptest::prelude::*;
+
+fn point(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, dim)
+}
+
+fn points(dim: usize, max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(point(dim), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pruned nearest-seed search returns the same minimum distance as the
+    /// brute-force scan, for any seed set, query and hint.
+    #[test]
+    fn pruned_search_equals_brute_force(
+        seeds in points(3, 40),
+        q in point(3),
+        hint_raw in 0usize..64,
+    ) {
+        let set = NearestSeeds::from_seeds(3, seeds.iter().map(|s| s.as_slice()));
+        let hint = Some(hint_raw % set.len());
+        let mut bs = SearchStats::new();
+        let mut ps = SearchStats::new();
+        let (_, bd) = set.nearest_brute(&q, None, &mut bs).unwrap();
+        let (pi, pd) = set.nearest_pruned(&q, None, hint, &mut ps).unwrap();
+        prop_assert!((bd - pd).abs() < 1e-9);
+        // The returned index truly attains the minimum distance.
+        prop_assert!((dist(&q, set.seed(pi)) - pd).abs() < 1e-12);
+        // Work accounting: pruned + computed covers exactly all seeds.
+        prop_assert_eq!(ps.total(), set.len() as u64);
+    }
+
+    /// Exclusion removes exactly the excluded seed from consideration.
+    #[test]
+    fn pruned_search_respects_exclusion(
+        seeds in points(2, 30),
+        q in point(2),
+        ex_raw in 0usize..64,
+    ) {
+        let set = NearestSeeds::from_seeds(2, seeds.iter().map(|s| s.as_slice()));
+        let ex = ex_raw % set.len();
+        let mut bs = SearchStats::new();
+        let mut ps = SearchStats::new();
+        let brute = set.nearest_brute(&q, Some(ex), &mut bs);
+        let pruned = set.nearest_pruned(&q, Some(ex), None, &mut ps);
+        match (brute, pruned) {
+            (None, None) => prop_assert_eq!(set.len(), 1),
+            (Some((_, bd)), Some((pi, pd))) => {
+                prop_assert!(pi != ex);
+                prop_assert!((bd - pd).abs() < 1e-9);
+            }
+            _ => prop_assert!(false, "brute and pruned disagree on emptiness"),
+        }
+    }
+
+    /// Replacing a seed keeps the pairwise matrix consistent with actual
+    /// seed coordinates.
+    #[test]
+    fn replace_keeps_matrix_consistent(
+        seeds in points(2, 20),
+        newseed in point(2),
+        idx_raw in 0usize..64,
+    ) {
+        let mut set = NearestSeeds::from_seeds(2, seeds.iter().map(|s| s.as_slice()));
+        let idx = idx_raw % set.len();
+        set.replace(idx, &newseed);
+        for j in 0..set.len() {
+            let expect = dist(set.seed(idx), set.seed(j));
+            prop_assert!((set.pair_distance(idx, j) - expect).abs() < 1e-9);
+        }
+    }
+
+    /// k-d tree range query equals the brute-force filter.
+    #[test]
+    fn kdtree_range_equals_scan(
+        pts in points(2, 120),
+        q in point(2),
+        eps in 0.0f64..120.0,
+    ) {
+        let tree = KdTree::build(2, pts.iter().enumerate().map(|(i, p)| (i as u64, p.as_slice())));
+        let mut got: Vec<u64> = tree.range(&q, eps).into_iter().map(|(id, _)| id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| dist(p, &q) <= eps)
+            .map(|(i, _)| i as u64)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// k-d tree knn distances equal the k smallest brute-force distances.
+    #[test]
+    fn kdtree_knn_equals_scan(
+        pts in points(3, 100),
+        q in point(3),
+        k in 1usize..20,
+    ) {
+        let tree = KdTree::build(3, pts.iter().enumerate().map(|(i, p)| (i as u64, p.as_slice())));
+        let got = tree.knn(&q, k);
+        let mut want: Vec<f64> = pts.iter().map(|p| dist(p, &q)).collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect_len = k.min(pts.len());
+        prop_assert_eq!(got.len(), expect_len);
+        for (i, (_, d)) in got.iter().enumerate() {
+            prop_assert!((d - want[i]).abs() < 1e-9);
+        }
+    }
+}

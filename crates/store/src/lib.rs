@@ -1,0 +1,484 @@
+//! Dynamic in-memory point database.
+//!
+//! The paper's setting (Section 1) is an *incremental database*: a large set
+//! of d-dimensional points that an application inserts into and deletes from
+//! over time, with the full contents available at any moment — unlike a data
+//! stream. This crate is that substrate: a slab-backed point store with
+//!
+//! * O(1) insertion and deletion with stable [`PointId`]s (slots are reused
+//!   via a free list, and the dense slot space lets downstream crates keep
+//!   per-point side tables as plain vectors instead of hash maps);
+//! * optional ground-truth labels per point (the synthetic scenario
+//!   generators attach the generating cluster, which the evaluation crate
+//!   uses for F-scores — `None` marks noise);
+//! * O(1) uniform random sampling of live points (seed selection for bubble
+//!   construction, random deletions in the workload generators);
+//! * batch update descriptions ([`Batch`]) shared by the workload generators
+//!   and the incremental maintainer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+pub mod snapshot;
+pub use snapshot::SnapshotError;
+
+/// Stable identifier of a live point: an index into the store's slot space.
+///
+/// Ids are only meaningful while the point is live; a deleted slot may be
+/// reused by a later insertion. All workloads in this workspace hold ids
+/// only for points they know to be live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PointId(pub u32);
+
+impl PointId {
+    /// The slot index, for use with dense per-point side tables.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Ground-truth label of a point: the generating cluster, or `None` for
+/// noise. Purely evaluation metadata — no algorithm reads it.
+pub type Label = Option<u32>;
+
+const NOISE_SENTINEL: u32 = u32::MAX;
+
+/// A batch of updates: the deletions remove currently-live points, the
+/// insertions add new points (ids are assigned at application time).
+///
+/// The paper inspects the clustering structure after batches in which N % of
+/// the points have been deleted and M % inserted; the scenario generators in
+/// `idb-synth` emit values of this type.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    /// Points to delete; must be live when the batch is applied.
+    pub deletes: Vec<PointId>,
+    /// Points to insert, as `(coordinates, ground-truth label)`.
+    pub inserts: Vec<(Vec<f64>, Label)>,
+}
+
+impl Batch {
+    /// Total number of operations in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.deletes.len() + self.inserts.len()
+    }
+
+    /// `true` when the batch contains no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.deletes.is_empty() && self.inserts.is_empty()
+    }
+}
+
+/// Slab-backed store of d-dimensional points with labels.
+///
+/// # Examples
+/// ```
+/// use idb_store::PointStore;
+///
+/// let mut store = PointStore::new(2);
+/// let a = store.insert(&[1.0, 2.0], Some(0));
+/// let b = store.insert(&[3.0, 4.0], None); // noise
+/// assert_eq!(store.len(), 2);
+/// assert_eq!(store.point(a), &[1.0, 2.0]);
+///
+/// store.remove(a);
+/// assert!(!store.contains(a) || store.point(a) != [1.0, 2.0]);
+/// assert_eq!(store.len(), 1);
+/// assert_eq!(store.label(b), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PointStore {
+    dim: usize,
+    coords: Vec<f64>,
+    labels: Vec<u32>,
+    /// slot -> position in `live_list`, or `u32::MAX` when the slot is free.
+    live_pos: Vec<u32>,
+    /// Dense list of live slots, for O(1) sampling and fast iteration.
+    live_list: Vec<u32>,
+    free: Vec<u32>,
+}
+
+const FREE: u32 = u32::MAX;
+
+impl PointStore {
+    /// Creates an empty store for points of dimensionality `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "PointStore requires dim > 0");
+        Self {
+            dim,
+            coords: Vec::new(),
+            labels: Vec::new(),
+            live_pos: Vec::new(),
+            live_list: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Creates an empty store pre-sized for `capacity` points.
+    #[must_use]
+    pub fn with_capacity(dim: usize, capacity: usize) -> Self {
+        assert!(dim > 0, "PointStore requires dim > 0");
+        Self {
+            dim,
+            coords: Vec::with_capacity(capacity * dim),
+            labels: Vec::with_capacity(capacity),
+            live_pos: Vec::with_capacity(capacity),
+            live_list: Vec::with_capacity(capacity),
+            free: Vec::new(),
+        }
+    }
+
+    /// Dimensionality of the stored points.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of live points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live_list.len()
+    }
+
+    /// `true` when no live point exists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live_list.is_empty()
+    }
+
+    /// Total number of slots ever allocated (live + free). Dense per-point
+    /// side tables should be sized to this value.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.live_pos.len()
+    }
+
+    /// Inserts a point, returning its id. Reuses a free slot when available.
+    ///
+    /// # Panics
+    /// Panics if the point's dimensionality differs from the store's.
+    pub fn insert(&mut self, point: &[f64], label: Label) -> PointId {
+        assert_eq!(point.len(), self.dim, "point dimensionality mismatch");
+        let label = label.unwrap_or(NOISE_SENTINEL);
+        let slot = if let Some(slot) = self.free.pop() {
+            let s = slot as usize;
+            self.coords[s * self.dim..(s + 1) * self.dim].copy_from_slice(point);
+            self.labels[s] = label;
+            slot
+        } else {
+            let slot = self.live_pos.len() as u32;
+            self.coords.extend_from_slice(point);
+            self.labels.push(label);
+            self.live_pos.push(FREE);
+            slot
+        };
+        self.live_pos[slot as usize] = self.live_list.len() as u32;
+        self.live_list.push(slot);
+        PointId(slot)
+    }
+
+    /// Deletes a live point.
+    ///
+    /// # Panics
+    /// Panics if `id` does not refer to a live point (double deletion is a
+    /// logic error in the caller and must not be silently absorbed).
+    pub fn remove(&mut self, id: PointId) {
+        let slot = id.0 as usize;
+        assert!(
+            slot < self.live_pos.len() && self.live_pos[slot] != FREE,
+            "remove of non-live point {id:?}"
+        );
+        let pos = self.live_pos[slot] as usize;
+        self.live_list.swap_remove(pos);
+        if pos < self.live_list.len() {
+            let moved = self.live_list[pos];
+            self.live_pos[moved as usize] = pos as u32;
+        }
+        self.live_pos[slot] = FREE;
+        self.free.push(id.0);
+    }
+
+    /// `true` when `id` refers to a live point.
+    #[must_use]
+    pub fn contains(&self, id: PointId) -> bool {
+        let slot = id.0 as usize;
+        slot < self.live_pos.len() && self.live_pos[slot] != FREE
+    }
+
+    /// Coordinates of a live point.
+    ///
+    /// # Panics
+    /// Panics if `id` is not live.
+    #[inline]
+    #[must_use]
+    pub fn point(&self, id: PointId) -> &[f64] {
+        assert!(self.contains(id), "access to non-live point {id:?}");
+        let s = id.index();
+        &self.coords[s * self.dim..(s + 1) * self.dim]
+    }
+
+    /// Ground-truth label of a live point (`None` = noise).
+    ///
+    /// # Panics
+    /// Panics if `id` is not live.
+    #[must_use]
+    pub fn label(&self, id: PointId) -> Label {
+        assert!(self.contains(id), "access to non-live point {id:?}");
+        match self.labels[id.index()] {
+            NOISE_SENTINEL => None,
+            l => Some(l),
+        }
+    }
+
+    /// Iterates over all live points as `(id, coordinates, label)`.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, &[f64], Label)> + '_ {
+        self.live_list.iter().map(move |&slot| {
+            let s = slot as usize;
+            let label = match self.labels[s] {
+                NOISE_SENTINEL => None,
+                l => Some(l),
+            };
+            (
+                PointId(slot),
+                &self.coords[s * self.dim..(s + 1) * self.dim],
+                label,
+            )
+        })
+    }
+
+    /// Ids of all live points, in internal (arbitrary) order.
+    pub fn ids(&self) -> impl Iterator<Item = PointId> + '_ {
+        self.live_list.iter().map(|&s| PointId(s))
+    }
+
+    /// Uniformly samples one live point id, or `None` when empty. O(1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<PointId> {
+        if self.live_list.is_empty() {
+            None
+        } else {
+            let i = rng.gen_range(0..self.live_list.len());
+            Some(PointId(self.live_list[i]))
+        }
+    }
+
+    /// Samples `k` *distinct* live point ids uniformly (partial
+    /// Fisher–Yates over a copy of the live list). Returns fewer than `k`
+    /// when the store holds fewer points.
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<PointId> {
+        let n = self.live_list.len();
+        let k = k.min(n);
+        let mut pool: Vec<u32> = self.live_list.clone();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool.into_iter().map(PointId).collect()
+    }
+
+    /// Reassembles a store from its raw parts (snapshot decoding only; the
+    /// caller guarantees internal consistency).
+    pub(crate) fn from_raw_parts(
+        dim: usize,
+        coords: Vec<f64>,
+        labels: Vec<u32>,
+        live_pos: Vec<u32>,
+        live_list: Vec<u32>,
+        free: Vec<u32>,
+    ) -> Self {
+        Self {
+            dim,
+            coords,
+            labels,
+            live_pos,
+            live_list,
+            free,
+        }
+    }
+
+    /// Applies a batch of updates, returning the ids assigned to the
+    /// inserted points (in insertion order).
+    ///
+    /// Deletions are applied before insertions, matching the maintenance
+    /// scheme of the paper (Figure 3) where the affected bubbles are first
+    /// decremented and then incremented.
+    pub fn apply(&mut self, batch: &Batch) -> Vec<PointId> {
+        for &id in &batch.deletes {
+            self.remove(id);
+        }
+        batch
+            .inserts
+            .iter()
+            .map(|(p, label)| self.insert(p, *label))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut s = PointStore::new(2);
+        let a = s.insert(&[1.0, 2.0], Some(0));
+        let b = s.insert(&[3.0, 4.0], None);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.point(a), &[1.0, 2.0]);
+        assert_eq!(s.point(b), &[3.0, 4.0]);
+        assert_eq!(s.label(a), Some(0));
+        assert_eq!(s.label(b), None);
+    }
+
+    #[test]
+    fn remove_frees_slot_for_reuse() {
+        let mut s = PointStore::new(1);
+        let a = s.insert(&[1.0], None);
+        let _b = s.insert(&[2.0], None);
+        s.remove(a);
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(a));
+        let c = s.insert(&[9.0], Some(3));
+        // The freed slot is reused, so the slot space stays dense.
+        assert_eq!(c, a);
+        assert_eq!(s.slots(), 2);
+        assert_eq!(s.point(c), &[9.0]);
+        assert_eq!(s.label(c), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-live")]
+    fn double_remove_panics() {
+        let mut s = PointStore::new(1);
+        let a = s.insert(&[1.0], None);
+        s.remove(a);
+        s.remove(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dim_insert_panics() {
+        let mut s = PointStore::new(2);
+        s.insert(&[1.0], None);
+    }
+
+    #[test]
+    fn iteration_covers_exactly_live_points() {
+        let mut s = PointStore::new(1);
+        let ids: Vec<PointId> = (0..10).map(|i| s.insert(&[i as f64], Some(i))).collect();
+        s.remove(ids[3]);
+        s.remove(ids[7]);
+        let mut seen: Vec<u32> = s.iter().map(|(id, _, _)| id.0).collect();
+        seen.sort_unstable();
+        let mut want: Vec<u32> = ids
+            .iter()
+            .filter(|id| **id != ids[3] && **id != ids[7])
+            .map(|id| id.0)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn sampling_is_uniform_over_live_points() {
+        let mut s = PointStore::new(1);
+        let ids: Vec<PointId> = (0..4).map(|i| s.insert(&[i as f64], None)).collect();
+        s.remove(ids[1]);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 4];
+        for _ in 0..3000 {
+            let id = s.sample(&mut rng).unwrap();
+            assert!(s.contains(id));
+            counts[id.index()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        for &slot in &[0usize, 2, 3] {
+            // Expected 1000 each; allow generous slack.
+            assert!(counts[slot] > 800 && counts[slot] < 1200, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn sample_distinct_returns_unique_live_ids() {
+        let mut s = PointStore::new(1);
+        for i in 0..50 {
+            s.insert(&[i as f64], None);
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let got = s.sample_distinct(20, &mut rng);
+        assert_eq!(got.len(), 20);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "ids must be distinct");
+        for id in got {
+            assert!(s.contains(id));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_caps_at_population() {
+        let mut s = PointStore::new(1);
+        s.insert(&[0.0], None);
+        s.insert(&[1.0], None);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.sample_distinct(10, &mut rng).len(), 2);
+    }
+
+    #[test]
+    fn empty_store_sampling() {
+        let s = PointStore::new(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(s.sample(&mut rng).is_none());
+        assert!(s.sample_distinct(3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn apply_batch_deletes_then_inserts() {
+        let mut s = PointStore::new(1);
+        let a = s.insert(&[1.0], None);
+        let b = s.insert(&[2.0], Some(1));
+        let batch = Batch {
+            deletes: vec![a],
+            inserts: vec![(vec![5.0], Some(2)), (vec![6.0], None)],
+        };
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        let new_ids = s.apply(&batch);
+        assert_eq!(new_ids.len(), 2);
+        assert_eq!(s.len(), 3);
+        // The deleted slot is recycled by the first insertion.
+        assert_eq!(new_ids[0], a);
+        assert!(s.contains(b));
+        assert_eq!(s.point(new_ids[0]), &[5.0]);
+        assert_eq!(s.label(new_ids[1]), None);
+    }
+
+    #[test]
+    fn slots_grow_only_when_free_list_empty() {
+        let mut s = PointStore::new(1);
+        let ids: Vec<PointId> = (0..5).map(|i| s.insert(&[i as f64], None)).collect();
+        assert_eq!(s.slots(), 5);
+        for id in &ids {
+            s.remove(*id);
+        }
+        for i in 0..5 {
+            s.insert(&[i as f64], None);
+        }
+        assert_eq!(s.slots(), 5, "all slots reused");
+        s.insert(&[99.0], None);
+        assert_eq!(s.slots(), 6);
+    }
+}

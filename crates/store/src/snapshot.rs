@@ -1,0 +1,261 @@
+//! Binary snapshots of a point store.
+//!
+//! A long-running deployment checkpoints its database and its
+//! summarization together (see `idb-core`'s snapshot module) so a restart
+//! resumes without a full rebuild. The format is a small hand-rolled
+//! little-endian codec — versioned, with explicit validation on read —
+//! because the only structures crossing the boundary are flat arrays and
+//! the workspace deliberately avoids a serialization dependency.
+//!
+//! Crucially, snapshots preserve **slot numbers**: a restored store hands
+//! out the same [`PointId`](crate::PointId)s, so side structures (bubble
+//! memberships) survive the round trip. The live-list order is preserved
+//! too, keeping post-restore sampling bit-identical.
+
+use crate::PointStore;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"IDBP";
+const VERSION: u32 = 1;
+const LABEL_NOISE: u32 = u32::MAX;
+
+/// Snapshot decoding failure.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Bad magic, version, or structurally impossible contents.
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            Self::Corrupt(m) => write!(f, "corrupt snapshot: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Little-endian codec helpers, shared with `idb-core`'s summarization
+/// snapshots so both formats stay consistent.
+pub fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// See [`write_u32`].
+pub fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// See [`write_u32`].
+pub fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// See [`write_u32`].
+pub fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// See [`write_u32`].
+pub fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// See [`write_u32`].
+pub fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(f64::from_le_bytes(buf))
+}
+
+impl PointStore {
+    /// Writes a binary snapshot of the full store state (live points with
+    /// their slots and labels, in live-list order).
+    pub fn write_snapshot<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        write_u32(w, VERSION)?;
+        write_u64(w, self.dim() as u64)?;
+        write_u64(w, self.slots() as u64)?;
+        write_u64(w, self.len() as u64)?;
+        for (id, p, label) in self.iter() {
+            write_u32(w, id.0)?;
+            for &x in p {
+                write_f64(w, x)?;
+            }
+            write_u32(w, label.unwrap_or(LABEL_NOISE))?;
+        }
+        Ok(())
+    }
+
+    /// Restores a store from a snapshot. Slot numbers, labels and
+    /// live-list order are identical to the snapshotted store.
+    pub fn read_snapshot<R: Read>(r: &mut R) -> Result<Self, SnapshotError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(SnapshotError::Corrupt("bad magic".into()));
+        }
+        let version = read_u32(r)?;
+        if version != VERSION {
+            return Err(SnapshotError::Corrupt(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let dim = read_u64(r)? as usize;
+        if dim == 0 || dim > 1 << 20 {
+            return Err(SnapshotError::Corrupt(format!("implausible dim {dim}")));
+        }
+        let slots = read_u64(r)? as usize;
+        let len = read_u64(r)? as usize;
+        if len > slots || slots > u32::MAX as usize {
+            return Err(SnapshotError::Corrupt(format!(
+                "len {len} exceeds slots {slots}"
+            )));
+        }
+
+        let mut coords = vec![0.0f64; slots * dim];
+        let mut labels = vec![LABEL_NOISE; slots];
+        let mut live_pos = vec![u32::MAX; slots];
+        let mut live_list = Vec::with_capacity(len);
+        for pos in 0..len {
+            let slot = read_u32(r)? as usize;
+            if slot >= slots {
+                return Err(SnapshotError::Corrupt(format!(
+                    "slot {slot} out of range"
+                )));
+            }
+            if live_pos[slot] != u32::MAX {
+                return Err(SnapshotError::Corrupt(format!("duplicate slot {slot}")));
+            }
+            for x in coords[slot * dim..(slot + 1) * dim].iter_mut() {
+                *x = read_f64(r)?;
+            }
+            labels[slot] = read_u32(r)?;
+            live_pos[slot] = pos as u32;
+            live_list.push(slot as u32);
+        }
+        // Free slots, in descending order so reuse order is deterministic.
+        let mut free: Vec<u32> = (0..slots as u32)
+            .filter(|&s| live_pos[s as usize] == u32::MAX)
+            .collect();
+        free.reverse();
+
+        Ok(Self::from_raw_parts(
+            dim, coords, labels, live_pos, live_list, free,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn churned_store() -> PointStore {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = PointStore::new(3);
+        let mut ids = Vec::new();
+        for i in 0..200 {
+            let label = if i % 7 == 0 { None } else { Some(i % 4) };
+            ids.push(s.insert(&[i as f64, -(i as f64), rng.gen()], label));
+        }
+        // Punch holes so the slot space has a free list.
+        for i in (0..200).step_by(3) {
+            s.remove(ids[i]);
+        }
+        for i in 0..30 {
+            s.insert(&[1000.0 + i as f64, 0.0, 0.0], Some(9));
+        }
+        s
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let store = churned_store();
+        let mut buf = Vec::new();
+        store.write_snapshot(&mut buf).unwrap();
+        let restored = PointStore::read_snapshot(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(restored.len(), store.len());
+        assert_eq!(restored.dim(), store.dim());
+        assert_eq!(restored.slots(), store.slots());
+        let a: Vec<_> = store.iter().map(|(id, p, l)| (id, p.to_vec(), l)).collect();
+        let b: Vec<_> = restored.iter().map(|(id, p, l)| (id, p.to_vec(), l)).collect();
+        assert_eq!(a, b, "live-list order and contents identical");
+    }
+
+    #[test]
+    fn restored_store_continues_operating() {
+        let store = churned_store();
+        let mut buf = Vec::new();
+        store.write_snapshot(&mut buf).unwrap();
+        let mut restored = PointStore::read_snapshot(&mut buf.as_slice()).unwrap();
+        // Ids from the original remain valid in the restored store.
+        let some_id = store.ids().next().unwrap();
+        assert_eq!(restored.point(some_id), store.point(some_id));
+        // Inserts and removes keep working (free list intact).
+        let before_slots = restored.slots();
+        let id = restored.insert(&[1.0, 2.0, 3.0], None);
+        assert!(restored.slots() <= before_slots.max(id.index() + 1));
+        restored.remove(id);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = PointStore::read_snapshot(&mut &b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let store = churned_store();
+        let mut buf = Vec::new();
+        store.write_snapshot(&mut buf).unwrap();
+        buf[4] = 99; // version byte
+        let err = PointStore::read_snapshot(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn truncated_snapshot_is_an_io_error() {
+        let store = churned_store();
+        let mut buf = Vec::new();
+        store.write_snapshot(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let err = PointStore::read_snapshot(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn duplicate_slot_is_rejected() {
+        let mut s = PointStore::new(1);
+        s.insert(&[1.0], None);
+        s.insert(&[2.0], None);
+        let mut buf = Vec::new();
+        s.write_snapshot(&mut buf).unwrap();
+        // Point the second live entry's slot at the first's.
+        // Layout: magic(4) version(4) dim(8) slots(8) len(8) then entries
+        // of (slot u32, coord f64, label u32).
+        let first_entry = 4 + 4 + 8 + 8 + 8;
+        let second_entry = first_entry + 4 + 8 + 4;
+        buf[second_entry..second_entry + 4].copy_from_slice(&0u32.to_le_bytes());
+        let err = PointStore::read_snapshot(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+}

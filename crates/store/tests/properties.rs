@@ -1,0 +1,87 @@
+//! Property-based tests for the point store.
+//!
+//! The store is the substrate every experiment mutates tens of thousands of
+//! times per run; its invariants (live set consistency, slot reuse, label
+//! fidelity) are exercised here with random operation sequences.
+
+use idb_store::{PointStore, PointId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A randomized op sequence: `true` = insert with the given value/label,
+/// `false` = delete a pseudo-randomly chosen live point.
+fn ops() -> impl Strategy<Value = Vec<(bool, f64, Option<u32>, usize)>> {
+    prop::collection::vec(
+        (
+            any::<bool>(),
+            -1000.0f64..1000.0,
+            prop::option::of(0u32..8),
+            0usize..1024,
+        ),
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A shadow model (HashMap) and the store agree after any op sequence.
+    #[test]
+    fn store_matches_shadow_model(ops in ops()) {
+        let mut store = PointStore::new(1);
+        let mut model: HashMap<PointId, (f64, Option<u32>)> = HashMap::new();
+        let mut live: Vec<PointId> = Vec::new();
+
+        for (is_insert, val, label, pick) in ops {
+            if is_insert || live.is_empty() {
+                let id = store.insert(&[val], label);
+                // An id must never collide with a live one.
+                prop_assert!(!model.contains_key(&id));
+                model.insert(id, (val, label));
+                live.push(id);
+            } else {
+                let idx = pick % live.len();
+                let id = live.swap_remove(idx);
+                store.remove(id);
+                model.remove(&id);
+            }
+
+            prop_assert_eq!(store.len(), model.len());
+            for (&id, &(val, label)) in &model {
+                prop_assert!(store.contains(id));
+                prop_assert_eq!(store.point(id)[0], val);
+                prop_assert_eq!(store.label(id), label);
+            }
+        }
+
+        // Iteration visits exactly the live set.
+        let mut seen: Vec<PointId> = store.iter().map(|(id, _, _)| id).collect();
+        seen.sort_unstable();
+        let mut want: Vec<PointId> = model.keys().copied().collect();
+        want.sort_unstable();
+        prop_assert_eq!(seen, want);
+    }
+
+    /// Slot space never exceeds the high-water mark of concurrent liveness
+    /// plus churn that outpaced the free list (i.e. slots <= total inserts,
+    /// and slots == max live when deletions always precede growth).
+    #[test]
+    fn slot_space_is_bounded_by_inserts(n in 1usize..100, churn in 1usize..50) {
+        let mut store = PointStore::new(2);
+        let mut ids = Vec::new();
+        for i in 0..n {
+            ids.push(store.insert(&[i as f64, 0.0], None));
+        }
+        let high_water = store.slots();
+        prop_assert_eq!(high_water, n);
+        for c in 0..churn {
+            let slot = c % ids.len();
+            let victim = ids[slot];
+            store.remove(victim);
+            let new_id = store.insert(&[c as f64, 1.0], Some(1));
+            ids[slot] = new_id;
+            // Delete-then-insert churn must never grow the slot space.
+            prop_assert_eq!(store.slots(), high_water);
+        }
+    }
+}

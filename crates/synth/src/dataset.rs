@@ -1,0 +1,273 @@
+//! Static Gaussian-mixture datasets with ground-truth labels.
+//!
+//! A [`MixtureModel`] describes the standing data distribution: a list of
+//! isotropic Gaussian clusters plus a uniform-noise fraction over a bounding
+//! hypercube. It can populate a fresh [`PointStore`] and draw individual
+//! points — the scenario engine uses the latter to generate insertions that
+//! follow the current distribution.
+
+use crate::gauss::{gaussian_point, uniform_point};
+use idb_store::{Label, PointStore};
+use rand::Rng;
+
+/// One isotropic Gaussian cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterModel {
+    /// Cluster center.
+    pub mean: Vec<f64>,
+    /// Per-axis standard deviation.
+    pub sigma: f64,
+    /// Relative weight among clusters (need not sum to 1; normalized on use).
+    pub weight: f64,
+}
+
+impl ClusterModel {
+    /// Convenience constructor with weight 1.
+    #[must_use]
+    pub fn new(mean: Vec<f64>, sigma: f64) -> Self {
+        Self {
+            mean,
+            sigma,
+            weight: 1.0,
+        }
+    }
+
+    /// Draws one point from this cluster.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        gaussian_point(rng, &self.mean, self.sigma)
+    }
+}
+
+/// A Gaussian mixture plus uniform background noise.
+///
+/// # Examples
+/// ```
+/// use idb_synth::{ClusterModel, MixtureModel};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let model = MixtureModel::new(
+///     2,
+///     vec![ClusterModel::new(vec![10.0, 10.0], 1.0)],
+///     0.0,
+///     (0.0, 20.0),
+/// );
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let store = model.populate(500, &mut rng);
+/// assert_eq!(store.len(), 500);
+/// assert!(store.iter().all(|(_, _, label)| label == Some(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MixtureModel {
+    /// Dimensionality of all points.
+    pub dim: usize,
+    /// The clusters; labels are their indices.
+    pub clusters: Vec<ClusterModel>,
+    /// Fraction of generated points that are uniform noise (label `None`).
+    pub noise_fraction: f64,
+    /// Noise bounding hypercube `[lo, hi]^dim`.
+    pub bounds: (f64, f64),
+}
+
+impl MixtureModel {
+    /// Creates a mixture over `[lo, hi]^dim` with the given clusters.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`, a cluster has the wrong dimensionality,
+    /// `noise_fraction` is outside `[0, 1]`, or `lo >= hi`.
+    #[must_use]
+    pub fn new(
+        dim: usize,
+        clusters: Vec<ClusterModel>,
+        noise_fraction: f64,
+        bounds: (f64, f64),
+    ) -> Self {
+        assert!(dim > 0, "MixtureModel requires dim > 0");
+        assert!(
+            (0.0..=1.0).contains(&noise_fraction),
+            "noise_fraction must be in [0, 1]"
+        );
+        assert!(bounds.0 < bounds.1, "invalid bounds");
+        for c in &clusters {
+            assert_eq!(c.mean.len(), dim, "cluster dimensionality mismatch");
+            assert!(c.sigma > 0.0, "cluster sigma must be positive");
+            assert!(c.weight > 0.0, "cluster weight must be positive");
+        }
+        Self {
+            dim,
+            clusters,
+            noise_fraction,
+            bounds,
+        }
+    }
+
+    /// Draws one labeled point: noise with probability `noise_fraction`,
+    /// otherwise from a weight-proportional cluster.
+    ///
+    /// Returns `(coordinates, label)`; a mixture with no clusters always
+    /// produces noise.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (Vec<f64>, Label) {
+        if self.clusters.is_empty() || rng.gen::<f64>() < self.noise_fraction {
+            (
+                uniform_point(rng, self.dim, self.bounds.0, self.bounds.1),
+                None,
+            )
+        } else {
+            let idx = self.pick_cluster(rng);
+            (self.clusters[idx].sample(rng), Some(idx as u32))
+        }
+    }
+
+    /// Weight-proportional cluster index.
+    fn pick_cluster<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total: f64 = self.clusters.iter().map(|c| c.weight).sum();
+        let mut t = rng.gen::<f64>() * total;
+        for (i, c) in self.clusters.iter().enumerate() {
+            t -= c.weight;
+            if t <= 0.0 {
+                return i;
+            }
+        }
+        self.clusters.len() - 1
+    }
+
+    /// Populates a fresh store with `n` labeled points from the mixture.
+    pub fn populate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> PointStore {
+        let mut store = PointStore::with_capacity(self.dim, n);
+        for _ in 0..n {
+            let (p, label) = self.sample(rng);
+            store.insert(&p, label);
+        }
+        store
+    }
+
+    /// Lays out `k` well-separated cluster centers on a diagonal-offset grid
+    /// inside the bounds — a deterministic placement used by the named
+    /// scenario constructors so runs are comparable across seeds.
+    #[must_use]
+    pub fn grid_means(dim: usize, k: usize, bounds: (f64, f64)) -> Vec<Vec<f64>> {
+        assert!(dim > 0 && k > 0);
+        let (lo, hi) = bounds;
+        let span = hi - lo;
+        // Place centers along the main diagonal with alternating offsets on
+        // the second axis (when present) so 2-d layouts are not collinear.
+        (0..k)
+            .map(|i| {
+                let t = (i as f64 + 1.0) / (k as f64 + 1.0);
+                let mut m = vec![lo + t * span; dim];
+                if dim > 1 && i % 2 == 1 {
+                    m[1] = lo + (1.0 - t) * span;
+                }
+                m
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_cluster_model() -> MixtureModel {
+        MixtureModel::new(
+            2,
+            vec![
+                ClusterModel::new(vec![20.0, 20.0], 2.0),
+                ClusterModel::new(vec![80.0, 80.0], 2.0),
+            ],
+            0.1,
+            (0.0, 100.0),
+        )
+    }
+
+    #[test]
+    fn populate_produces_requested_count_and_labels() {
+        let m = two_cluster_model();
+        let mut rng = StdRng::seed_from_u64(11);
+        let store = m.populate(5000, &mut rng);
+        assert_eq!(store.len(), 5000);
+        let mut counts = [0usize; 3]; // cluster0, cluster1, noise
+        for (_, p, label) in store.iter() {
+            assert_eq!(p.len(), 2);
+            match label {
+                Some(0) => counts[0] += 1,
+                Some(1) => counts[1] += 1,
+                None => counts[2] += 1,
+                other => panic!("unexpected label {other:?}"),
+            }
+        }
+        // ~10% noise, remainder split evenly.
+        assert!(counts[2] > 350 && counts[2] < 650, "{counts:?}");
+        assert!(counts[0] > 1800 && counts[0] < 2700, "{counts:?}");
+        assert!(counts[1] > 1800 && counts[1] < 2700, "{counts:?}");
+    }
+
+    #[test]
+    fn cluster_points_are_near_their_mean() {
+        let m = two_cluster_model();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..2000 {
+            let (p, label) = m.sample(&mut rng);
+            if let Some(l) = label {
+                let mean = &m.clusters[l as usize].mean;
+                let d = idb_geometry::dist(&p, mean);
+                // 6 sigma in 2-d is astronomically unlikely.
+                assert!(d < 6.0 * 2.0 * 2.0f64.sqrt(), "point {p:?} label {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn weights_bias_cluster_choice() {
+        let mut m = two_cluster_model();
+        m.noise_fraction = 0.0;
+        m.clusters[0].weight = 9.0;
+        m.clusters[1].weight = 1.0;
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut zero = 0;
+        for _ in 0..10_000 {
+            if m.sample(&mut rng).1 == Some(0) {
+                zero += 1;
+            }
+        }
+        assert!(zero > 8_700 && zero < 9_300, "zero={zero}");
+    }
+
+    #[test]
+    fn empty_mixture_yields_noise_only() {
+        let m = MixtureModel::new(3, Vec::new(), 0.0, (0.0, 1.0));
+        let mut rng = StdRng::seed_from_u64(4);
+        let (p, label) = m.sample(&mut rng);
+        assert_eq!(p.len(), 3);
+        assert!(label.is_none());
+    }
+
+    #[test]
+    fn grid_means_are_separated_and_in_bounds() {
+        for dim in [2usize, 5, 10] {
+            let means = MixtureModel::grid_means(dim, 5, (0.0, 100.0));
+            assert_eq!(means.len(), 5);
+            for m in &means {
+                assert_eq!(m.len(), dim);
+                for &x in m {
+                    assert!((0.0..=100.0).contains(&x));
+                }
+            }
+            for i in 0..means.len() {
+                for j in i + 1..means.len() {
+                    assert!(
+                        idb_geometry::dist(&means[i], &means[j]) > 10.0,
+                        "centers {i} and {j} too close in dim {dim}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "noise_fraction")]
+    fn invalid_noise_fraction_panics() {
+        let _ = MixtureModel::new(2, Vec::new(), 1.5, (0.0, 1.0));
+    }
+}

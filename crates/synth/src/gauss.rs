@@ -1,0 +1,97 @@
+//! Standard-normal sampling via the Box–Muller transform.
+//!
+//! The only non-uniform distribution the workloads need is the isotropic
+//! Gaussian, so rather than pulling in `rand_distr` we implement the
+//! polar-free Box–Muller transform directly (see DESIGN.md, Dependencies).
+
+use rand::Rng;
+use std::f64::consts::TAU;
+
+/// Draws one standard-normal (`N(0, 1)`) variate.
+///
+/// Uses the basic Box–Muller transform; the logarithm argument is clamped
+/// away from zero so the result is always finite.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos()
+}
+
+/// Draws a point from an isotropic Gaussian with the given `mean` and
+/// per-axis standard deviation `sigma`.
+pub fn gaussian_point<R: Rng + ?Sized>(rng: &mut R, mean: &[f64], sigma: f64) -> Vec<f64> {
+    mean.iter()
+        .map(|&m| m + sigma * standard_normal(rng))
+        .collect()
+}
+
+/// Draws a point uniformly from the hypercube `[lo, hi]^dim`.
+pub fn uniform_point<R: Rng + ?Sized>(rng: &mut R, dim: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..dim).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            assert!(x.is_finite());
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn gaussian_point_centered_on_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mean = [10.0, -20.0, 5.0];
+        let n = 50_000;
+        let mut acc = [0.0f64; 3];
+        for _ in 0..n {
+            let p = gaussian_point(&mut rng, &mean, 2.0);
+            for (a, x) in acc.iter_mut().zip(&p) {
+                *a += x;
+            }
+        }
+        for (a, m) in acc.iter().zip(&mean) {
+            assert!((a / n as f64 - m).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn uniform_point_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let p = uniform_point(&mut rng, 4, -5.0, 7.0);
+            assert_eq!(p.len(), 4);
+            for x in p {
+                assert!((-5.0..7.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn tails_behave_roughly_normal() {
+        // ~4.6% of draws should fall beyond |x| > 2.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let beyond = (0..n)
+            .filter(|_| standard_normal(&mut rng).abs() > 2.0)
+            .count();
+        let frac = beyond as f64 / n as f64;
+        assert!((0.035..0.055).contains(&frac), "tail fraction {frac}");
+    }
+}

@@ -1,0 +1,226 @@
+//! Loading and saving point databases as CSV.
+//!
+//! The paper evaluates on synthetic data, but a downstream user adopts
+//! this library for their own tables. This module reads plain numeric CSV
+//! (one point per row, optionally with a trailing integer label column —
+//! the word `noise` marks unlabeled rows) into a [`PointStore`], and
+//! writes stores back out, round-trip-safe. The Figure 8 snapshot dumps in
+//! `results/` use the same format.
+
+use idb_store::{Label, PointStore};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// A CSV parse failure with its 1-based line number.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A cell failed to parse, or a row had the wrong arity.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The input contained no data rows.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "csv i/o error: {e}"),
+            Self::Parse { line, message } => write!(f, "csv line {line}: {message}"),
+            Self::Empty => write!(f, "csv input contained no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Parses a point database from CSV rows.
+///
+/// Every row holds `dim` numeric coordinates; when `has_labels` is true, a
+/// final column carries the ground-truth label: a non-negative integer or
+/// the literal `noise`. Blank lines are skipped. The dimensionality is
+/// inferred from the first data row.
+pub fn parse_csv<R: BufRead>(reader: R, has_labels: bool) -> Result<PointStore, CsvError> {
+    let mut store: Option<PointStore> = None;
+    let mut coords: Vec<f64> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut cells: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        let label: Label = if has_labels {
+            let cell = cells.pop().ok_or_else(|| CsvError::Parse {
+                line: line_no,
+                message: "missing label column".into(),
+            })?;
+            if cell.eq_ignore_ascii_case("noise") {
+                None
+            } else {
+                Some(cell.parse::<u32>().map_err(|e| CsvError::Parse {
+                    line: line_no,
+                    message: format!("bad label {cell:?}: {e}"),
+                })?)
+            }
+        } else {
+            None
+        };
+        coords.clear();
+        for cell in &cells {
+            coords.push(cell.parse::<f64>().map_err(|e| CsvError::Parse {
+                line: line_no,
+                message: format!("bad coordinate {cell:?}: {e}"),
+            })?);
+        }
+        let store = store.get_or_insert_with(|| PointStore::new(coords.len().max(1)));
+        if coords.len() != store.dim() {
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: format!(
+                    "expected {} coordinates, found {}",
+                    store.dim(),
+                    coords.len()
+                ),
+            });
+        }
+        store.insert(&coords, label);
+    }
+    store.ok_or(CsvError::Empty)
+}
+
+/// Loads a point database from a CSV file.
+pub fn load_csv(path: &Path, has_labels: bool) -> Result<PointStore, CsvError> {
+    let file = std::fs::File::open(path)?;
+    parse_csv(io::BufReader::new(file), has_labels)
+}
+
+/// Writes all live points as CSV rows (coordinates, then the label column:
+/// the integer label or `noise`).
+pub fn write_csv<W: Write>(store: &PointStore, mut writer: W) -> io::Result<()> {
+    for (_, p, label) in store.iter() {
+        let mut row = String::with_capacity(p.len() * 12);
+        for (i, x) in p.iter().enumerate() {
+            if i > 0 {
+                row.push(',');
+            }
+            row.push_str(&format!("{x}"));
+        }
+        row.push(',');
+        match label {
+            Some(l) => row.push_str(&l.to_string()),
+            None => row.push_str("noise"),
+        }
+        row.push('\n');
+        writer.write_all(row.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Saves a point database as a CSV file, creating parent directories.
+pub fn save_csv(store: &PointStore, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = std::fs::File::create(path)?;
+    write_csv(store, io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_labeled_rows() {
+        let data = "1.0, 2.0, 0\n3.5,4.5,1\n9.0, 9.0, noise\n";
+        let store = parse_csv(data.as_bytes(), true).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.dim(), 2);
+        let rows: Vec<_> = store.iter().map(|(_, p, l)| (p.to_vec(), l)).collect();
+        assert_eq!(rows[0], (vec![1.0, 2.0], Some(0)));
+        assert_eq!(rows[1], (vec![3.5, 4.5], Some(1)));
+        assert_eq!(rows[2], (vec![9.0, 9.0], None));
+    }
+
+    #[test]
+    fn parse_unlabeled_rows() {
+        let data = "1,2,3\n4,5,6\n";
+        let store = parse_csv(data.as_bytes(), false).unwrap();
+        assert_eq!(store.dim(), 3);
+        assert_eq!(store.len(), 2);
+        assert!(store.iter().all(|(_, _, l)| l.is_none()));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let data = "\n1,2,0\n\n3,4,1\n\n";
+        let store = parse_csv(data.as_bytes(), true).unwrap();
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_reports_line() {
+        let data = "1,2,0\n1,2,3,0\n";
+        match parse_csv(data.as_bytes(), true) {
+            Err(CsvError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_number_reports_line_and_cell() {
+        let data = "1,abc,0\n";
+        match parse_csv(data.as_bytes(), true) {
+            Err(CsvError::Parse { line, message }) => {
+                assert_eq!(line, 1);
+                assert!(message.contains("abc"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(parse_csv("".as_bytes(), true), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let data = "1.5,-2.25,0\n0.125,3,7\n-9,4.75,noise\n";
+        let store = parse_csv(data.as_bytes(), true).unwrap();
+        let mut out = Vec::new();
+        write_csv(&store, &mut out).unwrap();
+        let reparsed = parse_csv(out.as_slice(), true).unwrap();
+        assert_eq!(reparsed.len(), store.len());
+        let a: Vec<_> = store.iter().map(|(_, p, l)| (p.to_vec(), l)).collect();
+        let b: Vec<_> = reparsed.iter().map(|(_, p, l)| (p.to_vec(), l)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("idb_synth_io_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("points.csv");
+        let data = "5,6,2\n7,8,noise\n";
+        let store = parse_csv(data.as_bytes(), true).unwrap();
+        save_csv(&store, &path).unwrap();
+        let loaded = load_csv(&path, true).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.dim(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

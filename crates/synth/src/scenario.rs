@@ -1,0 +1,954 @@
+//! Dynamic update scenarios (paper, Section 5).
+//!
+//! A [`ScenarioEngine`] owns the evolving ground truth of a dynamic
+//! database: which live points belong to which generating cluster, which
+//! clusters are currently appearing, disappearing or moving, and how large
+//! each update batch should be. Each call to [`ScenarioEngine::plan`]
+//! produces one [`Batch`] in which (as in the paper) an equal number of
+//! points is deleted and inserted — `update_fraction` of the current
+//! database size each.
+//!
+//! The engine deliberately does **not** apply batches itself: the
+//! experiments interleave batch application with the incremental
+//! maintainer's bookkeeping. The contract is plan → apply (by whoever owns
+//! the store) → [`ScenarioEngine::confirm`] with the ids assigned to the
+//! insertions. [`ScenarioEngine::step_plain`] bundles the three for callers
+//! without a maintainer.
+
+use crate::dataset::ClusterModel;
+use crate::gauss::{gaussian_point, uniform_point};
+use idb_store::{Batch, Label, PointId, PointStore};
+use rand::Rng;
+
+/// How one cluster behaves over the lifetime of a scenario.
+#[derive(Debug, Clone)]
+pub enum Dynamics {
+    /// Present from the start; only participates in random churn.
+    Static,
+    /// Starts empty and grows through insertions from `at_batch` on, until
+    /// it holds `target` points.
+    Appear {
+        /// First batch index (0-based) at which the cluster receives points.
+        at_batch: usize,
+        /// Number of points the cluster grows to.
+        target: usize,
+    },
+    /// Present from the start; drained by deletions from `at_batch` on.
+    Disappear {
+        /// First batch index (0-based) at which the cluster loses points.
+        at_batch: usize,
+    },
+    /// Present from the start; its mean shifts by `velocity` every batch,
+    /// with paired deletions (at the old location) and insertions (at the
+    /// new one).
+    Move {
+        /// Per-batch displacement of the cluster mean.
+        velocity: Vec<f64>,
+    },
+    /// Present from the start; its standard deviation multiplies by
+    /// `factor` every batch (paired delete/insert churn re-draws members
+    /// at the current spread). Models the *changing point densities over
+    /// time* that the paper notes parameter-bound incremental algorithms
+    /// (IncrementalDBSCAN) cannot follow.
+    Densify {
+        /// Per-batch multiplier on the cluster sigma (< 1 condenses,
+        /// > 1 diffuses).
+        factor: f64,
+    },
+}
+
+/// One cluster of a scenario: its generative model plus its dynamics.
+#[derive(Debug, Clone)]
+pub struct ScenarioCluster {
+    /// Generative model; `model.mean` is the *initial* mean.
+    pub model: ClusterModel,
+    /// How the cluster evolves.
+    pub dynamics: Dynamics,
+}
+
+/// Full description of a dynamic-database scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Dimensionality of all points.
+    pub dim: usize,
+    /// Number of points in the initial database.
+    pub initial_size: usize,
+    /// Fraction of points that are uniform noise, both initially and among
+    /// churn insertions.
+    pub noise_fraction: f64,
+    /// Fraction of the current database deleted *and* inserted per batch
+    /// (the paper's N % = M %).
+    pub update_fraction: f64,
+    /// Noise bounding hypercube.
+    pub bounds: (f64, f64),
+    /// The clusters.
+    pub clusters: Vec<ScenarioCluster>,
+    /// At most this fraction of each batch's insertion budget feeds
+    /// currently-appearing clusters (the rest follows the standing mixture).
+    pub appear_share: f64,
+}
+
+/// The six named scenarios evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Random churn from the standing distribution.
+    Random,
+    /// A new cluster appears inside the populated region.
+    Appear,
+    /// A new cluster appears in a region with no previous points at all.
+    ExtremeAppear,
+    /// An old cluster disappears.
+    Disappear,
+    /// One cluster gradually moves across space.
+    GradMove,
+    /// Appear + disappear + move + random churn combined (Figure 8).
+    Complex,
+    /// Two clusters drift toward each other until they fuse — an extension
+    /// beyond the paper's six dynamics (its "complex dynamics" future
+    /// work).
+    Merge,
+    /// One apparent cluster drifts apart into two — the inverse extension.
+    SplitDrift,
+    /// One cluster's density changes over time (its sigma shrinks batch by
+    /// batch) — another extension beyond the paper's six dynamics.
+    Densify,
+}
+
+impl ScenarioKind {
+    /// Lower-case name used in tables, e.g. `"extappear"`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Random => "random",
+            Self::Appear => "appear",
+            Self::ExtremeAppear => "extappear",
+            Self::Disappear => "disappear",
+            Self::GradMove => "gradmove",
+            Self::Complex => "complex",
+            Self::Merge => "merge",
+            Self::SplitDrift => "splitdrift",
+            Self::Densify => "densify",
+        }
+    }
+
+    /// The paper's six kinds, in the order Table 1 lists them.
+    #[must_use]
+    pub fn all() -> [ScenarioKind; 6] {
+        [
+            Self::Random,
+            Self::Appear,
+            Self::Disappear,
+            Self::ExtremeAppear,
+            Self::GradMove,
+            Self::Complex,
+        ]
+    }
+
+    /// The paper's six kinds plus the merge/split-drift/densify
+    /// extensions.
+    #[must_use]
+    pub fn extended() -> [ScenarioKind; 9] {
+        [
+            Self::Random,
+            Self::Appear,
+            Self::Disappear,
+            Self::ExtremeAppear,
+            Self::GradMove,
+            Self::Complex,
+            Self::Merge,
+            Self::SplitDrift,
+            Self::Densify,
+        ]
+    }
+}
+
+/// Default cluster standard deviation for the named scenarios.
+const SIGMA: f64 = 2.5;
+/// Default bounds of the populated region for the named scenarios.
+const BOUNDS: (f64, f64) = (0.0, 100.0);
+/// Default noise fraction for the named scenarios.
+const NOISE: f64 = 0.05;
+
+impl ScenarioSpec {
+    /// Builds the named scenario of the paper for the given dimensionality,
+    /// initial database size and per-batch update fraction.
+    ///
+    /// Cluster layouts follow the paper's qualitative descriptions: static
+    /// clusters sit on a diagonal grid, appearing clusters grow in an
+    /// anti-diagonal corner (inside the noise region for [`ScenarioKind::Appear`],
+    /// strictly outside all previous data for [`ScenarioKind::ExtremeAppear`]),
+    /// a disappearing cluster is drained from batch 1 on, and a moving
+    /// cluster translates by 3 % of the span per batch.
+    #[must_use]
+    pub fn named(kind: ScenarioKind, dim: usize, initial_size: usize, update_fraction: f64) -> Self {
+        assert!(dim > 0, "scenario requires dim > 0");
+        let (lo, hi) = BOUNDS;
+        let span = hi - lo;
+        // A mean at pattern (a, b, a, b, ...) of the span.
+        let corner = |a: f64, b: f64| -> Vec<f64> {
+            (0..dim)
+                .map(|ax| lo + span * if ax % 2 == 0 { a } else { b })
+                .collect()
+        };
+        let diag = |t: f64| -> Vec<f64> { vec![lo + span * t; dim] };
+        let stat = |mean: Vec<f64>| ScenarioCluster {
+            model: ClusterModel::new(mean, SIGMA),
+            dynamics: Dynamics::Static,
+        };
+
+        let clusters = match kind {
+            ScenarioKind::Random => vec![
+                stat(diag(0.2)),
+                stat(diag(0.5)),
+                stat(diag(0.8)),
+                stat(corner(0.8, 0.2)),
+            ],
+            ScenarioKind::Appear => vec![
+                stat(diag(0.25)),
+                stat(diag(0.5)),
+                stat(diag(0.75)),
+                ScenarioCluster {
+                    model: ClusterModel::new(corner(0.9, 0.1), SIGMA),
+                    dynamics: Dynamics::Appear {
+                        at_batch: 0,
+                        target: initial_size / 5,
+                    },
+                },
+            ],
+            ScenarioKind::ExtremeAppear => vec![
+                stat(diag(0.25)),
+                stat(diag(0.5)),
+                stat(diag(0.75)),
+                ScenarioCluster {
+                    // Strictly outside the noise hypercube: no previous
+                    // points, not even noise (paper's "extreme appear").
+                    model: ClusterModel::new(vec![hi + 0.3 * span; dim], SIGMA),
+                    dynamics: Dynamics::Appear {
+                        at_batch: 0,
+                        target: initial_size / 5,
+                    },
+                },
+            ],
+            ScenarioKind::Disappear => vec![
+                stat(diag(0.2)),
+                ScenarioCluster {
+                    model: ClusterModel::new(diag(0.5), SIGMA),
+                    dynamics: Dynamics::Disappear { at_batch: 0 },
+                },
+                stat(diag(0.8)),
+                stat(corner(0.8, 0.2)),
+            ],
+            ScenarioKind::GradMove => vec![
+                stat(diag(0.3)),
+                stat(diag(0.7)),
+                ScenarioCluster {
+                    model: ClusterModel::new(corner(0.85, 0.15), SIGMA),
+                    dynamics: Dynamics::Move {
+                        velocity: {
+                            let mut v = vec![0.0; dim];
+                            // Drift along the second axis (or the first in 1-d).
+                            v[1 % dim] = 0.03 * span;
+                            v
+                        },
+                    },
+                },
+            ],
+            ScenarioKind::Complex => vec![
+                stat(diag(0.3)),
+                stat(diag(0.6)),
+                ScenarioCluster {
+                    model: ClusterModel::new(corner(0.15, 0.85), SIGMA),
+                    dynamics: Dynamics::Disappear { at_batch: 0 },
+                },
+                ScenarioCluster {
+                    model: ClusterModel::new(corner(0.85, 0.15), SIGMA),
+                    dynamics: Dynamics::Move {
+                        velocity: {
+                            let mut v = vec![0.0; dim];
+                            v[1 % dim] = 0.03 * span;
+                            v
+                        },
+                    },
+                },
+                ScenarioCluster {
+                    model: ClusterModel::new(diag(0.9), SIGMA),
+                    dynamics: Dynamics::Appear {
+                        at_batch: 0,
+                        target: initial_size / 6,
+                    },
+                },
+            ],
+            ScenarioKind::Merge => {
+                // Two clusters approach a meeting point at diag(0.5) by
+                // 2 % of the span per batch each.
+                let towards = |from: f64| {
+                    let mut v = vec![0.0; dim];
+                    let dir = if from < 0.5 { 1.0 } else { -1.0 };
+                    for x in v.iter_mut() {
+                        *x = dir * 0.02 * span;
+                    }
+                    v
+                };
+                vec![
+                    stat(corner(0.8, 0.2)),
+                    ScenarioCluster {
+                        model: ClusterModel::new(diag(0.2), SIGMA),
+                        dynamics: Dynamics::Move {
+                            velocity: towards(0.2),
+                        },
+                    },
+                    ScenarioCluster {
+                        model: ClusterModel::new(diag(0.8), SIGMA),
+                        dynamics: Dynamics::Move {
+                            velocity: towards(0.8),
+                        },
+                    },
+                ]
+            }
+            ScenarioKind::SplitDrift => {
+                // Two co-located clusters (one apparent cluster) drift
+                // apart along the diagonal.
+                let away = |dir: f64| {
+                    let mut v = vec![0.0; dim];
+                    for x in v.iter_mut() {
+                        *x = dir * 0.02 * span;
+                    }
+                    v
+                };
+                vec![
+                    stat(corner(0.8, 0.2)),
+                    ScenarioCluster {
+                        model: ClusterModel::new(diag(0.5), SIGMA),
+                        dynamics: Dynamics::Move { velocity: away(-1.0) },
+                    },
+                    ScenarioCluster {
+                        model: ClusterModel::new(diag(0.5), SIGMA),
+                        dynamics: Dynamics::Move { velocity: away(1.0) },
+                    },
+                ]
+            }
+            ScenarioKind::Densify => vec![
+                stat(diag(0.2)),
+                stat(diag(0.8)),
+                ScenarioCluster {
+                    // Starts diffuse and condenses by 10 % per batch.
+                    model: ClusterModel::new(corner(0.8, 0.2), SIGMA * 3.0),
+                    dynamics: Dynamics::Densify { factor: 0.9 },
+                },
+            ],
+        };
+
+        Self {
+            dim,
+            initial_size,
+            noise_fraction: NOISE,
+            update_fraction,
+            bounds: BOUNDS,
+            clusters,
+            appear_share: 0.8,
+        }
+    }
+}
+
+/// The evolving state of a scenario: per-cluster member lists, current
+/// (possibly moved) means, and the batch counter.
+#[derive(Debug, Clone)]
+pub struct ScenarioEngine {
+    spec: ScenarioSpec,
+    batch_index: usize,
+    cur_means: Vec<Vec<f64>>,
+    /// Current sigma per cluster (densify dynamics mutate it).
+    cur_sigmas: Vec<f64>,
+    /// Live member ids per cluster (index == label).
+    members: Vec<Vec<PointId>>,
+    /// Live noise point ids.
+    noise: Vec<PointId>,
+    total_live: usize,
+    /// Labels of the last planned-but-unconfirmed insertions.
+    awaiting: Option<Vec<Label>>,
+}
+
+impl ScenarioEngine {
+    /// Creates an engine for the given spec. Call
+    /// [`ScenarioEngine::populate`] next to build the initial database.
+    #[must_use]
+    pub fn new(spec: ScenarioSpec) -> Self {
+        let cur_means = spec.clusters.iter().map(|c| c.model.mean.clone()).collect();
+        let cur_sigmas = spec.clusters.iter().map(|c| c.model.sigma).collect();
+        let k = spec.clusters.len();
+        Self {
+            spec,
+            batch_index: 0,
+            cur_means,
+            cur_sigmas,
+            members: vec![Vec::new(); k],
+            noise: Vec::new(),
+            total_live: 0,
+            awaiting: None,
+        }
+    }
+
+    /// The scenario specification.
+    #[must_use]
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Index of the next batch [`Self::plan`] will produce.
+    #[must_use]
+    pub fn batch_index(&self) -> usize {
+        self.batch_index
+    }
+
+    /// Number of live points the engine believes exist.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.total_live
+    }
+
+    /// Current member count of cluster `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn cluster_size(&self, c: usize) -> usize {
+        self.members[c].len()
+    }
+
+    /// Current (possibly drifted) mean of cluster `c`.
+    #[must_use]
+    pub fn current_mean(&self, c: usize) -> &[f64] {
+        &self.cur_means[c]
+    }
+
+    /// Current (possibly densified) sigma of cluster `c`.
+    #[must_use]
+    pub fn current_sigma(&self, c: usize) -> f64 {
+        self.cur_sigmas[c]
+    }
+
+    /// Builds and returns the initial database, registering every point's
+    /// ground truth internally.
+    ///
+    /// Clusters with [`Dynamics::Appear`] start empty; all others share the
+    /// non-noise budget in proportion to their model weights.
+    pub fn populate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> PointStore {
+        assert_eq!(self.total_live, 0, "populate must be called once, first");
+        let n = self.spec.initial_size;
+        let mut store = PointStore::with_capacity(self.spec.dim, n);
+        let n_noise = (n as f64 * self.spec.noise_fraction).round() as usize;
+        let n_clustered = n - n_noise;
+
+        let initial: Vec<usize> = self
+            .spec
+            .clusters
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !matches!(c.dynamics, Dynamics::Appear { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let weight_total: f64 = initial
+            .iter()
+            .map(|&i| self.spec.clusters[i].model.weight)
+            .sum();
+
+        let mut produced = 0usize;
+        for (pos, &ci) in initial.iter().enumerate() {
+            let share = if pos + 1 == initial.len() {
+                n_clustered - produced
+            } else {
+                (n_clustered as f64 * self.spec.clusters[ci].model.weight / weight_total).round()
+                    as usize
+            };
+            for _ in 0..share {
+                let p = gaussian_point(rng, &self.cur_means[ci], self.spec.clusters[ci].model.sigma);
+                let id = store.insert(&p, Some(ci as u32));
+                self.members[ci].push(id);
+            }
+            produced += share;
+        }
+        for _ in 0..n_noise {
+            let p = uniform_point(rng, self.spec.dim, self.spec.bounds.0, self.spec.bounds.1);
+            let id = store.insert(&p, None);
+            self.noise.push(id);
+        }
+        self.total_live = store.len();
+        store
+    }
+
+    /// `true` when cluster `c`'s dynamics are active at batch `b`.
+    fn appear_active(&self, c: usize, b: usize) -> bool {
+        matches!(self.spec.clusters[c].dynamics, Dynamics::Appear { at_batch, target }
+            if b >= at_batch && self.members[c].len() < target)
+    }
+
+    fn disappear_active(&self, c: usize, b: usize) -> bool {
+        matches!(self.spec.clusters[c].dynamics, Dynamics::Disappear { at_batch }
+            if b >= at_batch && !self.members[c].is_empty())
+    }
+
+    /// Plans the next batch: `update_fraction` of the live points deleted,
+    /// the same number inserted, allocated according to each cluster's
+    /// dynamics. The engine's ground truth is updated for the deletions
+    /// immediately; the insertions are registered by [`Self::confirm`].
+    ///
+    /// # Panics
+    /// Panics if the previous planned batch has not been confirmed, or the
+    /// database is empty.
+    pub fn plan<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Batch {
+        assert!(
+            self.awaiting.is_none(),
+            "previous batch must be confirmed before planning the next"
+        );
+        assert!(self.total_live > 0, "cannot plan updates on an empty database");
+        let b = self.batch_index;
+        let budget =
+            ((self.total_live as f64 * self.spec.update_fraction).round() as usize).max(1);
+
+        let mut deletes: Vec<PointId> = Vec::with_capacity(budget);
+        // (cluster, count) pairs of deletions taken from moving clusters, to
+        // be re-inserted at the shifted mean.
+        let mut moved: Vec<(usize, usize)> = Vec::new();
+
+        // 1. Drain disappearing clusters first.
+        for c in 0..self.spec.clusters.len() {
+            if deletes.len() >= budget || !self.disappear_active(c, b) {
+                continue;
+            }
+            let take = (budget - deletes.len()).min(self.members[c].len());
+            for _ in 0..take {
+                let idx = rng.gen_range(0..self.members[c].len());
+                deletes.push(self.members[c].swap_remove(idx));
+            }
+        }
+
+        // 2. Moving and densifying clusters: proportional share of the
+        //    budget, re-inserted below at the updated mean/sigma.
+        for c in 0..self.spec.clusters.len() {
+            if deletes.len() >= budget {
+                break;
+            }
+            let (is_reshaping, velocity, factor) = match self.spec.clusters[c].dynamics {
+                Dynamics::Move { ref velocity } => (true, Some(velocity.clone()), None),
+                Dynamics::Densify { factor } => (true, None, Some(factor)),
+                _ => (false, None, None),
+            };
+            if !is_reshaping {
+                continue;
+            }
+            let share = (budget as f64 * self.members[c].len() as f64
+                / self.total_live as f64)
+                .round() as usize;
+            let take = share.min(budget - deletes.len()).min(self.members[c].len());
+            for _ in 0..take {
+                let idx = rng.gen_range(0..self.members[c].len());
+                deletes.push(self.members[c].swap_remove(idx));
+            }
+            if take > 0 {
+                moved.push((c, take));
+            }
+            // The cluster evolves every batch regardless of quota.
+            if let Some(v) = velocity {
+                for (m, vx) in self.cur_means[c].iter_mut().zip(&v) {
+                    *m += vx;
+                }
+            }
+            if let Some(f) = factor {
+                self.cur_sigmas[c] *= f;
+            }
+        }
+
+        // 3. Random churn over everything still alive.
+        while deletes.len() < budget {
+            let Some(id) = self.take_uniform(rng) else {
+                break;
+            };
+            deletes.push(id);
+        }
+
+        // Insertions: same count as deletions.
+        let ins_budget = deletes.len();
+        let mut inserts: Vec<(Vec<f64>, Label)> = Vec::with_capacity(ins_budget);
+
+        // a. Moving/densifying clusters get their deleted points back at
+        //    the updated mean and spread.
+        for &(c, count) in &moved {
+            let sigma = self.cur_sigmas[c];
+            for _ in 0..count.min(ins_budget - inserts.len()) {
+                let p = gaussian_point(rng, &self.cur_means[c], sigma);
+                inserts.push((p, Some(c as u32)));
+            }
+        }
+
+        // b. Appearing clusters: up to `appear_share` of the batch, split
+        //    evenly among the active ones, capped at each one's deficit.
+        let active_appear: Vec<usize> = (0..self.spec.clusters.len())
+            .filter(|&c| self.appear_active(c, b))
+            .collect();
+        if !active_appear.is_empty() {
+            let pool = ((ins_budget as f64 * self.spec.appear_share) as usize)
+                .min(ins_budget - inserts.len());
+            let per = pool / active_appear.len().max(1);
+            for &c in &active_appear {
+                let Dynamics::Appear { target, .. } = self.spec.clusters[c].dynamics else {
+                    unreachable!("appear_active implies Appear dynamics");
+                };
+                let deficit = target.saturating_sub(self.members[c].len());
+                let take = per.min(deficit).min(ins_budget - inserts.len());
+                let sigma = self.cur_sigmas[c];
+                for _ in 0..take {
+                    let p = gaussian_point(rng, &self.cur_means[c], sigma);
+                    inserts.push((p, Some(c as u32)));
+                }
+            }
+        }
+
+        // c. Remainder follows the standing mixture (static + moving
+        //    clusters at current means, plus noise).
+        let standing: Vec<usize> = (0..self.spec.clusters.len())
+            .filter(|&c| match self.spec.clusters[c].dynamics {
+                Dynamics::Static | Dynamics::Move { .. } | Dynamics::Densify { .. } => true,
+                Dynamics::Appear { at_batch, target } => {
+                    b >= at_batch && self.members[c].len() >= target
+                }
+                Dynamics::Disappear { at_batch } => b < at_batch,
+            })
+            .collect();
+        let weight_total: f64 = standing
+            .iter()
+            .map(|&c| self.spec.clusters[c].model.weight)
+            .sum();
+        while inserts.len() < ins_budget {
+            if standing.is_empty() || rng.gen::<f64>() < self.spec.noise_fraction {
+                let p = uniform_point(rng, self.spec.dim, self.spec.bounds.0, self.spec.bounds.1);
+                inserts.push((p, None));
+            } else {
+                let mut t = rng.gen::<f64>() * weight_total;
+                let mut chosen = standing[standing.len() - 1];
+                for &c in &standing {
+                    t -= self.spec.clusters[c].model.weight;
+                    if t <= 0.0 {
+                        chosen = c;
+                        break;
+                    }
+                }
+                let p = gaussian_point(rng, &self.cur_means[chosen], self.cur_sigmas[chosen]);
+                inserts.push((p, Some(chosen as u32)));
+            }
+        }
+
+        self.awaiting = Some(inserts.iter().map(|(_, l)| *l).collect());
+        self.total_live -= deletes.len();
+        self.batch_index += 1;
+        Batch { deletes, inserts }
+    }
+
+    /// Removes one live id uniformly across all clusters and noise.
+    fn take_uniform<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<PointId> {
+        let total: usize =
+            self.members.iter().map(Vec::len).sum::<usize>() + self.noise.len();
+        if total == 0 {
+            return None;
+        }
+        let mut r = rng.gen_range(0..total);
+        for list in self.members.iter_mut().chain(std::iter::once(&mut self.noise)) {
+            if r < list.len() {
+                let idx = rng.gen_range(0..list.len());
+                return Some(list.swap_remove(idx));
+            }
+            r -= list.len();
+        }
+        None
+    }
+
+    /// Registers the ids assigned to the insertions of the last planned
+    /// batch (in the batch's insertion order).
+    ///
+    /// # Panics
+    /// Panics if no batch is awaiting confirmation or the id count differs
+    /// from the planned insertion count.
+    pub fn confirm(&mut self, inserted: &[PointId]) {
+        let labels = self
+            .awaiting
+            .take()
+            .expect("confirm called without a planned batch");
+        assert_eq!(
+            labels.len(),
+            inserted.len(),
+            "confirmed id count must match planned insertions"
+        );
+        for (&id, label) in inserted.iter().zip(&labels) {
+            match label {
+                Some(c) => self.members[*c as usize].push(id),
+                None => self.noise.push(id),
+            }
+        }
+        self.total_live += inserted.len();
+    }
+
+    /// Plans the next batch, applies it directly to `store`, confirms it,
+    /// and returns the batch plus the ids of the inserted points — the
+    /// convenience path for flows without an incremental maintainer (e.g.
+    /// the complete-rebuild baseline).
+    pub fn step_plain<R: Rng + ?Sized>(
+        &mut self,
+        store: &mut PointStore,
+        rng: &mut R,
+    ) -> (Batch, Vec<PointId>) {
+        let batch = self.plan(rng);
+        let inserted = store.apply(&batch);
+        self.confirm(&inserted);
+        (batch, inserted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine(kind: ScenarioKind, n: usize) -> (ScenarioEngine, PointStore, StdRng) {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let spec = ScenarioSpec::named(kind, 2, n, 0.05);
+        let mut eng = ScenarioEngine::new(spec);
+        let store = eng.populate(&mut rng);
+        (eng, store, rng)
+    }
+
+    /// The engine's ground truth matches the store exactly after any number
+    /// of plan/apply/confirm rounds.
+    fn check_consistency(eng: &ScenarioEngine, store: &PointStore) {
+        assert_eq!(eng.live_count(), store.len());
+        for (c, list) in eng.members.iter().enumerate() {
+            for &id in list {
+                assert!(store.contains(id));
+                assert_eq!(store.label(id), Some(c as u32));
+            }
+        }
+        for &id in &eng.noise {
+            assert!(store.contains(id));
+            assert_eq!(store.label(id), None);
+        }
+        let tracked: usize = eng.members.iter().map(Vec::len).sum::<usize>() + eng.noise.len();
+        assert_eq!(tracked, store.len());
+    }
+
+    #[test]
+    fn populate_matches_spec_size_and_labels() {
+        let (eng, store, _) = engine(ScenarioKind::Random, 2000);
+        assert_eq!(store.len(), 2000);
+        check_consistency(&eng, &store);
+        // ~5% noise.
+        let noise = store.iter().filter(|(_, _, l)| l.is_none()).count();
+        assert!((60..140).contains(&noise), "noise count {noise}");
+    }
+
+    #[test]
+    fn appear_cluster_starts_empty_and_grows() {
+        let (mut eng, mut store, mut rng) = engine(ScenarioKind::Appear, 2000);
+        let appear_idx = 3;
+        assert_eq!(eng.cluster_size(appear_idx), 0);
+        for _ in 0..20 {
+            eng.step_plain(&mut store, &mut rng);
+        }
+        check_consistency(&eng, &store);
+        assert!(
+            eng.cluster_size(appear_idx) > 100,
+            "appear cluster grew to {}",
+            eng.cluster_size(appear_idx)
+        );
+        // Target is initial_size/5 = 400; must not overshoot.
+        assert!(eng.cluster_size(appear_idx) <= 400);
+    }
+
+    #[test]
+    fn disappear_cluster_is_drained() {
+        let (mut eng, mut store, mut rng) = engine(ScenarioKind::Disappear, 2000);
+        let dying = 1;
+        let before = eng.cluster_size(dying);
+        assert!(before > 300);
+        for _ in 0..10 {
+            eng.step_plain(&mut store, &mut rng);
+        }
+        check_consistency(&eng, &store);
+        assert_eq!(eng.cluster_size(dying), 0, "cluster fully drained");
+        // Database size stays constant (equal inserts and deletes).
+        assert_eq!(store.len(), 2000);
+    }
+
+    #[test]
+    fn gradmove_mean_drifts() {
+        let (mut eng, mut store, mut rng) = engine(ScenarioKind::GradMove, 2000);
+        let mover = 2;
+        let start = eng.current_mean(mover).to_vec();
+        for _ in 0..10 {
+            eng.step_plain(&mut store, &mut rng);
+        }
+        check_consistency(&eng, &store);
+        let end = eng.current_mean(mover);
+        let shift = idb_geometry::dist(&start, end);
+        assert!((shift - 30.0).abs() < 1e-9, "drift over 10 batches = {shift}");
+        // The cluster's population is preserved while it moves.
+        assert!(eng.cluster_size(mover) > 300);
+    }
+
+    #[test]
+    fn batches_are_balanced_and_sized() {
+        let (mut eng, mut store, mut rng) = engine(ScenarioKind::Complex, 4000);
+        for _ in 0..8 {
+            let before = store.len();
+            let (batch, inserted) = eng.step_plain(&mut store, &mut rng);
+            assert_eq!(batch.deletes.len(), batch.inserts.len());
+            assert_eq!(inserted.len(), batch.inserts.len());
+            let expect = (before as f64 * 0.05).round() as usize;
+            assert!(
+                (batch.deletes.len() as i64 - expect as i64).abs() <= 1,
+                "batch size {} vs expected {expect}",
+                batch.deletes.len()
+            );
+            assert_eq!(store.len(), before);
+        }
+        check_consistency(&eng, &store);
+    }
+
+    #[test]
+    fn extreme_appear_region_initially_empty() {
+        let (eng, store, _) = engine(ScenarioKind::ExtremeAppear, 3000);
+        let target_mean = &eng.spec().clusters[3].model.mean;
+        for (_, p, _) in store.iter() {
+            assert!(
+                idb_geometry::dist(p, target_mean) > 20.0,
+                "no initial point near the extreme-appear region"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_appear_fills_new_region() {
+        let (mut eng, mut store, mut rng) = engine(ScenarioKind::ExtremeAppear, 3000);
+        for _ in 0..25 {
+            eng.step_plain(&mut store, &mut rng);
+        }
+        let target_mean = eng.current_mean(3).to_vec();
+        let near = store
+            .iter()
+            .filter(|(_, p, _)| idb_geometry::dist(p, &target_mean) < 10.0)
+            .count();
+        assert!(near > 100, "points materialized in the new region: {near}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be confirmed")]
+    fn double_plan_without_confirm_panics() {
+        let (mut eng, _store, mut rng) = engine(ScenarioKind::Random, 500);
+        let _ = eng.plan(&mut rng);
+        let _ = eng.plan(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "id count")]
+    fn confirm_with_wrong_count_panics() {
+        let (mut eng, _store, mut rng) = engine(ScenarioKind::Random, 500);
+        let _ = eng.plan(&mut rng);
+        eng.confirm(&[]);
+    }
+
+    #[test]
+    fn all_kinds_run_ten_batches() {
+        for kind in ScenarioKind::all() {
+            let (mut eng, mut store, mut rng) = engine(kind, 1500);
+            for _ in 0..10 {
+                eng.step_plain(&mut store, &mut rng);
+            }
+            check_consistency(&eng, &store);
+            assert_eq!(store.len(), 1500, "{kind:?} preserves database size");
+        }
+    }
+
+    #[test]
+    fn merging_clusters_converge() {
+        let (mut eng, mut store, mut rng) = engine(ScenarioKind::Merge, 2000);
+        let d0 = idb_geometry::dist(eng.current_mean(1), eng.current_mean(2));
+        for _ in 0..10 {
+            eng.step_plain(&mut store, &mut rng);
+        }
+        check_consistency(&eng, &store);
+        let d1 = idb_geometry::dist(eng.current_mean(1), eng.current_mean(2));
+        assert!(d1 < d0 * 0.6, "means converged: {d0:.1} -> {d1:.1}");
+        // Both clusters keep their populations while moving.
+        assert!(eng.cluster_size(1) > 300 && eng.cluster_size(2) > 300);
+    }
+
+    #[test]
+    fn splitting_clusters_diverge() {
+        let (mut eng, mut store, mut rng) = engine(ScenarioKind::SplitDrift, 2000);
+        let d0 = idb_geometry::dist(eng.current_mean(1), eng.current_mean(2));
+        assert!(d0 < 1e-9, "initially co-located");
+        for _ in 0..10 {
+            eng.step_plain(&mut store, &mut rng);
+        }
+        check_consistency(&eng, &store);
+        let d1 = idb_geometry::dist(eng.current_mean(1), eng.current_mean(2));
+        assert!(d1 > 20.0, "means diverged to {d1:.1}");
+    }
+
+    #[test]
+    fn densify_shrinks_sigma_and_spread() {
+        let (mut eng, mut store, mut rng) = engine(ScenarioKind::Densify, 3000);
+        let dense = 2;
+        let sigma0 = eng.current_sigma(dense);
+        assert!((sigma0 - 7.5).abs() < 1e-9, "starts diffuse at 3x SIGMA");
+        let spread = |eng: &ScenarioEngine, store: &PointStore, c: usize| -> f64 {
+            let mean = eng.current_mean(c).to_vec();
+            let members = &eng.members[c];
+            members
+                .iter()
+                .map(|&id| idb_geometry::dist(store.point(id), &mean))
+                .sum::<f64>()
+                / members.len() as f64
+        };
+        let spread0 = spread(&eng, &store, dense);
+        for _ in 0..15 {
+            eng.step_plain(&mut store, &mut rng);
+        }
+        check_consistency(&eng, &store);
+        let sigma1 = eng.current_sigma(dense);
+        assert!((sigma1 - sigma0 * 0.9f64.powi(15)).abs() < 1e-9);
+        let spread1 = spread(&eng, &store, dense);
+        assert!(
+            spread1 < spread0 * 0.8,
+            "member spread condensed: {spread0:.2} -> {spread1:.2}"
+        );
+        // Population is preserved while density changes.
+        assert!(eng.cluster_size(dense) > 500);
+    }
+
+    #[test]
+    fn extended_kinds_run_ten_batches() {
+        for kind in ScenarioKind::extended() {
+            let (mut eng, mut store, mut rng) = engine(kind, 1200);
+            for _ in 0..10 {
+                eng.step_plain(&mut store, &mut rng);
+            }
+            check_consistency(&eng, &store);
+            assert_eq!(store.len(), 1200, "{kind:?} preserves database size");
+        }
+    }
+
+    #[test]
+    fn complex_has_all_dynamics() {
+        let spec = ScenarioSpec::named(ScenarioKind::Complex, 5, 1000, 0.02);
+        let mut kinds = (false, false, false, false);
+        for c in &spec.clusters {
+            match c.dynamics {
+                Dynamics::Static => kinds.0 = true,
+                Dynamics::Appear { .. } => kinds.1 = true,
+                Dynamics::Disappear { .. } => kinds.2 = true,
+                Dynamics::Move { .. } => kinds.3 = true,
+                Dynamics::Densify { .. } => {}
+            }
+        }
+        assert_eq!(kinds, (true, true, true, true));
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: summarize a static database with data bubbles and obtain a
+//! hierarchical clustering from the summary.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use incremental_data_bubbles::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2004);
+
+    // 1. A labeled database: four Gaussian clusters plus 3 % uniform noise.
+    let model = MixtureModel::new(
+        2,
+        vec![
+            ClusterModel::new(vec![20.0, 20.0], 2.5),
+            ClusterModel::new(vec![20.0, 80.0], 2.5),
+            ClusterModel::new(vec![80.0, 20.0], 2.5),
+            ClusterModel::new(vec![80.0, 80.0], 2.5),
+        ],
+        0.03,
+        (0.0, 100.0),
+    );
+    let store = model.populate(20_000, &mut rng);
+    println!("database: {} points in {} dimensions", store.len(), store.dim());
+
+    // 2. Compress into 100 data bubbles. The triangle-inequality pruning of
+    //    the paper's Section 3 is on by default; SearchStats records how
+    //    much work it saved.
+    let mut search = SearchStats::new();
+    let bubbles =
+        IncrementalBubbles::build(&store, MaintainerConfig::new(100), &mut rng, &mut search);
+    println!(
+        "summarized into {} bubbles: {} distance computations, {} pruned ({:.1} % saved)",
+        bubbles.num_bubbles(),
+        search.computed,
+        search.pruned,
+        search.pruned_fraction() * 100.0
+    );
+
+    // 3. Hierarchical clustering on the summary only: OPTICS over 100
+    //    bubbles instead of 20,000 points, then automatic cluster
+    //    extraction from the reachability plot.
+    let outcome = pipeline::cluster_bubbles(&bubbles, 10, 200);
+    println!("extracted {} clusters:", outcome.clusters.len());
+    for (i, cluster) in outcome.clusters.iter().enumerate() {
+        println!("  cluster {i}: {} points", cluster.len());
+    }
+
+    // 4. Score against the generator's ground truth.
+    let f = fscore(&store, &outcome.clusters);
+    println!("F-score vs. ground truth: {:.4}", f.overall);
+    println!(
+        "compactness (avg squared member-to-rep distance): {:.3}",
+        compactness_per_point(&bubbles, &store)
+    );
+}

@@ -1,0 +1,79 @@
+//! # Incremental Data Bubbles
+//!
+//! A complete Rust implementation of *"Incremental and Effective Data
+//! Summarization for Dynamic Hierarchical Clustering"* (Nassar, Sander,
+//! Cheng — SIGMOD 2004), including every substrate its evaluation depends
+//! on: OPTICS on points and on summaries, automatic reachability-plot
+//! cluster extraction, SLINK, DBSCAN, a BIRCH CF-tree baseline, dynamic
+//! workload generators and the full experiment harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use incremental_data_bubbles::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A labeled synthetic database of three Gaussian clusters.
+//! let model = MixtureModel::new(
+//!     2,
+//!     vec![
+//!         ClusterModel::new(vec![20.0, 20.0], 2.0),
+//!         ClusterModel::new(vec![50.0, 80.0], 2.0),
+//!         ClusterModel::new(vec![80.0, 20.0], 2.0),
+//!     ],
+//!     0.02,
+//!     (0.0, 100.0),
+//! );
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut store = model.populate(2_000, &mut rng);
+//!
+//! // Summarize with 40 data bubbles and cluster the summary.
+//! let mut search = SearchStats::new();
+//! let mut bubbles =
+//!     IncrementalBubbles::build(&store, MaintainerConfig::new(40), &mut rng, &mut search);
+//! let outcome = pipeline::cluster_bubbles(&bubbles, 8, 50);
+//! assert_eq!(outcome.clusters.len(), 3);
+//!
+//! // The database changes; the summary follows without a rebuild.
+//! let batch = Batch {
+//!     deletes: store.ids().take(50).collect(),
+//!     inserts: (0..50).map(|i| (vec![50.0, 20.0 + i as f64 * 0.1], None)).collect(),
+//! };
+//! bubbles.apply_batch(&mut store, &batch, &mut search);
+//! bubbles.maintain(&store, &mut rng, &mut search);
+//! ```
+//!
+//! The individual layers are re-exported as modules: [`geometry`],
+//! [`store`], [`synth`], [`core`], [`clustering`], [`birch`], [`eval`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use idb_birch as birch;
+pub use idb_clustering as clustering;
+pub use idb_core as core;
+pub use idb_eval as eval;
+pub use idb_geometry as geometry;
+pub use idb_store as store;
+pub use idb_synth as synth;
+
+pub mod pipeline;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::pipeline;
+    pub use idb_birch::{CfSummary, CfTree};
+    pub use idb_clustering::{
+        extract_clusters, optics_bubbles, optics_points, ExtractParams, ReachabilityPlot,
+    };
+    pub use idb_core::{
+        AssignStrategy, Bubble, DataSummary, IncrementalBubbles, MaintainerConfig, QualityKind,
+        SplitSeedPolicy, SufficientStats,
+    };
+    pub use idb_eval::{compactness_per_point, fscore, Aggregate};
+    pub use idb_geometry::SearchStats;
+    pub use idb_store::{Batch, Label, PointId, PointStore};
+    pub use idb_synth::{
+        ClusterModel, MixtureModel, ScenarioEngine, ScenarioKind, ScenarioSpec,
+    };
+}

@@ -1,0 +1,191 @@
+//! High-level convenience pipeline: summary → OPTICS → flat clusters.
+//!
+//! Wires together the steps the paper's evaluation performs after every
+//! batch of updates, so applications (and the experiment harness) don't
+//! repeat the plumbing: run OPTICS over the live bubbles, expand the
+//! ordering with virtual reachability into a point-level plot, extract
+//! clusters with the Sander et al. cluster-tree method.
+
+use idb_clustering::{extract_clusters, optics_bubbles, ExtractParams, ReachabilityPlot};
+use idb_core::{DataSummary, IncrementalBubbles};
+
+// (cluster_sample below additionally uses idb_clustering::optics_points and
+// idb_store through full paths, to keep the top-level imports minimal.)
+
+/// Everything the clustering step produces.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// The expanded, point-level reachability plot.
+    pub plot: ReachabilityPlot,
+    /// Extracted flat clusters as raw point ids.
+    pub clusters: Vec<Vec<u64>>,
+}
+
+/// Clusters the current bubble population: OPTICS over the non-empty
+/// bubbles (`eps = ∞`, the full hierarchy), virtual-reachability
+/// expansion, cluster-tree extraction with `min_cluster_size`.
+#[must_use]
+pub fn cluster_bubbles(
+    bubbles: &IncrementalBubbles,
+    min_pts: usize,
+    min_cluster_size: usize,
+) -> ClusterOutcome {
+    let ordering = optics_bubbles(bubbles.bubbles(), f64::INFINITY, min_pts);
+    let plot = ordering.expand(|i| {
+        bubbles
+            .bubble(i)
+            .members()
+            .iter()
+            .map(|id| u64::from(id.0))
+            .collect::<Vec<_>>()
+    });
+    let clusters = extract_clusters(&plot, &ExtractParams::with_min_size(min_cluster_size));
+    ClusterOutcome { plot, clusters }
+}
+
+/// Clusters an arbitrary summary set (e.g. BIRCH CF leaves) the same way.
+/// `members(i)` must yield the point ids summarized by summary `i` — when
+/// the summarization doesn't track memberships (BIRCH does not), pass
+/// synthetic ids and score at the summary level instead.
+#[must_use]
+pub fn cluster_summaries<S, F, I>(
+    summaries: &[S],
+    min_pts: usize,
+    min_cluster_size: usize,
+    members: F,
+) -> ClusterOutcome
+where
+    S: DataSummary,
+    F: FnMut(usize) -> I,
+    I: IntoIterator<Item = u64>,
+{
+    let ordering = optics_bubbles(summaries, f64::INFINITY, min_pts);
+    let plot = ordering.expand(members);
+    let clusters = extract_clusters(&plot, &ExtractParams::with_min_size(min_cluster_size));
+    ClusterOutcome { plot, clusters }
+}
+
+/// The random-sampling baseline: cluster a uniform sample of the database
+/// directly with point-level OPTICS (the naive compression data bubbles
+/// were introduced to beat — a small sample under-represents small
+/// clusters and carries no density information about the points it
+/// dropped).
+///
+/// Returns the outcome (cluster ids refer to the *original* store) plus
+/// the sample as its own store, so callers can score at sample level.
+pub fn cluster_sample<R: rand::Rng + ?Sized>(
+    store: &idb_store::PointStore,
+    sample_size: usize,
+    min_pts: usize,
+    min_cluster_size: usize,
+    rng: &mut R,
+) -> (ClusterOutcome, idb_store::PointStore) {
+    let ids = store.sample_distinct(sample_size, rng);
+    let mut sample = idb_store::PointStore::with_capacity(store.dim(), ids.len());
+    // Fresh stores assign slots sequentially, so slot i of the sample maps
+    // back to ids[i].
+    for &id in &ids {
+        sample.insert(store.point(id), store.label(id));
+    }
+    let plot = idb_clustering::optics_points(&sample, f64::INFINITY, min_pts);
+    let translated = ReachabilityPlot::from_entries(
+        plot.entries()
+            .iter()
+            .map(|e| idb_clustering::PlotEntry {
+                id: u64::from(ids[e.id as usize].0),
+                reachability: e.reachability,
+            })
+            .collect(),
+    );
+    let clusters = extract_clusters(
+        &translated,
+        &ExtractParams::with_min_size(min_cluster_size),
+    );
+    (
+        ClusterOutcome {
+            plot: translated,
+            clusters,
+        },
+        sample,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idb_core::MaintainerConfig;
+    use idb_geometry::SearchStats;
+    use idb_synth::{ClusterModel, MixtureModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A tiny cluster that a 5 % random sample nearly erases but that the
+    /// bubble summarization keeps — the motivating contrast for data
+    /// bubbles over sampling.
+    #[test]
+    fn small_cluster_survives_bubbles_but_not_tiny_sample() {
+        let model = MixtureModel::new(
+            2,
+            vec![
+                ClusterModel::new(vec![20.0, 20.0], 2.0),
+                ClusterModel::new(vec![80.0, 80.0], 2.0),
+            ],
+            0.0,
+            (0.0, 100.0),
+        );
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut store = model.populate(8_000, &mut rng);
+        // A small but real third cluster: 1 % of the data.
+        for i in 0..80 {
+            let t = i as f64 * 0.08;
+            store.insert(&[60.0 + t.sin(), 10.0 + t.cos()], Some(2));
+        }
+
+        let mut search = SearchStats::new();
+        let ib =
+            IncrementalBubbles::build(&store, MaintainerConfig::new(120), &mut rng, &mut search);
+        let bubble_outcome = cluster_bubbles(&ib, 6, 40);
+        assert_eq!(
+            bubble_outcome.clusters.len(),
+            3,
+            "bubbles keep the 1 % cluster"
+        );
+
+        let (sample_outcome, sample) = cluster_sample(&store, 400, 6, 40, &mut rng);
+        assert_eq!(sample.len(), 400);
+        // In a 400-point sample the small cluster has ~4 points — far below
+        // the extraction minimum, so at most the two big clusters appear.
+        assert!(
+            sample_outcome.clusters.len() <= 2,
+            "a tiny sample loses the small cluster ({} clusters)",
+            sample_outcome.clusters.len()
+        );
+        // Sample cluster ids refer to the original store.
+        for c in &sample_outcome.clusters {
+            for &id in c {
+                assert!(store.contains(idb_store::PointId(id as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_bubbles_finds_generated_structure() {
+        let model = MixtureModel::new(
+            2,
+            vec![
+                ClusterModel::new(vec![10.0, 10.0], 1.5),
+                ClusterModel::new(vec![90.0, 90.0], 1.5),
+            ],
+            0.0,
+            (0.0, 100.0),
+        );
+        let mut rng = StdRng::seed_from_u64(31);
+        let store = model.populate(1_000, &mut rng);
+        let mut search = SearchStats::new();
+        let ib =
+            IncrementalBubbles::build(&store, MaintainerConfig::new(20), &mut rng, &mut search);
+        let outcome = cluster_bubbles(&ib, 6, 40);
+        assert_eq!(outcome.clusters.len(), 2);
+        assert_eq!(outcome.plot.len(), store.len());
+    }
+}

@@ -1,0 +1,69 @@
+//! Checkpoint/restore across the whole pipeline: a run snapshotted
+//! mid-stream and restored must continue exactly like the uninterrupted
+//! original.
+
+use incremental_data_bubbles::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn restored_run_continues_bit_identically() {
+    let mut rng = StdRng::seed_from_u64(515);
+    let spec = ScenarioSpec::named(ScenarioKind::Complex, 2, 2_500, 0.05);
+    let mut engine = ScenarioEngine::new(spec);
+    let mut store = engine.populate(&mut rng);
+    let mut search = SearchStats::new();
+    let mut bubbles =
+        IncrementalBubbles::build(&store, MaintainerConfig::new(40), &mut rng, &mut search);
+
+    // Warm up.
+    for _ in 0..3 {
+        let batch = engine.plan(&mut rng);
+        let ids = bubbles.apply_batch(&mut store, &batch, &mut search);
+        bubbles.maintain(&store, &mut rng, &mut search);
+        engine.confirm(&ids);
+    }
+
+    // Checkpoint store + summary + RNG state.
+    let mut store_snap = Vec::new();
+    store.write_snapshot(&mut store_snap).unwrap();
+    let mut bubble_snap = Vec::new();
+    bubbles.write_snapshot(&mut bubble_snap).unwrap();
+    let rng_at_checkpoint = rng.clone();
+    let engine_at_checkpoint = engine.clone();
+
+    // Continue the original for 3 more batches.
+    for _ in 0..3 {
+        let batch = engine.plan(&mut rng);
+        let ids = bubbles.apply_batch(&mut store, &batch, &mut search);
+        bubbles.maintain(&store, &mut rng, &mut search);
+        engine.confirm(&ids);
+    }
+    let original: Vec<u64> = bubbles.bubbles().iter().map(|b| b.stats().n()).collect();
+
+    // Restore and replay the same 3 batches.
+    let mut store2 = PointStore::read_snapshot(&mut store_snap.as_slice()).unwrap();
+    let mut bubbles2 =
+        IncrementalBubbles::read_snapshot(&mut bubble_snap.as_slice(), &store2).unwrap();
+    bubbles2.validate(&store2);
+    let mut rng2 = rng_at_checkpoint;
+    let mut engine2 = engine_at_checkpoint;
+    let mut search2 = SearchStats::new();
+    for _ in 0..3 {
+        let batch = engine2.plan(&mut rng2);
+        let ids = bubbles2.apply_batch(&mut store2, &batch, &mut search2);
+        bubbles2.maintain(&store2, &mut rng2, &mut search2);
+        engine2.confirm(&ids);
+    }
+    bubbles2.validate(&store2);
+    let restored: Vec<u64> = bubbles2.bubbles().iter().map(|b| b.stats().n()).collect();
+
+    assert_eq!(original, restored, "restored run diverged");
+    assert_eq!(store.len(), store2.len());
+
+    // The restored pipeline clusters identically too.
+    let a = pipeline::cluster_bubbles(&bubbles, 8, 30);
+    let b = pipeline::cluster_bubbles(&bubbles2, 8, 30);
+    let sizes = |o: &pipeline::ClusterOutcome| o.clusters.iter().map(Vec::len).collect::<Vec<_>>();
+    assert_eq!(sizes(&a), sizes(&b));
+}
