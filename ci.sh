@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, lints, formatting.
+#
+# The tier-1 gate is `cargo build --release && cargo test -q` at the repo
+# root; this script runs that plus the workspace-wide test suite, clippy
+# with warnings promoted to errors, and a formatting check.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo test -q --workspace
+cargo clippy --all-targets -- -D warnings
+cargo fmt --check
+
+echo "ci: all green"

@@ -96,7 +96,9 @@ impl DataSummary for CfSummary {
         self.stats.n()
     }
     fn rep(&self) -> Vec<f64> {
-        self.stats.rep().expect("rep() of an empty clustering feature")
+        self.stats
+            .rep()
+            .expect("rep() of an empty clustering feature")
     }
     fn extent(&self) -> f64 {
         self.stats.extent()

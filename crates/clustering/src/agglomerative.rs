@@ -261,7 +261,12 @@ mod tests {
         // Cross-validate against the independent SLINK implementation: the
         // sorted merge heights must coincide (they are the MST weights).
         let pts: Vec<Vec<f64>> = (0..30)
-            .map(|i| vec![(i as f64 * 0.77).sin() * 10.0, (i as f64 * 1.3).cos() * 10.0])
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.77).sin() * 10.0,
+                    (i as f64 * 1.3).cos() * 10.0,
+                ]
+            })
             .collect();
         let agg = agglomerative_points(&pts, Linkage::Single);
         let slk = crate::slink::slink_points(&pts);

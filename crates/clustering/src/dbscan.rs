@@ -56,7 +56,10 @@ impl DbscanResult {
 #[must_use]
 pub fn dbscan(store: &PointStore, eps: f64, min_pts: usize) -> DbscanResult {
     assert!(min_pts > 0, "min_pts must be positive");
-    assert!(eps > 0.0 && eps.is_finite(), "eps must be positive and finite");
+    assert!(
+        eps > 0.0 && eps.is_finite(),
+        "eps must be positive and finite"
+    );
     let n = store.len();
     let ids: Vec<PointId> = store.ids().collect();
     let coords: Vec<&[f64]> = ids.iter().map(|&id| store.point(id)).collect();
@@ -70,9 +73,7 @@ pub fn dbscan(store: &PointStore, eps: f64, min_pts: usize) -> DbscanResult {
     }
     let tree = KdTree::build(
         store.dim(),
-        ids.iter()
-            .enumerate()
-            .map(|(i, _)| (i as u64, coords[i])),
+        ids.iter().enumerate().map(|(i, _)| (i as u64, coords[i])),
     );
 
     let mut visited = vec![false; n];

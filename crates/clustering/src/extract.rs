@@ -156,8 +156,7 @@ fn build_node(
         } else {
             let left_avg = avg_finite(reach, start, m);
             let right_avg = avg_finite(reach, m + 1, end);
-            left_avg < params.significance_ratio * v
-                && right_avg < params.significance_ratio * v
+            left_avg < params.significance_ratio * v && right_avg < params.significance_ratio * v
         };
         if !significant {
             continue;

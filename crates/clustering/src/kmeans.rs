@@ -50,10 +50,7 @@ pub fn kmeans_weighted<R: Rng + ?Sized>(
     for p in positions {
         assert_eq!(p.len(), dim, "dimensionality mismatch");
     }
-    assert!(
-        weights.iter().all(|&w| w > 0.0),
-        "weights must be positive"
-    );
+    assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
     let n = positions.len();
     let k = k.min(n);
 
@@ -276,7 +273,11 @@ mod tests {
         let (pos, w) = blob_positions();
         let mut rng = StdRng::seed_from_u64(8);
         let r = kmeans_weighted(&pos, &w, 2, 100, &mut rng);
-        assert!(r.iterations < 100, "converged in {} iterations", r.iterations);
+        assert!(
+            r.iterations < 100,
+            "converged in {} iterations",
+            r.iterations
+        );
     }
 
     #[test]

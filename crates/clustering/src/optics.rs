@@ -111,10 +111,10 @@ pub fn optics_points(store: &PointStore, eps: f64, min_pts: usize) -> Reachabili
     let mut neigh: Vec<(u32, f64)> = Vec::new();
 
     let expand = |i: usize,
-                      processed: &mut Vec<bool>,
-                      reach: &mut Vec<f64>,
-                      heap: &mut BinaryHeap<Seed>,
-                      neigh: &mut Vec<(u32, f64)>| {
+                  processed: &mut Vec<bool>,
+                  reach: &mut Vec<f64>,
+                  heap: &mut BinaryHeap<Seed>,
+                  neigh: &mut Vec<(u32, f64)>| {
         // Neighbourhood of the point being emitted.
         neigh.clear();
         let eps_query = if eps.is_finite() { eps } else { f64::MAX };

@@ -186,10 +186,10 @@ pub fn optics_bubbles<S: DataSummary>(summaries: &[S], eps: f64, min_pts: usize)
     let mut neigh: Vec<(usize, f64)> = Vec::with_capacity(s);
 
     let expand = |i: usize,
-                      processed: &[bool],
-                      reach: &mut Vec<f64>,
-                      heap: &mut std::collections::BinaryHeap<Seed>,
-                      neigh: &mut Vec<(usize, f64)>| {
+                  processed: &[bool],
+                  reach: &mut Vec<f64>,
+                  heap: &mut std::collections::BinaryHeap<Seed>,
+                  neigh: &mut Vec<(usize, f64)>| {
         neigh.clear();
         for j in 0..s {
             if j == i {
@@ -388,7 +388,9 @@ mod tests {
     fn small_bubbles_accumulate_neighbors_for_core_distance() {
         // Each bubble holds 2 points; min_pts = 5 forces neighbour
         // accumulation. A tight chain is still one cluster.
-        let summaries: Vec<Ball> = (0..6).map(|i| Ball::new(&[i as f64, 0.0], 0.2, 2)).collect();
+        let summaries: Vec<Ball> = (0..6)
+            .map(|i| Ball::new(&[i as f64, 0.0], 0.2, 2))
+            .collect();
         let ord = optics_bubbles(&summaries, f64::INFINITY, 5);
         assert_eq!(ord.len(), 6);
         let finite = ord.reachability.iter().filter(|r| r.is_finite()).count();

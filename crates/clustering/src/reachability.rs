@@ -106,9 +106,18 @@ mod tests {
     #[test]
     fn mean_ignores_infinite() {
         let p = ReachabilityPlot::from_entries(vec![
-            PlotEntry { id: 0, reachability: f64::INFINITY },
-            PlotEntry { id: 1, reachability: 2.0 },
-            PlotEntry { id: 2, reachability: 4.0 },
+            PlotEntry {
+                id: 0,
+                reachability: f64::INFINITY,
+            },
+            PlotEntry {
+                id: 1,
+                reachability: 2.0,
+            },
+            PlotEntry {
+                id: 2,
+                reachability: 4.0,
+            },
         ]);
         assert_eq!(p.mean_finite_reachability(), Some(3.0));
         assert_eq!(p.max_finite_reachability(), Some(4.0));

@@ -15,7 +15,10 @@ use crate::reachability::ReachabilityPlot;
 /// Panics if `width == 0` or `height == 0`.
 #[must_use]
 pub fn render_reachability(plot: &ReachabilityPlot, width: usize, height: usize) -> String {
-    assert!(width > 0 && height > 0, "render dimensions must be positive");
+    assert!(
+        width > 0 && height > 0,
+        "render dimensions must be positive"
+    );
     if plot.is_empty() {
         return String::new();
     }

@@ -49,7 +49,12 @@ impl Dendrogram {
     /// clusters decreases by one.
     #[must_use]
     pub fn merge_levels(&self) -> Vec<f64> {
-        let mut levels: Vec<f64> = self.lambda.iter().copied().filter(|l| l.is_finite()).collect();
+        let mut levels: Vec<f64> = self
+            .lambda
+            .iter()
+            .copied()
+            .filter(|l| l.is_finite())
+            .collect();
         levels.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
         levels
     }
@@ -195,7 +200,9 @@ pub fn slink<F: FnMut(usize, usize) -> f64>(n: usize, mut dist: F) -> Dendrogram
 /// ```
 #[must_use]
 pub fn slink_points(points: &[Vec<f64>]) -> Dendrogram {
-    slink(points.len(), |i, j| idb_geometry::dist(&points[i], &points[j]))
+    slink(points.len(), |i, j| {
+        idb_geometry::dist(&points[i], &points[j])
+    })
 }
 
 #[cfg(test)]

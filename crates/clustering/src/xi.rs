@@ -97,13 +97,7 @@ fn steep_up(r: &[f64], i: usize, xi: f64) -> bool {
 
 /// Extends a steep area starting at `i`: returns its last index. `steep`
 /// tests single-point steepness; `monotone` tests the allowed direction.
-fn extend_area<FS, FM>(
-    r: &[f64],
-    mut i: usize,
-    max_gap: usize,
-    steep: FS,
-    monotone: FM,
-) -> usize
+fn extend_area<FS, FM>(r: &[f64], mut i: usize, max_gap: usize, steep: FS, monotone: FM) -> usize
 where
     FS: Fn(&[f64], usize) -> bool,
     FM: Fn(f64, f64) -> bool,
@@ -155,7 +149,13 @@ pub fn extract_xi(plot: &ReachabilityPlot, params: &XiParams) -> Vec<XiCluster> 
             for d in &mut sdas {
                 d.mib = d.mib.max(mib);
             }
-            let end = extend_area(&r, index, min_size, |r, i| steep_down(r, i, xi), |a, b| a >= b);
+            let end = extend_area(
+                &r,
+                index,
+                min_size,
+                |r, i| steep_down(r, i, xi),
+                |a, b| a >= b,
+            );
             sdas.push(SteepDownArea {
                 start: index,
                 end,
@@ -171,7 +171,13 @@ pub fn extract_xi(plot: &ReachabilityPlot, params: &XiParams) -> Vec<XiCluster> 
             for d in &mut sdas {
                 d.mib = d.mib.max(mib);
             }
-            let end = extend_area(&r, index, min_size, |r, i| steep_up(r, i, xi), |a, b| a <= b);
+            let end = extend_area(
+                &r,
+                index,
+                min_size,
+                |r, i| steep_up(r, i, xi),
+                |a, b| a <= b,
+            );
             let end_next = reach_at(&r, end + 1);
             for d in &sdas {
                 let start_r = reach_at(&r, d.start);
@@ -211,7 +217,10 @@ pub fn extract_xi(plot: &ReachabilityPlot, params: &XiParams) -> Vec<XiCluster> 
                 }
                 // Half-open range: the steep-up area's entries belong to
                 // the cluster, the wall after them does not.
-                let cluster = XiCluster { start: s, end: e + 1 };
+                let cluster = XiCluster {
+                    start: s,
+                    end: e + 1,
+                };
                 if cluster.len() >= min_size {
                     clusters.push(cluster);
                 }
@@ -225,7 +234,25 @@ pub fn extract_xi(plot: &ReachabilityPlot, params: &XiParams) -> Vec<XiCluster> 
 
     clusters.sort_by_key(|c| (c.start, std::cmp::Reverse(c.end)));
     clusters.dedup();
-    clusters
+
+    // Enforce the nesting guarantee. The published mib filtering admits
+    // rare crossing pairs on noisy plots (a steep-down area opened inside
+    // one cluster can survive to pair with a later steep-up area); drop
+    // any cluster that partially overlaps an already-kept one, keeping the
+    // outer cluster of each crossing pair.
+    let mut kept: Vec<XiCluster> = Vec::with_capacity(clusters.len());
+    'candidates: for c in clusters {
+        for k in &kept {
+            let disjoint = c.end <= k.start || k.end <= c.start;
+            let nested =
+                (k.start <= c.start && c.end <= k.end) || (c.start <= k.start && k.end <= c.end);
+            if !disjoint && !nested {
+                continue 'candidates;
+            }
+        }
+        kept.push(c);
+    }
+    kept
 }
 
 /// Materializes ξ-clusters as id lists.
@@ -233,7 +260,12 @@ pub fn extract_xi(plot: &ReachabilityPlot, params: &XiParams) -> Vec<XiCluster> 
 pub fn xi_cluster_ids(plot: &ReachabilityPlot, clusters: &[XiCluster]) -> Vec<Vec<u64>> {
     clusters
         .iter()
-        .map(|c| plot.entries()[c.start..c.end].iter().map(|e| e.id).collect())
+        .map(|c| {
+            plot.entries()[c.start..c.end]
+                .iter()
+                .map(|e| e.id)
+                .collect()
+        })
         .collect()
 }
 
@@ -295,9 +327,7 @@ mod tests {
         let clusters = extract_xi(&plot, &XiParams::new(0.2, 3));
         // Expect at least the two fine valleys; a surrounding coarse
         // cluster may also appear (nesting).
-        let covers = |lo: usize, hi: usize| {
-            clusters.iter().any(|c| c.start <= lo && c.end >= hi)
-        };
+        let covers = |lo: usize, hi: usize| clusters.iter().any(|c| c.start <= lo && c.end >= hi);
         assert!(covers(1, 6), "first fine valley: {clusters:?}");
         assert!(covers(7, 12), "second fine valley: {clusters:?}");
         for c in &clusters {
@@ -332,6 +362,33 @@ mod tests {
         assert!(extract_xi(&plot, &XiParams::new(0.1, 3)).is_empty());
         let plot = plot_of(&[INF]);
         assert!(extract_xi(&plot, &XiParams::new(0.1, 3)).is_empty());
+    }
+
+    #[test]
+    fn crossing_candidates_are_reduced_to_nesting() {
+        // Regression: on this noisy plot the raw mib filtering emits the
+        // crossing pair {0, 52} and {22, 76}; the nesting filter must keep
+        // only hierarchically consistent (disjoint or nested) clusters.
+        let reach = [
+            INF, 3.3530, 0.6900, 2.3498, 0.8682, 1.2153, 3.0410, 5.0201, 5.8027, 1.7420, 5.4355,
+            4.8091, 6.0741, 8.5127, 3.3928, 1.0191, 8.9211, 0.0772, 1.7583, 5.7085, 5.4878, 4.4799,
+            INF, 1.2545, 0.1079, 0.6827, 9.4729, 5.0560, 6.6477, 8.2132, 0.8623, 0.4861, 6.4328,
+            4.7260, 8.1240, 3.8825, 0.9223, 1.6326, 4.1992, 9.8957, 5.4777, 5.4124, 2.4091, 1.3620,
+            5.8797, INF, 3.6782, 6.6331, 6.5548, 6.6910, 6.6142, 9.2690, INF, 8.1212, 9.4931,
+            9.9672, 7.9471, 0.5675, 4.2904, 8.6289, 1.4633, 7.8925, 4.3364, 0.0964, 9.5751, 9.9215,
+            0.3388, 3.4932, 2.2387, 1.2927, 9.0609, 6.0907, 8.2923, 9.0163, 4.7986, 9.0870, INF,
+        ];
+        let plot = plot_of(&reach);
+        let clusters = extract_xi(&plot, &XiParams::new(0.1, 3));
+        assert!(!clusters.is_empty());
+        for a in &clusters {
+            for b in &clusters {
+                let disjoint = a.end <= b.start || b.end <= a.start;
+                let nested = (a.start <= b.start && b.end <= a.end)
+                    || (b.start <= a.start && a.end <= b.end);
+                assert!(disjoint || nested, "{a:?} vs {b:?}");
+            }
+        }
     }
 
     #[test]

@@ -5,9 +5,7 @@
 //! virtual reachability → extract flat clusters — and cross-check against
 //! point-level OPTICS on the same data.
 
-use idb_clustering::{
-    extract_clusters, optics_bubbles, optics_points, ExtractParams,
-};
+use idb_clustering::{extract_clusters, optics_bubbles, optics_points, ExtractParams};
 use idb_core::{IncrementalBubbles, MaintainerConfig};
 use idb_geometry::SearchStats;
 use idb_store::{PointId, PointStore};
@@ -78,10 +76,17 @@ fn bubble_level_optics_matches_point_level_structure() {
     assert_eq!(plot.len(), store.len(), "expansion covers every point");
 
     let clusters = extract_clusters(&plot, &ExtractParams::with_min_size(60));
-    assert_eq!(clusters.len(), 3, "bubble pipeline finds the three clusters");
+    assert_eq!(
+        clusters.len(),
+        3,
+        "bubble pipeline finds the three clusters"
+    );
     let (p, covered) = purity(&store, &clusters);
     assert!(p > 0.9, "purity {p}");
-    assert!(covered as f64 > store.len() as f64 * 0.8, "coverage {covered}");
+    assert!(
+        covered as f64 > store.len() as f64 * 0.8,
+        "coverage {covered}"
+    );
 }
 
 #[test]
@@ -138,9 +143,9 @@ fn xi_extraction_agrees_with_cluster_tree_on_real_plots() {
         .iter()
         .zip(&xi_ids)
         .filter(|(outer, _)| {
-            !xi_clusters
-                .iter()
-                .any(|inner| inner != *outer && outer.start <= inner.start && inner.end <= outer.end)
+            !xi_clusters.iter().any(|inner| {
+                inner != *outer && outer.start <= inner.start && inner.end <= outer.end
+            })
         })
         .map(|(_, ids)| ids.clone())
         .collect();

@@ -4,7 +4,9 @@ use idb_clustering::{
     agglomerative::{agglomerative_points, Linkage},
     extract_clusters, extract_clusters_at,
     kmeans::kmeans_weighted,
-    optics_points, slink::slink_points, ExtractParams,
+    optics_points,
+    slink::slink_points,
+    ExtractParams,
 };
 use idb_store::PointStore;
 use proptest::prelude::*;

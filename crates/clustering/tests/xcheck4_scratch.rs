@@ -6,7 +6,14 @@ use rand::{Rng, SeedableRng};
 
 fn plot_of(reach: &[f64]) -> ReachabilityPlot {
     ReachabilityPlot::from_entries(
-        reach.iter().enumerate().map(|(i, &r)| PlotEntry { id: i as u64, reachability: r }).collect(),
+        reach
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| PlotEntry {
+                id: i as u64,
+                reachability: r,
+            })
+            .collect(),
     )
 }
 
@@ -17,23 +24,39 @@ fn finite_interior_plots() {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = rng.gen_range(4..80);
         let r: Vec<f64> = (0..n)
-            .map(|i| if i == 0 { f64::INFINITY } else { rng.gen_range(0.01..10.0) })
+            .map(|i| {
+                if i == 0 {
+                    f64::INFINITY
+                } else {
+                    rng.gen_range(0.01..10.0)
+                }
+            })
             .collect();
         let clusters = extract_xi(&plot_of(&r), &XiParams::new(0.1, 3));
         for a in &clusters {
             for b in &clusters {
                 let disjoint = a.end <= b.start || b.end <= a.start;
-                let nested = (a.start <= b.start && b.end <= a.end) || (b.start <= a.start && a.end <= b.end);
+                let nested = (a.start <= b.start && b.end <= a.end)
+                    || (b.start <= a.start && a.end <= b.end);
                 if !(disjoint || nested) {
                     bad += 1;
-                    if bad < 3 { eprintln!("seed {seed}: {a:?} vs {b:?}\n{r:?}"); }
+                    if bad < 3 {
+                        eprintln!("seed {seed}: {a:?} vs {b:?}\n{r:?}");
+                    }
                 }
             }
         }
     }
     eprintln!("bad pairs: {bad}");
     // Also: does any cluster span an interior INF in the mixed case? Direct check.
-    let r = [f64::INFINITY, 3.36, f64::INFINITY, 1.21, f64::INFINITY, 1.74];
+    let r = [
+        f64::INFINITY,
+        3.36,
+        f64::INFINITY,
+        1.21,
+        f64::INFINITY,
+        1.74,
+    ];
     let clusters = extract_xi(&plot_of(&r), &XiParams::new(0.1, 3));
     eprintln!("mixed case clusters: {clusters:?}");
     assert!(bad == 0, "finite-interior overlaps found");

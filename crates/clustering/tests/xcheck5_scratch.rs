@@ -13,29 +13,47 @@ fn check_valid(pts: &[Vec<f64>], linkage: Linkage, seed: u64) -> Result<(), Stri
     let mut slot: Vec<usize> = (0..n).collect(); // point -> current cluster slot root
     let d0 = |i: usize, j: usize| {
         let v = idb_geometry::dist(&pts[i], &pts[j]);
-        if linkage == Linkage::Ward { v * v } else { v }
+        if linkage == Linkage::Ward {
+            v * v
+        } else {
+            v
+        }
     };
     for m in r.merges() {
         let sa = slot[m.a];
         let sb = slot[m.b];
         if sa == sb {
-            return Err(format!("seed {seed} {linkage:?}: merge {m:?} within one cluster"));
+            return Err(format!(
+                "seed {seed} {linkage:?}: merge {m:?} within one cluster"
+            ));
         }
         let (ca, cb) = (&members[sa], &members[sb]);
         let true_h = match linkage {
             Linkage::Single => {
                 let mut best = f64::INFINITY;
-                for &x in ca { for &y in cb { best = best.min(d0(x, y)); } }
+                for &x in ca {
+                    for &y in cb {
+                        best = best.min(d0(x, y));
+                    }
+                }
                 best
             }
             Linkage::Complete => {
                 let mut best = 0.0f64;
-                for &x in ca { for &y in cb { best = best.max(d0(x, y)); } }
+                for &x in ca {
+                    for &y in cb {
+                        best = best.max(d0(x, y));
+                    }
+                }
                 best
             }
             Linkage::Average => {
                 let mut s = 0.0;
-                for &x in ca { for &y in cb { s += d0(x, y); } }
+                for &x in ca {
+                    for &y in cb {
+                        s += d0(x, y);
+                    }
+                }
                 s / (ca.len() * cb.len()) as f64
             }
             Linkage::Ward => {
@@ -43,8 +61,14 @@ fn check_valid(pts: &[Vec<f64>], linkage: Linkage, seed: u64) -> Result<(), Stri
                 let dim = pts[0].len();
                 let mean = |c: &Vec<usize>| -> Vec<f64> {
                     let mut v = vec![0.0; dim];
-                    for &x in c { for k in 0..dim { v[k] += pts[x][k]; } }
-                    for k in 0..dim { v[k] /= c.len() as f64; }
+                    for &x in c {
+                        for k in 0..dim {
+                            v[k] += pts[x][k];
+                        }
+                    }
+                    for k in 0..dim {
+                        v[k] /= c.len() as f64;
+                    }
                     v
                 };
                 let (ma, mb) = (mean(ca), mean(cb));
@@ -60,7 +84,9 @@ fn check_valid(pts: &[Vec<f64>], linkage: Linkage, seed: u64) -> Result<(), Stri
         }
         // apply merge
         let moved = std::mem::take(&mut members[sb]);
-        for &x in &moved { slot[x] = sa; }
+        for &x in &moved {
+            slot[x] = sa;
+        }
         members[sa].extend(moved);
     }
     Ok(())
@@ -75,11 +101,21 @@ fn nn_chain_dendrogram_is_valid_under_ties() {
         let pts: Vec<Vec<f64>> = (0..n)
             .map(|_| vec![rng.gen_range(0..4) as f64, rng.gen_range(0..4) as f64])
             .collect();
-        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             if let Err(e) = check_valid(&pts, linkage, seed) {
                 failures.push(e);
             }
         }
     }
-    assert!(failures.is_empty(), "{} failures, first 5:\n{}", failures.len(), failures[..failures.len().min(5)].join("\n"));
+    assert!(
+        failures.is_empty(),
+        "{} failures, first 5:\n{}",
+        failures.len(),
+        failures[..failures.len().min(5)].join("\n")
+    );
 }

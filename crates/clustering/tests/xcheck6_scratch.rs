@@ -1,6 +1,6 @@
 //! review only: degenerate-input fuzz.
 use idb_clustering::extract::{extract_clusters, ExtractParams};
-use idb_clustering::optics_bubbles::{optics_bubbles, bubble_distance};
+use idb_clustering::optics_bubbles::{bubble_distance, optics_bubbles};
 use idb_clustering::optics_points;
 use idb_clustering::xi::{extract_xi, XiParams};
 use idb_core::{DataSummary, SufficientStats};
@@ -11,11 +11,21 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 struct B(SufficientStats);
 impl DataSummary for B {
-    fn dim(&self) -> usize { self.0.dim() }
-    fn n(&self) -> u64 { self.0.n() }
-    fn rep(&self) -> Vec<f64> { self.0.rep().unwrap() }
-    fn extent(&self) -> f64 { self.0.extent() }
-    fn nn_dist(&self, k: usize) -> f64 { self.0.nn_dist(k) }
+    fn dim(&self) -> usize {
+        self.0.dim()
+    }
+    fn n(&self) -> u64 {
+        self.0.n()
+    }
+    fn rep(&self) -> Vec<f64> {
+        self.0.rep().unwrap()
+    }
+    fn extent(&self) -> f64 {
+        self.0.extent()
+    }
+    fn nn_dist(&self, k: usize) -> f64 {
+        self.0.nn_dist(k)
+    }
 }
 
 #[test]

@@ -29,31 +29,29 @@ fn optics_ref(points: &[Vec<f64>], eps: f64, min_pts: usize) -> Vec<(usize, f64)
         // seeds as a simple list, take min each step (reference, slow)
         processed[start] = true;
         out.push((start, f64::INFINITY));
-        let update = |i: usize,
-                      processed: &[bool],
-                      reach: &mut Vec<f64>,
-                      seeds: &mut Vec<usize>| {
-            let cd = core_dist(i);
-            if cd.is_infinite() {
-                return;
-            }
-            for j in 0..n {
-                if processed[j] || j == i {
-                    continue;
+        let update =
+            |i: usize, processed: &[bool], reach: &mut Vec<f64>, seeds: &mut Vec<usize>| {
+                let cd = core_dist(i);
+                if cd.is_infinite() {
+                    return;
                 }
-                let dij = d(i, j);
-                if dij > eps {
-                    continue;
-                }
-                let r = cd.max(dij);
-                if r < reach[j] {
-                    reach[j] = r;
-                    if !seeds.contains(&j) {
-                        seeds.push(j);
+                for j in 0..n {
+                    if processed[j] || j == i {
+                        continue;
+                    }
+                    let dij = d(i, j);
+                    if dij > eps {
+                        continue;
+                    }
+                    let r = cd.max(dij);
+                    if r < reach[j] {
+                        reach[j] = r;
+                        if !seeds.contains(&j) {
+                            seeds.push(j);
+                        }
                     }
                 }
-            }
-        };
+            };
         let mut seeds: Vec<usize> = Vec::new();
         update(start, &processed, &mut reach, &mut seeds);
         while !seeds.is_empty() {
@@ -164,7 +162,12 @@ fn nn_chain_matches_bruteforce_heights() {
         let pts: Vec<Vec<f64>> = (0..n)
             .map(|_| vec![rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)])
             .collect();
-        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             let got: Vec<f64> = {
                 let mut h: Vec<f64> = agglomerative_points(&pts, linkage)
                     .merges()
@@ -183,7 +186,12 @@ fn nn_chain_matches_bruteforce_heights() {
     }
 }
 
-/// Ties: integer grid points force many equal distances.
+/// Ties: integer grid points force many equal distances. Only single
+/// linkage is checked here — its sorted merge heights are the MST edge
+/// weights, a multiset invariant under any tie-breaking order. For the
+/// other linkages, tied merges taken in a different order legitimately
+/// change later heights, so NN-chain and the greedy reference need not
+/// agree (the tie-free test above covers them).
 #[test]
 fn nn_chain_matches_bruteforce_heights_with_ties() {
     for seed in 0..15u64 {
@@ -192,7 +200,7 @@ fn nn_chain_matches_bruteforce_heights_with_ties() {
         let pts: Vec<Vec<f64>> = (0..n)
             .map(|_| vec![rng.gen_range(0..4) as f64, rng.gen_range(0..4) as f64])
             .collect();
-        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for linkage in [Linkage::Single] {
             let got: Vec<f64> = {
                 let mut h: Vec<f64> = agglomerative_points(&pts, linkage)
                     .merges()
@@ -204,7 +212,10 @@ fn nn_chain_matches_bruteforce_heights_with_ties() {
             };
             let want = agg_ref(&pts, linkage);
             for (g, w) in got.iter().zip(&want) {
-                assert!((g - w).abs() < 1e-7, "seed {seed} {linkage:?}: got {got:?} want {want:?}");
+                assert!(
+                    (g - w).abs() < 1e-7,
+                    "seed {seed} {linkage:?}: got {got:?} want {want:?}"
+                );
             }
         }
     }

@@ -117,9 +117,7 @@ impl DataSummary for Bubble {
     }
 
     fn rep(&self) -> Vec<f64> {
-        self.stats
-            .rep()
-            .expect("rep() called on an empty bubble")
+        self.stats.rep().expect("rep() called on an empty bubble")
     }
 
     fn extent(&self) -> f64 {

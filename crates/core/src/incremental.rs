@@ -27,6 +27,7 @@
 
 use crate::bubble::Bubble;
 use crate::config::{AssignStrategy, MaintainerConfig, SplitSeedPolicy};
+use crate::error::{AuditError, AuditIssue, AuditReport, RepairReport, UpdateError};
 use crate::quality::{classify, Classification};
 use idb_geometry::{dist, NearestSeeds, SearchStats};
 use idb_store::{Batch, PointId, PointStore};
@@ -81,11 +82,23 @@ impl AdaptivePolicy {
         }
     }
 
-    fn validate(&self) {
-        assert!(
-            self.min_avg_points > 0.0 && self.max_avg_points > self.min_avg_points,
-            "adaptive policy requires 0 < min_avg_points < max_avg_points"
-        );
+    /// Validates the policy without panicking.
+    ///
+    /// # Errors
+    /// [`UpdateError::InvalidPolicy`] unless
+    /// `0 < min_avg_points < max_avg_points` and both bounds are finite.
+    pub fn check(&self) -> Result<(), UpdateError> {
+        if self.min_avg_points > 0.0
+            && self.max_avg_points > self.min_avg_points
+            && self.max_avg_points.is_finite()
+        {
+            Ok(())
+        } else {
+            Err(UpdateError::InvalidPolicy {
+                min_avg_points: self.min_avg_points,
+                max_avg_points: self.max_avg_points,
+            })
+        }
     }
 }
 
@@ -399,12 +412,91 @@ impl IncrementalBubbles {
     /// Applies a whole update batch: deletions are removed from both the
     /// summary and the store, then insertions are added to the store and
     /// assigned. Returns the ids of the inserted points, in order.
+    ///
+    /// Thin panicking wrapper around [`Self::try_apply_batch`] for callers
+    /// that trust their update stream (the paper's setting).
+    ///
+    /// # Panics
+    /// Panics if the batch fails validation — wrong dimensionality or
+    /// non-finite coordinates on an insert, a delete of a non-live point,
+    /// or the same point deleted twice.
     pub fn apply_batch(
         &mut self,
         store: &mut PointStore,
         batch: &Batch,
         search: &mut SearchStats,
     ) -> Vec<PointId> {
+        match self.try_apply_batch(store, batch, search) {
+            Ok(ids) => ids,
+            Err(e) => panic!("invalid batch: {e}"),
+        }
+    }
+
+    /// Pre-validates `batch` against the current state; `Ok(())` means the
+    /// infallible apply path cannot fail.
+    fn validate_batch(&self, store: &PointStore, batch: &Batch) -> Result<(), UpdateError> {
+        for (index, (p, _)) in batch.inserts.iter().enumerate() {
+            if p.len() != self.dim {
+                return Err(UpdateError::DimensionMismatch {
+                    index,
+                    expected: self.dim,
+                    found: p.len(),
+                });
+            }
+            for (axis, &x) in p.iter().enumerate() {
+                if !x.is_finite() {
+                    return Err(UpdateError::NonFiniteCoordinate {
+                        index,
+                        axis,
+                        value: x,
+                    });
+                }
+            }
+        }
+        for &id in &batch.deletes {
+            if !store.contains(id) || self.assignment(id).is_none() {
+                return Err(UpdateError::StaleDelete { id });
+            }
+        }
+        // A pair of deletes naming the same id would double-remove; detect
+        // via a sorted copy (no hashing, deterministic).
+        if batch.deletes.len() > 1 {
+            let mut sorted: Vec<PointId> = batch.deletes.clone();
+            sorted.sort_unstable_by_key(|id| id.0);
+            for w in sorted.windows(2) {
+                if w[0] == w[1] {
+                    return Err(UpdateError::ConflictingOps { id: w[0] });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Transactional batch application: the whole batch is validated
+    /// up front and only then applied.
+    ///
+    /// On `Err`, the maintainer (bubbles, assignment tables, seed matrix,
+    /// point total) and the store are **bit-identical** to their pre-call
+    /// state — validation touches nothing, and a validated batch cannot
+    /// fail mid-apply.
+    ///
+    /// # Errors
+    /// The first problem found, checking inserts then deletes:
+    /// * [`UpdateError::DimensionMismatch`] — an insert with the wrong
+    ///   number of coordinates;
+    /// * [`UpdateError::NonFiniteCoordinate`] — an insert carrying NaN or
+    ///   an infinity;
+    /// * [`UpdateError::StaleDelete`] — a delete of a point that is not
+    ///   live (or not tracked by this summarization);
+    /// * [`UpdateError::ConflictingOps`] — the same point deleted twice in
+    ///   one batch.
+    pub fn try_apply_batch(
+        &mut self,
+        store: &mut PointStore,
+        batch: &Batch,
+        search: &mut SearchStats,
+    ) -> Result<Vec<PointId>, UpdateError> {
+        self.validate_batch(store, batch)?;
         for &id in &batch.deletes {
             let p = store.point(id).to_vec();
             self.remove_point(id, &p);
@@ -416,7 +508,7 @@ impl IncrementalBubbles {
             self.insert_point(id, p, search);
             new_ids.push(id);
         }
-        new_ids
+        Ok(new_ids)
     }
 
     /// Releases all members of a bubble to their next-closest bubbles
@@ -639,6 +731,11 @@ impl IncrementalBubbles {
     /// falls below `policy.min_avg_points` (retiring the lightest
     /// bubbles). At most `policy.max_adjustments` structural changes per
     /// round keep the work bounded.
+    ///
+    /// Thin panicking wrapper around [`Self::try_maintain_adaptive`].
+    ///
+    /// # Panics
+    /// Panics if `policy` is invalid (see [`AdaptivePolicy::check`]).
     pub fn maintain_adaptive<R: Rng + ?Sized>(
         &mut self,
         store: &PointStore,
@@ -646,7 +743,27 @@ impl IncrementalBubbles {
         search: &mut SearchStats,
         policy: &AdaptivePolicy,
     ) -> AdaptiveReport {
-        policy.validate();
+        match self.try_maintain_adaptive(store, rng, search, policy) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Self::maintain_adaptive`] with the policy validated up front
+    /// instead of panicking. On `Err`, nothing was touched — not even the
+    /// regular merge/split round.
+    ///
+    /// # Errors
+    /// [`UpdateError::InvalidPolicy`] when the policy's band is empty,
+    /// inverted, or non-finite.
+    pub fn try_maintain_adaptive<R: Rng + ?Sized>(
+        &mut self,
+        store: &PointStore,
+        rng: &mut R,
+        search: &mut SearchStats,
+        policy: &AdaptivePolicy,
+    ) -> Result<AdaptiveReport, UpdateError> {
+        policy.check()?;
         let base = self.maintain(store, rng, search);
         let mut grown = 0usize;
         let mut retired = 0usize;
@@ -678,11 +795,11 @@ impl IncrementalBubbles {
             retired += 1;
         }
 
-        AdaptiveReport {
+        Ok(AdaptiveReport {
             base,
             grown,
             retired,
-        }
+        })
     }
 
     /// Reassembles a maintainer from its raw parts (snapshot decoding
@@ -727,11 +844,13 @@ impl IncrementalBubbles {
             for (pos, &id) in b.members().iter().enumerate() {
                 assert!(store.contains(id), "bubble {bi}: dead member {id:?}");
                 assert_eq!(
-                    self.assign[id.index()], bi as u32,
+                    self.assign[id.index()],
+                    bi as u32,
                     "bubble {bi}: assign table disagrees for {id:?}"
                 );
                 assert_eq!(
-                    self.member_pos[id.index()] as usize, pos,
+                    self.member_pos[id.index()] as usize,
+                    pos,
                     "bubble {bi}: member_pos disagrees for {id:?}"
                 );
                 for (l, &x) in ls.iter_mut().zip(store.point(id)) {
@@ -757,6 +876,367 @@ impl IncrementalBubbles {
             );
         }
     }
+
+    /// Drift tolerance for comparing stored sufficient statistics against
+    /// values recomputed from the members: an absolute term that grows with
+    /// the number of accumulated updates plus a small relative term for
+    /// large magnitudes. Honest floating-point drift stays far below it;
+    /// corruption is grossly above it.
+    fn drift_tolerance(n: u64, magnitude: f64) -> f64 {
+        1e-6 * (1.0 + n as f64) + 1e-9 * magnitude.abs()
+    }
+
+    /// True when `stored` and `recomputed` differ by more than `tol`.
+    /// Deliberately a negated `<=` rather than `>` so a NaN anywhere in the
+    /// comparison counts as drift instead of passing silently.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn drifted(stored: f64, recomputed: f64, tol: f64) -> bool {
+        !((stored - recomputed).abs() <= tol)
+    }
+
+    /// Walks every invariant and returns all violations found (plus the
+    /// number of seed-matrix pairs checked). Shared by [`Self::audit`] and
+    /// [`Self::repair`].
+    fn collect_issues(&self, store: &PointStore) -> (Vec<AuditIssue>, usize) {
+        let mut issues = Vec::new();
+        if self.total_points != store.len() as u64 {
+            issues.push(AuditIssue::TotalCountMismatch {
+                tracked: self.total_points,
+                live: store.len() as u64,
+            });
+        }
+
+        for (bi, b) in self.bubbles.iter().enumerate() {
+            if b.seed().len() != self.dim || b.seed().iter().any(|x| !x.is_finite()) {
+                issues.push(AuditIssue::NonFiniteSeed { bubble: bi });
+            }
+            if self.seeds.seed(bi) != b.seed() {
+                issues.push(AuditIssue::SeedOutOfSync { bubble: bi });
+            }
+            let stats = b.stats();
+            if stats.n() as usize != b.members().len() {
+                issues.push(AuditIssue::MemberCountMismatch {
+                    bubble: bi,
+                    stats_n: stats.n(),
+                    members: b.members().len(),
+                });
+            }
+            if !stats.square_sum().is_finite() || stats.linear_sum().iter().any(|x| !x.is_finite())
+            {
+                issues.push(AuditIssue::NonFiniteStats { bubble: bi });
+            }
+
+            let mut ls = vec![0.0f64; self.dim];
+            let mut ss = 0.0f64;
+            let mut members_sound = stats.n() as usize == b.members().len();
+            for (pos, &id) in b.members().iter().enumerate() {
+                if !store.contains(id) {
+                    issues.push(AuditIssue::DeadMember { bubble: bi, id });
+                    members_sound = false;
+                    continue;
+                }
+                let slot = id.index();
+                let assigned = match self.assign.get(slot) {
+                    Some(&a) if a != NONE => Some(a as usize),
+                    _ => None,
+                };
+                if assigned != Some(bi) {
+                    issues.push(AuditIssue::AssignMismatch {
+                        bubble: bi,
+                        id,
+                        assigned,
+                    });
+                }
+                if self.member_pos.get(slot).copied() != Some(pos as u32) {
+                    issues.push(AuditIssue::MemberPosMismatch {
+                        bubble: bi,
+                        id,
+                        expected: pos,
+                    });
+                }
+                let p = store.point(id);
+                for (l, &x) in ls.iter_mut().zip(p) {
+                    *l += x;
+                }
+                ss += p.iter().map(|&x| x * x).sum::<f64>();
+            }
+            if members_sound {
+                for (axis, (&stored, &recomputed)) in stats.linear_sum().iter().zip(&ls).enumerate()
+                {
+                    if Self::drifted(
+                        stored,
+                        recomputed,
+                        Self::drift_tolerance(stats.n(), recomputed),
+                    ) {
+                        issues.push(AuditIssue::DriftedLinearSum {
+                            bubble: bi,
+                            axis,
+                            stored,
+                            recomputed,
+                        });
+                        break;
+                    }
+                }
+                let stored = stats.square_sum();
+                if Self::drifted(stored, ss, Self::drift_tolerance(stats.n(), ss)) {
+                    issues.push(AuditIssue::DriftedSquareSum {
+                        bubble: bi,
+                        stored,
+                        recomputed: ss,
+                    });
+                }
+            }
+        }
+
+        // Reverse direction: every live point must resolve, through the
+        // assignment tables, back to its own member-list slot.
+        for (id, _, _) in store.iter() {
+            let slot = id.index();
+            let covered = match self.assign.get(slot) {
+                Some(&a) if a != NONE => {
+                    let bi = a as usize;
+                    bi < self.bubbles.len()
+                        && self.member_pos.get(slot).is_some_and(|&pos| {
+                            (pos as usize) < self.bubbles[bi].members().len()
+                                && self.bubbles[bi].members()[pos as usize] == id
+                        })
+                }
+                _ => false,
+            };
+            if !covered {
+                issues.push(AuditIssue::UnassignedLivePoint { id });
+            }
+        }
+        // Dead slots must carry no assignment.
+        for (slot, &a) in self.assign.iter().enumerate() {
+            if a != NONE && !store.contains(PointId(slot as u32)) {
+                issues.push(AuditIssue::StaleAssignment {
+                    id: PointId(slot as u32),
+                    bubble: a as usize,
+                });
+            }
+        }
+
+        // Seed matrix: every cached pairwise distance must match the
+        // distance recomputed from the (finite) seed coordinates.
+        let mut checked_pairs = 0usize;
+        for i in 0..self.bubbles.len() {
+            if self.seeds.seed(i).iter().any(|x| !x.is_finite()) {
+                continue; // already reported via NonFiniteSeed/SeedOutOfSync
+            }
+            for j in (i + 1)..self.bubbles.len() {
+                if self.seeds.seed(j).iter().any(|x| !x.is_finite()) {
+                    continue;
+                }
+                let stored = self.seeds.pair_distance(i, j);
+                let recomputed = dist(self.seeds.seed(i), self.seeds.seed(j));
+                checked_pairs += 1;
+                if Self::drifted(stored, recomputed, 1e-9 * (1.0 + recomputed.abs())) {
+                    issues.push(AuditIssue::SeedMatrixDrift {
+                        i,
+                        j,
+                        stored,
+                        recomputed,
+                    });
+                }
+            }
+        }
+        (issues, checked_pairs)
+    }
+
+    /// Audits every internal invariant against the store without modifying
+    /// anything: Σ bubble `n` equals the live point count, the assignment
+    /// and position tables are mutually consistent with the member lists in
+    /// both directions, each bubble's `(n, LS, SS)` matches its recomputed
+    /// member statistics within a drift tolerance, and the seed matrix is
+    /// finite and in sync with the seeds. O(N·d + s²).
+    ///
+    /// The panicking twin is [`Self::validate`]; production code paths
+    /// (e.g. after restoring a snapshot of uncertain provenance) should
+    /// prefer this method and hand the `Err` to [`Self::repair`].
+    ///
+    /// # Errors
+    /// [`AuditError`] carrying *every* violated invariant, in discovery
+    /// order — not just the first.
+    pub fn audit(&self, store: &PointStore) -> Result<AuditReport, AuditError> {
+        let (issues, checked_pairs) = self.collect_issues(store);
+        if issues.is_empty() {
+            Ok(AuditReport {
+                bubbles: self.bubbles.len(),
+                points: self.total_points,
+                checked_pairs,
+            })
+        } else {
+            Err(AuditError { issues })
+        }
+    }
+
+    /// Repairs every invariant violation [`Self::audit`] can detect,
+    /// quarantining only the implicated bubbles and rebuilding them locally
+    /// (the same release-and-reattach machinery maintenance uses) instead
+    /// of rebuilding the whole population:
+    ///
+    /// 1. stale assignment entries of dead points are cleared;
+    /// 2. each quarantined bubble is drained and its statistics reset;
+    /// 3. quarantined bubbles get their seed re-synced into the seed
+    ///    matrix — re-drawn from a random live point when non-finite;
+    /// 4. every live point left uncovered (drained, or inconsistent to
+    ///    begin with) is reattached to its nearest seed, exactly like an
+    ///    insertion;
+    /// 5. the tracked point total is recomputed.
+    ///
+    /// Healthy bubbles keep their members, statistics and seeds untouched
+    /// (except for adopting reattached points). After `repair`,
+    /// [`Self::audit`] is green. Returns what was done; a no-op report
+    /// when the audit found nothing.
+    pub fn repair<R: Rng + ?Sized>(
+        &mut self,
+        store: &PointStore,
+        rng: &mut R,
+        search: &mut SearchStats,
+    ) -> RepairReport {
+        let (issues, _) = self.collect_issues(store);
+        if issues.is_empty() {
+            return RepairReport::default();
+        }
+        let mut report = RepairReport {
+            issues_found: issues.len(),
+            ..RepairReport::default()
+        };
+
+        let mut quarantined = vec![false; self.bubbles.len()];
+        for issue in &issues {
+            for b in issue.implicated_bubbles() {
+                if let Some(q) = quarantined.get_mut(b) {
+                    *q = true;
+                }
+            }
+        }
+
+        // 1. Dead slots must not claim a bubble.
+        for slot in 0..self.assign.len() {
+            if self.assign[slot] != NONE && !store.contains(PointId(slot as u32)) {
+                self.assign[slot] = NONE;
+                self.member_pos[slot] = NONE;
+                report.cleared_stale_assignments += 1;
+            }
+        }
+
+        // 2. Drain the quarantined bubbles (members released, stats reset).
+        for (bi, q) in quarantined.iter().enumerate() {
+            if !*q {
+                continue;
+            }
+            let members = self.bubbles[bi].take_members();
+            self.bubbles[bi].stats_mut().clear();
+            for id in members {
+                let slot = id.index();
+                if slot < self.assign.len() && self.assign[slot] == bi as u32 {
+                    self.assign[slot] = NONE;
+                    self.member_pos[slot] = NONE;
+                }
+            }
+        }
+
+        // 3. Re-seed quarantined bubbles and re-sync the seed matrix rows.
+        for (bi, q) in quarantined.iter().enumerate() {
+            if !*q {
+                continue;
+            }
+            let seed_ok = self.bubbles[bi].seed().len() == self.dim
+                && self.bubbles[bi].seed().iter().all(|x| x.is_finite());
+            if !seed_ok {
+                let fresh = if !store.is_empty() {
+                    store.point(store.sample_distinct(1, rng)[0]).to_vec()
+                } else {
+                    vec![0.0; self.dim]
+                };
+                *self.bubbles[bi].seed_mut() = fresh;
+                report.reseeded += 1;
+            }
+            let seed = self.bubbles[bi].seed().to_vec();
+            self.seeds.replace(bi, &seed);
+        }
+
+        // 4. Reattach every uncovered live point, like an insertion.
+        self.ensure_slots(store.slots());
+        for (id, p, _) in store.iter() {
+            let slot = id.index();
+            let covered = match self.assign[slot] {
+                NONE => false,
+                a => {
+                    let bi = a as usize;
+                    bi < self.bubbles.len()
+                        && (self.member_pos[slot] as usize) < self.bubbles[bi].members().len()
+                        && self.bubbles[bi].members()[self.member_pos[slot] as usize] == id
+                }
+            };
+            if covered {
+                continue;
+            }
+            self.assign[slot] = NONE;
+            self.member_pos[slot] = NONE;
+            let target = self
+                .nearest(p, None, search)
+                .expect("bubble population is never empty");
+            self.attach(id, target, p);
+            report.reassigned_points += 1;
+        }
+
+        // 5. After the steps above every live point is covered exactly once.
+        self.total_points = store.len() as u64;
+        report.quarantined = quarantined.iter().filter(|&&q| q).count();
+        report
+    }
+
+    // --- Fault-injection hooks ------------------------------------------
+    // The fault-injection suite needs to damage the private tables the way
+    // a bug or a corrupted restore would. Hidden from docs; not part of
+    // the supported API and exempt from its stability.
+
+    /// Overwrites a bubble's sufficient statistics (test sabotage hook).
+    #[doc(hidden)]
+    pub fn corrupt_stats(&mut self, bubble: usize, n: u64, ls: Vec<f64>, ss: f64) {
+        *self.bubbles[bubble].stats_mut() =
+            crate::stats::SufficientStats::from_raw_parts(n, ls, ss);
+    }
+
+    /// Overwrites one assignment-table entry (test sabotage hook).
+    #[doc(hidden)]
+    pub fn corrupt_assign(&mut self, slot: usize, value: u32) {
+        self.assign[slot] = value;
+    }
+
+    /// Overwrites one position-table entry (test sabotage hook).
+    #[doc(hidden)]
+    pub fn corrupt_member_pos(&mut self, slot: usize, value: u32) {
+        self.member_pos[slot] = value;
+    }
+
+    /// Overwrites a bubble's seed *without* re-syncing the seed matrix
+    /// (test sabotage hook).
+    #[doc(hidden)]
+    pub fn corrupt_seed(&mut self, bubble: usize, seed: Vec<f64>) {
+        *self.bubbles[bubble].seed_mut() = seed;
+    }
+
+    /// Overwrites the tracked point total (test sabotage hook).
+    #[doc(hidden)]
+    pub fn corrupt_total(&mut self, total: u64) {
+        self.total_points = total;
+    }
+
+    /// Appends a raw id to a bubble's member list (test sabotage hook).
+    #[doc(hidden)]
+    pub fn corrupt_push_member(&mut self, bubble: usize, id: PointId) {
+        self.bubbles[bubble].members_mut().push(id);
+    }
+
+    /// Pops the last member off a bubble's list (test sabotage hook).
+    #[doc(hidden)]
+    pub fn corrupt_pop_member(&mut self, bubble: usize) -> Option<PointId> {
+        self.bubbles[bubble].members_mut().pop()
+    }
 }
 
 #[cfg(test)]
@@ -775,7 +1255,10 @@ mod tests {
             store.insert(&[90.0 + t.cos(), 90.0 + t.sin()], Some(1));
         }
         for _ in 0..20 {
-            store.insert(&[rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)], None);
+            store.insert(
+                &[rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)],
+                None,
+            );
         }
         store
     }
@@ -785,12 +1268,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let store = toy_store(&mut rng);
         let mut search = SearchStats::new();
-        let ib = IncrementalBubbles::build(
-            &store,
-            MaintainerConfig::new(10),
-            &mut rng,
-            &mut search,
-        );
+        let ib =
+            IncrementalBubbles::build(&store, MaintainerConfig::new(10), &mut rng, &mut search);
         assert_eq!(ib.num_bubbles(), 10);
         assert_eq!(ib.total_points(), store.len() as u64);
         ib.validate(&store);
@@ -816,12 +1295,7 @@ mod tests {
             &mut rng_a,
             &mut sa,
         );
-        let b = IncrementalBubbles::build(
-            &store,
-            MaintainerConfig::new(8),
-            &mut rng_b,
-            &mut sb,
-        );
+        let b = IncrementalBubbles::build(&store, MaintainerConfig::new(8), &mut rng_b, &mut sb);
         let na: Vec<u64> = a.bubbles().iter().map(|x| x.stats().n()).collect();
         let nb: Vec<u64> = b.bubbles().iter().map(|x| x.stats().n()).collect();
         assert_eq!(na, nb, "strategies agree on the summarization");
@@ -931,10 +1405,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let mut store = PointStore::new(2);
         for i in 0..400 {
-            store.insert(
-                &[(i % 20) as f64 * 5.0, (i / 20) as f64 * 5.0],
-                Some(0),
-            );
+            store.insert(&[(i % 20) as f64 * 5.0, (i / 20) as f64 * 5.0], Some(0));
         }
         let mut search = SearchStats::new();
         let mut ib =
@@ -1077,10 +1548,7 @@ mod tests {
             inserts: (0..660)
                 .map(|i| {
                     let t = i as f64 * 0.0095;
-                    (
-                        vec![40.0 + t.sin() * 30.0, 60.0 + t.cos() * 30.0],
-                        Some(7),
-                    )
+                    (vec![40.0 + t.sin() * 30.0, 60.0 + t.cos() * 30.0], Some(7))
                 })
                 .collect(),
         };

@@ -24,7 +24,10 @@
 //!   with exact statistics updates, batch application, and the synchronized
 //!   merge/split maintenance of Section 4.2;
 //! * [`config`] — tuning knobs (number of bubbles, Chebyshev probability,
-//!   assignment strategy, quality measure, split seed policy).
+//!   assignment strategy, quality measure, split seed policy);
+//! * [`error`] — the typed failure surface of the fault-tolerant entry
+//!   points: batch validation errors, the invariant auditor's findings,
+//!   and the audit/repair reports.
 //!
 //! The *complete rebuild* baseline of the paper's evaluation is simply
 //! [`incremental::IncrementalBubbles::build`] invoked on the current store
@@ -35,6 +38,7 @@
 
 pub mod bubble;
 pub mod config;
+pub mod error;
 pub mod incremental;
 pub mod quality;
 pub mod snapshot;
@@ -42,6 +46,7 @@ pub mod stats;
 
 pub use bubble::{Bubble, DataSummary};
 pub use config::{AssignStrategy, MaintainerConfig, QualityKind, SplitSeedPolicy};
+pub use error::{AuditError, AuditIssue, AuditReport, RepairReport, UpdateError};
 pub use incremental::{AdaptivePolicy, AdaptiveReport, IncrementalBubbles, MaintenanceReport};
 pub use quality::{chebyshev_k, BubbleClass, Classification};
 pub use stats::SufficientStats;

@@ -264,7 +264,11 @@ mod tests {
 
     #[test]
     fn good_ascending_orders_by_measure() {
-        let bubbles: Vec<Bubble> = vec![bubble_with(30, 0.0), bubble_with(10, 5.0), bubble_with(20, 9.0)];
+        let bubbles: Vec<Bubble> = vec![
+            bubble_with(30, 0.0),
+            bubble_with(10, 5.0),
+            bubble_with(20, 9.0),
+        ];
         let c = classify(QualityKind::Beta, &bubbles, 60, 0.9);
         assert_eq!(c.good_ascending(), vec![1, 2, 0]);
     }

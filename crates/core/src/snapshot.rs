@@ -14,13 +14,13 @@ use crate::incremental::IncrementalBubbles;
 use crate::stats::SufficientStats;
 use idb_geometry::NearestSeeds;
 use idb_store::snapshot::{
-    read_f64, read_u32, read_u64, write_f64, write_u32, write_u64, SnapshotError,
+    read_f64, read_frame, read_u32, read_u64, write_f64, write_frame, write_u32, write_u64,
+    SnapshotError,
 };
 use idb_store::{PointId, PointStore};
 use std::io::{Read, Write};
 
 const MAGIC: &[u8; 4] = b"IDBB";
-const VERSION: u32 = 1;
 
 fn enum_to_u8(config: &MaintainerConfig) -> (u8, u8, u8) {
     let strategy = match config.strategy {
@@ -75,10 +75,18 @@ fn u8_to_enums(
 
 impl IncrementalBubbles {
     /// Writes a binary snapshot: configuration, every bubble's seed,
-    /// sufficient statistics and member list.
+    /// sufficient statistics and member list — wrapped in the checksummed
+    /// version-2 frame shared with [`idb_store::snapshot::write_frame`].
+    ///
+    /// # Errors
+    /// Whatever the underlying writer reports.
     pub fn write_snapshot<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
-        w.write_all(MAGIC)?;
-        write_u32(w, VERSION)?;
+        let mut payload = Vec::new();
+        self.write_body(&mut payload)?;
+        write_frame(w, MAGIC, &payload)
+    }
+
+    fn write_body<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
         write_u64(w, self.dim() as u64)?;
         let config = self.config();
         write_u64(w, config.num_bubbles as u64)?;
@@ -107,24 +115,28 @@ impl IncrementalBubbles {
     /// store it summarizes.
     ///
     /// # Errors
-    /// [`SnapshotError::Corrupt`] when the header is invalid, a member id
-    /// is not live in `store`, a point is claimed by two bubbles, or the
-    /// summary does not cover the store exactly.
-    pub fn read_snapshot<R: Read>(
-        r: &mut R,
-        store: &PointStore,
-    ) -> Result<Self, SnapshotError> {
-        let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(SnapshotError::Corrupt("bad magic".into()));
+    /// [`SnapshotError::Corrupt`] when a checksum fails, the header is
+    /// invalid, a member id is not live in `store`, a point is claimed by
+    /// two bubbles, or the summary does not cover the store exactly.
+    /// Legacy version-1 snapshots (unchecksummed) are still accepted.
+    pub fn read_snapshot<R: Read>(r: &mut R, store: &PointStore) -> Result<Self, SnapshotError> {
+        match read_frame(r, MAGIC)? {
+            Some(payload) => {
+                let mut cur: &[u8] = &payload;
+                let this = Self::read_body(&mut cur, store)?;
+                if !cur.is_empty() {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "{} trailing bytes after payload",
+                        cur.len()
+                    )));
+                }
+                Ok(this)
+            }
+            None => Self::read_body(r, store),
         }
-        let version = read_u32(r)?;
-        if version != VERSION {
-            return Err(SnapshotError::Corrupt(format!(
-                "unsupported version {version}"
-            )));
-        }
+    }
+
+    fn read_body<R: Read>(r: &mut R, store: &PointStore) -> Result<Self, SnapshotError> {
         let dim = read_u64(r)? as usize;
         if dim != store.dim() {
             return Err(SnapshotError::Corrupt(format!(
@@ -283,8 +295,7 @@ mod tests {
         let (mut store, ib, mut rng) = fixture();
         let mut buf = Vec::new();
         ib.write_snapshot(&mut buf).unwrap();
-        let mut restored =
-            IncrementalBubbles::read_snapshot(&mut buf.as_slice(), &store).unwrap();
+        let mut restored = IncrementalBubbles::read_snapshot(&mut buf.as_slice(), &store).unwrap();
         let mut search = SearchStats::new();
         let batch = idb_store::Batch {
             deletes: store.ids().take(10).collect(),
@@ -323,5 +334,31 @@ mod tests {
         let err =
             IncrementalBubbles::read_snapshot(&mut &b"GARBAGEGARBAGE"[..], &store).unwrap_err();
         assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn payload_damage_is_caught_by_the_checksum() {
+        let (store, ib, _) = fixture();
+        let mut buf = Vec::new();
+        ib.write_snapshot(&mut buf).unwrap();
+        let mid = 24 + (buf.len() - 24) / 2;
+        buf[mid] ^= 0x01;
+        let err = IncrementalBubbles::read_snapshot(&mut buf.as_slice(), &store).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn legacy_v1_snapshot_still_reads() {
+        let (store, ib, _) = fixture();
+        let mut buf = Vec::new();
+        ib.write_snapshot(&mut buf).unwrap();
+        // A v1 snapshot is magic + version + the (identical) body.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(b"IDBB");
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&buf[24..]);
+        let restored = IncrementalBubbles::read_snapshot(&mut v1.as_slice(), &store).unwrap();
+        restored.validate(&store);
+        assert_eq!(restored.total_points(), ib.total_points());
     }
 }

@@ -336,10 +336,8 @@ mod tests {
         let mut a = SufficientStats::from_points(2, a_pts.iter().map(|p| p.as_slice()));
         let b = SufficientStats::from_points(2, b_pts.iter().map(|p| p.as_slice()));
         a.merge(&b);
-        let all = SufficientStats::from_points(
-            2,
-            a_pts.iter().chain(b_pts.iter()).map(|p| p.as_slice()),
-        );
+        let all =
+            SufficientStats::from_points(2, a_pts.iter().chain(b_pts.iter()).map(|p| p.as_slice()));
         assert_eq!(a.n(), all.n());
         for (x, y) in a.linear_sum().iter().zip(all.linear_sum()) {
             assert!((x - y).abs() < 1e-9);

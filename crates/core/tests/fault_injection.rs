@@ -1,0 +1,450 @@
+//! Fault-injection harness for the fault-tolerant maintenance layer.
+//!
+//! Three fronts, mirroring how a deployment actually fails:
+//!
+//! 1. **Malformed batches** (NaN/∞ points, wrong dimensionality, stale and
+//!    duplicated deletes) must come back as typed [`UpdateError`]s with the
+//!    store and the summarization **byte-identical** to their pre-call
+//!    state — verified by comparing full snapshots.
+//! 2. **Damaged internal state** (every corruption the sabotage hooks can
+//!    inflict) must be caught by [`IncrementalBubbles::audit`] and healed
+//!    by [`IncrementalBubbles::repair`], after which the audit is green
+//!    and normal operation continues.
+//! 3. **Damaged snapshots** — every single-bit flip at every byte offset
+//!    and every truncation of both snapshot formats must produce a typed
+//!    [`SnapshotError`], never a panic; bit flips specifically must be
+//!    caught as [`SnapshotError::Corrupt`] by the CRC framing.
+
+use idb_core::{AuditIssue, IncrementalBubbles, MaintainerConfig, UpdateError};
+use idb_geometry::SearchStats;
+use idb_store::{PointId, PointStore, SnapshotError};
+use idb_synth::{
+    faulty_batch, flip_bit, BatchFault, ScenarioEngine, ScenarioKind, ScenarioSpec,
+    ALL_BATCH_FAULTS,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A store + maintainer fixture over a small clustered database.
+fn fixture(seed: u64) -> (PointStore, IncrementalBubbles, StdRng, SearchStats) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = PointStore::new(2);
+    for i in 0..240 {
+        let t = f64::from(i) * 0.063;
+        let c = f64::from(i % 3) * 40.0;
+        store.insert(&[c + t.sin(), c + t.cos()], Some((i % 3) as u32));
+    }
+    let mut search = SearchStats::new();
+    let ib = IncrementalBubbles::build(&store, MaintainerConfig::new(10), &mut rng, &mut search);
+    (store, ib, rng, search)
+}
+
+/// Serializes the complete observable state of store + summarization.
+/// "Transactional" means a rejected batch leaves this bit pattern alone.
+fn fingerprint(store: &PointStore, ib: &IncrementalBubbles) -> (Vec<u8>, Vec<u8>) {
+    let mut s = Vec::new();
+    store.write_snapshot(&mut s).expect("vec write");
+    let mut b = Vec::new();
+    ib.write_snapshot(&mut b).expect("vec write");
+    (s, b)
+}
+
+#[test]
+fn every_batch_fault_is_rejected_with_exact_rollback() {
+    for (round, &fault) in ALL_BATCH_FAULTS.iter().enumerate() {
+        let (mut store, mut ib, mut rng, mut search) = fixture(100 + round as u64);
+        let before = fingerprint(&store, &ib);
+        let batch = faulty_batch(&store, fault, &mut rng);
+        let err = ib
+            .try_apply_batch(&mut store, &batch, &mut search)
+            .expect_err("faulty batch must be rejected");
+        match fault {
+            BatchFault::NanInsert | BatchFault::InfiniteInsert => {
+                assert!(
+                    matches!(err, UpdateError::NonFiniteCoordinate { .. }),
+                    "{fault:?} -> {err}"
+                );
+            }
+            BatchFault::ShortInsert | BatchFault::LongInsert => {
+                assert!(
+                    matches!(err, UpdateError::DimensionMismatch { .. }),
+                    "{fault:?} -> {err}"
+                );
+            }
+            BatchFault::StaleDelete => {
+                assert!(
+                    matches!(err, UpdateError::StaleDelete { .. }),
+                    "{fault:?} -> {err}"
+                );
+            }
+            BatchFault::DuplicateDelete => {
+                assert!(
+                    matches!(err, UpdateError::ConflictingOps { .. }),
+                    "{fault:?} -> {err}"
+                );
+            }
+        }
+        assert_eq!(
+            before,
+            fingerprint(&store, &ib),
+            "{fault:?}: rejected batch must leave state byte-identical"
+        );
+        ib.audit(&store).expect("audit green after rejection");
+    }
+}
+
+#[test]
+fn double_delete_across_valid_batch_is_conflicting() {
+    let (mut store, mut ib, _, mut search) = fixture(7);
+    let id = store.ids().next().unwrap();
+    let batch = idb_store::Batch {
+        deletes: vec![id, id],
+        inserts: Vec::new(),
+    };
+    let err = ib
+        .try_apply_batch(&mut store, &batch, &mut search)
+        .expect_err("duplicate delete");
+    assert_eq!(err, UpdateError::ConflictingOps { id });
+}
+
+#[test]
+fn audit_detects_and_repair_heals_every_sabotage() {
+    // Each entry: a name, the sabotage, and a predicate the audit's issue
+    // list must satisfy.
+    type Sabotage = fn(&mut IncrementalBubbles, &PointStore);
+    type IssueCheck = fn(&[AuditIssue]) -> bool;
+    let cases: Vec<(&str, Sabotage, IssueCheck)> = vec![
+        (
+            "inflated stats n",
+            |ib, _| {
+                let n = ib.bubble(0).stats().n();
+                let ls = ib.bubble(0).stats().linear_sum().to_vec();
+                let ss = ib.bubble(0).stats().square_sum();
+                ib.corrupt_stats(0, n + 5, ls, ss);
+            },
+            |issues| {
+                issues
+                    .iter()
+                    .any(|i| matches!(i, AuditIssue::MemberCountMismatch { bubble: 0, .. }))
+            },
+        ),
+        (
+            "drifted linear sum",
+            |ib, _| {
+                let n = ib.bubble(1).stats().n();
+                let mut ls = ib.bubble(1).stats().linear_sum().to_vec();
+                ls[0] += 1000.0;
+                let ss = ib.bubble(1).stats().square_sum();
+                ib.corrupt_stats(1, n, ls, ss);
+            },
+            |issues| {
+                issues
+                    .iter()
+                    .any(|i| matches!(i, AuditIssue::DriftedLinearSum { bubble: 1, .. }))
+            },
+        ),
+        (
+            "drifted square sum",
+            |ib, _| {
+                let n = ib.bubble(1).stats().n();
+                let ls = ib.bubble(1).stats().linear_sum().to_vec();
+                let ss = ib.bubble(1).stats().square_sum() * 3.0 + 1.0;
+                ib.corrupt_stats(1, n, ls, ss);
+            },
+            |issues| {
+                issues
+                    .iter()
+                    .any(|i| matches!(i, AuditIssue::DriftedSquareSum { bubble: 1, .. }))
+            },
+        ),
+        (
+            "NaN stats",
+            |ib, _| {
+                let n = ib.bubble(2).stats().n();
+                let mut ls = ib.bubble(2).stats().linear_sum().to_vec();
+                ls[0] = f64::NAN;
+                let ss = ib.bubble(2).stats().square_sum();
+                ib.corrupt_stats(2, n, ls, ss);
+            },
+            |issues| {
+                issues
+                    .iter()
+                    .any(|i| matches!(i, AuditIssue::NonFiniteStats { bubble: 2 }))
+            },
+        ),
+        (
+            "cleared assignment",
+            |ib, _| {
+                let id = ib.bubble(0).members()[0];
+                ib.corrupt_assign(id.index(), u32::MAX);
+            },
+            |issues| {
+                issues
+                    .iter()
+                    .any(|i| matches!(i, AuditIssue::AssignMismatch { bubble: 0, .. }))
+            },
+        ),
+        (
+            "cross-wired assignment",
+            |ib, _| {
+                let id = ib.bubble(0).members()[0];
+                ib.corrupt_assign(id.index(), 3);
+            },
+            |issues| {
+                issues.iter().any(|i| {
+                    matches!(
+                        i,
+                        AuditIssue::AssignMismatch {
+                            bubble: 0,
+                            assigned: Some(3),
+                            ..
+                        }
+                    )
+                })
+            },
+        ),
+        (
+            "scrambled member position",
+            |ib, _| {
+                let id = ib.bubble(0).members()[0];
+                ib.corrupt_member_pos(id.index(), 60_000);
+            },
+            |issues| {
+                issues
+                    .iter()
+                    .any(|i| matches!(i, AuditIssue::MemberPosMismatch { bubble: 0, .. }))
+            },
+        ),
+        (
+            "NaN seed",
+            |ib, _| ib.corrupt_seed(0, vec![f64::NAN, f64::NAN]),
+            |issues| {
+                issues
+                    .iter()
+                    .any(|i| matches!(i, AuditIssue::NonFiniteSeed { bubble: 0 }))
+            },
+        ),
+        (
+            "desynced seed",
+            |ib, _| ib.corrupt_seed(0, vec![123.0, -45.0]),
+            |issues| {
+                issues
+                    .iter()
+                    .any(|i| matches!(i, AuditIssue::SeedOutOfSync { bubble: 0 }))
+            },
+        ),
+        (
+            "wrong point total",
+            |ib, _| ib.corrupt_total(1),
+            |issues| {
+                issues
+                    .iter()
+                    .any(|i| matches!(i, AuditIssue::TotalCountMismatch { tracked: 1, .. }))
+            },
+        ),
+        (
+            "dead member injected",
+            |ib, store| {
+                ib.corrupt_push_member(0, PointId(store.slots() as u32 + 3));
+            },
+            |issues| {
+                issues
+                    .iter()
+                    .any(|i| matches!(i, AuditIssue::DeadMember { bubble: 0, .. }))
+            },
+        ),
+        (
+            "member dropped",
+            |ib, _| {
+                ib.corrupt_pop_member(0);
+            },
+            |issues| {
+                issues.iter().any(|i| {
+                    matches!(
+                        i,
+                        AuditIssue::MemberCountMismatch { bubble: 0, .. }
+                            | AuditIssue::UnassignedLivePoint { .. }
+                    )
+                })
+            },
+        ),
+    ];
+
+    for (name, sabotage, check) in cases {
+        let (store, mut ib, mut rng, mut search) = fixture(500);
+        ib.audit(&store).expect("fixture starts green");
+        sabotage(&mut ib, &store);
+        let err = ib
+            .audit(&store)
+            .expect_err(&format!("{name}: audit must detect the corruption"));
+        assert!(
+            check(&err.issues),
+            "{name}: unexpected issues {:?}",
+            err.issues
+        );
+
+        let report = ib.repair(&store, &mut rng, &mut search);
+        assert!(!report.is_noop(), "{name}: repair must act");
+        assert_eq!(report.issues_found, err.issues.len(), "{name}");
+        ib.audit(&store)
+            .unwrap_or_else(|e| panic!("{name}: audit red after repair: {e}"));
+        ib.validate(&store);
+    }
+}
+
+#[test]
+fn repair_is_a_noop_on_a_healthy_population() {
+    let (store, mut ib, mut rng, mut search) = fixture(11);
+    let report = ib.repair(&store, &mut rng, &mut search);
+    assert!(report.is_noop());
+    assert_eq!(report.quarantined, 0);
+}
+
+#[test]
+fn repair_restores_a_heavily_corrupted_population() {
+    let (mut store, mut ib, mut rng, mut search) = fixture(77);
+    // Compound damage across several bubbles at once.
+    ib.corrupt_seed(0, vec![f64::INFINITY, 0.0]);
+    let n = ib.bubble(1).stats().n();
+    ib.corrupt_stats(1, n + 9, vec![f64::NAN, 0.0], -1.0);
+    let victim = ib.bubble(2).members()[0];
+    ib.corrupt_assign(victim.index(), u32::MAX);
+    ib.corrupt_pop_member(3);
+    ib.corrupt_total(0);
+
+    let err = ib.audit(&store).expect_err("compound corruption detected");
+    assert!(err.issues.len() >= 4, "{:?}", err.issues);
+
+    let report = ib.repair(&store, &mut rng, &mut search);
+    assert!(report.quarantined >= 3, "{report:?}");
+    assert!(report.reseeded >= 1, "{report:?}");
+    assert!(report.reassigned_points > 0, "{report:?}");
+    ib.audit(&store).expect("green after repair");
+    ib.validate(&store);
+    assert_eq!(ib.total_points(), store.len() as u64);
+
+    // The repaired population keeps operating through churn + maintenance.
+    let batch = idb_store::Batch {
+        deletes: store.ids().take(20).collect(),
+        inserts: (0..20)
+            .map(|i| (vec![f64::from(i), 1.0], Some(1)))
+            .collect(),
+    };
+    ib.try_apply_batch(&mut store, &batch, &mut search)
+        .expect("valid batch applies");
+    ib.maintain(&store, &mut rng, &mut search);
+    ib.audit(&store).expect("still green after further churn");
+}
+
+#[test]
+fn store_snapshot_survives_exhaustive_bit_flips_and_truncation() {
+    let mut store = PointStore::new(2);
+    for i in 0..6 {
+        store.insert(&[f64::from(i), -f64::from(i)], Some(0));
+    }
+    let mut buf = Vec::new();
+    store.write_snapshot(&mut buf).unwrap();
+
+    for offset in 0..buf.len() {
+        for bit in 0..8u32 {
+            let mut damaged = buf.clone();
+            flip_bit(&mut damaged, offset, bit);
+            match PointStore::read_snapshot(&mut damaged.as_slice()) {
+                Err(SnapshotError::Corrupt(_)) => {}
+                Err(other) => {
+                    panic!("offset {offset} bit {bit}: expected Corrupt, got {other}")
+                }
+                Ok(_) => panic!("offset {offset} bit {bit}: corruption accepted"),
+            }
+        }
+    }
+    for len in 0..buf.len() {
+        let truncated = &buf[..len];
+        assert!(
+            PointStore::read_snapshot(&mut &truncated[..]).is_err(),
+            "truncation to {len} bytes must fail"
+        );
+    }
+}
+
+#[test]
+fn bubble_snapshot_survives_exhaustive_bit_flips_and_truncation() {
+    let mut store = PointStore::new(2);
+    for i in 0..12 {
+        let c = f64::from(i % 2) * 50.0;
+        store.insert(&[c + f64::from(i), c], Some(i % 2));
+    }
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut search = SearchStats::new();
+    let ib = IncrementalBubbles::build(&store, MaintainerConfig::new(3), &mut rng, &mut search);
+    let mut buf = Vec::new();
+    ib.write_snapshot(&mut buf).unwrap();
+
+    for offset in 0..buf.len() {
+        for bit in 0..8u32 {
+            let mut damaged = buf.clone();
+            flip_bit(&mut damaged, offset, bit);
+            match IncrementalBubbles::read_snapshot(&mut damaged.as_slice(), &store) {
+                Err(SnapshotError::Corrupt(_)) => {}
+                Err(other) => {
+                    panic!("offset {offset} bit {bit}: expected Corrupt, got {other}")
+                }
+                Ok(_) => panic!("offset {offset} bit {bit}: corruption accepted"),
+            }
+        }
+    }
+    for len in 0..buf.len() {
+        let truncated = &buf[..len];
+        assert!(
+            IncrementalBubbles::read_snapshot(&mut &truncated[..], &store).is_err(),
+            "truncation to {len} bytes must fail"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random interleavings of valid and invalid batches: invalid ones are
+    /// rejected with byte-exact rollback, valid ones apply, maintenance
+    /// runs every round, and the audit stays green throughout. Nothing
+    /// panics.
+    #[test]
+    fn fault_interleaving_keeps_the_audit_green(
+        seed in 0u64..1_000,
+        rounds in 2usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = ScenarioSpec::named(ScenarioKind::Random, 2, 500, 0.05);
+        let mut engine = ScenarioEngine::new(spec);
+        let mut store = engine.populate(&mut rng);
+        let mut search = SearchStats::new();
+        let mut ib = IncrementalBubbles::build(
+            &store,
+            MaintainerConfig::new(12),
+            &mut rng,
+            &mut search,
+        );
+
+        for _ in 0..rounds {
+            if rng.gen_bool(0.5) {
+                let fault = ALL_BATCH_FAULTS[rng.gen_range(0..ALL_BATCH_FAULTS.len())];
+                let batch = faulty_batch(&store, fault, &mut rng);
+                let before = fingerprint(&store, &ib);
+                prop_assert!(
+                    ib.try_apply_batch(&mut store, &batch, &mut search).is_err(),
+                    "{:?} must be rejected", fault
+                );
+                prop_assert_eq!(before, fingerprint(&store, &ib));
+            } else {
+                let batch = engine.plan(&mut rng);
+                let ids = ib.try_apply_batch(&mut store, &batch, &mut search)
+                    .expect("planned batches are valid");
+                engine.confirm(&ids);
+            }
+            ib.maintain(&store, &mut rng, &mut search);
+            prop_assert!(ib.audit(&store).is_ok(), "audit stays green");
+        }
+    }
+}

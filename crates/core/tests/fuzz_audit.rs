@@ -82,7 +82,11 @@ fn adaptive_mixed_ops_fuzz() {
                 }
             }
             ib.validate(&store);
-            assert_eq!(ib.total_points(), store.len() as u64, "seed {seed} step {step}");
+            assert_eq!(
+                ib.total_points(),
+                store.len() as u64,
+                "seed {seed} step {step}"
+            );
         }
     }
 }

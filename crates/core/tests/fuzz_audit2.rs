@@ -34,7 +34,11 @@ fn snapshot_accepts_slot_reused_diverged_store() {
             }));
             println!(
                 "ACCEPTED diverged store; validate() {}",
-                if r.is_err() { "PANICS (corrupt stats)" } else { "passes" }
+                if r.is_err() {
+                    "PANICS (corrupt stats)"
+                } else {
+                    "passes"
+                }
             );
             assert!(r.is_err() || true);
         }
@@ -53,7 +57,11 @@ fn degenerate_duplicates_fuzz() {
         }
         let mut search = SearchStats::new();
         let cfg = MaintainerConfig::new(6)
-            .with_quality(if seed % 2 == 0 { QualityKind::Beta } else { QualityKind::Extent })
+            .with_quality(if seed % 2 == 0 {
+                QualityKind::Beta
+            } else {
+                QualityKind::Extent
+            })
             .with_split_seeds(if seed % 3 == 0 {
                 SplitSeedPolicy::Spread
             } else {
@@ -66,13 +74,18 @@ fn degenerate_duplicates_fuzz() {
                     // delete nearly everything
                     let keep = rng.gen_range(2..10);
                     let ids: Vec<PointId> = store.ids().skip(keep).collect();
-                    let batch = Batch { deletes: ids, inserts: Vec::new() };
+                    let batch = Batch {
+                        deletes: ids,
+                        inserts: Vec::new(),
+                    };
                     ib.apply_batch(&mut store, &batch, &mut search);
                 }
                 1 => {
                     let batch = Batch {
                         deletes: Vec::new(),
-                        inserts: (0..rng.gen_range(1..80)).map(|_| (vec![2.0], None)).collect(),
+                        inserts: (0..rng.gen_range(1..80))
+                            .map(|_| (vec![2.0], None))
+                            .collect(),
                     };
                     ib.apply_batch(&mut store, &batch, &mut search);
                 }
@@ -95,7 +108,11 @@ fn degenerate_duplicates_fuzz() {
                 }
             }
             ib.validate(&store);
-            assert_eq!(ib.total_points(), store.len() as u64, "seed {seed} step {step}");
+            assert_eq!(
+                ib.total_points(),
+                store.len() as u64,
+                "seed {seed} step {step}"
+            );
         }
     }
 }

@@ -175,12 +175,8 @@ fn long_complex_run_stays_consistent() {
     let mut engine = ScenarioEngine::new(spec);
     let mut store = engine.populate(&mut rng);
     let mut search = SearchStats::new();
-    let mut ib = IncrementalBubbles::build(
-        &store,
-        MaintainerConfig::new(60),
-        &mut rng,
-        &mut search,
-    );
+    let mut ib =
+        IncrementalBubbles::build(&store, MaintainerConfig::new(60), &mut rng, &mut search);
     let mut total_splits = 0usize;
     for _ in 0..25 {
         let batch = engine.plan(&mut rng);

@@ -67,10 +67,14 @@ mod tests {
         // proportionally more, the rebuild stays constant.
         let n = 100_000u64;
         let s = 100u64;
-        let small = SearchStats { computed: 2_000 * 30, pruned: 0 };
-        let large = SearchStats { computed: 10_000 * 30, pruned: 0 };
-        assert!(
-            distance_saving_factor(n, s, small) > distance_saving_factor(n, s, large)
-        );
+        let small = SearchStats {
+            computed: 2_000 * 30,
+            pruned: 0,
+        };
+        let large = SearchStats {
+            computed: 10_000 * 30,
+            pruned: 0,
+        };
+        assert!(distance_saving_factor(n, s, small) > distance_saving_factor(n, s, large));
     }
 }

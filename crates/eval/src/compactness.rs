@@ -84,8 +84,7 @@ mod tests {
         let mut s2 = SearchStats::new();
         let coarse =
             IncrementalBubbles::build(&store, MaintainerConfig::new(4), &mut rng1, &mut s1);
-        let fine =
-            IncrementalBubbles::build(&store, MaintainerConfig::new(40), &mut rng2, &mut s2);
+        let fine = IncrementalBubbles::build(&store, MaintainerConfig::new(40), &mut rng2, &mut s2);
         assert!(
             compactness_per_point(&fine, &store) < compactness_per_point(&coarse, &store),
             "finer summarization is more compact"

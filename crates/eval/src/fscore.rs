@@ -81,7 +81,11 @@ pub fn fscore(store: &PointStore, clusters: &[Vec<u64>]) -> FScore {
         for (l, n_ij) in overlap {
             let p = n_ij as f64 / cluster_size as f64;
             let r = n_ij as f64 / class_size[&l] as f64;
-            let f = if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+            let f = if p + r > 0.0 {
+                2.0 * p * r / (p + r)
+            } else {
+                0.0
+            };
             let e = best.get_mut(&l).expect("class seen in store");
             if f > *e {
                 *e = f;
@@ -89,12 +93,15 @@ pub fn fscore(store: &PointStore, clusters: &[Vec<u64>]) -> FScore {
         }
     }
 
-    let overall = best
-        .iter()
-        .map(|(l, f)| class_size[l] as f64 / labeled_points as f64 * f)
-        .sum();
+    // Sum in sorted-label order: HashMap iteration order varies per map
+    // instance, and float addition is not associative, so summing in map
+    // order would make the score differ between identical-seed runs.
     let mut per_class: Vec<(u32, f64)> = best.into_iter().collect();
     per_class.sort_unstable_by_key(|&(l, _)| l);
+    let overall = per_class
+        .iter()
+        .map(|&(l, f)| class_size[&l] as f64 / labeled_points as f64 * f)
+        .sum();
     FScore {
         overall,
         per_class,

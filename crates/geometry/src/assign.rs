@@ -368,7 +368,9 @@ mod tests {
     fn empty_set_returns_none() {
         let s = NearestSeeds::new(3);
         let mut stats = SearchStats::new();
-        assert!(s.nearest_brute(&[0.0, 0.0, 0.0], None, &mut stats).is_none());
+        assert!(s
+            .nearest_brute(&[0.0, 0.0, 0.0], None, &mut stats)
+            .is_none());
         assert!(s
             .nearest_pruned(&[0.0, 0.0, 0.0], None, None, &mut stats)
             .is_none());
@@ -379,7 +381,9 @@ mod tests {
         let mut s = NearestSeeds::new(1);
         s.push(&[5.0]);
         let mut stats = SearchStats::new();
-        assert!(s.nearest_pruned(&[0.0], Some(0), None, &mut stats).is_none());
+        assert!(s
+            .nearest_pruned(&[0.0], Some(0), None, &mut stats)
+            .is_none());
     }
 
     #[test]

@@ -293,7 +293,9 @@ mod tests {
         // Deterministic pseudo-random 2-d points via an LCG.
         let mut state: u64 = 0x1234_5678;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64 / 2.0) * 100.0
         };
         (0..200u64).map(|i| (i, vec![next(), next()])).collect()
@@ -335,8 +337,7 @@ mod tests {
         for k in [1usize, 3, 10, 50] {
             let got = tree.knn(&c, k);
             assert_eq!(got.len(), k);
-            let mut brute: Vec<(u64, f64)> =
-                pts.iter().map(|(id, p)| (*id, dist(p, &c))).collect();
+            let mut brute: Vec<(u64, f64)> = pts.iter().map(|(id, p)| (*id, dist(p, &c))).collect();
             brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
             for (i, (_, d)) in got.iter().enumerate() {
                 assert!((d - brute[i].1).abs() < 1e-9, "k={k} i={i}");
@@ -368,8 +369,7 @@ mod tests {
 
     #[test]
     fn duplicate_points_all_reported() {
-        let pts: Vec<(u64, Vec<f64>)> =
-            (0..5).map(|i| (i, vec![2.0, 2.0])).collect();
+        let pts: Vec<(u64, Vec<f64>)> = (0..5).map(|i| (i, vec![2.0, 2.0])).collect();
         let tree = KdTree::build(2, pts.iter().map(|(id, p)| (*id, p.as_slice())));
         let hits = tree.range(&[2.0, 2.0], 0.0);
         assert_eq!(hits.len(), 5);

@@ -17,8 +17,18 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"IDBP";
-const VERSION: u32 = 1;
 const LABEL_NOISE: u32 = u32::MAX;
+
+/// Current snapshot format version: a CRC-framed payload (see
+/// [`write_frame`]). Version-1 snapshots (unchecksummed streams) are still
+/// readable.
+pub const FRAME_VERSION: u32 = 2;
+const LEGACY_VERSION: u32 = 1;
+
+/// Payloads larger than this are rejected before allocation. Generous —
+/// a billion 20-dimensional points fit — but bounds what a hand-crafted
+/// header can make the reader allocate.
+const MAX_PAYLOAD: u64 = 1 << 40;
 
 /// Snapshot decoding failure.
 #[derive(Debug)]
@@ -83,12 +93,125 @@ pub fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
     Ok(f64::from_le_bytes(buf))
 }
 
+/// Table for the IEEE CRC-32 (reflected polynomial `0xEDB88320`), built at
+/// compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `data` (the zlib/PNG polynomial). Hand-rolled — the
+/// workspace carries no checksum dependency.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Writes a version-2 checksummed snapshot frame:
+///
+/// ```text
+/// magic (4) | version u32 | payload_len u64 | payload_crc u32 |
+/// header_crc u32 | payload
+/// ```
+///
+/// `header_crc` covers the first 20 bytes, so a corrupted length cannot
+/// drive the reader into a bogus allocation; `payload_crc` covers the
+/// payload, so any bit damage to the body is detected before parsing.
+/// Shared between the store snapshot and `idb-core`'s bubble snapshot.
+pub fn write_frame<W: Write>(w: &mut W, magic: &[u8; 4], payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; 20];
+    header[..4].copy_from_slice(magic);
+    header[4..8].copy_from_slice(&FRAME_VERSION.to_le_bytes());
+    header[8..16].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    header[16..20].copy_from_slice(&crc32(payload).to_le_bytes());
+    let header_crc = crc32(&header);
+    w.write_all(&header)?;
+    w.write_all(&header_crc.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads a snapshot frame header written by [`write_frame`].
+///
+/// Returns `Ok(Some(payload))` for a verified version-2 frame, or
+/// `Ok(None)` for a legacy version-1 snapshot — the caller then parses the
+/// rest of `r` as the unchecksummed version-1 stream.
+///
+/// # Errors
+/// [`SnapshotError::Corrupt`] on a wrong magic, an unsupported version, an
+/// implausible payload length, or a checksum mismatch in either the header
+/// or the payload; [`SnapshotError::Io`] when the stream ends early.
+pub fn read_frame<R: Read>(r: &mut R, magic: &[u8; 4]) -> Result<Option<Vec<u8>>, SnapshotError> {
+    let mut head = [0u8; 8];
+    r.read_exact(&mut head)?;
+    if &head[..4] != magic {
+        return Err(SnapshotError::Corrupt("bad magic".into()));
+    }
+    let version = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+    match version {
+        LEGACY_VERSION => Ok(None),
+        FRAME_VERSION => {
+            let mut rest = [0u8; 16];
+            r.read_exact(&mut rest)?;
+            let mut header = [0u8; 20];
+            header[..8].copy_from_slice(&head);
+            header[8..].copy_from_slice(&rest[..12]);
+            let header_crc = u32::from_le_bytes(rest[12..16].try_into().expect("4 bytes"));
+            if crc32(&header) != header_crc {
+                return Err(SnapshotError::Corrupt("header checksum mismatch".into()));
+            }
+            let payload_len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+            if payload_len > MAX_PAYLOAD {
+                return Err(SnapshotError::Corrupt(format!(
+                    "implausible payload length {payload_len}"
+                )));
+            }
+            let payload_crc = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes"));
+            let mut payload = vec![0u8; payload_len as usize];
+            r.read_exact(&mut payload)?;
+            if crc32(&payload) != payload_crc {
+                return Err(SnapshotError::Corrupt("payload checksum mismatch".into()));
+            }
+            Ok(Some(payload))
+        }
+        other => Err(SnapshotError::Corrupt(format!(
+            "unsupported version {other}"
+        ))),
+    }
+}
+
 impl PointStore {
     /// Writes a binary snapshot of the full store state (live points with
-    /// their slots and labels, in live-list order).
+    /// their slots and labels, in live-list order), wrapped in the
+    /// checksummed version-2 frame of [`write_frame`].
+    ///
+    /// # Errors
+    /// Whatever the underlying writer reports.
     pub fn write_snapshot<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        w.write_all(MAGIC)?;
-        write_u32(w, VERSION)?;
+        let mut payload = Vec::new();
+        self.write_body(&mut payload)?;
+        write_frame(w, MAGIC, &payload)
+    }
+
+    fn write_body<W: Write>(&self, w: &mut W) -> io::Result<()> {
         write_u64(w, self.dim() as u64)?;
         write_u64(w, self.slots() as u64)?;
         write_u64(w, self.len() as u64)?;
@@ -104,18 +227,32 @@ impl PointStore {
 
     /// Restores a store from a snapshot. Slot numbers, labels and
     /// live-list order are identical to the snapshotted store.
+    ///
+    /// Version-2 snapshots are checksum-verified (header and payload)
+    /// before any parsing; legacy version-1 snapshots are still accepted
+    /// and parsed with structural validation only.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Corrupt`] on checksum or structural damage;
+    /// [`SnapshotError::Io`] when the stream ends early.
     pub fn read_snapshot<R: Read>(r: &mut R) -> Result<Self, SnapshotError> {
-        let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(SnapshotError::Corrupt("bad magic".into()));
+        match read_frame(r, MAGIC)? {
+            Some(payload) => {
+                let mut cur: &[u8] = &payload;
+                let store = Self::read_body(&mut cur)?;
+                if !cur.is_empty() {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "{} trailing bytes after payload",
+                        cur.len()
+                    )));
+                }
+                Ok(store)
+            }
+            None => Self::read_body(r),
         }
-        let version = read_u32(r)?;
-        if version != VERSION {
-            return Err(SnapshotError::Corrupt(format!(
-                "unsupported version {version}"
-            )));
-        }
+    }
+
+    fn read_body<R: Read>(r: &mut R) -> Result<Self, SnapshotError> {
         let dim = read_u64(r)? as usize;
         if dim == 0 || dim > 1 << 20 {
             return Err(SnapshotError::Corrupt(format!("implausible dim {dim}")));
@@ -135,9 +272,7 @@ impl PointStore {
         for pos in 0..len {
             let slot = read_u32(r)? as usize;
             if slot >= slots {
-                return Err(SnapshotError::Corrupt(format!(
-                    "slot {slot} out of range"
-                )));
+                return Err(SnapshotError::Corrupt(format!("slot {slot} out of range")));
             }
             if live_pos[slot] != u32::MAX {
                 return Err(SnapshotError::Corrupt(format!("duplicate slot {slot}")));
@@ -196,7 +331,10 @@ mod tests {
         assert_eq!(restored.dim(), store.dim());
         assert_eq!(restored.slots(), store.slots());
         let a: Vec<_> = store.iter().map(|(id, p, l)| (id, p.to_vec(), l)).collect();
-        let b: Vec<_> = restored.iter().map(|(id, p, l)| (id, p.to_vec(), l)).collect();
+        let b: Vec<_> = restored
+            .iter()
+            .map(|(id, p, l)| (id, p.to_vec(), l))
+            .collect();
         assert_eq!(a, b, "live-list order and contents identical");
     }
 
@@ -214,6 +352,15 @@ mod tests {
         let id = restored.insert(&[1.0, 2.0, 3.0], None);
         assert!(restored.slots() <= before_slots.max(id.index() + 1));
         restored.remove(id);
+    }
+
+    /// Recomputes both checksums of a v2 frame after its payload was
+    /// mutated, so structural validation (not the CRC) is exercised.
+    fn reframe(buf: &mut [u8]) {
+        let payload_crc = crc32(&buf[24..]);
+        buf[16..20].copy_from_slice(&payload_crc.to_le_bytes());
+        let header_crc = crc32(&buf[..20]);
+        buf[20..24].copy_from_slice(&header_crc.to_le_bytes());
     }
 
     #[test]
@@ -250,12 +397,74 @@ mod tests {
         let mut buf = Vec::new();
         s.write_snapshot(&mut buf).unwrap();
         // Point the second live entry's slot at the first's.
-        // Layout: magic(4) version(4) dim(8) slots(8) len(8) then entries
-        // of (slot u32, coord f64, label u32).
-        let first_entry = 4 + 4 + 8 + 8 + 8;
+        // Layout: frame header (24) then payload of dim(8) slots(8) len(8)
+        // and entries of (slot u32, coord f64, label u32).
+        let first_entry = 24 + 8 + 8 + 8;
         let second_entry = first_entry + 4 + 8 + 4;
         buf[second_entry..second_entry + 4].copy_from_slice(&0u32.to_le_bytes());
+        reframe(&mut buf);
         let err = PointStore::read_snapshot(&mut buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn crc32_matches_the_standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn payload_damage_is_caught_by_the_checksum() {
+        let store = churned_store();
+        let mut buf = Vec::new();
+        store.write_snapshot(&mut buf).unwrap();
+        let mid = 24 + (buf.len() - 24) / 2;
+        buf[mid] ^= 0x10;
+        let err = PointStore::read_snapshot(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("payload checksum"), "{err}");
+    }
+
+    #[test]
+    fn header_damage_is_caught_before_allocation() {
+        let store = churned_store();
+        let mut buf = Vec::new();
+        store.write_snapshot(&mut buf).unwrap();
+        // Claim an absurd payload length; the header CRC rejects it.
+        buf[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = PointStore::read_snapshot(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("header checksum"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_after_payload_are_rejected() {
+        let store = churned_store();
+        let mut buf = Vec::new();
+        store.write_snapshot(&mut buf).unwrap();
+        buf.push(0);
+        let len = u64::from_le_bytes(buf[8..16].try_into().unwrap()) + 1;
+        buf[8..16].copy_from_slice(&len.to_le_bytes());
+        reframe(&mut buf);
+        let err = PointStore::read_snapshot(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn legacy_v1_snapshot_still_reads() {
+        let store = churned_store();
+        let mut buf = Vec::new();
+        store.write_snapshot(&mut buf).unwrap();
+        // A v1 snapshot is magic + version + the (identical) body.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(b"IDBP");
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&buf[24..]);
+        let restored = PointStore::read_snapshot(&mut v1.as_slice()).unwrap();
+        assert_eq!(restored.len(), store.len());
+        let a: Vec<_> = store.iter().map(|(id, p, l)| (id, p.to_vec(), l)).collect();
+        let b: Vec<_> = restored
+            .iter()
+            .map(|(id, p, l)| (id, p.to_vec(), l))
+            .collect();
+        assert_eq!(a, b);
     }
 }

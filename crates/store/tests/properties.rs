@@ -4,7 +4,7 @@
 //! times per run; its invariants (live set consistency, slot reuse, label
 //! fidelity) are exercised here with random operation sequences.
 
-use idb_store::{PointStore, PointId};
+use idb_store::{PointId, PointStore};
 use proptest::prelude::*;
 use std::collections::HashMap;
 

@@ -1,0 +1,151 @@
+//! Fault generators for robustness testing.
+//!
+//! The fault-injection harness (in `idb-core`'s test suite) drives the
+//! maintainer with deliberately malformed inputs and damaged snapshot
+//! bytes, asserting that every failure surfaces as a typed error — never a
+//! panic — and that rejected batches leave no trace. This module houses
+//! the generators so other crates (and future harnesses) share one
+//! vocabulary of faults.
+
+use idb_store::{Batch, PointId, PointStore};
+use rand::Rng;
+
+/// The kinds of invalid update batch the validating entry point must
+/// reject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchFault {
+    /// An insert carrying a NaN coordinate.
+    NanInsert,
+    /// An insert carrying an infinite coordinate.
+    InfiniteInsert,
+    /// An insert with too few coordinates.
+    ShortInsert,
+    /// An insert with too many coordinates.
+    LongInsert,
+    /// A delete naming an id that was never live.
+    StaleDelete,
+    /// The same live id deleted twice in one batch.
+    DuplicateDelete,
+}
+
+/// Every batch fault, for exhaustive sweeps.
+pub const ALL_BATCH_FAULTS: [BatchFault; 6] = [
+    BatchFault::NanInsert,
+    BatchFault::InfiniteInsert,
+    BatchFault::ShortInsert,
+    BatchFault::LongInsert,
+    BatchFault::StaleDelete,
+    BatchFault::DuplicateDelete,
+];
+
+/// Builds an otherwise-plausible batch (a few valid inserts and deletes)
+/// carrying exactly one instance of `fault`, targeted at the current store
+/// contents.
+///
+/// # Panics
+/// Panics if the store is empty (the delete-based faults need a live id)
+/// or zero-dimensional.
+pub fn faulty_batch<R: Rng + ?Sized>(store: &PointStore, fault: BatchFault, rng: &mut R) -> Batch {
+    assert!(
+        !store.is_empty(),
+        "faulty batches are built against live data"
+    );
+    let dim = store.dim();
+    let valid_point =
+        |rng: &mut R| -> Vec<f64> { (0..dim).map(|_| rng.gen_range(-100.0..100.0)).collect() };
+    let mut inserts = vec![(valid_point(rng), Some(1u32))];
+    let mut deletes: Vec<PointId> = store.sample_distinct(1, rng);
+    match fault {
+        BatchFault::NanInsert => {
+            let mut p = valid_point(rng);
+            p[rng.gen_range(0..dim)] = f64::NAN;
+            inserts.push((p, None));
+        }
+        BatchFault::InfiniteInsert => {
+            let mut p = valid_point(rng);
+            p[rng.gen_range(0..dim)] = if rng.gen_bool(0.5) {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            };
+            inserts.push((p, None));
+        }
+        BatchFault::ShortInsert => {
+            let mut p = valid_point(rng);
+            p.pop();
+            inserts.push((p, None));
+        }
+        BatchFault::LongInsert => {
+            let mut p = valid_point(rng);
+            p.push(0.0);
+            inserts.push((p, None));
+        }
+        BatchFault::StaleDelete => {
+            // A slot number beyond anything the store ever handed out.
+            deletes.push(PointId(store.slots() as u32 + 7));
+        }
+        BatchFault::DuplicateDelete => {
+            deletes.push(deletes[0]);
+        }
+    }
+    Batch { inserts, deletes }
+}
+
+/// Flips one bit of `bytes` in place. `offset` is taken modulo the length,
+/// `bit` modulo 8, so exhaustive sweeps can iterate plain counters.
+///
+/// # Panics
+/// Panics if `bytes` is empty.
+pub fn flip_bit(bytes: &mut [u8], offset: usize, bit: u32) {
+    assert!(!bytes.is_empty(), "cannot flip a bit of an empty buffer");
+    let i = offset % bytes.len();
+    bytes[i] ^= 1u8 << (bit % 8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_store() -> PointStore {
+        let mut s = PointStore::new(2);
+        for i in 0..20 {
+            s.insert(&[i as f64, -(i as f64)], Some(0));
+        }
+        s
+    }
+
+    #[test]
+    fn every_fault_kind_builds_a_batch() {
+        let store = small_store();
+        let mut rng = StdRng::seed_from_u64(1);
+        for fault in ALL_BATCH_FAULTS {
+            let batch = faulty_batch(&store, fault, &mut rng);
+            assert!(
+                !batch.inserts.is_empty() || !batch.deletes.is_empty(),
+                "{fault:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_delete_is_not_live() {
+        let store = small_store();
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch = faulty_batch(&store, BatchFault::StaleDelete, &mut rng);
+        assert!(batch.deletes.iter().any(|&id| !store.contains(id)));
+    }
+
+    #[test]
+    fn flip_bit_round_trips() {
+        let mut buf = vec![0u8; 8];
+        flip_bit(&mut buf, 3, 5);
+        assert_eq!(buf[3], 1 << 5);
+        flip_bit(&mut buf, 3, 5);
+        assert!(buf.iter().all(|&b| b == 0));
+        // Offsets wrap instead of panicking.
+        flip_bit(&mut buf, 8, 9);
+        assert_eq!(buf[0], 1 << 1);
+    }
+}

@@ -17,12 +17,31 @@ use std::path::Path;
 pub enum CsvError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// A cell failed to parse, or a row had the wrong arity.
+    /// A cell failed to parse as a number or label.
     Parse {
         /// 1-based line number.
         line: usize,
         /// Human-readable description.
         message: String,
+    },
+    /// A coordinate parsed to NaN or an infinity — values the maintainer
+    /// rejects, so the loader refuses them at the boundary.
+    NonFinite {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number of the offending cell.
+        column: usize,
+        /// The non-finite value as parsed.
+        value: f64,
+    },
+    /// A row's coordinate count disagrees with the first data row's.
+    Ragged {
+        /// 1-based line number.
+        line: usize,
+        /// Coordinates per row established by the first data row.
+        expected: usize,
+        /// Coordinates found on this row.
+        found: usize,
     },
     /// The input contained no data rows.
     Empty,
@@ -33,6 +52,22 @@ impl fmt::Display for CsvError {
         match self {
             Self::Io(e) => write!(f, "csv i/o error: {e}"),
             Self::Parse { line, message } => write!(f, "csv line {line}: {message}"),
+            Self::NonFinite {
+                line,
+                column,
+                value,
+            } => write!(
+                f,
+                "csv line {line}: non-finite coordinate {value} in column {column}"
+            ),
+            Self::Ragged {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "csv line {line}: expected {expected} coordinates, found {found}"
+            ),
             Self::Empty => write!(f, "csv input contained no data rows"),
         }
     }
@@ -52,6 +87,14 @@ impl From<io::Error> for CsvError {
 /// final column carries the ground-truth label: a non-negative integer or
 /// the literal `noise`. Blank lines are skipped. The dimensionality is
 /// inferred from the first data row.
+///
+/// # Errors
+/// [`CsvError::NonFinite`] when a coordinate parses to NaN or ±∞ (the
+/// maintainer rejects such points, so the loader refuses them up front),
+/// [`CsvError::Ragged`] when a row's coordinate count disagrees with the
+/// first row's, [`CsvError::Parse`] for unparseable cells,
+/// [`CsvError::Empty`] when no data rows exist, and [`CsvError::Io`] for
+/// reader failures.
 pub fn parse_csv<R: BufRead>(reader: R, has_labels: bool) -> Result<PointStore, CsvError> {
     let mut store: Option<PointStore> = None;
     let mut coords: Vec<f64> = Vec::new();
@@ -80,21 +123,26 @@ pub fn parse_csv<R: BufRead>(reader: R, has_labels: bool) -> Result<PointStore, 
             None
         };
         coords.clear();
-        for cell in &cells {
-            coords.push(cell.parse::<f64>().map_err(|e| CsvError::Parse {
+        for (col, cell) in cells.iter().enumerate() {
+            let x = cell.parse::<f64>().map_err(|e| CsvError::Parse {
                 line: line_no,
                 message: format!("bad coordinate {cell:?}: {e}"),
-            })?);
+            })?;
+            if !x.is_finite() {
+                return Err(CsvError::NonFinite {
+                    line: line_no,
+                    column: col + 1,
+                    value: x,
+                });
+            }
+            coords.push(x);
         }
         let store = store.get_or_insert_with(|| PointStore::new(coords.len().max(1)));
         if coords.len() != store.dim() {
-            return Err(CsvError::Parse {
+            return Err(CsvError::Ragged {
                 line: line_no,
-                message: format!(
-                    "expected {} coordinates, found {}",
-                    store.dim(),
-                    coords.len()
-                ),
+                expected: store.dim(),
+                found: coords.len(),
             });
         }
         store.insert(&coords, label);
@@ -172,11 +220,33 @@ mod tests {
     }
 
     #[test]
-    fn arity_mismatch_reports_line() {
+    fn ragged_row_reports_line_and_arity() {
         let data = "1,2,0\n1,2,3,0\n";
         match parse_csv(data.as_bytes(), true) {
-            Err(CsvError::Parse { line, .. }) => assert_eq!(line, 2),
-            other => panic!("expected parse error, got {other:?}"),
+            Err(CsvError::Ragged {
+                line,
+                expected,
+                found,
+            }) => {
+                assert_eq!(line, 2);
+                assert_eq!(expected, 2);
+                assert_eq!(found, 3);
+            }
+            other => panic!("expected ragged-row error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_coordinates_are_rejected() {
+        for cell in ["NaN", "inf", "-inf", "infinity"] {
+            let data = format!("1,{cell},0\n");
+            match parse_csv(data.as_bytes(), true) {
+                Err(CsvError::NonFinite { line, column, .. }) => {
+                    assert_eq!(line, 1, "{cell}");
+                    assert_eq!(column, 2, "{cell}");
+                }
+                other => panic!("expected non-finite error for {cell}, got {other:?}"),
+            }
         }
     }
 
@@ -194,7 +264,10 @@ mod tests {
 
     #[test]
     fn empty_input_is_an_error() {
-        assert!(matches!(parse_csv("".as_bytes(), true), Err(CsvError::Empty)));
+        assert!(matches!(
+            parse_csv("".as_bytes(), true),
+            Err(CsvError::Empty)
+        ));
     }
 
     #[test]

@@ -26,10 +26,12 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod faults;
 pub mod gauss;
 pub mod io;
 pub mod scenario;
 
 pub use dataset::{ClusterModel, MixtureModel};
+pub use faults::{faulty_batch, flip_bit, BatchFault, ALL_BATCH_FAULTS};
 pub use io::{load_csv, save_csv, CsvError};
 pub use scenario::{Dynamics, ScenarioEngine, ScenarioKind, ScenarioSpec};

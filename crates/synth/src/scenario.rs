@@ -180,7 +180,12 @@ impl ScenarioSpec {
     /// a disappearing cluster is drained from batch 1 on, and a moving
     /// cluster translates by 3 % of the span per batch.
     #[must_use]
-    pub fn named(kind: ScenarioKind, dim: usize, initial_size: usize, update_fraction: f64) -> Self {
+    pub fn named(
+        kind: ScenarioKind,
+        dim: usize,
+        initial_size: usize,
+        update_fraction: f64,
+    ) -> Self {
         assert!(dim > 0, "scenario requires dim > 0");
         let (lo, hi) = BOUNDS;
         let span = hi - lo;
@@ -319,11 +324,15 @@ impl ScenarioSpec {
                     stat(corner(0.8, 0.2)),
                     ScenarioCluster {
                         model: ClusterModel::new(diag(0.5), SIGMA),
-                        dynamics: Dynamics::Move { velocity: away(-1.0) },
+                        dynamics: Dynamics::Move {
+                            velocity: away(-1.0),
+                        },
                     },
                     ScenarioCluster {
                         model: ClusterModel::new(diag(0.5), SIGMA),
-                        dynamics: Dynamics::Move { velocity: away(1.0) },
+                        dynamics: Dynamics::Move {
+                            velocity: away(1.0),
+                        },
                     },
                 ]
             }
@@ -461,7 +470,8 @@ impl ScenarioEngine {
                     as usize
             };
             for _ in 0..share {
-                let p = gaussian_point(rng, &self.cur_means[ci], self.spec.clusters[ci].model.sigma);
+                let p =
+                    gaussian_point(rng, &self.cur_means[ci], self.spec.clusters[ci].model.sigma);
                 let id = store.insert(&p, Some(ci as u32));
                 self.members[ci].push(id);
             }
@@ -500,10 +510,12 @@ impl ScenarioEngine {
             self.awaiting.is_none(),
             "previous batch must be confirmed before planning the next"
         );
-        assert!(self.total_live > 0, "cannot plan updates on an empty database");
+        assert!(
+            self.total_live > 0,
+            "cannot plan updates on an empty database"
+        );
         let b = self.batch_index;
-        let budget =
-            ((self.total_live as f64 * self.spec.update_fraction).round() as usize).max(1);
+        let budget = ((self.total_live as f64 * self.spec.update_fraction).round() as usize).max(1);
 
         let mut deletes: Vec<PointId> = Vec::with_capacity(budget);
         // (cluster, count) pairs of deletions taken from moving clusters, to
@@ -536,8 +548,7 @@ impl ScenarioEngine {
             if !is_reshaping {
                 continue;
             }
-            let share = (budget as f64 * self.members[c].len() as f64
-                / self.total_live as f64)
+            let share = (budget as f64 * self.members[c].len() as f64 / self.total_live as f64)
                 .round() as usize;
             let take = share.min(budget - deletes.len()).min(self.members[c].len());
             for _ in 0..take {
@@ -645,13 +656,16 @@ impl ScenarioEngine {
 
     /// Removes one live id uniformly across all clusters and noise.
     fn take_uniform<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<PointId> {
-        let total: usize =
-            self.members.iter().map(Vec::len).sum::<usize>() + self.noise.len();
+        let total: usize = self.members.iter().map(Vec::len).sum::<usize>() + self.noise.len();
         if total == 0 {
             return None;
         }
         let mut r = rng.gen_range(0..total);
-        for list in self.members.iter_mut().chain(std::iter::once(&mut self.noise)) {
+        for list in self
+            .members
+            .iter_mut()
+            .chain(std::iter::once(&mut self.noise))
+        {
             if r < list.len() {
                 let idx = rng.gen_range(0..list.len());
                 return Some(list.swap_remove(idx));
@@ -788,7 +802,10 @@ mod tests {
         check_consistency(&eng, &store);
         let end = eng.current_mean(mover);
         let shift = idb_geometry::dist(&start, end);
-        assert!((shift - 30.0).abs() < 1e-9, "drift over 10 batches = {shift}");
+        assert!(
+            (shift - 30.0).abs() < 1e-9,
+            "drift over 10 batches = {shift}"
+        );
         // The cluster's population is preserved while it moves.
         assert!(eng.cluster_size(mover) > 300);
     }

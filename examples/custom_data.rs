@@ -39,7 +39,10 @@ fn main() {
             let store = model.populate(6_000, &mut rng);
             let path = std::env::temp_dir().join("idb_custom_data_example.csv");
             save_csv(&store, &path).expect("write example csv");
-            println!("no input file given; wrote a demo dataset to {}", path.display());
+            println!(
+                "no input file given; wrote a demo dataset to {}",
+                path.display()
+            );
             path
         }
     };

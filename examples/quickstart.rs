@@ -25,7 +25,11 @@ fn main() {
         (0.0, 100.0),
     );
     let store = model.populate(20_000, &mut rng);
-    println!("database: {} points in {} dimensions", store.len(), store.dim());
+    println!(
+        "database: {} points in {} dimensions",
+        store.len(),
+        store.dim()
+    );
 
     // 2. Compress into 100 data bubbles. The triangle-inequality pruning of
     //    the paper's Section 3 is on by default; SearchStats records how

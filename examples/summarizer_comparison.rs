@@ -30,7 +30,10 @@ fn main() {
         (0.0, 100.0),
     );
     let store = model.populate(15_000, &mut rng);
-    println!("database: {} points, 3 clusters of mixed density", store.len());
+    println!(
+        "database: {} points, 3 clusters of mixed density",
+        store.len()
+    );
 
     // --- Data bubbles: compression rate chosen directly. -----------------
     let mut search = SearchStats::new();
@@ -63,11 +66,7 @@ fn main() {
         });
         // Summary-level score: label each synthetic id by the generating
         // cluster nearest to its CF centroid.
-        let centers = [
-            vec![20.0, 20.0],
-            vec![20.0, 80.0],
-            vec![75.0, 50.0],
-        ];
+        let centers = [vec![20.0, 20.0], vec![20.0, 80.0], vec![75.0, 50.0]];
         let mut correct = 0usize;
         let mut total = 0usize;
         for cluster in &outcome.clusters {

@@ -43,6 +43,12 @@
 //! bubbles.maintain(&store, &mut rng, &mut search);
 //! ```
 //!
+//! When inputs are untrusted, prefer [`core::IncrementalBubbles::try_apply_batch`]:
+//! it validates the whole batch up front and rejects bad ones with a typed
+//! [`core::UpdateError`], leaving store and summary untouched.
+//! [`core::IncrementalBubbles::audit`] checks every internal invariant and
+//! [`core::IncrementalBubbles::repair`] rebuilds whatever it flags.
+//!
 //! The individual layers are re-exported as modules: [`geometry`],
 //! [`store`], [`synth`], [`core`], [`clustering`], [`birch`], [`eval`].
 
@@ -67,13 +73,12 @@ pub mod prelude {
         extract_clusters, optics_bubbles, optics_points, ExtractParams, ReachabilityPlot,
     };
     pub use idb_core::{
-        AssignStrategy, Bubble, DataSummary, IncrementalBubbles, MaintainerConfig, QualityKind,
-        SplitSeedPolicy, SufficientStats,
+        AssignStrategy, AuditError, AuditIssue, AuditReport, Bubble, DataSummary,
+        IncrementalBubbles, MaintainerConfig, QualityKind, RepairReport, SplitSeedPolicy,
+        SufficientStats, UpdateError,
     };
     pub use idb_eval::{compactness_per_point, fscore, Aggregate};
     pub use idb_geometry::SearchStats;
     pub use idb_store::{Batch, Label, PointId, PointStore};
-    pub use idb_synth::{
-        ClusterModel, MixtureModel, ScenarioEngine, ScenarioKind, ScenarioSpec,
-    };
+    pub use idb_synth::{ClusterModel, MixtureModel, ScenarioEngine, ScenarioKind, ScenarioSpec};
 }

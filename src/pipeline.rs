@@ -97,10 +97,7 @@ pub fn cluster_sample<R: rand::Rng + ?Sized>(
             })
             .collect(),
     );
-    let clusters = extract_clusters(
-        &translated,
-        &ExtractParams::with_min_size(min_cluster_size),
-    );
+    let clusters = extract_clusters(&translated, &ExtractParams::with_min_size(min_cluster_size));
     (
         ClusterOutcome {
             plot: translated,

@@ -43,11 +43,7 @@ fn all_substrates_find_the_two_blobs() {
     assert_eq!(flat.num_clusters, 2, "DBSCAN");
 
     // SLINK on a subsample (O(n²)).
-    let sample: Vec<Vec<f64>> = store
-        .iter()
-        .take(400)
-        .map(|(_, p, _)| p.to_vec())
-        .collect();
+    let sample: Vec<Vec<f64>> = store.iter().take(400).map(|(_, p, _)| p.to_vec()).collect();
     let dendro = slink_points(&sample);
     let labels = dendro.cut_into(2);
     let distinct: std::collections::HashSet<usize> = labels.iter().copied().collect();

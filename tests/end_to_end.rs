@@ -27,12 +27,8 @@ fn run_scenario(kind: ScenarioKind, dim: usize, seed: u64) -> RunResult {
     let mut store = engine.populate(&mut rng);
 
     let mut build = SearchStats::new();
-    let mut ib = IncrementalBubbles::build(
-        &store,
-        MaintainerConfig::new(BUBBLES),
-        &mut rng,
-        &mut build,
-    );
+    let mut ib =
+        IncrementalBubbles::build(&store, MaintainerConfig::new(BUBBLES), &mut rng, &mut build);
 
     let mut batch_stats_total = SearchStats::new();
     let mut saving = Aggregate::new();
@@ -78,7 +74,11 @@ fn run_scenario(kind: ScenarioKind, dim: usize, seed: u64) -> RunResult {
 #[test]
 fn incremental_matches_complete_rebuild_on_random_churn() {
     let r = run_scenario(ScenarioKind::Random, 2, 100);
-    assert!(r.f_complete > 0.85, "complete baseline sane: {}", r.f_complete);
+    assert!(
+        r.f_complete > 0.85,
+        "complete baseline sane: {}",
+        r.f_complete
+    );
     assert!(
         r.f_incremental > r.f_complete - 0.1,
         "incremental within 0.1 F of complete ({} vs {})",
@@ -103,7 +103,10 @@ fn incremental_tracks_extreme_appearing_cluster() {
 
 #[test]
 fn incremental_survives_disappearance_and_movement() {
-    for (kind, seed) in [(ScenarioKind::Disappear, 400), (ScenarioKind::GradMove, 500)] {
+    for (kind, seed) in [
+        (ScenarioKind::Disappear, 400),
+        (ScenarioKind::GradMove, 500),
+    ] {
         let r = run_scenario(kind, 2, seed);
         assert!(
             r.f_incremental > r.f_complete - 0.15,
@@ -118,11 +121,7 @@ fn incremental_survives_disappearance_and_movement() {
 fn complex_scenario_in_higher_dimensions() {
     for dim in [5usize, 10] {
         let r = run_scenario(ScenarioKind::Complex, dim, 600 + dim as u64);
-        assert!(
-            r.f_incremental > 0.7,
-            "dim {dim}: F = {}",
-            r.f_incremental
-        );
+        assert!(r.f_incremental > 0.7, "dim {dim}: F = {}", r.f_incremental);
     }
 }
 
