@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
-# Full local CI gate: build, tests, lints, formatting.
+# Full local CI gate: build, tests (in both parallelism modes), lints,
+# formatting, bench compilation.
 #
 # The tier-1 gate is `cargo build --release && cargo test -q` at the repo
-# root; this script runs that plus the workspace-wide test suite, clippy
-# with warnings promoted to errors, and a formatting check.
+# root; this script runs that plus the workspace-wide test suite — twice,
+# once per parallel execution mode (the IDB_PARALLELISM default, see
+# DESIGN.md §9), which must be observationally identical — clippy with
+# warnings promoted to errors, a formatting check, and a compile check of
+# the criterion benches.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
-cargo test -q
-cargo test -q --workspace
+IDB_PARALLELISM=serial cargo test -q
+IDB_PARALLELISM=serial cargo test -q --workspace
+IDB_PARALLELISM=auto cargo test -q
+IDB_PARALLELISM=auto cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
+cargo bench --no-run
 
 echo "ci: all green"

@@ -1,0 +1,76 @@
+//! Bench: serial vs. parallel execution of the bulk hot paths — the
+//! construction-scan assignment (chunked across threads with per-worker
+//! distance counters) and the OPTICS-on-bubbles pair-matrix fill.
+//!
+//! Every mode computes bit-identical results (see the differential
+//! suites), so the only question is wall-clock. `parallel_report` (a bin
+//! in this crate) records the same comparison to `BENCH_parallel.json`
+//! without the criterion harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idb_bench::random_fixture;
+use idb_clustering::optics_bubbles_with;
+use idb_core::{IncrementalBubbles, MaintainerConfig, Parallelism};
+use idb_geometry::SearchStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const MODES: [(&str, Parallelism); 3] = [
+    ("serial", Parallelism::Serial),
+    ("threads2", Parallelism::Threads(2)),
+    ("threads4", Parallelism::Threads(4)),
+];
+
+fn bench_parallel_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_build");
+    group.sample_size(10);
+    for &(dim, size) in &[
+        (2usize, 10_000usize),
+        (2, 100_000),
+        (10, 10_000),
+        (10, 100_000),
+    ] {
+        let (store, _) = random_fixture(dim, size, 11);
+        for (name, par) in MODES {
+            let label = format!("d{dim}_n{size}");
+            group.bench_with_input(BenchmarkId::new(name, &label), &store, |b, store| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    let mut stats = SearchStats::new();
+                    let ib = IncrementalBubbles::build(
+                        store,
+                        MaintainerConfig::new(200).with_parallelism(par),
+                        &mut rng,
+                        &mut stats,
+                    );
+                    black_box(ib.total_points())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_parallel_optics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_optics");
+    group.sample_size(10);
+    for &(dim, size) in &[(2usize, 10_000usize), (10, 10_000)] {
+        let (store, _) = random_fixture(dim, size, 13);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stats = SearchStats::new();
+        let ib =
+            IncrementalBubbles::build(&store, MaintainerConfig::new(400), &mut rng, &mut stats);
+        let bubbles = ib.bubbles().to_vec();
+        for (name, par) in MODES {
+            let label = format!("d{dim}_n{size}_s400");
+            group.bench_with_input(BenchmarkId::new(name, &label), &bubbles, |b, bubbles| {
+                b.iter(|| black_box(optics_bubbles_with(bubbles, f64::INFINITY, 40, par).len()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_build, bench_parallel_optics);
+criterion_main!(benches);

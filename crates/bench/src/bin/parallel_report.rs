@@ -1,0 +1,132 @@
+//! Records the serial-vs-parallel wall-clock comparison to
+//! `BENCH_parallel.json` without the criterion harness (so it runs in
+//! offline environments where the criterion dependency is stubbed).
+//!
+//! The measured operations mirror `benches/parallel.rs`: the
+//! construction-scan assignment at dim ∈ {2, 10}, N ∈ {10k, 100k}, and
+//! the OPTICS-on-bubbles pair-matrix fill, each under `Serial`,
+//! `Threads(2)` and `Threads(4)`. Results are medians of `REPS` runs;
+//! distance-computation counts are recorded alongside to document that
+//! the modes do identical work.
+//!
+//! Usage: `parallel_report [output.json]` (default `BENCH_parallel.json`).
+
+use idb_bench::random_fixture;
+use idb_clustering::optics_bubbles_with;
+use idb_core::{IncrementalBubbles, MaintainerConfig, Parallelism};
+use idb_geometry::SearchStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const MODES: [(&str, Parallelism); 3] = [
+    ("serial", Parallelism::Serial),
+    ("threads2", Parallelism::Threads(2)),
+    ("threads4", Parallelism::Threads(4)),
+];
+const REPS: usize = 5;
+
+/// Median wall-clock seconds of `REPS` runs of `f`.
+fn median_secs<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
+    let mut times = Vec::with_capacity(REPS);
+    let mut work = 0;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        work = f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[REPS / 2], work)
+}
+
+struct Row {
+    op: &'static str,
+    label: String,
+    mode: &'static str,
+    median_secs: f64,
+    distance_computations: u64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &(dim, size) in &[
+        (2usize, 10_000usize),
+        (2, 100_000),
+        (10, 10_000),
+        (10, 100_000),
+    ] {
+        let (store, _) = random_fixture(dim, size, 11);
+        let label = format!("d{dim}_n{size}_s200");
+        for (mode, par) in MODES {
+            let (median, work) = median_secs(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut stats = SearchStats::new();
+                let ib = IncrementalBubbles::build(
+                    &store,
+                    MaintainerConfig::new(200).with_parallelism(par),
+                    &mut rng,
+                    &mut stats,
+                );
+                black_box(ib.total_points());
+                stats.computed
+            });
+            eprintln!("build {label} {mode}: {median:.4}s ({work} distances)");
+            rows.push(Row {
+                op: "build",
+                label: label.clone(),
+                mode,
+                median_secs: median,
+                distance_computations: work,
+            });
+        }
+    }
+
+    for &(dim, size) in &[(2usize, 10_000usize), (10, 10_000)] {
+        let (store, _) = random_fixture(dim, size, 13);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stats = SearchStats::new();
+        let ib =
+            IncrementalBubbles::build(&store, MaintainerConfig::new(400), &mut rng, &mut stats);
+        let bubbles = ib.bubbles().to_vec();
+        let label = format!("d{dim}_n{size}_s400");
+        for (mode, par) in MODES {
+            let (median, work) = median_secs(|| {
+                black_box(optics_bubbles_with(&bubbles, f64::INFINITY, 40, par).len()) as u64
+            });
+            eprintln!("optics {label} {mode}: {median:.4}s");
+            rows.push(Row {
+                op: "optics_bubbles",
+                label: label.clone(),
+                mode,
+                median_secs: median,
+                distance_computations: work,
+            });
+        }
+    }
+
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"parallel\",");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(json, "  \"host_available_parallelism\": {host_threads},");
+    json.push_str("  \"note\": \"medians; all modes compute bit-identical results and identical distance counts (see the differential suites); speedup requires host_available_parallelism > 1\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"op\": \"{}\", \"case\": \"{}\", \"mode\": \"{}\", \"median_secs\": {:.6}, \"distance_computations\": {}}}{}",
+            r.op, r.label, r.mode, r.median_secs, r.distance_computations, comma
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write report");
+    eprintln!("wrote {out_path}");
+}

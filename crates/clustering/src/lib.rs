@@ -46,7 +46,7 @@ pub use agglomerative::{agglomerative, Linkage};
 pub use extract::{extract_clusters, extract_clusters_at, ExtractParams};
 pub use kmeans::{kmeans_points, kmeans_summaries, kmeans_weighted, KMeansResult};
 pub use optics::optics_points;
-pub use optics_bubbles::{bubble_distance, optics_bubbles, BubbleOrdering};
+pub use optics_bubbles::{bubble_distance, optics_bubbles, optics_bubbles_with, BubbleOrdering};
 pub use reachability::{PlotEntry, ReachabilityPlot};
 pub use render::render_reachability;
 pub use slink::{slink, Dendrogram};

@@ -26,7 +26,8 @@
 
 use crate::reachability::ReachabilityPlot;
 use idb_core::DataSummary;
-use idb_geometry::dist;
+use idb_geometry::parallel::run_chunks;
+use idb_geometry::{dist, Parallelism};
 use std::cmp::Ordering;
 
 /// Distance between two non-empty data summaries.
@@ -134,7 +135,32 @@ impl Ord for Seed {
 /// # Panics
 /// Panics if `min_pts == 0`.
 #[must_use]
-pub fn optics_bubbles<S: DataSummary>(summaries: &[S], eps: f64, min_pts: usize) -> BubbleOrdering {
+pub fn optics_bubbles<S: DataSummary + Sync>(
+    summaries: &[S],
+    eps: f64,
+    min_pts: usize,
+) -> BubbleOrdering {
+    optics_bubbles_with(summaries, eps, min_pts, Parallelism::default())
+}
+
+/// [`optics_bubbles`] with an explicit [`Parallelism`] mode.
+///
+/// The `O(s²)` candidate-generation stage — the pairwise bubble-distance
+/// matrix feeding every core-distance and reachability decision — fans out
+/// over contiguous chunks of matrix rows. Each pair is computed exactly
+/// once by exactly one worker and mirrored serially afterwards, so the
+/// matrix (and therefore the ordering) is bit-identical across modes. The
+/// best-first expansion itself is inherently sequential and stays serial.
+///
+/// # Panics
+/// Panics if `min_pts == 0`.
+#[must_use]
+pub fn optics_bubbles_with<S: DataSummary + Sync>(
+    summaries: &[S],
+    eps: f64,
+    min_pts: usize,
+    par: Parallelism,
+) -> BubbleOrdering {
     assert!(min_pts > 0, "min_pts must be positive");
     // Dense working set of non-empty summaries.
     let live: Vec<usize> = (0..summaries.len())
@@ -150,11 +176,24 @@ pub fn optics_bubbles<S: DataSummary>(summaries: &[S], eps: f64, min_pts: usize)
         return ordering;
     }
 
-    // Dense pairwise distance matrix over the live summaries.
+    // Dense pairwise distance matrix over the live summaries. Workers fill
+    // disjoint upper-triangle rows; the lower triangle is mirrored once the
+    // chunks are back in row order.
+    let rows: Vec<usize> = (0..s).collect();
+    let row_chunks = run_chunks(&rows, par.effective_threads(), |chunk| {
+        chunk
+            .iter()
+            .map(|&i| {
+                ((i + 1)..s)
+                    .map(|j| bubble_distance(&summaries[live[i]], &summaries[live[j]]))
+                    .collect::<Vec<f64>>()
+            })
+            .collect::<Vec<Vec<f64>>>()
+    });
     let mut pair = vec![0.0f64; s * s];
-    for i in 0..s {
-        for j in (i + 1)..s {
-            let d = bubble_distance(&summaries[live[i]], &summaries[live[j]]);
+    for (i, row) in row_chunks.into_iter().flatten().enumerate() {
+        for (offset, d) in row.into_iter().enumerate() {
+            let j = i + 1 + offset;
             pair[i * s + j] = d;
             pair[j * s + i] = d;
         }
@@ -395,6 +434,37 @@ mod tests {
         assert_eq!(ord.len(), 6);
         let finite = ord.reachability.iter().filter(|r| r.is_finite()).count();
         assert_eq!(finite, 5, "single chain after the first seed");
+    }
+
+    #[test]
+    fn parallel_ordering_is_bit_identical_to_serial() {
+        // Awkward sizes (prime count, empty summaries interleaved) so chunk
+        // boundaries land mid-row in every threaded mode.
+        let summaries: Vec<Ball> = (0..23)
+            .map(|i| {
+                if i % 7 == 3 {
+                    Ball::empty(2)
+                } else {
+                    let x = f64::from(i % 5) * 2.0 + f64::from(i / 5) * 40.0;
+                    Ball::new(&[x, f64::from(i % 3)], 0.8, 4 + i as usize % 6)
+                }
+            })
+            .collect();
+        let serial = optics_bubbles_with(&summaries, f64::INFINITY, 6, Parallelism::Serial);
+        for par in [
+            Parallelism::Threads(2),
+            Parallelism::Threads(4),
+            Parallelism::Threads(8),
+            Parallelism::Auto,
+        ] {
+            let p = optics_bubbles_with(&summaries, f64::INFINITY, 6, par);
+            assert_eq!(p.order, serial.order, "{par:?}");
+            assert_eq!(p.reachability, serial.reachability, "{par:?}");
+            assert_eq!(
+                p.virtual_reachability, serial.virtual_reachability,
+                "{par:?}"
+            );
+        }
     }
 
     #[test]

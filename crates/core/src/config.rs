@@ -1,5 +1,7 @@
 //! Configuration of the incremental maintainer.
 
+pub use idb_geometry::Parallelism;
+
 /// How points are assigned to their closest seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AssignStrategy {
@@ -47,11 +49,18 @@ pub struct MaintainerConfig {
     pub quality: QualityKind,
     /// Split seed selection policy.
     pub split_seeds: SplitSeedPolicy,
+    /// How the bulk hot paths (construction scan, released-point
+    /// reassignment, split redistribution, invariant audit) spread over
+    /// threads. Every mode produces bit-identical results — including the
+    /// distance-computation counts — so this is purely a wall-clock knob.
+    pub parallelism: Parallelism,
 }
 
 impl MaintainerConfig {
     /// Paper defaults: triangle-inequality assignment, β quality measure at
-    /// `p = 0.9`, random split seeds.
+    /// `p = 0.9`, random split seeds. Parallelism defaults to the
+    /// environment mode (`IDB_PARALLELISM`, serial when unset) so a whole
+    /// test or experiment run can be pinned without touching call sites.
     #[must_use]
     pub fn new(num_bubbles: usize) -> Self {
         assert!(num_bubbles >= 2, "at least two bubbles are required");
@@ -61,6 +70,7 @@ impl MaintainerConfig {
             strategy: AssignStrategy::TriangleInequality,
             quality: QualityKind::Beta,
             split_seeds: SplitSeedPolicy::Random,
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -95,6 +105,13 @@ impl MaintainerConfig {
         self.split_seeds = policy;
         self
     }
+
+    /// Sets the parallel execution mode for the bulk hot paths.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +126,8 @@ mod tests {
         assert_eq!(c.strategy, AssignStrategy::TriangleInequality);
         assert_eq!(c.quality, QualityKind::Beta);
         assert_eq!(c.split_seeds, SplitSeedPolicy::Random);
+        // The parallelism default tracks the environment knob.
+        assert_eq!(c.parallelism, Parallelism::default());
     }
 
     #[test]
@@ -117,11 +136,13 @@ mod tests {
             .with_probability(0.8)
             .with_strategy(AssignStrategy::Brute)
             .with_quality(QualityKind::Extent)
-            .with_split_seeds(SplitSeedPolicy::Spread);
+            .with_split_seeds(SplitSeedPolicy::Spread)
+            .with_parallelism(Parallelism::Threads(3));
         assert_eq!(c.probability, 0.8);
         assert_eq!(c.strategy, AssignStrategy::Brute);
         assert_eq!(c.quality, QualityKind::Extent);
         assert_eq!(c.split_seeds, SplitSeedPolicy::Spread);
+        assert_eq!(c.parallelism, Parallelism::Threads(3));
     }
 
     #[test]

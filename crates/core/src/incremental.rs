@@ -26,9 +26,10 @@
 //! [`SearchStats`], which is what Figures 10 and 11 measure.
 
 use crate::bubble::Bubble;
-use crate::config::{AssignStrategy, MaintainerConfig, SplitSeedPolicy};
+use crate::config::{AssignStrategy, MaintainerConfig, Parallelism, SplitSeedPolicy};
 use crate::error::{AuditError, AuditIssue, AuditReport, RepairReport, UpdateError};
 use crate::quality::{classify, Classification};
+use idb_geometry::parallel::run_chunks;
 use idb_geometry::{dist, NearestSeeds, SearchStats};
 use idb_store::{Batch, PointId, PointStore};
 use rand::Rng;
@@ -133,6 +134,14 @@ impl IncrementalBubbles {
     /// random seed selection followed by the assignment of every live point
     /// (step 1 and 2 of the construction algorithm in Section 3).
     ///
+    /// The assignment scan — the dominant O(N·s·d) cost — runs under
+    /// `config.parallelism`: points are chunked across scoped worker
+    /// threads, each with its own instrumented distance counter, all
+    /// sharing the read-only seed–seed matrix; the per-chunk counters are
+    /// merged into `search` afterwards. Every mode yields a bit-identical
+    /// maintainer and identical counts for the same RNG seed (seed
+    /// selection is the only RNG consumer and happens up front).
+    ///
     /// # Panics
     /// Panics if the store holds fewer points than `config.num_bubbles`.
     pub fn build<R: Rng + ?Sized>(
@@ -164,17 +173,24 @@ impl IncrementalBubbles {
             total_points: 0,
             scratch: Vec::new(),
         };
+        let mut ids = Vec::with_capacity(store.len());
+        let mut flat = Vec::with_capacity(store.len() * dim);
         for (id, p, _) in store.iter() {
-            this.insert_point(id, p, search);
+            ids.push(id);
+            flat.extend_from_slice(p);
+        }
+        let targets = this.batch_targets(&flat, None, search);
+        for (&id, &(b, _)) in ids.iter().zip(&targets) {
+            this.attach(id, b as usize, store.point(id));
+            this.total_points += 1;
         }
         this
     }
 
-    /// [`Self::build`] with the assignment scan fanned out over `threads`
-    /// worker threads (`std::thread::scope`; no extra dependencies). Seed
-    /// selection and the resulting summarization are identical to the
-    /// sequential build for the same RNG seed — only the scan is
-    /// parallelized, and per-point assignments are order-independent.
+    /// [`Self::build`] pinned to `Parallelism::Threads(threads)`,
+    /// overriding `config.parallelism`. Kept as a convenience for callers
+    /// that size the fan-out themselves; results are identical to the
+    /// serial build for the same RNG seed.
     ///
     /// # Panics
     /// Panics if `threads == 0` or the store holds fewer points than
@@ -187,83 +203,33 @@ impl IncrementalBubbles {
         search: &mut SearchStats,
     ) -> Self {
         assert!(threads > 0, "at least one thread is required");
-        assert!(
-            store.len() >= config.num_bubbles,
-            "database smaller than the requested number of bubbles"
-        );
-        let dim = store.dim();
-        let seed_ids = store.sample_distinct(config.num_bubbles, rng);
-        let mut seeds = NearestSeeds::new(dim);
-        let mut bubbles = Vec::with_capacity(config.num_bubbles);
-        for id in &seed_ids {
-            let p = store.point(*id);
-            seeds.push(p);
-            bubbles.push(Bubble::new(p.to_vec()));
-        }
+        Self::build(
+            store,
+            config.with_parallelism(Parallelism::Threads(threads)),
+            rng,
+            search,
+        )
+    }
 
-        let ids: Vec<PointId> = store.ids().collect();
-        let chunk_len = ids.len().div_ceil(threads);
-        let strategy = config.strategy;
-        let seeds_ref = &seeds;
-        let (assignments, stats): (Vec<Vec<(PointId, u32)>>, Vec<SearchStats>) =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = ids
-                    .chunks(chunk_len.max(1))
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            let mut local = SearchStats::new();
-                            let mut scratch = Vec::new();
-                            let out: Vec<(PointId, u32)> = chunk
-                                .iter()
-                                .map(|&id| {
-                                    let p = store.point(id);
-                                    let (b, _) = match strategy {
-                                        AssignStrategy::Brute => {
-                                            seeds_ref.nearest_brute(p, None, &mut local)
-                                        }
-                                        AssignStrategy::TriangleInequality => seeds_ref
-                                            .nearest_pruned_with(
-                                                p,
-                                                None,
-                                                None,
-                                                &mut local,
-                                                &mut scratch,
-                                            ),
-                                    }
-                                    .expect("bubble population is never empty");
-                                    (id, b as u32)
-                                })
-                                .collect();
-                            (out, local)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("assignment worker panicked"))
-                    .unzip()
-            });
-
-        let mut this = Self {
-            dim,
-            config,
-            seeds,
-            bubbles,
-            assign: vec![NONE; store.slots()],
-            member_pos: vec![NONE; store.slots()],
-            total_points: 0,
-            scratch: Vec::new(),
-        };
-        for s in stats {
-            *search += s;
-        }
-        for chunk in assignments {
-            for (id, bubble) in chunk {
-                this.attach(id, bubble as usize, store.point(id));
-                this.total_points += 1;
+    /// Nearest eligible seed for every point in the flat `queries` buffer,
+    /// under the configured strategy and parallelism. Counter merging
+    /// keeps `search` bit-identical to a serial scan.
+    fn batch_targets(
+        &self,
+        queries: &[f64],
+        exclude: Option<usize>,
+        search: &mut SearchStats,
+    ) -> Vec<(u32, f64)> {
+        match self.config.strategy {
+            AssignStrategy::Brute => {
+                self.seeds
+                    .nearest_batch_brute(queries, exclude, self.config.parallelism, search)
+            }
+            AssignStrategy::TriangleInequality => {
+                self.seeds
+                    .nearest_batch_pruned(queries, exclude, self.config.parallelism, search)
             }
         }
-        this
     }
 
     /// The configuration in effect.
@@ -514,21 +480,28 @@ impl IncrementalBubbles {
     /// Releases all members of a bubble to their next-closest bubbles
     /// (the *merge* of Figure 6), leaving it empty. Returns the number of
     /// released points.
+    ///
+    /// The released points' target searches are independent of each other
+    /// (the seed set does not change while they run), so they are computed
+    /// as one batch under the configured parallelism and then attached in
+    /// member order — bit-identical to the serial point-at-a-time loop.
     fn merge_away(&mut self, donor: usize, store: &PointStore, search: &mut SearchStats) -> u64 {
         let members = self.bubbles[donor].take_members();
         self.bubbles[donor].stats_mut().clear();
         let released = members.len() as u64;
-        for id in members {
+        let mut flat = Vec::with_capacity(members.len() * self.dim);
+        for &id in &members {
+            flat.extend_from_slice(store.point(id));
+        }
+        // The donor must not re-attract its own points.
+        let targets = self.batch_targets(&flat, Some(donor), search);
+        for (&id, &(target, _)) in members.iter().zip(&targets) {
             let slot = id.index();
             self.assign[slot] = NONE;
             self.member_pos[slot] = NONE;
-            let p = store.point(id);
             // `detach` was bypassed (the member list is already drained), so
             // attach directly to the closest bubble other than the donor.
-            let target = self
-                .nearest(p, Some(donor), search)
-                .expect("at least two bubbles exist");
-            self.attach(id, target, p);
+            self.attach(id, target as usize, store.point(id));
         }
         released
     }
@@ -586,18 +559,29 @@ impl IncrementalBubbles {
         *self.bubbles[over].seed_mut() = p2.clone();
 
         // Distribute the members between the two new seeds only (the paper
-        // restricts the redistribution to s1 and s2).
+        // restricts the redistribution to s1 and s2). The two distances per
+        // member are independent across members, so the comparison fans out
+        // over chunks; ties keep the serial rule (d1 <= d2 → donor half).
         let reassigned = members.len() as u64;
-        for id in members {
+        let threads = self.config.parallelism.effective_threads();
+        let p1_ref = &p1;
+        let p2_ref = &p2;
+        let halves: Vec<Vec<bool>> = run_chunks(&members, threads, |chunk| {
+            chunk
+                .iter()
+                .map(|&id| {
+                    let p = store.point(id);
+                    dist(p, p1_ref) <= dist(p, p2_ref)
+                })
+                .collect()
+        });
+        search.computed += 2 * reassigned;
+        for (&id, to_donor) in members.iter().zip(halves.into_iter().flatten()) {
             let slot = id.index();
             self.assign[slot] = NONE;
             self.member_pos[slot] = NONE;
-            let p = store.point(id);
-            let d1 = dist(p, &p1);
-            let d2 = dist(p, &p2);
-            search.computed += 2;
-            let target = if d1 <= d2 { donor } else { over };
-            self.attach(id, target, p);
+            let target = if to_donor { donor } else { over };
+            self.attach(id, target, store.point(id));
         }
         reassigned
     }
@@ -894,10 +878,104 @@ impl IncrementalBubbles {
         !((stored - recomputed).abs() <= tol)
     }
 
+    /// Every invariant violation attributable to bubble `bi` alone, in the
+    /// same discovery order the serial auditor used. Read-only, so the
+    /// per-bubble sweeps of [`Self::collect_issues`] can fan out across
+    /// bubbles.
+    fn bubble_issues(&self, bi: usize, store: &PointStore) -> Vec<AuditIssue> {
+        let b = &self.bubbles[bi];
+        let mut issues = Vec::new();
+        if b.seed().len() != self.dim || b.seed().iter().any(|x| !x.is_finite()) {
+            issues.push(AuditIssue::NonFiniteSeed { bubble: bi });
+        }
+        if self.seeds.seed(bi) != b.seed() {
+            issues.push(AuditIssue::SeedOutOfSync { bubble: bi });
+        }
+        let stats = b.stats();
+        if stats.n() as usize != b.members().len() {
+            issues.push(AuditIssue::MemberCountMismatch {
+                bubble: bi,
+                stats_n: stats.n(),
+                members: b.members().len(),
+            });
+        }
+        if !stats.square_sum().is_finite() || stats.linear_sum().iter().any(|x| !x.is_finite()) {
+            issues.push(AuditIssue::NonFiniteStats { bubble: bi });
+        }
+
+        let mut ls = vec![0.0f64; self.dim];
+        let mut ss = 0.0f64;
+        let mut members_sound = stats.n() as usize == b.members().len();
+        for (pos, &id) in b.members().iter().enumerate() {
+            if !store.contains(id) {
+                issues.push(AuditIssue::DeadMember { bubble: bi, id });
+                members_sound = false;
+                continue;
+            }
+            let slot = id.index();
+            let assigned = match self.assign.get(slot) {
+                Some(&a) if a != NONE => Some(a as usize),
+                _ => None,
+            };
+            if assigned != Some(bi) {
+                issues.push(AuditIssue::AssignMismatch {
+                    bubble: bi,
+                    id,
+                    assigned,
+                });
+            }
+            if self.member_pos.get(slot).copied() != Some(pos as u32) {
+                issues.push(AuditIssue::MemberPosMismatch {
+                    bubble: bi,
+                    id,
+                    expected: pos,
+                });
+            }
+            let p = store.point(id);
+            for (l, &x) in ls.iter_mut().zip(p) {
+                *l += x;
+            }
+            ss += p.iter().map(|&x| x * x).sum::<f64>();
+        }
+        if members_sound {
+            for (axis, (&stored, &recomputed)) in stats.linear_sum().iter().zip(&ls).enumerate() {
+                if Self::drifted(
+                    stored,
+                    recomputed,
+                    Self::drift_tolerance(stats.n(), recomputed),
+                ) {
+                    issues.push(AuditIssue::DriftedLinearSum {
+                        bubble: bi,
+                        axis,
+                        stored,
+                        recomputed,
+                    });
+                    break;
+                }
+            }
+            let stored = stats.square_sum();
+            if Self::drifted(stored, ss, Self::drift_tolerance(stats.n(), ss)) {
+                issues.push(AuditIssue::DriftedSquareSum {
+                    bubble: bi,
+                    stored,
+                    recomputed: ss,
+                });
+            }
+        }
+        issues
+    }
+
     /// Walks every invariant and returns all violations found (plus the
     /// number of seed-matrix pairs checked). Shared by [`Self::audit`] and
     /// [`Self::repair`].
+    ///
+    /// The two O(N·d) / O(s²·d) sweeps — per-bubble statistics recompute
+    /// and seed-matrix verification — fan out over contiguous chunks of
+    /// bubbles/rows under the configured parallelism; chunk results are
+    /// concatenated in index order, so the issue list (order included) is
+    /// identical to a serial walk.
     fn collect_issues(&self, store: &PointStore) -> (Vec<AuditIssue>, usize) {
+        let threads = self.config.parallelism.effective_threads();
         let mut issues = Vec::new();
         if self.total_points != store.len() as u64 {
             issues.push(AuditIssue::TotalCountMismatch {
@@ -906,86 +984,15 @@ impl IncrementalBubbles {
             });
         }
 
-        for (bi, b) in self.bubbles.iter().enumerate() {
-            if b.seed().len() != self.dim || b.seed().iter().any(|x| !x.is_finite()) {
-                issues.push(AuditIssue::NonFiniteSeed { bubble: bi });
-            }
-            if self.seeds.seed(bi) != b.seed() {
-                issues.push(AuditIssue::SeedOutOfSync { bubble: bi });
-            }
-            let stats = b.stats();
-            if stats.n() as usize != b.members().len() {
-                issues.push(AuditIssue::MemberCountMismatch {
-                    bubble: bi,
-                    stats_n: stats.n(),
-                    members: b.members().len(),
-                });
-            }
-            if !stats.square_sum().is_finite() || stats.linear_sum().iter().any(|x| !x.is_finite())
-            {
-                issues.push(AuditIssue::NonFiniteStats { bubble: bi });
-            }
-
-            let mut ls = vec![0.0f64; self.dim];
-            let mut ss = 0.0f64;
-            let mut members_sound = stats.n() as usize == b.members().len();
-            for (pos, &id) in b.members().iter().enumerate() {
-                if !store.contains(id) {
-                    issues.push(AuditIssue::DeadMember { bubble: bi, id });
-                    members_sound = false;
-                    continue;
-                }
-                let slot = id.index();
-                let assigned = match self.assign.get(slot) {
-                    Some(&a) if a != NONE => Some(a as usize),
-                    _ => None,
-                };
-                if assigned != Some(bi) {
-                    issues.push(AuditIssue::AssignMismatch {
-                        bubble: bi,
-                        id,
-                        assigned,
-                    });
-                }
-                if self.member_pos.get(slot).copied() != Some(pos as u32) {
-                    issues.push(AuditIssue::MemberPosMismatch {
-                        bubble: bi,
-                        id,
-                        expected: pos,
-                    });
-                }
-                let p = store.point(id);
-                for (l, &x) in ls.iter_mut().zip(p) {
-                    *l += x;
-                }
-                ss += p.iter().map(|&x| x * x).sum::<f64>();
-            }
-            if members_sound {
-                for (axis, (&stored, &recomputed)) in stats.linear_sum().iter().zip(&ls).enumerate()
-                {
-                    if Self::drifted(
-                        stored,
-                        recomputed,
-                        Self::drift_tolerance(stats.n(), recomputed),
-                    ) {
-                        issues.push(AuditIssue::DriftedLinearSum {
-                            bubble: bi,
-                            axis,
-                            stored,
-                            recomputed,
-                        });
-                        break;
-                    }
-                }
-                let stored = stats.square_sum();
-                if Self::drifted(stored, ss, Self::drift_tolerance(stats.n(), ss)) {
-                    issues.push(AuditIssue::DriftedSquareSum {
-                        bubble: bi,
-                        stored,
-                        recomputed: ss,
-                    });
-                }
-            }
+        let bubble_indices: Vec<usize> = (0..self.bubbles.len()).collect();
+        let per_bubble = run_chunks(&bubble_indices, threads, |chunk| {
+            chunk
+                .iter()
+                .flat_map(|&bi| self.bubble_issues(bi, store))
+                .collect::<Vec<_>>()
+        });
+        for chunk in per_bubble {
+            issues.extend(chunk);
         }
 
         // Reverse direction: every live point must resolve, through the

@@ -45,7 +45,7 @@ pub mod snapshot;
 pub mod stats;
 
 pub use bubble::{Bubble, DataSummary};
-pub use config::{AssignStrategy, MaintainerConfig, QualityKind, SplitSeedPolicy};
+pub use config::{AssignStrategy, MaintainerConfig, Parallelism, QualityKind, SplitSeedPolicy};
 pub use error::{AuditError, AuditIssue, AuditReport, RepairReport, UpdateError};
 pub use incremental::{AdaptivePolicy, AdaptiveReport, IncrementalBubbles, MaintenanceReport};
 pub use quality::{chebyshev_k, BubbleClass, Classification};

@@ -1,0 +1,340 @@
+//! Differential suite: every parallel entry point of the incremental
+//! maintainer must be *bit-identical* to the serial code — assignments,
+//! bubble sufficient statistics, audit reports, and the instrumented
+//! distance-computation counters alike — for every thread count.
+//!
+//! Rationale: the paper's efficiency claims are stated in distance
+//! computations (Figures 10/11) and its quality claims in the summary
+//! statistics feeding OPTICS, so a parallel mode that drifted in either
+//! would silently invalidate both reproductions. The suite drives random
+//! stores, random update batches, the six dynamic scenarios, and
+//! fault-injected batches through `Serial` vs `Threads(2 | 4 | 8)` flows
+//! with identically seeded RNGs and demands exact equality of the full
+//! observable state after every step.
+
+use idb_core::{
+    AssignStrategy, AuditError, AuditReport, IncrementalBubbles, MaintainerConfig, Parallelism,
+};
+use idb_geometry::SearchStats;
+use idb_store::{Batch, PointId, PointStore};
+use idb_synth::{faulty_batch, ScenarioEngine, ScenarioKind, ScenarioSpec, ALL_BATCH_FAULTS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 256;
+const THREAD_MODES: [Parallelism; 3] = [
+    Parallelism::Threads(2),
+    Parallelism::Threads(4),
+    Parallelism::Threads(8),
+];
+
+/// The full observable state of one bubble: seed anchor, sufficient
+/// statistics `(n, LS, SS)`, and the member list in storage order.
+type BubbleState = (Vec<f64>, u64, Vec<f64>, f64, Vec<PointId>);
+
+/// Everything a clustering consumer can observe about the maintainer.
+fn fingerprint(ib: &IncrementalBubbles) -> (u64, Vec<BubbleState>) {
+    let bubbles = ib
+        .bubbles()
+        .iter()
+        .map(|b| {
+            (
+                b.seed().to_vec(),
+                b.stats().n(),
+                b.stats().linear_sum().to_vec(),
+                b.stats().square_sum(),
+                b.members().to_vec(),
+            )
+        })
+        .collect();
+    (ib.total_points(), bubbles)
+}
+
+/// Checks the forward assignment table against the member lists.
+fn assert_assignments_consistent(ib: &IncrementalBubbles) {
+    for (bi, b) in ib.bubbles().iter().enumerate() {
+        for &id in b.members() {
+            assert_eq!(ib.assignment(id), Some(bi));
+        }
+    }
+}
+
+fn random_store(rng: &mut StdRng, dim: usize, n: usize) -> PointStore {
+    let mut store = PointStore::new(dim);
+    for _ in 0..n {
+        let p: Vec<f64> = (0..dim).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        store.insert(&p, None);
+    }
+    store
+}
+
+fn random_config(rng: &mut StdRng, num_bubbles: usize, par: Parallelism) -> MaintainerConfig {
+    let strategy = if rng.gen_bool(0.5) {
+        AssignStrategy::TriangleInequality
+    } else {
+        AssignStrategy::Brute
+    };
+    MaintainerConfig::new(num_bubbles)
+        .with_strategy(strategy)
+        .with_parallelism(par)
+}
+
+/// A plausible random batch against the current store: delete a few live
+/// points, insert a few fresh ones.
+fn random_batch(store: &PointStore, rng: &mut StdRng) -> Batch {
+    let dim = store.dim();
+    let deletes = store.sample_distinct(rng.gen_range(0..=store.len().min(8)), rng);
+    let inserts = (0..rng.gen_range(0..=12))
+        .map(|_| {
+            let p: Vec<f64> = (0..dim).map(|_| rng.gen_range(-120.0..120.0)).collect();
+            (p, None)
+        })
+        .collect();
+    Batch { deletes, inserts }
+}
+
+/// Entry point 1: construction. A serial build and a threaded build from
+/// the same RNG seed must agree on every bubble, every assignment, and
+/// every counter.
+#[test]
+fn build_is_bit_identical_across_modes() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0001);
+    for case_no in 0..CASES {
+        let dim = rng.gen_range(1..=4);
+        let num_bubbles = rng.gen_range(2..=10);
+        let n = rng.gen_range(num_bubbles..=num_bubbles + 90);
+        let store = random_store(&mut rng, dim, n);
+        let config_seed: u64 = rng.gen();
+        let build_seed: u64 = rng.gen();
+
+        let serial_config = random_config(
+            &mut StdRng::seed_from_u64(config_seed),
+            num_bubbles,
+            Parallelism::Serial,
+        );
+        let mut serial_stats = SearchStats::new();
+        let serial = IncrementalBubbles::build(
+            &store,
+            serial_config,
+            &mut StdRng::seed_from_u64(build_seed),
+            &mut serial_stats,
+        );
+        assert_assignments_consistent(&serial);
+
+        for par in THREAD_MODES {
+            let config = random_config(&mut StdRng::seed_from_u64(config_seed), num_bubbles, par);
+            let mut stats = SearchStats::new();
+            let parallel = IncrementalBubbles::build(
+                &store,
+                config,
+                &mut StdRng::seed_from_u64(build_seed),
+                &mut stats,
+            );
+            assert_eq!(
+                fingerprint(&parallel),
+                fingerprint(&serial),
+                "case {case_no} ({par:?}): built state diverged"
+            );
+            assert_eq!(
+                (stats.computed, stats.pruned),
+                (serial_stats.computed, serial_stats.pruned),
+                "case {case_no} ({par:?}): distance accounting diverged"
+            );
+            assert_assignments_consistent(&parallel);
+        }
+    }
+}
+
+/// Entry point 2: batch application + merge/split maintenance. Whole
+/// update flows (build, three batches, a maintenance round after each)
+/// replayed per mode from identical seeds must match step for step.
+#[test]
+fn update_and_maintenance_flows_are_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0002);
+    for case_no in 0..CASES {
+        let dim = rng.gen_range(1..=3);
+        let num_bubbles = rng.gen_range(3..=8);
+        let n = rng.gen_range(num_bubbles.max(20)..=120);
+        let base_store = random_store(&mut rng, dim, n);
+        let config_seed: u64 = rng.gen();
+        let flow_seed: u64 = rng.gen();
+
+        // One flow per mode, all from the same seeds; collect the
+        // per-round fingerprints and counters.
+        let run = |par: Parallelism| {
+            let mut store = base_store.clone();
+            let config = random_config(&mut StdRng::seed_from_u64(config_seed), num_bubbles, par);
+            let mut flow_rng = StdRng::seed_from_u64(flow_seed);
+            let mut stats = SearchStats::new();
+            let mut ib = IncrementalBubbles::build(&store, config, &mut flow_rng, &mut stats);
+            let mut trace = Vec::new();
+            for _ in 0..3 {
+                let batch = random_batch(&store, &mut flow_rng);
+                ib.apply_batch(&mut store, &batch, &mut stats);
+                let report = ib.maintain(&store, &mut flow_rng, &mut stats);
+                assert_assignments_consistent(&ib);
+                trace.push((fingerprint(&ib), report, (stats.computed, stats.pruned)));
+            }
+            trace
+        };
+
+        let serial_trace = run(Parallelism::Serial);
+        for par in THREAD_MODES {
+            assert_eq!(
+                run(par),
+                serial_trace,
+                "case {case_no} ({par:?}): update flow diverged"
+            );
+        }
+    }
+}
+
+/// Entry point 3: the invariant audit. Healthy and corrupted maintainers
+/// alike must produce the same report (or the same issue list) in every
+/// mode.
+#[test]
+fn audit_reports_are_bit_identical_across_modes() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0003);
+    for case_no in 0..CASES {
+        let dim = rng.gen_range(1..=3);
+        let num_bubbles = rng.gen_range(2..=8);
+        let n = rng.gen_range(num_bubbles.max(10)..=80);
+        let store = random_store(&mut rng, dim, n);
+        let config_seed: u64 = rng.gen();
+        let build_seed: u64 = rng.gen();
+        // Roughly half the cases are corrupted before auditing.
+        let corruption: Option<(u8, u64)> = if rng.gen_bool(0.5) {
+            Some((rng.gen_range(0..4), rng.gen()))
+        } else {
+            None
+        };
+
+        let audit = |par: Parallelism| -> Result<AuditReport, AuditError> {
+            let config = random_config(&mut StdRng::seed_from_u64(config_seed), num_bubbles, par);
+            let mut stats = SearchStats::new();
+            let mut ib = IncrementalBubbles::build(
+                &store,
+                config,
+                &mut StdRng::seed_from_u64(build_seed),
+                &mut stats,
+            );
+            if let Some((kind, cseed)) = corruption {
+                let mut crng = StdRng::seed_from_u64(cseed);
+                let bi = crng.gen_range(0..ib.num_bubbles());
+                match kind {
+                    0 => ib.corrupt_stats(bi, 999, vec![1.0; dim], -5.0),
+                    1 => ib.corrupt_seed(bi, vec![f64::NAN; dim]),
+                    2 => ib.corrupt_total(1_000_000),
+                    _ => {
+                        let slot = crng.gen_range(0..store.slots());
+                        ib.corrupt_assign(slot, u32::MAX - 1);
+                    }
+                }
+            }
+            ib.audit(&store)
+        };
+
+        let serial = audit(Parallelism::Serial);
+        if corruption.is_none() {
+            assert!(serial.is_ok(), "case {case_no}: healthy state failed audit");
+        }
+        for par in THREAD_MODES {
+            assert_eq!(
+                audit(par),
+                serial,
+                "case {case_no} ({par:?}): audit outcome diverged"
+            );
+        }
+    }
+}
+
+/// Entry point 2, adversarial inputs: a fault-injected batch must be
+/// rejected with the same typed error in every mode, leaving the
+/// maintainer state untouched and identical.
+#[test]
+fn fault_injected_batches_fail_identically_across_modes() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0004);
+    // 6 fault kinds x 43 cases each > 256 cases through the entry point.
+    for round in 0..43 {
+        for &fault in &ALL_BATCH_FAULTS {
+            let dim = rng.gen_range(1..=3);
+            let num_bubbles = rng.gen_range(2..=6);
+            let n = rng.gen_range(num_bubbles.max(10)..=60);
+            let base_store = random_store(&mut rng, dim, n);
+            let build_seed: u64 = rng.gen();
+            let fault_seed: u64 = rng.gen();
+
+            let run = |par: Parallelism| {
+                let mut store = base_store.clone();
+                let config = MaintainerConfig::new(num_bubbles).with_parallelism(par);
+                let mut stats = SearchStats::new();
+                let mut ib = IncrementalBubbles::build(
+                    &store,
+                    config,
+                    &mut StdRng::seed_from_u64(build_seed),
+                    &mut stats,
+                );
+                let before = fingerprint(&ib);
+                let batch = faulty_batch(&store, fault, &mut StdRng::seed_from_u64(fault_seed));
+                let err = ib
+                    .try_apply_batch(&mut store, &batch, &mut stats)
+                    .expect_err("fault-injected batch must be rejected");
+                assert_eq!(
+                    fingerprint(&ib),
+                    before,
+                    "round {round} ({fault:?}, {par:?}): rejected batch mutated state"
+                );
+                // Compare errors by their rendering: `NonFiniteCoordinate`
+                // carries the NaN itself, and NaN != NaN under PartialEq.
+                (
+                    format!("{err:?}"),
+                    fingerprint(&ib),
+                    (stats.computed, stats.pruned),
+                )
+            };
+
+            let serial = run(Parallelism::Serial);
+            for par in THREAD_MODES {
+                assert_eq!(
+                    run(par),
+                    serial,
+                    "round {round} ({fault:?}, {par:?}): fault handling diverged"
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end over the paper's dynamic scenarios: several batches of each
+/// scenario kind, applied and maintained per mode from the same seeds,
+/// must leave identical summaries and pass identical audits.
+#[test]
+fn dynamic_scenarios_are_bit_identical_across_modes() {
+    for (k, kind) in ScenarioKind::all().into_iter().enumerate() {
+        let run = |par: Parallelism| {
+            let seed = 0x5CEA_0000 + k as u64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let spec = ScenarioSpec::named(kind, 2, 600, 0.05);
+            let mut eng = ScenarioEngine::new(spec);
+            let mut store = eng.populate(&mut rng);
+            let config = MaintainerConfig::new(12).with_parallelism(par);
+            let mut stats = SearchStats::new();
+            let mut ib = IncrementalBubbles::build(&store, config, &mut rng, &mut stats);
+            let mut trace = Vec::new();
+            for _ in 0..4 {
+                let batch = eng.plan(&mut rng);
+                let inserted = ib.apply_batch(&mut store, &batch, &mut stats);
+                eng.confirm(&inserted);
+                ib.maintain(&store, &mut rng, &mut stats);
+                ib.audit(&store).expect("invariants hold after maintenance");
+                trace.push((fingerprint(&ib), (stats.computed, stats.pruned)));
+            }
+            trace
+        };
+
+        let serial = run(Parallelism::Serial);
+        for par in THREAD_MODES {
+            assert_eq!(run(par), serial, "{kind:?} ({par:?}): scenario diverged");
+        }
+    }
+}

@@ -18,6 +18,7 @@
 
 use crate::matrix::SymMatrix;
 use crate::metric::dist;
+use crate::parallel::{run_chunks_with_len, Parallelism};
 use crate::stats::SearchStats;
 
 /// A set of seed points plus their pairwise distance matrix.
@@ -278,6 +279,91 @@ impl NearestSeeds {
             }
         }
     }
+
+    /// Nearest seed for every query in a flat `queries` buffer
+    /// (`queries.len()` must be a multiple of `dim`), via brute force.
+    /// Returns `(seed index, distance)` per query, aligned with query
+    /// order.
+    ///
+    /// Work is fanned out per [`Parallelism`]: queries are split into
+    /// contiguous chunks, each chunk runs the identical per-query search
+    /// with its own [`SearchStats`] counter, and the per-chunk counters
+    /// are summed into `stats` in chunk order — so the counts (and every
+    /// result) are bit-identical to a serial loop over the same queries.
+    ///
+    /// # Panics
+    /// Panics if `queries.len()` is not a multiple of `dim`, or if there
+    /// are queries but no eligible seed.
+    pub fn nearest_batch_brute(
+        &self,
+        queries: &[f64],
+        exclude: Option<usize>,
+        par: Parallelism,
+        stats: &mut SearchStats,
+    ) -> Vec<(u32, f64)> {
+        self.nearest_batch(queries, exclude, false, par, stats)
+    }
+
+    /// [`Self::nearest_batch_brute`] with the triangle-inequality search
+    /// of Figure 2 instead of brute force. Same chunking, same counter
+    /// merging, same equivalence guarantee.
+    ///
+    /// # Panics
+    /// Panics if `queries.len()` is not a multiple of `dim`, or if there
+    /// are queries but no eligible seed.
+    pub fn nearest_batch_pruned(
+        &self,
+        queries: &[f64],
+        exclude: Option<usize>,
+        par: Parallelism,
+        stats: &mut SearchStats,
+    ) -> Vec<(u32, f64)> {
+        self.nearest_batch(queries, exclude, true, par, stats)
+    }
+
+    fn nearest_batch(
+        &self,
+        queries: &[f64],
+        exclude: Option<usize>,
+        pruned: bool,
+        par: Parallelism,
+        stats: &mut SearchStats,
+    ) -> Vec<(u32, f64)> {
+        assert_eq!(
+            queries.len() % self.dim,
+            0,
+            "query buffer length must be a multiple of dim"
+        );
+        let k = queries.len() / self.dim;
+        if k == 0 {
+            return Vec::new();
+        }
+        // Chunk length in *points*, rounded so no query is split.
+        let chunk_points = k.div_ceil(par.effective_threads());
+        let per_chunk = run_chunks_with_len(queries, chunk_points * self.dim, |chunk| {
+            let mut local = SearchStats::new();
+            let mut scratch = Vec::new();
+            let out: Vec<(u32, f64)> = chunk
+                .chunks_exact(self.dim)
+                .map(|q| {
+                    let (i, d) = if pruned {
+                        self.nearest_pruned_with(q, exclude, None, &mut local, &mut scratch)
+                    } else {
+                        self.nearest_brute(q, exclude, &mut local)
+                    }
+                    .expect("batch assignment requires at least one eligible seed");
+                    (i as u32, d)
+                })
+                .collect();
+            (out, local)
+        });
+        let mut results = Vec::with_capacity(k);
+        for (chunk_results, chunk_stats) in per_chunk {
+            results.extend(chunk_results);
+            *stats += chunk_stats;
+        }
+        results
+    }
 }
 
 #[cfg(test)]
@@ -427,6 +513,74 @@ mod tests {
         s.swap_remove(3);
         assert_eq!(s.len(), 3);
         assert_eq!(s.seed(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn batch_matches_per_query_calls_in_every_mode() {
+        let s = grid_seeds();
+        let queries: Vec<f64> = (0..40)
+            .flat_map(|i| {
+                let t = i as f64;
+                [t * 0.37 % 11.0, (t * 0.71 + 3.0) % 11.0]
+            })
+            .collect();
+        for pruned in [false, true] {
+            // Serial reference: one call per query.
+            let mut want = Vec::new();
+            let mut want_stats = SearchStats::new();
+            for q in queries.chunks_exact(2) {
+                let r = if pruned {
+                    s.nearest_pruned(q, None, None, &mut want_stats)
+                } else {
+                    s.nearest_brute(q, None, &mut want_stats)
+                }
+                .unwrap();
+                want.push((r.0 as u32, r.1));
+            }
+            for par in [
+                Parallelism::Serial,
+                Parallelism::Threads(2),
+                Parallelism::Threads(8),
+                Parallelism::Auto,
+            ] {
+                let mut stats = SearchStats::new();
+                let got = if pruned {
+                    s.nearest_batch_pruned(&queries, None, par, &mut stats)
+                } else {
+                    s.nearest_batch_brute(&queries, None, par, &mut stats)
+                };
+                assert_eq!(got, want, "pruned={pruned} par={par:?}");
+                assert_eq!(stats, want_stats, "pruned={pruned} par={par:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_respects_exclusion() {
+        let s = grid_seeds();
+        let queries = [0.1, 0.1, 9.9, 9.9];
+        let mut stats = SearchStats::new();
+        let got = s.nearest_batch_pruned(&queries, Some(0), Parallelism::Threads(2), &mut stats);
+        assert_eq!(got.len(), 2);
+        assert_ne!(got[0].0, 0, "excluded seed never wins");
+    }
+
+    #[test]
+    fn batch_empty_queries() {
+        let s = grid_seeds();
+        let mut stats = SearchStats::new();
+        assert!(s
+            .nearest_batch_brute(&[], None, Parallelism::Auto, &mut stats)
+            .is_empty());
+        assert_eq!(stats, SearchStats::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn batch_ragged_buffer_panics() {
+        let s = grid_seeds();
+        let mut stats = SearchStats::new();
+        let _ = s.nearest_batch_brute(&[1.0, 2.0, 3.0], None, Parallelism::Serial, &mut stats);
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   with the triangle inequality, plus the brute-force baseline.
 //! * [`kdtree`] — a k-d tree for point-level range and k-NN queries, used by
 //!   the point-level OPTICS and DBSCAN substrates.
+//! * [`parallel`] — [`Parallelism`] (the `Serial | Threads(n) | Auto` knob
+//!   threaded through every bulk entry point) and the chunked scoped-thread
+//!   helpers whose merge discipline keeps parallel results bit-identical
+//!   to serial ones, instrumentation included.
 //!
 //! Points are represented as `&[f64]` slices of a fixed dimensionality; all
 //! containers store coordinates contiguously (structure-of-arrays) to keep
@@ -27,10 +31,12 @@ pub mod assign;
 pub mod kdtree;
 pub mod matrix;
 pub mod metric;
+pub mod parallel;
 pub mod stats;
 
 pub use assign::NearestSeeds;
 pub use kdtree::KdTree;
 pub use matrix::SymMatrix;
 pub use metric::{dist, sq_dist};
+pub use parallel::Parallelism;
 pub use stats::SearchStats;

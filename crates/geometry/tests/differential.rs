@@ -1,0 +1,186 @@
+//! Differential suite: the parallel batch assignment entry points must be
+//! *bit-identical* to the serial per-query reference — assignments,
+//! distances, and the instrumented [`SearchStats`] counters alike — for
+//! every thread count.
+//!
+//! The paper reports its efficiency results in distance computations
+//! (Figures 10 and 11), so the counters are part of the contract, not just
+//! the assignments. The suite drives randomized seed sets and query
+//! buffers through [`NearestSeeds::nearest_batch_brute`] and
+//! [`NearestSeeds::nearest_batch_pruned`] under `Serial` and
+//! `Threads(2 | 4 | 8)` and demands exact equality throughout.
+
+use idb_geometry::{NearestSeeds, Parallelism, SearchStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 256;
+const MODES: [Parallelism; 4] = [
+    Parallelism::Serial,
+    Parallelism::Threads(2),
+    Parallelism::Threads(4),
+    Parallelism::Threads(8),
+];
+
+/// One randomized instance: a seed set, a query buffer, and an optional
+/// excluded seed.
+struct Case {
+    seeds: NearestSeeds,
+    queries: Vec<f64>,
+    exclude: Option<usize>,
+    dim: usize,
+}
+
+fn random_case(rng: &mut StdRng) -> Case {
+    let dim = rng.gen_range(1..=7);
+    let num_seeds = rng.gen_range(1..=24);
+    // Query counts straddle the chunking boundaries: empty buffers, fewer
+    // queries than threads, and buffers that split unevenly.
+    let num_queries = rng.gen_range(0..=65);
+    let mut seeds = NearestSeeds::new(dim);
+    for _ in 0..num_seeds {
+        let s: Vec<f64> = (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
+        seeds.push(&s);
+    }
+    let queries: Vec<f64> = (0..num_queries * dim)
+        .map(|_| rng.gen_range(-60.0..60.0))
+        .collect();
+    // Exclusion mirrors the merge path (donor seed ineligible); only legal
+    // when another seed remains.
+    let exclude = if num_seeds > 1 && rng.gen_range(0..3) == 0 {
+        Some(rng.gen_range(0..num_seeds))
+    } else {
+        None
+    };
+    Case {
+        seeds,
+        queries,
+        exclude,
+        dim,
+    }
+}
+
+/// Per-query serial reference for one case.
+fn reference(case: &Case, pruned: bool) -> (Vec<(u32, f64)>, SearchStats) {
+    let mut stats = SearchStats::new();
+    let out = case
+        .queries
+        .chunks_exact(case.dim)
+        .map(|q| {
+            let (i, d) = if pruned {
+                case.seeds
+                    .nearest_pruned(q, case.exclude, None, &mut stats)
+                    .expect("eligible seed")
+            } else {
+                case.seeds
+                    .nearest_brute(q, case.exclude, &mut stats)
+                    .expect("eligible seed")
+            };
+            (i as u32, d)
+        })
+        .collect();
+    (out, stats)
+}
+
+fn run_differential(pruned: bool, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case_no in 0..CASES {
+        let case = random_case(&mut rng);
+        let (ref_out, ref_stats) = reference(&case, pruned);
+        for par in MODES {
+            let mut stats = SearchStats::new();
+            let out = if pruned {
+                case.seeds
+                    .nearest_batch_pruned(&case.queries, case.exclude, par, &mut stats)
+            } else {
+                case.seeds
+                    .nearest_batch_brute(&case.queries, case.exclude, par, &mut stats)
+            };
+            assert_eq!(
+                out, ref_out,
+                "case {case_no} ({par:?}): assignments diverged"
+            );
+            assert_eq!(
+                (stats.computed, stats.pruned),
+                (ref_stats.computed, ref_stats.pruned),
+                "case {case_no} ({par:?}): distance accounting diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_brute_matches_serial_reference_in_every_mode() {
+    run_differential(false, 0xB001);
+}
+
+#[test]
+fn batch_pruned_matches_serial_reference_in_every_mode() {
+    run_differential(true, 0xF16);
+}
+
+/// The pruned and brute paths must agree on the *assignment* (the counters
+/// legitimately differ — that difference is the paper's Figure 10).
+#[test]
+fn pruned_and_brute_agree_on_assignments() {
+    let mut rng = StdRng::seed_from_u64(0xAB);
+    for case_no in 0..CASES {
+        let case = random_case(&mut rng);
+        let mut s1 = SearchStats::new();
+        let mut s2 = SearchStats::new();
+        let brute = case.seeds.nearest_batch_brute(
+            &case.queries,
+            case.exclude,
+            Parallelism::Threads(4),
+            &mut s1,
+        );
+        let pruned = case.seeds.nearest_batch_pruned(
+            &case.queries,
+            case.exclude,
+            Parallelism::Threads(4),
+            &mut s2,
+        );
+        for (q, (b, p)) in brute.iter().zip(&pruned).enumerate() {
+            assert_eq!(b.1, p.1, "case {case_no}, query {q}: distances differ");
+            // Seed indices may differ only on exact distance ties.
+            if b.0 != p.0 {
+                assert_eq!(
+                    b.1, p.1,
+                    "case {case_no}, query {q}: different seeds at different distances"
+                );
+            }
+        }
+        assert!(
+            s2.computed <= s1.computed,
+            "case {case_no}: pruning computed more distances than brute force"
+        );
+        assert_eq!(
+            s1.computed + s1.pruned,
+            s2.computed + s2.pruned,
+            "case {case_no}: candidate accounting diverged"
+        );
+    }
+}
+
+/// Counter merging is pure u64 addition over per-chunk counters, so a
+/// batch split across threads must account each candidate exactly once:
+/// computed + pruned = queries x eligible seeds, in every mode.
+#[test]
+fn merged_counters_cover_every_candidate_exactly_once() {
+    let mut rng = StdRng::seed_from_u64(0xCC);
+    for _ in 0..CASES {
+        let case = random_case(&mut rng);
+        let queries = case.queries.len() / case.dim;
+        let eligible = case.seeds.len() - usize::from(case.exclude.is_some());
+        for par in MODES {
+            let mut stats = SearchStats::new();
+            case.seeds
+                .nearest_batch_pruned(&case.queries, case.exclude, par, &mut stats);
+            assert_eq!(
+                stats.computed + stats.pruned,
+                (queries * eligible) as u64,
+                "{par:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the k-d tree: k-NN and range queries must agree
+//! with a brute-force scan on random inputs, including the degenerate
+//! shapes that stress the median-split construction — duplicate points
+//! and points equal on every coordinate.
+
+use idb_geometry::{dist, KdTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 200;
+
+fn brute_range(pts: &[(u64, Vec<f64>)], center: &[f64], eps: f64) -> Vec<(u64, f64)> {
+    let mut out: Vec<(u64, f64)> = pts
+        .iter()
+        .map(|(id, p)| (*id, dist(p, center)))
+        .filter(|&(_, d)| d <= eps)
+        .collect();
+    out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    out
+}
+
+fn brute_knn(pts: &[(u64, Vec<f64>)], center: &[f64], k: usize) -> Vec<(u64, f64)> {
+    let mut all: Vec<(u64, f64)> = pts.iter().map(|(id, p)| (*id, dist(p, center))).collect();
+    all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+fn sorted(mut v: Vec<(u64, f64)>) -> Vec<(u64, f64)> {
+    v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    v
+}
+
+/// Random points from three regimes: continuous (tie-free), a coarse
+/// integer grid (many duplicates), and all-equal coordinates (every
+/// median split is a tie).
+fn random_points(rng: &mut StdRng, regime: u8) -> (usize, Vec<(u64, Vec<f64>)>) {
+    let dim = rng.gen_range(1..=4);
+    let n = rng.gen_range(0..=60);
+    let pts = (0..n)
+        .map(|i| {
+            let p: Vec<f64> = match regime {
+                0 => (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect(),
+                1 => (0..dim).map(|_| f64::from(rng.gen_range(-2..3))).collect(),
+                _ => vec![1.5; dim],
+            };
+            (i as u64, p)
+        })
+        .collect();
+    (dim, pts)
+}
+
+fn random_center(rng: &mut StdRng, dim: usize) -> Vec<f64> {
+    (0..dim).map(|_| rng.gen_range(-11.0..11.0)).collect()
+}
+
+#[test]
+fn range_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0x4D01);
+    for case in 0..CASES {
+        let (dim, pts) = random_points(&mut rng, (case % 3) as u8);
+        let tree = KdTree::build(dim, pts.iter().map(|(id, p)| (*id, p.as_slice())));
+        assert_eq!(tree.len(), pts.len());
+        for _ in 0..4 {
+            let center = random_center(&mut rng, dim);
+            let eps = rng.gen_range(0.0..12.0);
+            let got = sorted(tree.range(&center, eps));
+            let want = brute_range(&pts, &center, eps);
+            assert_eq!(
+                got.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+                want.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+                "case {case}: range members diverged"
+            );
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.1 - w.1).abs() < 1e-12, "case {case}: distance diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn knn_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0x4D02);
+    for case in 0..CASES {
+        let (dim, pts) = random_points(&mut rng, (case % 3) as u8);
+        let tree = KdTree::build(dim, pts.iter().map(|(id, p)| (*id, p.as_slice())));
+        for _ in 0..4 {
+            let center = random_center(&mut rng, dim);
+            let k = rng.gen_range(0..=pts.len() + 2);
+            let got = sorted(tree.knn(&center, k));
+            let want = brute_knn(&pts, &center, k);
+            assert_eq!(got.len(), want.len(), "case {case}: k-NN size diverged");
+            // Ties at the k-th distance allow different members; the
+            // distance multiset is the invariant.
+            for (g, w) in got.iter().zip(&want) {
+                assert!(
+                    (g.1 - w.1).abs() < 1e-12,
+                    "case {case}: k-NN distances diverged ({} vs {})",
+                    g.1,
+                    w.1
+                );
+            }
+        }
+    }
+}
+
+/// Duplicates must all be reported by a range query centred on them.
+#[test]
+fn duplicate_points_are_all_found() {
+    let pts: Vec<(u64, Vec<f64>)> = (0..10).map(|i| (i, vec![3.0, -1.0])).collect();
+    let tree = KdTree::build(2, pts.iter().map(|(id, p)| (*id, p.as_slice())));
+    let mut hits: Vec<u64> = tree
+        .range(&[3.0, -1.0], 0.0)
+        .iter()
+        .map(|&(id, _)| id)
+        .collect();
+    hits.sort_unstable();
+    assert_eq!(hits, (0..10).collect::<Vec<u64>>());
+    let knn = tree.knn(&[3.0, -1.0], 4);
+    assert_eq!(knn.len(), 4);
+    assert!(knn.iter().all(|&(_, d)| d == 0.0));
+}
+
+/// All-equal coordinates: every split is degenerate, yet queries stay
+/// exact and total.
+#[test]
+fn all_equal_coordinates_stay_exact() {
+    for n in [1usize, 2, 7, 33] {
+        let pts: Vec<(u64, Vec<f64>)> = (0..n as u64).map(|i| (i, vec![1.5, 1.5, 1.5])).collect();
+        let tree = KdTree::build(3, pts.iter().map(|(id, p)| (*id, p.as_slice())));
+        assert_eq!(tree.range(&[1.5, 1.5, 1.5], 0.0).len(), n);
+        assert_eq!(tree.range(&[0.0, 0.0, 0.0], 1.0).len(), 0);
+        assert_eq!(tree.knn(&[9.0, 9.0, 9.0], n + 5).len(), n);
+    }
+}
+
+/// Empty tree: no panics, empty answers.
+#[test]
+fn empty_tree_is_total() {
+    let tree = KdTree::build(2, std::iter::empty());
+    assert!(tree.is_empty());
+    assert_eq!(tree.range(&[0.0, 0.0], 100.0).len(), 0);
+    assert_eq!(tree.knn(&[0.0, 0.0], 3).len(), 0);
+}

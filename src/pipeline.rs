@@ -55,7 +55,7 @@ pub fn cluster_summaries<S, F, I>(
     members: F,
 ) -> ClusterOutcome
 where
-    S: DataSummary,
+    S: DataSummary + Sync,
     F: FnMut(usize) -> I,
     I: IntoIterator<Item = u64>,
 {
@@ -119,6 +119,12 @@ mod tests {
     /// A tiny cluster that a 5 % random sample nearly erases but that the
     /// bubble summarization keeps — the motivating contrast for data
     /// bubbles over sampling.
+    ///
+    /// Asserts the paper-level invariant — a cluster dominated by the 1 %
+    /// population survives summarization but not a 400-point sample — not
+    /// any exact partition, which depends on the RNG stream. Each stage
+    /// draws from its own seeded RNG so a change in one stage's
+    /// consumption cannot perturb the others.
     #[test]
     fn small_cluster_survives_bubbles_but_not_tiny_sample() {
         let model = MixtureModel::new(
@@ -130,33 +136,67 @@ mod tests {
             0.0,
             (0.0, 100.0),
         );
-        let mut rng = StdRng::seed_from_u64(1234);
-        let mut store = model.populate(8_000, &mut rng);
-        // A small but real third cluster: 1 % of the data.
-        for i in 0..80 {
+        let mut store = model.populate(8_000, &mut StdRng::seed_from_u64(1234));
+        // A small but real third cluster: 1 % of the data, label 2.
+        let small = 80usize;
+        for i in 0..small {
             let t = i as f64 * 0.08;
             store.insert(&[60.0 + t.sin(), 10.0 + t.cos()], Some(2));
         }
+        // Points of the small cluster held by `cluster`, as
+        // (held, cluster size).
+        let label2_share = |cluster: &[u64]| -> (usize, usize) {
+            let held = cluster
+                .iter()
+                .filter(|&&id| store.label(idb_store::PointId(id as u32)) == Some(2))
+                .count();
+            (held, cluster.len())
+        };
 
+        // 200 bubbles ≈ 40 points per bubble: enough summarization
+        // resolution that the 80-point cluster occupies its own bubbles
+        // (the paper sizes its bubble populations the same way).
         let mut search = SearchStats::new();
-        let ib =
-            IncrementalBubbles::build(&store, MaintainerConfig::new(120), &mut rng, &mut search);
+        let ib = IncrementalBubbles::build(
+            &store,
+            MaintainerConfig::new(200),
+            &mut StdRng::seed_from_u64(1000),
+            &mut search,
+        );
         let bubble_outcome = cluster_bubbles(&ib, 6, 40);
-        assert_eq!(
-            bubble_outcome.clusters.len(),
-            3,
-            "bubbles keep the 1 % cluster"
+        // The big clusters are found...
+        assert!(
+            bubble_outcome.clusters.len() >= 2,
+            "expected at least the two big clusters, got {}",
+            bubble_outcome.clusters.len()
+        );
+        // ...and the 1 % cluster survives: some extracted cluster holds the
+        // majority of its points and consists mostly of them.
+        let survived = bubble_outcome.clusters.iter().any(|c| {
+            let (held, size) = label2_share(c);
+            held * 2 > small && held * 2 > size
+        });
+        assert!(
+            survived,
+            "bubbles lost the 1 % cluster: {:?}",
+            bubble_outcome
+                .clusters
+                .iter()
+                .map(|c| label2_share(c))
+                .collect::<Vec<_>>()
         );
 
-        let (sample_outcome, sample) = cluster_sample(&store, 400, 6, 40, &mut rng);
+        let (sample_outcome, sample) =
+            cluster_sample(&store, 400, 6, 40, &mut StdRng::seed_from_u64(4321));
         assert_eq!(sample.len(), 400);
-        // In a 400-point sample the small cluster has ~4 points — far below
-        // the extraction minimum, so at most the two big clusters appear.
-        assert!(
-            sample_outcome.clusters.len() <= 2,
-            "a tiny sample loses the small cluster ({} clusters)",
-            sample_outcome.clusters.len()
-        );
+        // A 400-point sample holds ~4 of the small cluster's points — far
+        // below the extraction minimum, so no extracted cluster can be
+        // dominated by it.
+        let sample_kept = sample_outcome.clusters.iter().any(|c| {
+            let (held, size) = label2_share(c);
+            held * 2 > size
+        });
+        assert!(!sample_kept, "a tiny sample cannot keep the 1 % cluster");
         // Sample cluster ids refer to the original store.
         for c in &sample_outcome.clusters {
             for &id in c {
