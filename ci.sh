@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Full local CI gate: build, tests (in both parallelism modes), lints,
-# formatting, bench compilation.
+# Full local CI gate: build, tests (in both parallelism modes and under
+# every seed-search engine), lints, formatting, bench compilation.
 #
 # The tier-1 gate is `cargo build --release && cargo test -q` at the repo
 # root; this script runs that plus the workspace-wide test suite — twice,
 # once per parallel execution mode (the IDB_PARALLELISM default, see
-# DESIGN.md §9), which must be observationally identical — clippy with
+# DESIGN.md §9), which must be observationally identical — the
+# differential suites once per assignment engine (the IDB_SEED_SEARCH
+# default, see DESIGN.md §10), which must be bit-identical — clippy with
 # warnings promoted to errors, a formatting check, and a compile check of
 # the criterion benches.
 set -euo pipefail
@@ -16,6 +18,13 @@ IDB_PARALLELISM=serial cargo test -q
 IDB_PARALLELISM=serial cargo test -q --workspace
 IDB_PARALLELISM=auto cargo test -q
 IDB_PARALLELISM=auto cargo test -q --workspace
+# Re-run the equivalence suites with each engine as the config default:
+# tests that don't pin an engine must pass — and agree — under all three.
+for engine in brute pruned kdtree; do
+    IDB_SEED_SEARCH="$engine" cargo test -q -p idb-geometry --test differential
+    IDB_SEED_SEARCH="$engine" cargo test -q -p idb-core --test differential
+    IDB_SEED_SEARCH="$engine" cargo test -q -p idb-core --test properties
+done
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 cargo bench --no-run

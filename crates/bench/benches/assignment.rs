@@ -1,9 +1,10 @@
 //! Bench: point-to-seed assignment — brute force vs. triangle-inequality
-//! pruning (the paper's Section 3 / Figure 10 claim, in wall-clock form).
+//! pruning vs. the k-d tree seed index (the paper's Section 3 / Figure 10
+//! claim, in wall-clock form).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use idb_bench::random_fixture;
-use idb_core::{AssignStrategy, IncrementalBubbles, MaintainerConfig};
+use idb_core::{IncrementalBubbles, MaintainerConfig, SeedSearch};
 use idb_geometry::SearchStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,36 +20,25 @@ fn bench_assignment(c: &mut Criterion) {
     ] {
         let (store, _) = random_fixture(dim, size, 7);
         let label = format!("d{dim}_n{size}_s{bubbles}");
-        group.bench_with_input(BenchmarkId::new("brute", &label), &store, |b, store| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(1);
-                let mut stats = SearchStats::new();
-                let ib = IncrementalBubbles::build(
-                    store,
-                    MaintainerConfig::new(bubbles).with_strategy(AssignStrategy::Brute),
-                    &mut rng,
-                    &mut stats,
-                );
-                black_box(ib.total_points())
-            });
-        });
-        group.bench_with_input(
-            BenchmarkId::new("triangle_inequality", &label),
-            &store,
-            |b, store| {
+        for (name, engine) in [
+            ("brute", SeedSearch::Brute),
+            ("triangle_inequality", SeedSearch::Pruned),
+            ("kdtree", SeedSearch::KdTree),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, &label), &store, |b, store| {
                 b.iter(|| {
                     let mut rng = StdRng::seed_from_u64(1);
                     let mut stats = SearchStats::new();
                     let ib = IncrementalBubbles::build(
                         store,
-                        MaintainerConfig::new(bubbles),
+                        MaintainerConfig::new(bubbles).with_seed_search(engine),
                         &mut rng,
                         &mut stats,
                     );
                     black_box(ib.total_points())
                 });
-            },
-        );
+            });
+        }
     }
     group.finish();
 }

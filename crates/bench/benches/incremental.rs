@@ -3,7 +3,7 @@
 //! Figure 11 claim, in wall-clock form).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use idb_core::{AssignStrategy, IncrementalBubbles, MaintainerConfig};
+use idb_core::{IncrementalBubbles, MaintainerConfig, SeedSearch};
 use idb_geometry::SearchStats;
 use idb_synth::{ScenarioEngine, ScenarioKind, ScenarioSpec};
 use rand::rngs::StdRng;
@@ -58,7 +58,7 @@ fn bench_incremental_vs_rebuild(c: &mut Criterion) {
                 let mut stats = SearchStats::new();
                 let rebuilt = IncrementalBubbles::build(
                     &store,
-                    MaintainerConfig::new(bubbles).with_strategy(AssignStrategy::Brute),
+                    MaintainerConfig::new(bubbles).with_seed_search(SeedSearch::Brute),
                     &mut rng,
                     &mut stats,
                 );

@@ -428,8 +428,8 @@ fn check_dendrogram_valid(pts: &[Vec<f64>], linkage: Linkage, seed: u64) -> Resu
                             v[k] += pts[x][k];
                         }
                     }
-                    for k in 0..dim {
-                        v[k] /= c.len() as f64;
+                    for vk in &mut v {
+                        *vk /= c.len() as f64;
                     }
                     v
                 };

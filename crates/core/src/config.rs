@@ -1,17 +1,6 @@
 //! Configuration of the incremental maintainer.
 
-pub use idb_geometry::Parallelism;
-
-/// How points are assigned to their closest seed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AssignStrategy {
-    /// Compute the distance to every seed (the standard implementation the
-    /// paper optimizes away).
-    Brute,
-    /// Triangle-inequality pruning over the seed distance matrix
-    /// (Section 3, Figure 2).
-    TriangleInequality,
-}
+pub use idb_geometry::{Parallelism, SeedSearch};
 
 /// Which compression-quality measure classifies the bubbles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,8 +32,18 @@ pub struct MaintainerConfig {
     /// Chebyshev coverage probability `p` of Definition 3 (the paper uses
     /// 0.9 and validates 0.8); determines `k = 1/sqrt(1-p)`.
     pub probability: f64,
-    /// Assignment strategy for construction, insertion and redistribution.
-    pub strategy: AssignStrategy,
+    /// Nearest-seed engine for construction, insertion and redistribution:
+    /// brute force, triangle-inequality pruning over the seed distance
+    /// matrix (Section 3, Figure 2), or a k-d tree over the seeds. Every
+    /// engine returns bit-identical assignments; they differ only in how
+    /// many distance computations they spend.
+    pub seed_search: SeedSearch,
+    /// Whether the maintainer passes warm-start hints (the point's previous
+    /// bubble, a merged bubble's nearest surviving neighbour, the last
+    /// insertion target) to the pruned engines. Hints never change results
+    /// — disabling this is an ablation knob that isolates their effect on
+    /// the distance-computation counters.
+    pub warm_start: bool,
     /// Quality measure used by [`maintain`](crate::incremental::IncrementalBubbles::maintain).
     pub quality: QualityKind,
     /// Split seed selection policy.
@@ -57,17 +56,20 @@ pub struct MaintainerConfig {
 }
 
 impl MaintainerConfig {
-    /// Paper defaults: triangle-inequality assignment, β quality measure at
-    /// `p = 0.9`, random split seeds. Parallelism defaults to the
-    /// environment mode (`IDB_PARALLELISM`, serial when unset) so a whole
-    /// test or experiment run can be pinned without touching call sites.
+    /// Paper defaults: triangle-inequality (pruned) assignment with
+    /// warm-start hints, β quality measure at `p = 0.9`, random split
+    /// seeds. Both the seed-search engine and the parallelism default to
+    /// their environment modes (`IDB_SEED_SEARCH` / `IDB_PARALLELISM`,
+    /// pruned and serial when unset) so a whole test or experiment run can
+    /// be pinned without touching call sites.
     #[must_use]
     pub fn new(num_bubbles: usize) -> Self {
         assert!(num_bubbles >= 2, "at least two bubbles are required");
         Self {
             num_bubbles,
             probability: 0.9,
-            strategy: AssignStrategy::TriangleInequality,
+            seed_search: SeedSearch::default(),
+            warm_start: true,
             quality: QualityKind::Beta,
             split_seeds: SplitSeedPolicy::Random,
             parallelism: Parallelism::default(),
@@ -85,10 +87,17 @@ impl MaintainerConfig {
         self
     }
 
-    /// Sets the assignment strategy.
+    /// Sets the nearest-seed search engine.
     #[must_use]
-    pub fn with_strategy(mut self, strategy: AssignStrategy) -> Self {
-        self.strategy = strategy;
+    pub fn with_seed_search(mut self, engine: SeedSearch) -> Self {
+        self.seed_search = engine;
+        self
+    }
+
+    /// Enables or disables warm-start hints on the assignment paths.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
         self
     }
 
@@ -123,10 +132,12 @@ mod tests {
         let c = MaintainerConfig::new(100);
         assert_eq!(c.num_bubbles, 100);
         assert_eq!(c.probability, 0.9);
-        assert_eq!(c.strategy, AssignStrategy::TriangleInequality);
+        // The engine default tracks the environment knob (pruned unless
+        // IDB_SEED_SEARCH overrides it), mirroring parallelism.
+        assert_eq!(c.seed_search, SeedSearch::default());
+        assert!(c.warm_start);
         assert_eq!(c.quality, QualityKind::Beta);
         assert_eq!(c.split_seeds, SplitSeedPolicy::Random);
-        // The parallelism default tracks the environment knob.
         assert_eq!(c.parallelism, Parallelism::default());
     }
 
@@ -134,12 +145,14 @@ mod tests {
     fn builder_methods_chain() {
         let c = MaintainerConfig::new(50)
             .with_probability(0.8)
-            .with_strategy(AssignStrategy::Brute)
+            .with_seed_search(SeedSearch::Brute)
+            .with_warm_start(false)
             .with_quality(QualityKind::Extent)
             .with_split_seeds(SplitSeedPolicy::Spread)
             .with_parallelism(Parallelism::Threads(3));
         assert_eq!(c.probability, 0.8);
-        assert_eq!(c.strategy, AssignStrategy::Brute);
+        assert_eq!(c.seed_search, SeedSearch::Brute);
+        assert!(!c.warm_start);
         assert_eq!(c.quality, QualityKind::Extent);
         assert_eq!(c.split_seeds, SplitSeedPolicy::Spread);
         assert_eq!(c.parallelism, Parallelism::Threads(3));

@@ -5,9 +5,10 @@
 //!
 //! * **Construction** ([`IncrementalBubbles::build`]): `s` seeds are drawn
 //!   uniformly from the database and every point is assigned to its closest
-//!   seed — by brute force or with the triangle-inequality pruning of
-//!   Section 3, per [`MaintainerConfig::strategy`]. The *complete rebuild*
-//!   baseline of the evaluation is this same function invoked afresh.
+//!   seed — by brute force, with the triangle-inequality pruning of
+//!   Section 3, or through a k-d tree over the seeds, per
+//!   [`MaintainerConfig::seed_search`]. The *complete rebuild* baseline of
+//!   the evaluation is this same function invoked afresh.
 //! * **Updates**: deleting a point maps its bubble's statistics to
 //!   `(n−1, LS−p, SS−p²)`; inserting assigns the new point to the closest
 //!   seed and maps that bubble to `(n+1, LS+p, SS+p²)` (Figure 3).
@@ -23,10 +24,16 @@
 //!   the rest of the population adapts in place.
 //!
 //! All point-to-seed distance work is charged to the caller's
-//! [`SearchStats`], which is what Figures 10 and 11 measure.
+//! [`SearchStats`], which is what Figures 10 and 11 measure. The dynamic
+//! paths additionally thread *warm-start hints* into the pruned engines
+//! (see [`MaintainerConfig::warm_start`]): an insertion starts its search
+//! at the previous insertion's bubble, a merged-away donor's points start
+//! at the donor's nearest surviving neighbour, and a repair sweep starts
+//! each uncovered point at its prior owner. Hints tighten the pruning
+//! bound early and never change any result.
 
 use crate::bubble::Bubble;
-use crate::config::{AssignStrategy, MaintainerConfig, Parallelism, SplitSeedPolicy};
+use crate::config::{MaintainerConfig, Parallelism, SplitSeedPolicy};
 use crate::error::{AuditError, AuditIssue, AuditReport, RepairReport, UpdateError};
 use crate::quality::{classify, Classification};
 use idb_geometry::parallel::run_chunks;
@@ -126,7 +133,11 @@ pub struct IncrementalBubbles {
     /// slot -> position inside the owning bubble's member vector.
     member_pos: Vec<u32>,
     total_points: u64,
-    scratch: Vec<u32>,
+    /// Bubble that received the most recent insertion — the warm-start
+    /// hint for the next one (update streams are typically spatially
+    /// correlated). `NONE` until the first insertion; purely an
+    /// accounting optimization, never affects results.
+    last_insert: u32,
 }
 
 impl IncrementalBubbles {
@@ -171,7 +182,7 @@ impl IncrementalBubbles {
             assign: vec![NONE; store.slots()],
             member_pos: vec![NONE; store.slots()],
             total_points: 0,
-            scratch: Vec::new(),
+            last_insert: NONE,
         };
         let mut ids = Vec::with_capacity(store.len());
         let mut flat = Vec::with_capacity(store.len() * dim);
@@ -179,7 +190,8 @@ impl IncrementalBubbles {
             ids.push(id);
             flat.extend_from_slice(p);
         }
-        let targets = this.batch_targets(&flat, None, search);
+        // A fresh build has no assignment history to warm-start from.
+        let targets = this.batch_targets(&flat, None, None, search);
         for (&id, &(b, _)) in ids.iter().zip(&targets) {
             this.attach(id, b as usize, store.point(id));
             this.total_points += 1;
@@ -212,24 +224,26 @@ impl IncrementalBubbles {
     }
 
     /// Nearest eligible seed for every point in the flat `queries` buffer,
-    /// under the configured strategy and parallelism. Counter merging
-    /// keeps `search` bit-identical to a serial scan.
+    /// under the configured engine and parallelism. `hints` carries one
+    /// warm-start seed per query ([`idb_geometry::NO_HINT`] for none) and
+    /// is dropped wholesale when [`MaintainerConfig::warm_start`] is off.
+    /// Counter merging keeps `search` bit-identical to a serial scan.
     fn batch_targets(
         &self,
         queries: &[f64],
         exclude: Option<usize>,
+        hints: Option<&[u32]>,
         search: &mut SearchStats,
     ) -> Vec<(u32, f64)> {
-        match self.config.strategy {
-            AssignStrategy::Brute => {
-                self.seeds
-                    .nearest_batch_brute(queries, exclude, self.config.parallelism, search)
-            }
-            AssignStrategy::TriangleInequality => {
-                self.seeds
-                    .nearest_batch_pruned(queries, exclude, self.config.parallelism, search)
-            }
-        }
+        let hints = if self.config.warm_start { hints } else { None };
+        self.seeds.nearest_batch(
+            queries,
+            exclude,
+            self.config.seed_search,
+            hints,
+            self.config.parallelism,
+            search,
+        )
     }
 
     /// The configuration in effect.
@@ -300,21 +314,19 @@ impl IncrementalBubbles {
         }
     }
 
-    /// Finds the closest seed to `p` under the configured strategy.
+    /// Finds the closest seed to `p` under the configured engine, starting
+    /// the pruned search at `hint` when warm-starting is enabled.
     fn nearest(
-        &mut self,
+        &self,
         p: &[f64],
         exclude: Option<usize>,
+        hint: Option<usize>,
         search: &mut SearchStats,
     ) -> Option<usize> {
-        match self.config.strategy {
-            AssignStrategy::Brute => self.seeds.nearest_brute(p, exclude, search),
-            AssignStrategy::TriangleInequality => {
-                self.seeds
-                    .nearest_pruned_with(p, exclude, None, search, &mut self.scratch)
-            }
-        }
-        .map(|(i, _)| i)
+        let hint = if self.config.warm_start { hint } else { None };
+        self.seeds
+            .nearest(self.config.seed_search, p, exclude, hint, search)
+            .map(|(i, _)| i)
     }
 
     /// Attaches a point to a bubble, maintaining the membership tables.
@@ -352,13 +364,22 @@ impl IncrementalBubbles {
     /// Handles the insertion of point `id` with coordinates `p`: the point
     /// is assigned to its closest seed and that bubble's statistics are
     /// incremented. The point must already be live in the store.
+    ///
+    /// The search warm-starts at the bubble the *previous* insertion
+    /// landed in — update streams are spatially correlated, so that seed
+    /// usually yields a tight pruning bound immediately.
     pub fn insert_point(&mut self, id: PointId, p: &[f64], search: &mut SearchStats) {
         assert_eq!(p.len(), self.dim, "point dimensionality mismatch");
         self.ensure_slots(id.index() + 1);
+        let hint = match self.last_insert {
+            NONE => None,
+            b => Some(b as usize),
+        };
         let bubble = self
-            .nearest(p, None, search)
+            .nearest(p, None, hint, search)
             .expect("bubble population is never empty");
         self.attach(id, bubble, p);
+        self.last_insert = bubble as u32;
         self.total_points += 1;
     }
 
@@ -485,6 +506,9 @@ impl IncrementalBubbles {
     /// (the seed set does not change while they run), so they are computed
     /// as one batch under the configured parallelism and then attached in
     /// member order — bit-identical to the serial point-at-a-time loop.
+    /// Every search warm-starts at the donor's nearest surviving
+    /// neighbour: the donor held these points, so its closest other seed
+    /// is almost always at (or very near) the true answer.
     fn merge_away(&mut self, donor: usize, store: &PointStore, search: &mut SearchStats) -> u64 {
         let members = self.bubbles[donor].take_members();
         self.bubbles[donor].stats_mut().clear();
@@ -493,8 +517,15 @@ impl IncrementalBubbles {
         for &id in &members {
             flat.extend_from_slice(store.point(id));
         }
+        let hint = self
+            .seeds
+            .neighbor_order(donor)
+            .iter()
+            .copied()
+            .find(|&k| k as usize != donor);
+        let hints = hint.map(|h| vec![h; members.len()]);
         // The donor must not re-attract its own points.
-        let targets = self.batch_targets(&flat, Some(donor), search);
+        let targets = self.batch_targets(&flat, Some(donor), hints.as_deref(), search);
         for (&id, &(target, _)) in members.iter().zip(&targets) {
             let slot = id.index();
             self.assign[slot] = NONE;
@@ -806,7 +837,7 @@ impl IncrementalBubbles {
             assign,
             member_pos,
             total_points,
-            scratch: Vec::new(),
+            last_insert: NONE,
         }
     }
 
@@ -1089,7 +1120,9 @@ impl IncrementalBubbles {
     ///    matrix — re-drawn from a random live point when non-finite;
     /// 4. every live point left uncovered (drained, or inconsistent to
     ///    begin with) is reattached to its nearest seed, exactly like an
-    ///    insertion;
+    ///    insertion — warm-starting each search at the point's prior
+    ///    owner (captured before the drain), which is usually still the
+    ///    nearest or second-nearest seed;
     /// 5. the tracked point total is recomputed.
     ///
     /// Healthy bubbles keep their members, statistics and seeds untouched
@@ -1128,6 +1161,10 @@ impl IncrementalBubbles {
                 report.cleared_stale_assignments += 1;
             }
         }
+
+        // Remember who owned each slot before the drain: step 4 uses the
+        // prior owner as the warm-start hint for the reattachment search.
+        let prior = self.assign.clone();
 
         // 2. Drain the quarantined bubbles (members released, stats reset).
         for (bi, q) in quarantined.iter().enumerate() {
@@ -1183,8 +1220,12 @@ impl IncrementalBubbles {
             }
             self.assign[slot] = NONE;
             self.member_pos[slot] = NONE;
+            let hint = match prior.get(slot) {
+                Some(&a) if a != NONE && (a as usize) < self.bubbles.len() => Some(a as usize),
+                _ => None,
+            };
             let target = self
-                .nearest(p, None, search)
+                .nearest(p, None, hint, search)
                 .expect("bubble population is never empty");
             self.attach(id, target, p);
             report.reassigned_points += 1;
@@ -1249,7 +1290,7 @@ impl IncrementalBubbles {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::QualityKind;
+    use crate::config::{QualityKind, SeedSearch};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -1275,8 +1316,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let store = toy_store(&mut rng);
         let mut search = SearchStats::new();
-        let ib =
-            IncrementalBubbles::build(&store, MaintainerConfig::new(10), &mut rng, &mut search);
+        // Pinned to the pruned engine: the assertions below are about its
+        // accounting, independent of the IDB_SEED_SEARCH environment.
+        let ib = IncrementalBubbles::build(
+            &store,
+            MaintainerConfig::new(10).with_seed_search(SeedSearch::Pruned),
+            &mut rng,
+            &mut search,
+        );
         assert_eq!(ib.num_bubbles(), 10);
         assert_eq!(ib.total_points(), store.len() as u64);
         ib.validate(&store);
@@ -1286,28 +1333,82 @@ mod tests {
     }
 
     #[test]
-    fn brute_and_ti_builds_summarize_identically() {
-        // Same RNG seed → same bubble seeds → identical assignment counts.
-        let mut rng_a = StdRng::seed_from_u64(21);
-        let mut rng_b = StdRng::seed_from_u64(21);
+    fn every_engine_builds_the_identical_summary() {
+        // Same RNG seed → same bubble seeds → identical assignments; the
+        // engines differ only in how many distances they actually compute.
         let store = {
             let mut r = StdRng::seed_from_u64(3);
             toy_store(&mut r)
         };
-        let mut sa = SearchStats::new();
+        let mut brute_rng = StdRng::seed_from_u64(21);
         let mut sb = SearchStats::new();
-        let a = IncrementalBubbles::build(
+        let brute = IncrementalBubbles::build(
             &store,
-            MaintainerConfig::new(8).with_strategy(AssignStrategy::Brute),
-            &mut rng_a,
-            &mut sa,
+            MaintainerConfig::new(8).with_seed_search(SeedSearch::Brute),
+            &mut brute_rng,
+            &mut sb,
         );
-        let b = IncrementalBubbles::build(&store, MaintainerConfig::new(8), &mut rng_b, &mut sb);
-        let na: Vec<u64> = a.bubbles().iter().map(|x| x.stats().n()).collect();
-        let nb: Vec<u64> = b.bubbles().iter().map(|x| x.stats().n()).collect();
-        assert_eq!(na, nb, "strategies agree on the summarization");
-        assert_eq!(sa.pruned, 0);
-        assert!(sb.computed < sa.computed, "TI computes fewer distances");
+        let nb: Vec<u64> = brute.bubbles().iter().map(|x| x.stats().n()).collect();
+        assert_eq!(sb.pruned, 0);
+        assert_eq!(sb.partial, 0);
+        for engine in [SeedSearch::Pruned, SeedSearch::KdTree] {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut se = SearchStats::new();
+            let e = IncrementalBubbles::build(
+                &store,
+                MaintainerConfig::new(8).with_seed_search(engine),
+                &mut rng,
+                &mut se,
+            );
+            let ne: Vec<u64> = e.bubbles().iter().map(|x| x.stats().n()).collect();
+            assert_eq!(nb, ne, "{engine:?} agrees on the summarization");
+            assert!(
+                se.computed < sb.computed,
+                "{engine:?} computes fewer distances"
+            );
+            assert_eq!(se.total(), sb.total(), "{engine:?} accounts every seed");
+        }
+    }
+
+    #[test]
+    fn warm_start_never_changes_results_and_saves_work() {
+        // The same dynamic history (build, batch, maintenance, retirement)
+        // replayed with and without warm-start hints: bit-identical
+        // summaries, strictly cheaper accounting with hints.
+        let run = |warm: bool| {
+            let mut rng = StdRng::seed_from_u64(77);
+            let mut store = toy_store(&mut rng);
+            let mut search = SearchStats::new();
+            let config = MaintainerConfig::new(10)
+                .with_seed_search(SeedSearch::Pruned)
+                .with_warm_start(warm);
+            let mut ib = IncrementalBubbles::build(&store, config, &mut rng, &mut search);
+            let batch = Batch {
+                deletes: store.ids().take(20).collect(),
+                inserts: (0..120)
+                    .map(|i| {
+                        let t = i as f64 * 0.05;
+                        (vec![150.0 + t.sin() * 3.0, 150.0 + t.cos() * 3.0], Some(4))
+                    })
+                    .collect(),
+            };
+            ib.apply_batch(&mut store, &batch, &mut search);
+            ib.maintain(&store, &mut rng, &mut search);
+            ib.retire_bubble(0, &store, &mut search);
+            ib.validate(&store);
+            let ns: Vec<u64> = ib.bubbles().iter().map(|b| b.stats().n()).collect();
+            (ns, search)
+        };
+        let (cold_ns, cold) = run(false);
+        let (warm_ns, warm) = run(true);
+        assert_eq!(cold_ns, warm_ns, "hints never change the summarization");
+        assert_eq!(cold.total(), warm.total(), "same candidates accounted");
+        assert!(
+            warm.computed < cold.computed,
+            "warm-start saves distance computations ({} vs {})",
+            warm.computed,
+            cold.computed
+        );
     }
 
     #[test]

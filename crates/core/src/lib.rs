@@ -24,7 +24,8 @@
 //!   with exact statistics updates, batch application, and the synchronized
 //!   merge/split maintenance of Section 4.2;
 //! * [`config`] — tuning knobs (number of bubbles, Chebyshev probability,
-//!   assignment strategy, quality measure, split seed policy);
+//!   seed-search engine and warm-start hints, quality measure, split seed
+//!   policy);
 //! * [`error`] — the typed failure surface of the fault-tolerant entry
 //!   points: batch validation errors, the invariant auditor's findings,
 //!   and the audit/repair reports.
@@ -45,7 +46,7 @@ pub mod snapshot;
 pub mod stats;
 
 pub use bubble::{Bubble, DataSummary};
-pub use config::{AssignStrategy, MaintainerConfig, Parallelism, QualityKind, SplitSeedPolicy};
+pub use config::{MaintainerConfig, Parallelism, QualityKind, SeedSearch, SplitSeedPolicy};
 pub use error::{AuditError, AuditIssue, AuditReport, RepairReport, UpdateError};
 pub use incremental::{AdaptivePolicy, AdaptiveReport, IncrementalBubbles, MaintenanceReport};
 pub use quality::{chebyshev_k, BubbleClass, Classification};

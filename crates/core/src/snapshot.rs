@@ -9,7 +9,7 @@
 //! rejected instead of silently producing a corrupt summary.
 
 use crate::bubble::Bubble;
-use crate::config::{AssignStrategy, MaintainerConfig, QualityKind, SplitSeedPolicy};
+use crate::config::{MaintainerConfig, QualityKind, SeedSearch, SplitSeedPolicy};
 use crate::incremental::IncrementalBubbles;
 use crate::stats::SufficientStats;
 use idb_geometry::NearestSeeds;
@@ -23,9 +23,14 @@ use std::io::{Read, Write};
 const MAGIC: &[u8; 4] = b"IDBB";
 
 fn enum_to_u8(config: &MaintainerConfig) -> (u8, u8, u8) {
-    let strategy = match config.strategy {
-        AssignStrategy::Brute => 0u8,
-        AssignStrategy::TriangleInequality => 1,
+    // `1` is the historical TriangleInequality encoding, which the pruned
+    // engine supersedes; snapshots written before the engine enum existed
+    // therefore decode to the equivalent engine. Runtime-only knobs
+    // (warm_start, parallelism) are not persisted.
+    let engine = match config.seed_search {
+        SeedSearch::Brute => 0u8,
+        SeedSearch::Pruned => 1,
+        SeedSearch::KdTree => 2,
     };
     let quality = match config.quality {
         QualityKind::Beta => 0u8,
@@ -35,20 +40,21 @@ fn enum_to_u8(config: &MaintainerConfig) -> (u8, u8, u8) {
         SplitSeedPolicy::Random => 0u8,
         SplitSeedPolicy::Spread => 1,
     };
-    (strategy, quality, split)
+    (engine, quality, split)
 }
 
 fn u8_to_enums(
-    strategy: u8,
+    engine: u8,
     quality: u8,
     split: u8,
-) -> Result<(AssignStrategy, QualityKind, SplitSeedPolicy), SnapshotError> {
-    let strategy = match strategy {
-        0 => AssignStrategy::Brute,
-        1 => AssignStrategy::TriangleInequality,
+) -> Result<(SeedSearch, QualityKind, SplitSeedPolicy), SnapshotError> {
+    let engine = match engine {
+        0 => SeedSearch::Brute,
+        1 => SeedSearch::Pruned,
+        2 => SeedSearch::KdTree,
         other => {
             return Err(SnapshotError::Corrupt(format!(
-                "unknown assignment strategy {other}"
+                "unknown seed-search engine {other}"
             )))
         }
     };
@@ -70,7 +76,7 @@ fn u8_to_enums(
             )))
         }
     };
-    Ok((strategy, quality, split))
+    Ok((engine, quality, split))
 }
 
 impl IncrementalBubbles {
@@ -153,7 +159,7 @@ impl IncrementalBubbles {
         }
         let mut enums = [0u8; 3];
         r.read_exact(&mut enums)?;
-        let (strategy, quality, split) = u8_to_enums(enums[0], enums[1], enums[2])?;
+        let (engine, quality, split) = u8_to_enums(enums[0], enums[1], enums[2])?;
         if num_bubbles < 2 {
             return Err(SnapshotError::Corrupt(format!(
                 "implausible bubble count {num_bubbles}"
@@ -161,7 +167,7 @@ impl IncrementalBubbles {
         }
         let config = MaintainerConfig::new(num_bubbles)
             .with_probability(probability)
-            .with_strategy(strategy)
+            .with_seed_search(engine)
             .with_quality(quality)
             .with_split_seeds(split);
 

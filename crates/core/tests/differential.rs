@@ -11,9 +11,14 @@
 //! fault-injected batches through `Serial` vs `Threads(2 | 4 | 8)` flows
 //! with identically seeded RNGs and demands exact equality of the full
 //! observable state after every step.
+//!
+//! The same contract holds across the *assignment engines*
+//! ([`SeedSearch`]) and the warm-start toggle: every engine, hinted or
+//! not, must leave the identical summary — they may only differ in how
+//! the per-candidate accounting splits into computed/pruned/partial.
 
 use idb_core::{
-    AssignStrategy, AuditError, AuditReport, IncrementalBubbles, MaintainerConfig, Parallelism,
+    AuditError, AuditReport, IncrementalBubbles, MaintainerConfig, Parallelism, SeedSearch,
 };
 use idb_geometry::SearchStats;
 use idb_store::{Batch, PointId, PointStore};
@@ -69,13 +74,14 @@ fn random_store(rng: &mut StdRng, dim: usize, n: usize) -> PointStore {
 }
 
 fn random_config(rng: &mut StdRng, num_bubbles: usize, par: Parallelism) -> MaintainerConfig {
-    let strategy = if rng.gen_bool(0.5) {
-        AssignStrategy::TriangleInequality
-    } else {
-        AssignStrategy::Brute
+    let engine = match rng.gen_range(0..3) {
+        0 => SeedSearch::Brute,
+        1 => SeedSearch::Pruned,
+        _ => SeedSearch::KdTree,
     };
     MaintainerConfig::new(num_bubbles)
-        .with_strategy(strategy)
+        .with_seed_search(engine)
+        .with_warm_start(rng.gen_bool(0.5))
         .with_parallelism(par)
 }
 
@@ -136,8 +142,7 @@ fn build_is_bit_identical_across_modes() {
                 "case {case_no} ({par:?}): built state diverged"
             );
             assert_eq!(
-                (stats.computed, stats.pruned),
-                (serial_stats.computed, serial_stats.pruned),
+                stats, serial_stats,
                 "case {case_no} ({par:?}): distance accounting diverged"
             );
             assert_assignments_consistent(&parallel);
@@ -173,7 +178,7 @@ fn update_and_maintenance_flows_are_bit_identical() {
                 ib.apply_batch(&mut store, &batch, &mut stats);
                 let report = ib.maintain(&store, &mut flow_rng, &mut stats);
                 assert_assignments_consistent(&ib);
-                trace.push((fingerprint(&ib), report, (stats.computed, stats.pruned)));
+                trace.push((fingerprint(&ib), report, stats));
             }
             trace
         };
@@ -286,11 +291,7 @@ fn fault_injected_batches_fail_identically_across_modes() {
                 );
                 // Compare errors by their rendering: `NonFiniteCoordinate`
                 // carries the NaN itself, and NaN != NaN under PartialEq.
-                (
-                    format!("{err:?}"),
-                    fingerprint(&ib),
-                    (stats.computed, stats.pruned),
-                )
+                (format!("{err:?}"), fingerprint(&ib), stats)
             };
 
             let serial = run(Parallelism::Serial);
@@ -327,7 +328,7 @@ fn dynamic_scenarios_are_bit_identical_across_modes() {
                 eng.confirm(&inserted);
                 ib.maintain(&store, &mut rng, &mut stats);
                 ib.audit(&store).expect("invariants hold after maintenance");
-                trace.push((fingerprint(&ib), (stats.computed, stats.pruned)));
+                trace.push((fingerprint(&ib), stats));
             }
             trace
         };
@@ -335,6 +336,73 @@ fn dynamic_scenarios_are_bit_identical_across_modes() {
         let serial = run(Parallelism::Serial);
         for par in THREAD_MODES {
             assert_eq!(run(par), serial, "{kind:?} ({par:?}): scenario diverged");
+        }
+    }
+}
+
+/// Every assignment engine, warm-started or cold, must produce the
+/// bit-identical summary through a full dynamic flow — build, update
+/// batches, merge/split maintenance (whose released points run the
+/// donor-neighbour warm-start path), and adaptive growth/retirement (whose
+/// splits and releases re-seed the matrix the hints point into). Engines
+/// may only differ in how the per-candidate accounting splits into
+/// computed/pruned/partial; the per-candidate total itself must match, and
+/// the pruned engines must never compute more distances than brute force.
+#[test]
+fn engines_and_warm_start_are_bit_identical_through_dynamic_flows() {
+    const ENGINES: [SeedSearch; 3] = [SeedSearch::Brute, SeedSearch::Pruned, SeedSearch::KdTree];
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0005);
+    for case_no in 0..CASES {
+        let dim = rng.gen_range(1..=3);
+        let num_bubbles = rng.gen_range(3..=8);
+        let n = rng.gen_range(num_bubbles.max(20)..=120);
+        let base_store = random_store(&mut rng, dim, n);
+        let flow_seed: u64 = rng.gen();
+        let adaptive = rng.gen_bool(0.3);
+
+        let run = |engine: SeedSearch, warm: bool| {
+            let mut store = base_store.clone();
+            let config = MaintainerConfig::new(num_bubbles)
+                .with_seed_search(engine)
+                .with_warm_start(warm)
+                .with_parallelism(Parallelism::Serial);
+            let mut flow_rng = StdRng::seed_from_u64(flow_seed);
+            let mut stats = SearchStats::new();
+            let mut ib = IncrementalBubbles::build(&store, config, &mut flow_rng, &mut stats);
+            let mut trace = Vec::new();
+            for round in 0..3 {
+                let batch = random_batch(&store, &mut flow_rng);
+                ib.apply_batch(&mut store, &batch, &mut stats);
+                ib.maintain(&store, &mut flow_rng, &mut stats);
+                if adaptive && round == 1 && ib.num_bubbles() > 2 {
+                    ib.retire_bubble(0, &store, &mut stats);
+                }
+                assert_assignments_consistent(&ib);
+                trace.push(fingerprint(&ib));
+            }
+            (trace, stats)
+        };
+
+        let (brute_trace, brute_stats) = run(SeedSearch::Brute, false);
+        assert_eq!(brute_stats.pruned, 0, "case {case_no}: brute never prunes");
+        assert_eq!(brute_stats.partial, 0, "case {case_no}: brute never aborts");
+        for engine in ENGINES {
+            for warm in [false, true] {
+                let (trace, stats) = run(engine, warm);
+                assert_eq!(
+                    trace, brute_trace,
+                    "case {case_no} ({engine:?}, warm={warm}): summary diverged from brute force"
+                );
+                assert_eq!(
+                    stats.total(),
+                    brute_stats.total(),
+                    "case {case_no} ({engine:?}, warm={warm}): candidate accounting diverged"
+                );
+                assert!(
+                    stats.computed <= brute_stats.computed,
+                    "case {case_no} ({engine:?}, warm={warm}): computed more than brute force"
+                );
+            }
         }
     }
 }

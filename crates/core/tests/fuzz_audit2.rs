@@ -40,7 +40,6 @@ fn snapshot_accepts_slot_reused_diverged_store() {
                     "passes"
                 }
             );
-            assert!(r.is_err() || true);
         }
     }
 }

@@ -8,7 +8,7 @@
 //! matrix matches the actual seeds. `IncrementalBubbles::validate` checks
 //! all of that in O(N); these tests drive it with randomized workloads.
 
-use idb_core::{AssignStrategy, IncrementalBubbles, MaintainerConfig, QualityKind};
+use idb_core::{IncrementalBubbles, MaintainerConfig, QualityKind, SeedSearch};
 use idb_geometry::SearchStats;
 use idb_store::{Batch, PointStore};
 use idb_synth::{ScenarioEngine, ScenarioKind, ScenarioSpec};
@@ -58,10 +58,10 @@ proptest! {
         }
     }
 
-    /// Brute-force and triangle-inequality assignment produce the same
-    /// summarization for identical seeds, on any random database.
+    /// Every assignment engine produces the same summarization for
+    /// identical seeds, on any random database.
     #[test]
-    fn strategies_agree_on_any_database(
+    fn engines_agree_on_any_database(
         seed in 0u64..1_000,
         n in 60usize..400,
         num_bubbles in 4usize..30,
@@ -73,30 +73,33 @@ proptest! {
         let store = engine.populate(&mut data_rng);
 
         let mut s1 = SearchStats::new();
-        let mut s2 = SearchStats::new();
         let mut rng1 = StdRng::seed_from_u64(seed ^ 0xABCD);
-        let mut rng2 = StdRng::seed_from_u64(seed ^ 0xABCD);
         let brute = IncrementalBubbles::build(
             &store,
-            MaintainerConfig::new(num_bubbles).with_strategy(AssignStrategy::Brute),
+            MaintainerConfig::new(num_bubbles).with_seed_search(SeedSearch::Brute),
             &mut rng1,
             &mut s1,
         );
-        let pruned = IncrementalBubbles::build(
-            &store,
-            MaintainerConfig::new(num_bubbles),
-            &mut rng2,
-            &mut s2,
-        );
-        // Identical seed sampling → per-bubble point counts must agree
-        // (individual tie-breaks could differ only for exactly equidistant
-        // seeds, which random data does not produce).
         let na: Vec<u64> = brute.bubbles().iter().map(|b| b.stats().n()).collect();
-        let nb: Vec<u64> = pruned.bubbles().iter().map(|b| b.stats().n()).collect();
-        prop_assert_eq!(na, nb);
-        // TI never computes more distances than brute force.
-        prop_assert!(s2.computed <= s1.computed);
-        prop_assert_eq!(s2.total(), s1.computed);
+        for search_engine in [SeedSearch::Pruned, SeedSearch::KdTree] {
+            let mut s2 = SearchStats::new();
+            let mut rng2 = StdRng::seed_from_u64(seed ^ 0xABCD);
+            let fast = IncrementalBubbles::build(
+                &store,
+                MaintainerConfig::new(num_bubbles).with_seed_search(search_engine),
+                &mut rng2,
+                &mut s2,
+            );
+            // Identical seed sampling → per-bubble point counts must agree
+            // (individual tie-breaks could differ only for exactly
+            // equidistant seeds, which random data does not produce).
+            let nb: Vec<u64> = fast.bubbles().iter().map(|b| b.stats().n()).collect();
+            prop_assert_eq!(&na, &nb, "{:?}", search_engine);
+            // Pruned engines never compute more distances than brute force
+            // and still account every candidate.
+            prop_assert!(s2.computed <= s1.computed);
+            prop_assert_eq!(s2.total(), s1.computed);
+        }
     }
 
     /// Applying a batch and then reversing it restores every bubble's point
@@ -175,8 +178,14 @@ fn long_complex_run_stays_consistent() {
     let mut engine = ScenarioEngine::new(spec);
     let mut store = engine.populate(&mut rng);
     let mut search = SearchStats::new();
-    let mut ib =
-        IncrementalBubbles::build(&store, MaintainerConfig::new(60), &mut rng, &mut search);
+    // Pinned to the pruned engine: the pruning-fraction assertion below is
+    // about its accounting, independent of the IDB_SEED_SEARCH environment.
+    let mut ib = IncrementalBubbles::build(
+        &store,
+        MaintainerConfig::new(60).with_seed_search(SeedSearch::Pruned),
+        &mut rng,
+        &mut search,
+    );
     let mut total_splits = 0usize;
     for _ in 0..25 {
         let batch = engine.plan(&mut rng);

@@ -10,6 +10,11 @@
 //!   computations a complete rebuild **without** triangle inequalities
 //!   performs for every computation the incremental scheme **with**
 //!   triangle inequalities performs over the same batch.
+//!
+//! Only fully evaluated distances ([`SearchStats::computed`]) count toward
+//! the incremental side of the factor: early-exit partial evaluations
+//! ([`SearchStats::partial`]) abandon after a prefix of the dimensions and
+//! are deliberately excluded, keeping the factor conservative.
 
 use idb_geometry::SearchStats;
 
@@ -50,9 +55,30 @@ mod tests {
         let inc = SearchStats {
             computed: 50_000,
             pruned: 150_000,
+            partial: 0,
         };
         let f = distance_saving_factor(100_000, 100, inc);
         assert!((f - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_evaluations_do_not_shrink_the_factor() {
+        // Early-exit partials abandon after a prefix of the dimensions;
+        // only full computations count against the incremental scheme.
+        let full_only = SearchStats {
+            computed: 50_000,
+            pruned: 150_000,
+            partial: 0,
+        };
+        let with_partials = SearchStats {
+            computed: 50_000,
+            pruned: 100_000,
+            partial: 50_000,
+        };
+        assert_eq!(
+            distance_saving_factor(100_000, 100, full_only),
+            distance_saving_factor(100_000, 100, with_partials),
+        );
     }
 
     #[test]
@@ -70,10 +96,12 @@ mod tests {
         let small = SearchStats {
             computed: 2_000 * 30,
             pruned: 0,
+            partial: 0,
         };
         let large = SearchStats {
             computed: 10_000 * 30,
             pruned: 0,
+            partial: 0,
         };
         assert!(distance_saving_factor(n, s, small) > distance_saving_factor(n, s, large));
     }

@@ -26,6 +26,7 @@ fn merged_counters_sum_like_one_counter() {
             .map(|_| SearchStats {
                 computed: rng.gen_range(0..10_000),
                 pruned: rng.gen_range(0..10_000),
+                partial: rng.gen_range(0..10_000),
             })
             .collect();
         let mut merged = SearchStats::new();
@@ -37,6 +38,10 @@ fn merged_counters_sum_like_one_counter() {
             shares.iter().map(|s| s.computed).sum::<u64>()
         );
         assert_eq!(merged.pruned, shares.iter().map(|s| s.pruned).sum::<u64>());
+        assert_eq!(
+            merged.partial,
+            shares.iter().map(|s| s.partial).sum::<u64>()
+        );
         // The saving factor only sees the merged totals; chunking must not
         // be observable through it.
         let n = rng.gen_range(1..1_000_000u64);
@@ -78,10 +83,7 @@ fn parallel_assignment_counters_yield_identical_accounting() {
         ] {
             let mut stats = SearchStats::new();
             seeds.nearest_batch_pruned(&queries, None, par, &mut stats);
-            assert_eq!(
-                (stats.computed, stats.pruned),
-                (serial.computed, serial.pruned)
-            );
+            assert_eq!(stats, serial);
             assert_eq!(distance_saving_factor(n, s, stats), serial_factor);
         }
     }
@@ -89,15 +91,16 @@ fn parallel_assignment_counters_yield_identical_accounting() {
 
 #[test]
 fn saving_factor_against_rebuild_baseline() {
-    // 2000-point batch against 100 seeds, one third pruned: the rebuild
-    // baseline recomputes everything, the incremental side only what it
-    // measured.
+    // 2000-point batch against 100 seeds, a third pruned outright and a
+    // few early-exited: the rebuild baseline recomputes everything, the
+    // incremental side is charged only for full computations.
     let inc = SearchStats {
-        computed: 2_000 * 66,
+        computed: 2_000 * 60,
         pruned: 2_000 * 34,
+        partial: 2_000 * 6,
     };
     let f = distance_saving_factor(100_000, 100, inc);
-    assert!((f - (100_000.0 * 100.0) / (2_000.0 * 66.0)).abs() < 1e-9);
+    assert!((f - (100_000.0 * 100.0) / (2_000.0 * 60.0)).abs() < 1e-9);
 }
 
 // ---------------------------------------------------------------------------
@@ -117,6 +120,32 @@ fn render_is_stable() {
          ------------  -------  ----\n\
          random        10       0.91\n\
          disappearing  4        0.8\n"
+    );
+}
+
+/// The per-engine accounting table the assignment report prints carries
+/// the full computed/pruned/partial split; its rendering is part of the
+/// golden-output contract like every other table.
+#[test]
+fn accounting_table_renders_partial_column() {
+    let stats = SearchStats {
+        computed: 1_500,
+        pruned: 7_900,
+        partial: 600,
+    };
+    let mut t = Table::new(["engine", "computed", "pruned", "partial", "pruned_frac"]);
+    t.push_row([
+        "pruned",
+        stats.computed.to_string().as_str(),
+        stats.pruned.to_string().as_str(),
+        stats.partial.to_string().as_str(),
+        format!("{:.2}", stats.pruned_fraction()).as_str(),
+    ]);
+    assert_eq!(
+        t.render(),
+        "engine  computed  pruned  partial  pruned_frac\n\
+         ------  --------  ------  -------  -----------\n\
+         pruned  1500      7900    600      0.79\n"
     );
 }
 

@@ -1,7 +1,7 @@
 //! Shared configuration and the core incremental-vs-complete comparison
 //! loop used by every experiment.
 
-use idb_core::{AssignStrategy, IncrementalBubbles, MaintainerConfig};
+use idb_core::{IncrementalBubbles, MaintainerConfig, SeedSearch};
 use idb_eval::{adjusted_rand_index, compactness_per_point, fscore, Aggregate};
 use idb_geometry::SearchStats;
 use idb_synth::{ScenarioEngine, ScenarioKind, ScenarioSpec};
@@ -82,8 +82,10 @@ pub struct RepOutcome {
     pub compact_complete: f64,
     /// Mean-over-batches fraction of bubbles rebuilt per maintenance round.
     pub rebuilt_fraction: f64,
-    /// Mean-over-batches pruning fraction of the incremental scheme's
-    /// per-batch distance work.
+    /// Mean-over-batches fraction of the incremental scheme's per-batch
+    /// point-to-seed comparisons that never needed a full distance
+    /// computation (triangle-inequality pruned or early-exited) — the
+    /// Figure 10 quantity.
     pub pruned_fraction: f64,
     /// Mean-over-batches distance saving factor (complete rebuild without
     /// triangle inequality vs. incremental with it).
@@ -139,7 +141,7 @@ pub fn run_rep_with(
         engine.confirm(&new_ids);
 
         rebuilt.push(report.rebuilt_bubbles as f64 / cfg.num_bubbles as f64);
-        pruned.push(batch_stats.pruned_fraction());
+        pruned.push(batch_stats.avoided_fraction());
         saving.push(idb_eval::distance_saving_factor(
             store.len() as u64,
             cfg.num_bubbles as u64,
@@ -157,7 +159,7 @@ pub fn run_rep_with(
             let mut rebuild_stats = SearchStats::new();
             let complete = IncrementalBubbles::build(
                 &store,
-                MaintainerConfig::new(cfg.num_bubbles).with_strategy(AssignStrategy::Brute),
+                MaintainerConfig::new(cfg.num_bubbles).with_seed_search(SeedSearch::Brute),
                 &mut rng,
                 &mut rebuild_stats,
             );

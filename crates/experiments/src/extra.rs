@@ -24,7 +24,7 @@ pub fn run_scaling(cfg: &RunConfig) {
         "build ms",
         "build ms (4 threads)",
         "batch ms",
-        "pruned %",
+        "saved %",
     ]);
     for &dim in &[2usize, 5, 10, 20] {
         for &size in &[cfg.size / 2, cfg.size] {
@@ -72,7 +72,7 @@ pub fn run_scaling(cfg: &RunConfig) {
                 f1(build_ms),
                 f1(build_par_ms),
                 f1(batch_ms),
-                f1(batch_search.pruned_fraction() * 100.0),
+                f1(batch_search.avoided_fraction() * 100.0),
             ]);
             eprintln!("  finished dim {dim}, size {size}");
         }

@@ -1,25 +1,109 @@
-//! Nearest-seed search with triangle-inequality pruning (paper, Section 3).
+//! Nearest-seed search engines (paper, Section 3).
 //!
 //! Constructing data bubbles assigns every database point to its closest
 //! seed. Lemma 1 of the paper lets us skip computing `dist(p, s_j)` whenever
-//! `dist(s_c, s_j) >= 2 · dist(p, s_c)` for the current best candidate
-//! `s_c`: the pairwise seed distances are precomputed once in a
-//! [`SymMatrix`], and each skipped evaluation is recorded as *pruned* in the
-//! caller's [`SearchStats`].
+//! the pairwise seed distance to a known-close seed already proves `s_j`
+//! cannot win: the pairwise distances are precomputed once in a
+//! [`SymMatrix`], and each avoided evaluation is recorded in the caller's
+//! [`SearchStats`].
 //!
 //! [`NearestSeeds`] owns the seed coordinates (flat, contiguous) together
-//! with their pairwise distance matrix and offers:
+//! with their pairwise distance matrix and offers three interchangeable
+//! engines, selected by [`SeedSearch`]:
 //!
-//! * [`NearestSeeds::nearest_brute`] — the baseline that computes all `s`
-//!   distances (what a standard implementation does);
-//! * [`NearestSeeds::nearest_pruned`] — the Figure 2 algorithm;
-//! * O(s) seed replacement ([`NearestSeeds::replace`]) used when a bubble is
-//!   rebuilt by a merge/split, which refreshes one matrix row.
+//! * [`SeedSearch::Brute`] — computes all `s` distances (what a standard
+//!   implementation does); the accounting baseline.
+//! * [`SeedSearch::Pruned`] — the Figure 2 algorithm, reworked: the search
+//!   runs in *squared-distance* space (one `sqrt` per improvement instead
+//!   of one per candidate), visits candidates in ascending order of their
+//!   matrix-row distance to the start seed (a per-seed order cache kept
+//!   fresh by [`push`](NearestSeeds::push)/[`replace`](NearestSeeds::replace)),
+//!   prunes the whole remaining tail once the pairwise distance exceeds
+//!   `d(p, start) + best` — by the triangle inequality nothing further out
+//!   can beat or tie the best — and evaluates survivors with the
+//!   early-exit kernel [`sq_dist_bounded`], charging abandoned evaluations
+//!   to `stats.partial`.
+//! * [`SeedSearch::KdTree`] — a k-d tree over the seeds (lazily built,
+//!   invalidated by every mutation), best for low dimensionality and large
+//!   seed counts; same accounting, with cut-off subtrees charged to
+//!   `stats.pruned`.
+//!
+//! All three return **bit-identical** `(index, distance)` results: each
+//! compares candidates by their squared distance (accumulated in the same
+//! axis order), breaks exact ties by the lowest seed index, and takes one
+//! final `sqrt` of the same winning value. The differential suites in
+//! `tests/` enforce this across engines, hints, exclusions and thread
+//! counts.
 
+use crate::kdtree::KdTree;
 use crate::matrix::SymMatrix;
-use crate::metric::dist;
-use crate::parallel::{run_chunks_with_len, Parallelism};
+use crate::metric::{dist, sq_dist, sq_dist_bounded};
+use crate::parallel::{run_ranges, Parallelism};
 use crate::stats::SearchStats;
+use std::sync::OnceLock;
+
+/// Sentinel in a per-query hint buffer meaning "no hint for this query".
+pub const NO_HINT: u32 = u32::MAX;
+
+/// Which nearest-seed engine the maintainer and batch drivers use.
+///
+/// All engines return bit-identical results (see the module docs); the
+/// choice only affects how much work the [`SearchStats`] counters record
+/// and the wall-clock time. The default honours the `IDB_SEED_SEARCH`
+/// environment variable (`brute` / `pruned` / `kdtree`), mirroring the
+/// `IDB_PARALLELISM` knob, and falls back to [`SeedSearch::Pruned`] — the
+/// paper's own algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedSearch {
+    /// Evaluate every seed; the baseline whose cost defines
+    /// [`SearchStats::total`].
+    Brute,
+    /// Triangle-inequality pruning over the pairwise matrix (Figure 2),
+    /// with matrix-ordered candidate visits and early-exit kernels.
+    Pruned,
+    /// A k-d tree over the seeds; subtree cuts replace Lemma 1.
+    KdTree,
+}
+
+impl Default for SeedSearch {
+    /// [`SeedSearch::from_env`] when `IDB_SEED_SEARCH` is set to something
+    /// parseable, otherwise [`SeedSearch::Pruned`].
+    fn default() -> Self {
+        Self::from_env().unwrap_or(Self::Pruned)
+    }
+}
+
+impl SeedSearch {
+    /// Parses an engine name: `brute`, `pruned`, or `kdtree` (also
+    /// accepted: `kd`, `kd-tree`). Case-insensitive; `None` for anything
+    /// else.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("brute") {
+            Some(Self::Brute)
+        } else if s.eq_ignore_ascii_case("pruned") {
+            Some(Self::Pruned)
+        } else if s.eq_ignore_ascii_case("kdtree")
+            || s.eq_ignore_ascii_case("kd")
+            || s.eq_ignore_ascii_case("kd-tree")
+        {
+            Some(Self::KdTree)
+        } else {
+            None
+        }
+    }
+
+    /// Reads the `IDB_SEED_SEARCH` environment variable (the knob `ci.sh`
+    /// uses to run the differential suites under every engine). `None`
+    /// when unset or unparseable.
+    #[must_use]
+    pub fn from_env() -> Option<Self> {
+        std::env::var("IDB_SEED_SEARCH")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+    }
+}
 
 /// A set of seed points plus their pairwise distance matrix.
 ///
@@ -36,8 +120,9 @@ use crate::stats::SearchStats;
 /// );
 /// let mut stats = SearchStats::new();
 /// // Start from seed 0 (the hint): its distance is 1, and both other
-/// // seeds are >= 2x that far from it, so the triangle inequality prunes
-/// // them without ever measuring their distance to the query.
+/// // seeds are more than dist(p, s0) + best away from it, so the triangle
+/// // inequality prunes the whole ordered tail without ever measuring
+/// // their distance to the query.
 /// let (idx, d) = seeds.nearest_pruned(&[1.0], None, Some(0), &mut stats).unwrap();
 /// assert_eq!(idx, 0);
 /// assert_eq!(d, 1.0);
@@ -49,6 +134,13 @@ pub struct NearestSeeds {
     dim: usize,
     coords: Vec<f64>,
     pairwise: SymMatrix,
+    /// `order[i]` holds all seed indices sorted ascending by
+    /// `(pairwise(i, j), j)` — the visit order that makes the Lemma 1
+    /// bound fire as early as possible when the search starts at seed `i`.
+    order: Vec<Vec<u32>>,
+    /// Lazily built k-d tree over the seeds for [`SeedSearch::KdTree`];
+    /// cleared by every mutation, rebuilt (deterministically) on demand.
+    kd: OnceLock<KdTree>,
 }
 
 impl NearestSeeds {
@@ -63,6 +155,8 @@ impl NearestSeeds {
             dim,
             coords: Vec::new(),
             pairwise: SymMatrix::zeros(0),
+            order: Vec::new(),
+            kd: OnceLock::new(),
         }
     }
 
@@ -116,8 +210,30 @@ impl NearestSeeds {
         self.pairwise.get(i, j)
     }
 
-    /// Appends a new seed, filling in its pairwise distance row, and returns
-    /// its index.
+    /// The other seeds of the set in ascending order of their pairwise
+    /// distance to seed `i` (ties by index; `i` itself leads its own row).
+    /// This is the visit order of [`Self::nearest_pruned`], exposed so the
+    /// maintainer can read off a seed's nearest surviving neighbour — e.g.
+    /// as a warm-start hint after a merge retires the seed — without any
+    /// extra distance computations.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn neighbor_order(&self, i: usize) -> &[u32] {
+        &self.order[i]
+    }
+
+    fn sorted_row(pairwise: &SymMatrix, i: usize) -> Vec<u32> {
+        let row = pairwise.row(i);
+        let mut idx: Vec<u32> = (0..pairwise.len() as u32).collect();
+        idx.sort_by(|&a, &b| row[a as usize].total_cmp(&row[b as usize]).then(a.cmp(&b)));
+        idx
+    }
+
+    /// Appends a new seed, filling in its pairwise distance row and
+    /// splicing it into every order-cache row, and returns its index.
     ///
     /// # Panics
     /// Panics if the seed's dimensionality differs from the set's.
@@ -129,12 +245,24 @@ impl NearestSeeds {
         let dim = self.dim;
         self.pairwise
             .refresh_row(idx, |j| dist(seed, &coords[j * dim..(j + 1) * dim]));
+        let new = idx as u32;
+        for (i, row) in self.order.iter_mut().enumerate() {
+            let prow = self.pairwise.row(i);
+            let pd = prow[idx];
+            let pos = row
+                .binary_search_by(|&x| prow[x as usize].total_cmp(&pd).then(x.cmp(&new)))
+                .unwrap_err();
+            row.insert(pos, new);
+        }
+        self.order.push(Self::sorted_row(&self.pairwise, idx));
+        self.kd = OnceLock::new();
         idx
     }
 
     /// Replaces seed `i` with new coordinates, recomputing its pairwise
-    /// distance row in O(s) — the bookkeeping the paper performs when a
-    /// bubble is re-seeded during a merge/split rebuild.
+    /// distance row in O(s) and re-sorting the order cache — the
+    /// bookkeeping the paper performs when a bubble is re-seeded during a
+    /// merge/split rebuild.
     ///
     /// # Panics
     /// Panics if `i` is out of bounds or the dimensionality differs.
@@ -146,11 +274,33 @@ impl NearestSeeds {
         let dim = self.dim;
         self.pairwise
             .refresh_row(i, |j| dist(seed, &coords[j * dim..(j + 1) * dim]));
+        // Reposition entry `i` inside every other row (its key changed);
+        // rebuild row `i` outright.
+        let iu = i as u32;
+        for (j, row) in self.order.iter_mut().enumerate() {
+            if j == i {
+                continue;
+            }
+            let prow = self.pairwise.row(j);
+            let pd = prow[i];
+            let pos = row
+                .iter()
+                .position(|&x| x == iu)
+                .expect("order row lost an index");
+            row.remove(pos);
+            let ins = row
+                .binary_search_by(|&x| prow[x as usize].total_cmp(&pd).then(x.cmp(&iu)))
+                .unwrap_err();
+            row.insert(ins, iu);
+        }
+        self.order[i] = Self::sorted_row(&self.pairwise, i);
+        self.kd = OnceLock::new();
     }
 
     /// Removes seed `i` with swap-remove semantics: the last seed takes
-    /// index `i`. The pairwise matrix follows. O(s²); used only when a
-    /// bubble is retired by the adaptive maintenance extension.
+    /// index `i`. The pairwise matrix follows and the order cache is
+    /// rebuilt. O(s² log s); used only when a bubble is retired by the
+    /// adaptive maintenance extension.
     ///
     /// # Panics
     /// Panics if `i` is out of bounds.
@@ -164,11 +314,16 @@ impl NearestSeeds {
         }
         self.coords.truncate(last * self.dim);
         self.pairwise.swap_remove(i);
+        self.order = (0..self.pairwise.len())
+            .map(|j| Self::sorted_row(&self.pairwise, j))
+            .collect();
+        self.kd = OnceLock::new();
     }
 
-    /// Brute-force nearest seed: computes the distance from `p` to every
-    /// seed (optionally skipping `exclude`). Returns `(index, distance)`,
-    /// or `None` when no candidate exists.
+    /// Brute-force nearest seed: computes the squared distance from `p` to
+    /// every seed (optionally skipping `exclude`), ties broken by lowest
+    /// index, and takes one `sqrt` of the winner. Returns
+    /// `(index, distance)`, or `None` when no candidate exists.
     ///
     /// Every evaluated distance is charged to `stats.computed`.
     pub fn nearest_brute(
@@ -183,30 +338,47 @@ impl NearestSeeds {
             if Some(i) == exclude {
                 continue;
             }
-            let d = dist(p, self.seed(i));
+            let sq = sq_dist(p, self.seed(i));
             stats.computed += 1;
             match best {
-                Some((_, bd)) if bd <= d => {}
-                _ => best = Some((i, d)),
+                Some((_, bsq)) if bsq <= sq => {}
+                _ => best = Some((i, sq)),
             }
         }
-        best
+        best.map(|(i, sq)| (i, sq.sqrt()))
     }
 
-    /// Nearest seed via the triangle-inequality algorithm of Figure 2.
+    /// Nearest seed via the triangle-inequality algorithm of Figure 2,
+    /// upgraded to squared-space comparisons, matrix-ordered candidate
+    /// visits, wholesale tail pruning and early-exit evaluation.
     ///
-    /// `hint`, when given, is used as the initial candidate seed — a caller
-    /// that suspects a nearby seed (e.g. the bubble a point used to belong
-    /// to) can seed the search with it to maximize pruning. `exclude` removes
-    /// one seed from consideration (used when releasing the members of a
+    /// `hint`, when given, is used as the start seed — a caller that
+    /// suspects a nearby seed (e.g. the bubble a point used to belong to)
+    /// seeds the search with it to maximize pruning. `exclude` removes one
+    /// seed from consideration (used when releasing the members of a
     /// merged-away donor bubble, which must not re-attract its own points).
     ///
-    /// Computed distances are charged to `stats.computed`; candidates
-    /// eliminated by Lemma 1 are charged to `stats.pruned`. The result is
-    /// identical to [`Self::nearest_brute`] up to ties.
+    /// The start's distance `d₀ = d(p, start)` is computed in full. The
+    /// remaining candidates are visited in ascending pairwise distance to
+    /// the start (the cached order). For candidate `j` at pairwise
+    /// distance `w`:
     ///
-    /// This variant allocates a candidate scratch buffer; the zero-allocation
-    /// version is [`Self::nearest_pruned_with`].
+    /// * `w > d₀ + best` — by the triangle inequality
+    ///   `d(p, j) ≥ w − d₀ > best`, and every later candidate is at least
+    ///   as far out, so the **entire tail** is pruned at once;
+    /// * `|w − d₀| > best` — same bound, this candidate alone is pruned
+    ///   (this is Lemma 1's condition, reached before `w` grows past the
+    ///   tail cutoff);
+    /// * otherwise the squared distance is evaluated with
+    ///   [`sq_dist_bounded`] against the best-so-far square: abandoned
+    ///   evaluations are charged to `stats.partial`, completed ones to
+    ///   `stats.computed`.
+    ///
+    /// Both prune conditions are strict inequalities on a *lower bound* of
+    /// the true distance, so a pruned candidate can neither beat nor tie
+    /// the best — exact ties (duplicate seeds included) always survive to
+    /// evaluation and resolve to the lowest index, keeping the result
+    /// bit-identical to [`Self::nearest_brute`].
     pub fn nearest_pruned(
         &self,
         p: &[f64],
@@ -214,118 +386,131 @@ impl NearestSeeds {
         hint: Option<usize>,
         stats: &mut SearchStats,
     ) -> Option<(usize, f64)> {
-        let mut scratch = Vec::new();
-        self.nearest_pruned_with(p, exclude, hint, stats, &mut scratch)
+        debug_assert_eq!(p.len(), self.dim, "query dimensionality mismatch");
+        let s = self.len();
+        let exclude = exclude.filter(|&e| e < s);
+        let start = match hint {
+            Some(h) if h < s && Some(h) != exclude => h,
+            _ => (0..s).find(|&i| Some(i) != exclude)?,
+        };
+        let mut best_sq = sq_dist(p, self.seed(start));
+        stats.computed += 1;
+        let mut best_idx = start;
+        let d_start = best_sq.sqrt();
+        let mut best_d = d_start;
+
+        let order = &self.order[start];
+        let prow = self.pairwise.row(start);
+        for (pos, &j32) in order.iter().enumerate() {
+            let j = j32 as usize;
+            if j == start || Some(j) == exclude {
+                continue;
+            }
+            let w = prow[j];
+            if w > d_start + best_d {
+                // Everything from here on is at least `w` away from the
+                // start, hence strictly farther from `p` than the best.
+                let tail = order[pos..]
+                    .iter()
+                    .filter(|&&k| k as usize != start && Some(k as usize) != exclude)
+                    .count();
+                stats.pruned += tail as u64;
+                break;
+            }
+            if (w - d_start).abs() > best_d {
+                stats.pruned += 1;
+                continue;
+            }
+            match sq_dist_bounded(p, self.seed(j), best_sq) {
+                None => stats.partial += 1,
+                Some(sq) => {
+                    stats.computed += 1;
+                    if sq < best_sq || (sq == best_sq && j < best_idx) {
+                        best_sq = sq;
+                        best_idx = j;
+                        best_d = best_sq.sqrt();
+                    }
+                }
+            }
+        }
+        Some((best_idx, best_sq.sqrt()))
     }
 
-    /// [`Self::nearest_pruned`] with a caller-owned scratch buffer, so the
-    /// per-point assignment loop performs no heap allocation.
-    pub fn nearest_pruned_with(
+    /// Nearest seed via the lazily built k-d tree index. Best for low
+    /// dimensionality; same result and accounting contract as the other
+    /// engines, with candidates cut off by subtree bounds charged to
+    /// `stats.pruned` (derived from the eligible count, since the tree
+    /// does not track subtree sizes).
+    pub fn nearest_kd(
         &self,
         p: &[f64],
         exclude: Option<usize>,
         hint: Option<usize>,
         stats: &mut SearchStats,
-        scratch: &mut Vec<u32>,
     ) -> Option<(usize, f64)> {
         debug_assert_eq!(p.len(), self.dim, "query dimensionality mismatch");
         let s = self.len();
-        scratch.clear();
-        scratch.reserve(s);
-
-        // Initial candidate: the hint when valid, otherwise the last seed
-        // (so the remaining candidates can be popped from the back).
-        let start = match (hint, exclude) {
-            (Some(h), e) if h < s && Some(h) != e => h,
-            _ => {
-                let mut chosen = None;
-                for i in (0..s).rev() {
-                    if Some(i) != exclude {
-                        chosen = Some(i);
-                        break;
-                    }
-                }
-                chosen?
-            }
-        };
-        for i in 0..s {
-            if i != start && Some(i) != exclude {
-                scratch.push(i as u32);
-            }
+        let exclude = exclude.filter(|&e| e < s);
+        let eligible = s - usize::from(exclude.is_some());
+        if eligible == 0 {
+            return None;
         }
+        let tree = self
+            .kd
+            .get_or_init(|| KdTree::build(self.dim, (0..s).map(|i| (i as u64, self.seed(i)))));
+        let before_computed = stats.computed;
+        let before_partial = stats.partial;
+        let (idx, sq) =
+            tree.nearest_one(p, exclude.map(|e| e as u32), hint.map(|h| h as u32), stats)?;
+        let touched = (stats.computed - before_computed) + (stats.partial - before_partial);
+        stats.pruned += eligible as u64 - touched;
+        Some((idx as usize, sq.sqrt()))
+    }
 
-        let mut cur = start;
-        let mut min_d = dist(p, self.seed(cur));
-        stats.computed += 1;
-
-        loop {
-            // Prune every remaining candidate that Lemma 1 rules out with
-            // respect to the current best candidate.
-            let row = self.pairwise.row(cur);
-            let before = scratch.len();
-            scratch.retain(|&j| row[j as usize] < 2.0 * min_d);
-            stats.pruned += (before - scratch.len()) as u64;
-
-            // The next surviving candidate must have its distance computed.
-            let Some(j) = scratch.pop() else {
-                return Some((cur, min_d));
-            };
-            let j = j as usize;
-            let d = dist(p, self.seed(j));
-            stats.computed += 1;
-            if d < min_d {
-                cur = j;
-                min_d = d;
-            }
+    /// Nearest seed via the engine selected by `engine`. [`SeedSearch::Brute`]
+    /// ignores the hint (it evaluates everything regardless).
+    pub fn nearest(
+        &self,
+        engine: SeedSearch,
+        p: &[f64],
+        exclude: Option<usize>,
+        hint: Option<usize>,
+        stats: &mut SearchStats,
+    ) -> Option<(usize, f64)> {
+        match engine {
+            SeedSearch::Brute => self.nearest_brute(p, exclude, stats),
+            SeedSearch::Pruned => self.nearest_pruned(p, exclude, hint, stats),
+            SeedSearch::KdTree => self.nearest_kd(p, exclude, hint, stats),
         }
     }
 
     /// Nearest seed for every query in a flat `queries` buffer
-    /// (`queries.len()` must be a multiple of `dim`), via brute force.
-    /// Returns `(seed index, distance)` per query, aligned with query
-    /// order.
+    /// (`queries.len()` must be a multiple of `dim`), via the selected
+    /// engine. Returns `(seed index, distance)` per query, aligned with
+    /// query order.
+    ///
+    /// `hints`, when given, carries one warm-start seed per query
+    /// ([`NO_HINT`] for "none"), aligned with the query order — the
+    /// maintainer passes each point's previous bubble here so batch
+    /// maintenance becomes mostly O(1)-computed confirmations.
     ///
     /// Work is fanned out per [`Parallelism`]: queries are split into
-    /// contiguous chunks, each chunk runs the identical per-query search
-    /// with its own [`SearchStats`] counter, and the per-chunk counters
-    /// are summed into `stats` in chunk order — so the counts (and every
-    /// result) are bit-identical to a serial loop over the same queries.
+    /// contiguous index ranges, each range runs the identical per-query
+    /// search with its own [`SearchStats`] counter, and the per-range
+    /// counters are summed into `stats` in range order — so the counts
+    /// (and every result) are bit-identical to a serial loop over the same
+    /// queries.
     ///
     /// # Panics
-    /// Panics if `queries.len()` is not a multiple of `dim`, or if there
-    /// are queries but no eligible seed.
-    pub fn nearest_batch_brute(
+    /// Panics if `queries.len()` is not a multiple of `dim`, if `hints` is
+    /// given with a length other than the query count, or if there are
+    /// queries but no eligible seed.
+    pub fn nearest_batch(
         &self,
         queries: &[f64],
         exclude: Option<usize>,
-        par: Parallelism,
-        stats: &mut SearchStats,
-    ) -> Vec<(u32, f64)> {
-        self.nearest_batch(queries, exclude, false, par, stats)
-    }
-
-    /// [`Self::nearest_batch_brute`] with the triangle-inequality search
-    /// of Figure 2 instead of brute force. Same chunking, same counter
-    /// merging, same equivalence guarantee.
-    ///
-    /// # Panics
-    /// Panics if `queries.len()` is not a multiple of `dim`, or if there
-    /// are queries but no eligible seed.
-    pub fn nearest_batch_pruned(
-        &self,
-        queries: &[f64],
-        exclude: Option<usize>,
-        par: Parallelism,
-        stats: &mut SearchStats,
-    ) -> Vec<(u32, f64)> {
-        self.nearest_batch(queries, exclude, true, par, stats)
-    }
-
-    fn nearest_batch(
-        &self,
-        queries: &[f64],
-        exclude: Option<usize>,
-        pruned: bool,
+        engine: SeedSearch,
+        hints: Option<&[u32]>,
         par: Parallelism,
         stats: &mut SearchStats,
     ) -> Vec<(u32, f64)> {
@@ -335,23 +520,33 @@ impl NearestSeeds {
             "query buffer length must be a multiple of dim"
         );
         let k = queries.len() / self.dim;
+        if let Some(h) = hints {
+            assert_eq!(h.len(), k, "one hint per query");
+        }
         if k == 0 {
             return Vec::new();
         }
-        // Chunk length in *points*, rounded so no query is split.
+        if engine == SeedSearch::KdTree {
+            // Build the shared index once in the calling thread instead of
+            // having every worker race on the lazy init.
+            let s = self.len();
+            self.kd
+                .get_or_init(|| KdTree::build(self.dim, (0..s).map(|i| (i as u64, self.seed(i)))));
+        }
+        // Chunk length in *queries*, so hint and query slices stay aligned.
         let chunk_points = k.div_ceil(par.effective_threads());
-        let per_chunk = run_chunks_with_len(queries, chunk_points * self.dim, |chunk| {
+        let per_chunk = run_ranges(k, chunk_points, |range| {
             let mut local = SearchStats::new();
-            let mut scratch = Vec::new();
-            let out: Vec<(u32, f64)> = chunk
-                .chunks_exact(self.dim)
-                .map(|q| {
-                    let (i, d) = if pruned {
-                        self.nearest_pruned_with(q, exclude, None, &mut local, &mut scratch)
-                    } else {
-                        self.nearest_brute(q, exclude, &mut local)
-                    }
-                    .expect("batch assignment requires at least one eligible seed");
+            let out: Vec<(u32, f64)> = range
+                .map(|qi| {
+                    let q = &queries[qi * self.dim..(qi + 1) * self.dim];
+                    let hint = hints.and_then(|h| {
+                        let v = h[qi];
+                        (v != NO_HINT).then_some(v as usize)
+                    });
+                    let (i, d) = self
+                        .nearest(engine, q, exclude, hint, &mut local)
+                        .expect("batch assignment requires at least one eligible seed");
                     (i as u32, d)
                 })
                 .collect();
@@ -364,11 +559,43 @@ impl NearestSeeds {
         }
         results
     }
+
+    /// [`Self::nearest_batch`] with [`SeedSearch::Brute`] and no hints.
+    ///
+    /// # Panics
+    /// Panics if `queries.len()` is not a multiple of `dim`, or if there
+    /// are queries but no eligible seed.
+    pub fn nearest_batch_brute(
+        &self,
+        queries: &[f64],
+        exclude: Option<usize>,
+        par: Parallelism,
+        stats: &mut SearchStats,
+    ) -> Vec<(u32, f64)> {
+        self.nearest_batch(queries, exclude, SeedSearch::Brute, None, par, stats)
+    }
+
+    /// [`Self::nearest_batch`] with [`SeedSearch::Pruned`] and no hints.
+    ///
+    /// # Panics
+    /// Panics if `queries.len()` is not a multiple of `dim`, or if there
+    /// are queries but no eligible seed.
+    pub fn nearest_batch_pruned(
+        &self,
+        queries: &[f64],
+        exclude: Option<usize>,
+        par: Parallelism,
+        stats: &mut SearchStats,
+    ) -> Vec<(u32, f64)> {
+        self.nearest_batch(queries, exclude, SeedSearch::Pruned, None, par, stats)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const ENGINES: [SeedSearch; 3] = [SeedSearch::Brute, SeedSearch::Pruned, SeedSearch::KdTree];
 
     fn grid_seeds() -> NearestSeeds {
         // Four seeds on a 2-d grid, well separated.
@@ -383,6 +610,24 @@ mod tests {
         )
     }
 
+    fn assert_order_cache_consistent(s: &NearestSeeds) {
+        for i in 0..s.len() {
+            let row = s.neighbor_order(i);
+            assert_eq!(row.len(), s.len(), "row {i} covers all seeds");
+            let mut seen: Vec<u32> = row.to_vec();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..s.len() as u32).collect::<Vec<_>>());
+            for w in row.windows(2) {
+                let (a, b) = (w[0] as usize, w[1] as usize);
+                let (da, db) = (s.pair_distance(i, a), s.pair_distance(i, b));
+                assert!(
+                    da < db || (da == db && a < b),
+                    "row {i}: {a} (d={da}) before {b} (d={db})"
+                );
+            }
+        }
+    }
+
     #[test]
     fn pairwise_matrix_filled_on_push() {
         let s = grid_seeds();
@@ -390,10 +635,11 @@ mod tests {
         assert!((s.pair_distance(0, 1) - 10.0).abs() < 1e-12);
         assert!((s.pair_distance(0, 3) - 200f64.sqrt()).abs() < 1e-12);
         assert_eq!(s.pair_distance(2, 2), 0.0);
+        assert_order_cache_consistent(&s);
     }
 
     #[test]
-    fn brute_and_pruned_agree() {
+    fn all_engines_agree() {
         let s = grid_seeds();
         let queries = [
             [1.0, 1.0],
@@ -405,16 +651,20 @@ mod tests {
         ];
         for q in &queries {
             let mut b = SearchStats::new();
-            let mut t = SearchStats::new();
             let (bi, bd) = s.nearest_brute(q, None, &mut b).unwrap();
-            let (ti, td) = s.nearest_pruned(q, None, None, &mut t).unwrap();
-            assert!((bd - td).abs() < 1e-12);
-            // Ties could pick different indices; for these queries there are
-            // no ties except the exact center, where distance equality holds.
-            if (q[0] - 5.0).abs() > 1e-9 || (q[1] - 5.0).abs() > 1e-9 {
-                assert_eq!(bi, ti, "query {q:?}");
+            for engine in [SeedSearch::Pruned, SeedSearch::KdTree] {
+                for hint in [None, Some(0), Some(3)] {
+                    let mut t = SearchStats::new();
+                    let (ti, td) = s.nearest(engine, q, None, hint, &mut t).unwrap();
+                    assert_eq!(bi, ti, "query {q:?} engine {engine:?} hint {hint:?}");
+                    assert_eq!(bd.to_bits(), td.to_bits(), "query {q:?} engine {engine:?}");
+                    assert_eq!(
+                        t.total(),
+                        b.computed,
+                        "accounting covers every candidate once: {q:?} {engine:?}"
+                    );
+                }
             }
-            assert_eq!(t.total(), b.computed, "pruned+computed == brute cost");
         }
     }
 
@@ -423,43 +673,73 @@ mod tests {
         let s = grid_seeds();
         let mut stats = SearchStats::new();
         // A point almost on seed 0: every other seed is >= 10 away, i.e.
-        // >= 2 * dist(p, s0), so all three must be pruned after one
-        // distance computation when starting from seed 0.
+        // beyond dist(p, s0) + best, so the whole ordered tail is pruned
+        // after one distance computation when starting from seed 0.
         let (idx, _) = s
             .nearest_pruned(&[0.1, 0.1], None, Some(0), &mut stats)
             .unwrap();
         assert_eq!(idx, 0);
         assert_eq!(stats.computed, 1);
         assert_eq!(stats.pruned, 3);
+        assert_eq!(stats.partial, 0);
     }
 
     #[test]
-    fn exclusion_is_respected() {
+    fn exclusion_is_respected_by_every_engine() {
         let s = grid_seeds();
-        let mut stats = SearchStats::new();
-        let (idx, d) = s
-            .nearest_pruned(&[0.1, 0.1], Some(0), None, &mut stats)
-            .unwrap();
-        assert_ne!(idx, 0);
-        // Next closest are seeds 1 and 2, symmetric; distance ~ 9.9.
-        assert!(d > 9.0 && d < 11.0);
-
-        let mut stats = SearchStats::new();
-        let (bidx, bd) = s.nearest_brute(&[0.1, 0.1], Some(0), &mut stats).unwrap();
+        let mut b = SearchStats::new();
+        let (bidx, bd) = s.nearest_brute(&[0.1, 0.1], Some(0), &mut b).unwrap();
         assert_ne!(bidx, 0);
-        assert!((bd - d).abs() < 1e-12);
+        // Next closest are seeds 1 and 2, symmetric; distance ~ 9.9.
+        assert!(bd > 9.0 && bd < 11.0);
+        for engine in [SeedSearch::Pruned, SeedSearch::KdTree] {
+            let mut stats = SearchStats::new();
+            let (idx, d) = s
+                .nearest(engine, &[0.1, 0.1], Some(0), None, &mut stats)
+                .unwrap();
+            assert_eq!(idx, bidx, "{engine:?}");
+            assert_eq!(d.to_bits(), bd.to_bits(), "{engine:?}");
+            assert_eq!(stats.total(), 3, "{engine:?}: excluded seed never charged");
+        }
+    }
+
+    #[test]
+    fn duplicate_seeds_resolve_to_lowest_index() {
+        let s = NearestSeeds::from_seeds(
+            2,
+            [
+                [4.0, 4.0].as_slice(),
+                [1.0, 1.0].as_slice(),
+                [1.0, 1.0].as_slice(),
+                [1.0, 1.0].as_slice(),
+            ],
+        );
+        for engine in ENGINES {
+            for hint in [None, Some(0), Some(2), Some(3)] {
+                let mut stats = SearchStats::new();
+                let (idx, _) = s
+                    .nearest(engine, &[1.1, 0.9], None, hint, &mut stats)
+                    .unwrap();
+                assert_eq!(idx, 1, "{engine:?} hint {hint:?}");
+                // Excluding the winner promotes the next duplicate.
+                let mut stats = SearchStats::new();
+                let (idx, _) = s
+                    .nearest(engine, &[1.1, 0.9], Some(1), hint, &mut stats)
+                    .unwrap();
+                assert_eq!(idx, 2, "{engine:?} hint {hint:?}");
+            }
+        }
     }
 
     #[test]
     fn empty_set_returns_none() {
         let s = NearestSeeds::new(3);
         let mut stats = SearchStats::new();
-        assert!(s
-            .nearest_brute(&[0.0, 0.0, 0.0], None, &mut stats)
-            .is_none());
-        assert!(s
-            .nearest_pruned(&[0.0, 0.0, 0.0], None, None, &mut stats)
-            .is_none());
+        for engine in ENGINES {
+            assert!(s
+                .nearest(engine, &[0.0, 0.0, 0.0], None, None, &mut stats)
+                .is_none());
+        }
     }
 
     #[test]
@@ -467,26 +747,32 @@ mod tests {
         let mut s = NearestSeeds::new(1);
         s.push(&[5.0]);
         let mut stats = SearchStats::new();
-        assert!(s
-            .nearest_pruned(&[0.0], Some(0), None, &mut stats)
-            .is_none());
+        for engine in ENGINES {
+            assert!(s
+                .nearest(engine, &[0.0], Some(0), None, &mut stats)
+                .is_none());
+        }
+        assert_eq!(stats, SearchStats::new());
     }
 
     #[test]
-    fn replace_updates_matrix_and_results() {
+    fn replace_updates_matrix_order_and_results() {
         let mut s = grid_seeds();
         // Move seed 3 next to the origin.
         s.replace(3, &[0.5, 0.5]);
         assert!((s.pair_distance(3, 0) - 0.5f64.sqrt()).abs() < 1e-12);
-        let mut stats = SearchStats::new();
-        let (idx, _) = s
-            .nearest_pruned(&[0.6, 0.6], None, None, &mut stats)
-            .unwrap();
-        assert_eq!(idx, 3);
+        assert_order_cache_consistent(&s);
+        for engine in ENGINES {
+            let mut stats = SearchStats::new();
+            let (idx, _) = s
+                .nearest(engine, &[0.6, 0.6], None, None, &mut stats)
+                .unwrap();
+            assert_eq!(idx, 3, "{engine:?}");
+        }
     }
 
     #[test]
-    fn swap_remove_keeps_matrix_consistent() {
+    fn swap_remove_keeps_matrix_and_order_consistent() {
         let mut s = grid_seeds();
         s.swap_remove(1); // seed (10, 0) removed; (10, 10) takes index 1
         assert_eq!(s.len(), 3);
@@ -497,14 +783,17 @@ mod tests {
                 assert!((s.pair_distance(i, j) - expect).abs() < 1e-12, "({i},{j})");
             }
         }
+        assert_order_cache_consistent(&s);
         // Searches still agree with brute force.
-        let mut b = SearchStats::new();
-        let mut p = SearchStats::new();
         let q = [9.0, 9.0];
+        let mut b = SearchStats::new();
         let (bi, bd) = s.nearest_brute(&q, None, &mut b).unwrap();
-        let (pi, pd) = s.nearest_pruned(&q, None, None, &mut p).unwrap();
-        assert_eq!(bi, pi);
-        assert!((bd - pd).abs() < 1e-12);
+        for engine in [SeedSearch::Pruned, SeedSearch::KdTree] {
+            let mut p = SearchStats::new();
+            let (pi, pd) = s.nearest(engine, &q, None, None, &mut p).unwrap();
+            assert_eq!(bi, pi, "{engine:?}");
+            assert_eq!(bd.to_bits(), pd.to_bits(), "{engine:?}");
+        }
     }
 
     #[test]
@@ -513,6 +802,24 @@ mod tests {
         s.swap_remove(3);
         assert_eq!(s.len(), 3);
         assert_eq!(s.seed(0), &[0.0, 0.0]);
+        assert_order_cache_consistent(&s);
+    }
+
+    #[test]
+    fn order_cache_tracks_incremental_pushes() {
+        let mut s = NearestSeeds::new(2);
+        let pts = [
+            [3.0, 1.0],
+            [0.0, 0.0],
+            [9.0, 9.0],
+            [3.0, 1.0], // duplicate of seed 0
+            [-2.0, 5.0],
+            [4.0, 4.0],
+        ];
+        for p in &pts {
+            s.push(p);
+            assert_order_cache_consistent(&s);
+        }
     }
 
     #[test]
@@ -524,33 +831,31 @@ mod tests {
                 [t * 0.37 % 11.0, (t * 0.71 + 3.0) % 11.0]
             })
             .collect();
-        for pruned in [false, true] {
-            // Serial reference: one call per query.
-            let mut want = Vec::new();
-            let mut want_stats = SearchStats::new();
-            for q in queries.chunks_exact(2) {
-                let r = if pruned {
-                    s.nearest_pruned(q, None, None, &mut want_stats)
-                } else {
-                    s.nearest_brute(q, None, &mut want_stats)
+        // Cycle through every seed as a hint, with every fifth query unhinted.
+        let hints: Vec<u32> = (0..40u32)
+            .map(|i| if i % 5 == 4 { NO_HINT } else { i % 5 })
+            .collect();
+        for engine in ENGINES {
+            for hint_buf in [None, Some(hints.as_slice())] {
+                // Serial reference: one call per query.
+                let mut want = Vec::new();
+                let mut want_stats = SearchStats::new();
+                for (qi, q) in queries.chunks_exact(2).enumerate() {
+                    let hint = hint_buf.and_then(|h| (h[qi] != NO_HINT).then_some(h[qi] as usize));
+                    let r = s.nearest(engine, q, None, hint, &mut want_stats).unwrap();
+                    want.push((r.0 as u32, r.1));
                 }
-                .unwrap();
-                want.push((r.0 as u32, r.1));
-            }
-            for par in [
-                Parallelism::Serial,
-                Parallelism::Threads(2),
-                Parallelism::Threads(8),
-                Parallelism::Auto,
-            ] {
-                let mut stats = SearchStats::new();
-                let got = if pruned {
-                    s.nearest_batch_pruned(&queries, None, par, &mut stats)
-                } else {
-                    s.nearest_batch_brute(&queries, None, par, &mut stats)
-                };
-                assert_eq!(got, want, "pruned={pruned} par={par:?}");
-                assert_eq!(stats, want_stats, "pruned={pruned} par={par:?}");
+                for par in [
+                    Parallelism::Serial,
+                    Parallelism::Threads(2),
+                    Parallelism::Threads(8),
+                    Parallelism::Auto,
+                ] {
+                    let mut stats = SearchStats::new();
+                    let got = s.nearest_batch(&queries, None, engine, hint_buf, par, &mut stats);
+                    assert_eq!(got, want, "engine={engine:?} par={par:?}");
+                    assert_eq!(stats, want_stats, "engine={engine:?} par={par:?}");
+                }
             }
         }
     }
@@ -559,10 +864,19 @@ mod tests {
     fn batch_respects_exclusion() {
         let s = grid_seeds();
         let queries = [0.1, 0.1, 9.9, 9.9];
-        let mut stats = SearchStats::new();
-        let got = s.nearest_batch_pruned(&queries, Some(0), Parallelism::Threads(2), &mut stats);
-        assert_eq!(got.len(), 2);
-        assert_ne!(got[0].0, 0, "excluded seed never wins");
+        for engine in ENGINES {
+            let mut stats = SearchStats::new();
+            let got = s.nearest_batch(
+                &queries,
+                Some(0),
+                engine,
+                None,
+                Parallelism::Threads(2),
+                &mut stats,
+            );
+            assert_eq!(got.len(), 2);
+            assert_ne!(got[0].0, 0, "{engine:?}: excluded seed never wins");
+        }
     }
 
     #[test]
@@ -584,15 +898,51 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "one hint per query")]
+    fn batch_misaligned_hints_panic() {
+        let s = grid_seeds();
+        let mut stats = SearchStats::new();
+        let _ = s.nearest_batch(
+            &[1.0, 2.0],
+            None,
+            SeedSearch::Pruned,
+            Some(&[0, 1]),
+            Parallelism::Serial,
+            &mut stats,
+        );
+    }
+
+    #[test]
     fn hint_does_not_change_result() {
         let s = grid_seeds();
-        for hint in 0..4 {
-            let mut stats = SearchStats::new();
-            let (idx, d) = s
-                .nearest_pruned(&[9.0, 9.5], None, Some(hint), &mut stats)
-                .unwrap();
-            assert_eq!(idx, 3);
-            assert!((d - dist(&[9.0, 9.5], &[10.0, 10.0])).abs() < 1e-12);
+        for engine in ENGINES {
+            for hint in 0..4 {
+                let mut stats = SearchStats::new();
+                let (idx, d) = s
+                    .nearest(engine, &[9.0, 9.5], None, Some(hint), &mut stats)
+                    .unwrap();
+                assert_eq!(idx, 3, "{engine:?} hint {hint}");
+                assert!((d - dist(&[9.0, 9.5], &[10.0, 10.0])).abs() < 1e-12);
+            }
         }
+    }
+
+    #[test]
+    fn neighbor_order_starts_with_self_and_ranks_by_distance() {
+        let s = grid_seeds();
+        let row = s.neighbor_order(0);
+        assert_eq!(row[0], 0);
+        assert_eq!(row[3], 3, "diagonal neighbor is farthest from seed 0");
+    }
+
+    #[test]
+    fn seed_search_parse_and_default() {
+        assert_eq!(SeedSearch::parse("brute"), Some(SeedSearch::Brute));
+        assert_eq!(SeedSearch::parse("PRUNED"), Some(SeedSearch::Pruned));
+        assert_eq!(SeedSearch::parse(" kdtree "), Some(SeedSearch::KdTree));
+        assert_eq!(SeedSearch::parse("kd"), Some(SeedSearch::KdTree));
+        assert_eq!(SeedSearch::parse("kd-tree"), Some(SeedSearch::KdTree));
+        assert_eq!(SeedSearch::parse("octree"), None);
+        assert_eq!(SeedSearch::parse(""), None);
     }
 }

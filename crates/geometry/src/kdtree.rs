@@ -11,7 +11,8 @@
 //! so it remains valid even if the originating store mutates afterwards —
 //! clustering always operates on a consistent snapshot.
 
-use crate::metric::sq_dist;
+use crate::metric::{sq_dist, sq_dist_bounded};
+use crate::stats::SearchStats;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -208,6 +209,103 @@ impl KdTree {
         out
     }
 
+    /// Single nearest neighbour with brute-force-identical tie-breaking and
+    /// [`SearchStats`] accounting — the engine behind the k-d seed-search
+    /// mode of [`NearestSeeds`](crate::assign::NearestSeeds).
+    ///
+    /// Points are addressed by **insertion order** (`0..len() as u32`), not
+    /// external id, so a caller that inserted its seeds in index order can
+    /// use the returned value directly. Returns `(point, squared distance)`
+    /// for the point nearest to `center`, with exact ties broken by the
+    /// lowest point index; `None` when the tree is empty or the only point
+    /// is excluded.
+    ///
+    /// * `exclude` removes one point from consideration without charging
+    ///   any counter for it.
+    /// * `hint`, when valid (in range, not excluded), is evaluated up front
+    ///   with a full [`sq_dist`] so the descent starts with a finite bound;
+    ///   the hint's node is then skipped during traversal so it is charged
+    ///   exactly once.
+    ///
+    /// Every other reachable point is charged to exactly one of
+    /// `stats.computed` (full evaluation via the early-exit kernel that ran
+    /// to completion) or `stats.partial` (evaluation abandoned once the
+    /// running sum exceeded the current best). Points cut off by a subtree
+    /// bound are *not* charged here — the caller knows the eligible count
+    /// and derives the pruned tally, keeping this routine oblivious to
+    /// subtree sizes.
+    ///
+    /// The far subtree is visited unless `diff² > best_sq` *strictly*: a
+    /// far-side point's squared distance is at least the floating-point
+    /// square of its axis gap, which is at least `fl(diff²)`, so a pruned
+    /// subtree provably holds no point that could beat *or tie* the best.
+    ///
+    /// # Panics
+    /// Panics if `center` has the wrong dimensionality.
+    pub fn nearest_one(
+        &self,
+        center: &[f64],
+        exclude: Option<u32>,
+        hint: Option<u32>,
+        stats: &mut SearchStats,
+    ) -> Option<(u32, f64)> {
+        assert_eq!(center.len(), self.dim, "query dimensionality mismatch");
+        if self.root == NONE {
+            return None;
+        }
+        let mut best: Option<(u32, f64)> = None;
+        let seeded = hint.filter(|&h| (h as usize) < self.len() && Some(h) != exclude);
+        if let Some(h) = seeded {
+            let sq = sq_dist(center, self.point(h));
+            stats.computed += 1;
+            best = Some((h, sq));
+        }
+        self.nearest_one_rec(self.root, center, exclude, seeded, 0, &mut best, stats);
+        best
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn nearest_one_rec(
+        &self,
+        node: u32,
+        center: &[f64],
+        exclude: Option<u32>,
+        seeded: Option<u32>,
+        depth: usize,
+        best: &mut Option<(u32, f64)>,
+        stats: &mut SearchStats,
+    ) {
+        let n = &self.nodes[node as usize];
+        let pt = n.point;
+        if Some(pt) != exclude && Some(pt) != seeded {
+            let bound = best.map_or(f64::INFINITY, |(_, sq)| sq);
+            match sq_dist_bounded(center, self.point(pt), bound) {
+                None => stats.partial += 1,
+                Some(sq) => {
+                    stats.computed += 1;
+                    match *best {
+                        Some((bi, bsq)) if sq > bsq || (sq == bsq && pt >= bi) => {}
+                        _ => *best = Some((pt, sq)),
+                    }
+                }
+            }
+        }
+        let axis = depth % self.dim;
+        let diff = center[axis] - self.point(pt)[axis];
+        let (near, far) = if diff <= 0.0 {
+            (n.left, n.right)
+        } else {
+            (n.right, n.left)
+        };
+        if near != NONE {
+            self.nearest_one_rec(near, center, exclude, seeded, depth + 1, best, stats);
+        }
+        let bsq = best.map_or(f64::INFINITY, |(_, sq)| sq);
+        if far != NONE && diff * diff <= bsq {
+            self.nearest_one_rec(far, center, exclude, seeded, depth + 1, best, stats);
+        }
+    }
+
     fn knn_rec(
         &self,
         node: u32,
@@ -373,6 +471,67 @@ mod tests {
         let tree = KdTree::build(2, pts.iter().map(|(id, p)| (*id, p.as_slice())));
         let hits = tree.range(&[2.0, 2.0], 0.0);
         assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn nearest_one_matches_brute_force_with_accounting() {
+        let pts = sample_points();
+        let tree = KdTree::build(2, pts.iter().map(|(id, p)| (*id, p.as_slice())));
+        for c in [[33.0, 66.0], [0.0, 0.0], [99.0, 1.0], [50.0, 50.0]] {
+            let mut brute: Vec<(u32, f64)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, (_, p))| (i as u32, sq_dist(p, &c)))
+                .collect();
+            brute.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            for hint in [None, Some(0u32), Some(137)] {
+                let mut stats = SearchStats::new();
+                let (idx, sq) = tree.nearest_one(&c, None, hint, &mut stats).unwrap();
+                assert_eq!((idx, sq), brute[0], "center {c:?} hint {hint:?}");
+                // Each point charged at most once; subtree cuts charge nothing.
+                assert!(stats.computed + stats.partial <= pts.len() as u64);
+                assert!(stats.computed >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_one_respects_exclusion_and_tie_break() {
+        // Duplicate points: lowest index must win; excluding it promotes
+        // the next-lowest duplicate.
+        let pts: Vec<(u64, Vec<f64>)> = vec![
+            (0, vec![5.0, 5.0]),
+            (1, vec![5.0, 5.0]),
+            (2, vec![9.0, 9.0]),
+        ];
+        let tree = KdTree::build(2, pts.iter().map(|(id, p)| (*id, p.as_slice())));
+        let mut stats = SearchStats::new();
+        let (idx, _) = tree
+            .nearest_one(&[5.0, 5.1], None, None, &mut stats)
+            .unwrap();
+        assert_eq!(idx, 0);
+        let (idx, _) = tree
+            .nearest_one(&[5.0, 5.1], Some(0), None, &mut stats)
+            .unwrap();
+        assert_eq!(idx, 1);
+        // Hinting the higher duplicate must still surface the lower one.
+        let (idx, _) = tree
+            .nearest_one(&[5.0, 5.1], None, Some(1), &mut stats)
+            .unwrap();
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn nearest_one_empty_and_fully_excluded() {
+        let empty = KdTree::build(2, std::iter::empty());
+        let mut stats = SearchStats::new();
+        assert!(empty
+            .nearest_one(&[0.0, 0.0], None, None, &mut stats)
+            .is_none());
+
+        let one = KdTree::build(1, [(7u64, [4.0].as_slice())]);
+        assert!(one.nearest_one(&[0.0], Some(0), None, &mut stats).is_none());
+        assert_eq!(stats, SearchStats::new());
     }
 
     #[test]

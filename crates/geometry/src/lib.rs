@@ -34,7 +34,7 @@ pub mod metric;
 pub mod parallel;
 pub mod stats;
 
-pub use assign::NearestSeeds;
+pub use assign::{NearestSeeds, SeedSearch, NO_HINT};
 pub use kdtree::KdTree;
 pub use matrix::SymMatrix;
 pub use metric::{dist, sq_dist};

@@ -39,6 +39,42 @@ pub fn dist(a: &[f64], b: &[f64]) -> f64 {
     sq_dist(a, b).sqrt()
 }
 
+/// Early-exit squared Euclidean distance: abandons the accumulation as soon
+/// as the running sum exceeds `bound` and returns `None`; otherwise returns
+/// `Some(sq_dist(a, b))`.
+///
+/// The per-axis terms are non-negative, so the running sum is monotonically
+/// non-decreasing; whenever the true squared distance is `<= bound` no
+/// partial sum can exceed the bound either, and the accumulation — in the
+/// same order as [`sq_dist`] — runs to completion and returns the
+/// bit-identical value. A `None` therefore *proves* `sq_dist(a, b) > bound`.
+///
+/// This is the innermost kernel of the nearest-seed engines: a candidate
+/// seed that cannot beat the current best is rejected after a handful of
+/// axes instead of all `d`, which the caller accounts as a *partial*
+/// evaluation in [`SearchStats`](crate::stats::SearchStats).
+///
+/// # Examples
+/// ```
+/// use idb_geometry::metric::{sq_dist, sq_dist_bounded};
+/// let (a, b) = ([0.0, 0.0], [3.0, 4.0]);
+/// assert_eq!(sq_dist_bounded(&a, &b, 25.0), Some(sq_dist(&a, &b)));
+/// assert_eq!(sq_dist_bounded(&a, &b, 24.9), None);
+/// ```
+#[inline]
+pub fn sq_dist_bounded(a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let mut acc = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+        if acc > bound {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
 /// Squared Euclidean norm of a vector (`|v|²`), used when deriving a data
 /// bubble's extent from its sufficient statistics.
 #[inline]
@@ -79,5 +115,31 @@ mod tests {
     #[test]
     fn empty_points_have_zero_distance() {
         assert_eq!(sq_dist(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn bounded_agrees_with_full_kernel_under_the_bound() {
+        let a = [1.0, -2.0, 3.5, 0.25];
+        let b = [0.5, 4.0, -1.0, 2.0];
+        let full = sq_dist(&a, &b);
+        assert_eq!(sq_dist_bounded(&a, &b, full), Some(full));
+        assert_eq!(sq_dist_bounded(&a, &b, full * 2.0), Some(full));
+        assert_eq!(sq_dist_bounded(&a, &b, f64::INFINITY), Some(full));
+    }
+
+    #[test]
+    fn bounded_abandons_above_the_bound() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [10.0, 10.0, 10.0];
+        assert_eq!(sq_dist_bounded(&a, &b, 50.0), None);
+        // The exact boundary is inclusive: only *exceeding* aborts.
+        assert_eq!(sq_dist_bounded(&a, &b, 300.0), Some(300.0));
+    }
+
+    #[test]
+    fn bounded_zero_bound_accepts_exact_duplicates() {
+        let p = [2.0, 3.0];
+        assert_eq!(sq_dist_bounded(&p, &p, 0.0), Some(0.0));
+        assert_eq!(sq_dist_bounded(&p, &[2.0, 3.5], 0.0), None);
     }
 }

@@ -124,6 +124,47 @@ where
     })
 }
 
+/// Splits the index range `0..len` into contiguous sub-ranges of
+/// `chunk_len` and runs `f` on every sub-range — in the calling thread
+/// when a single range suffices, otherwise one scoped worker thread per
+/// range. Returns the results **in range order**.
+///
+/// This is the index-space twin of [`run_chunks_with_len`] for callers
+/// that must slice *several* parallel buffers consistently (e.g. a query
+/// buffer plus a per-query hint array): the worker receives the index
+/// range and slices whatever it needs.
+///
+/// # Panics
+/// Panics if `chunk_len == 0` (with `len > 0`), or propagates a worker
+/// panic.
+pub fn run_ranges<R, F>(len: usize, chunk_len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    if len <= chunk_len {
+        return vec![f(0..len)];
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..len)
+            .step_by(chunk_len)
+            .map(|start| {
+                let end = (start + chunk_len).min(len);
+                scope.spawn(move || f(start..end))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
 /// [`run_chunks_with_len`] with the chunk length derived from a worker
 /// count: `threads` contiguous chunks of near-equal size (`threads ≤ 1`
 /// degenerates to one serial chunk).
@@ -189,6 +230,16 @@ mod tests {
                 .sum();
             assert_eq!(total, serial);
         }
+    }
+
+    #[test]
+    fn run_ranges_covers_every_index_in_order() {
+        for (len, chunk) in [(103usize, 10usize), (10, 10), (10, 100), (7, 1)] {
+            let ranges = run_ranges(len, chunk, |r| r.collect::<Vec<usize>>());
+            let flat: Vec<usize> = ranges.into_iter().flatten().collect();
+            assert_eq!(flat, (0..len).collect::<Vec<usize>>(), "{len}/{chunk}");
+        }
+        assert!(run_ranges(0, 4, |r| r.len()).is_empty());
     }
 
     #[test]

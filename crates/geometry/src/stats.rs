@@ -11,17 +11,26 @@ use std::ops::AddAssign;
 
 /// Counter of point-to-seed distance computations performed and avoided.
 ///
-/// `computed` counts actual Euclidean distance evaluations between a query
+/// `computed` counts full Euclidean distance evaluations between a query
 /// point and a candidate seed. `pruned` counts candidate seeds that were
-/// eliminated by the triangle inequality (Lemma 1) *without* computing their
-/// distance to the query point. `computed + pruned` equals the number of
-/// distance computations a brute-force search would have performed.
+/// eliminated — by the triangle inequality (Lemma 1) or a k-d subtree cut —
+/// *without* touching their coordinates at all. `partial` counts candidates
+/// whose evaluation was started but abandoned early by the bounded kernel
+/// ([`sq_dist_bounded`](crate::metric::sq_dist_bounded)) once the running
+/// sum proved them worse than the current best. Every candidate a search
+/// considers lands in exactly one bucket, so
+/// `computed + pruned + partial` equals the number of full distance
+/// computations a brute-force search would have performed.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SearchStats {
-    /// Point–seed distances actually evaluated.
+    /// Point–seed distances evaluated to full dimensionality.
     pub computed: u64,
-    /// Point–seed distances avoided via the triangle inequality.
+    /// Point–seed distances avoided entirely (triangle inequality or
+    /// k-d subtree cut): the candidate's coordinates were never read.
     pub pruned: u64,
+    /// Point–seed distance evaluations abandoned partway by the early-exit
+    /// kernel: some axes were accumulated, then the candidate was rejected.
+    pub partial: u64,
 }
 
 impl SearchStats {
@@ -31,14 +40,17 @@ impl SearchStats {
         Self::default()
     }
 
-    /// Total candidates considered (`computed + pruned`); equals the cost of
-    /// the brute-force baseline on the same queries.
+    /// Total candidates considered (`computed + pruned + partial`); equals
+    /// the cost of the brute-force baseline on the same queries.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.computed + self.pruned
+        self.computed + self.pruned + self.partial
     }
 
-    /// Fraction of candidate distances that were pruned, in `[0, 1]`.
+    /// Fraction of candidate distances that were pruned outright, in
+    /// `[0, 1]` — the quantity Figure 10 of the paper plots. Partial
+    /// evaluations count toward the denominator but not the numerator, so
+    /// the value stays a conservative lower bound on the avoided work.
     ///
     /// Returns `0.0` when no candidate was considered at all, so the value
     /// is always finite.
@@ -52,7 +64,22 @@ impl SearchStats {
         }
     }
 
-    /// Resets both counters to zero, keeping the allocation-free value type
+    /// Fraction of candidates whose full-dimensionality evaluation was
+    /// avoided (`(pruned + partial) / total`), in `[0, 1]`: the combined
+    /// effect of Lemma 1 pruning and the early-exit kernel.
+    ///
+    /// Returns `0.0` when no candidate was considered at all.
+    #[must_use]
+    pub fn avoided_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.pruned + self.partial) as f64 / total as f64
+        }
+    }
+
+    /// Resets all counters to zero, keeping the allocation-free value type
     /// reusable across experiment phases.
     pub fn reset(&mut self) {
         *self = Self::default();
@@ -63,6 +90,7 @@ impl AddAssign for SearchStats {
     fn add_assign(&mut self, rhs: Self) {
         self.computed += rhs.computed;
         self.pruned += rhs.pruned;
+        self.partial += rhs.partial;
     }
 }
 
@@ -75,18 +103,22 @@ mod tests {
         let s = SearchStats::new();
         assert_eq!(s.computed, 0);
         assert_eq!(s.pruned, 0);
+        assert_eq!(s.partial, 0);
         assert_eq!(s.total(), 0);
         assert_eq!(s.pruned_fraction(), 0.0);
+        assert_eq!(s.avoided_fraction(), 0.0);
     }
 
     #[test]
     fn pruned_fraction_is_ratio_of_total() {
         let s = SearchStats {
-            computed: 25,
+            computed: 15,
             pruned: 75,
+            partial: 10,
         };
         assert_eq!(s.total(), 100);
         assert!((s.pruned_fraction() - 0.75).abs() < 1e-12);
+        assert!((s.avoided_fraction() - 0.85).abs() < 1e-12);
     }
 
     #[test]
@@ -94,16 +126,19 @@ mod tests {
         let mut a = SearchStats {
             computed: 1,
             pruned: 2,
+            partial: 3,
         };
         a += SearchStats {
             computed: 10,
             pruned: 20,
+            partial: 30,
         };
         assert_eq!(
             a,
             SearchStats {
                 computed: 11,
-                pruned: 22
+                pruned: 22,
+                partial: 33,
             }
         );
     }
@@ -113,6 +148,7 @@ mod tests {
         let mut s = SearchStats {
             computed: 5,
             pruned: 7,
+            partial: 9,
         };
         s.reset();
         assert_eq!(s, SearchStats::default());

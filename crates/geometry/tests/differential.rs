@@ -1,16 +1,17 @@
-//! Differential suite: the parallel batch assignment entry points must be
-//! *bit-identical* to the serial per-query reference — assignments,
-//! distances, and the instrumented [`SearchStats`] counters alike — for
-//! every thread count.
+//! Differential suite: every nearest-seed engine and every parallel batch
+//! entry point must be *bit-identical* to the serial brute-force reference
+//! — assignments, distances, tie-breaking, and the instrumented
+//! [`SearchStats`] counters alike — for every thread count, hint pattern,
+//! and post-mutation (merge/split-style) seed set.
 //!
 //! The paper reports its efficiency results in distance computations
 //! (Figures 10 and 11), so the counters are part of the contract, not just
 //! the assignments. The suite drives randomized seed sets and query
-//! buffers through [`NearestSeeds::nearest_batch_brute`] and
-//! [`NearestSeeds::nearest_batch_pruned`] under `Serial` and
-//! `Threads(2 | 4 | 8)` and demands exact equality throughout.
+//! buffers through [`NearestSeeds::nearest_batch`] under all three
+//! [`SeedSearch`] engines and `Serial` / `Threads(2 | 4 | 8)` and demands
+//! exact equality throughout.
 
-use idb_geometry::{NearestSeeds, Parallelism, SearchStats};
+use idb_geometry::{NearestSeeds, Parallelism, SearchStats, SeedSearch, NO_HINT};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -21,13 +22,16 @@ const MODES: [Parallelism; 4] = [
     Parallelism::Threads(4),
     Parallelism::Threads(8),
 ];
+const ENGINES: [SeedSearch; 3] = [SeedSearch::Brute, SeedSearch::Pruned, SeedSearch::KdTree];
 
-/// One randomized instance: a seed set, a query buffer, and an optional
-/// excluded seed.
+/// One randomized instance: a seed set (sometimes containing exact
+/// duplicates), a query buffer, an optional excluded seed, and a per-query
+/// warm-start hint pattern mixing valid seeds with [`NO_HINT`].
 struct Case {
     seeds: NearestSeeds,
     queries: Vec<f64>,
     exclude: Option<usize>,
+    hints: Vec<u32>,
     dim: usize,
 }
 
@@ -38,9 +42,17 @@ fn random_case(rng: &mut StdRng) -> Case {
     // queries than threads, and buffers that split unevenly.
     let num_queries = rng.gen_range(0..=65);
     let mut seeds = NearestSeeds::new(dim);
-    for _ in 0..num_seeds {
-        let s: Vec<f64> = (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
-        seeds.push(&s);
+    for i in 0..num_seeds {
+        // One seed in four duplicates an earlier one, exercising the exact
+        // tie-break (lowest index wins) in every engine.
+        if i > 0 && rng.gen_range(0..4) == 0 {
+            let dup = rng.gen_range(0..i);
+            let copy: Vec<f64> = seeds.seed(dup).to_vec();
+            seeds.push(&copy);
+        } else {
+            let s: Vec<f64> = (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
+            seeds.push(&s);
+        }
     }
     let queries: Vec<f64> = (0..num_queries * dim)
         .map(|_| rng.gen_range(-60.0..60.0))
@@ -52,119 +64,124 @@ fn random_case(rng: &mut StdRng) -> Case {
     } else {
         None
     };
+    let hints: Vec<u32> = (0..num_queries)
+        .map(|_| {
+            if rng.gen_range(0..3) == 0 {
+                NO_HINT
+            } else {
+                rng.gen_range(0..num_seeds) as u32
+            }
+        })
+        .collect();
     Case {
         seeds,
         queries,
         exclude,
+        hints,
         dim,
     }
 }
 
-/// Per-query serial reference for one case.
-fn reference(case: &Case, pruned: bool) -> (Vec<(u32, f64)>, SearchStats) {
+/// Per-query serial reference for one case under one engine.
+fn reference(case: &Case, engine: SeedSearch, hinted: bool) -> (Vec<(u32, f64)>, SearchStats) {
     let mut stats = SearchStats::new();
     let out = case
         .queries
         .chunks_exact(case.dim)
-        .map(|q| {
-            let (i, d) = if pruned {
-                case.seeds
-                    .nearest_pruned(q, case.exclude, None, &mut stats)
-                    .expect("eligible seed")
+        .enumerate()
+        .map(|(qi, q)| {
+            let hint = if hinted && case.hints[qi] != NO_HINT {
+                Some(case.hints[qi] as usize)
             } else {
-                case.seeds
-                    .nearest_brute(q, case.exclude, &mut stats)
-                    .expect("eligible seed")
+                None
             };
+            let (i, d) = case
+                .seeds
+                .nearest(engine, q, case.exclude, hint, &mut stats)
+                .expect("eligible seed");
             (i as u32, d)
         })
         .collect();
     (out, stats)
 }
 
-fn run_differential(pruned: bool, seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
+/// Batch calls match the per-query serial reference bit-for-bit in every
+/// engine, every parallelism mode, hinted and unhinted.
+#[test]
+fn batch_matches_serial_reference_in_every_engine_and_mode() {
+    let mut rng = StdRng::seed_from_u64(0xB001);
     for case_no in 0..CASES {
         let case = random_case(&mut rng);
-        let (ref_out, ref_stats) = reference(&case, pruned);
-        for par in MODES {
-            let mut stats = SearchStats::new();
-            let out = if pruned {
-                case.seeds
-                    .nearest_batch_pruned(&case.queries, case.exclude, par, &mut stats)
-            } else {
-                case.seeds
-                    .nearest_batch_brute(&case.queries, case.exclude, par, &mut stats)
-            };
-            assert_eq!(
-                out, ref_out,
-                "case {case_no} ({par:?}): assignments diverged"
-            );
-            assert_eq!(
-                (stats.computed, stats.pruned),
-                (ref_stats.computed, ref_stats.pruned),
-                "case {case_no} ({par:?}): distance accounting diverged"
-            );
+        for engine in ENGINES {
+            for hinted in [false, true] {
+                let (ref_out, ref_stats) = reference(&case, engine, hinted);
+                let hints = hinted.then_some(case.hints.as_slice());
+                for par in MODES {
+                    let mut stats = SearchStats::new();
+                    let out = case.seeds.nearest_batch(
+                        &case.queries,
+                        case.exclude,
+                        engine,
+                        hints,
+                        par,
+                        &mut stats,
+                    );
+                    assert_eq!(
+                        out, ref_out,
+                        "case {case_no} ({engine:?}, hinted={hinted}, {par:?}): assignments diverged"
+                    );
+                    assert_eq!(
+                        stats, ref_stats,
+                        "case {case_no} ({engine:?}, hinted={hinted}, {par:?}): accounting diverged"
+                    );
+                }
+            }
         }
     }
 }
 
+/// All engines return bit-identical `(index, distance)` pairs to brute
+/// force — same index on exact ties (lowest wins), same distance bits —
+/// regardless of hints.
 #[test]
-fn batch_brute_matches_serial_reference_in_every_mode() {
-    run_differential(false, 0xB001);
-}
-
-#[test]
-fn batch_pruned_matches_serial_reference_in_every_mode() {
-    run_differential(true, 0xF16);
-}
-
-/// The pruned and brute paths must agree on the *assignment* (the counters
-/// legitimately differ — that difference is the paper's Figure 10).
-#[test]
-fn pruned_and_brute_agree_on_assignments() {
+fn engines_bit_identical_to_brute_force() {
     let mut rng = StdRng::seed_from_u64(0xAB);
     for case_no in 0..CASES {
         let case = random_case(&mut rng);
-        let mut s1 = SearchStats::new();
-        let mut s2 = SearchStats::new();
-        let brute = case.seeds.nearest_batch_brute(
-            &case.queries,
-            case.exclude,
-            Parallelism::Threads(4),
-            &mut s1,
-        );
-        let pruned = case.seeds.nearest_batch_pruned(
-            &case.queries,
-            case.exclude,
-            Parallelism::Threads(4),
-            &mut s2,
-        );
-        for (q, (b, p)) in brute.iter().zip(&pruned).enumerate() {
-            assert_eq!(b.1, p.1, "case {case_no}, query {q}: distances differ");
-            // Seed indices may differ only on exact distance ties.
-            if b.0 != p.0 {
+        let (brute, brute_stats) = reference(&case, SeedSearch::Brute, false);
+        for engine in [SeedSearch::Pruned, SeedSearch::KdTree] {
+            for hinted in [false, true] {
+                let (out, stats) = reference(&case, engine, hinted);
+                assert_eq!(out.len(), brute.len());
+                for (q, (b, o)) in brute.iter().zip(&out).enumerate() {
+                    assert_eq!(
+                        b.0, o.0,
+                        "case {case_no}, query {q} ({engine:?}, hinted={hinted}): index diverged"
+                    );
+                    assert_eq!(
+                        b.1.to_bits(),
+                        o.1.to_bits(),
+                        "case {case_no}, query {q} ({engine:?}, hinted={hinted}): distance bits diverged"
+                    );
+                }
+                assert!(
+                    stats.computed <= brute_stats.computed,
+                    "case {case_no} ({engine:?}): engine computed more than brute force"
+                );
                 assert_eq!(
-                    b.1, p.1,
-                    "case {case_no}, query {q}: different seeds at different distances"
+                    stats.total(),
+                    brute_stats.total(),
+                    "case {case_no} ({engine:?}): candidate accounting diverged"
                 );
             }
         }
-        assert!(
-            s2.computed <= s1.computed,
-            "case {case_no}: pruning computed more distances than brute force"
-        );
-        assert_eq!(
-            s1.computed + s1.pruned,
-            s2.computed + s2.pruned,
-            "case {case_no}: candidate accounting diverged"
-        );
     }
 }
 
 /// Counter merging is pure u64 addition over per-chunk counters, so a
 /// batch split across threads must account each candidate exactly once:
-/// computed + pruned = queries x eligible seeds, in every mode.
+/// computed + pruned + partial = queries x eligible seeds, in every engine
+/// and every mode.
 #[test]
 fn merged_counters_cover_every_candidate_exactly_once() {
     let mut rng = StdRng::seed_from_u64(0xCC);
@@ -172,15 +189,72 @@ fn merged_counters_cover_every_candidate_exactly_once() {
         let case = random_case(&mut rng);
         let queries = case.queries.len() / case.dim;
         let eligible = case.seeds.len() - usize::from(case.exclude.is_some());
-        for par in MODES {
-            let mut stats = SearchStats::new();
-            case.seeds
-                .nearest_batch_pruned(&case.queries, case.exclude, par, &mut stats);
-            assert_eq!(
-                stats.computed + stats.pruned,
-                (queries * eligible) as u64,
-                "{par:?}"
-            );
+        for engine in ENGINES {
+            for par in MODES {
+                let mut stats = SearchStats::new();
+                case.seeds.nearest_batch(
+                    &case.queries,
+                    case.exclude,
+                    engine,
+                    Some(&case.hints),
+                    par,
+                    &mut stats,
+                );
+                assert_eq!(
+                    stats.total(),
+                    (queries * eligible) as u64,
+                    "{engine:?} {par:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Seed-set mutations — the merge/split/retire bookkeeping of the
+/// incremental maintainer — keep every engine bit-identical to brute
+/// force, including warm-start hints that point at the mutated seeds.
+#[test]
+fn engines_stay_identical_across_seed_mutations() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for case_no in 0..CASES {
+        let mut case = random_case(&mut rng);
+        // A short mutation script: replace (split/merge re-seeding), push
+        // (adaptive growth), swap_remove (adaptive retirement).
+        for step in 0..rng.gen_range(1..=4) {
+            let s = case.seeds.len();
+            match rng.gen_range(0..3) {
+                0 => {
+                    let i = rng.gen_range(0..s);
+                    let p: Vec<f64> = (0..case.dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
+                    case.seeds.replace(i, &p);
+                }
+                1 => {
+                    let p: Vec<f64> = (0..case.dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
+                    case.seeds.push(&p);
+                }
+                _ if s > 1 => case.seeds.swap_remove(rng.gen_range(0..s)),
+                _ => {}
+            }
+            let s = case.seeds.len();
+            // Refresh exclusion and hints to the surviving index range —
+            // exactly what the maintainer does after a merge/split.
+            case.exclude = case.exclude.filter(|&e| e < s && s > 1);
+            for h in &mut case.hints {
+                if *h != NO_HINT && *h as usize >= s {
+                    *h = rng.gen_range(0..s) as u32;
+                }
+            }
+            let (brute, _) = reference(&case, SeedSearch::Brute, false);
+            for engine in [SeedSearch::Pruned, SeedSearch::KdTree] {
+                let (out, _) = reference(&case, engine, true);
+                for (q, (b, o)) in brute.iter().zip(&out).enumerate() {
+                    assert_eq!(
+                        (b.0, b.1.to_bits()),
+                        (o.0, o.1.to_bits()),
+                        "case {case_no}, step {step}, query {q} ({engine:?}): diverged after mutation"
+                    );
+                }
+            }
         }
     }
 }

@@ -5,7 +5,8 @@
 //! relative to the brute-force baseline. The k-d tree's range/knn results are
 //! likewise checked against exhaustive scans on random inputs.
 
-use idb_geometry::{dist, KdTree, NearestSeeds, SearchStats};
+use idb_geometry::metric::{sq_dist, sq_dist_bounded};
+use idb_geometry::{dist, KdTree, NearestSeeds, SearchStats, SeedSearch};
 use proptest::prelude::*;
 
 fn point(dim: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -31,12 +32,13 @@ proptest! {
         let hint = Some(hint_raw % set.len());
         let mut bs = SearchStats::new();
         let mut ps = SearchStats::new();
-        let (_, bd) = set.nearest_brute(&q, None, &mut bs).unwrap();
+        let (bi, bd) = set.nearest_brute(&q, None, &mut bs).unwrap();
         let (pi, pd) = set.nearest_pruned(&q, None, hint, &mut ps).unwrap();
-        prop_assert!((bd - pd).abs() < 1e-9);
+        prop_assert_eq!(bi, pi);
+        prop_assert_eq!(bd.to_bits(), pd.to_bits());
         // The returned index truly attains the minimum distance.
         prop_assert!((dist(&q, set.seed(pi)) - pd).abs() < 1e-12);
-        // Work accounting: pruned + computed covers exactly all seeds.
+        // Work accounting: pruned + computed + partial covers all seeds.
         prop_assert_eq!(ps.total(), set.len() as u64);
     }
 
@@ -115,6 +117,71 @@ proptest! {
         prop_assert_eq!(got.len(), expect_len);
         for (i, (_, d)) in got.iter().enumerate() {
             prop_assert!((d - want[i]).abs() < 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whenever the true squared distance is within the bound, the
+    /// early-exit kernel runs to completion and returns the bit-identical
+    /// value of the plain kernel; whenever it abandons, the true value
+    /// really exceeds the bound.
+    #[test]
+    fn bounded_kernel_agrees_with_full_kernel(
+        a in prop::collection::vec(-100.0f64..100.0, 1..8),
+        b_raw in prop::collection::vec(-100.0f64..100.0, 1..8),
+        factor in 0.0f64..2.0,
+    ) {
+        let n = a.len().min(b_raw.len());
+        let (a, b) = (&a[..n], &b_raw[..n]);
+        let full = sq_dist(a, b);
+        let bound = full * factor;
+        match sq_dist_bounded(a, b, bound) {
+            Some(sq) => {
+                prop_assert_eq!(sq.to_bits(), full.to_bits());
+                prop_assert!(full <= bound || full == 0.0);
+            }
+            None => prop_assert!(full > bound),
+        }
+        // At or above the exact value the kernel always completes.
+        prop_assert_eq!(sq_dist_bounded(a, b, full), Some(full));
+        prop_assert_eq!(sq_dist_bounded(a, b, f64::INFINITY), Some(full));
+    }
+
+    /// All three engines return identical `(index, distance)` pairs —
+    /// including under exclusion, warm-start hints, and degenerate
+    /// duplicate-seed sets — and each accounts every eligible seed exactly
+    /// once across computed/pruned/partial.
+    #[test]
+    fn all_engines_identical_with_full_accounting(
+        seeds in points(3, 32),
+        dup_raw in 0usize..64,
+        q in point(3),
+        hint_raw in 0usize..64,
+        ex_raw in prop::option::of(0usize..64),
+    ) {
+        let mut set = NearestSeeds::from_seeds(3, seeds.iter().map(|s| s.as_slice()));
+        // Degenerate case: duplicate one seed so exact ties exist.
+        let dup: Vec<f64> = set.seed(dup_raw % set.len()).to_vec();
+        set.push(&dup);
+        let s = set.len();
+        let hint = Some(hint_raw % s);
+        let ex = ex_raw.map(|e| e % s).filter(|_| s > 1);
+        let eligible = (s - usize::from(ex.is_some())) as u64;
+
+        let mut bs = SearchStats::new();
+        let (bi, bd) = set.nearest_brute(&q, ex, &mut bs).unwrap();
+        prop_assert_eq!(bs.total(), eligible);
+        for engine in [SeedSearch::Pruned, SeedSearch::KdTree] {
+            for h in [None, hint] {
+                let mut es = SearchStats::new();
+                let (ei, ed) = set.nearest(engine, &q, ex, h, &mut es).unwrap();
+                prop_assert_eq!(bi, ei, "engine {:?} hint {:?}", engine, h);
+                prop_assert_eq!(bd.to_bits(), ed.to_bits(), "engine {:?} hint {:?}", engine, h);
+                prop_assert_eq!(es.total(), eligible, "engine {:?} hint {:?}", engine, h);
+            }
         }
     }
 }

@@ -51,7 +51,7 @@ fn main() {
         let mut rebuild_search = SearchStats::new();
         let rebuilt = IncrementalBubbles::build(
             &store,
-            MaintainerConfig::new(150).with_strategy(AssignStrategy::Brute),
+            MaintainerConfig::new(150).with_seed_search(SeedSearch::Brute),
             &mut rng,
             &mut rebuild_search,
         );

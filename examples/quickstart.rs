@@ -38,11 +38,12 @@ fn main() {
     let bubbles =
         IncrementalBubbles::build(&store, MaintainerConfig::new(100), &mut rng, &mut search);
     println!(
-        "summarized into {} bubbles: {} distance computations, {} pruned ({:.1} % saved)",
+        "summarized into {} bubbles: {} full distance computations, {} pruned, {} early-exited ({:.1} % saved)",
         bubbles.num_bubbles(),
         search.computed,
         search.pruned,
-        search.pruned_fraction() * 100.0
+        search.partial,
+        search.avoided_fraction() * 100.0
     );
 
     // 3. Hierarchical clustering on the summary only: OPTICS over 100

@@ -73,9 +73,9 @@ pub mod prelude {
         extract_clusters, optics_bubbles, optics_points, ExtractParams, ReachabilityPlot,
     };
     pub use idb_core::{
-        AssignStrategy, AuditError, AuditIssue, AuditReport, Bubble, DataSummary,
-        IncrementalBubbles, MaintainerConfig, QualityKind, RepairReport, SplitSeedPolicy,
-        SufficientStats, UpdateError,
+        AuditError, AuditIssue, AuditReport, Bubble, DataSummary, IncrementalBubbles,
+        MaintainerConfig, QualityKind, RepairReport, SeedSearch, SplitSeedPolicy, SufficientStats,
+        UpdateError,
     };
     pub use idb_eval::{compactness_per_point, fscore, Aggregate};
     pub use idb_geometry::SearchStats;

@@ -27,8 +27,15 @@ fn run_scenario(kind: ScenarioKind, dim: usize, seed: u64) -> RunResult {
     let mut store = engine.populate(&mut rng);
 
     let mut build = SearchStats::new();
-    let mut ib =
-        IncrementalBubbles::build(&store, MaintainerConfig::new(BUBBLES), &mut rng, &mut build);
+    // The incremental scheme runs the pruned (triangle-inequality) engine
+    // explicitly: the Figure 10 pruning-fraction claim below is about it,
+    // so the IDB_SEED_SEARCH environment must not swap it out.
+    let mut ib = IncrementalBubbles::build(
+        &store,
+        MaintainerConfig::new(BUBBLES).with_seed_search(SeedSearch::Pruned),
+        &mut rng,
+        &mut build,
+    );
 
     let mut batch_stats_total = SearchStats::new();
     let mut saving = Aggregate::new();
@@ -55,7 +62,7 @@ fn run_scenario(kind: ScenarioKind, dim: usize, seed: u64) -> RunResult {
     let mut rebuild = SearchStats::new();
     let complete = IncrementalBubbles::build(
         &store,
-        MaintainerConfig::new(BUBBLES).with_strategy(AssignStrategy::Brute),
+        MaintainerConfig::new(BUBBLES).with_seed_search(SeedSearch::Brute),
         &mut rng,
         &mut rebuild,
     );
