@@ -1,17 +1,27 @@
 #!/usr/bin/env bash
 # Full local CI gate: build, tests (in both parallelism modes and under
-# every seed-search engine), lints, formatting, bench compilation.
+# every seed-search engine), crash-consistency suites, lints, formatting,
+# bench compilation.
 #
 # The tier-1 gate is `cargo build --release && cargo test -q` at the repo
 # root; this script runs that plus the workspace-wide test suite — twice,
 # once per parallel execution mode (the IDB_PARALLELISM default, see
 # DESIGN.md §9), which must be observationally identical — the
 # differential suites once per assignment engine (the IDB_SEED_SEARCH
-# default, see DESIGN.md §10), which must be bit-identical — clippy with
-# warnings promoted to errors, a formatting check, and a compile check of
-# the criterion benches.
+# default, see DESIGN.md §10), which must be bit-identical — the
+# durability suites (DESIGN.md §11) with a kill-at-random-crash-point
+# smoke loop under varying seeds — clippy with warnings promoted to
+# errors, a formatting check, and a compile check of the criterion
+# benches.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# Hermetic scratch space for the file-backed durability tests: everything
+# that honors IDB_WAL_DIR (FileSink fixtures, the crash smoke test, the
+# durability bench) lands in a throwaway directory.
+IDB_WAL_DIR="$(mktemp -d)"
+export IDB_WAL_DIR
+trap 'rm -rf "$IDB_WAL_DIR"' EXIT
 
 cargo build --release
 IDB_PARALLELISM=serial cargo test -q
@@ -24,6 +34,16 @@ for engine in brute pruned kdtree; do
     IDB_SEED_SEARCH="$engine" cargo test -q -p idb-geometry --test differential
     IDB_SEED_SEARCH="$engine" cargo test -q -p idb-core --test differential
     IDB_SEED_SEARCH="$engine" cargo test -q -p idb-core --test properties
+done
+# Durability: the full crash-consistency differential suite and the
+# hostile-input corpus, then the file-backed kill-at-random-crash-point
+# smoke under a few distinct seeds (each seed picks a different scenario
+# and crash byte).
+cargo test -q -p idb-core --test crash_consistency
+cargo test -q -p idb-store --test hardening
+for crash_seed in 11 1986 777216; do
+    IDB_CRASH_SEED="$crash_seed" cargo test -q -p idb-core --test crash_consistency \
+        kill_at_random_crash_point_smoke
 done
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check

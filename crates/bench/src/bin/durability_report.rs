@@ -1,0 +1,246 @@
+//! Records the durability-layer cost profile to `BENCH_durability.json`
+//! without the criterion harness (so it runs in offline environments
+//! where the criterion dependency is stubbed).
+//!
+//! Three measurements over the complex dynamic scenario:
+//!
+//! * **WAL throughput** — batches/second through the full durable path
+//!   (validate → append → group-commit → apply → maintain) against an
+//!   in-memory sink and a real file under `IDB_WAL_DIR`, at group-commit
+//!   sizes 1 and 8, next to the undurable baseline of the same stream —
+//!   so the logging overhead is the difference, not a guess.
+//! * **Recovery time vs. WAL tail length** — wall-clock to recover from
+//!   the latest checkpoint as the number of batches to replay grows
+//!   (checkpoint cadence 1, 16, 64 over a 64-batch stream).
+//! * **Checkpoint write cost** — median seconds to serialize and store
+//!   one full checkpoint, with its size in bytes.
+//!
+//! Usage: `durability_report [output.json]` (default
+//! `BENCH_durability.json`).
+
+use idb_bench::complex_fixture;
+use idb_core::{
+    recover, DurabilityConfig, DurableMaintainer, IncrementalBubbles, MaintainerConfig,
+    MemCheckpoints, Parallelism, SeedSearch,
+};
+use idb_geometry::SearchStats;
+use idb_store::wal::{read_wal, scratch_dir, FileSink, MemSink};
+use idb_store::Batch;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const REPS: usize = 5;
+const BATCHES: usize = 64;
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+struct Stream {
+    store: idb_store::PointStore,
+    config: MaintainerConfig,
+    steps: Vec<(Batch, u64)>,
+}
+
+/// Pre-plans a fixed 64-batch stream so every measured variant runs the
+/// identical workload.
+fn plan_stream() -> Stream {
+    let (mut scenario, store, mut rng) = complex_fixture(2, 20_000, 23);
+    let mut sim = store.clone();
+    let steps = (0..BATCHES)
+        .map(|_| {
+            let (batch, _) = scenario.step_plain(&mut sim, &mut rng);
+            (batch, rng.gen::<u64>())
+        })
+        .collect();
+    Stream {
+        store,
+        config: MaintainerConfig::new(200)
+            .with_seed_search(SeedSearch::Pruned)
+            .with_parallelism(Parallelism::Serial),
+        steps,
+    }
+}
+
+fn build(stream: &Stream) -> IncrementalBubbles {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut stats = SearchStats::new();
+    IncrementalBubbles::build(&stream.store, stream.config.clone(), &mut rng, &mut stats)
+}
+
+/// The undurable baseline: the same batches and maintenance, no logging.
+fn baseline_secs(stream: &Stream) -> f64 {
+    median(
+        (0..REPS)
+            .map(|_| {
+                let mut store = stream.store.clone();
+                let mut ib = build(stream);
+                let mut stats = SearchStats::new();
+                let t0 = Instant::now();
+                for (batch, seed) in &stream.steps {
+                    ib.apply_batch(&mut store, batch, &mut stats);
+                    let mut rng = StdRng::seed_from_u64(*seed);
+                    ib.maintain(&store, &mut rng, &mut stats);
+                }
+                t0.elapsed().as_secs_f64()
+            })
+            .collect(),
+    )
+}
+
+fn durable_secs<S, F>(stream: &Stream, group_commit: usize, mut sink: F) -> f64
+where
+    S: idb_store::DurableSink,
+    F: FnMut() -> S,
+{
+    median(
+        (0..REPS)
+            .map(|_| {
+                let dcfg = DurabilityConfig {
+                    group_commit,
+                    checkpoint_interval: u64::MAX,
+                    ..DurabilityConfig::default()
+                };
+                let mut dm = DurableMaintainer::adopt(
+                    stream.store.clone(),
+                    build(stream),
+                    dcfg,
+                    sink(),
+                    MemCheckpoints::new(),
+                )
+                .expect("sink is healthy");
+                let mut stats = SearchStats::new();
+                let t0 = Instant::now();
+                for (batch, seed) in &stream.steps {
+                    dm.apply_with(batch, *seed, true, &mut stats)
+                        .expect("planned batches are valid");
+                }
+                dm.sync();
+                t0.elapsed().as_secs_f64()
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_durability.json".to_string());
+    let stream = plan_stream();
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"durability\",\n");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(json, "  \"batches\": {BATCHES},");
+
+    // WAL throughput.
+    let base = baseline_secs(&stream);
+    eprintln!("baseline (no durability): {base:.4}s for {BATCHES} batches");
+    json.push_str("  \"wal_throughput\": [\n");
+    let mut rows = vec![("none", "baseline", 0usize, base)];
+    for group_commit in [1usize, 8] {
+        let mem = durable_secs(&stream, group_commit, MemSink::new);
+        eprintln!("mem sink, group_commit={group_commit}: {mem:.4}s");
+        rows.push(("mem", "durable", group_commit, mem));
+        let dir = scratch_dir().join(format!("idb-durability-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+        let path = dir.join("bench.wal");
+        let file = durable_secs(&stream, group_commit, || {
+            FileSink::create(&path).expect("create bench wal")
+        });
+        eprintln!("file sink, group_commit={group_commit}: {file:.4}s");
+        rows.push(("file", "durable", group_commit, file));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    for (i, (sink, mode, gc, secs)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"sink\": \"{sink}\", \"mode\": \"{mode}\", \"group_commit\": {gc}, \"median_secs\": {secs:.6}, \"batches_per_sec\": {:.1}}}{comma}",
+            BATCHES as f64 / secs
+        );
+    }
+    json.push_str("  ],\n");
+
+    // Recovery time vs. WAL tail length: one run with only the baseline
+    // anchor checkpoint (covering batch 0), recovered from prefixes of
+    // the WAL, so the replay tail is exactly the number of records in
+    // the prefix. Plus the cost of writing one full checkpoint.
+    json.push_str("  \"recovery\": [\n");
+    let mut dm = DurableMaintainer::adopt(
+        stream.store.clone(),
+        build(&stream),
+        DurabilityConfig {
+            checkpoint_interval: u64::MAX,
+            ..DurabilityConfig::default()
+        },
+        MemSink::new(),
+        MemCheckpoints::new(),
+    )
+    .expect("mem sink is healthy");
+    let mut stats = SearchStats::new();
+    for (batch, seed) in &stream.steps {
+        dm.apply_with(batch, *seed, true, &mut stats)
+            .expect("planned batches are valid");
+    }
+    let (end_store, ib, sink, ckpts) = dm.into_parts();
+
+    // Checkpoint serialization cost, measured on the final state.
+    let times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            let blob = idb_core::encode_checkpoint(999, BATCHES as u64, &end_store, &ib)
+                .expect("in-memory encode");
+            std::hint::black_box(blob.len());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    let blob = idb_core::encode_checkpoint(999, BATCHES as u64, &end_store, &ib)
+        .expect("in-memory encode");
+    let checkpoint_cost = (median(times), blob.len());
+
+    let wal_bytes = sink.into_bytes();
+    let ends = read_wal(&wal_bytes).expect("reference wal is intact").ends;
+    let mut recovery_rows = Vec::new();
+    for tail in [1usize, 16, 64] {
+        let prefix = &wal_bytes[..ends[tail - 1]];
+        let times: Vec<f64> = (0..REPS)
+            .map(|_| {
+                let t0 = Instant::now();
+                let rec = recover(prefix, &ckpts).expect("clean recovery");
+                std::hint::black_box(rec.batches_durable);
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        let rec = recover(prefix, &ckpts).expect("clean recovery");
+        assert_eq!(rec.replayed as usize, tail);
+        let secs = median(times);
+        eprintln!(
+            "recover: replay tail of {tail} batches ({} WAL bytes): {secs:.4}s",
+            prefix.len()
+        );
+        recovery_rows.push((tail, prefix.len(), secs));
+    }
+    for (i, (tail, wal_len, secs)) in recovery_rows.iter().enumerate() {
+        let comma = if i + 1 == recovery_rows.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"replayed_batches\": {tail}, \"wal_bytes\": {wal_len}, \"median_secs\": {secs:.6}}}{comma}"
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"checkpoint\": {{\"median_encode_secs\": {:.6}, \"blob_bytes\": {}}},",
+        checkpoint_cost.0, checkpoint_cost.1
+    );
+    json.push_str("  \"note\": \"complex d2 n20000 s200 scenario, 64 pre-planned batches with maintenance after each, serial mode; durable runs use validate + WAL append + group commit + apply + checkpoint cadence as configured; recovery replays the WAL tail beyond the newest checkpoint\"\n}\n");
+    std::fs::write(&out_path, json).expect("write report");
+    eprintln!("wrote {out_path}");
+}

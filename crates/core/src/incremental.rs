@@ -419,6 +419,17 @@ impl IncrementalBubbles {
         }
     }
 
+    /// Pre-validates `batch` against the current state without applying
+    /// anything; `Ok(())` guarantees [`Self::try_apply_batch`] will accept
+    /// it. The durability layer calls this before logging a batch, so the
+    /// WAL only ever contains batches that replay cleanly.
+    ///
+    /// # Errors
+    /// The same typed errors as [`Self::try_apply_batch`].
+    pub fn check_batch(&self, store: &PointStore, batch: &Batch) -> Result<(), UpdateError> {
+        self.validate_batch(store, batch)
+    }
+
     /// Pre-validates `batch` against the current state; `Ok(())` means the
     /// infallible apply path cannot fail.
     fn validate_batch(&self, store: &PointStore, batch: &Batch) -> Result<(), UpdateError> {

@@ -42,6 +42,7 @@ pub mod config;
 pub mod error;
 pub mod incremental;
 pub mod quality;
+pub mod recovery;
 pub mod snapshot;
 pub mod stats;
 
@@ -50,4 +51,8 @@ pub use config::{MaintainerConfig, Parallelism, QualityKind, SeedSearch, SplitSe
 pub use error::{AuditError, AuditIssue, AuditReport, RepairReport, UpdateError};
 pub use incremental::{AdaptivePolicy, AdaptiveReport, IncrementalBubbles, MaintenanceReport};
 pub use quality::{chebyshev_k, BubbleClass, Classification};
+pub use recovery::{
+    decode_checkpoint, encode_checkpoint, recover, CheckpointStore, DurabilityConfig,
+    DurableMaintainer, FsCheckpoints, Health, MemCheckpoints, Recovered, RecoveryError,
+};
 pub use stats::SufficientStats;

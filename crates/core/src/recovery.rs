@@ -1,0 +1,874 @@
+//! Crash-consistent durability: checkpoints, WAL replay, and a durable
+//! maintainer wrapper.
+//!
+//! The paper's maintenance scheme is deliberately deterministic: given the
+//! same batch stream, the same RNG seeds and the same engine, every run
+//! produces bit-identical bubbles (DESIGN.md §9–10). This module turns
+//! that determinism into crash consistency. The write-ahead log
+//! ([`idb_store::wal`]) records each applied batch together with its
+//! maintenance decision and RNG seed; periodic checkpoints capture the
+//! full store + summarization state in the checksummed v2 snapshot
+//! format; and [`recover`] rebuilds the exact in-memory state by loading
+//! the newest usable checkpoint and replaying the WAL tail through the
+//! very same `try_apply_batch`/`maintain` code the live path runs.
+//!
+//! A torn WAL tail (the crash happened mid-commit) is truncated, not an
+//! error: those batches were never acknowledged as durable. Everything
+//! else that can go wrong — bit damage in a mid-log record, a checkpoint
+//! that fails its checksum, a replay that does not apply — surfaces as a
+//! typed [`RecoveryError`], never a panic.
+//!
+//! [`DurableMaintainer`] is the live-side wrapper: validate → log → apply,
+//! with group-commit batching, bounded retry-with-backoff on transient
+//! sink errors, and graceful degradation (keep running in memory,
+//! surface [`Health::Degraded`]) when the sink is persistently down.
+
+use crate::config::MaintainerConfig;
+use crate::error::UpdateError;
+use crate::incremental::IncrementalBubbles;
+use idb_geometry::SearchStats;
+use idb_store::snapshot::{read_frame, read_u64, write_frame, write_u64, SnapshotError};
+use idb_store::wal::{read_wal, DurableSink, WalError, WalRecord, WalWriter};
+use idb_store::{Batch, PointId, PointStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Magic prefix of a checkpoint blob.
+pub const CHECKPOINT_MAGIC: &[u8; 4] = b"IDBC";
+
+/// Recovery failure. Torn WAL tails are *not* errors (they are truncated
+/// silently, per the WAL module docs); everything here is real damage or
+/// a real I/O fault.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// Underlying I/O failure while reading or writing durable state.
+    Io(io::Error),
+    /// The WAL contains a structurally damaged record before its tail.
+    CorruptWal {
+        /// Byte offset of the damaged record.
+        offset: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// No checkpoint could be loaded, decoded and aligned with the WAL.
+    NoUsableCheckpoint {
+        /// How many checkpoints were tried.
+        tried: usize,
+        /// Why the last candidate was rejected.
+        detail: String,
+    },
+    /// A WAL record did not apply cleanly on top of the checkpoint state —
+    /// the log and the checkpoint disagree about history.
+    Replay {
+        /// Absolute sequence number of the failing record.
+        record: u64,
+        /// The validation error the apply path reported.
+        source: UpdateError,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "recovery i/o error: {e}"),
+            Self::CorruptWal { offset, detail } => {
+                write!(f, "corrupt wal record at byte {offset}: {detail}")
+            }
+            Self::NoUsableCheckpoint { tried, detail } => {
+                write!(f, "no usable checkpoint ({tried} tried): {detail}")
+            }
+            Self::Replay { record, source } => {
+                write!(f, "wal record {record} does not replay: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Replay { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RecoveryError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Where checkpoint blobs live. Like [`DurableSink`], this is injectable
+/// so the fault harness can corrupt, drop or fail checkpoints at will.
+pub trait CheckpointStore {
+    /// Persists the blob for checkpoint `seq` (replacing any previous blob
+    /// with the same sequence number).
+    ///
+    /// # Errors
+    /// Whatever the medium reports.
+    fn save(&mut self, seq: u64, bytes: &[u8]) -> io::Result<()>;
+
+    /// The sequence numbers of every stored checkpoint, in any order.
+    ///
+    /// # Errors
+    /// Whatever the medium reports.
+    fn seqs(&self) -> io::Result<Vec<u64>>;
+
+    /// Loads the blob for checkpoint `seq`.
+    ///
+    /// # Errors
+    /// Whatever the medium reports.
+    fn load(&self, seq: u64) -> io::Result<Vec<u8>>;
+}
+
+/// An in-memory [`CheckpointStore`] for tests; `Clone` lets the
+/// crash-consistency suite snapshot the exact checkpoint population at
+/// every crash point.
+#[derive(Debug, Clone, Default)]
+pub struct MemCheckpoints {
+    entries: Vec<(u64, Vec<u8>)>,
+}
+
+impl MemCheckpoints {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes the checkpoint with sequence `seq`, if present (fault
+    /// simulation: a checkpoint lost to the crash).
+    pub fn remove(&mut self, seq: u64) {
+        self.entries.retain(|(s, _)| *s != seq);
+    }
+
+    /// Mutable access to a stored blob (fault simulation: bit damage).
+    pub fn blob_mut(&mut self, seq: u64) -> Option<&mut Vec<u8>> {
+        self.entries
+            .iter_mut()
+            .find(|(s, _)| *s == seq)
+            .map(|(_, b)| b)
+    }
+}
+
+impl CheckpointStore for MemCheckpoints {
+    fn save(&mut self, seq: u64, bytes: &[u8]) -> io::Result<()> {
+        self.remove(seq);
+        self.entries.push((seq, bytes.to_vec()));
+        Ok(())
+    }
+
+    fn seqs(&self) -> io::Result<Vec<u64>> {
+        Ok(self.entries.iter().map(|(s, _)| *s).collect())
+    }
+
+    fn load(&self, seq: u64) -> io::Result<Vec<u8>> {
+        self.entries
+            .iter()
+            .find(|(s, _)| *s == seq)
+            .map(|(_, b)| b.clone())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("checkpoint {seq}")))
+    }
+}
+
+/// A directory-backed [`CheckpointStore`]: one `checkpoint-<seq>.idbc`
+/// file per checkpoint, written via a temp file + rename so a kill during
+/// `save` never leaves a half-written blob under the final name.
+#[derive(Debug, Clone)]
+pub struct FsCheckpoints {
+    dir: PathBuf,
+}
+
+impl FsCheckpoints {
+    /// Uses (creating if needed) `dir` as the checkpoint directory.
+    ///
+    /// # Errors
+    /// Whatever the filesystem reports.
+    pub fn open<P: AsRef<Path>>(dir: P) -> io::Result<Self> {
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    fn path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("checkpoint-{seq}.idbc"))
+    }
+}
+
+impl CheckpointStore for FsCheckpoints {
+    fn save(&mut self, seq: u64, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(format!(".checkpoint-{seq}.tmp"));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, self.path(seq))
+    }
+
+    fn seqs(&self) -> io::Result<Vec<u64>> {
+        let mut seqs = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(seq) = name
+                .strip_prefix("checkpoint-")
+                .and_then(|s| s.strip_suffix(".idbc"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                seqs.push(seq);
+            }
+        }
+        Ok(seqs)
+    }
+
+    fn load(&self, seq: u64) -> io::Result<Vec<u8>> {
+        fs::read(self.path(seq))
+    }
+}
+
+/// Encodes a checkpoint blob: a v2 frame whose payload is
+/// `seq u64 | batches_covered u64 | store snapshot | bubbles snapshot`
+/// (both snapshots are themselves framed and self-delimiting).
+///
+/// # Errors
+/// Propagates serialization I/O failures (never occurs for the in-memory
+/// buffers used here, but the signature keeps the writer honest).
+pub fn encode_checkpoint(
+    seq: u64,
+    covered: u64,
+    store: &PointStore,
+    bubbles: &IncrementalBubbles,
+) -> io::Result<Vec<u8>> {
+    let mut payload = Vec::new();
+    write_u64(&mut payload, seq)?;
+    write_u64(&mut payload, covered)?;
+    store.write_snapshot(&mut payload)?;
+    bubbles.write_snapshot(&mut payload)?;
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    write_frame(&mut out, CHECKPOINT_MAGIC, &payload)?;
+    Ok(out)
+}
+
+/// Decodes a checkpoint blob, validating both nested snapshots. Returns
+/// `(seq, batches_covered, store, bubbles)`.
+///
+/// # Errors
+/// [`SnapshotError`] when the frame, either nested snapshot, or the
+/// trailing byte accounting is damaged.
+pub fn decode_checkpoint(
+    bytes: &[u8],
+) -> Result<(u64, u64, PointStore, IncrementalBubbles), SnapshotError> {
+    let mut r: &[u8] = bytes;
+    let Some(payload) = read_frame(&mut r, CHECKPOINT_MAGIC)? else {
+        // Checkpoints never existed in the unchecksummed v1 format.
+        return Err(SnapshotError::Corrupt(
+            "legacy v1 framing is not valid for checkpoints".into(),
+        ));
+    };
+    let mut cur: &[u8] = &payload;
+    let seq = read_u64(&mut cur)?;
+    let covered = read_u64(&mut cur)?;
+    let store = PointStore::read_snapshot(&mut cur)?;
+    let bubbles = IncrementalBubbles::read_snapshot(&mut cur, &store)?;
+    if !cur.is_empty() {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes after checkpoint payload",
+            cur.len()
+        )));
+    }
+    Ok((seq, covered, store, bubbles))
+}
+
+/// The state [`recover`] rebuilds, plus provenance for observability.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The recovered point database.
+    pub store: PointStore,
+    /// The recovered summarization, bit-identical to the uninterrupted
+    /// run's state after `batches_durable` batches.
+    pub bubbles: IncrementalBubbles,
+    /// How many batches of the stream are reflected in the state.
+    pub batches_durable: u64,
+    /// Records found intact in the WAL.
+    pub wal_records: usize,
+    /// Records actually replayed on top of the checkpoint.
+    pub replayed: usize,
+    /// Whether a torn final record was truncated.
+    pub torn_tail: bool,
+    /// Sequence number of the checkpoint recovery started from.
+    pub checkpoint_seq: u64,
+}
+
+/// Rebuilds the maintainer state from a WAL byte stream plus a checkpoint
+/// store: the newest checkpoint that loads, decodes and aligns with the
+/// WAL epoch is taken as the base, and every WAL record past its coverage
+/// is replayed with the deterministic maintenance path.
+///
+/// # Errors
+/// * [`RecoveryError::CorruptWal`] — bit damage before the WAL tail (a
+///   torn tail itself is truncated, not an error);
+/// * [`RecoveryError::NoUsableCheckpoint`] — every checkpoint failed to
+///   load, decode, or align (corrupt candidates are skipped, not fatal,
+///   as long as an older one works);
+/// * [`RecoveryError::Replay`] — a WAL record does not apply on top of
+///   the checkpoint state;
+/// * [`RecoveryError::Io`] — the checkpoint medium failed while listing.
+pub fn recover<C: CheckpointStore>(
+    wal_bytes: &[u8],
+    checkpoints: &C,
+) -> Result<Recovered, RecoveryError> {
+    let wal = read_wal(wal_bytes).map_err(|e| match e {
+        WalError::Io(e) => RecoveryError::Io(e),
+        WalError::Corrupt { offset, detail } => RecoveryError::CorruptWal { offset, detail },
+    })?;
+
+    let mut seqs = checkpoints.seqs()?;
+    seqs.sort_unstable();
+    let mut tried = 0;
+    let mut detail = String::from("no checkpoints present");
+    for &seq in seqs.iter().rev() {
+        tried += 1;
+        let blob = match checkpoints.load(seq) {
+            Ok(b) => b,
+            Err(e) => {
+                detail = format!("checkpoint {seq}: load failed: {e}");
+                continue;
+            }
+        };
+        let (cseq, covered, store, bubbles) = match decode_checkpoint(&blob) {
+            Ok(parts) => parts,
+            Err(e) => {
+                detail = format!("checkpoint {seq}: {e}");
+                continue;
+            }
+        };
+        if cseq != seq {
+            detail = format!("checkpoint {seq}: blob claims sequence {cseq}");
+            continue;
+        }
+        if covered < wal.base {
+            // Taken in an earlier WAL epoch; this log's records would be
+            // double-counted on top of it.
+            detail = format!(
+                "checkpoint {seq} covers {covered} batches, before the wal epoch base {}",
+                wal.base
+            );
+            continue;
+        }
+        if !wal.records.is_empty() && store.dim() != wal.dim {
+            detail = format!(
+                "checkpoint {seq} is {}-dimensional but the wal is {}-dimensional",
+                store.dim(),
+                wal.dim
+            );
+            continue;
+        }
+        return replay(&wal, seq, covered, store, bubbles);
+    }
+    Err(RecoveryError::NoUsableCheckpoint { tried, detail })
+}
+
+fn replay(
+    wal: &idb_store::wal::WalContents,
+    checkpoint_seq: u64,
+    covered: u64,
+    mut store: PointStore,
+    mut bubbles: IncrementalBubbles,
+) -> Result<Recovered, RecoveryError> {
+    let mut search = SearchStats::new();
+    let mut replayed = 0;
+    for (i, rec) in wal.records.iter().enumerate() {
+        let abs = wal.base + i as u64;
+        if abs < covered {
+            continue; // Already inside the checkpoint.
+        }
+        bubbles
+            .try_apply_batch(&mut store, &rec.batch, &mut search)
+            .map_err(|source| RecoveryError::Replay {
+                record: abs,
+                source,
+            })?;
+        if rec.maintain {
+            // The live path seeded a fresh StdRng from this value for the
+            // round; replay does the identical thing, so the merge/split
+            // decisions are bit-identical.
+            let mut rng = StdRng::seed_from_u64(rec.round_seed);
+            bubbles.maintain(&store, &mut rng, &mut search);
+        }
+        replayed += 1;
+    }
+    // A checkpoint may run ahead of the durable WAL (group-commit window):
+    // the state then simply reflects the checkpoint.
+    let batches_durable = covered.max(wal.base + wal.records.len() as u64);
+    Ok(Recovered {
+        store,
+        bubbles,
+        batches_durable,
+        wal_records: wal.records.len(),
+        replayed,
+        torn_tail: wal.torn_tail,
+        checkpoint_seq,
+    })
+}
+
+/// Tunables of the durability layer.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// WAL records buffered per group commit (1 = commit every batch; the
+    /// crash window grows with this value, trading durability lag for
+    /// fsync amortization).
+    pub group_commit: usize,
+    /// Take a checkpoint every this many applied batches.
+    pub checkpoint_interval: u64,
+    /// Extra commit attempts after a sink failure before degrading.
+    pub max_retries: u32,
+    /// Sleep before the first retry, doubling each attempt. Zero (the
+    /// default, and what tests use) retries immediately without sleeping.
+    pub retry_backoff: Duration,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        Self {
+            group_commit: 1,
+            checkpoint_interval: 64,
+            max_retries: 3,
+            retry_backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// Durability health of a [`DurableMaintainer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// The sink and checkpoint store are accepting writes.
+    Healthy,
+    /// The sink (or checkpoint store) is down; the maintainer keeps
+    /// serving from memory and buffers WAL records for when it heals.
+    Degraded {
+        /// WAL records buffered in memory, not yet durable.
+        buffered_batches: usize,
+    },
+}
+
+/// The live-side durability wrapper: validate → log → apply.
+///
+/// Every batch is validated first (so the WAL only ever holds batches
+/// that replay cleanly), appended to the WAL, group-committed, applied
+/// through the ordinary transactional path, and periodically folded into
+/// a checkpoint. Transient sink failures are retried with bounded
+/// exponential backoff; persistent failures degrade the maintainer to
+/// in-memory operation ([`Health::Degraded`]) instead of stopping the
+/// stream — records stay buffered and flush when the sink heals.
+#[derive(Debug)]
+pub struct DurableMaintainer<S: DurableSink, C: CheckpointStore> {
+    store: PointStore,
+    bubbles: IncrementalBubbles,
+    wal: WalWriter<S>,
+    checkpoints: C,
+    dcfg: DurabilityConfig,
+    batches_applied: u64,
+    next_checkpoint_seq: u64,
+    last_checkpoint_at: u64,
+    wal_down: bool,
+    checkpoint_down: bool,
+}
+
+impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
+    /// Builds a fresh summarization over `store` and starts durable
+    /// operation: the WAL header and a baseline checkpoint (sequence 0,
+    /// covering 0 batches) are written immediately.
+    ///
+    /// # Errors
+    /// [`RecoveryError::Io`] when the initial header commit or baseline
+    /// checkpoint cannot be written — durable operation cannot start
+    /// without its recovery anchor.
+    ///
+    /// # Panics
+    /// Panics if the store holds fewer points than `config.num_bubbles`
+    /// (as [`IncrementalBubbles::build`] does).
+    pub fn create<R: Rng + ?Sized>(
+        store: PointStore,
+        config: MaintainerConfig,
+        dcfg: DurabilityConfig,
+        sink: S,
+        checkpoints: C,
+        rng: &mut R,
+        search: &mut SearchStats,
+    ) -> Result<Self, RecoveryError> {
+        let bubbles = IncrementalBubbles::build(&store, config, rng, search);
+        Self::start(store, bubbles, dcfg, sink, checkpoints, 0)
+    }
+
+    /// Starts durable operation over an existing store + summarization
+    /// pair at batch sequence 0 (a fresh stream).
+    ///
+    /// # Errors
+    /// As [`DurableMaintainer::create`].
+    pub fn adopt(
+        store: PointStore,
+        bubbles: IncrementalBubbles,
+        dcfg: DurabilityConfig,
+        sink: S,
+        checkpoints: C,
+    ) -> Result<Self, RecoveryError> {
+        Self::start(store, bubbles, dcfg, sink, checkpoints, 0)
+    }
+
+    /// Continues a recovered stream: truncates the sink and begins a fresh
+    /// WAL epoch whose base is `recovered.batches_durable`, then anchors it
+    /// with an immediate checkpoint. Checkpoints from before the crash
+    /// remain valid fallbacks — their coverage is never behind the new
+    /// epoch's base.
+    ///
+    /// # Errors
+    /// As [`DurableMaintainer::create`].
+    pub fn resume(
+        recovered: Recovered,
+        dcfg: DurabilityConfig,
+        mut sink: S,
+        checkpoints: C,
+    ) -> Result<Self, RecoveryError> {
+        sink.truncate(0)?;
+        Self::start(
+            recovered.store,
+            recovered.bubbles,
+            dcfg,
+            sink,
+            checkpoints,
+            recovered.batches_durable,
+        )
+    }
+
+    fn start(
+        store: PointStore,
+        bubbles: IncrementalBubbles,
+        dcfg: DurabilityConfig,
+        sink: S,
+        checkpoints: C,
+        base: u64,
+    ) -> Result<Self, RecoveryError> {
+        let mut wal = WalWriter::new(sink, store.dim(), base, dcfg.group_commit);
+        wal.commit()?; // The header must be durable before any checkpoint.
+        let next_checkpoint_seq = checkpoints.seqs()?.iter().max().map_or(0, |m| m + 1);
+        let mut this = Self {
+            store,
+            bubbles,
+            wal,
+            checkpoints,
+            dcfg,
+            batches_applied: base,
+            next_checkpoint_seq,
+            last_checkpoint_at: base,
+            wal_down: false,
+            checkpoint_down: false,
+        };
+        this.checkpoint_now()?; // The recovery anchor for this epoch.
+        Ok(this)
+    }
+
+    /// Applies one batch durably, drawing the maintenance seed from `rng`
+    /// and always running a maintenance round — the common live-path call.
+    ///
+    /// # Errors
+    /// The typed [`UpdateError`] of
+    /// [`IncrementalBubbles::try_apply_batch`]; a rejected batch is logged
+    /// nowhere and changes nothing.
+    pub fn apply<R: Rng + ?Sized>(
+        &mut self,
+        batch: &Batch,
+        rng: &mut R,
+        search: &mut SearchStats,
+    ) -> Result<Vec<PointId>, UpdateError> {
+        let round_seed = rng.gen::<u64>();
+        self.apply_with(batch, round_seed, true, search)
+    }
+
+    /// Applies one batch durably with an explicit maintenance decision and
+    /// RNG seed (what gets logged — and therefore what replay reproduces).
+    ///
+    /// Sink failures do **not** fail the batch: the maintainer retries per
+    /// [`DurabilityConfig`], then degrades to in-memory operation and
+    /// keeps the record buffered (see [`DurableMaintainer::health`]).
+    ///
+    /// # Errors
+    /// The typed [`UpdateError`] when the batch itself is invalid.
+    pub fn apply_with(
+        &mut self,
+        batch: &Batch,
+        round_seed: u64,
+        maintain: bool,
+        search: &mut SearchStats,
+    ) -> Result<Vec<PointId>, UpdateError> {
+        // Validate before logging: the WAL must only ever contain batches
+        // that replay cleanly.
+        self.bubbles.check_batch(&self.store, batch)?;
+        self.wal.append(&WalRecord {
+            round_seed,
+            maintain,
+            batch: batch.clone(),
+        });
+        if self.wal.wants_commit() {
+            self.commit_wal();
+        }
+        let ids = self
+            .bubbles
+            .try_apply_batch(&mut self.store, batch, search)
+            .expect("a validated batch cannot fail to apply");
+        if maintain {
+            let mut rng = StdRng::seed_from_u64(round_seed);
+            self.bubbles.maintain(&self.store, &mut rng, search);
+        }
+        self.batches_applied += 1;
+        if self.batches_applied - self.last_checkpoint_at >= self.dcfg.checkpoint_interval {
+            match self.checkpoint_now() {
+                Ok(()) => self.checkpoint_down = false,
+                Err(_) => self.checkpoint_down = true, // Retried next interval.
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Commits buffered WAL records with bounded retry; on persistent
+    /// failure flags the sink as down and leaves the records buffered.
+    fn commit_wal(&mut self) -> bool {
+        let mut backoff = self.dcfg.retry_backoff;
+        for attempt in 0..=self.dcfg.max_retries {
+            match self.wal.commit() {
+                Ok(()) => {
+                    self.wal_down = false;
+                    return true;
+                }
+                Err(_) => {
+                    if attempt < self.dcfg.max_retries && !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+            }
+        }
+        self.wal_down = true;
+        false
+    }
+
+    /// Forces buffered WAL records to the sink (with the configured
+    /// retries) and reports the resulting health.
+    pub fn sync(&mut self) -> Health {
+        if self.wal.pending_records() > 0 || self.wal_down {
+            self.commit_wal();
+        }
+        self.health()
+    }
+
+    /// Takes a checkpoint of the current state right now.
+    ///
+    /// # Errors
+    /// Whatever the checkpoint medium reports; the maintainer stays
+    /// usable and will retry at the next interval.
+    pub fn checkpoint_now(&mut self) -> Result<(), RecoveryError> {
+        let blob = encode_checkpoint(
+            self.next_checkpoint_seq,
+            self.batches_applied,
+            &self.store,
+            &self.bubbles,
+        )?;
+        self.checkpoints.save(self.next_checkpoint_seq, &blob)?;
+        self.next_checkpoint_seq += 1;
+        self.last_checkpoint_at = self.batches_applied;
+        Ok(())
+    }
+
+    /// Current durability health: [`Health::Degraded`] while the WAL sink
+    /// or the checkpoint store is rejecting writes.
+    #[must_use]
+    pub fn health(&self) -> Health {
+        if self.wal_down || self.checkpoint_down {
+            Health::Degraded {
+                buffered_batches: self.wal.pending_records(),
+            }
+        } else {
+            Health::Healthy
+        }
+    }
+
+    /// The live point database.
+    #[must_use]
+    pub fn store(&self) -> &PointStore {
+        &self.store
+    }
+
+    /// The live summarization.
+    #[must_use]
+    pub fn bubbles(&self) -> &IncrementalBubbles {
+        &self.bubbles
+    }
+
+    /// Batches applied over the stream's whole life (across epochs).
+    #[must_use]
+    pub fn batches_applied(&self) -> u64 {
+        self.batches_applied
+    }
+
+    /// The WAL sink (tests read crash-point bytes from it).
+    #[must_use]
+    pub fn wal_sink(&self) -> &S {
+        self.wal.sink()
+    }
+
+    /// The WAL sink, mutably (tests toggle faults on it).
+    pub fn wal_sink_mut(&mut self) -> &mut S {
+        self.wal.sink_mut()
+    }
+
+    /// The checkpoint store.
+    #[must_use]
+    pub fn checkpoints(&self) -> &C {
+        &self.checkpoints
+    }
+
+    /// Tears the wrapper apart (tests hand the pieces to [`recover`]).
+    #[must_use]
+    pub fn into_parts(self) -> (PointStore, IncrementalBubbles, S, C) {
+        (
+            self.store,
+            self.bubbles,
+            self.wal.into_sink(),
+            self.checkpoints,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idb_store::wal::MemSink;
+    use rand::Rng;
+
+    fn fixture(n: usize, seed: u64) -> (PointStore, MaintainerConfig) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = PointStore::new(2);
+        for _ in 0..n {
+            let p = [rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0)];
+            store.insert(&p, Some(0));
+        }
+        (store, MaintainerConfig::new(8))
+    }
+
+    fn random_batch(store: &PointStore, rng: &mut StdRng) -> Batch {
+        let deletes = store.sample_distinct(rng.gen_range(0..4), rng);
+        let inserts = (0..rng.gen_range(1..6))
+            .map(|_| {
+                let p = vec![rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0)];
+                (p, Some(1u32))
+            })
+            .collect();
+        Batch { deletes, inserts }
+    }
+
+    fn fingerprint(store: &PointStore, ib: &IncrementalBubbles) -> String {
+        let mut s = String::new();
+        for (id, p, l) in store.iter() {
+            s.push_str(&format!("{};{p:?};{l:?}|", id.0));
+        }
+        s.push_str(&format!("free={:?}|", store.free_slots()));
+        for b in ib.bubbles() {
+            s.push_str(&format!(
+                "{:?};{};{:?};{};{:?}|",
+                b.seed(),
+                b.stats().n(),
+                b.stats().linear_sum(),
+                b.stats().square_sum(),
+                b.members()
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn checkpoint_blob_round_trips() {
+        let (store, config) = fixture(120, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut search = SearchStats::new();
+        let ib = IncrementalBubbles::build(&store, config, &mut rng, &mut search);
+        let blob = encode_checkpoint(3, 17, &store, &ib).unwrap();
+        let (seq, covered, rstore, rib) = decode_checkpoint(&blob).unwrap();
+        assert_eq!((seq, covered), (3, 17));
+        assert_eq!(fingerprint(&store, &ib), fingerprint(&rstore, &rib));
+        // Bit damage inside the blob is a typed error.
+        let mut bad = blob.clone();
+        bad[blob.len() / 2] ^= 0x08;
+        assert!(decode_checkpoint(&bad).is_err());
+    }
+
+    #[test]
+    fn clean_shutdown_recovers_bit_identically() {
+        let (store, config) = fixture(150, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut search = SearchStats::new();
+        let dcfg = DurabilityConfig {
+            checkpoint_interval: 3,
+            ..DurabilityConfig::default()
+        };
+        let mut dm = DurableMaintainer::create(
+            store,
+            config,
+            dcfg,
+            MemSink::new(),
+            MemCheckpoints::new(),
+            &mut rng,
+            &mut search,
+        )
+        .unwrap();
+        for _ in 0..10 {
+            let batch = random_batch(dm.store(), &mut rng);
+            dm.apply(&batch, &mut rng, &mut search).unwrap();
+        }
+        assert_eq!(dm.health(), Health::Healthy);
+        let want = fingerprint(dm.store(), dm.bubbles());
+        let (_, _, sink, checkpoints) = dm.into_parts();
+        let rec = recover(sink.bytes(), &checkpoints).unwrap();
+        assert_eq!(rec.batches_durable, 10);
+        assert!(!rec.torn_tail);
+        assert_eq!(fingerprint(&rec.store, &rec.bubbles), want);
+    }
+
+    #[test]
+    fn rejected_batches_are_never_logged() {
+        let (store, config) = fixture(100, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut search = SearchStats::new();
+        let mut dm = DurableMaintainer::create(
+            store,
+            config,
+            DurabilityConfig::default(),
+            MemSink::new(),
+            MemCheckpoints::new(),
+            &mut rng,
+            &mut search,
+        )
+        .unwrap();
+        let wal_before = dm.wal_sink().bytes().len();
+        let bad = Batch {
+            deletes: vec![],
+            inserts: vec![(vec![f64::NAN, 0.0], None)],
+        };
+        assert!(dm.apply(&bad, &mut rng, &mut search).is_err());
+        assert_eq!(dm.wal_sink().bytes().len(), wal_before);
+        assert_eq!(dm.batches_applied(), 0);
+    }
+
+    #[test]
+    fn missing_everything_is_a_typed_error() {
+        let checkpoints = MemCheckpoints::new();
+        let err = recover(&[], &checkpoints).unwrap_err();
+        assert!(
+            matches!(err, RecoveryError::NoUsableCheckpoint { tried: 0, .. }),
+            "{err}"
+        );
+    }
+}

@@ -38,7 +38,7 @@
 use crate::kdtree::KdTree;
 use crate::matrix::SymMatrix;
 use crate::metric::{dist, sq_dist, sq_dist_bounded};
-use crate::parallel::{run_ranges, Parallelism};
+use crate::parallel::{run_ranges, EnvParseError, Parallelism};
 use crate::stats::SearchStats;
 use std::sync::OnceLock;
 
@@ -66,10 +66,19 @@ pub enum SeedSearch {
 }
 
 impl Default for SeedSearch {
-    /// [`SeedSearch::from_env`] when `IDB_SEED_SEARCH` is set to something
-    /// parseable, otherwise [`SeedSearch::Pruned`].
+    /// The environment default: the `IDB_SEED_SEARCH` variable when set to
+    /// something parseable, otherwise [`SeedSearch::Pruned`]. An *invalid*
+    /// value warns once on stderr before falling back — a typo must never
+    /// silently change the engine.
     fn default() -> Self {
-        Self::from_env().unwrap_or(Self::Pruned)
+        match Self::from_env_strict() {
+            Ok(engine) => engine.unwrap_or(Self::Pruned),
+            Err(e) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| eprintln!("warning: {e}; falling back to pruned"));
+                Self::Pruned
+            }
+        }
     }
 }
 
@@ -96,12 +105,32 @@ impl SeedSearch {
 
     /// Reads the `IDB_SEED_SEARCH` environment variable (the knob `ci.sh`
     /// uses to run the differential suites under every engine). `None`
-    /// when unset or unparseable.
+    /// when unset or unparseable; use [`SeedSearch::from_env_strict`] to
+    /// distinguish those two cases.
     #[must_use]
     pub fn from_env() -> Option<Self> {
-        std::env::var("IDB_SEED_SEARCH")
-            .ok()
-            .and_then(|v| Self::parse(&v))
+        Self::from_env_strict().ok().flatten()
+    }
+
+    /// Like [`SeedSearch::from_env`], but an unparseable value is a typed
+    /// [`EnvParseError`] instead of a silent `None`. `Ok(None)` means the
+    /// variable is unset.
+    ///
+    /// # Errors
+    /// [`EnvParseError`] when `IDB_SEED_SEARCH` is set to something that
+    /// [`SeedSearch::parse`] rejects.
+    pub fn from_env_strict() -> Result<Option<Self>, EnvParseError> {
+        match std::env::var("IDB_SEED_SEARCH") {
+            Err(_) => Ok(None),
+            Ok(v) => match Self::parse(&v) {
+                Some(engine) => Ok(Some(engine)),
+                None => Err(EnvParseError {
+                    var: "IDB_SEED_SEARCH",
+                    value: v,
+                    expected: "`brute`, `pruned`, or `kdtree`",
+                }),
+            },
+        }
     }
 }
 
@@ -944,5 +973,30 @@ mod tests {
         assert_eq!(SeedSearch::parse("kd-tree"), Some(SeedSearch::KdTree));
         assert_eq!(SeedSearch::parse("octree"), None);
         assert_eq!(SeedSearch::parse(""), None);
+    }
+
+    #[test]
+    fn env_strict_distinguishes_unset_invalid_and_valid() {
+        // The only test in this binary touching IDB_SEED_SEARCH, so the
+        // set/restore sequence cannot race another thread.
+        let saved = std::env::var("IDB_SEED_SEARCH").ok();
+        std::env::remove_var("IDB_SEED_SEARCH");
+        assert_eq!(SeedSearch::from_env_strict(), Ok(None));
+        std::env::set_var("IDB_SEED_SEARCH", "kdtree");
+        assert_eq!(SeedSearch::from_env_strict(), Ok(Some(SeedSearch::KdTree)));
+        assert_eq!(SeedSearch::default(), SeedSearch::KdTree);
+        std::env::set_var("IDB_SEED_SEARCH", "octree");
+        let err = SeedSearch::from_env_strict().unwrap_err();
+        assert_eq!(err.var, "IDB_SEED_SEARCH");
+        assert_eq!(err.value, "octree");
+        assert!(err.to_string().contains("expected"), "{err}");
+        assert_eq!(SeedSearch::from_env(), None, "lenient view stays None");
+        // The default warns (once, on stderr) and falls back — it must
+        // never panic or silently pick a surprising engine.
+        assert_eq!(SeedSearch::default(), SeedSearch::Pruned);
+        match saved {
+            Some(v) => std::env::set_var("IDB_SEED_SEARCH", v),
+            None => std::env::remove_var("IDB_SEED_SEARCH"),
+        }
     }
 }

@@ -38,5 +38,5 @@ pub use assign::{NearestSeeds, SeedSearch, NO_HINT};
 pub use kdtree::KdTree;
 pub use matrix::SymMatrix;
 pub use metric::{dist, sq_dist};
-pub use parallel::Parallelism;
+pub use parallel::{EnvParseError, Parallelism};
 pub use stats::SearchStats;

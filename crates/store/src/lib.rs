@@ -22,7 +22,9 @@
 use rand::Rng;
 
 pub mod snapshot;
+pub mod wal;
 pub use snapshot::SnapshotError;
+pub use wal::{DurableSink, FileSink, MemSink, WalError, WalRecord, WalWriter};
 
 /// Stable identifier of a live point: an index into the store's slot space.
 ///
@@ -53,7 +55,7 @@ const NOISE_SENTINEL: u32 = u32::MAX;
 /// The paper inspects the clustering structure after batches in which N % of
 /// the points have been deleted and M % inserted; the scenario generators in
 /// `idb-synth` emit values of this type.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Batch {
     /// Points to delete; must be live when the batch is applied.
     pub deletes: Vec<PointId>,
@@ -284,6 +286,14 @@ impl PointStore {
         }
         pool.truncate(k);
         pool.into_iter().map(PointId).collect()
+    }
+
+    /// The free slots, in reuse order: the *last* element is the next slot
+    /// an insertion recycles. Persisted by snapshots so a restored store
+    /// assigns the exact same ids as the original would have.
+    #[must_use]
+    pub fn free_slots(&self) -> &[u32] {
+        &self.free
     }
 
     /// Reassembles a store from its raw parts (snapshot decoding only; the

@@ -93,6 +93,28 @@ pub fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
     Ok(f64::from_le_bytes(buf))
 }
 
+/// Reads a `u64`, or `None` at a clean end of stream — used for optional
+/// trailing sections that legacy snapshot bodies lack entirely.
+fn try_read_u64<R: Read>(r: &mut R) -> Result<Option<u64>, SnapshotError> {
+    let mut buf = [0u8; 8];
+    let mut filled = 0;
+    while filled < 8 {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    match filled {
+        0 => Ok(None),
+        8 => Ok(Some(u64::from_le_bytes(buf))),
+        n => Err(SnapshotError::Corrupt(format!(
+            "truncated trailing section ({n} of 8 bytes)"
+        ))),
+    }
+}
+
 /// Table for the IEEE CRC-32 (reflected polynomial `0xEDB88320`), built at
 /// compile time.
 const CRC_TABLE: [u32; 256] = {
@@ -185,8 +207,20 @@ pub fn read_frame<R: Read>(r: &mut R, magic: &[u8; 4]) -> Result<Option<Vec<u8>>
                 )));
             }
             let payload_crc = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes"));
-            let mut payload = vec![0u8; payload_len as usize];
-            r.read_exact(&mut payload)?;
+            // Never allocate more than the input can actually supply: grow
+            // while reading (capped pre-allocation) instead of trusting the
+            // declared length, so a hostile prefix on a short stream cannot
+            // drive the reader out of memory.
+            let mut payload = Vec::with_capacity(
+                usize::try_from(payload_len.min(1 << 20)).expect("capped length fits usize"),
+            );
+            let got = r.by_ref().take(payload_len).read_to_end(&mut payload)?;
+            if got as u64 != payload_len {
+                return Err(SnapshotError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("payload truncated: {got} of {payload_len} bytes"),
+                )));
+            }
             if crc32(&payload) != payload_crc {
                 return Err(SnapshotError::Corrupt("payload checksum mismatch".into()));
             }
@@ -222,6 +256,14 @@ impl PointStore {
             }
             write_u32(w, label.unwrap_or(LABEL_NOISE))?;
         }
+        // The free list in reuse order: slot ids are only stable across a
+        // restart if a restored store recycles slots in the exact order the
+        // original would have, so the stack is persisted verbatim. (Legacy
+        // snapshots lack this section and rebuild it in descending order.)
+        write_u64(w, self.free_slots().len() as u64)?;
+        for &slot in self.free_slots() {
+            write_u32(w, slot)?;
+        }
         Ok(())
     }
 
@@ -238,8 +280,9 @@ impl PointStore {
     pub fn read_snapshot<R: Read>(r: &mut R) -> Result<Self, SnapshotError> {
         match read_frame(r, MAGIC)? {
             Some(payload) => {
+                let remaining = payload.len() as u64;
                 let mut cur: &[u8] = &payload;
-                let store = Self::read_body(&mut cur)?;
+                let store = Self::read_body(&mut cur, Some(remaining))?;
                 if !cur.is_empty() {
                     return Err(SnapshotError::Corrupt(format!(
                         "{} trailing bytes after payload",
@@ -248,11 +291,16 @@ impl PointStore {
                 }
                 Ok(store)
             }
-            None => Self::read_body(r),
+            None => Self::read_body(r, None),
         }
     }
 
-    fn read_body<R: Read>(r: &mut R) -> Result<Self, SnapshotError> {
+    /// Decodes the snapshot body. When the caller knows how many input
+    /// bytes back the header's claims (`remaining`, available for framed
+    /// snapshots), every allocation is capped against that budget *before*
+    /// it happens, so a hostile header cannot force an out-of-memory
+    /// condition — it fails with a typed error instead.
+    fn read_body<R: Read>(r: &mut R, remaining: Option<u64>) -> Result<Self, SnapshotError> {
         let dim = read_u64(r)? as usize;
         if dim == 0 || dim > 1 << 20 {
             return Err(SnapshotError::Corrupt(format!("implausible dim {dim}")));
@@ -264,8 +312,46 @@ impl PointStore {
                 "len {len} exceeds slots {slots}"
             )));
         }
+        if let Some(rem) = remaining {
+            // Each live entry occupies 8 + 8·dim input bytes, so `len`
+            // (and with it `dim`) is bounded by the input.
+            let live_cost = (len as u64).saturating_mul(8 + 8 * dim as u64);
+            if live_cost.saturating_add(24) > rem {
+                return Err(SnapshotError::Corrupt(format!(
+                    "live section claims {live_cost} bytes but only {rem} are framed"
+                )));
+            }
+            // Free slots cost 4 input bytes each in the free-list section;
+            // grant legacy bodies (which lack the section) the same
+            // headroom so a hostile `slots` cannot inflate the allocation.
+            let holes = (slots - len) as u64;
+            if holes > rem / 4 + 1 {
+                return Err(SnapshotError::Corrupt(format!(
+                    "{holes} free slots claimed but only {rem} bytes framed"
+                )));
+            }
+        }
+        // Cap the big allocation itself: framed snapshots may allocate at
+        // most a fixed multiple of their input (every realistic store is
+        // far below this; a hostile header fails typed instead of OOMing),
+        // and the unframed legacy path — whose input size is unknowable —
+        // gets a generous absolute ceiling.
+        let coord_count = slots.checked_mul(dim).ok_or_else(|| {
+            SnapshotError::Corrupt(format!("coordinate count {slots}×{dim} overflows"))
+        })?;
+        let cap = match remaining {
+            Some(rem) => {
+                usize::try_from(rem.saturating_mul(8).saturating_add(1 << 16)).unwrap_or(usize::MAX)
+            }
+            None => 1 << 28,
+        };
+        if coord_count > cap {
+            return Err(SnapshotError::Corrupt(format!(
+                "{coord_count} coordinates claimed, beyond the allocation cap {cap}"
+            )));
+        }
 
-        let mut coords = vec![0.0f64; slots * dim];
+        let mut coords = vec![0.0f64; coord_count];
         let mut labels = vec![LABEL_NOISE; slots];
         let mut live_pos = vec![u32::MAX; slots];
         let mut live_list = Vec::with_capacity(len);
@@ -284,11 +370,49 @@ impl PointStore {
             live_pos[slot] = pos as u32;
             live_list.push(slot as u32);
         }
-        // Free slots, in descending order so reuse order is deterministic.
-        let mut free: Vec<u32> = (0..slots as u32)
-            .filter(|&s| live_pos[s as usize] == u32::MAX)
-            .collect();
-        free.reverse();
+        // Free-slot section (absent in legacy snapshots): the reuse stack
+        // in stack order, so a restored store hands out the same ids the
+        // original would have. Legacy snapshots rebuild it in descending
+        // slot order instead.
+        let free = match try_read_u64(r)? {
+            Some(count) => {
+                let count = usize::try_from(count)
+                    .map_err(|_| SnapshotError::Corrupt(format!("free count {count} overflows")))?;
+                if count != slots - len {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "free count {count} != slots {slots} - live {len}"
+                    )));
+                }
+                let mut free = Vec::with_capacity(count);
+                let mut seen = vec![false; slots];
+                for _ in 0..count {
+                    let slot = read_u32(r)? as usize;
+                    if slot >= slots {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "free slot {slot} out of range"
+                        )));
+                    }
+                    if live_pos[slot] != u32::MAX {
+                        return Err(SnapshotError::Corrupt(format!("free slot {slot} is live")));
+                    }
+                    if seen[slot] {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "duplicate free slot {slot}"
+                        )));
+                    }
+                    seen[slot] = true;
+                    free.push(slot as u32);
+                }
+                free
+            }
+            None => {
+                let mut free: Vec<u32> = (0..slots as u32)
+                    .filter(|&s| live_pos[s as usize] == u32::MAX)
+                    .collect();
+                free.reverse();
+                free
+            }
+        };
 
         Ok(Self::from_raw_parts(
             dim, coords, labels, live_pos, live_list, free,
@@ -336,6 +460,25 @@ mod tests {
             .map(|(id, p, l)| (id, p.to_vec(), l))
             .collect();
         assert_eq!(a, b, "live-list order and contents identical");
+        assert_eq!(
+            restored.free_slots(),
+            store.free_slots(),
+            "free-list reuse order identical"
+        );
+    }
+
+    #[test]
+    fn restored_store_reuses_slots_in_the_original_order() {
+        let mut store = churned_store();
+        let mut buf = Vec::new();
+        store.write_snapshot(&mut buf).unwrap();
+        let mut restored = PointStore::read_snapshot(&mut buf.as_slice()).unwrap();
+        // The same future insertions must receive the same ids in both
+        // stores — this is what makes WAL replay id-exact after recovery.
+        for i in 0..60 {
+            let p = [i as f64, 0.0, 0.0];
+            assert_eq!(store.insert(&p, None), restored.insert(&p, None), "at {i}");
+        }
     }
 
     #[test]
@@ -453,11 +596,13 @@ mod tests {
         let store = churned_store();
         let mut buf = Vec::new();
         store.write_snapshot(&mut buf).unwrap();
-        // A v1 snapshot is magic + version + the (identical) body.
+        // A true v1 snapshot is magic + version + the body *without* the
+        // free-slot section (which v1 writers did not emit).
+        let free_section = 8 + 4 * store.free_slots().len();
         let mut v1 = Vec::new();
         v1.extend_from_slice(b"IDBP");
         v1.extend_from_slice(&1u32.to_le_bytes());
-        v1.extend_from_slice(&buf[24..]);
+        v1.extend_from_slice(&buf[24..buf.len() - free_section]);
         let restored = PointStore::read_snapshot(&mut v1.as_slice()).unwrap();
         assert_eq!(restored.len(), store.len());
         let a: Vec<_> = store.iter().map(|(id, p, l)| (id, p.to_vec(), l)).collect();
@@ -466,5 +611,45 @@ mod tests {
             .map(|(id, p, l)| (id, p.to_vec(), l))
             .collect();
         assert_eq!(a, b);
+        // v1 carried no reuse order; the rebuilt free list is the
+        // deterministic descending fallback.
+        let mut want: Vec<u32> = (0..store.slots() as u32)
+            .filter(|&s| !restored.contains(crate::PointId(s)))
+            .collect();
+        want.reverse();
+        assert_eq!(restored.free_slots(), &want[..]);
+    }
+
+    #[test]
+    fn corrupt_free_section_is_rejected() {
+        let store = churned_store();
+        let free = store.free_slots().len();
+        assert!(free > 1, "fixture must have free slots");
+        let mut buf = Vec::new();
+        store.write_snapshot(&mut buf).unwrap();
+        // Duplicate free entry.
+        let first_free = buf.len() - 4 * free;
+        let dup: [u8; 4] = buf[first_free..first_free + 4].try_into().unwrap();
+        buf[first_free + 4..first_free + 8].copy_from_slice(&dup);
+        reframe(&mut buf);
+        let err = PointStore::read_snapshot(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("duplicate free slot"), "{err}");
+        // Live slot listed as free.
+        let mut buf = Vec::new();
+        store.write_snapshot(&mut buf).unwrap();
+        let live = store.ids().next().unwrap().0;
+        let first_free = buf.len() - 4 * free;
+        buf[first_free..first_free + 4].copy_from_slice(&live.to_le_bytes());
+        reframe(&mut buf);
+        let err = PointStore::read_snapshot(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("is live"), "{err}");
+        // Wrong count.
+        let mut buf = Vec::new();
+        store.write_snapshot(&mut buf).unwrap();
+        let count_at = buf.len() - 4 * free - 8;
+        buf[count_at..count_at + 8].copy_from_slice(&((free as u64) + 1).to_le_bytes());
+        reframe(&mut buf);
+        let err = PointStore::read_snapshot(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("free count"), "{err}");
     }
 }

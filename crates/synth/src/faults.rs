@@ -7,8 +7,9 @@
 //! the generators so other crates (and future harnesses) share one
 //! vocabulary of faults.
 
-use idb_store::{Batch, PointId, PointStore};
+use idb_store::{Batch, DurableSink, PointId, PointStore};
 use rand::Rng;
+use std::io;
 
 /// The kinds of invalid update batch the validating entry point must
 /// reject.
@@ -91,6 +92,82 @@ pub fn faulty_batch<R: Rng + ?Sized>(store: &PointStore, fault: BatchFault, rng:
     Batch { inserts, deletes }
 }
 
+/// A fault-injecting [`DurableSink`] for the crash-consistency harness.
+///
+/// Wraps an in-memory byte buffer and simulates the failure modes a real
+/// disk exposes to the WAL writer:
+///
+/// * **short writes** — with a `write_cap`, an append persists only the
+///   first `cap` bytes of the request and then fails, exactly like a
+///   process killed mid-`write(2)`;
+/// * **transient append/fsync errors** — the next `fail_appends` /
+///   `fail_syncs` calls return an error without touching the buffer,
+///   driving the maintainer's retry and degradation paths;
+/// * **kills at arbitrary byte positions** — tests slice [`FaultSink::bytes`]
+///   at any crash point and hand the prefix to recovery.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSink {
+    data: Vec<u8>,
+    /// When set, the next append persists at most this many bytes, then
+    /// fails (cleared after firing).
+    pub write_cap: Option<usize>,
+    /// Number of upcoming `append` calls that fail outright.
+    pub fail_appends: usize,
+    /// Number of upcoming `sync` calls that fail.
+    pub fail_syncs: usize,
+}
+
+impl FaultSink {
+    /// A healthy, empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Everything durably appended so far — what a post-crash recovery
+    /// would find on disk.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Clears every pending fault.
+    pub fn heal(&mut self) {
+        self.write_cap = None;
+        self.fail_appends = 0;
+        self.fail_syncs = 0;
+    }
+}
+
+impl DurableSink for FaultSink {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if self.fail_appends > 0 {
+            self.fail_appends -= 1;
+            return Err(io::Error::other("injected append failure"));
+        }
+        if let Some(cap) = self.write_cap.take() {
+            self.data.extend_from_slice(&bytes[..cap.min(bytes.len())]);
+            return Err(io::Error::other("injected short write"));
+        }
+        self.data.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.fail_syncs > 0 {
+            self.fail_syncs -= 1;
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.data
+            .truncate(usize::try_from(len).unwrap_or(usize::MAX));
+        Ok(())
+    }
+}
+
 /// Flips one bit of `bytes` in place. `offset` is taken modulo the length,
 /// `bit` modulo 8, so exhaustive sweeps can iterate plain counters.
 ///
@@ -135,6 +212,25 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let batch = faulty_batch(&store, BatchFault::StaleDelete, &mut rng);
         assert!(batch.deletes.iter().any(|&id| !store.contains(id)));
+    }
+
+    #[test]
+    fn fault_sink_injects_and_heals() {
+        let mut sink = FaultSink::new();
+        sink.append(b"hello").unwrap();
+        sink.fail_appends = 1;
+        assert!(sink.append(b" world").is_err());
+        assert_eq!(sink.bytes(), b"hello", "failed append leaves no bytes");
+        sink.write_cap = Some(2);
+        assert!(sink.append(b" world").is_err());
+        assert_eq!(sink.bytes(), b"hello w", "short write persists a prefix");
+        sink.fail_syncs = 1;
+        assert!(sink.sync().is_err());
+        sink.heal();
+        sink.truncate(5).unwrap();
+        sink.append(b" world").unwrap();
+        sink.sync().unwrap();
+        assert_eq!(sink.bytes(), b"hello world");
     }
 
     #[test]

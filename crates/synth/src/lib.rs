@@ -32,6 +32,6 @@ pub mod io;
 pub mod scenario;
 
 pub use dataset::{ClusterModel, MixtureModel};
-pub use faults::{faulty_batch, flip_bit, BatchFault, ALL_BATCH_FAULTS};
+pub use faults::{faulty_batch, flip_bit, BatchFault, FaultSink, ALL_BATCH_FAULTS};
 pub use io::{load_csv, save_csv, CsvError};
 pub use scenario::{Dynamics, ScenarioEngine, ScenarioKind, ScenarioSpec};

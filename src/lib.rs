@@ -49,6 +49,13 @@
 //! [`core::IncrementalBubbles::audit`] checks every internal invariant and
 //! [`core::IncrementalBubbles::repair`] rebuilds whatever it flags.
 //!
+//! For crash safety, wrap store and summary in a
+//! [`core::DurableMaintainer`]: every batch is appended to a CRC-framed
+//! write-ahead log *before* it is applied, periodic checkpoints bound
+//! replay work, and [`core::recover`] rebuilds the exact pre-crash state
+//! from the newest usable checkpoint plus the WAL tail (see the
+//! "Durability" section of the README for a quickstart).
+//!
 //! The individual layers are re-exported as modules: [`geometry`],
 //! [`store`], [`synth`], [`core`], [`clustering`], [`birch`], [`eval`].
 
@@ -73,12 +80,15 @@ pub mod prelude {
         extract_clusters, optics_bubbles, optics_points, ExtractParams, ReachabilityPlot,
     };
     pub use idb_core::{
-        AuditError, AuditIssue, AuditReport, Bubble, DataSummary, IncrementalBubbles,
-        MaintainerConfig, QualityKind, RepairReport, SeedSearch, SplitSeedPolicy, SufficientStats,
-        UpdateError,
+        recover, AuditError, AuditIssue, AuditReport, Bubble, CheckpointStore, DataSummary,
+        DurabilityConfig, DurableMaintainer, FsCheckpoints, Health, IncrementalBubbles,
+        MaintainerConfig, MemCheckpoints, QualityKind, Recovered, RecoveryError, RepairReport,
+        SeedSearch, SplitSeedPolicy, SufficientStats, UpdateError,
     };
     pub use idb_eval::{compactness_per_point, fscore, Aggregate};
     pub use idb_geometry::SearchStats;
-    pub use idb_store::{Batch, Label, PointId, PointStore};
+    pub use idb_store::{
+        Batch, DurableSink, FileSink, Label, MemSink, PointId, PointStore, WalError,
+    };
     pub use idb_synth::{ClusterModel, MixtureModel, ScenarioEngine, ScenarioKind, ScenarioSpec};
 }
