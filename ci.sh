@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full local CI gate: build, tests (in both parallelism modes and under
-# every seed-search engine), crash-consistency suites, lints, formatting,
-# bench compilation.
+# every seed-search engine), crash-consistency suites, observability
+# journal validation, lints, formatting, bench compilation.
 #
 # The tier-1 gate is `cargo build --release && cargo test -q` at the repo
 # root; this script runs that plus the workspace-wide test suite — twice,
@@ -10,43 +10,63 @@
 # differential suites once per assignment engine (the IDB_SEED_SEARCH
 # default, see DESIGN.md §10), which must be bit-identical — the
 # durability suites (DESIGN.md §11) with a kill-at-random-crash-point
-# smoke loop under varying seeds — clippy with warnings promoted to
-# errors, a formatting check, and a compile check of the criterion
-# benches.
+# smoke loop under varying seeds — the differential and durability suites
+# once more with JSONL journaling on (DESIGN.md §12), every emitted
+# journal validated by the journal_check tool — clippy across the whole
+# workspace with warnings promoted to errors, a formatting check, and a
+# compile check of the criterion benches.
+#
+# Set CARGOFLAGS to pass extra flags to every cargo invocation (e.g.
+# CARGOFLAGS="--config /path/to/offline-overrides.toml" in air-gapped
+# environments; the flags go after the subcommand so they reach external
+# subcommands like clippy too).
 set -euo pipefail
 cd "$(dirname "$0")"
+CARGOFLAGS=${CARGOFLAGS:-}
 
-# Hermetic scratch space for the file-backed durability tests: everything
-# that honors IDB_WAL_DIR (FileSink fixtures, the crash smoke test, the
-# durability bench) lands in a throwaway directory.
+# Hermetic scratch space: file-backed durability tests honor IDB_WAL_DIR
+# (FileSink fixtures, the crash smoke test, the durability bench), and
+# JSONL op journals land under IDB_OBS_DIR. Both are throwaway.
 IDB_WAL_DIR="$(mktemp -d)"
-export IDB_WAL_DIR
-trap 'rm -rf "$IDB_WAL_DIR"' EXIT
+IDB_OBS_DIR="$(mktemp -d)"
+export IDB_WAL_DIR IDB_OBS_DIR
+trap 'rm -rf "$IDB_WAL_DIR" "$IDB_OBS_DIR"' EXIT
 
-cargo build --release
-IDB_PARALLELISM=serial cargo test -q
-IDB_PARALLELISM=serial cargo test -q --workspace
-IDB_PARALLELISM=auto cargo test -q
-IDB_PARALLELISM=auto cargo test -q --workspace
+# shellcheck disable=SC2086  # CARGOFLAGS is intentionally word-split.
+cargo build $CARGOFLAGS --release
+IDB_PARALLELISM=serial cargo test $CARGOFLAGS -q
+IDB_PARALLELISM=serial cargo test $CARGOFLAGS -q --workspace
+IDB_PARALLELISM=auto cargo test $CARGOFLAGS -q
+IDB_PARALLELISM=auto cargo test $CARGOFLAGS -q --workspace
 # Re-run the equivalence suites with each engine as the config default:
 # tests that don't pin an engine must pass — and agree — under all three.
 for engine in brute pruned kdtree; do
-    IDB_SEED_SEARCH="$engine" cargo test -q -p idb-geometry --test differential
-    IDB_SEED_SEARCH="$engine" cargo test -q -p idb-core --test differential
-    IDB_SEED_SEARCH="$engine" cargo test -q -p idb-core --test properties
+    IDB_SEED_SEARCH="$engine" cargo test $CARGOFLAGS -q -p idb-geometry --test differential
+    IDB_SEED_SEARCH="$engine" cargo test $CARGOFLAGS -q -p idb-core --test differential
+    IDB_SEED_SEARCH="$engine" cargo test $CARGOFLAGS -q -p idb-core --test properties
 done
 # Durability: the full crash-consistency differential suite and the
 # hostile-input corpus, then the file-backed kill-at-random-crash-point
 # smoke under a few distinct seeds (each seed picks a different scenario
 # and crash byte).
-cargo test -q -p idb-core --test crash_consistency
-cargo test -q -p idb-store --test hardening
+cargo test $CARGOFLAGS -q -p idb-core --test crash_consistency
+cargo test $CARGOFLAGS -q -p idb-store --test hardening
 for crash_seed in 11 1986 777216; do
-    IDB_CRASH_SEED="$crash_seed" cargo test -q -p idb-core --test crash_consistency \
+    IDB_CRASH_SEED="$crash_seed" cargo test $CARGOFLAGS -q -p idb-core --test crash_consistency \
         kill_at_random_crash_point_smoke
 done
-cargo clippy --all-targets -- -D warnings
+# Observability: the differential and durability suites once more with
+# JSONL journaling on, writing into the hermetic IDB_OBS_DIR, then every
+# emitted journal is parsed and checked against the op-journal invariants
+# (split pairing, batch accounting, non-empty commit groups).
+IDB_OBS=jsonl cargo test $CARGOFLAGS -q -p idb-core --test differential
+IDB_OBS=jsonl cargo test $CARGOFLAGS -q -p idb-core --test crash_consistency
+IDB_OBS=jsonl cargo test $CARGOFLAGS -q -p idb-core --test fault_injection
+cargo run $CARGOFLAGS --release -q -p idb-bench --bin journal_check -- "$IDB_OBS_DIR"
+# Lint every workspace crate's lib, bins and tests (bench targets need
+# the real criterion crate and are compile-checked separately below).
+cargo clippy $CARGOFLAGS --workspace --lib --bins --tests -- -D warnings
 cargo fmt --check
-cargo bench --no-run
+cargo bench $CARGOFLAGS --no-run
 
 echo "ci: all green"

@@ -37,7 +37,8 @@ use crate::config::{MaintainerConfig, Parallelism, SplitSeedPolicy};
 use crate::error::{AuditError, AuditIssue, AuditReport, RepairReport, UpdateError};
 use crate::quality::{classify, Classification};
 use idb_geometry::parallel::run_chunks;
-use idb_geometry::{dist, NearestSeeds, SearchStats};
+use idb_geometry::{dist, NearestSeeds, SearchMetrics, SearchStats};
+use idb_obs::{Cause, EventKind, Obs};
 use idb_store::{Batch, PointId, PointStore};
 use rand::Rng;
 
@@ -138,6 +139,10 @@ pub struct IncrementalBubbles {
     /// correlated). `NONE` until the first insertion; purely an
     /// accounting optimization, never affects results.
     last_insert: u32,
+    /// Journal + metrics sinks. Structural events are emitted only from
+    /// the single thread driving the maintainer, so the recorded stream is
+    /// deterministic under any [`Parallelism`]. Disabled by default.
+    obs: Obs,
 }
 
 impl IncrementalBubbles {
@@ -165,6 +170,8 @@ impl IncrementalBubbles {
             store.len() >= config.num_bubbles,
             "database smaller than the requested number of bubbles"
         );
+        let obs = Obs::from_env();
+        let timer = obs.start();
         let dim = store.dim();
         let seed_ids = store.sample_distinct(config.num_bubbles, rng);
         let mut seeds = NearestSeeds::new(dim);
@@ -183,6 +190,7 @@ impl IncrementalBubbles {
             member_pos: vec![NONE; store.slots()],
             total_points: 0,
             last_insert: NONE,
+            obs,
         };
         let mut ids = Vec::with_capacity(store.len());
         let mut flat = Vec::with_capacity(store.len() * dim);
@@ -191,11 +199,20 @@ impl IncrementalBubbles {
             flat.extend_from_slice(p);
         }
         // A fresh build has no assignment history to warm-start from.
+        let before = *search;
         let targets = this.batch_targets(&flat, None, None, search);
         for (&id, &(b, _)) in ids.iter().zip(&targets) {
             this.attach(id, b as usize, store.point(id));
             this.total_points += 1;
         }
+        this.observe_search(ids.len() as u64, &search.delta_since(&before), timer.us());
+        this.obs.emit(
+            EventKind::Build {
+                points: this.total_points,
+                bubbles: this.bubbles.len() as u32,
+            },
+            timer.us(),
+        );
         this
     }
 
@@ -250,6 +267,29 @@ impl IncrementalBubbles {
     #[must_use]
     pub fn config(&self) -> &MaintainerConfig {
         &self.config
+    }
+
+    /// The observability handle events and metrics flow through.
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Replaces the observability handle ([`Obs::from_env`] is installed
+    /// by [`Self::build`]; snapshot decoding starts disabled). Purely an
+    /// output channel — never affects summarization results.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Folds a search-stats delta into the per-engine
+    /// `assign.<engine>.*` metric family, when metrics are on.
+    fn observe_search(&self, queries: u64, delta: &SearchStats, us: u64) {
+        if !self.obs.metrics_on() {
+            return;
+        }
+        SearchMetrics::register(self.obs.metrics(), self.config.seed_search.as_str())
+            .observe(queries, delta, us);
     }
 
     /// Dimensionality of the summarized points.
@@ -381,6 +421,12 @@ impl IncrementalBubbles {
         self.attach(id, bubble, p);
         self.last_insert = bubble as u32;
         self.total_points += 1;
+        self.obs.emit(
+            EventKind::Insert {
+                bubble: bubble as u32,
+            },
+            0,
+        );
     }
 
     /// Handles the deletion of point `id` with coordinates `p`: its
@@ -394,6 +440,12 @@ impl IncrementalBubbles {
         let bubble = self.detach(id);
         self.bubbles[bubble].stats_mut().remove(p);
         self.total_points -= 1;
+        self.obs.emit(
+            EventKind::Delete {
+                bubble: bubble as u32,
+            },
+            0,
+        );
     }
 
     /// Applies a whole update batch: deletions are removed from both the
@@ -495,6 +547,8 @@ impl IncrementalBubbles {
         search: &mut SearchStats,
     ) -> Result<Vec<PointId>, UpdateError> {
         self.validate_batch(store, batch)?;
+        let timer = self.obs.start();
+        let before = *search;
         for &id in &batch.deletes {
             let p = store.point(id).to_vec();
             self.remove_point(id, &p);
@@ -506,6 +560,18 @@ impl IncrementalBubbles {
             self.insert_point(id, p, search);
             new_ids.push(id);
         }
+        self.observe_search(
+            batch.inserts.len() as u64,
+            &search.delta_since(&before),
+            timer.us(),
+        );
+        self.obs.emit(
+            EventKind::BatchApplied {
+                inserts: batch.inserts.len() as u32,
+                deletes: batch.deletes.len() as u32,
+            },
+            timer.us(),
+        );
         Ok(new_ids)
     }
 
@@ -520,7 +586,14 @@ impl IncrementalBubbles {
     /// Every search warm-starts at the donor's nearest surviving
     /// neighbour: the donor held these points, so its closest other seed
     /// is almost always at (or very near) the true answer.
-    fn merge_away(&mut self, donor: usize, store: &PointStore, search: &mut SearchStats) -> u64 {
+    fn merge_away(
+        &mut self,
+        donor: usize,
+        store: &PointStore,
+        search: &mut SearchStats,
+        cause: Cause,
+    ) -> u64 {
+        let timer = self.obs.start();
         let members = self.bubbles[donor].take_members();
         self.bubbles[donor].stats_mut().clear();
         let released = members.len() as u64;
@@ -545,6 +618,14 @@ impl IncrementalBubbles {
             // attach directly to the closest bubble other than the donor.
             self.attach(id, target as usize, store.point(id));
         }
+        self.obs.emit(
+            EventKind::MergeAway {
+                donor: donor as u32,
+                moved: released,
+                cause,
+            },
+            timer.us(),
+        );
         released
     }
 
@@ -558,7 +639,9 @@ impl IncrementalBubbles {
         store: &PointStore,
         rng: &mut R,
         search: &mut SearchStats,
+        cause: Cause,
     ) -> u64 {
+        let timer = self.obs.start();
         let members = self.bubbles[over].take_members();
         self.bubbles[over].stats_mut().clear();
         debug_assert!(members.len() >= 2, "split requires at least two members");
@@ -625,6 +708,15 @@ impl IncrementalBubbles {
             let target = if to_donor { donor } else { over };
             self.attach(id, target, store.point(id));
         }
+        self.obs.emit(
+            EventKind::Split {
+                over: over as u32,
+                donor: donor as u32,
+                moved: reassigned,
+                cause,
+            },
+            timer.us(),
+        );
         reassigned
     }
 
@@ -637,6 +729,20 @@ impl IncrementalBubbles {
         rng: &mut R,
         search: &mut SearchStats,
     ) -> MaintenanceReport {
+        self.maintain_with_cause(store, rng, search, Cause::Maintain)
+    }
+
+    /// [`Self::maintain`] journaled under an explicit cause (the adaptive
+    /// round tags its base pass [`Cause::Adaptive`]).
+    fn maintain_with_cause<R: Rng + ?Sized>(
+        &mut self,
+        store: &PointStore,
+        rng: &mut R,
+        search: &mut SearchStats,
+        cause: Cause,
+    ) -> MaintenanceReport {
+        let timer = self.obs.start();
+        let before = *search;
         let classification = self.classify_now();
         let over = classification.over_filled();
         let mut under = classification.under_filled();
@@ -683,14 +789,27 @@ impl IncrementalBubbles {
             };
             used[d] = true;
 
-            report.released_points += self.merge_away(d, store, search);
-            report.reassigned_points += self.split(o, d, store, rng, search);
+            report.released_points += self.merge_away(d, store, search, cause);
+            report.reassigned_points += self.split(o, d, store, rng, search, cause);
             report.splits += 1;
             report.rebuilt_bubbles += 2;
             if from_good {
                 report.donors_from_good += 1;
             }
         }
+        self.observe_search(
+            report.released_points + report.reassigned_points,
+            &search.delta_since(&before),
+            timer.us(),
+        );
+        self.obs.emit(
+            EventKind::MaintainRound {
+                merges: report.splits as u32,
+                splits: report.splits as u32,
+                cause,
+            },
+            timer.us(),
+        );
         report
     }
 
@@ -721,7 +840,16 @@ impl IncrementalBubbles {
         let new_idx = self.seeds.push(&placeholder);
         self.bubbles.push(Bubble::new(placeholder));
         debug_assert_eq!(new_idx, self.bubbles.len() - 1);
-        self.split(over, new_idx, store, rng, search);
+        // Journal the growth *before* the split so the journal checker can
+        // pair the split with the event that created its donor slot.
+        self.obs.emit(
+            EventKind::Grow {
+                from: over as u32,
+                bubble: new_idx as u32,
+            },
+            0,
+        );
+        self.split(over, new_idx, store, rng, search, Cause::Adaptive);
         new_idx
     }
 
@@ -739,15 +867,32 @@ impl IncrementalBubbles {
             "the bubble population never shrinks below two"
         );
         assert!(i < self.bubbles.len(), "bubble index out of bounds");
-        self.merge_away(i, store, search);
+        self.merge_away(i, store, search, Cause::Retire);
         self.bubbles.swap_remove(i);
         self.seeds.swap_remove(i);
+        // The swap-remove invalidates two indices: `i` itself (retired)
+        // and the former last index (now living at `i`). The warm-start
+        // hint must follow the same remapping, or a later insert would
+        // seed its search from an unrelated — or out-of-range — bubble.
+        let moved_from = self.bubbles.len();
+        if self.last_insert == i as u32 {
+            self.last_insert = NONE;
+        } else if self.last_insert == moved_from as u32 {
+            self.last_insert = i as u32;
+        }
         if i < self.bubbles.len() {
             // The moved bubble's members must point at its new index.
             for &id in self.bubbles[i].members() {
                 self.assign[id.index()] = i as u32;
             }
         }
+        self.obs.emit(
+            EventKind::RetireBubble {
+                bubble: i as u32,
+                swapped: (i < self.bubbles.len()).then_some(moved_from as u32),
+            },
+            0,
+        );
     }
 
     /// Maintenance with a dynamic bubble budget: runs the regular
@@ -790,7 +935,7 @@ impl IncrementalBubbles {
         policy: &AdaptivePolicy,
     ) -> Result<AdaptiveReport, UpdateError> {
         policy.check()?;
-        let base = self.maintain(store, rng, search);
+        let base = self.maintain_with_cause(store, rng, search, Cause::Adaptive);
         let mut grown = 0usize;
         let mut retired = 0usize;
 
@@ -849,6 +994,9 @@ impl IncrementalBubbles {
             member_pos,
             total_points,
             last_insert: NONE,
+            // Snapshot decoding starts silent; recovery installs the live
+            // handle before replaying the WAL tail.
+            obs: Obs::disabled(),
         }
     }
 
@@ -1108,7 +1256,14 @@ impl IncrementalBubbles {
     /// [`AuditError`] carrying *every* violated invariant, in discovery
     /// order — not just the first.
     pub fn audit(&self, store: &PointStore) -> Result<AuditReport, AuditError> {
+        let timer = self.obs.start();
         let (issues, checked_pairs) = self.collect_issues(store);
+        self.obs.emit(
+            EventKind::Audit {
+                issues: issues.len() as u64,
+            },
+            timer.us(),
+        );
         if issues.is_empty() {
             Ok(AuditReport {
                 bubbles: self.bubbles.len(),
@@ -1146,6 +1301,7 @@ impl IncrementalBubbles {
         rng: &mut R,
         search: &mut SearchStats,
     ) -> RepairReport {
+        let timer = self.obs.start();
         let (issues, _) = self.collect_issues(store);
         if issues.is_empty() {
             return RepairReport::default();
@@ -1245,6 +1401,15 @@ impl IncrementalBubbles {
         // 5. After the steps above every live point is covered exactly once.
         self.total_points = store.len() as u64;
         report.quarantined = quarantined.iter().filter(|&&q| q).count();
+        self.obs.emit(
+            EventKind::Repair {
+                found: report.issues_found as u64,
+                quarantined: report.quarantined as u32,
+                reseeded: report.reseeded as u32,
+                reassigned: report.reassigned_points,
+            },
+            timer.us(),
+        );
         report
     }
 
@@ -1295,6 +1460,19 @@ impl IncrementalBubbles {
     #[doc(hidden)]
     pub fn corrupt_pop_member(&mut self, bubble: usize) -> Option<PointId> {
         self.bubbles[bubble].members_mut().pop()
+    }
+
+    /// The warm-start hint the next insertion would use: the bubble the
+    /// previous insertion landed in, if still valid (test observability
+    /// hook — the regression suite asserts `retire_bubble` keeps this in
+    /// sync with the swap-remove).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn last_insert_hint(&self) -> Option<usize> {
+        match self.last_insert {
+            NONE => None,
+            b => Some(b as usize),
+        }
     }
 }
 
@@ -1420,6 +1598,68 @@ mod tests {
             warm.computed,
             cold.computed
         );
+    }
+
+    /// Regression: `retire_bubble` swap-removes a bubble but used to leave
+    /// `last_insert` untouched, so the next insertion warm-started from a
+    /// stale — possibly out-of-range, possibly wrong-bubble — hint. The
+    /// hint must be reset when the retired bubble held it and remapped
+    /// when the moved (former last) bubble did.
+    #[test]
+    fn retire_bubble_remaps_or_resets_the_warm_start_hint() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut store = toy_store(&mut rng);
+        let mut search = SearchStats::new();
+        let mut ib = IncrementalBubbles::build(
+            &store,
+            MaintainerConfig::new(6).with_seed_search(SeedSearch::Pruned),
+            &mut rng,
+            &mut search,
+        );
+
+        // Hint on the retired bubble: reset to none.
+        let id = store.insert(&[10.0, 10.0], None);
+        ib.insert_point(id, &[10.0, 10.0], &mut search);
+        let landed = ib.assignment(id).expect("inserted point is assigned");
+        assert_eq!(ib.last_insert_hint(), Some(landed));
+        ib.retire_bubble(landed, &store, &mut search);
+        assert_eq!(
+            ib.last_insert_hint(),
+            None,
+            "hint on the retired bubble must be invalidated"
+        );
+        ib.validate(&store);
+
+        // Hint on the former last bubble: follows the swap-remove. An
+        // insertion exactly at the last seed lands there (distance zero).
+        let last_seed = ib.bubbles().last().unwrap().seed().to_vec();
+        let id2 = store.insert(&last_seed, None);
+        ib.insert_point(id2, &last_seed, &mut search);
+        assert_eq!(ib.last_insert_hint(), Some(ib.num_bubbles() - 1));
+        ib.retire_bubble(0, &store, &mut search);
+        assert_eq!(
+            ib.last_insert_hint(),
+            Some(0),
+            "hint must follow the moved bubble to its new index"
+        );
+        assert_eq!(ib.assignment(id2), Some(0), "the hinted bubble moved to 0");
+        ib.validate(&store);
+
+        // Hint on an unaffected bubble: untouched when the retired bubble
+        // is the last one (no swap move happens).
+        let seed1 = ib.bubble(1).seed().to_vec();
+        let id3 = store.insert(&seed1, None);
+        ib.insert_point(id3, &seed1, &mut search);
+        assert_eq!(ib.last_insert_hint(), Some(1));
+        ib.retire_bubble(ib.num_bubbles() - 1, &store, &mut search);
+        assert_eq!(ib.last_insert_hint(), Some(1), "unrelated hint is kept");
+        ib.validate(&store);
+
+        // And inserting after all of that works from the remapped hint.
+        let id4 = store.insert(&[50.0, 50.0], None);
+        ib.insert_point(id4, &[50.0, 50.0], &mut search);
+        assert_eq!(ib.last_insert_hint(), ib.assignment(id4));
+        ib.validate(&store);
     }
 
     #[test]

@@ -52,7 +52,8 @@ pub use error::{AuditError, AuditIssue, AuditReport, RepairReport, UpdateError};
 pub use incremental::{AdaptivePolicy, AdaptiveReport, IncrementalBubbles, MaintenanceReport};
 pub use quality::{chebyshev_k, BubbleClass, Classification};
 pub use recovery::{
-    decode_checkpoint, encode_checkpoint, recover, CheckpointStore, DurabilityConfig,
-    DurableMaintainer, FsCheckpoints, Health, MemCheckpoints, Recovered, RecoveryError,
+    decode_checkpoint, encode_checkpoint, recover, recover_with_obs, CheckpointStore,
+    DurabilityConfig, DurableMaintainer, FsCheckpoints, Health, MemCheckpoints, Recovered,
+    RecoveryError,
 };
 pub use stats::SufficientStats;

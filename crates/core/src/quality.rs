@@ -67,46 +67,40 @@ pub struct Classification {
 
 impl Classification {
     /// Indices of the over-filled bubbles, worst (largest measure) first.
+    ///
+    /// Ordering uses [`f64::total_cmp`]: it is total even over NaN (which
+    /// sorts above `+∞` here, i.e. first), so a degenerate measure value
+    /// can never make the donor/split order depend on the sort
+    /// algorithm's comparison sequence.
     #[must_use]
     pub fn over_filled(&self) -> Vec<usize> {
         let mut v: Vec<usize> = (0..self.classes.len())
             .filter(|&i| self.classes[i] == BubbleClass::OverFilled)
             .collect();
-        v.sort_by(|&a, &b| {
-            self.values[b]
-                .partial_cmp(&self.values[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        v.sort_by(|&a, &b| self.values[b].total_cmp(&self.values[a]));
         v
     }
 
     /// Indices of the under-filled bubbles, emptiest (smallest measure)
-    /// first.
+    /// first. NaN-total ordering as in [`Classification::over_filled`].
     #[must_use]
     pub fn under_filled(&self) -> Vec<usize> {
         let mut v: Vec<usize> = (0..self.classes.len())
             .filter(|&i| self.classes[i] == BubbleClass::UnderFilled)
             .collect();
-        v.sort_by(|&a, &b| {
-            self.values[a]
-                .partial_cmp(&self.values[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        v.sort_by(|&a, &b| self.values[a].total_cmp(&self.values[b]));
         v
     }
 
     /// Indices of the good bubbles, lowest measure first — the order in
     /// which the paper recruits donors when no under-filled bubble exists.
+    /// NaN-total ordering as in [`Classification::over_filled`].
     #[must_use]
     pub fn good_ascending(&self) -> Vec<usize> {
         let mut v: Vec<usize> = (0..self.classes.len())
             .filter(|&i| self.classes[i] == BubbleClass::Good)
             .collect();
-        v.sort_by(|&a, &b| {
-            self.values[a]
-                .partial_cmp(&self.values[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        v.sort_by(|&a, &b| self.values[a].total_cmp(&self.values[b]));
         v
     }
 }
@@ -271,6 +265,62 @@ mod tests {
         ];
         let c = classify(QualityKind::Beta, &bubbles, 60, 0.9);
         assert_eq!(c.good_ascending(), vec![1, 2, 0]);
+    }
+
+    /// Regression: NaN measure values (a corrupted bubble slipping a NaN
+    /// extent past classification) previously hit
+    /// `partial_cmp(..).unwrap_or(Equal)`, making the donor/split order
+    /// depend on the sort algorithm's comparison sequence. `total_cmp`
+    /// gives NaN a fixed place instead: it sorts above `+∞`.
+    #[test]
+    fn nan_measures_sort_deterministically() {
+        let values = vec![1.0, f64::NAN, 0.5, f64::NAN, 2.0, 0.25];
+        let classes = vec![
+            BubbleClass::OverFilled,
+            BubbleClass::OverFilled,
+            BubbleClass::UnderFilled,
+            BubbleClass::UnderFilled,
+            BubbleClass::Good,
+            BubbleClass::Good,
+        ];
+        let c = Classification {
+            values,
+            mean: f64::NAN,
+            std_dev: f64::NAN,
+            lower: f64::NAN,
+            upper: f64::NAN,
+            classes,
+        };
+        // Descending: NaN (above +inf) first, then 1.0.
+        assert_eq!(c.over_filled(), vec![1, 0]);
+        // Ascending: finite values first, NaN last.
+        assert_eq!(c.under_filled(), vec![2, 3]);
+        assert_eq!(c.good_ascending(), vec![5, 4]);
+        // And the order is a pure function of the values — permuting the
+        // evaluation cannot change it (total order ⇒ unique sorted
+        // sequence).
+        for _ in 0..3 {
+            assert_eq!(c.over_filled(), vec![1, 0]);
+        }
+    }
+
+    /// A bubble whose statistics degenerated to non-finite values must
+    /// classify with a finite (zero) extent instead of poisoning the
+    /// mean/σ arithmetic with NaN.
+    #[test]
+    fn non_finite_stats_classify_with_zero_extent() {
+        let mut bubbles: Vec<Bubble> = (0..5).map(|i| bubble_with(20, i as f64 * 10.0)).collect();
+        // ls = 0, ss = +inf: the extent radicand is +inf.
+        let mut broken = Bubble::new(vec![0.0]);
+        broken.stats_mut().add(&[1.0e308]);
+        broken.stats_mut().add(&[-1.0e308]);
+        broken.members_mut().push(PointId(900));
+        broken.members_mut().push(PointId(901));
+        assert_eq!(broken.stats().extent(), 0.0, "degenerate extent is 0");
+        bubbles.push(broken);
+        let c = classify(QualityKind::Extent, &bubbles, 102, 0.9);
+        assert!(c.mean.is_finite() && c.std_dev.is_finite());
+        assert!(c.values.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::config::MaintainerConfig;
 use crate::error::UpdateError;
 use crate::incremental::IncrementalBubbles;
 use idb_geometry::SearchStats;
+use idb_obs::{EventKind, Obs};
 use idb_store::snapshot::{read_frame, read_u64, write_frame, write_u64, SnapshotError};
 use idb_store::wal::{read_wal, DurableSink, WalError, WalRecord, WalWriter};
 use idb_store::{Batch, PointId, PointStore};
@@ -322,6 +323,30 @@ pub fn recover<C: CheckpointStore>(
     wal_bytes: &[u8],
     checkpoints: &C,
 ) -> Result<Recovered, RecoveryError> {
+    recover_with_obs(wal_bytes, checkpoints, &Obs::from_env())
+}
+
+/// [`recover`] journaling through an explicit observability handle: a
+/// `recover_start` event up front, a `recover_checkpoint` event for the
+/// checkpoint actually adopted, the recovered maintainer's structural
+/// events while the WAL tail replays (the handle is installed *before*
+/// replay, so the replayed stream is comparable to the uninterrupted
+/// run's), and a closing `recover_done` event.
+///
+/// # Errors
+/// As [`recover`].
+pub fn recover_with_obs<C: CheckpointStore>(
+    wal_bytes: &[u8],
+    checkpoints: &C,
+    obs: &Obs,
+) -> Result<Recovered, RecoveryError> {
+    let timer = obs.start();
+    obs.emit(
+        EventKind::RecoverStart {
+            wal_bytes: wal_bytes.len() as u64,
+        },
+        0,
+    );
     let wal = read_wal(wal_bytes).map_err(|e| match e {
         WalError::Io(e) => RecoveryError::Io(e),
         WalError::Corrupt { offset, detail } => RecoveryError::CorruptWal { offset, detail },
@@ -368,7 +393,8 @@ pub fn recover<C: CheckpointStore>(
             );
             continue;
         }
-        return replay(&wal, seq, covered, store, bubbles);
+        obs.emit(EventKind::RecoverCheckpoint { seq, covered }, 0);
+        return replay(&wal, seq, covered, store, bubbles, obs, &timer);
     }
     Err(RecoveryError::NoUsableCheckpoint { tried, detail })
 }
@@ -379,7 +405,13 @@ fn replay(
     covered: u64,
     mut store: PointStore,
     mut bubbles: IncrementalBubbles,
+    obs: &Obs,
+    timer: &idb_obs::ObsTimer,
 ) -> Result<Recovered, RecoveryError> {
+    // Install the handle before replaying so the replayed structural
+    // events land in the same journal (and in the same order as the
+    // uninterrupted run produced them).
+    bubbles.set_obs(obs.clone());
     let mut search = SearchStats::new();
     let mut replayed = 0;
     for (i, rec) in wal.records.iter().enumerate() {
@@ -405,6 +437,14 @@ fn replay(
     // A checkpoint may run ahead of the durable WAL (group-commit window):
     // the state then simply reflects the checkpoint.
     let batches_durable = covered.max(wal.base + wal.records.len() as u64);
+    obs.emit(
+        EventKind::RecoverDone {
+            replayed: replayed as u64,
+            batches_durable,
+            torn_tail: wal.torn_tail,
+        },
+        timer.us(),
+    );
     Ok(Recovered {
         store,
         bubbles,
@@ -477,6 +517,10 @@ pub struct DurableMaintainer<S: DurableSink, C: CheckpointStore> {
     last_checkpoint_at: u64,
     wal_down: bool,
     checkpoint_down: bool,
+    obs: Obs,
+    /// Whether the last emitted health event said "degraded" — health
+    /// events fire on transitions only.
+    reported_degraded: bool,
 }
 
 impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
@@ -553,7 +597,11 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
         checkpoints: C,
         base: u64,
     ) -> Result<Self, RecoveryError> {
+        // The wrapper journals into the same stream as the summarization
+        // it wraps; the WAL writer gets a clone so commits land there too.
+        let obs = bubbles.obs().clone();
         let mut wal = WalWriter::new(sink, store.dim(), base, dcfg.group_commit);
+        wal.set_obs(obs.clone());
         wal.commit()?; // The header must be durable before any checkpoint.
         let next_checkpoint_seq = checkpoints.seqs()?.iter().max().map_or(0, |m| m + 1);
         let mut this = Self {
@@ -567,9 +615,27 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
             last_checkpoint_at: base,
             wal_down: false,
             checkpoint_down: false,
+            obs,
+            reported_degraded: false,
         };
         this.checkpoint_now()?; // The recovery anchor for this epoch.
         Ok(this)
+    }
+
+    /// Emits a `health` journal event when the degraded/healthy state has
+    /// changed since the last one.
+    fn note_health(&mut self) {
+        let degraded = self.wal_down || self.checkpoint_down;
+        if degraded != self.reported_degraded {
+            self.reported_degraded = degraded;
+            self.obs.emit(
+                EventKind::Health {
+                    degraded,
+                    buffered: self.wal.pending_records() as u64,
+                },
+                0,
+            );
+        }
     }
 
     /// Applies one batch durably, drawing the maintenance seed from `rng`
@@ -630,6 +696,7 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
                 Ok(()) => self.checkpoint_down = false,
                 Err(_) => self.checkpoint_down = true, // Retried next interval.
             }
+            self.note_health();
         }
         Ok(ids)
     }
@@ -642,6 +709,7 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
             match self.wal.commit() {
                 Ok(()) => {
                     self.wal_down = false;
+                    self.note_health();
                     return true;
                 }
                 Err(_) => {
@@ -653,6 +721,7 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
             }
         }
         self.wal_down = true;
+        self.note_health();
         false
     }
 
@@ -671,6 +740,7 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
     /// Whatever the checkpoint medium reports; the maintainer stays
     /// usable and will retry at the next interval.
     pub fn checkpoint_now(&mut self) -> Result<(), RecoveryError> {
+        let timer = self.obs.start();
         let blob = encode_checkpoint(
             self.next_checkpoint_seq,
             self.batches_applied,
@@ -678,6 +748,20 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
             &self.bubbles,
         )?;
         self.checkpoints.save(self.next_checkpoint_seq, &blob)?;
+        self.obs.emit(
+            EventKind::Checkpoint {
+                seq: self.next_checkpoint_seq,
+                covered: self.batches_applied,
+                bytes: blob.len() as u64,
+            },
+            timer.us(),
+        );
+        if self.obs.metrics_on() {
+            let m = self.obs.metrics();
+            m.counter("checkpoint.taken").inc();
+            m.counter("checkpoint.bytes").add(blob.len() as u64);
+            m.histogram("checkpoint.encode_us").record(timer.us());
+        }
         self.next_checkpoint_seq += 1;
         self.last_checkpoint_at = self.batches_applied;
         Ok(())

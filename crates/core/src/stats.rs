@@ -195,7 +195,10 @@ impl SufficientStats {
 
     /// The extent: the average pairwise distance
     /// `sqrt((2·n·SS − 2·|LS|²) / (n·(n−1)))`, clamped at zero against
-    /// floating-point cancellation. Zero for `n <= 1`.
+    /// floating-point cancellation. Zero for `n <= 1` and for degenerate
+    /// statistics whose radicand is not finite (overflowed or NaN-poisoned
+    /// sums) — the classifier needs a finite measure for every bubble, and
+    /// the audit flags non-finite statistics separately.
     #[must_use]
     pub fn extent(&self) -> f64 {
         if self.n <= 1 {
@@ -203,6 +206,9 @@ impl SufficientStats {
         }
         let n = self.n as f64;
         let radicand = (2.0 * n * self.ss - 2.0 * sq_norm(&self.ls)) / (n * (n - 1.0));
+        if !radicand.is_finite() {
+            return 0.0;
+        }
         radicand.max(0.0).sqrt()
     }
 

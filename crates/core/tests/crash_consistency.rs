@@ -16,15 +16,18 @@
 //! corrupted checkpoints).
 
 use idb_core::{
-    recover, CheckpointStore, DurabilityConfig, DurableMaintainer, FsCheckpoints, Health,
-    IncrementalBubbles, MaintainerConfig, MemCheckpoints, Parallelism, RecoveryError, SeedSearch,
+    recover, recover_with_obs, CheckpointStore, DurabilityConfig, DurableMaintainer, FsCheckpoints,
+    Health, IncrementalBubbles, MaintainerConfig, MemCheckpoints, Parallelism, RecoveryError,
+    SeedSearch,
 };
 use idb_geometry::SearchStats;
+use idb_obs::{Event, EventKind, Obs, RingRecorder};
 use idb_store::wal::{read_wal, scratch_dir, FileSink, MemSink};
 use idb_store::{Batch, PointStore};
 use idb_synth::{flip_bit, FaultSink, ScenarioEngine, ScenarioKind, ScenarioSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 const ENGINES: [SeedSearch; 3] = [SeedSearch::Brute, SeedSearch::Pruned, SeedSearch::KdTree];
 
@@ -490,6 +493,113 @@ fn damaged_checkpoints_and_garbage_wals_are_typed_errors() {
                 | RecoveryError::Replay { .. }
                 | RecoveryError::Io(_),
             ) => {}
+        }
+    }
+}
+
+/// The structural (state-changing) slice of a journal, wall-clock masked,
+/// so event sequences compare bit-exactly across runs.
+fn structural(events: &[Event]) -> Vec<Event> {
+    events
+        .iter()
+        .filter(|e| e.kind.is_structural())
+        .map(Event::masked)
+        .collect()
+}
+
+/// Journal/recovery equivalence: replaying the WAL tail after a crash
+/// emits exactly the structural event subsequence the uninterrupted run
+/// produced for those batches — same kinds, same bubble ids, same counts,
+/// same order — bracketed by `recover_start` / `recover_checkpoint` /
+/// `recover_done` markers.
+#[test]
+fn recovery_replays_the_identical_journal_event_sequence() {
+    let mut rng = StdRng::seed_from_u64(0xC4A5_0006);
+    for case in 0..3 {
+        let sc = plan_scenario(case, &mut rng);
+
+        // Uninterrupted reference with a journal attached after build (so
+        // the trace starts exactly at the durable stream).
+        let ring = Arc::new(RingRecorder::new());
+        let mut build_rng = StdRng::seed_from_u64(sc.build_seed);
+        let mut stats = SearchStats::new();
+        let store = sc.store.clone();
+        let mut ib =
+            IncrementalBubbles::build(&store, sc.config.clone(), &mut build_rng, &mut stats);
+        ib.set_obs(Obs::with_recorder(ring.clone()));
+        let mut dm = DurableMaintainer::adopt(
+            store,
+            ib,
+            sc.dcfg.clone(),
+            MemSink::new(),
+            MemCheckpoints::new(),
+        )
+        .expect("MemSink never fails");
+        // Structural-event count after each durable batch, and the
+        // checkpoint population at each point, as in `reference_run`.
+        let mut counts = vec![structural(&ring.events()).len()];
+        let mut ckpt_trace = vec![dm.checkpoints().clone()];
+        for step in &sc.steps {
+            dm.apply_with(&step.batch, step.round_seed, step.maintain, &mut stats)
+                .expect("planned batches are valid");
+            counts.push(structural(&ring.events()).len());
+            ckpt_trace.push(dm.checkpoints().clone());
+        }
+        let reference = structural(&ring.events());
+        assert!(
+            !reference.is_empty(),
+            "case {case}: the reference stream journaled nothing"
+        );
+        let (_, _, sink, _) = dm.into_parts();
+        let wal_bytes = sink.into_bytes();
+        let contents = read_wal(&wal_bytes).expect("reference wal is intact");
+
+        // Crash at every record boundary (plus right after the header) and
+        // recover with a fresh journal.
+        let mut cuts = vec![20];
+        cuts.extend_from_slice(&contents.ends);
+        for cut in cuts {
+            let durable = contents.ends.iter().filter(|&&e| e <= cut).count();
+            let ring2 = Arc::new(RingRecorder::new());
+            let rec = recover_with_obs(
+                &wal_bytes[..cut],
+                &ckpt_trace[durable],
+                &Obs::with_recorder(ring2.clone()),
+            )
+            .unwrap_or_else(|e| panic!("case {case}: recovery at byte {cut} failed: {e}"));
+            assert_eq!(rec.batches_durable, durable as u64);
+
+            let replay_events = ring2.events();
+            // The recovery markers bracket the replay and carry its shape.
+            assert!(matches!(
+                replay_events.first().map(|e| &e.kind),
+                Some(EventKind::RecoverStart { wal_bytes }) if *wal_bytes == cut as u64
+            ));
+            let covered = replay_events
+                .iter()
+                .find_map(|e| match e.kind {
+                    EventKind::RecoverCheckpoint { covered, .. } => Some(covered as usize),
+                    _ => None,
+                })
+                .expect("recovery always adopts a checkpoint");
+            assert!(covered <= durable, "case {case} at byte {cut}");
+            assert!(matches!(
+                replay_events.last().map(|e| &e.kind),
+                Some(EventKind::RecoverDone {
+                    replayed,
+                    batches_durable,
+                    torn_tail: false,
+                }) if *replayed == (durable - covered) as u64
+                    && *batches_durable == durable as u64
+            ));
+
+            // The replayed structural events are exactly the reference's
+            // slice for batches `covered..durable` — ids included.
+            assert_eq!(
+                structural(&replay_events),
+                reference[counts[covered]..counts[durable]],
+                "case {case}: replay after crash at byte {cut} journaled a different stream"
+            );
         }
     }
 }

@@ -21,10 +21,12 @@ use idb_core::{
     AuditError, AuditReport, IncrementalBubbles, MaintainerConfig, Parallelism, SeedSearch,
 };
 use idb_geometry::SearchStats;
+use idb_obs::{Obs, RingRecorder};
 use idb_store::{Batch, PointId, PointStore};
 use idb_synth::{faulty_batch, ScenarioEngine, ScenarioKind, ScenarioSpec, ALL_BATCH_FAULTS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 const CASES: usize = 256;
 const THREAD_MODES: [Parallelism; 3] = [
@@ -403,6 +405,150 @@ fn engines_and_warm_start_are_bit_identical_through_dynamic_flows() {
                     "case {case_no} ({engine:?}, warm={warm}): computed more than brute force"
                 );
             }
+        }
+    }
+}
+
+/// Regression for the stale warm-start hint: `retire_bubble` swap-removes
+/// a bubble, so the hint recorded by the previous insertion can name the
+/// retired bubble or the one that moved into its slot. Interleave retires
+/// with single-point insertions — the pattern that makes the very next
+/// search start from the (possibly remapped) hint — across every engine ×
+/// warm-start combination, and demand the exact brute-force summary after
+/// every step.
+#[test]
+fn retire_then_insert_interleavings_are_bit_identical_across_engines() {
+    const ENGINES: [SeedSearch; 3] = [SeedSearch::Brute, SeedSearch::Pruned, SeedSearch::KdTree];
+    let mut rng = StdRng::seed_from_u64(0x2E71_2E00);
+    for case_no in 0..CASES {
+        let dim = rng.gen_range(1..=3);
+        let num_bubbles = rng.gen_range(4..=9);
+        let n = rng.gen_range(num_bubbles.max(24)..=100);
+        let base_store = random_store(&mut rng, dim, n);
+        let flow_seed: u64 = rng.gen();
+        // Which bubble each of the rounds retires (resolved mod the live
+        // population at retire time) and how many inserts chase it.
+        let plan: Vec<(usize, usize)> = (0..4)
+            .map(|_| (rng.gen_range(0..32), rng.gen_range(1..=4)))
+            .collect();
+
+        let run = |engine: SeedSearch, warm: bool| {
+            let mut store = base_store.clone();
+            let config = MaintainerConfig::new(num_bubbles)
+                .with_seed_search(engine)
+                .with_warm_start(warm)
+                .with_parallelism(Parallelism::Serial);
+            let mut flow_rng = StdRng::seed_from_u64(flow_seed);
+            let mut stats = SearchStats::new();
+            let mut ib = IncrementalBubbles::build(&store, config, &mut flow_rng, &mut stats);
+            let mut trace = Vec::new();
+            for &(retire_pick, inserts) in &plan {
+                // Seed the hint: an insertion lands somewhere and is
+                // remembered as the next search's warm start.
+                let warmup = Batch {
+                    deletes: vec![],
+                    inserts: vec![(
+                        (0..store.dim())
+                            .map(|_| flow_rng.gen_range(-120.0..120.0))
+                            .collect(),
+                        None,
+                    )],
+                };
+                ib.apply_batch(&mut store, &warmup, &mut stats);
+                if ib.num_bubbles() > 3 {
+                    ib.retire_bubble(retire_pick % ib.num_bubbles(), &store, &mut stats);
+                }
+                // Inserts straight after the retire run the hinted search
+                // against the remapped population.
+                let chase = Batch {
+                    deletes: vec![],
+                    inserts: (0..inserts)
+                        .map(|_| {
+                            (
+                                (0..store.dim())
+                                    .map(|_| flow_rng.gen_range(-120.0..120.0))
+                                    .collect(),
+                                None,
+                            )
+                        })
+                        .collect(),
+                };
+                ib.apply_batch(&mut store, &chase, &mut stats);
+                assert_assignments_consistent(&ib);
+                ib.validate(&store);
+                trace.push(fingerprint(&ib));
+            }
+            (trace, stats)
+        };
+
+        let (brute_trace, brute_stats) = run(SeedSearch::Brute, false);
+        for engine in ENGINES {
+            for warm in [false, true] {
+                let (trace, stats) = run(engine, warm);
+                assert_eq!(
+                    trace, brute_trace,
+                    "case {case_no} ({engine:?}, warm={warm}): retire→insert flow diverged"
+                );
+                assert_eq!(
+                    stats.total(),
+                    brute_stats.total(),
+                    "case {case_no} ({engine:?}, warm={warm}): candidate accounting diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The recorded journal is part of the determinism contract: a threaded
+/// run must emit the identical event stream (durations masked — they are
+/// the only wall-clock field) and the identical metric counters as the
+/// serial run, because structural events are emitted from the single
+/// driving thread and counter deltas come from the chunk-order-merged
+/// search accounting.
+#[test]
+fn journal_and_counters_are_bit_identical_between_serial_and_threaded_runs() {
+    for (k, kind) in ScenarioKind::all().into_iter().enumerate() {
+        let run = |par: Parallelism| {
+            let seed = 0x0B5E_0000 + k as u64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let spec = ScenarioSpec::named(kind, 2, 500, 0.05);
+            let mut eng = ScenarioEngine::new(spec);
+            let mut store = eng.populate(&mut rng);
+            let config = MaintainerConfig::new(10).with_parallelism(par);
+            let mut stats = SearchStats::new();
+            let mut ib = IncrementalBubbles::build(&store, config, &mut rng, &mut stats);
+            let ring = Arc::new(RingRecorder::new());
+            let obs = Obs::with_recorder(ring.clone());
+            ib.set_obs(obs.clone());
+            for _ in 0..4 {
+                let batch = eng.plan(&mut rng);
+                let inserted = ib.apply_batch(&mut store, &batch, &mut stats);
+                eng.confirm(&inserted);
+                ib.maintain(&store, &mut rng, &mut stats);
+            }
+            let events: Vec<_> = ring.events().iter().map(|e| e.masked()).collect();
+            (events, obs.metrics().counters(), fingerprint(&ib))
+        };
+
+        let serial = run(Parallelism::Serial);
+        assert!(
+            !serial.0.is_empty(),
+            "{kind:?}: the flow must journal something"
+        );
+        for par in THREAD_MODES {
+            let threaded = run(par);
+            assert_eq!(
+                threaded.0, serial.0,
+                "{kind:?} ({par:?}): journal event stream diverged"
+            );
+            assert_eq!(
+                threaded.1, serial.1,
+                "{kind:?} ({par:?}): metric counters diverged"
+            );
+            assert_eq!(
+                threaded.2, serial.2,
+                "{kind:?} ({par:?}): summary fingerprint diverged"
+            );
         }
     }
 }

@@ -17,6 +17,7 @@
 
 use idb_core::{AuditIssue, IncrementalBubbles, MaintainerConfig, UpdateError};
 use idb_geometry::SearchStats;
+use idb_obs::{check_journal, Obs, RingRecorder};
 use idb_store::{PointId, PointStore, SnapshotError};
 use idb_synth::{
     faulty_batch, flip_bit, BatchFault, ScenarioEngine, ScenarioKind, ScenarioSpec,
@@ -25,6 +26,7 @@ use idb_synth::{
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// A store + maintainer fixture over a small clustered database.
 fn fixture(seed: u64) -> (PointStore, IncrementalBubbles, StdRng, SearchStats) {
@@ -335,6 +337,87 @@ fn repair_restores_a_heavily_corrupted_population() {
         .expect("valid batch applies");
     ib.maintain(&store, &mut rng, &mut search);
     ib.audit(&store).expect("still green after further churn");
+}
+
+/// Transactionality extends to the op journal: a rejected batch emits
+/// **no events at all** — not a partial per-point trail, not a
+/// `batch_applied` — because validation precedes every mutation and every
+/// emission.
+#[test]
+fn rejected_batches_leave_no_journal_trace() {
+    for (round, &fault) in ALL_BATCH_FAULTS.iter().enumerate() {
+        let (mut store, mut ib, mut rng, mut search) = fixture(900 + round as u64);
+        let ring = Arc::new(RingRecorder::new());
+        ib.set_obs(Obs::with_recorder(ring.clone()));
+        let batch = faulty_batch(&store, fault, &mut rng);
+        ib.try_apply_batch(&mut store, &batch, &mut search)
+            .expect_err("faulty batch must be rejected");
+        assert!(
+            ring.is_empty(),
+            "{fault:?}: rejected batch journaled {:?}",
+            ring.events()
+        );
+        // A valid batch through the same handle journals normally.
+        let id = store.ids().next().unwrap();
+        ib.try_apply_batch(
+            &mut store,
+            &idb_store::Batch {
+                deletes: vec![id],
+                inserts: vec![(vec![1.0, 2.0], None)],
+            },
+            &mut search,
+        )
+        .expect("valid batch applies");
+        assert!(!ring.is_empty(), "{fault:?}: valid batch journaled nothing");
+    }
+}
+
+/// The journal invariants of [`check_journal`] hold over a stream of
+/// churn, maintenance, retirement, sabotage and repair: split events pair
+/// with the merge/grow that freed their donor, and batch accounting
+/// matches the per-point trail exactly.
+#[test]
+fn journal_invariants_hold_across_churn_maintenance_and_repair() {
+    let mut rng = StdRng::seed_from_u64(0x0B5E_CC01);
+    let spec = ScenarioSpec::named(ScenarioKind::Random, 2, 500, 0.08);
+    let mut engine = ScenarioEngine::new(spec);
+    let mut store = engine.populate(&mut rng);
+    let mut search = SearchStats::new();
+    let mut ib =
+        IncrementalBubbles::build(&store, MaintainerConfig::new(12), &mut rng, &mut search);
+    let ring = Arc::new(RingRecorder::new());
+    ib.set_obs(Obs::with_recorder(ring.clone()));
+
+    for round in 0..6 {
+        let batch = engine.plan(&mut rng);
+        let ids = ib
+            .try_apply_batch(&mut store, &batch, &mut search)
+            .expect("planned batches are valid");
+        engine.confirm(&ids);
+        ib.maintain(&store, &mut rng, &mut search);
+        if round % 2 == 0 && ib.num_bubbles() > 3 {
+            ib.retire_bubble(round % ib.num_bubbles(), &store, &mut search);
+        }
+    }
+    // Sabotage + repair mid-stream journals a repair event and keeps the
+    // invariants intact.
+    ib.corrupt_seed(0, vec![f64::NAN, f64::NAN]);
+    ib.repair(&store, &mut rng, &mut search);
+    ib.audit(&store).expect("green after repair");
+    let batch = engine.plan(&mut rng);
+    let ids = ib
+        .try_apply_batch(&mut store, &batch, &mut search)
+        .expect("planned batches are valid");
+    engine.confirm(&ids);
+    ib.maintain(&store, &mut rng, &mut search);
+
+    let summary = check_journal(&ring.events()).expect("journal invariants hold");
+    assert!(summary.batches >= 7, "{summary:?}");
+    assert!(summary.retires >= 1, "{summary:?}");
+    assert!(
+        summary.inserts + summary.deletes > 0,
+        "churn must journal per-point events: {summary:?}"
+    );
 }
 
 #[test]

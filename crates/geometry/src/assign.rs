@@ -103,6 +103,18 @@ impl SeedSearch {
         }
     }
 
+    /// The canonical engine name ([`SeedSearch::parse`] round-trips it):
+    /// `brute`, `pruned`, or `kdtree`. Used as the middle segment of the
+    /// `assign.<engine>.*` metric names.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Brute => "brute",
+            Self::Pruned => "pruned",
+            Self::KdTree => "kdtree",
+        }
+    }
+
     /// Reads the `IDB_SEED_SEARCH` environment variable (the knob `ci.sh`
     /// uses to run the differential suites under every engine). `None`
     /// when unset or unparseable; use [`SeedSearch::from_env_strict`] to

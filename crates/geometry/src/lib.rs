@@ -15,6 +15,9 @@
 //!   with the triangle inequality, plus the brute-force baseline.
 //! * [`kdtree`] — a k-d tree for point-level range and k-NN queries, used by
 //!   the point-level OPTICS and DBSCAN substrates.
+//! * [`obs`] — [`SearchMetrics`], the bridge that folds
+//!   `SearchStats` deltas into the shared `idb-obs` metrics registry as
+//!   per-engine counter families.
 //! * [`parallel`] — [`Parallelism`] (the `Serial | Threads(n) | Auto` knob
 //!   threaded through every bulk entry point) and the chunked scoped-thread
 //!   helpers whose merge discipline keeps parallel results bit-identical
@@ -31,6 +34,7 @@ pub mod assign;
 pub mod kdtree;
 pub mod matrix;
 pub mod metric;
+pub mod obs;
 pub mod parallel;
 pub mod stats;
 
@@ -38,5 +42,6 @@ pub use assign::{NearestSeeds, SeedSearch, NO_HINT};
 pub use kdtree::KdTree;
 pub use matrix::SymMatrix;
 pub use metric::{dist, sq_dist};
+pub use obs::SearchMetrics;
 pub use parallel::{EnvParseError, Parallelism};
 pub use stats::SearchStats;

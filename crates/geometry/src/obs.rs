@@ -1,0 +1,108 @@
+//! Bridges the per-query [`SearchStats`](crate::stats::SearchStats)
+//! accounting into the shared metrics registry.
+//!
+//! The assignment engines already produce the paper's Figure 8–10
+//! currency — computed / pruned / partially-evaluated candidate counts —
+//! through caller-owned [`SearchStats`] accumulators, with per-worker
+//! copies merged in chunk order by the parallel batch driver. This module
+//! turns those numbers into named registry metrics, one family per
+//! engine, so long-running deployments can watch them without threading
+//! accumulators around:
+//!
+//! ```text
+//! assign.<engine>.queries    nearest-seed searches answered
+//! assign.<engine>.computed   full distance evaluations
+//! assign.<engine>.pruned     candidates eliminated without a read
+//! assign.<engine>.partial    evaluations abandoned by the early-exit kernel
+//! assign.<engine>.search_us  latency histogram of instrumented phases
+//! ```
+//!
+//! Counter values inherit the bit-identity guarantee of the underlying
+//! accounting: they are identical under `Parallelism::Serial` and
+//! `Parallelism::Threads(n)`. The latency histogram is wall-clock and is
+//! excluded from that contract.
+
+use crate::stats::SearchStats;
+use idb_obs::{Counter, Histogram, MetricsRegistry};
+
+/// Registry handles for one assignment engine's search metrics.
+#[derive(Debug, Clone)]
+pub struct SearchMetrics {
+    queries: Counter,
+    computed: Counter,
+    pruned: Counter,
+    partial: Counter,
+    latency: Histogram,
+}
+
+impl SearchMetrics {
+    /// Looks up (creating on first use) the metric family
+    /// `assign.<engine>.*` in `registry`.
+    #[must_use]
+    pub fn register(registry: &MetricsRegistry, engine: &str) -> Self {
+        let name = |suffix: &str| format!("assign.{engine}.{suffix}");
+        SearchMetrics {
+            queries: registry.counter(&name("queries")),
+            computed: registry.counter(&name("computed")),
+            pruned: registry.counter(&name("pruned")),
+            partial: registry.counter(&name("partial")),
+            latency: registry.histogram(&name("search_us")),
+        }
+    }
+
+    /// Folds one instrumented phase into the registry: `queries` searches
+    /// whose accounting delta is `delta`, taking `us` microseconds of
+    /// wall-clock.
+    pub fn observe(&self, queries: u64, delta: &SearchStats, us: u64) {
+        self.queries.add(queries);
+        self.computed.add(delta.computed);
+        self.pruned.add(delta.pruned);
+        self.partial.add(delta.partial);
+        self.latency.record(us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observes_deltas_into_named_counters() {
+        let registry = MetricsRegistry::new();
+        let m = SearchMetrics::register(&registry, "pruned");
+        let mut acc = SearchStats::new();
+        let before = acc;
+        acc.computed += 5;
+        acc.pruned += 20;
+        acc.partial += 3;
+        m.observe(7, &acc.delta_since(&before), 42);
+        let counters = registry.counters();
+        let get = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert_eq!(get("assign.pruned.queries"), 7);
+        assert_eq!(get("assign.pruned.computed"), 5);
+        assert_eq!(get("assign.pruned.pruned"), 20);
+        assert_eq!(get("assign.pruned.partial"), 3);
+        assert_eq!(registry.histogram("assign.pruned.search_us").count(), 1);
+    }
+
+    #[test]
+    fn registering_twice_shares_the_same_cells() {
+        let registry = MetricsRegistry::new();
+        let a = SearchMetrics::register(&registry, "brute");
+        let b = SearchMetrics::register(&registry, "brute");
+        a.observe(1, &SearchStats::new(), 0);
+        b.observe(2, &SearchStats::new(), 0);
+        let counters = registry.counters();
+        let q = counters
+            .iter()
+            .find(|(n, _)| n == "assign.brute.queries")
+            .unwrap();
+        assert_eq!(q.1, 3);
+    }
+}

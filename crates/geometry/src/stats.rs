@@ -84,6 +84,28 @@ impl SearchStats {
     pub fn reset(&mut self) {
         *self = Self::default();
     }
+
+    /// The counter deltas accumulated since `before` was snapshotted —
+    /// how instrumented phases attribute search work to one operation on
+    /// a long-lived accumulator.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `before` is not an earlier snapshot of
+    /// this accumulator; counters are monotonic.
+    #[must_use]
+    pub fn delta_since(&self, before: &SearchStats) -> SearchStats {
+        debug_assert!(
+            self.computed >= before.computed
+                && self.pruned >= before.pruned
+                && self.partial >= before.partial,
+            "delta_since requires an earlier snapshot of the same accumulator"
+        );
+        SearchStats {
+            computed: self.computed - before.computed,
+            pruned: self.pruned - before.pruned,
+            partial: self.partial - before.partial,
+        }
+    }
 }
 
 impl AddAssign for SearchStats {

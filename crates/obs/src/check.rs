@@ -1,0 +1,254 @@
+//! Journal invariant checking — the contract the fault-injection and
+//! crash-consistency suites (and the CI `journal_check` tool) assert
+//! against a recorded event stream.
+//!
+//! Invariants over one maintainer's journal:
+//!
+//! 1. **Split pairing** — every [`EventKind::Split`] is immediately
+//!    preceded (among structural events) by the [`EventKind::MergeAway`]
+//!    that freed its donor seed, or by the [`EventKind::Grow`] that
+//!    spawned it; the donor ids must match.
+//! 2. **Batch accounting** — a [`EventKind::BatchApplied`] reports
+//!    exactly the per-point [`EventKind::Insert`]/[`EventKind::Delete`]
+//!    events emitted since the previous structural boundary.
+//! 3. **Commit groups** — every [`EventKind::WalCommit`] flushes at least
+//!    one record.
+
+use crate::event::{Event, EventKind};
+
+/// Aggregate counts over a checked journal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalSummary {
+    /// Total events checked.
+    pub events: u64,
+    /// Structural events (see [`EventKind::is_structural`]).
+    pub structural: u64,
+    /// Per-point inserts.
+    pub inserts: u64,
+    /// Per-point deletes.
+    pub deletes: u64,
+    /// Applied batches.
+    pub batches: u64,
+    /// Merge-away operations.
+    pub merges: u64,
+    /// Splits.
+    pub splits: u64,
+    /// Retired bubbles.
+    pub retires: u64,
+    /// Grown bubbles.
+    pub grows: u64,
+    /// WAL commit groups.
+    pub wal_commits: u64,
+    /// Checkpoints persisted.
+    pub checkpoints: u64,
+}
+
+/// Checks the journal invariants over `events`, returning aggregate
+/// counts on success and a description naming the offending event index
+/// on violation.
+///
+/// # Errors
+/// Returns `Err` when any invariant is violated.
+pub fn check_journal(events: &[Event]) -> Result<JournalSummary, String> {
+    let mut summary = JournalSummary::default();
+    // The previous *structural* event, for the split-pairing rule.
+    let mut prev_structural: Option<(usize, &EventKind)> = None;
+    // Per-point ops since the last structural boundary, for batch
+    // accounting.
+    let mut pending_inserts: u32 = 0;
+    let mut pending_deletes: u32 = 0;
+
+    for (i, ev) in events.iter().enumerate() {
+        summary.events += 1;
+        if ev.kind.is_structural() {
+            summary.structural += 1;
+        }
+        match &ev.kind {
+            EventKind::Insert { .. } => {
+                summary.inserts += 1;
+                pending_inserts += 1;
+            }
+            EventKind::Delete { .. } => {
+                summary.deletes += 1;
+                pending_deletes += 1;
+            }
+            EventKind::BatchApplied { inserts, deletes } => {
+                summary.batches += 1;
+                if *inserts != pending_inserts || *deletes != pending_deletes {
+                    return Err(format!(
+                        "event {i}: batch reports {inserts} inserts / {deletes} deletes \
+                         but {pending_inserts} / {pending_deletes} per-point events \
+                         were journaled since the last boundary"
+                    ));
+                }
+                pending_inserts = 0;
+                pending_deletes = 0;
+            }
+            EventKind::Split { donor, .. } => {
+                summary.splits += 1;
+                let paired = match prev_structural {
+                    Some((_, EventKind::MergeAway { donor: d, .. })) => d == donor,
+                    Some((_, EventKind::Grow { bubble, .. })) => bubble == donor,
+                    _ => false,
+                };
+                if !paired {
+                    return Err(format!(
+                        "event {i}: split onto donor {donor} is not paired with a \
+                         merge_away or grow of that bubble (previous structural \
+                         event: {:?})",
+                        prev_structural.map(|(j, k)| (j, k.tag()))
+                    ));
+                }
+            }
+            EventKind::MergeAway { .. } => summary.merges += 1,
+            EventKind::RetireBubble { .. } => summary.retires += 1,
+            EventKind::Grow { .. } => summary.grows += 1,
+            EventKind::WalCommit { records, .. } => {
+                summary.wal_commits += 1;
+                if *records == 0 {
+                    return Err(format!("event {i}: wal_commit with an empty group"));
+                }
+            }
+            EventKind::Checkpoint { .. } => summary.checkpoints += 1,
+            _ => {}
+        }
+        if ev.kind.is_structural() {
+            if !matches!(ev.kind, EventKind::Insert { .. } | EventKind::Delete { .. }) {
+                pending_inserts = 0;
+                pending_deletes = 0;
+            }
+            prev_structural = Some((i, &ev.kind));
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Cause;
+
+    fn ev(kind: EventKind) -> Event {
+        Event { kind, us: 1 }
+    }
+
+    #[test]
+    fn a_well_formed_journal_passes() {
+        let events = vec![
+            ev(EventKind::Build {
+                points: 100,
+                bubbles: 10,
+            }),
+            ev(EventKind::Delete { bubble: 1 }),
+            ev(EventKind::Insert { bubble: 0 }),
+            ev(EventKind::Insert { bubble: 2 }),
+            ev(EventKind::BatchApplied {
+                inserts: 2,
+                deletes: 1,
+            }),
+            ev(EventKind::MergeAway {
+                donor: 4,
+                moved: 8,
+                cause: Cause::Maintain,
+            }),
+            ev(EventKind::Split {
+                over: 1,
+                donor: 4,
+                moved: 5,
+                cause: Cause::Maintain,
+            }),
+            ev(EventKind::MaintainRound {
+                merges: 1,
+                splits: 1,
+                cause: Cause::Maintain,
+            }),
+            ev(EventKind::Grow {
+                from: 1,
+                bubble: 10,
+            }),
+            ev(EventKind::Split {
+                over: 1,
+                donor: 10,
+                moved: 4,
+                cause: Cause::Adaptive,
+            }),
+            ev(EventKind::WalAppend {
+                bytes: 100,
+                records: 1,
+            }),
+            ev(EventKind::WalCommit {
+                bytes: 100,
+                records: 1,
+            }),
+            ev(EventKind::Checkpoint {
+                seq: 1,
+                covered: 1,
+                bytes: 900,
+            }),
+        ];
+        let summary = check_journal(&events).expect("well-formed");
+        assert_eq!(summary.batches, 1);
+        assert_eq!(summary.splits, 2);
+        assert_eq!(summary.merges, 1);
+        assert_eq!(summary.grows, 1);
+        assert_eq!(summary.inserts, 2);
+        assert_eq!(summary.deletes, 1);
+        assert_eq!(summary.wal_commits, 1);
+        assert_eq!(summary.checkpoints, 1);
+    }
+
+    #[test]
+    fn an_unpaired_split_is_flagged() {
+        let events = vec![
+            ev(EventKind::Insert { bubble: 0 }),
+            ev(EventKind::Split {
+                over: 1,
+                donor: 4,
+                moved: 5,
+                cause: Cause::Maintain,
+            }),
+        ];
+        let err = check_journal(&events).unwrap_err();
+        assert!(err.contains("not paired"), "{err}");
+    }
+
+    #[test]
+    fn a_mismatched_donor_is_flagged() {
+        let events = vec![
+            ev(EventKind::MergeAway {
+                donor: 3,
+                moved: 8,
+                cause: Cause::Maintain,
+            }),
+            ev(EventKind::Split {
+                over: 1,
+                donor: 4,
+                moved: 5,
+                cause: Cause::Maintain,
+            }),
+        ];
+        assert!(check_journal(&events).is_err());
+    }
+
+    #[test]
+    fn batch_accounting_mismatch_is_flagged() {
+        let events = vec![
+            ev(EventKind::Insert { bubble: 0 }),
+            ev(EventKind::BatchApplied {
+                inserts: 2,
+                deletes: 0,
+            }),
+        ];
+        let err = check_journal(&events).unwrap_err();
+        assert!(err.contains("per-point events"), "{err}");
+    }
+
+    #[test]
+    fn empty_commit_groups_are_flagged() {
+        let events = vec![ev(EventKind::WalCommit {
+            bytes: 0,
+            records: 0,
+        })];
+        assert!(check_journal(&events).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! The [`Obs`] handle: one cheap, cloneable bundle of recorder + metrics
+//! registry that instrumented components carry around.
+
+use crate::event::{Event, EventKind};
+use crate::metrics::MetricsRegistry;
+use crate::recorder::{JsonlRecorder, NullRecorder, Recorder};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+use std::time::Instant;
+
+/// The observability handle threaded through the maintainer stack.
+///
+/// Bundles a journal [`Recorder`] and a [`MetricsRegistry`], plus cached
+/// enable flags so disabled observability costs one branch per emission
+/// site. Cloning shares both underlying sinks — a
+/// [`DurableMaintainer`](https://docs.rs) holding a clone of the
+/// summarizer's handle journals into the same stream.
+#[derive(Clone)]
+pub struct Obs {
+    recorder: Arc<dyn Recorder>,
+    metrics: Arc<MetricsRegistry>,
+    journal_on: bool,
+    metrics_on: bool,
+}
+
+impl Obs {
+    /// Fully inert observability: [`NullRecorder`], metrics off. This is
+    /// the default everywhere and must stay free.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Obs {
+            recorder: Arc::new(NullRecorder),
+            metrics: Arc::new(MetricsRegistry::new()),
+            journal_on: false,
+            metrics_on: false,
+        }
+    }
+
+    /// Journal into `recorder` (if it reports itself enabled) and collect
+    /// metrics into `metrics`.
+    #[must_use]
+    pub fn new(recorder: Arc<dyn Recorder>, metrics: Arc<MetricsRegistry>) -> Self {
+        let journal_on = recorder.is_enabled();
+        Obs {
+            recorder,
+            metrics,
+            journal_on,
+            metrics_on: true,
+        }
+    }
+
+    /// Journal into `recorder` with a fresh metrics registry.
+    #[must_use]
+    pub fn with_recorder(recorder: Arc<dyn Recorder>) -> Self {
+        Obs::new(recorder, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Collect metrics only; no journal.
+    #[must_use]
+    pub fn metrics_only() -> Self {
+        Obs::new(Arc::new(NullRecorder), Arc::new(MetricsRegistry::new()))
+    }
+
+    /// The observability the `IDB_OBS` environment variable asks for:
+    ///
+    /// * unset / `off` / `0` / `none` — [`Obs::disabled`];
+    /// * `metrics` — metrics only;
+    /// * `jsonl` — a [`JsonlRecorder`] writing
+    ///   `journal-<pid>-<n>.jsonl` under `IDB_OBS_DIR` (default: an
+    ///   `idb-obs` directory under the system temp dir), plus metrics.
+    ///
+    /// Anything else warns once on stderr and falls back to disabled —
+    /// observability must never take the host down.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("IDB_OBS") {
+            Err(_) => Obs::disabled(),
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "" | "off" | "0" | "none" => Obs::disabled(),
+                "metrics" => Obs::metrics_only(),
+                "jsonl" => Obs::with_recorder(Arc::new(JsonlRecorder::create(next_journal_path()))),
+                other => {
+                    static WARN: Once = Once::new();
+                    let msg = format!(
+                        "idb-obs: unrecognized IDB_OBS value {other:?} \
+                         (expected off|metrics|jsonl); observability disabled"
+                    );
+                    WARN.call_once(|| eprintln!("{msg}"));
+                    Obs::disabled()
+                }
+            },
+        }
+    }
+
+    /// Whether any emission site should do work at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.journal_on || self.metrics_on
+    }
+
+    /// Whether journal events are being recorded.
+    #[must_use]
+    pub fn journal_on(&self) -> bool {
+        self.journal_on
+    }
+
+    /// Whether metrics are being collected.
+    #[must_use]
+    pub fn metrics_on(&self) -> bool {
+        self.metrics_on
+    }
+
+    /// The journal recorder.
+    #[must_use]
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
+    }
+
+    /// The metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Starts a stopwatch — a live one only when observability is
+    /// enabled, so disabled handles never read the clock.
+    #[must_use]
+    pub fn start(&self) -> ObsTimer {
+        ObsTimer(self.enabled().then(Instant::now))
+    }
+
+    /// Emits one journal event, if journaling is on.
+    pub fn emit(&self, kind: EventKind, us: u64) {
+        if self.journal_on {
+            self.recorder.record(Event { kind, us });
+        }
+    }
+
+    /// Emits one journal event stamped with the stopwatch's elapsed time.
+    pub fn emit_timed(&self, kind: EventKind, timer: &ObsTimer) {
+        self.emit(kind, timer.us());
+    }
+
+    /// Flushes the journal recorder.
+    pub fn flush(&self) {
+        self.recorder.flush();
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::disabled()
+    }
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Obs")
+            .field("journal_on", &self.journal_on)
+            .field("metrics_on", &self.metrics_on)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A stopwatch handed out by [`Obs::start`]: live only when observability
+/// is enabled.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsTimer(Option<Instant>);
+
+impl ObsTimer {
+    /// Elapsed microseconds since [`Obs::start`]; zero when the handle was
+    /// disabled.
+    #[must_use]
+    pub fn us(&self) -> u64 {
+        self.0.map_or(0, |t0| {
+            u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX)
+        })
+    }
+}
+
+/// A process-unique journal path under the `IDB_OBS_DIR` (or temp)
+/// directory.
+fn next_journal_path() -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::var_os("IDB_OBS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("idb-obs"));
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    dir.join(format!("journal-{}-{n}.jsonl", std::process::id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::RingRecorder;
+
+    #[test]
+    fn disabled_obs_emits_nothing_and_skips_the_clock() {
+        let obs = Obs::disabled();
+        assert!(!obs.enabled());
+        let t = obs.start();
+        obs.emit(EventKind::Insert { bubble: 0 }, t.us());
+        assert_eq!(t.us(), 0);
+    }
+
+    #[test]
+    fn ring_backed_obs_records_in_order() {
+        let ring = Arc::new(RingRecorder::new());
+        let obs = Obs::with_recorder(ring.clone());
+        assert!(obs.journal_on() && obs.metrics_on());
+        obs.emit(EventKind::Insert { bubble: 1 }, 5);
+        obs.emit(EventKind::Delete { bubble: 2 }, 6);
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Insert { bubble: 1 });
+        assert_eq!(events[1].kind, EventKind::Delete { bubble: 2 });
+    }
+
+    #[test]
+    fn null_recorder_obs_keeps_metrics_but_no_journal() {
+        let obs = Obs::with_recorder(Arc::new(NullRecorder));
+        assert!(!obs.journal_on());
+        assert!(obs.metrics_on());
+        obs.emit(EventKind::Insert { bubble: 1 }, 5); // Dropped.
+        obs.metrics().counter("x").inc();
+        assert_eq!(obs.metrics().counters(), vec![("x".to_string(), 1)]);
+    }
+
+    #[test]
+    fn clones_share_sinks() {
+        let ring = Arc::new(RingRecorder::new());
+        let obs = Obs::with_recorder(ring.clone());
+        let clone = obs.clone();
+        clone.emit(EventKind::Insert { bubble: 9 }, 0);
+        obs.metrics().counter("shared").inc();
+        assert_eq!(ring.len(), 1);
+        assert_eq!(clone.metrics().counter("shared").get(), 1);
+    }
+}

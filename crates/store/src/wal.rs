@@ -39,6 +39,7 @@
 
 use crate::snapshot::crc32;
 use crate::{Batch, PointId};
+use idb_obs::{EventKind, Obs};
 use std::fmt;
 use std::fs;
 use std::io::{self, Write};
@@ -498,6 +499,7 @@ pub struct WalWriter<S: DurableSink> {
     committed_len: u64,
     committed_records: u64,
     dirty: bool,
+    obs: Obs,
 }
 
 impl<S: DurableSink> WalWriter<S> {
@@ -515,12 +517,28 @@ impl<S: DurableSink> WalWriter<S> {
             committed_len: 0,
             committed_records: 0,
             dirty: false,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Installs the observability handle the writer journals WAL traffic
+    /// through (events `wal_append` / `wal_commit` / `wal_truncate`,
+    /// counters `wal.appended_bytes` / `wal.fsyncs`, histograms
+    /// `wal.commit_us` / `wal.group_records`).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Buffers one record (never touches the sink).
     pub fn append(&mut self, rec: &WalRecord) {
         let framed = encode_record(self.dim, rec);
+        self.obs.emit(
+            EventKind::WalAppend {
+                bytes: framed.len() as u64,
+                records: 1,
+            },
+            0,
+        );
         self.pending.extend_from_slice(&framed);
         self.pending_records += 1;
     }
@@ -559,8 +577,15 @@ impl<S: DurableSink> WalWriter<S> {
         if self.pending.is_empty() {
             return Ok(());
         }
+        let timer = self.obs.start();
         if self.dirty {
             self.sink.truncate(self.committed_len)?;
+            self.obs.emit(
+                EventKind::WalTruncate {
+                    len: self.committed_len,
+                },
+                0,
+            );
             self.dirty = false;
         }
         if let Err(e) = self.sink.append(&self.pending) {
@@ -571,10 +596,26 @@ impl<S: DurableSink> WalWriter<S> {
             self.dirty = true;
             return Err(e);
         }
-        self.committed_len += self.pending.len() as u64;
+        let bytes = self.pending.len() as u64;
+        let records = self.pending_records as u32;
+        self.committed_len += bytes;
         self.committed_records += self.pending_records as u64;
         self.pending.clear();
         self.pending_records = 0;
+        // A header-only flush (epoch bookkeeping at writer start) is not a
+        // record group; the journal invariant "every wal_commit flushes at
+        // least one record" holds by construction.
+        if records > 0 {
+            self.obs
+                .emit(EventKind::WalCommit { bytes, records }, timer.us());
+            if self.obs.metrics_on() {
+                let m = self.obs.metrics();
+                m.counter("wal.appended_bytes").add(bytes);
+                m.counter("wal.fsyncs").inc();
+                m.histogram("wal.commit_us").record(timer.us());
+                m.histogram("wal.group_records").record(u64::from(records));
+            }
+        }
         Ok(())
     }
 
@@ -747,6 +788,43 @@ mod tests {
         assert_eq!(w.committed_records(), 4);
     }
 
+    #[test]
+    fn wal_writer_journals_appends_and_commits() {
+        use idb_obs::RingRecorder;
+        use std::sync::Arc;
+        let records = sample_records(2, 3, 23);
+        let ring = Arc::new(RingRecorder::new());
+        let mut w = WalWriter::new(MemSink::new(), 2, 0, 2);
+        w.set_obs(Obs::with_recorder(ring.clone()));
+        w.append(&records[0]);
+        w.append(&records[1]);
+        w.commit().unwrap();
+        w.append(&records[2]);
+        w.commit().unwrap();
+        let kinds: Vec<&'static str> = ring.events().iter().map(|e| e.kind.tag()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "wal_append",
+                "wal_append",
+                "wal_commit",
+                "wal_append",
+                "wal_commit"
+            ]
+        );
+        match ring.events()[2].kind {
+            EventKind::WalCommit { bytes, records } => {
+                assert_eq!(records, 2);
+                assert!(bytes > WAL_HEADER_LEN as u64, "header + two records");
+            }
+            ref other => panic!("expected WalCommit, got {other:?}"),
+        }
+        let m = w.obs.metrics();
+        assert_eq!(m.counter("wal.fsyncs").get(), 2);
+        assert!(m.counter("wal.appended_bytes").get() > 0);
+        assert_eq!(m.histogram("wal.group_records").count(), 2);
+    }
+
     /// A sink whose next appends fail after writing only a prefix — the
     /// short-write repair path must truncate and rewrite.
     struct ShortWriteSink {
@@ -773,12 +851,16 @@ mod tests {
 
     #[test]
     fn failed_commit_repairs_the_short_write_on_retry() {
+        use idb_obs::RingRecorder;
+        use std::sync::Arc;
         let records = sample_records(2, 2, 19);
         let sink = ShortWriteSink {
             inner: MemSink::new(),
             fail_after: None,
         };
+        let ring = Arc::new(RingRecorder::new());
         let mut w = WalWriter::new(sink, 2, 0, 1);
+        w.set_obs(Obs::with_recorder(ring.clone()));
         w.append(&records[0]);
         w.commit().unwrap();
         // Second commit short-writes 5 bytes, then fails.
@@ -795,5 +877,11 @@ mod tests {
         let done = read_wal(w.sink().inner.bytes()).unwrap();
         assert_eq!(done.records[..], records[..2]);
         assert!(!done.torn_tail);
+        // The repair truncation was journaled before the successful commit.
+        let tags: Vec<&'static str> = ring.events().iter().map(|e| e.kind.tag()).collect();
+        assert!(
+            tags.contains(&"wal_truncate"),
+            "expected a wal_truncate event, got {tags:?}"
+        );
     }
 }

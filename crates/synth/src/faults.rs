@@ -7,6 +7,7 @@
 //! the generators so other crates (and future harnesses) share one
 //! vocabulary of faults.
 
+use idb_obs::{EventKind, Obs, SinkOp};
 use idb_store::{Batch, DurableSink, PointId, PointStore};
 use rand::Rng;
 use std::io;
@@ -115,6 +116,9 @@ pub struct FaultSink {
     pub fail_appends: usize,
     /// Number of upcoming `sync` calls that fail.
     pub fail_syncs: usize,
+    /// Journal sink; every injected failure emits a `sink_fault` event so
+    /// suites can correlate degradation with the fault that caused it.
+    obs: Obs,
 }
 
 impl FaultSink {
@@ -137,16 +141,26 @@ impl FaultSink {
         self.fail_appends = 0;
         self.fail_syncs = 0;
     }
+
+    /// Installs the observability handle injected faults are journaled
+    /// through.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
 }
 
 impl DurableSink for FaultSink {
     fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
         if self.fail_appends > 0 {
             self.fail_appends -= 1;
+            self.obs
+                .emit(EventKind::SinkFault { op: SinkOp::Append }, 0);
             return Err(io::Error::other("injected append failure"));
         }
         if let Some(cap) = self.write_cap.take() {
             self.data.extend_from_slice(&bytes[..cap.min(bytes.len())]);
+            self.obs
+                .emit(EventKind::SinkFault { op: SinkOp::Append }, 0);
             return Err(io::Error::other("injected short write"));
         }
         self.data.extend_from_slice(bytes);
@@ -156,6 +170,7 @@ impl DurableSink for FaultSink {
     fn sync(&mut self) -> io::Result<()> {
         if self.fail_syncs > 0 {
             self.fail_syncs -= 1;
+            self.obs.emit(EventKind::SinkFault { op: SinkOp::Sync }, 0);
             return Err(io::Error::other("injected fsync failure"));
         }
         Ok(())

@@ -56,8 +56,17 @@
 //! from the newest usable checkpoint plus the WAL tail (see the
 //! "Durability" section of the README for a quickstart).
 //!
+//! Operational visibility comes from the [`obs`] layer: a metrics
+//! registry of named counters and latency histograms, plus a structured
+//! op journal — every insert, delete, merge, split, WAL commit,
+//! checkpoint and recovery step emits a typed [`obs::Event`] through a
+//! pluggable [`obs::Recorder`]. Observability is off by default and free
+//! when off; set `IDB_OBS=metrics` or `IDB_OBS=jsonl` to turn it on (see
+//! the "Observability" section of the README).
+//!
 //! The individual layers are re-exported as modules: [`geometry`],
-//! [`store`], [`synth`], [`core`], [`clustering`], [`birch`], [`eval`].
+//! [`store`], [`synth`], [`core`], [`clustering`], [`birch`], [`eval`],
+//! [`obs`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -67,6 +76,7 @@ pub use idb_clustering as clustering;
 pub use idb_core as core;
 pub use idb_eval as eval;
 pub use idb_geometry as geometry;
+pub use idb_obs as obs;
 pub use idb_store as store;
 pub use idb_synth as synth;
 
@@ -87,6 +97,10 @@ pub mod prelude {
     };
     pub use idb_eval::{compactness_per_point, fscore, Aggregate};
     pub use idb_geometry::SearchStats;
+    pub use idb_obs::{
+        check_journal, Cause, Event, EventKind, JsonlRecorder, MetricsRegistry, NullRecorder, Obs,
+        Recorder, RingRecorder,
+    };
     pub use idb_store::{
         Batch, DurableSink, FileSink, Label, MemSink, PointId, PointStore, WalError,
     };
