@@ -10,9 +10,11 @@
 # differential suites once per assignment engine (the IDB_SEED_SEARCH
 # default, see DESIGN.md §10), which must be bit-identical — the
 # durability suites (DESIGN.md §11) with a kill-at-random-crash-point
-# smoke loop under varying seeds — the differential and durability suites
-# once more with JSONL journaling on (DESIGN.md §12), every emitted
-# journal validated by the journal_check tool — clippy across the whole
+# smoke loop under varying seeds — the sharded-service differential and
+# fault-isolation suites under an ambient IDB_SHARDS=4 plus a smoke run
+# of the shard report (DESIGN.md §13) — the differential and durability
+# suites once more with JSONL journaling on (DESIGN.md §12), every
+# emitted journal validated by the journal_check tool — clippy across the whole
 # workspace with warnings promoted to errors, a formatting check, and a
 # compile check of the criterion benches.
 #
@@ -55,6 +57,19 @@ for crash_seed in 11 1986 777216; do
     IDB_CRASH_SEED="$crash_seed" cargo test $CARGOFLAGS -q -p idb-core --test crash_consistency \
         kill_at_random_crash_point_smoke
 done
+# Sharded service layer (DESIGN.md §13): the shard-count differential
+# suite and the quarantine/crash fault-isolation suite, run under
+# IDB_SHARDS=4 as the ambient default (the suites pin their own shard
+# counts where the contract demands it — the knob must never change an
+# outcome) with a hermetic per-partition WAL directory, plus the
+# IDB_SHARDS parser cases with the variable unset.
+IDB_SHARD_WAL_DIR="$(mktemp -d)"
+IDB_SHARDS=4 IDB_WAL_DIR="$IDB_SHARD_WAL_DIR" cargo test $CARGOFLAGS -q -p idb-shard --test differential
+IDB_SHARDS=4 IDB_WAL_DIR="$IDB_SHARD_WAL_DIR" cargo test $CARGOFLAGS -q -p idb-shard --test fault_isolation
+cargo test $CARGOFLAGS -q -p idb-shard --test env_knob
+# shellcheck disable=SC2086
+cargo run $CARGOFLAGS --release -q -p idb-bench --bin shard_report -- "$IDB_SHARD_WAL_DIR/BENCH_shard_smoke.json"
+rm -rf "$IDB_SHARD_WAL_DIR"
 # Observability: the differential and durability suites once more with
 # JSONL journaling on, writing into the hermetic IDB_OBS_DIR, then every
 # emitted journal is parsed and checked against the op-journal invariants

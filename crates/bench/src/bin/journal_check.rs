@@ -1,6 +1,8 @@
 //! CI journal validator: parses every `*.jsonl` op journal in a
-//! directory and checks the [`check_journal`] invariants over each one
-//! (split pairing, batch accounting, non-empty commit groups).
+//! directory and checks the [`check_journal_sharded`] invariants over
+//! each one (split pairing, batch accounting, non-empty commit groups),
+//! demultiplexing interleaved multi-shard journals by their shard tag
+//! so each maintainer domain is validated independently.
 //!
 //! Exit status is non-zero when the directory holds no journals, a file
 //! is empty, a line fails to parse, or any invariant is violated — so a
@@ -10,7 +12,7 @@
 //! Usage: `journal_check [dir]` (default: `IDB_OBS_DIR`, falling back to
 //! the `idb-obs` directory under the system temp dir).
 
-use idb_obs::{check_journal, Event, JournalSummary};
+use idb_obs::{check_journal_sharded, Event, JournalSummary};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -78,19 +80,21 @@ fn main() -> ExitCode {
             failures += 1;
             continue;
         }
-        match check_journal(&events) {
-            Ok(summary) => {
-                total.events += summary.events;
-                total.structural += summary.structural;
-                total.inserts += summary.inserts;
-                total.deletes += summary.deletes;
-                total.batches += summary.batches;
-                total.merges += summary.merges;
-                total.splits += summary.splits;
-                total.retires += summary.retires;
-                total.grows += summary.grows;
-                total.wal_commits += summary.wal_commits;
-                total.checkpoints += summary.checkpoints;
+        match check_journal_sharded(&events) {
+            Ok(groups) => {
+                for (_, summary) in &groups {
+                    total.events += summary.events;
+                    total.structural += summary.structural;
+                    total.inserts += summary.inserts;
+                    total.deletes += summary.deletes;
+                    total.batches += summary.batches;
+                    total.merges += summary.merges;
+                    total.splits += summary.splits;
+                    total.retires += summary.retires;
+                    total.grows += summary.grows;
+                    total.wal_commits += summary.wal_commits;
+                    total.checkpoints += summary.checkpoints;
+                }
             }
             Err(e) => {
                 eprintln!("journal_check: {}: {e}", path.display());

@@ -12,6 +12,9 @@
 //! * [`optics_bubbles`](mod@optics_bubbles) — OPTICS over data summaries: the bubble distance,
 //!   weighted core distances and the *virtual reachability* expansion that
 //!   turns a bubble-level ordering back into a point-level plot;
+//! * [`merged`](mod@merged) — cross-domain OPTICS: one pass over the union of
+//!   several independently-maintained bubble sets (the clustering stage of
+//!   the sharded service layer), with provenance back to each domain;
 //! * [`extract`](mod@extract) — automatic extraction of flat clusters from a
 //!   reachability plot via the cluster-tree method of Sander et al. 2003
 //!   (the paper's reference \[16\]), plus a fixed-threshold horizontal cut;
@@ -35,6 +38,7 @@ pub mod agglomerative;
 pub mod dbscan;
 pub mod extract;
 pub mod kmeans;
+pub mod merged;
 pub mod optics;
 pub mod optics_bubbles;
 pub mod reachability;
@@ -45,6 +49,7 @@ pub mod xi;
 pub use agglomerative::{agglomerative, Linkage};
 pub use extract::{extract_clusters, extract_clusters_at, ExtractParams};
 pub use kmeans::{kmeans_points, kmeans_summaries, kmeans_weighted, KMeansResult};
+pub use merged::{merge_domains, optics_merged, MergedBubbles, MergedRef};
 pub use optics::optics_points;
 pub use optics_bubbles::{bubble_distance, optics_bubbles, optics_bubbles_with, BubbleOrdering};
 pub use reachability::{PlotEntry, ReachabilityPlot};

@@ -32,6 +32,31 @@ pub trait DataSummary {
     fn nn_dist(&self, k: usize) -> f64;
 }
 
+/// References summarize what they point at, so clustering entry points
+/// can run over borrowed bubble sets (e.g. the per-shard bubble lists a
+/// router merges before OPTICS) without cloning.
+impl<S: DataSummary + ?Sized> DataSummary for &S {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn n(&self) -> u64 {
+        (**self).n()
+    }
+
+    fn rep(&self) -> Vec<f64> {
+        (**self).rep()
+    }
+
+    fn extent(&self) -> f64 {
+        (**self).extent()
+    }
+
+    fn nn_dist(&self, k: usize) -> f64 {
+        (**self).nn_dist(k)
+    }
+}
+
 /// One data bubble: seed anchor, sufficient statistics and member ids.
 ///
 /// Fields are read-only outside the maintainer; all mutation goes through

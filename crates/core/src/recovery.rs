@@ -682,10 +682,13 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
         if self.wal.wants_commit() {
             self.commit_wal();
         }
+        // `check_batch` above guarantees this succeeds; if the validator
+        // and the applier ever disagree (a bug), surface the typed error
+        // instead of aborting the process — the caller still holds a
+        // consistent pre-batch view and can drop the maintainer.
         let ids = self
             .bubbles
-            .try_apply_batch(&mut self.store, batch, search)
-            .expect("a validated batch cannot fail to apply");
+            .try_apply_batch(&mut self.store, batch, search)?;
         if maintain {
             let mut rng = StdRng::seed_from_u64(round_seed);
             self.bubbles.maintain(&self.store, &mut rng, search);

@@ -109,7 +109,7 @@ fn build_is_bit_identical_across_modes() {
     let mut rng = StdRng::seed_from_u64(0xD1FF_0001);
     for case_no in 0..CASES {
         let dim = rng.gen_range(1..=4);
-        let num_bubbles = rng.gen_range(2..=10);
+        let num_bubbles: usize = rng.gen_range(2..=10);
         let n = rng.gen_range(num_bubbles..=num_bubbles + 90);
         let store = random_store(&mut rng, dim, n);
         let config_seed: u64 = rng.gen();
@@ -160,7 +160,7 @@ fn update_and_maintenance_flows_are_bit_identical() {
     let mut rng = StdRng::seed_from_u64(0xD1FF_0002);
     for case_no in 0..CASES {
         let dim = rng.gen_range(1..=3);
-        let num_bubbles = rng.gen_range(3..=8);
+        let num_bubbles: usize = rng.gen_range(3..=8);
         let n = rng.gen_range(num_bubbles.max(20)..=120);
         let base_store = random_store(&mut rng, dim, n);
         let config_seed: u64 = rng.gen();
@@ -204,7 +204,7 @@ fn audit_reports_are_bit_identical_across_modes() {
     let mut rng = StdRng::seed_from_u64(0xD1FF_0003);
     for case_no in 0..CASES {
         let dim = rng.gen_range(1..=3);
-        let num_bubbles = rng.gen_range(2..=8);
+        let num_bubbles: usize = rng.gen_range(2..=8);
         let n = rng.gen_range(num_bubbles.max(10)..=80);
         let store = random_store(&mut rng, dim, n);
         let config_seed: u64 = rng.gen();
@@ -265,7 +265,7 @@ fn fault_injected_batches_fail_identically_across_modes() {
     for round in 0..43 {
         for &fault in &ALL_BATCH_FAULTS {
             let dim = rng.gen_range(1..=3);
-            let num_bubbles = rng.gen_range(2..=6);
+            let num_bubbles: usize = rng.gen_range(2..=6);
             let n = rng.gen_range(num_bubbles.max(10)..=60);
             let base_store = random_store(&mut rng, dim, n);
             let build_seed: u64 = rng.gen();
@@ -356,7 +356,7 @@ fn engines_and_warm_start_are_bit_identical_through_dynamic_flows() {
     let mut rng = StdRng::seed_from_u64(0xD1FF_0005);
     for case_no in 0..CASES {
         let dim = rng.gen_range(1..=3);
-        let num_bubbles = rng.gen_range(3..=8);
+        let num_bubbles: usize = rng.gen_range(3..=8);
         let n = rng.gen_range(num_bubbles.max(20)..=120);
         let base_store = random_store(&mut rng, dim, n);
         let flow_seed: u64 = rng.gen();
@@ -422,7 +422,7 @@ fn retire_then_insert_interleavings_are_bit_identical_across_engines() {
     let mut rng = StdRng::seed_from_u64(0x2E71_2E00);
     for case_no in 0..CASES {
         let dim = rng.gen_range(1..=3);
-        let num_bubbles = rng.gen_range(4..=9);
+        let num_bubbles: usize = rng.gen_range(4..=9);
         let n = rng.gen_range(num_bubbles.max(24)..=100);
         let base_store = random_store(&mut rng, dim, n);
         let flow_seed: u64 = rng.gen();

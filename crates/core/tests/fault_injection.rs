@@ -1,6 +1,6 @@
 //! Fault-injection harness for the fault-tolerant maintenance layer.
 //!
-//! Three fronts, mirroring how a deployment actually fails:
+//! Four fronts, mirroring how a deployment actually fails:
 //!
 //! 1. **Malformed batches** (NaN/∞ points, wrong dimensionality, stale and
 //!    duplicated deletes) must come back as typed [`UpdateError`]s with the
@@ -14,13 +14,22 @@
 //!    and every truncation of both snapshot formats must produce a typed
 //!    [`SnapshotError`], never a panic; bit flips specifically must be
 //!    caught as [`SnapshotError::Corrupt`] by the CRC framing.
+//! 4. **A dying WAL sink in a fleet of maintainers** — one maintainer's
+//!    sink failing mid-stream must degrade only that maintainer (its
+//!    siblings stay [`Health::Healthy`]), buffer its batches, and heal
+//!    back to a state **bit-identical** to a never-faulted twin fleet —
+//!    the per-maintainer primitive the `idb-shard` supervisor builds its
+//!    quarantine/heal cycle on.
 
-use idb_core::{AuditIssue, IncrementalBubbles, MaintainerConfig, UpdateError};
+use idb_core::{
+    AuditIssue, DurabilityConfig, DurableMaintainer, Health, IncrementalBubbles, MaintainerConfig,
+    MemCheckpoints, UpdateError,
+};
 use idb_geometry::SearchStats;
 use idb_obs::{check_journal, Obs, RingRecorder};
-use idb_store::{PointId, PointStore, SnapshotError};
+use idb_store::{Batch, PointId, PointStore, SnapshotError};
 use idb_synth::{
-    faulty_batch, flip_bit, BatchFault, ScenarioEngine, ScenarioKind, ScenarioSpec,
+    faulty_batch, flip_bit, BatchFault, FaultSink, ScenarioEngine, ScenarioKind, ScenarioSpec,
     ALL_BATCH_FAULTS,
 };
 use proptest::prelude::*;
@@ -530,4 +539,109 @@ proptest! {
             prop_assert!(ib.audit(&store).is_ok(), "audit stays green");
         }
     }
+}
+
+/// Front 4: one maintainer of a fleet loses its WAL sink mid-stream.
+///
+/// Drives three fully independent `DurableMaintainer`s (the shape the
+/// `idb-shard` router manages) through identical churn twice — once with
+/// maintainer 1's sink failing mid-stream and healing later, once
+/// without — and demands the faulted fleet end bit-identical to the
+/// clean one, with the fault never visible outside maintainer 1.
+#[test]
+fn sink_death_in_a_fleet_stays_contained_and_heals_bit_identically() {
+    const FLEET: usize = 3;
+    const SICK: usize = 1;
+
+    let run = |fault: bool| -> Vec<(Vec<u8>, Vec<u8>, Vec<u8>)> {
+        let mut fleet: Vec<(
+            DurableMaintainer<FaultSink, MemCheckpoints>,
+            StdRng,
+            SearchStats,
+        )> = (0..FLEET)
+            .map(|m| {
+                let (store, ib, rng, search) = fixture(3000 + m as u64);
+                let maintainer = DurableMaintainer::adopt(
+                    store,
+                    ib,
+                    DurabilityConfig::default(),
+                    FaultSink::new(),
+                    MemCheckpoints::new(),
+                )
+                .expect("adopt");
+                (maintainer, rng, search)
+            })
+            .collect();
+
+        let mut brng = StdRng::seed_from_u64(0xF1EE7);
+        let churn = |fleet: &mut Vec<(
+            DurableMaintainer<FaultSink, MemCheckpoints>,
+            StdRng,
+            SearchStats,
+        )>,
+                     brng: &mut StdRng| {
+            for (maintainer, rng, search) in fleet.iter_mut() {
+                let delete = maintainer.store().ids().next().unwrap();
+                let batch = Batch {
+                    deletes: vec![delete],
+                    inserts: (0..4)
+                        .map(|_| {
+                            let c = f64::from(brng.gen_range(0u32..3)) * 40.0;
+                            (vec![c + brng.gen_range(-1.0..1.0), c], Some(0))
+                        })
+                        .collect(),
+                };
+                maintainer
+                    .apply(&batch, rng, search)
+                    .expect("valid batch applies");
+            }
+        };
+
+        churn(&mut fleet, &mut brng);
+        if fault {
+            let sink = fleet[SICK].0.wal_sink_mut();
+            sink.fail_appends = 1000;
+            sink.fail_syncs = 1000;
+        }
+        churn(&mut fleet, &mut brng);
+        if fault {
+            // Only the sick maintainer degrades; its batches are buffered,
+            // not lost, and every sibling stays healthy.
+            for (m, (maintainer, _, _)) in fleet.iter_mut().enumerate() {
+                match maintainer.sync() {
+                    Health::Degraded { buffered_batches } => {
+                        assert_eq!(m, SICK, "only the sick maintainer may degrade");
+                        assert!(buffered_batches > 0);
+                    }
+                    Health::Healthy => assert_ne!(m, SICK, "the sick maintainer must degrade"),
+                }
+            }
+            fleet[SICK].0.wal_sink_mut().heal();
+        }
+        churn(&mut fleet, &mut brng);
+
+        fleet
+            .iter_mut()
+            .map(|(maintainer, _, _)| {
+                assert_eq!(maintainer.sync(), Health::Healthy);
+                let mut s = Vec::new();
+                maintainer
+                    .store()
+                    .write_snapshot(&mut s)
+                    .expect("vec write");
+                let mut b = Vec::new();
+                maintainer
+                    .bubbles()
+                    .write_snapshot(&mut b)
+                    .expect("vec write");
+                (s, b, maintainer.wal_sink_mut().bytes().to_vec())
+            })
+            .collect()
+    };
+
+    assert_eq!(
+        run(true),
+        run(false),
+        "the healed fleet must be bit-identical to the never-faulted fleet"
+    );
 }

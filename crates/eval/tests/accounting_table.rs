@@ -68,7 +68,7 @@ fn parallel_assignment_counters_yield_identical_accounting() {
             let s: Vec<f64> = (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect();
             seeds.push(&s);
         }
-        let queries: Vec<f64> = (0..rng.gen_range(1..=50) * dim)
+        let queries: Vec<f64> = (0..rng.gen_range(1usize..=50) * dim)
             .map(|_| rng.gen_range(-12.0..12.0))
             .collect();
         let mut serial = SearchStats::new();

@@ -13,6 +13,11 @@
 //!    events emitted since the previous structural boundary.
 //! 3. **Commit groups** — every [`EventKind::WalCommit`] flushes at least
 //!    one record.
+//!
+//! A sharded deployment interleaves several maintainers' events into one
+//! journal; the invariants above only hold *per maintainer domain*, so
+//! [`check_journal_sharded`] demultiplexes on [`Event::shard`] first and
+//! checks each sub-stream independently.
 
 use crate::event::{Event, EventKind};
 
@@ -123,13 +128,53 @@ pub fn check_journal(events: &[Event]) -> Result<JournalSummary, String> {
     Ok(summary)
 }
 
+/// Checks a journal that may interleave events from several maintainer
+/// domains (shards): events are grouped by [`Event::shard`] — preserving
+/// each group's relative order — and [`check_journal`] runs per group.
+///
+/// Returns one `(shard, summary)` pair per domain present, untagged events
+/// (`None`) first, then tagged domains in ascending shard order. A journal
+/// with no shard tags behaves exactly like [`check_journal`]: one `None`
+/// group.
+///
+/// # Errors
+/// Returns `Err` naming the offending domain when any group violates an
+/// invariant.
+pub fn check_journal_sharded(
+    events: &[Event],
+) -> Result<Vec<(Option<u32>, JournalSummary)>, String> {
+    let mut shards: Vec<Option<u32>> = events.iter().map(|e| e.shard).collect();
+    shards.sort_unstable();
+    shards.dedup();
+    let mut out = Vec::with_capacity(shards.len());
+    for shard in shards {
+        let group: Vec<Event> = events
+            .iter()
+            .filter(|e| e.shard == shard)
+            .cloned()
+            .collect();
+        let summary = check_journal(&group).map_err(|e| match shard {
+            Some(s) => format!("shard {s}: {e}"),
+            None => format!("untagged events: {e}"),
+        })?;
+        out.push((shard, summary));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::event::Cause;
 
     fn ev(kind: EventKind) -> Event {
-        Event { kind, us: 1 }
+        Event::new(kind, 1)
+    }
+
+    fn ev_on(shard: u32, kind: EventKind) -> Event {
+        let mut e = Event::new(kind, 1);
+        e.shard = Some(shard);
+        e
     }
 
     #[test]
@@ -250,5 +295,70 @@ mod tests {
             records: 0,
         })];
         assert!(check_journal(&events).is_err());
+    }
+
+    #[test]
+    fn sharded_check_demultiplexes_interleaved_domains() {
+        // Shard 1's batch accounting interleaves with shard 0's: a flat
+        // check would see 2 inserts before shard 0's batch boundary and
+        // flag it, but per-domain streams are both well-formed.
+        let events = vec![
+            ev_on(0, EventKind::Insert { bubble: 0 }),
+            ev_on(1, EventKind::Insert { bubble: 3 }),
+            ev_on(
+                0,
+                EventKind::BatchApplied {
+                    inserts: 1,
+                    deletes: 0,
+                },
+            ),
+            ev_on(
+                1,
+                EventKind::BatchApplied {
+                    inserts: 1,
+                    deletes: 0,
+                },
+            ),
+            ev(EventKind::WalCommit {
+                bytes: 10,
+                records: 1,
+            }),
+        ];
+        assert!(check_journal(&events).is_err());
+        let groups = check_journal_sharded(&events).expect("per-domain streams are well-formed");
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, None);
+        assert_eq!(groups[0].1.wal_commits, 1);
+        assert_eq!(groups[1].0, Some(0));
+        assert_eq!(groups[1].1.batches, 1);
+        assert_eq!(groups[2].0, Some(1));
+        assert_eq!(groups[2].1.inserts, 1);
+    }
+
+    #[test]
+    fn sharded_check_names_the_offending_domain() {
+        let events = vec![ev_on(
+            4,
+            EventKind::BatchApplied {
+                inserts: 2,
+                deletes: 0,
+            },
+        )];
+        let err = check_journal_sharded(&events).unwrap_err();
+        assert!(err.starts_with("shard 4:"), "{err}");
+    }
+
+    #[test]
+    fn untagged_journals_check_like_the_flat_form() {
+        let events = vec![
+            ev(EventKind::Insert { bubble: 0 }),
+            ev(EventKind::BatchApplied {
+                inserts: 1,
+                deletes: 0,
+            }),
+        ];
+        let flat = check_journal(&events).expect("flat");
+        let groups = check_journal_sharded(&events).expect("sharded");
+        assert_eq!(groups, vec![(None, flat)]);
     }
 }

@@ -229,6 +229,12 @@ pub enum EventKind {
         /// The operation that failed.
         op: SinkOp,
     },
+    /// A shard supervisor quarantined or released a maintainer domain
+    /// (the domain itself is carried by the event's shard tag).
+    Quarantine {
+        /// `true` on entering quarantine, `false` on release.
+        entered: bool,
+    },
 }
 
 impl EventKind {
@@ -256,6 +262,7 @@ impl EventKind {
             EventKind::RecoverDone { .. } => "recover_done",
             EventKind::Health { .. } => "health",
             EventKind::SinkFault { .. } => "sink_fault",
+            EventKind::Quarantine { .. } => "quarantine",
         }
     }
 
@@ -279,24 +286,45 @@ impl EventKind {
 }
 
 /// One journal entry: a typed payload plus the operation's duration in
-/// microseconds (the only wall-clock-dependent field).
+/// microseconds (the only wall-clock-dependent field) and, in sharded
+/// deployments, the maintainer-domain (shard) the event came from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
     /// What happened.
     pub kind: EventKind,
     /// How long it took, in microseconds. Zero when timing was off.
     pub us: u64,
+    /// Which maintainer domain emitted the event: `None` for the classic
+    /// single-maintainer deployment, `Some(shard)` when the emitting
+    /// [`Obs`](crate::Obs) handle was tagged via
+    /// [`Obs::tagged`](crate::Obs::tagged). Journals from a sharded run
+    /// interleave domains; [`check_journal_sharded`](crate::check_journal_sharded)
+    /// demultiplexes on this tag before checking the per-maintainer
+    /// invariants.
+    pub shard: Option<u32>,
 }
 
 impl Event {
+    /// An untagged event (the classic single-maintainer form).
+    #[must_use]
+    pub fn new(kind: EventKind, us: u64) -> Event {
+        Event {
+            kind,
+            us,
+            shard: None,
+        }
+    }
+
     /// The event with its duration zeroed — the canonical form the
     /// bit-identity suites compare, since durations are the only field
-    /// that may differ between otherwise identical runs.
+    /// that may differ between otherwise identical runs. The shard tag is
+    /// kept: it is deterministic.
     #[must_use]
     pub fn masked(&self) -> Event {
         Event {
             kind: self.kind.clone(),
             us: 0,
+            shard: self.shard,
         }
     }
 
@@ -307,6 +335,10 @@ impl Event {
         s.push_str("{\"k\":\"");
         s.push_str(self.kind.tag());
         s.push('"');
+        if let Some(shard) = self.shard {
+            s.push_str(",\"shard\":");
+            s.push_str(&shard.to_string());
+        }
         let num = |s: &mut String, key: &str, v: u64| {
             s.push_str(",\"");
             s.push_str(key);
@@ -415,6 +447,10 @@ impl Event {
                 num(&mut s, "buffered", *buffered);
             }
             EventKind::SinkFault { op } => push_str_field(&mut s, "op", op.as_str()),
+            EventKind::Quarantine { entered } => {
+                s.push_str(",\"entered\":");
+                s.push_str(if *entered { "true" } else { "false" });
+            }
         }
         num(&mut s, "us", self.us);
         s.push('}');
@@ -520,11 +556,15 @@ impl Event {
             "sink_fault" => EventKind::SinkFault {
                 op: get("op").and_then(SinkOp::parse)?,
             },
+            "quarantine" => EventKind::Quarantine {
+                entered: get_bool("entered")?,
+            },
             _ => return None,
         };
         Some(Event {
             kind,
             us: get_u64("us")?,
+            shard: get_u32("shard"),
         })
     }
 }
@@ -569,140 +609,121 @@ mod tests {
 
     fn corpus() -> Vec<Event> {
         vec![
-            Event {
-                kind: EventKind::Build {
+            Event::new(
+                EventKind::Build {
                     points: 1000,
                     bubbles: 40,
                 },
-                us: 1234,
-            },
-            Event {
-                kind: EventKind::Insert { bubble: 7 },
-                us: 3,
-            },
-            Event {
-                kind: EventKind::Delete { bubble: 0 },
-                us: 0,
-            },
-            Event {
-                kind: EventKind::BatchApplied {
+                1234,
+            ),
+            Event::new(EventKind::Insert { bubble: 7 }, 3),
+            Event::new(EventKind::Delete { bubble: 0 }, 0),
+            Event::new(
+                EventKind::BatchApplied {
                     inserts: 12,
                     deletes: 9,
                 },
-                us: 88,
-            },
-            Event {
-                kind: EventKind::MergeAway {
+                88,
+            ),
+            Event::new(
+                EventKind::MergeAway {
                     donor: 3,
                     moved: 17,
                     cause: Cause::Maintain,
                 },
-                us: 41,
-            },
-            Event {
-                kind: EventKind::Split {
+                41,
+            ),
+            Event::new(
+                EventKind::Split {
                     over: 1,
                     donor: 3,
                     moved: 9,
                     cause: Cause::Adaptive,
                 },
-                us: 52,
-            },
-            Event {
-                kind: EventKind::RetireBubble {
+                52,
+            ),
+            Event::new(
+                EventKind::RetireBubble {
                     bubble: 2,
                     swapped: Some(11),
                 },
-                us: 60,
-            },
-            Event {
-                kind: EventKind::RetireBubble {
+                60,
+            ),
+            Event::new(
+                EventKind::RetireBubble {
                     bubble: 5,
                     swapped: None,
                 },
-                us: 61,
-            },
-            Event {
-                kind: EventKind::Grow {
+                61,
+            ),
+            Event::new(
+                EventKind::Grow {
                     from: 4,
                     bubble: 12,
                 },
-                us: 70,
-            },
-            Event {
-                kind: EventKind::MaintainRound {
+                70,
+            ),
+            Event::new(
+                EventKind::MaintainRound {
                     merges: 2,
                     splits: 2,
                     cause: Cause::Maintain,
                 },
-                us: 300,
-            },
-            Event {
-                kind: EventKind::Audit { issues: 0 },
-                us: 15,
-            },
-            Event {
-                kind: EventKind::Repair {
+                300,
+            ),
+            Event::new(EventKind::Audit { issues: 0 }, 15),
+            Event::new(
+                EventKind::Repair {
                     found: 4,
                     quarantined: 2,
                     reseeded: 1,
                     reassigned: 33,
                 },
-                us: 900,
-            },
-            Event {
-                kind: EventKind::WalAppend {
+                900,
+            ),
+            Event::new(
+                EventKind::WalAppend {
                     bytes: 256,
                     records: 1,
                 },
-                us: 2,
-            },
-            Event {
-                kind: EventKind::WalCommit {
+                2,
+            ),
+            Event::new(
+                EventKind::WalCommit {
                     bytes: 512,
                     records: 2,
                 },
-                us: 1800,
-            },
-            Event {
-                kind: EventKind::WalTruncate { len: 20 },
-                us: 5,
-            },
-            Event {
-                kind: EventKind::Checkpoint {
+                1800,
+            ),
+            Event::new(EventKind::WalTruncate { len: 20 }, 5),
+            Event::new(
+                EventKind::Checkpoint {
                     seq: 3,
                     covered: 12,
                     bytes: 40_000,
                 },
-                us: 2500,
-            },
-            Event {
-                kind: EventKind::RecoverStart { wal_bytes: 812 },
-                us: 0,
-            },
-            Event {
-                kind: EventKind::RecoverCheckpoint { seq: 2, covered: 8 },
-                us: 120,
-            },
-            Event {
-                kind: EventKind::RecoverDone {
+                2500,
+            ),
+            Event::new(EventKind::RecoverStart { wal_bytes: 812 }, 0),
+            Event::new(EventKind::RecoverCheckpoint { seq: 2, covered: 8 }, 120),
+            Event::new(
+                EventKind::RecoverDone {
                     replayed: 4,
                     batches_durable: 12,
                     torn_tail: true,
                 },
-                us: 4000,
-            },
-            Event {
-                kind: EventKind::Health {
+                4000,
+            ),
+            Event::new(
+                EventKind::Health {
                     degraded: true,
                     buffered: 3,
                 },
-                us: 0,
-            },
-            Event {
-                kind: EventKind::SinkFault { op: SinkOp::Sync },
-                us: 0,
-            },
+                0,
+            ),
+            Event::new(EventKind::SinkFault { op: SinkOp::Sync }, 0),
+            Event::new(EventKind::Quarantine { entered: true }, 0),
+            Event::new(EventKind::Quarantine { entered: false }, 7),
         ]
     }
 
@@ -717,14 +738,28 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_round_trips_the_shard_tag() {
+        for mut ev in corpus() {
+            ev.shard = Some(3);
+            let line = ev.to_jsonl();
+            assert!(line.contains("\"shard\":3"), "{line}");
+            let back =
+                Event::parse_jsonl(&line).unwrap_or_else(|| panic!("failed to parse back: {line}"));
+            assert_eq!(back, ev, "{line}");
+        }
+        // Untagged lines parse back to an untagged event.
+        let plain = Event::new(EventKind::Insert { bubble: 1 }, 9);
+        assert_eq!(Event::parse_jsonl(&plain.to_jsonl()), Some(plain));
+    }
+
+    #[test]
     fn masking_zeroes_only_the_duration() {
-        let ev = Event {
-            kind: EventKind::Insert { bubble: 9 },
-            us: 77,
-        };
+        let mut ev = Event::new(EventKind::Insert { bubble: 9 }, 77);
+        ev.shard = Some(2);
         let m = ev.masked();
         assert_eq!(m.us, 0);
         assert_eq!(m.kind, ev.kind);
+        assert_eq!(m.shard, Some(2));
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod metrics;
 mod obs;
 mod recorder;
 
-pub use check::{check_journal, JournalSummary};
+pub use check::{check_journal, check_journal_sharded, JournalSummary};
 pub use event::{Cause, Event, EventKind, SinkOp};
 pub use metrics::{Counter, Histogram, MetricsRegistry, MetricsShard, LATENCY_BOUNDS_US};
 pub use obs::{Obs, ObsTimer};

@@ -22,6 +22,7 @@ pub struct Obs {
     metrics: Arc<MetricsRegistry>,
     journal_on: bool,
     metrics_on: bool,
+    shard: Option<u32>,
 }
 
 impl Obs {
@@ -34,6 +35,7 @@ impl Obs {
             metrics: Arc::new(MetricsRegistry::new()),
             journal_on: false,
             metrics_on: false,
+            shard: None,
         }
     }
 
@@ -47,6 +49,7 @@ impl Obs {
             metrics,
             journal_on,
             metrics_on: true,
+            shard: None,
         }
     }
 
@@ -93,6 +96,24 @@ impl Obs {
         }
     }
 
+    /// A clone of this handle that stamps every emitted event with the
+    /// given shard (maintainer-domain) tag. The clone shares the recorder
+    /// and metrics registry, so a sharded deployment writes one combined
+    /// journal whose events [`check_journal_sharded`](crate::check_journal_sharded)
+    /// can demultiplex per domain.
+    #[must_use]
+    pub fn tagged(&self, shard: u32) -> Self {
+        let mut o = self.clone();
+        o.shard = Some(shard);
+        o
+    }
+
+    /// The shard tag stamped onto emitted events, if any.
+    #[must_use]
+    pub fn shard(&self) -> Option<u32> {
+        self.shard
+    }
+
     /// Whether any emission site should do work at all.
     #[must_use]
     pub fn enabled(&self) -> bool {
@@ -133,7 +154,11 @@ impl Obs {
     /// Emits one journal event, if journaling is on.
     pub fn emit(&self, kind: EventKind, us: u64) {
         if self.journal_on {
-            self.recorder.record(Event { kind, us });
+            self.recorder.record(Event {
+                kind,
+                us,
+                shard: self.shard,
+            });
         }
     }
 
@@ -159,6 +184,7 @@ impl fmt::Debug for Obs {
         f.debug_struct("Obs")
             .field("journal_on", &self.journal_on)
             .field("metrics_on", &self.metrics_on)
+            .field("shard", &self.shard)
             .finish_non_exhaustive()
     }
 }
@@ -225,6 +251,24 @@ mod tests {
         obs.emit(EventKind::Insert { bubble: 1 }, 5); // Dropped.
         obs.metrics().counter("x").inc();
         assert_eq!(obs.metrics().counters(), vec![("x".to_string(), 1)]);
+    }
+
+    #[test]
+    fn tagged_handles_stamp_the_shard_and_share_sinks() {
+        let ring = Arc::new(RingRecorder::new());
+        let obs = Obs::with_recorder(ring.clone());
+        let s0 = obs.tagged(0);
+        let s3 = obs.tagged(3);
+        obs.emit(EventKind::Insert { bubble: 1 }, 0);
+        s0.emit(EventKind::Insert { bubble: 2 }, 0);
+        s3.emit(EventKind::Delete { bubble: 3 }, 0);
+        let events = ring.events();
+        assert_eq!(
+            events.iter().map(|e| e.shard).collect::<Vec<_>>(),
+            vec![None, Some(0), Some(3)]
+        );
+        assert_eq!(s3.shard(), Some(3));
+        assert_eq!(obs.shard(), None);
     }
 
     #[test]

@@ -224,10 +224,7 @@ mod tests {
     use crate::event::EventKind;
 
     fn ev(bubble: u32) -> Event {
-        Event {
-            kind: EventKind::Insert { bubble },
-            us: 1,
-        }
+        Event::new(EventKind::Insert { bubble }, 1)
     }
 
     #[test]

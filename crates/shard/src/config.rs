@@ -1,0 +1,168 @@
+//! Service-layer tunables and the `IDB_SHARDS` environment knob.
+//!
+//! Partition count is *logical* configuration — it determines which
+//! maintainer owns which region of point space and therefore the
+//! summarization content. Shard count is *physical* configuration — how
+//! partitions are grouped behind queues and drained — and, like thread
+//! count, is guaranteed not to change a single output bit. `IDB_SHARDS`
+//! therefore defaults the shard count only, exactly as
+//! `IDB_PARALLELISM` defaults the thread count.
+
+use crate::route::MAX_PARTITIONS;
+use idb_geometry::parallel::EnvParseError;
+
+/// Environment variable defaulting the shard count.
+pub const SHARDS_ENV: &str = "IDB_SHARDS";
+
+/// Tunables of the sharded service layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Fixed logical partition count `V` (the bit-identity *contract*:
+    /// changing it changes which maintainer owns which points).
+    pub partitions: u32,
+    /// Shard count `N`: how many queue/supervision groups the partitions
+    /// are packed into. Pure grouping — any value yields bit-identical
+    /// outputs. Clamped to `1..=partitions` at construction.
+    pub shards: u32,
+    /// Bounded queue capacity per shard, in sub-batch entries. A
+    /// submission that would overflow any target queue is shed whole
+    /// with [`ShardError::QueueFull`](crate::ShardError::QueueFull).
+    pub queue_capacity: usize,
+    /// Consecutive degraded supervisor polls before a partition is
+    /// quarantined.
+    pub quarantine_after: u32,
+    /// Consecutive healthy polls before a quarantined partition is
+    /// released.
+    pub heal_after: u32,
+}
+
+impl ShardConfig {
+    /// A config with `partitions` logical partitions; the shard count
+    /// defaults from `IDB_SHARDS` (falling back to 1), and the
+    /// supervision thresholds to quarantine-after-3 / heal-after-2.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= partitions <= MAX_PARTITIONS`.
+    #[must_use]
+    pub fn new(partitions: u32) -> Self {
+        assert!(
+            (1..=MAX_PARTITIONS).contains(&partitions),
+            "partitions must be in 1..={MAX_PARTITIONS}"
+        );
+        let shards = shards_from_env().unwrap_or(1).min(partitions);
+        Self {
+            partitions,
+            shards,
+            queue_capacity: 1024,
+            quarantine_after: 3,
+            heal_after: 2,
+        }
+    }
+
+    /// Sets the shard count (clamped to `1..=partitions`).
+    #[must_use]
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.clamp(1, self.partitions);
+        self
+    }
+
+    /// Sets the per-shard queue capacity (at least 1).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the supervision thresholds (each at least 1).
+    #[must_use]
+    pub fn with_supervision(mut self, quarantine_after: u32, heal_after: u32) -> Self {
+        self.quarantine_after = quarantine_after.max(1);
+        self.heal_after = heal_after.max(1);
+        self
+    }
+
+    /// The shard owning `partition`: contiguous balanced ranges, so a
+    /// shard's partitions sit side by side and the grouping is a pure
+    /// function of `(partition, partitions, shards)`.
+    ///
+    /// # Panics
+    /// Panics if `partition` is out of range.
+    #[must_use]
+    pub fn shard_of(&self, partition: u32) -> u32 {
+        assert!(partition < self.partitions, "partition out of range");
+        ((u64::from(partition) * u64::from(self.shards)) / u64::from(self.partitions)) as u32
+    }
+}
+
+/// The `IDB_SHARDS` value, if set and parseable (a positive integer up
+/// to [`MAX_PARTITIONS`]); an invalid value warns **once** on stderr and
+/// reads as unset, mirroring `IDB_PARALLELISM`.
+#[must_use]
+pub fn shards_from_env() -> Option<u32> {
+    match shards_from_env_strict() {
+        Ok(v) => v,
+        Err(e) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| eprintln!("warning: {e}; falling back to 1 shard"));
+            None
+        }
+    }
+}
+
+/// Like [`shards_from_env`], but an unparseable value is a typed error
+/// instead of a warning — library callers decide the failure policy.
+///
+/// # Errors
+/// [`EnvParseError`] when `IDB_SHARDS` is set to anything but a positive
+/// integer in `1..=MAX_PARTITIONS`.
+pub fn shards_from_env_strict() -> Result<Option<u32>, EnvParseError> {
+    let Some(raw) = std::env::var_os(SHARDS_ENV) else {
+        return Ok(None);
+    };
+    let text = raw.to_string_lossy();
+    text.trim()
+        .parse::<u32>()
+        .ok()
+        .filter(|&n| (1..=MAX_PARTITIONS).contains(&n))
+        .map(Some)
+        .ok_or_else(|| EnvParseError {
+            var: SHARDS_ENV,
+            value: text.into_owned(),
+            expected: "a positive shard count (1..=256)",
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_contiguous_and_balanced() {
+        let cfg = ShardConfig::new(8).with_shards(3);
+        let owners: Vec<u32> = (0..8).map(|p| cfg.shard_of(p)).collect();
+        // Non-decreasing (contiguous ranges) and covering every shard.
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+        for s in 0..3 {
+            let size = owners.iter().filter(|&&o| o == s).count();
+            assert!((2..=3).contains(&size), "shard {s} owns {size} partitions");
+        }
+    }
+
+    #[test]
+    fn one_shard_owns_everything() {
+        let cfg = ShardConfig::new(5);
+        assert_eq!(cfg.shards, 1);
+        assert!((0..5).all(|p| cfg.shard_of(p) == 0));
+    }
+
+    #[test]
+    fn shards_clamp_to_partitions() {
+        let cfg = ShardConfig::new(2).with_shards(100);
+        assert_eq!(cfg.shards, 2);
+        let cfg = ShardConfig::new(4).with_shards(0);
+        assert_eq!(cfg.shards, 1);
+    }
+
+    // Env-var behavior is covered in `tests/env_knob.rs`, where the
+    // process environment can be mutated without racing other tests.
+}

@@ -1,0 +1,104 @@
+//! Typed service-layer failures.
+//!
+//! The router never drops work silently: every shed, rejection or
+//! offline partition comes back as a [`ShardError`] naming the exact
+//! shard or partition involved, so callers can retry, re-route or
+//! surface the failure.
+
+use idb_core::{RecoveryError, UpdateError};
+use idb_store::PointId;
+use std::fmt;
+
+/// Why the shard router refused or failed an operation.
+#[derive(Debug)]
+pub enum ShardError {
+    /// A shard's bounded queue is full: the submission was shed in its
+    /// entirety (no partition saw any part of it). Apply backpressure —
+    /// drain and retry.
+    QueueFull {
+        /// The saturated shard.
+        shard: u32,
+        /// Its queue capacity, in sub-batch entries.
+        capacity: usize,
+    },
+    /// The batch touches a partition that is quarantined or offline;
+    /// siblings keep serving, but this submission was shed whole.
+    Unavailable {
+        /// The unavailable partition.
+        partition: u32,
+    },
+    /// A delete names a client id whose partition field does not exist
+    /// under the router's configuration.
+    UnknownId {
+        /// The offending client id.
+        id: PointId,
+    },
+    /// A partition's maintainer rejected its sub-batch with a typed
+    /// validation error. That partition is untouched; sibling partitions
+    /// of the same submission may have applied theirs (atomicity is
+    /// per-partition).
+    Rejected {
+        /// The rejecting partition.
+        partition: u32,
+        /// The maintainer's validation error.
+        source: UpdateError,
+    },
+    /// A partition restart failed inside the recovery path.
+    Recovery {
+        /// The partition being restarted.
+        partition: u32,
+        /// The recovery failure.
+        source: RecoveryError,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::QueueFull { shard, capacity } => {
+                write!(
+                    f,
+                    "shard {shard} queue full (capacity {capacity}): submission shed"
+                )
+            }
+            Self::Unavailable { partition } => {
+                write!(f, "partition {partition} is quarantined or offline")
+            }
+            Self::UnknownId { id } => write!(f, "client id {} names no partition", id.0),
+            Self::Rejected { partition, source } => {
+                write!(f, "partition {partition} rejected the batch: {source}")
+            }
+            Self::Recovery { partition, source } => {
+                write!(f, "partition {partition} restart failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Rejected { source, .. } => Some(source),
+            Self::Recovery { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_failing_domain() {
+        let e = ShardError::QueueFull {
+            shard: 2,
+            capacity: 8,
+        };
+        assert!(e.to_string().contains("shard 2"));
+        let e = ShardError::Unavailable { partition: 5 };
+        assert!(e.to_string().contains("partition 5"));
+        let e = ShardError::UnknownId { id: PointId(7) };
+        assert!(e.to_string().contains('7'));
+    }
+}

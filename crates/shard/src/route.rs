@@ -1,0 +1,181 @@
+//! Deterministic point-space partitioning.
+//!
+//! Every point routes to a partition by hashing its exact coordinate
+//! bit patterns — FNV-1a over each `f64`'s IEEE-754 little-endian
+//! bytes, reduced modulo the partition count. The hash sees *bits*, not
+//! values, so routing is a pure function of the point and the partition
+//! count: no floating-point comparison, no RNG, no dependence on shard
+//! or thread count. That is the foundation of the shard-count
+//! bit-identity guarantee — regrouping partitions into a different
+//! number of shards can never move a point between maintainers.
+//!
+//! Ids crossing the service boundary are [`GlobalId`]s: a partition
+//! index plus the id the partition's own store assigned. They pack into
+//! the ordinary [`PointId`] client handle with the partition in the
+//! high [`PARTITION_BITS`] bits, so single-partition deployments keep
+//! client ids numerically identical to the unsharded maintainer's.
+
+use idb_store::PointId;
+
+/// Bits of a packed client id reserved for the partition index.
+pub const PARTITION_BITS: u32 = 8;
+/// Bits of a packed client id carrying the partition-local id.
+pub const LOCAL_BITS: u32 = 32 - PARTITION_BITS;
+/// Upper bound on the partition count (the packed-id partition field).
+pub const MAX_PARTITIONS: u32 = 1 << PARTITION_BITS;
+/// Upper bound on live points per partition (the packed-id local field).
+pub const MAX_LOCAL: u32 = 1 << LOCAL_BITS;
+
+/// FNV-1a over a byte stream (the 64-bit variant).
+#[must_use]
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The partition owning `point` under a `partitions`-way split.
+///
+/// # Panics
+/// Panics if `partitions` is zero or exceeds [`MAX_PARTITIONS`].
+#[must_use]
+pub fn route_point(point: &[f64], partitions: u32) -> u32 {
+    assert!(
+        (1..=MAX_PARTITIONS).contains(&partitions),
+        "partitions must be in 1..={MAX_PARTITIONS}"
+    );
+    let h = fnv1a(point.iter().flat_map(|x| x.to_bits().to_le_bytes()));
+    (h % u64::from(partitions)) as u32
+}
+
+/// The maintenance-RNG seed for `partition` of a router seeded with
+/// `seed`.
+///
+/// Partition 0 keeps the base seed itself — a one-partition router draws
+/// exactly the round-seed stream the unsharded maintainer would — and
+/// later partitions decorrelate through a splitmix64-style mix. The
+/// derivation depends only on the partition index, never on the shard
+/// grouping.
+#[must_use]
+pub fn partition_round_seed(seed: u64, partition: u32) -> u64 {
+    if partition == 0 {
+        return seed;
+    }
+    let mut z = seed ^ u64::from(partition).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A service-wide point identity: the owning partition plus the id that
+/// partition's own [`PointStore`](idb_store::PointStore) assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId {
+    /// The owning partition.
+    pub partition: u32,
+    /// The id within that partition's store.
+    pub local: PointId,
+}
+
+impl GlobalId {
+    /// Packs into the [`PointId`] handed to clients: partition in the
+    /// high [`PARTITION_BITS`] bits, local id below. Partition 0 ids are
+    /// numerically identical to their local ids, so a one-partition
+    /// router hands out exactly the unsharded maintainer's ids.
+    ///
+    /// # Panics
+    /// Panics if the partition or local id overflows its field.
+    #[must_use]
+    pub fn client_id(self) -> PointId {
+        assert!(self.partition < MAX_PARTITIONS, "partition field overflow");
+        assert!(self.local.0 < MAX_LOCAL, "local id field overflow");
+        PointId((self.partition << LOCAL_BITS) | self.local.0)
+    }
+
+    /// Unpacks a client id; `None` when the partition field names a
+    /// partition that does not exist under `partitions`.
+    #[must_use]
+    pub fn from_client(id: PointId, partitions: u32) -> Option<GlobalId> {
+        let partition = id.0 >> LOCAL_BITS;
+        (partition < partitions).then_some(GlobalId {
+            partition,
+            local: PointId(id.0 & (MAX_LOCAL - 1)),
+        })
+    }
+
+    /// The 64-bit form used in point-level reachability plots:
+    /// `partition` in the high word, `local` in the low word.
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        (u64::from(self.partition) << 32) | u64::from(self.local.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_bit_exact() {
+        let p = [1.5, -2.25, 0.0];
+        let a = route_point(&p, 8);
+        assert_eq!(a, route_point(&p, 8));
+        assert!(a < 8);
+        assert_eq!(route_point(&p, 1), 0);
+        // -0.0 and 0.0 differ in bits, so they may route differently —
+        // the hash must see bits, not values.
+        let pos = route_point(&[0.0; 4], 251);
+        let neg = route_point(&[-0.0; 4], 251);
+        // Not asserting inequality (they could collide), but both must
+        // be stable and in range.
+        assert!(pos < 251 && neg < 251);
+    }
+
+    #[test]
+    fn routing_spreads_points() {
+        let parts = 8u32;
+        let mut counts = vec![0usize; parts as usize];
+        for i in 0..4000 {
+            let x = f64::from(i) * 0.37;
+            let y = f64::from(i % 83) * 1.91;
+            counts[route_point(&[x, y], parts) as usize] += 1;
+        }
+        for (p, &c) in counts.iter().enumerate() {
+            assert!(c > 200, "partition {p} got only {c} of 4000 points");
+        }
+    }
+
+    #[test]
+    fn partition_zero_keeps_the_base_seed() {
+        assert_eq!(partition_round_seed(99, 0), 99);
+        assert_ne!(partition_round_seed(99, 1), 99);
+        assert_ne!(partition_round_seed(99, 1), partition_round_seed(99, 2));
+    }
+
+    #[test]
+    fn client_ids_round_trip_and_partition_zero_is_transparent() {
+        let g = GlobalId {
+            partition: 3,
+            local: PointId(77),
+        };
+        let packed = g.client_id();
+        assert_eq!(GlobalId::from_client(packed, 4), Some(g));
+        assert_eq!(GlobalId::from_client(packed, 3), None);
+
+        let zero = GlobalId {
+            partition: 0,
+            local: PointId(12345),
+        };
+        assert_eq!(zero.client_id(), PointId(12345));
+        assert_eq!(g.as_u64(), (3u64 << 32) | 77);
+    }
+
+    #[test]
+    #[should_panic(expected = "partitions must be in")]
+    fn zero_partitions_is_rejected() {
+        let _ = route_point(&[1.0], 0);
+    }
+}

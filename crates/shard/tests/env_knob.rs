@@ -1,0 +1,56 @@
+//! The `IDB_SHARDS` environment knob.
+//!
+//! One test function drives every case sequentially — the process
+//! environment is global, so the cases must not run as separate
+//! (parallel) tests.
+
+use idb_shard::{shards_from_env, shards_from_env_strict, ShardConfig, SHARDS_ENV};
+
+#[test]
+fn idb_shards_defaults_clamps_and_rejects() {
+    let saved = std::env::var_os(SHARDS_ENV);
+
+    // Unset: no opinion — configs default to one shard.
+    std::env::remove_var(SHARDS_ENV);
+    assert_eq!(shards_from_env(), None);
+    assert_eq!(shards_from_env_strict().unwrap(), None);
+    assert_eq!(ShardConfig::new(8).shards, 1);
+
+    // A valid value flows into new configs, clamped to the partition
+    // count.
+    std::env::set_var(SHARDS_ENV, "4");
+    assert_eq!(shards_from_env(), Some(4));
+    assert_eq!(ShardConfig::new(8).shards, 4);
+    assert_eq!(ShardConfig::new(2).shards, 2, "clamped to partitions");
+
+    // Whitespace is tolerated, like IDB_PARALLELISM.
+    std::env::set_var(SHARDS_ENV, "  6  ");
+    assert_eq!(shards_from_env(), Some(6));
+
+    // Invalid values: the strict reader returns a typed error naming the
+    // variable and the offending value; the lenient reader falls back to
+    // unset (warning once on stderr).
+    for bad in ["0", "-3", "many", "1.5", "257", ""] {
+        std::env::set_var(SHARDS_ENV, bad);
+        let err = shards_from_env_strict().expect_err(bad);
+        assert_eq!(err.var, SHARDS_ENV);
+        assert_eq!(err.value, bad);
+        assert_eq!(shards_from_env(), None, "lenient fallback for {bad:?}");
+        assert_eq!(ShardConfig::new(8).shards, 1, "config fallback for {bad:?}");
+    }
+
+    // The in-range boundary values parse.
+    std::env::set_var(SHARDS_ENV, "1");
+    assert_eq!(shards_from_env(), Some(1));
+    std::env::set_var(SHARDS_ENV, "256");
+    assert_eq!(shards_from_env(), Some(256));
+
+    // An explicit with_shards always wins over the environment.
+    std::env::set_var(SHARDS_ENV, "2");
+    assert_eq!(ShardConfig::new(8).with_shards(5).shards, 5);
+
+    match saved {
+        Some(v) => std::env::set_var(SHARDS_ENV, v),
+        None => std::env::remove_var(SHARDS_ENV),
+    }
+}

@@ -1,0 +1,173 @@
+//! On-disk layout for sharded durability: one directory per maintainer
+//! partition, one WAL file per epoch inside it, plus a checkpoint
+//! subdirectory — so N independent maintainers can journal side by side
+//! under a single root without their files ever colliding.
+//!
+//! Layout under a root (typically [`crate::wal::scratch_dir`] or a
+//! caller-chosen run directory):
+//!
+//! ```text
+//! <root>/partition-00007/
+//!     epoch-00000000000000000003.wal      WAL for epoch base 3
+//!     checkpoints/                        FsCheckpoints directory
+//! ```
+//!
+//! Epoch numbers in file names are zero-padded to fixed width so
+//! lexicographic directory order equals numeric order; [`list_epochs`]
+//! nevertheless parses and sorts numerically, and ignores foreign files.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Width of the zero-padded partition index in directory names.
+const PARTITION_WIDTH: usize = 5;
+/// Width of the zero-padded epoch number in WAL file names.
+const EPOCH_WIDTH: usize = 20;
+
+/// The directory holding one partition's WALs and checkpoints.
+#[must_use]
+pub fn partition_dir(root: &Path, partition: u32) -> PathBuf {
+    root.join(format!("partition-{partition:0PARTITION_WIDTH$}"))
+}
+
+/// The WAL file for `epoch` inside a partition directory.
+#[must_use]
+pub fn epoch_wal_path(partition_dir: &Path, epoch: u64) -> PathBuf {
+    partition_dir.join(format!("epoch-{epoch:0EPOCH_WIDTH$}.wal"))
+}
+
+/// The checkpoint directory inside a partition directory.
+#[must_use]
+pub fn checkpoint_dir(partition_dir: &Path) -> PathBuf {
+    partition_dir.join("checkpoints")
+}
+
+/// Everything a partition needs on disk, created and ready to open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPaths {
+    /// The partition's own directory under the root.
+    pub dir: PathBuf,
+    /// The WAL file for the requested epoch (not created — the caller
+    /// opens it through `FileSink::create` / `open_append`).
+    pub wal: PathBuf,
+    /// The checkpoint directory (created).
+    pub checkpoints: PathBuf,
+}
+
+/// Creates the directory skeleton for `partition` under `root` and
+/// returns the paths for `epoch`. Idempotent: existing directories are
+/// reused.
+///
+/// # Errors
+/// Whatever the filesystem reports while creating directories.
+pub fn ensure_partition_layout(
+    root: &Path,
+    partition: u32,
+    epoch: u64,
+) -> io::Result<PartitionPaths> {
+    let dir = partition_dir(root, partition);
+    let checkpoints = checkpoint_dir(&dir);
+    std::fs::create_dir_all(&checkpoints)?;
+    Ok(PartitionPaths {
+        wal: epoch_wal_path(&dir, epoch),
+        dir,
+        checkpoints,
+    })
+}
+
+/// The epoch numbers of every WAL file in a partition directory, sorted
+/// ascending. Files that do not match the `epoch-<n>.wal` pattern are
+/// ignored; a missing directory reads as "no epochs yet".
+///
+/// # Errors
+/// Whatever the filesystem reports while listing an existing directory.
+pub fn list_epochs(partition_dir: &Path) -> io::Result<Vec<u64>> {
+    let entries = match std::fs::read_dir(partition_dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut epochs = Vec::new();
+    for entry in entries {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("epoch-")
+            .and_then(|s| s.strip_suffix(".wal"))
+        else {
+            continue;
+        };
+        if let Ok(epoch) = stem.parse::<u64>() {
+            epochs.push(epoch);
+        }
+    }
+    epochs.sort_unstable();
+    Ok(epochs)
+}
+
+/// The newest epoch with a WAL file in a partition directory, if any.
+///
+/// # Errors
+/// Whatever the filesystem reports while listing an existing directory.
+pub fn latest_epoch(partition_dir: &Path) -> io::Result<Option<u64>> {
+    Ok(list_epochs(partition_dir)?.pop())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::scratch_dir;
+
+    fn unique_root(tag: &str) -> PathBuf {
+        scratch_dir().join(format!("idb-layout-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn layout_is_deterministic_and_collision_free() {
+        let root = Path::new("/r");
+        let d3 = partition_dir(root, 3);
+        let d12 = partition_dir(root, 12);
+        assert_eq!(d3, Path::new("/r/partition-00003"));
+        assert_ne!(d3, d12);
+        assert_eq!(
+            epoch_wal_path(&d3, 7),
+            Path::new("/r/partition-00003/epoch-00000000000000000007.wal")
+        );
+        assert_eq!(
+            checkpoint_dir(&d3),
+            Path::new("/r/partition-00003/checkpoints")
+        );
+    }
+
+    #[test]
+    fn ensure_creates_and_is_idempotent() {
+        let root = unique_root("ensure");
+        let first = ensure_partition_layout(&root, 2, 0).unwrap();
+        assert!(first.checkpoints.is_dir());
+        assert!(!first.wal.exists());
+        let again = ensure_partition_layout(&root, 2, 1).unwrap();
+        assert_eq!(first.dir, again.dir);
+        assert_ne!(first.wal, again.wal);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn epoch_listing_parses_and_sorts_numerically() {
+        let root = unique_root("epochs");
+        let paths = ensure_partition_layout(&root, 0, 0).unwrap();
+        assert_eq!(list_epochs(&paths.dir).unwrap(), Vec::<u64>::new());
+        for epoch in [5u64, 0, 12] {
+            std::fs::write(epoch_wal_path(&paths.dir, epoch), b"").unwrap();
+        }
+        std::fs::write(paths.dir.join("notes.txt"), b"ignored").unwrap();
+        assert_eq!(list_epochs(&paths.dir).unwrap(), vec![0, 5, 12]);
+        assert_eq!(latest_epoch(&paths.dir).unwrap(), Some(12));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_reads_as_empty() {
+        let root = unique_root("missing");
+        assert_eq!(latest_epoch(&partition_dir(&root, 9)).unwrap(), None);
+    }
+}

@@ -21,6 +21,7 @@
 
 use rand::Rng;
 
+pub mod layout;
 pub mod snapshot;
 pub mod wal;
 pub use snapshot::SnapshotError;

@@ -1,0 +1,247 @@
+//! Multi-stream workload generation: several independent scenario
+//! engines, each with its own derived RNG, interleaved into one
+//! deterministic sequence of `(stream, batch)` updates.
+//!
+//! A sharded service is fed by many concurrent clients; this module
+//! models them. Each stream is a full [`ScenarioEngine`] — its own
+//! cluster dynamics, its own ground truth — drawing from an RNG derived
+//! from a base seed and the stream index, so the interleaved sequence is
+//! a pure function of `(specs, seed)`: the same workload replays
+//! bit-identically no matter how many shards (or threads) consume it.
+//!
+//! Streams take turns round-robin. The per-stream derivation keeps
+//! stream 0 of a single-stream engine on exactly the base seed's
+//! stream, so a one-stream [`MultiStreamEngine`] reproduces the plain
+//! [`ScenarioEngine`] workload.
+
+use crate::scenario::{ScenarioEngine, ScenarioKind, ScenarioSpec};
+use idb_store::{Batch, PointId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG seed for stream `stream` of a workload seeded with `seed`.
+///
+/// Stream 0 keeps the base seed itself (a single-stream engine is
+/// bit-identical to driving a [`ScenarioEngine`] with `seed`); later
+/// streams decorrelate through a splitmix64-style mix.
+#[must_use]
+pub fn stream_seed(seed: u64, stream: u32) -> u64 {
+    if stream == 0 {
+        return seed;
+    }
+    let mut z = seed ^ (u64::from(stream)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One stream: its scenario state and its private RNG.
+#[derive(Debug, Clone)]
+struct Stream {
+    engine: ScenarioEngine,
+    rng: StdRng,
+}
+
+/// Several interleaved scenario streams over one logical database.
+///
+/// Drive it like a [`ScenarioEngine`], but with a stream index woven
+/// through: [`MultiStreamEngine::populate_batches`] yields each
+/// stream's initial population, then [`MultiStreamEngine::plan_next`] /
+/// [`MultiStreamEngine::confirm`] cycle round-robin through the
+/// streams.
+#[derive(Debug, Clone)]
+pub struct MultiStreamEngine {
+    streams: Vec<Stream>,
+    cursor: usize,
+}
+
+impl MultiStreamEngine {
+    /// An engine over the given per-stream specs; stream `i` draws from
+    /// [`stream_seed`]`(seed, i)`.
+    ///
+    /// # Panics
+    /// Panics if `specs` is empty or holds more than `u32::MAX` entries.
+    #[must_use]
+    pub fn new(specs: Vec<ScenarioSpec>, seed: u64) -> Self {
+        assert!(!specs.is_empty(), "at least one stream is required");
+        assert!(u32::try_from(specs.len()).is_ok(), "too many streams");
+        let streams = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| Stream {
+                engine: ScenarioEngine::new(spec),
+                rng: StdRng::seed_from_u64(stream_seed(seed, i as u32)),
+            })
+            .collect();
+        Self { streams, cursor: 0 }
+    }
+
+    /// An engine running one named scenario per stream, all with the same
+    /// dimensionality, per-stream initial size and update fraction.
+    ///
+    /// # Panics
+    /// Panics if `kinds` is empty.
+    #[must_use]
+    pub fn named(
+        kinds: &[ScenarioKind],
+        dim: usize,
+        initial_size_per_stream: usize,
+        update_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        let specs = kinds
+            .iter()
+            .map(|&k| ScenarioSpec::named(k, dim, initial_size_per_stream, update_fraction))
+            .collect();
+        Self::new(specs, seed)
+    }
+
+    /// Number of streams.
+    #[must_use]
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The stream index [`Self::plan_next`] will draw from next.
+    #[must_use]
+    pub fn next_stream(&self) -> u32 {
+        self.cursor as u32
+    }
+
+    /// Total live points across all streams' ground truths.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.streams.iter().map(|s| s.engine.live_count()).sum()
+    }
+
+    /// A stream's scenario engine (ground-truth queries).
+    ///
+    /// # Panics
+    /// Panics if `stream` is out of range.
+    #[must_use]
+    pub fn engine(&self, stream: u32) -> &ScenarioEngine {
+        &self.streams[stream as usize].engine
+    }
+
+    /// Each stream's initial population as an insert-only batch, in
+    /// stream order. Apply each and register the assigned ids with
+    /// [`Self::confirm`] (in the same order) before planning updates.
+    pub fn populate_batches(&mut self) -> Vec<(u32, Batch)> {
+        let mut out = Vec::with_capacity(self.streams.len());
+        for (i, s) in self.streams.iter_mut().enumerate() {
+            let batch = s.engine.populate_batch(&mut s.rng);
+            out.push((i as u32, batch));
+        }
+        out
+    }
+
+    /// Plans the next batch from the round-robin cursor's stream and
+    /// advances the cursor. Streams whose databases have emptied are
+    /// skipped; returns `None` when every stream is empty.
+    ///
+    /// # Panics
+    /// Panics if a previous planned batch has not been confirmed.
+    pub fn plan_next(&mut self) -> Option<(u32, Batch)> {
+        for _ in 0..self.streams.len() {
+            let i = self.cursor;
+            self.cursor = (self.cursor + 1) % self.streams.len();
+            let s = &mut self.streams[i];
+            if s.engine.live_count() == 0 {
+                continue;
+            }
+            let batch = s.engine.plan(&mut s.rng);
+            return Some((i as u32, batch));
+        }
+        None
+    }
+
+    /// Registers the ids assigned to the insertions of `stream`'s last
+    /// planned (or population) batch.
+    ///
+    /// # Panics
+    /// Panics if `stream` is out of range, has no batch awaiting
+    /// confirmation, or the id count differs from the planned insertions.
+    pub fn confirm(&mut self, stream: u32, inserted: &[PointId]) {
+        self.streams[stream as usize].engine.confirm(inserted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idb_store::PointStore;
+
+    #[test]
+    fn stream_zero_keeps_the_base_seed() {
+        assert_eq!(stream_seed(42, 0), 42);
+        assert_ne!(stream_seed(42, 1), 42);
+        assert_ne!(stream_seed(42, 1), stream_seed(42, 2));
+        assert_ne!(stream_seed(42, 1), stream_seed(43, 1));
+    }
+
+    #[test]
+    fn single_stream_engine_matches_the_plain_engine() {
+        let dim = 2;
+        let mut multi = MultiStreamEngine::named(&[ScenarioKind::Random], dim, 300, 0.05, 7);
+        let mut plain_rng = StdRng::seed_from_u64(7);
+        let mut plain =
+            ScenarioEngine::new(ScenarioSpec::named(ScenarioKind::Random, dim, 300, 0.05));
+        let mut plain_store = plain.populate(&mut plain_rng);
+
+        let mut store = PointStore::new(dim);
+        for (stream, batch) in multi.populate_batches() {
+            let ids = store.apply(&batch);
+            multi.confirm(stream, &ids);
+        }
+        assert_eq!(store.len(), plain_store.len());
+
+        for _ in 0..5 {
+            let (stream, batch) = multi.plan_next().unwrap();
+            assert_eq!(stream, 0);
+            let ids = store.apply(&batch);
+            multi.confirm(stream, &ids);
+            let (plain_batch, _) = plain.step_plain(&mut plain_store, &mut plain_rng);
+            assert_eq!(batch, plain_batch);
+        }
+    }
+
+    #[test]
+    fn streams_interleave_round_robin_and_track_truth() {
+        let kinds = [
+            ScenarioKind::Random,
+            ScenarioKind::GradMove,
+            ScenarioKind::Disappear,
+        ];
+        let mut multi = MultiStreamEngine::named(&kinds, 2, 200, 0.05, 11);
+        let mut stores: Vec<PointStore> = (0..multi.stream_count())
+            .map(|_| PointStore::new(2))
+            .collect();
+        for (stream, batch) in multi.populate_batches() {
+            let ids = stores[stream as usize].apply(&batch);
+            multi.confirm(stream, &ids);
+        }
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            let (stream, batch) = multi.plan_next().unwrap();
+            seen.push(stream);
+            let ids = stores[stream as usize].apply(&batch);
+            multi.confirm(stream, &ids);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 0, 1, 2]);
+        let total: usize = stores.iter().map(PointStore::len).sum();
+        assert_eq!(multi.live_count(), total);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let build = || MultiStreamEngine::named(&[ScenarioKind::Random; 2], 2, 150, 0.05, 3);
+        let (mut a, mut b) = (build(), build());
+        let pa = a.populate_batches();
+        let pb = b.populate_batches();
+        assert_eq!(pa, pb);
+        for ((sa, ba), (sb, bb)) in pa.iter().zip(&pb) {
+            assert_eq!(sa, sb);
+            assert_eq!(ba, bb);
+        }
+    }
+}

@@ -442,11 +442,28 @@ impl ScenarioEngine {
     /// Clusters with [`Dynamics::Appear`] start empty; all others share the
     /// non-noise budget in proportion to their model weights.
     pub fn populate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> PointStore {
+        let batch = self.populate_batch(rng);
+        let mut store = PointStore::with_capacity(self.spec.dim, batch.inserts.len());
+        let inserted = store.apply(&batch);
+        self.confirm(&inserted);
+        store
+    }
+
+    /// The initial database as an insert-only batch, for flows that apply
+    /// updates through a service layer (e.g. a shard router) instead of
+    /// into a local store. Draws the same random points in the same order
+    /// as [`Self::populate`]; register the assigned ids with
+    /// [`Self::confirm`] afterwards.
+    ///
+    /// # Panics
+    /// Panics if the engine already holds live points.
+    pub fn populate_batch<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Batch {
         assert_eq!(self.total_live, 0, "populate must be called once, first");
+        assert!(self.awaiting.is_none(), "a planned batch is unconfirmed");
         let n = self.spec.initial_size;
-        let mut store = PointStore::with_capacity(self.spec.dim, n);
         let n_noise = (n as f64 * self.spec.noise_fraction).round() as usize;
         let n_clustered = n - n_noise;
+        let mut inserts: Vec<(Vec<f64>, Label)> = Vec::with_capacity(n);
 
         let initial: Vec<usize> = self
             .spec
@@ -472,18 +489,19 @@ impl ScenarioEngine {
             for _ in 0..share {
                 let p =
                     gaussian_point(rng, &self.cur_means[ci], self.spec.clusters[ci].model.sigma);
-                let id = store.insert(&p, Some(ci as u32));
-                self.members[ci].push(id);
+                inserts.push((p, Some(ci as u32)));
             }
             produced += share;
         }
         for _ in 0..n_noise {
             let p = uniform_point(rng, self.spec.dim, self.spec.bounds.0, self.spec.bounds.1);
-            let id = store.insert(&p, None);
-            self.noise.push(id);
+            inserts.push((p, None));
         }
-        self.total_live = store.len();
-        store
+        self.awaiting = Some(inserts.iter().map(|(_, label)| *label).collect());
+        Batch {
+            deletes: Vec::new(),
+            inserts,
+        }
     }
 
     /// `true` when cluster `c`'s dynamics are active at batch `b`.

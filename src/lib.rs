@@ -64,9 +64,19 @@
 //! when off; set `IDB_OBS=metrics` or `IDB_OBS=jsonl` to turn it on (see
 //! the "Observability" section of the README).
 //!
+//! To serve many independent update streams — or to fault-isolate one —
+//! the [`shard`] layer runs `V` durable maintainer partitions behind a
+//! deterministic router ([`shard::ShardRouter`]): per-shard bounded
+//! queues with typed backpressure, a supervisor that quarantines
+//! persistently degraded partitions while siblings keep serving, and
+//! per-partition crash recovery. The shard count is a pure wall-clock
+//! knob (set it with `IDB_SHARDS`): any value yields bit-identical
+//! summaries and cluster orderings (see the "Sharding" section of the
+//! README).
+//!
 //! The individual layers are re-exported as modules: [`geometry`],
 //! [`store`], [`synth`], [`core`], [`clustering`], [`birch`], [`eval`],
-//! [`obs`].
+//! [`obs`], [`shard`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -77,6 +87,7 @@ pub use idb_core as core;
 pub use idb_eval as eval;
 pub use idb_geometry as geometry;
 pub use idb_obs as obs;
+pub use idb_shard as shard;
 pub use idb_store as store;
 pub use idb_synth as synth;
 
@@ -98,11 +109,16 @@ pub mod prelude {
     pub use idb_eval::{compactness_per_point, fscore, Aggregate};
     pub use idb_geometry::SearchStats;
     pub use idb_obs::{
-        check_journal, Cause, Event, EventKind, JsonlRecorder, MetricsRegistry, NullRecorder, Obs,
-        Recorder, RingRecorder,
+        check_journal, check_journal_sharded, Cause, Event, EventKind, JsonlRecorder,
+        MetricsRegistry, NullRecorder, Obs, Recorder, RingRecorder,
+    };
+    pub use idb_shard::{
+        GlobalId, PartitionStatus, RestartReport, ShardConfig, ShardError, ShardRouter,
     };
     pub use idb_store::{
         Batch, DurableSink, FileSink, Label, MemSink, PointId, PointStore, WalError,
     };
-    pub use idb_synth::{ClusterModel, MixtureModel, ScenarioEngine, ScenarioKind, ScenarioSpec};
+    pub use idb_synth::{
+        ClusterModel, MixtureModel, MultiStreamEngine, ScenarioEngine, ScenarioKind, ScenarioSpec,
+    };
 }
