@@ -1,0 +1,453 @@
+//! Offline stand-in for the `proptest` crate (API subset of proptest 1.x).
+//!
+//! Provides the `proptest!` test harness, the `prop_assert*` /
+//! `prop_assume!` macros, and the strategy combinators the workspace's
+//! property suites use (numeric ranges, tuples, `collection::vec`,
+//! `option::of`, `sample::select`, `any::<T>()`). Cases are generated from
+//! a deterministic per-test seed; failures report the case number but are
+//! not shrunk. See `offline/README.md`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+
+/// Test-runner configuration and failure plumbing.
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Accepted (non-rejected) cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the property is falsified.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; draw another case.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        #[must_use]
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+    }
+}
+
+/// Value generators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident / $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(S0 / 0);
+    impl_tuple_strategy!(S0 / 0, S1 / 1);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+
+    /// `Just(v)`: always generates a clone of `v`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The `any::<T>()` strategy: uniform over the whole type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Uniform over all of `T`.
+    #[must_use]
+    pub fn any<T: rand::Standard>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: rand::Standard> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+
+    /// A length specification for collection strategies: an exact `usize`
+    /// or a `Range<usize>`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(pub Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.0.clone())
+        }
+    }
+
+    /// `Vec` strategies.
+    pub mod collection {
+        use super::{SizeRange, Strategy};
+        use rand::rngs::StdRng;
+
+        /// A `Vec` whose length is drawn from `size` and whose elements
+        /// come from `element`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let len = self.size.pick(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// An `Option` that is `Some` three times out of four.
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S>(S);
+
+        /// `prop::option::of(inner)`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                if rng.gen_range(0u32..4) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+    }
+
+    /// Choosing among fixed values.
+    pub mod sample {
+        use super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Uniform over a fixed set of values.
+        #[derive(Debug, Clone)]
+        pub struct Select<T: Clone>(Vec<T>);
+
+        /// `prop::sample::select(values)`: uniform over `values`.
+        pub fn select<T: Clone>(values: impl Into<Vec<T>>) -> Select<T> {
+            let v = values.into();
+            assert!(!v.is_empty(), "select() needs at least one value");
+            Select(v)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut StdRng) -> T {
+                self.0[rng.gen_range(0..self.0.len())].clone()
+            }
+        }
+    }
+}
+
+/// The `prop::` module path used inside `proptest!` bodies.
+pub mod prop {
+    pub use crate::strategy::{collection, option, sample};
+}
+
+/// Everything the property suites import.
+pub mod prelude {
+    pub use crate::strategy::any;
+    pub use crate::strategy::Just;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Deterministic per-test, per-case RNG: FNV-1a over the test path mixed
+/// with the case counter, optionally perturbed by `PROPTEST_SEED`.
+#[doc(hidden)]
+#[must_use]
+pub fn __case_rng(test_path: &str, case: u64) -> StdRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let env = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ env)
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pa_l, __pa_r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pa_l == *__pa_r,
+            concat!("assertion failed: ", stringify!($a), " == ", stringify!($b))
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__pa_l, __pa_r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pa_l == *__pa_r,
+            concat!("assertion failed: ", stringify!($a), " == ", stringify!($b), ": {}"),
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pa_l, __pa_r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pa_l != *__pa_r,
+            concat!("assertion failed: ", stringify!($a), " != ", stringify!($b))
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__pa_l, __pa_r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pa_l != *__pa_r,
+            concat!("assertion failed: ", stringify!($a), " != ", stringify!($b), ": {}"),
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the current case (draw another) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests. Supports the
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute
+/// and any number of `#[test] fn name(arg in strategy, ...) { body }`
+/// items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut accepted: u32 = 0;
+            let mut attempt: u64 = 0;
+            let max_attempts = u64::from(config.cases) * 16 + 64;
+            while accepted < config.cases {
+                assert!(
+                    attempt < max_attempts,
+                    "proptest: too many rejected cases ({} accepted of {} wanted)",
+                    accepted,
+                    config.cases
+                );
+                let mut __proptest_rng =
+                    $crate::__case_rng(concat!(module_path!(), "::", stringify!($name)), attempt);
+                attempt += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match result {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {} (attempt {}) of {} failed: {}",
+                            accepted,
+                            attempt - 1,
+                            stringify!($name),
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(
+            n in 1usize..50,
+            (flag, x) in (any::<bool>(), -10.0f64..10.0),
+            label in prop::option::of(0u32..8),
+            pick in prop::sample::select(vec![2u64, 4, 8]),
+        ) {
+            prop_assert!((1..50).contains(&n));
+            prop_assert!((-10.0..10.0).contains(&x));
+            prop_assert!(flag || !flag);
+            if let Some(l) = label {
+                prop_assert!(l < 8);
+            }
+            prop_assert!(pick == 2 || pick == 4 || pick == 8);
+        }
+
+        #[test]
+        fn vectors_have_requested_lengths(
+            exact in prop::collection::vec(0u32..10, 7),
+            ranged in prop::collection::vec(-1.0f64..1.0, 1..5),
+        ) {
+            prop_assert_eq!(exact.len(), 7);
+            prop_assert!((1..5).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0u32..100) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0, "only even values survive the assume");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_panic() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(_x in 0u32..4) {
+                prop_assert!(false, "forced failure");
+            }
+        }
+        always_fails();
+    }
+}
