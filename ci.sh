@@ -12,7 +12,9 @@
 # durability suites (DESIGN.md §11) with a kill-at-random-crash-point
 # smoke loop under varying seeds — the sharded-service differential and
 # fault-isolation suites under an ambient IDB_SHARDS=4 plus a smoke run
-# of the shard report (DESIGN.md §13) — the differential and durability
+# of the shard report (DESIGN.md §13) — the delta-clustering equivalence
+# and subscription suites with journaling on plus the delta report's
+# savings floor (DESIGN.md §14) — the differential and durability
 # suites once more with JSONL journaling on (DESIGN.md §12), every
 # emitted journal validated by the journal_check tool — clippy across the whole
 # workspace with warnings promoted to errors, a formatting check, and a
@@ -70,6 +72,21 @@ cargo test $CARGOFLAGS -q -p idb-shard --test env_knob
 # shellcheck disable=SC2086
 cargo run $CARGOFLAGS --release -q -p idb-bench --bin shard_report -- "$IDB_SHARD_WAL_DIR/BENCH_shard_smoke.json"
 rm -rf "$IDB_SHARD_WAL_DIR"
+# Delta-maintained clustering (DESIGN.md §14): the bit-identity
+# equivalence suite and the subscription delivery contract under the
+# ambient parallelism/shard/journal knobs — the engines pick up
+# IDB_OBS=jsonl, so the DeltaEpoch events they emit land in journals the
+# journal_check run below validates (touched <= total per epoch) — plus
+# the primitive property pins (pair-cache locality, cached extraction,
+# 64-seed metric determinism) and a smoke run of the delta report with
+# its >=2x touched-neighborhood savings floor.
+IDB_PARALLELISM=auto IDB_SHARDS=4 IDB_OBS=jsonl cargo test $CARGOFLAGS -q -p idb-delta
+cargo test $CARGOFLAGS -q -p idb-clustering --test delta_properties
+cargo test $CARGOFLAGS -q -p idb-eval --test determinism
+DELTA_SMOKE_DIR="$(mktemp -d)"
+# shellcheck disable=SC2086
+cargo run $CARGOFLAGS --release -q -p idb-bench --bin delta_report -- "$DELTA_SMOKE_DIR/BENCH_delta_smoke.json"
+rm -rf "$DELTA_SMOKE_DIR"
 # Observability: the differential and durability suites once more with
 # JSONL journaling on, writing into the hermetic IDB_OBS_DIR, then every
 # emitted journal is parsed and checked against the op-journal invariants

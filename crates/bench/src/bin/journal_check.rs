@@ -94,6 +94,7 @@ fn main() -> ExitCode {
                     total.grows += summary.grows;
                     total.wal_commits += summary.wal_commits;
                     total.checkpoints += summary.checkpoints;
+                    total.delta_epochs += summary.delta_epochs;
                 }
             }
             Err(e) => {
@@ -106,7 +107,8 @@ fn main() -> ExitCode {
     println!(
         "journal_check: {} journals, {} events ({} structural): \
          {} inserts, {} deletes, {} batches, {} merges, {} splits, \
-         {} retires, {} grows, {} wal commits, {} checkpoints",
+         {} retires, {} grows, {} wal commits, {} checkpoints, \
+         {} delta epochs",
         paths.len(),
         total.events,
         total.structural,
@@ -119,6 +121,7 @@ fn main() -> ExitCode {
         total.grows,
         total.wal_commits,
         total.checkpoints,
+        total.delta_epochs,
     );
     if failures > 0 {
         eprintln!(

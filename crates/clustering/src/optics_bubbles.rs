@@ -167,13 +167,12 @@ pub fn optics_bubbles_with<S: DataSummary + Sync>(
         .filter(|&i| summaries[i].n() > 0)
         .collect();
     let s = live.len();
-    let mut ordering = BubbleOrdering {
-        order: Vec::with_capacity(s),
-        reachability: Vec::with_capacity(s),
-        virtual_reachability: Vec::with_capacity(s),
-    };
     if s == 0 {
-        return ordering;
+        return BubbleOrdering {
+            order: Vec::new(),
+            reachability: Vec::new(),
+            virtual_reachability: Vec::new(),
+        };
     }
 
     // Dense pairwise distance matrix over the live summaries. Workers fill
@@ -197,6 +196,47 @@ pub fn optics_bubbles_with<S: DataSummary + Sync>(
             pair[i * s + j] = d;
             pair[j * s + i] = d;
         }
+    }
+
+    optics_from_matrix(summaries, &live, &pair, eps, min_pts)
+}
+
+/// The best-first OPTICS expansion over a *precomputed* dense pairwise
+/// distance matrix.
+///
+/// `live` lists the indices (into `summaries`) to order — every listed
+/// summary must be non-empty — and `pair[i * live.len() + j]` must hold
+/// `bubble_distance` between `live[i]` and `live[j]`. This is the exact
+/// expansion stage [`optics_bubbles_with`] runs after filling its own
+/// matrix; callers that maintain the matrix incrementally (the delta
+/// clustering layer) feed it here and get a bit-identical ordering, since
+/// every downstream decision reads only the matrix and the summaries.
+///
+/// # Panics
+/// Panics if `min_pts == 0`, if `pair.len() != live.len()²`, or (in debug
+/// builds) if a listed summary is empty.
+#[must_use]
+pub fn optics_from_matrix<S: DataSummary>(
+    summaries: &[S],
+    live: &[usize],
+    pair: &[f64],
+    eps: f64,
+    min_pts: usize,
+) -> BubbleOrdering {
+    assert!(min_pts > 0, "min_pts must be positive");
+    let s = live.len();
+    assert_eq!(pair.len(), s * s, "matrix must be dense over `live`");
+    debug_assert!(
+        live.iter().all(|&i| summaries[i].n() > 0),
+        "live summaries must be non-empty"
+    );
+    let mut ordering = BubbleOrdering {
+        order: Vec::with_capacity(s),
+        reachability: Vec::with_capacity(s),
+        virtual_reachability: Vec::with_capacity(s),
+    };
+    if s == 0 {
+        return ordering;
     }
 
     // Core distance of live summary `i`: weighted accumulation of point

@@ -122,6 +122,29 @@ pub struct AdaptiveReport {
     pub retired: usize,
 }
 
+/// One structural change to the bubble slot space, in application order —
+/// the event stream a delta-maintained clustering layer consumes to know
+/// which pairwise distances may have changed.
+///
+/// Only *summary statistics* changes are reported: the bubble distance,
+/// core distance and virtual reachability are pure functions of a bubble's
+/// sufficient statistics, so a slot whose stats are untouched keeps every
+/// cached distance bit-identical. Membership *order* changes (swap-removes
+/// inside a member list) are deliberately not tracked — consumers re-read
+/// member lists when expanding a bubble ordering to a point plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BubbleChange {
+    /// The stats of the bubble at this slot changed (insert, delete,
+    /// merge-away drain, split redistribution, sabotage hooks).
+    Touched(u32),
+    /// A new bubble slot was appended at the end of the population.
+    Pushed,
+    /// The slot was removed and the former last slot moved into it
+    /// (`Vec::swap_remove` semantics). The moved bubble itself is
+    /// unchanged — only its index is.
+    SwapRemoved(u32),
+}
+
 /// A maintained population of data bubbles over a [`PointStore`].
 #[derive(Debug, Clone)]
 pub struct IncrementalBubbles {
@@ -143,6 +166,12 @@ pub struct IncrementalBubbles {
     /// the single thread driving the maintainer, so the recorded stream is
     /// deterministic under any [`Parallelism`]. Disabled by default.
     obs: Obs,
+    /// Whether structural changes are being recorded for
+    /// [`Self::take_changes`]. Off by default.
+    track_changes: bool,
+    /// The recorded change log; `None` while invalidated (an untrackable
+    /// operation — invariant repair — happened since the last drain).
+    changes: Option<Vec<BubbleChange>>,
 }
 
 impl IncrementalBubbles {
@@ -191,6 +220,8 @@ impl IncrementalBubbles {
             total_points: 0,
             last_insert: NONE,
             obs,
+            track_changes: false,
+            changes: None,
         };
         let mut ids = Vec::with_capacity(store.len());
         let mut flat = Vec::with_capacity(store.len() * dim);
@@ -280,6 +311,61 @@ impl IncrementalBubbles {
     /// output channel — never affects summarization results.
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
+    }
+
+    /// Turns structural change recording on or off (off by default).
+    ///
+    /// While on, every operation that changes a bubble slot's summary
+    /// statistics or the slot space itself appends a [`BubbleChange`] to
+    /// an internal log, drained by [`Self::take_changes`]. Tracking is a
+    /// pure output channel: it never affects summarization results and is
+    /// not persisted in snapshots. Enabling starts with an *invalid* log —
+    /// the first drain returns `None`, obliging the consumer to resync
+    /// against the current population before trusting subsequent logs
+    /// (the consumer has no way to know what happened before enabling,
+    /// e.g. across a crash/recovery boundary).
+    pub fn set_change_tracking(&mut self, on: bool) {
+        self.track_changes = on;
+        self.changes = None;
+    }
+
+    /// `true` while structural change recording is on.
+    #[must_use]
+    pub fn change_tracking(&self) -> bool {
+        self.track_changes
+    }
+
+    /// Drains the structural change log recorded since the previous drain
+    /// (or since tracking was enabled).
+    ///
+    /// Returns `None` when the log is not continuously valid — tracking is
+    /// off, or an untrackable operation (invariant [`Self::repair`])
+    /// rewrote bubbles wholesale since the last drain. A `None` obliges
+    /// the consumer to treat *every* slot as changed; it is never silently
+    /// wrong. After a `None` with tracking on, recording resumes with a
+    /// fresh valid log.
+    pub fn take_changes(&mut self) -> Option<Vec<BubbleChange>> {
+        if !self.track_changes {
+            return None;
+        }
+        let drained = self.changes.take();
+        self.changes = Some(Vec::new());
+        drained
+    }
+
+    /// Appends to the change log when tracking is on and the log is valid.
+    fn record_change(&mut self, change: BubbleChange) {
+        if let Some(log) = self.changes.as_mut() {
+            log.push(change);
+        }
+    }
+
+    /// Marks the change log invalid until the next drain (an operation
+    /// mutated bubbles in a way the log cannot describe precisely).
+    fn invalidate_changes(&mut self) {
+        if self.track_changes {
+            self.changes = None;
+        }
     }
 
     /// Folds a search-stats delta into the per-engine
@@ -378,6 +464,7 @@ impl IncrementalBubbles {
         b.members_mut().push(id);
         b.stats_mut().add(p);
         self.assign[slot] = bubble as u32;
+        self.record_change(BubbleChange::Touched(bubble as u32));
     }
 
     /// Detaches a point from its bubble (O(1) swap-remove), returning the
@@ -439,6 +526,7 @@ impl IncrementalBubbles {
         assert_eq!(p.len(), self.dim, "point dimensionality mismatch");
         let bubble = self.detach(id);
         self.bubbles[bubble].stats_mut().remove(p);
+        self.record_change(BubbleChange::Touched(bubble as u32));
         self.total_points -= 1;
         self.obs.emit(
             EventKind::Delete {
@@ -596,6 +684,7 @@ impl IncrementalBubbles {
         let timer = self.obs.start();
         let members = self.bubbles[donor].take_members();
         self.bubbles[donor].stats_mut().clear();
+        self.record_change(BubbleChange::Touched(donor as u32));
         let released = members.len() as u64;
         let mut flat = Vec::with_capacity(members.len() * self.dim);
         for &id in &members {
@@ -644,6 +733,8 @@ impl IncrementalBubbles {
         let timer = self.obs.start();
         let members = self.bubbles[over].take_members();
         self.bubbles[over].stats_mut().clear();
+        self.record_change(BubbleChange::Touched(over as u32));
+        self.record_change(BubbleChange::Touched(donor as u32));
         debug_assert!(members.len() >= 2, "split requires at least two members");
 
         // Seed 1: a random member, repositioning the donor (Figure 6:
@@ -840,6 +931,7 @@ impl IncrementalBubbles {
         let new_idx = self.seeds.push(&placeholder);
         self.bubbles.push(Bubble::new(placeholder));
         debug_assert_eq!(new_idx, self.bubbles.len() - 1);
+        self.record_change(BubbleChange::Pushed);
         // Journal the growth *before* the split so the journal checker can
         // pair the split with the event that created its donor slot.
         self.obs.emit(
@@ -870,6 +962,7 @@ impl IncrementalBubbles {
         self.merge_away(i, store, search, Cause::Retire);
         self.bubbles.swap_remove(i);
         self.seeds.swap_remove(i);
+        self.record_change(BubbleChange::SwapRemoved(i as u32));
         // The swap-remove invalidates two indices: `i` itself (retired)
         // and the former last index (now living at `i`). The warm-start
         // hint must follow the same remapping, or a later insert would
@@ -997,6 +1090,10 @@ impl IncrementalBubbles {
             // Snapshot decoding starts silent; recovery installs the live
             // handle before replaying the WAL tail.
             obs: Obs::disabled(),
+            // A decoded maintainer has no change history; a consumer that
+            // re-enables tracking starts from a full recompute anyway.
+            track_changes: false,
+            changes: None,
         }
     }
 
@@ -1306,6 +1403,10 @@ impl IncrementalBubbles {
         if issues.is_empty() {
             return RepairReport::default();
         }
+        // Repair rewrites bubbles wholesale (drains, reseeds, reattaches);
+        // the change log cannot describe that precisely, so consumers must
+        // fall back to a full recompute.
+        self.invalidate_changes();
         let mut report = RepairReport {
             issues_found: issues.len(),
             ..RepairReport::default()
@@ -1423,6 +1524,7 @@ impl IncrementalBubbles {
     pub fn corrupt_stats(&mut self, bubble: usize, n: u64, ls: Vec<f64>, ss: f64) {
         *self.bubbles[bubble].stats_mut() =
             crate::stats::SufficientStats::from_raw_parts(n, ls, ss);
+        self.record_change(BubbleChange::Touched(bubble as u32));
     }
 
     /// Overwrites one assignment-table entry (test sabotage hook).

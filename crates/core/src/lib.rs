@@ -49,7 +49,9 @@ pub mod stats;
 pub use bubble::{Bubble, DataSummary};
 pub use config::{MaintainerConfig, Parallelism, QualityKind, SeedSearch, SplitSeedPolicy};
 pub use error::{AuditError, AuditIssue, AuditReport, RepairReport, UpdateError};
-pub use incremental::{AdaptivePolicy, AdaptiveReport, IncrementalBubbles, MaintenanceReport};
+pub use incremental::{
+    AdaptivePolicy, AdaptiveReport, BubbleChange, IncrementalBubbles, MaintenanceReport,
+};
 pub use quality::{chebyshev_k, BubbleClass, Classification};
 pub use recovery::{
     decode_checkpoint, encode_checkpoint, recover, recover_with_obs, CheckpointStore,

@@ -1,0 +1,50 @@
+//! Delta-maintained clustering with typed subscription deltas.
+//!
+//! The maintainer crates keep the *summarization* incremental: data
+//! bubbles absorb inserts and deletes in sub-linear time. But every
+//! epoch the service layers still re-cluster from scratch — a full
+//! O(s²) pairwise pass over all `s` bubbles plus a full tree
+//! extraction, even when a batch touched three of them. This crate
+//! closes that gap: it consumes the maintainer's structural change
+//! stream ([`idb_core::BubbleChange`]) and incrementally repairs only
+//! the touched reachability neighborhoods, re-extracting the cluster
+//! tree through the component cache. The results are **bit-identical**
+//! to the from-scratch pipeline on every epoch — incremental
+//! bookkeeping decides what to *recompute*, never what the values are —
+//! and the differential suite in `tests/equivalence.rs` proves it
+//! across every dynamic scenario, engine, parallelism mode and
+//! partition count.
+//!
+//! On top of the maintained tree sits a subscription layer: clients
+//! register an [`Interest`] (the whole tree, one subtree, or a
+//! predicate) and receive typed [`ClusterDelta`]s — [`ClusterDelta::Born`],
+//! [`ClusterDelta::Split`], [`ClusterDelta::Absorbed`],
+//! [`ClusterDelta::MembershipChanged`], [`ClusterDelta::Retired`] —
+//! with **stable cluster ids**: a cluster that persists across epochs
+//! keeps its [`ClusterId`] even as its members drift, so downstream
+//! consumers can track "their" cluster through churn. Replaying the
+//! full delta stream into a [`TreeReplica`] reconstructs the hierarchy
+//! exactly (`tests/subscriptions.rs`).
+//!
+//! Entry points:
+//!
+//! * [`DeltaEngine::maintainer_epoch`] — one unsharded
+//!   [`idb_core::IncrementalBubbles`];
+//! * [`router_epoch`] — every partition of an
+//!   [`idb_shard::ShardRouter`], merged in partition order,
+//!   bit-identical to the router's own cross-partition pass;
+//! * [`DeltaEngine::epoch`] — explicit domains and change logs, for
+//!   anything else.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deltas;
+mod engine;
+mod sharded;
+mod subscribe;
+
+pub use deltas::{ClusterDelta, ClusterId, TreeReplica};
+pub use engine::{DeltaEngine, DeltaParams, EpochReport};
+pub use sharded::router_epoch;
+pub use subscribe::{Interest, SubscriptionId, VersionedDelta};

@@ -20,6 +20,14 @@ fn pairs(n: u64) -> f64 {
     (n as f64) * (n as f64 - 1.0) / 2.0
 }
 
+/// `Σ pairs(count)` over a contingency map, accumulated in ascending key
+/// order so the floating-point sum is deterministic.
+fn sorted_pair_sum<K: Ord + Copy>(counts: &HashMap<K, u64>) -> f64 {
+    let mut entries: Vec<(K, u64)> = counts.iter().map(|(&k, &v)| (k, v)).collect();
+    entries.sort_unstable_by_key(|&(k, _)| k);
+    entries.iter().map(|&(_, c)| pairs(c)).sum()
+}
+
 /// Adjusted Rand Index between the store's ground-truth classes and the
 /// given clusters, over the points that are in both a class and a cluster.
 ///
@@ -49,9 +57,11 @@ pub fn adjusted_rand_index(store: &PointStore, clusters: &[Vec<u64>]) -> f64 {
         return 0.0;
     }
 
-    let sum_ij: f64 = cont.values().map(|&c| pairs(c)).sum();
-    let sum_a: f64 = class_totals.values().map(|&c| pairs(c)).sum();
-    let sum_b: f64 = cluster_totals.values().map(|&c| pairs(c)).sum();
+    // Float sums must run in key order, not HashMap iteration order, or
+    // the result flips last bits from run to run.
+    let sum_ij: f64 = sorted_pair_sum(&cont);
+    let sum_a: f64 = sorted_pair_sum(&class_totals);
+    let sum_b: f64 = sorted_pair_sum(&cluster_totals);
     let total_pairs = pairs(n);
     let expected = sum_a * sum_b / total_pairs;
     let max_index = 0.5 * (sum_a + sum_b);

@@ -46,6 +46,8 @@ pub struct JournalSummary {
     pub wal_commits: u64,
     /// Checkpoints persisted.
     pub checkpoints: u64,
+    /// Delta-clustering epochs.
+    pub delta_epochs: u64,
 }
 
 /// Checks the journal invariants over `events`, returning aggregate
@@ -115,6 +117,14 @@ pub fn check_journal(events: &[Event]) -> Result<JournalSummary, String> {
                 }
             }
             EventKind::Checkpoint { .. } => summary.checkpoints += 1,
+            EventKind::DeltaEpoch { touched, total, .. } => {
+                summary.delta_epochs += 1;
+                if touched > total {
+                    return Err(format!(
+                        "event {i}: delta_epoch touched {touched} of only {total} slots"
+                    ));
+                }
+            }
             _ => {}
         }
         if ev.kind.is_structural() {
@@ -295,6 +305,32 @@ mod tests {
             records: 0,
         })];
         assert!(check_journal(&events).is_err());
+    }
+
+    #[test]
+    fn delta_epochs_are_counted_and_bounded() {
+        let events = vec![
+            ev(EventKind::DeltaEpoch {
+                touched: 2,
+                total: 9,
+                deltas: 1,
+            }),
+            ev(EventKind::DeltaEpoch {
+                touched: 9,
+                total: 9,
+                deltas: 0,
+            }),
+        ];
+        let summary = check_journal(&events).expect("well-formed");
+        assert_eq!(summary.delta_epochs, 2);
+
+        let bad = vec![ev(EventKind::DeltaEpoch {
+            touched: 10,
+            total: 9,
+            deltas: 0,
+        })];
+        let err = check_journal(&bad).unwrap_err();
+        assert!(err.contains("touched 10 of only 9"), "{err}");
     }
 
     #[test]

@@ -235,6 +235,28 @@ pub enum EventKind {
         /// `true` on entering quarantine, `false` on release.
         entered: bool,
     },
+    /// One delta-clustering epoch finished: the incremental layer
+    /// refreshed only the touched distance neighborhoods and diffed the
+    /// resulting cluster tree against the previous epoch.
+    DeltaEpoch {
+        /// Bubble slots whose distance neighborhood was recomputed.
+        touched: u32,
+        /// Total tracked bubble slots a full recompute would have
+        /// touched.
+        total: u32,
+        /// Typed cluster deltas emitted to subscribers this epoch.
+        deltas: u32,
+    },
+    /// A client registered a cluster-delta subscription.
+    DeltaSubscribe {
+        /// The subscription's id.
+        id: u64,
+    },
+    /// A client cancelled a cluster-delta subscription.
+    DeltaUnsubscribe {
+        /// The subscription's id.
+        id: u64,
+    },
 }
 
 impl EventKind {
@@ -263,6 +285,9 @@ impl EventKind {
             EventKind::Health { .. } => "health",
             EventKind::SinkFault { .. } => "sink_fault",
             EventKind::Quarantine { .. } => "quarantine",
+            EventKind::DeltaEpoch { .. } => "delta_epoch",
+            EventKind::DeltaSubscribe { .. } => "delta_subscribe",
+            EventKind::DeltaUnsubscribe { .. } => "delta_unsubscribe",
         }
     }
 
@@ -451,6 +476,18 @@ impl Event {
                 s.push_str(",\"entered\":");
                 s.push_str(if *entered { "true" } else { "false" });
             }
+            EventKind::DeltaEpoch {
+                touched,
+                total,
+                deltas,
+            } => {
+                num(&mut s, "touched", u64::from(*touched));
+                num(&mut s, "total", u64::from(*total));
+                num(&mut s, "deltas", u64::from(*deltas));
+            }
+            EventKind::DeltaSubscribe { id } | EventKind::DeltaUnsubscribe { id } => {
+                num(&mut s, "id", *id);
+            }
         }
         num(&mut s, "us", self.us);
         s.push('}');
@@ -559,6 +596,13 @@ impl Event {
             "quarantine" => EventKind::Quarantine {
                 entered: get_bool("entered")?,
             },
+            "delta_epoch" => EventKind::DeltaEpoch {
+                touched: get_u32("touched")?,
+                total: get_u32("total")?,
+                deltas: get_u32("deltas")?,
+            },
+            "delta_subscribe" => EventKind::DeltaSubscribe { id: get_u64("id")? },
+            "delta_unsubscribe" => EventKind::DeltaUnsubscribe { id: get_u64("id")? },
             _ => return None,
         };
         Some(Event {
@@ -724,6 +768,16 @@ mod tests {
             Event::new(EventKind::SinkFault { op: SinkOp::Sync }, 0),
             Event::new(EventKind::Quarantine { entered: true }, 0),
             Event::new(EventKind::Quarantine { entered: false }, 7),
+            Event::new(
+                EventKind::DeltaEpoch {
+                    touched: 3,
+                    total: 40,
+                    deltas: 5,
+                },
+                150,
+            ),
+            Event::new(EventKind::DeltaSubscribe { id: 2 }, 0),
+            Event::new(EventKind::DeltaUnsubscribe { id: 2 }, 1),
         ]
     }
 

@@ -74,9 +74,18 @@
 //! summaries and cluster orderings (see the "Sharding" section of the
 //! README).
 //!
+//! Re-clustering from scratch every epoch wastes the work the
+//! maintainer just saved; the [`delta`] layer keeps the *clustering*
+//! incremental too. A [`delta::DeltaEngine`] consumes the maintainer's
+//! structural change stream, recomputes only the touched distance
+//! neighborhoods and changed tree components, and emits typed
+//! [`delta::ClusterDelta`]s with stable cluster ids to registered
+//! subscriptions — bit-identical to the from-scratch pipeline on every
+//! epoch (see the "Delta clustering" section of the README).
+//!
 //! The individual layers are re-exported as modules: [`geometry`],
 //! [`store`], [`synth`], [`core`], [`clustering`], [`birch`], [`eval`],
-//! [`obs`], [`shard`].
+//! [`obs`], [`shard`], [`delta`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -84,6 +93,7 @@
 pub use idb_birch as birch;
 pub use idb_clustering as clustering;
 pub use idb_core as core;
+pub use idb_delta as delta;
 pub use idb_eval as eval;
 pub use idb_geometry as geometry;
 pub use idb_obs as obs;
@@ -105,6 +115,10 @@ pub mod prelude {
         DurabilityConfig, DurableMaintainer, FsCheckpoints, Health, IncrementalBubbles,
         MaintainerConfig, MemCheckpoints, QualityKind, Recovered, RecoveryError, RepairReport,
         SeedSearch, SplitSeedPolicy, SufficientStats, UpdateError,
+    };
+    pub use idb_delta::{
+        router_epoch, ClusterDelta, ClusterId, DeltaEngine, DeltaParams, EpochReport, Interest,
+        SubscriptionId, TreeReplica, VersionedDelta,
     };
     pub use idb_eval::{compactness_per_point, fscore, Aggregate};
     pub use idb_geometry::SearchStats;
