@@ -16,7 +16,9 @@
 # and subscription suites with journaling on plus the delta report's
 # savings floor (DESIGN.md §14) — the differential and durability
 # suites once more with JSONL journaling on (DESIGN.md §12), every
-# emitted journal validated by the journal_check tool — clippy across the whole
+# emitted journal validated by the journal_check tool — the kernel report
+# with its 1.5x speedup floor plus a guarded target-cpu=native re-run of
+# the kernel-sensitive suites (DESIGN.md §15) — clippy across the whole
 # workspace with warnings promoted to errors, a formatting check, and a
 # compile check of the criterion benches.
 #
@@ -95,6 +97,25 @@ IDB_OBS=jsonl cargo test $CARGOFLAGS -q -p idb-core --test differential
 IDB_OBS=jsonl cargo test $CARGOFLAGS -q -p idb-core --test crash_consistency
 IDB_OBS=jsonl cargo test $CARGOFLAGS -q -p idb-core --test fault_injection
 cargo run $CARGOFLAGS --release -q -p idb-bench --bin journal_check -- "$IDB_OBS_DIR"
+# Kernel & memory layout (DESIGN.md §15): the kernel report measures the
+# canonical 4-lane kernels against the retained metric::scalar baseline
+# and fails below the 1.5x speedup floor at d >= 64; its self-checks also
+# exercise the incremental matrix/order-repair counters end to end.
+KERNEL_SMOKE_DIR="$(mktemp -d)"
+# shellcheck disable=SC2086
+cargo run $CARGOFLAGS --release -q -p idb-bench --bin kernel_report -- "$KERNEL_SMOKE_DIR/BENCH_kernel_smoke.json"
+rm -rf "$KERNEL_SMOKE_DIR"
+# Bit-identity must survive wider codegen: re-run the kernel property
+# suite and the re-baseline audit with the host's full instruction set.
+# Guarded — skipped with a notice when the toolchain/target rejects the
+# flag (e.g. cross-compilation or unsupported CPUs).
+if RUSTFLAGS="-C target-cpu=native" cargo check $CARGOFLAGS -q -p idb-geometry 2>/dev/null; then
+    RUSTFLAGS="-C target-cpu=native" cargo test $CARGOFLAGS -q -p idb-geometry --test kernels
+    RUSTFLAGS="-C target-cpu=native" cargo test $CARGOFLAGS -q -p idb-geometry --test differential
+    RUSTFLAGS="-C target-cpu=native" cargo test $CARGOFLAGS -q -p idb-delta --test rebaseline_audit
+else
+    echo "ci: target-cpu=native unsupported here; skipping native-codegen pass"
+fi
 # Lint every workspace crate's lib, bins and tests (bench targets need
 # the real criterion crate and are compile-checked separately below).
 cargo clippy $CARGOFLAGS --workspace --lib --bins --tests -- -D warnings

@@ -60,7 +60,8 @@ pub use kmeans::{kmeans_points, kmeans_summaries, kmeans_weighted, KMeansResult}
 pub use merged::{merge_domains, optics_merged, MergedBubbles, MergedRef};
 pub use optics::optics_points;
 pub use optics_bubbles::{
-    bubble_distance, optics_bubbles, optics_bubbles_with, optics_from_matrix, BubbleOrdering,
+    bubble_distance, bubble_distance_flat, optics_bubbles, optics_bubbles_with, optics_from_matrix,
+    optics_from_matrix_with_scratch, BubbleOrdering, OpticsScratch, SummaryParts,
 };
 pub use pair_cache::PairCache;
 pub use reachability::{PlotEntry, ReachabilityPlot};

@@ -27,8 +27,9 @@
 use crate::reachability::ReachabilityPlot;
 use idb_core::DataSummary;
 use idb_geometry::parallel::run_chunks;
-use idb_geometry::{dist, Parallelism};
+use idb_geometry::{dist, Parallelism, SeedBlock};
 use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// Distance between two non-empty data summaries.
 ///
@@ -37,12 +38,84 @@ use std::cmp::Ordering;
 #[must_use]
 pub fn bubble_distance<S: DataSummary>(a: &S, b: &S) -> f64 {
     debug_assert!(a.n() > 0 && b.n() > 0, "distance of empty summaries");
-    let d = dist(&a.rep(), &b.rep());
-    let gap = d - (a.extent() + b.extent());
+    bubble_distance_flat(
+        &a.rep(),
+        a.extent(),
+        a.nn_dist(1),
+        &b.rep(),
+        b.extent(),
+        b.nn_dist(1),
+    )
+}
+
+/// [`bubble_distance`] over pre-extracted summary parts: representative
+/// coordinates, extent and `nnDist(1)` of each side.
+///
+/// The `O(s²)` matrix-fill passes (here and in the delta layer's
+/// `PairCache`) extract each live summary's parts **once** into a flat
+/// [`SeedBlock`] and two `Vec<f64>`s, then call this per pair — the
+/// trait's `rep()` allocates a fresh `Vec` per call, which at `s²` pairs
+/// per epoch dominated the fill. Same floating-point operations in the
+/// same order as [`bubble_distance`], so the value is bit-identical.
+#[inline]
+#[must_use]
+pub fn bubble_distance_flat(ra: &[f64], ea: f64, na: f64, rb: &[f64], eb: f64, nb: f64) -> f64 {
+    let d = dist(ra, rb);
+    let gap = d - (ea + eb);
     if gap >= 0.0 {
-        gap + a.nn_dist(1) + b.nn_dist(1)
+        gap + na + nb
     } else {
-        a.nn_dist(1).max(b.nn_dist(1))
+        na.max(nb)
+    }
+}
+
+/// Extracted parts of the live summaries: dimension-strided representative
+/// block plus per-summary extent and `nnDist(1)` arrays, aligned with the
+/// `live` index list they were extracted from.
+#[derive(Debug, Clone)]
+pub struct SummaryParts {
+    /// Representative coordinates, one row per live summary.
+    pub reps: SeedBlock,
+    /// `extent()` per live summary.
+    pub extents: Vec<f64>,
+    /// `nn_dist(1)` per live summary.
+    pub nn1: Vec<f64>,
+}
+
+impl SummaryParts {
+    /// Extracts the parts of `summaries[live[..]]` (each must be
+    /// non-empty) for a flat pairwise-distance pass.
+    pub fn extract<S: DataSummary>(summaries: &[S], live: &[usize]) -> Self {
+        let dim = live
+            .first()
+            .map_or(1, |&i| summaries[i].dim().max(1))
+            .max(1);
+        let mut parts = Self {
+            reps: SeedBlock::with_capacity(dim, live.len()),
+            extents: Vec::with_capacity(live.len()),
+            nn1: Vec::with_capacity(live.len()),
+        };
+        for &idx in live {
+            let s = &summaries[idx];
+            parts.reps.push(&s.rep());
+            parts.extents.push(s.extent());
+            parts.nn1.push(s.nn_dist(1));
+        }
+        parts
+    }
+
+    /// [`bubble_distance_flat`] between live rows `i` and `j`.
+    #[inline]
+    #[must_use]
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        bubble_distance_flat(
+            self.reps.get(i),
+            self.extents[i],
+            self.nn1[i],
+            self.reps.get(j),
+            self.extents[j],
+            self.nn1[j],
+        )
     }
 }
 
@@ -175,16 +248,20 @@ pub fn optics_bubbles_with<S: DataSummary + Sync>(
         };
     }
 
-    // Dense pairwise distance matrix over the live summaries. Workers fill
-    // disjoint upper-triangle rows; the lower triangle is mirrored once the
-    // chunks are back in row order.
+    // Dense pairwise distance matrix over the live summaries. The parts of
+    // every live summary are extracted once into a flat block (rep() is an
+    // allocating trait call — O(s) extractions instead of O(s²)); workers
+    // fill disjoint upper-triangle rows from the block, and the lower
+    // triangle is mirrored once the chunks are back in row order.
+    let parts = SummaryParts::extract(summaries, &live);
+    let parts = &parts;
     let rows: Vec<usize> = (0..s).collect();
     let row_chunks = run_chunks(&rows, par.effective_threads(), |chunk| {
         chunk
             .iter()
             .map(|&i| {
                 ((i + 1)..s)
-                    .map(|j| bubble_distance(&summaries[live[i]], &summaries[live[j]]))
+                    .map(|j| parts.distance(i, j))
                     .collect::<Vec<f64>>()
             })
             .collect::<Vec<Vec<f64>>>()
@@ -223,6 +300,45 @@ pub fn optics_from_matrix<S: DataSummary>(
     eps: f64,
     min_pts: usize,
 ) -> BubbleOrdering {
+    optics_from_matrix_with_scratch(
+        summaries,
+        live,
+        pair,
+        eps,
+        min_pts,
+        &mut OpticsScratch::default(),
+    )
+}
+
+/// Reusable working memory for [`optics_from_matrix_with_scratch`]: the
+/// processed flags, reachability array, candidate heap and neighbour list
+/// the expansion needs. A caller that re-runs the expansion every epoch
+/// (the delta clustering engine) holds one and reuses the allocations;
+/// the scratch never carries results between runs — every buffer is
+/// reset on entry.
+#[derive(Debug, Clone, Default)]
+pub struct OpticsScratch {
+    processed: Vec<bool>,
+    reach: Vec<f64>,
+    heap: BinaryHeap<Seed>,
+    neigh: Vec<(usize, f64)>,
+}
+
+/// [`optics_from_matrix`] with caller-owned scratch memory; the returned
+/// ordering is bit-identical.
+///
+/// # Panics
+/// Panics if `min_pts == 0`, if `pair.len() != live.len()²`, or (in debug
+/// builds) if a listed summary is empty.
+#[must_use]
+pub fn optics_from_matrix_with_scratch<S: DataSummary>(
+    summaries: &[S],
+    live: &[usize],
+    pair: &[f64],
+    eps: f64,
+    min_pts: usize,
+    scratch: &mut OpticsScratch,
+) -> BubbleOrdering {
     assert!(min_pts > 0, "min_pts must be positive");
     let s = live.len();
     assert_eq!(pair.len(), s * s, "matrix must be dense over `live`");
@@ -259,15 +375,23 @@ pub fn optics_from_matrix<S: DataSummary>(
         f64::INFINITY
     };
 
-    let mut processed = vec![false; s];
-    let mut reach = vec![f64::INFINITY; s];
-    let mut heap = std::collections::BinaryHeap::new();
-    let mut neigh: Vec<(usize, f64)> = Vec::with_capacity(s);
+    let OpticsScratch {
+        processed,
+        reach,
+        heap,
+        neigh,
+    } = scratch;
+    processed.clear();
+    processed.resize(s, false);
+    reach.clear();
+    reach.resize(s, f64::INFINITY);
+    heap.clear();
+    neigh.clear();
 
     let expand = |i: usize,
                   processed: &[bool],
                   reach: &mut Vec<f64>,
-                  heap: &mut std::collections::BinaryHeap<Seed>,
+                  heap: &mut BinaryHeap<Seed>,
                   neigh: &mut Vec<(usize, f64)>| {
         neigh.clear();
         for j in 0..s {
@@ -309,7 +433,7 @@ pub fn optics_from_matrix<S: DataSummary>(
         ordering
             .virtual_reachability
             .push(summaries[live[start]].nn_dist(min_pts));
-        expand(start, &processed, &mut reach, &mut heap, &mut neigh);
+        expand(start, processed, reach, heap, neigh);
 
         while let Some(Seed { reach: r, idx }) = heap.pop() {
             let i = idx as usize;
@@ -322,7 +446,7 @@ pub fn optics_from_matrix<S: DataSummary>(
             ordering
                 .virtual_reachability
                 .push(summaries[live[i]].nn_dist(min_pts));
-            expand(i, &processed, &mut reach, &mut heap, &mut neigh);
+            expand(i, processed, reach, heap, neigh);
         }
     }
     ordering

@@ -19,7 +19,7 @@
 //! delta-clustering equivalence suites assert over every dynamic
 //! scenario.
 
-use crate::optics_bubbles::bubble_distance;
+use crate::optics_bubbles::bubble_distance_flat;
 use idb_core::DataSummary;
 use idb_geometry::parallel::run_chunks;
 use idb_geometry::Parallelism;
@@ -45,6 +45,23 @@ pub struct PairCache {
     rows: Vec<Vec<f64>>,
     /// Slots whose summary changed since the last refresh.
     dirty: Vec<bool>,
+    /// Reusable per-refresh working memory (summary parts, dirty list);
+    /// never carries state between refreshes.
+    scratch: RefreshScratch,
+}
+
+/// Reusable buffers for [`PairCache::refresh`]: the per-slot summary parts
+/// (representatives in one dimension-strided flat buffer, extents,
+/// `nnDist(1)`, emptiness flags) extracted once per refresh — `rep()` is an
+/// allocating trait call, so extracting per *slot* instead of per *pair*
+/// removes the `O(s²)` allocation churn — plus the dirty-slot list.
+#[derive(Debug, Clone, Default)]
+struct RefreshScratch {
+    reps: Vec<f64>,
+    extents: Vec<f64>,
+    nn1: Vec<f64>,
+    empty: Vec<bool>,
+    dirty_rows: Vec<usize>,
 }
 
 impl PairCache {
@@ -128,46 +145,106 @@ impl PairCache {
     pub fn refresh<S: DataSummary + Sync>(&mut self, summaries: &[S], par: Parallelism) -> usize {
         let s = self.rows.len();
         assert_eq!(summaries.len(), s, "summary slice must cover every slot");
-        let dirty_rows: Vec<usize> = (0..s).filter(|&i| self.dirty[i]).collect();
-        if dirty_rows.is_empty() {
+        let scratch = &mut self.scratch;
+        scratch.dirty_rows.clear();
+        scratch.dirty_rows.extend((0..s).filter(|&i| self.dirty[i]));
+        if scratch.dirty_rows.is_empty() {
             return 0;
         }
+        // Extract every slot's summary parts once (a dirty slot's row
+        // touches all slots): rep() allocates per call, so per-slot
+        // extraction into the flat scratch replaces O(s · dirty) trait
+        // allocations inside the pair loop.
+        let dim = summaries.iter().find(|x| x.n() > 0).map_or(1, |x| x.dim());
+        scratch.reps.clear();
+        scratch.extents.clear();
+        scratch.nn1.clear();
+        scratch.empty.clear();
+        for x in summaries {
+            if x.n() == 0 {
+                scratch.empty.push(true);
+                let pad = scratch.reps.len() + dim;
+                scratch.reps.resize(pad, 0.0);
+                scratch.extents.push(0.0);
+                scratch.nn1.push(0.0);
+            } else {
+                scratch.empty.push(false);
+                scratch.reps.extend_from_slice(&x.rep());
+                scratch.extents.push(x.extent());
+                scratch.nn1.push(x.nn_dist(1));
+            }
+        }
+        let (reps, extents, nn1, empty) = (
+            &scratch.reps,
+            &scratch.extents,
+            &scratch.nn1,
+            &scratch.empty,
+        );
+        // Bit-identical to bubble_distance over the original summaries:
+        // same parts, same operations, same order.
+        let pairwise = |a: usize, b: usize| {
+            if empty[a] || empty[b] {
+                f64::NAN
+            } else {
+                bubble_distance_flat(
+                    &reps[a * dim..(a + 1) * dim],
+                    extents[a],
+                    nn1[a],
+                    &reps[b * dim..(b + 1) * dim],
+                    extents[b],
+                    nn1[b],
+                )
+            }
+        };
         // For each dirty slot i: its outgoing row d(i, ·) and incoming
         // column d(·, i).
-        let computed = run_chunks(&dirty_rows, par.effective_threads(), |chunk| {
-            chunk
+        if par.effective_threads() == 1 {
+            // Serial path: write rows and columns in place — no per-slot
+            // row/column buffers at all.
+            for &i in &scratch.dirty_rows {
+                for j in 0..s {
+                    self.rows[i][j] = if j == i { 0.0 } else { pairwise(i, j) };
+                }
+                for j in 0..s {
+                    if j != i {
+                        // A dirty j's own row write carries the same pure
+                        // value, so overwrite order cannot matter.
+                        self.rows[j][i] = pairwise(j, i);
+                    }
+                }
+            }
+        } else {
+            let computed = run_chunks(&scratch.dirty_rows, par.effective_threads(), |chunk| {
+                chunk
+                    .iter()
+                    .map(|&i| {
+                        let row: Vec<f64> = (0..s)
+                            .map(|j| if j == i { 0.0 } else { pairwise(i, j) })
+                            .collect();
+                        let col: Vec<f64> = (0..s)
+                            .map(|j| if j == i { 0.0 } else { pairwise(j, i) })
+                            .collect();
+                        (row, col)
+                    })
+                    .collect::<Vec<(Vec<f64>, Vec<f64>)>>()
+            });
+            for (&i, (row, col)) in scratch
+                .dirty_rows
                 .iter()
-                .map(|&i| {
-                    let pairwise = |a: usize, b: usize| {
-                        if summaries[a].n() == 0 || summaries[b].n() == 0 {
-                            f64::NAN
-                        } else {
-                            bubble_distance(&summaries[a], &summaries[b])
-                        }
-                    };
-                    let row: Vec<f64> = (0..s)
-                        .map(|j| if j == i { 0.0 } else { pairwise(i, j) })
-                        .collect();
-                    let col: Vec<f64> = (0..s)
-                        .map(|j| if j == i { 0.0 } else { pairwise(j, i) })
-                        .collect();
-                    (row, col)
-                })
-                .collect::<Vec<(Vec<f64>, Vec<f64>)>>()
-        });
-        for (&i, (row, col)) in dirty_rows.iter().zip(computed.into_iter().flatten()) {
-            self.rows[i] = row;
-            for (j, v) in col.into_iter().enumerate() {
-                if j != i {
-                    // A dirty j's own row write carries the same pure value.
-                    self.rows[j][i] = v;
+                .zip(computed.into_iter().flatten())
+            {
+                self.rows[i] = row;
+                for (j, v) in col.into_iter().enumerate() {
+                    if j != i {
+                        self.rows[j][i] = v;
+                    }
                 }
             }
         }
         for d in &mut self.dirty {
             *d = false;
         }
-        dirty_rows.len()
+        scratch.dirty_rows.len()
     }
 
     /// The dense sub-matrix over the slots in `order`, laid out exactly
@@ -202,6 +279,7 @@ impl PairCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::optics_bubbles::bubble_distance;
     use idb_core::SufficientStats;
 
     #[derive(Debug, Clone)]

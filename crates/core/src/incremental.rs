@@ -37,7 +37,9 @@ use crate::config::{MaintainerConfig, Parallelism, SplitSeedPolicy};
 use crate::error::{AuditError, AuditIssue, AuditReport, RepairReport, UpdateError};
 use crate::quality::{classify, Classification};
 use idb_geometry::parallel::run_chunks;
-use idb_geometry::{dist, NearestSeeds, SearchMetrics, SearchStats};
+use idb_geometry::{
+    dist, MatrixStats, NearestSeeds, RepairMetrics, RepairStats, SearchMetrics, SearchStats,
+};
 use idb_obs::{Cause, EventKind, Obs};
 use idb_store::{Batch, PointId, PointStore};
 use rand::Rng;
@@ -145,6 +147,28 @@ pub enum BubbleChange {
     SwapRemoved(u32),
 }
 
+/// Reusable per-batch working memory for the dynamic paths (DESIGN.md §15).
+///
+/// Every buffer is logically empty between operations — only the backing
+/// capacity persists, so after the first few batches of a steady-state
+/// stream the hot paths (batch application, merge-away drains, splits)
+/// allocate nothing. Purely an optimization: the scratch never carries
+/// state across calls, is excluded from snapshots, and a `Default` (empty)
+/// scratch yields bit-identical results.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Flat coordinate staging for batched nearest-seed queries.
+    flat: Vec<f64>,
+    /// Warm-start hint per query (one repeated seed for drain batches).
+    hints: Vec<u32>,
+    /// `(bubble, distance)` results of a batched nearest-seed search.
+    targets: Vec<(u32, f64)>,
+    /// Single-point coordinate staging (the delete path).
+    coords: Vec<f64>,
+    /// Per-member half choice of a split redistribution.
+    halves: Vec<bool>,
+}
+
 /// A maintained population of data bubbles over a [`PointStore`].
 #[derive(Debug, Clone)]
 pub struct IncrementalBubbles {
@@ -172,6 +196,8 @@ pub struct IncrementalBubbles {
     /// The recorded change log; `None` while invalidated (an untrackable
     /// operation — invariant repair — happened since the last drain).
     changes: Option<Vec<BubbleChange>>,
+    /// Reusable working memory for the dynamic paths. Never semantic.
+    scratch: Scratch,
 }
 
 impl IncrementalBubbles {
@@ -222,6 +248,7 @@ impl IncrementalBubbles {
             obs,
             track_changes: false,
             changes: None,
+            scratch: Scratch::default(),
         };
         let mut ids = Vec::with_capacity(store.len());
         let mut flat = Vec::with_capacity(store.len() * dim);
@@ -237,6 +264,9 @@ impl IncrementalBubbles {
             this.total_points += 1;
         }
         this.observe_search(ids.len() as u64, &search.delta_since(&before), timer.us());
+        // A fresh `NearestSeeds` starts with zeroed accounting, so the
+        // zero snapshot attributes exactly the initial seed pushes.
+        this.observe_repair(MatrixStats::default(), RepairStats::default());
         this.obs.emit(
             EventKind::Build {
                 points: this.total_points,
@@ -292,6 +322,29 @@ impl IncrementalBubbles {
             self.config.parallelism,
             search,
         )
+    }
+
+    /// [`Self::batch_targets`] writing into a caller-owned buffer — the
+    /// allocation-free variant the steady-state paths feed their scratch
+    /// arena through. Results and accounting are bit-identical.
+    fn batch_targets_into(
+        &self,
+        queries: &[f64],
+        exclude: Option<usize>,
+        hints: Option<&[u32]>,
+        search: &mut SearchStats,
+        out: &mut Vec<(u32, f64)>,
+    ) {
+        let hints = if self.config.warm_start { hints } else { None };
+        self.seeds.nearest_batch_into(
+            queries,
+            exclude,
+            self.config.seed_search,
+            hints,
+            self.config.parallelism,
+            search,
+            out,
+        );
     }
 
     /// The configuration in effect.
@@ -378,10 +431,37 @@ impl IncrementalBubbles {
             .observe(queries, delta, us);
     }
 
+    /// Folds the seed-set structural accounting accumulated since the given
+    /// snapshots into the `repair.<engine>.*` metric family, when metrics
+    /// are on. Call sites snapshot immediately before the leaf mutations
+    /// (seed pushes, replacements, removals) so nested phases never double
+    /// count.
+    fn observe_repair(&self, matrix_before: MatrixStats, repair_before: RepairStats) {
+        if !self.obs.metrics_on() {
+            return;
+        }
+        let matrix = self.seeds.matrix_stats().delta_since(&matrix_before);
+        let repair = self.seeds.repair_stats().delta_since(&repair_before);
+        if repair.ops == 0 {
+            return;
+        }
+        RepairMetrics::register(self.obs.metrics(), self.config.seed_search.as_str())
+            .observe(&matrix, &repair);
+    }
+
     /// Dimensionality of the summarized points.
     #[must_use]
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// The seed set's cumulative structural-repair accounting: the
+    /// pairwise-matrix write ledger and the order-cache repair ledger
+    /// (DESIGN.md §15). `kernel_report` reads this after a dynamic flow to
+    /// verify the incremental repair touches O(s) entries per seed change.
+    #[must_use]
+    pub fn seed_repair_stats(&self) -> (MatrixStats, RepairStats) {
+        (self.seeds.matrix_stats(), self.seeds.repair_stats())
     }
 
     /// Number of bubbles (constant over the lifetime of the maintainer —
@@ -637,11 +717,16 @@ impl IncrementalBubbles {
         self.validate_batch(store, batch)?;
         let timer = self.obs.start();
         let before = *search;
+        // One scratch buffer carries every deleted point's coordinates in
+        // turn — the delete path of a steady-state stream allocates nothing.
+        let mut coords = std::mem::take(&mut self.scratch.coords);
         for &id in &batch.deletes {
-            let p = store.point(id).to_vec();
-            self.remove_point(id, &p);
+            coords.clear();
+            coords.extend_from_slice(store.point(id));
+            self.remove_point(id, &coords);
             store.remove(id);
         }
+        self.scratch.coords = coords;
         let mut new_ids = Vec::with_capacity(batch.inserts.len());
         for (p, label) in &batch.inserts {
             let id = store.insert(p, *label);
@@ -686,9 +771,14 @@ impl IncrementalBubbles {
         self.bubbles[donor].stats_mut().clear();
         self.record_change(BubbleChange::Touched(donor as u32));
         let released = members.len() as u64;
-        let mut flat = Vec::with_capacity(members.len() * self.dim);
+        // Stage the drain through the scratch arena: the coordinate batch,
+        // the repeated warm-start hint and the target list all reuse the
+        // capacity left by previous drains (`mem::take` sidesteps the
+        // borrow of `self` the batched search needs).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.flat.clear();
         for &id in &members {
-            flat.extend_from_slice(store.point(id));
+            scratch.flat.extend_from_slice(store.point(id));
         }
         let hint = self
             .seeds
@@ -696,10 +786,23 @@ impl IncrementalBubbles {
             .iter()
             .copied()
             .find(|&k| k as usize != donor);
-        let hints = hint.map(|h| vec![h; members.len()]);
+        let hints = match hint {
+            Some(h) => {
+                scratch.hints.clear();
+                scratch.hints.resize(members.len(), h);
+                Some(scratch.hints.as_slice())
+            }
+            None => None,
+        };
         // The donor must not re-attract its own points.
-        let targets = self.batch_targets(&flat, Some(donor), hints.as_deref(), search);
-        for (&id, &(target, _)) in members.iter().zip(&targets) {
+        self.batch_targets_into(
+            &scratch.flat,
+            Some(donor),
+            hints,
+            search,
+            &mut scratch.targets,
+        );
+        for (&id, &(target, _)) in members.iter().zip(&scratch.targets) {
             let slot = id.index();
             self.assign[slot] = NONE;
             self.member_pos[slot] = NONE;
@@ -707,6 +810,7 @@ impl IncrementalBubbles {
             // attach directly to the closest bubble other than the donor.
             self.attach(id, target as usize, store.point(id));
         }
+        self.scratch = scratch;
         self.obs.emit(
             EventKind::MergeAway {
                 donor: donor as u32,
@@ -769,8 +873,11 @@ impl IncrementalBubbles {
             }
         };
 
+        let matrix_before = self.seeds.matrix_stats();
+        let repair_before = self.seeds.repair_stats();
         self.seeds.replace(donor, &p1);
         self.seeds.replace(over, &p2);
+        self.observe_repair(matrix_before, repair_before);
         *self.bubbles[donor].seed_mut() = p1.clone();
         *self.bubbles[over].seed_mut() = p2.clone();
 
@@ -778,27 +885,43 @@ impl IncrementalBubbles {
         // restricts the redistribution to s1 and s2). The two distances per
         // member are independent across members, so the comparison fans out
         // over chunks; ties keep the serial rule (d1 <= d2 → donor half).
+        // The per-member half choices land in the scratch arena; the serial
+        // path writes them directly, the threaded path drains its per-chunk
+        // vectors into the same buffer in chunk order (identical contents).
         let reassigned = members.len() as u64;
         let threads = self.config.parallelism.effective_threads();
-        let p1_ref = &p1;
-        let p2_ref = &p2;
-        let halves: Vec<Vec<bool>> = run_chunks(&members, threads, |chunk| {
-            chunk
-                .iter()
-                .map(|&id| {
-                    let p = store.point(id);
-                    dist(p, p1_ref) <= dist(p, p2_ref)
-                })
-                .collect()
-        });
+        let mut halves = std::mem::take(&mut self.scratch.halves);
+        halves.clear();
+        if threads <= 1 {
+            halves.extend(members.iter().map(|&id| {
+                let p = store.point(id);
+                dist(p, &p1) <= dist(p, &p2)
+            }));
+        } else {
+            let p1_ref = &p1;
+            let p2_ref = &p2;
+            let chunked: Vec<Vec<bool>> = run_chunks(&members, threads, |chunk| {
+                chunk
+                    .iter()
+                    .map(|&id| {
+                        let p = store.point(id);
+                        dist(p, p1_ref) <= dist(p, p2_ref)
+                    })
+                    .collect()
+            });
+            for chunk in chunked {
+                halves.extend(chunk);
+            }
+        }
         search.computed += 2 * reassigned;
-        for (&id, to_donor) in members.iter().zip(halves.into_iter().flatten()) {
+        for (&id, &to_donor) in members.iter().zip(&halves) {
             let slot = id.index();
             self.assign[slot] = NONE;
             self.member_pos[slot] = NONE;
             let target = if to_donor { donor } else { over };
             self.attach(id, target, store.point(id));
         }
+        self.scratch.halves = halves;
         self.obs.emit(
             EventKind::Split {
                 over: over as u32,
@@ -928,7 +1051,10 @@ impl IncrementalBubbles {
         // Materialize the new bubble at a placeholder position; `split`
         // re-seeds both participants from the over-filled members.
         let placeholder = self.bubbles[over].seed().to_vec();
+        let matrix_before = self.seeds.matrix_stats();
+        let repair_before = self.seeds.repair_stats();
         let new_idx = self.seeds.push(&placeholder);
+        self.observe_repair(matrix_before, repair_before);
         self.bubbles.push(Bubble::new(placeholder));
         debug_assert_eq!(new_idx, self.bubbles.len() - 1);
         self.record_change(BubbleChange::Pushed);
@@ -961,7 +1087,10 @@ impl IncrementalBubbles {
         assert!(i < self.bubbles.len(), "bubble index out of bounds");
         self.merge_away(i, store, search, Cause::Retire);
         self.bubbles.swap_remove(i);
+        let matrix_before = self.seeds.matrix_stats();
+        let repair_before = self.seeds.repair_stats();
         self.seeds.swap_remove(i);
+        self.observe_repair(matrix_before, repair_before);
         self.record_change(BubbleChange::SwapRemoved(i as u32));
         // The swap-remove invalidates two indices: `i` itself (retired)
         // and the former last index (now living at `i`). The warm-start
@@ -1094,6 +1223,7 @@ impl IncrementalBubbles {
             // re-enables tracking starts from a full recompute anyway.
             track_changes: false,
             changes: None,
+            scratch: Scratch::default(),
         }
     }
 

@@ -33,8 +33,8 @@ use crate::deltas::{diff_trees, ClusterDelta, ClusterId, IdNode};
 use crate::subscribe::{Interest, Subscriptions, VersionedDelta};
 use idb_clustering::merged::MergedRef;
 use idb_clustering::{
-    cluster_tree_delta, optics_from_matrix, BubbleOrdering, ClusterNode, ExtractParams, PairCache,
-    ReachabilityPlot, TreeCache, TreeDeltaStats,
+    cluster_tree_delta, optics_from_matrix_with_scratch, BubbleOrdering, ClusterNode,
+    ExtractParams, OpticsScratch, PairCache, ReachabilityPlot, TreeCache, TreeDeltaStats,
 };
 use idb_core::{Bubble, BubbleChange, DataSummary, IncrementalBubbles};
 use idb_geometry::Parallelism;
@@ -117,6 +117,10 @@ pub struct DeltaEngine {
     obs: Obs,
     epochs: u64,
     last: Option<EpochArtifacts>,
+    /// Reusable working memory for the per-epoch OPTICS expansion — after
+    /// the first epoch the expansion stage allocates nothing. Purely an
+    /// optimization; a fresh scratch yields bit-identical orderings.
+    optics_scratch: OpticsScratch,
 }
 
 impl DeltaEngine {
@@ -137,6 +141,7 @@ impl DeltaEngine {
             obs: Obs::disabled(),
             epochs: 0,
             last: None,
+            optics_scratch: OpticsScratch::default(),
         }
     }
 
@@ -288,12 +293,13 @@ impl DeltaEngine {
             })
             .collect();
         let matrix = self.cache.live_view(&live);
-        let ordering = optics_from_matrix(
+        let ordering = optics_from_matrix_with_scratch(
             &slot_summaries,
             &live,
             &matrix,
             self.params.eps,
             self.params.min_pts,
+            &mut self.optics_scratch,
         );
         let refs: Vec<MergedRef> = ordering
             .order

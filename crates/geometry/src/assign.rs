@@ -35,11 +35,13 @@
 //! `tests/` enforce this across engines, hints, exclusions and thread
 //! counts.
 
+use crate::block::SeedBlock;
 use crate::kdtree::KdTree;
-use crate::matrix::SymMatrix;
+use crate::matrix::{MatrixStats, SymMatrix};
 use crate::metric::{dist, sq_dist, sq_dist_bounded};
 use crate::parallel::{run_ranges, EnvParseError, Parallelism};
 use crate::stats::SearchStats;
+use std::ops::Range;
 use std::sync::OnceLock;
 
 /// Sentinel in a per-query hint buffer meaning "no hint for this query".
@@ -173,15 +175,50 @@ impl SeedSearch {
 #[derive(Debug, Clone)]
 pub struct NearestSeeds {
     dim: usize,
-    coords: Vec<f64>,
+    /// Seed coordinates in one contiguous dimension-strided block, so the
+    /// candidate scans walk linear memory.
+    block: SeedBlock,
     pairwise: SymMatrix,
     /// `order[i]` holds all seed indices sorted ascending by
     /// `(pairwise(i, j), j)` — the visit order that makes the Lemma 1
     /// bound fire as early as possible when the search starts at seed `i`.
     order: Vec<Vec<u32>>,
+    /// Cumulative order-cache repair accounting (DESIGN.md §15).
+    repair: RepairStats,
     /// Lazily built k-d tree over the seeds for [`SeedSearch::KdTree`];
     /// cleared by every mutation, rebuilt (deterministically) on demand.
     kd: OnceLock<KdTree>,
+}
+
+/// Cumulative accounting of the incremental order-cache repair performed by
+/// the seed-set mutators ([`NearestSeeds::push`], [`NearestSeeds::replace`],
+/// [`NearestSeeds::swap_remove`]).
+///
+/// `order_entries` counts order-cache slots actually spliced, repositioned
+/// or rebuilt; `order_naive_entries` counts the slots a full re-sort of
+/// every row — the pre-PR-8 strategy for `swap_remove` — would have
+/// touched (`s²` per mutation). The pairwise-matrix analogue lives in
+/// [`MatrixStats`], read through [`NearestSeeds::matrix_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Order-cache slots actually touched by incremental repair.
+    pub order_entries: u64,
+    /// Slots a full per-mutation rebuild of the cache would have touched.
+    pub order_naive_entries: u64,
+    /// Structural mutations performed (push + replace + swap_remove).
+    pub ops: u64,
+}
+
+impl RepairStats {
+    /// The accounting accumulated since `before` was captured.
+    #[must_use]
+    pub fn delta_since(&self, before: &Self) -> Self {
+        Self {
+            order_entries: self.order_entries - before.order_entries,
+            order_naive_entries: self.order_naive_entries - before.order_naive_entries,
+            ops: self.ops - before.ops,
+        }
+    }
 }
 
 impl NearestSeeds {
@@ -194,9 +231,10 @@ impl NearestSeeds {
         assert!(dim > 0, "NearestSeeds requires dim > 0");
         Self {
             dim,
-            coords: Vec::new(),
+            block: SeedBlock::new(dim),
             pairwise: SymMatrix::zeros(0),
             order: Vec::new(),
+            repair: RepairStats::default(),
             kd: OnceLock::new(),
         }
     }
@@ -241,7 +279,26 @@ impl NearestSeeds {
     #[inline]
     #[must_use]
     pub fn seed(&self, i: usize) -> &[f64] {
-        &self.coords[i * self.dim..(i + 1) * self.dim]
+        self.block.get(i)
+    }
+
+    /// The seed coordinates as one contiguous dimension-strided block.
+    #[inline]
+    #[must_use]
+    pub fn seed_block(&self) -> &SeedBlock {
+        &self.block
+    }
+
+    /// Cumulative pairwise-matrix write accounting (DESIGN.md §15).
+    #[must_use]
+    pub fn matrix_stats(&self) -> MatrixStats {
+        self.pairwise.stats()
+    }
+
+    /// Cumulative order-cache repair accounting (DESIGN.md §15).
+    #[must_use]
+    pub fn repair_stats(&self) -> RepairStats {
+        self.repair
     }
 
     /// Pairwise distance between seeds `i` and `j` as stored in the matrix.
@@ -280,12 +337,10 @@ impl NearestSeeds {
     /// Panics if the seed's dimensionality differs from the set's.
     pub fn push(&mut self, seed: &[f64]) -> usize {
         assert_eq!(seed.len(), self.dim, "seed dimensionality mismatch");
-        self.coords.extend_from_slice(seed);
+        self.block.push(seed);
         let idx = self.pairwise.push_row();
-        let coords = &self.coords;
-        let dim = self.dim;
-        self.pairwise
-            .refresh_row(idx, |j| dist(seed, &coords[j * dim..(j + 1) * dim]));
+        let block = &self.block;
+        self.pairwise.refresh_row(idx, |j| dist(seed, block.get(j)));
         let new = idx as u32;
         for (i, row) in self.order.iter_mut().enumerate() {
             let prow = self.pairwise.row(i);
@@ -296,6 +351,10 @@ impl NearestSeeds {
             row.insert(pos, new);
         }
         self.order.push(Self::sorted_row(&self.pairwise, idx));
+        let s = self.len() as u64;
+        self.repair.order_entries += (s - 1) + s; // one splice per old row + the new row
+        self.repair.order_naive_entries += s * s;
+        self.repair.ops += 1;
         self.kd = OnceLock::new();
         idx
     }
@@ -310,11 +369,9 @@ impl NearestSeeds {
     pub fn replace(&mut self, i: usize, seed: &[f64]) {
         assert_eq!(seed.len(), self.dim, "seed dimensionality mismatch");
         assert!(i < self.len(), "seed index out of bounds");
-        self.coords[i * self.dim..(i + 1) * self.dim].copy_from_slice(seed);
-        let coords = &self.coords;
-        let dim = self.dim;
-        self.pairwise
-            .refresh_row(i, |j| dist(seed, &coords[j * dim..(j + 1) * dim]));
+        self.block.set(i, seed);
+        let block = &self.block;
+        self.pairwise.refresh_row(i, |j| dist(seed, block.get(j)));
         // Reposition entry `i` inside every other row (its key changed);
         // rebuild row `i` outright.
         let iu = i as u32;
@@ -335,13 +392,21 @@ impl NearestSeeds {
             row.insert(ins, iu);
         }
         self.order[i] = Self::sorted_row(&self.pairwise, i);
+        let s = self.len() as u64;
+        self.repair.order_entries += (s - 1) + s; // one reposition per other row + row i
+        self.repair.order_naive_entries += s * s;
+        self.repair.ops += 1;
         self.kd = OnceLock::new();
     }
 
     /// Removes seed `i` with swap-remove semantics: the last seed takes
-    /// index `i`. The pairwise matrix follows and the order cache is
-    /// rebuilt. O(s² log s); used only when a bubble is retired by the
-    /// adaptive maintenance extension.
+    /// index `i`. The pairwise matrix follows, and the order cache is
+    /// *repaired* rather than rebuilt: every row drops the retired index
+    /// and repositions the renamed one among its exact-distance ties —
+    /// distances between surviving seeds are unchanged, so the relative
+    /// order of all other entries is already correct. O(s) per row with no
+    /// re-sort and no allocation, versus the O(s² log s) full rebuild this
+    /// replaced; [`Self::repair_stats`] counts both sides.
     ///
     /// # Panics
     /// Panics if `i` is out of bounds.
@@ -349,15 +414,39 @@ impl NearestSeeds {
         let s = self.len();
         assert!(i < s, "seed index out of bounds");
         let last = s - 1;
-        if i != last {
-            let (head, tail) = self.coords.split_at_mut(last * self.dim);
-            head[i * self.dim..(i + 1) * self.dim].copy_from_slice(&tail[..self.dim]);
-        }
-        self.coords.truncate(last * self.dim);
+        self.block.swap_remove(i);
         self.pairwise.swap_remove(i);
-        self.order = (0..self.pairwise.len())
-            .map(|j| Self::sorted_row(&self.pairwise, j))
-            .collect();
+        let iu = i as u32;
+        let lu = last as u32;
+        // Row `i` inherits the moved seed's old row; the retired row drops.
+        self.order.swap_remove(i);
+        for (j, row) in self.order.iter_mut().enumerate() {
+            let pos = row
+                .iter()
+                .position(|&x| x == iu)
+                .expect("order row lost an index");
+            row.remove(pos);
+            self.repair.order_entries += 1;
+            if i != last {
+                // The moved seed keeps its distances but changes identity
+                // (last → i), which can shift its rank among exact ties:
+                // the sort key is (distance, index). Remove and re-splice.
+                let pos = row
+                    .iter()
+                    .position(|&x| x == lu)
+                    .expect("order row lost an index");
+                row.remove(pos);
+                let prow = self.pairwise.row(j);
+                let pd = prow[i];
+                let ins = row
+                    .binary_search_by(|&x| prow[x as usize].total_cmp(&pd).then(x.cmp(&iu)))
+                    .unwrap_err();
+                row.insert(ins, iu);
+                self.repair.order_entries += 1;
+            }
+        }
+        self.repair.order_naive_entries += (last * last) as u64;
+        self.repair.ops += 1;
         self.kd = OnceLock::new();
     }
 
@@ -498,7 +587,7 @@ impl NearestSeeds {
         }
         let tree = self
             .kd
-            .get_or_init(|| KdTree::build(self.dim, (0..s).map(|i| (i as u64, self.seed(i)))));
+            .get_or_init(|| KdTree::build_dense(self.dim, self.block.as_flat()));
         let before_computed = stats.computed;
         let before_partial = stats.partial;
         let (idx, sq) =
@@ -555,6 +644,60 @@ impl NearestSeeds {
         par: Parallelism,
         stats: &mut SearchStats,
     ) -> Vec<(u32, f64)> {
+        let mut results = Vec::new();
+        self.nearest_batch_into(queries, exclude, engine, hints, par, stats, &mut results);
+        results
+    }
+
+    /// Runs the per-query search for one contiguous query index range,
+    /// appending `(index, distance)` pairs to `out` — the shared inner loop
+    /// of every batch path, serial or fanned out.
+    #[allow(clippy::too_many_arguments)]
+    fn search_range(
+        &self,
+        queries: &[f64],
+        exclude: Option<usize>,
+        engine: SeedSearch,
+        hints: Option<&[u32]>,
+        range: Range<usize>,
+        local: &mut SearchStats,
+        out: &mut Vec<(u32, f64)>,
+    ) {
+        for qi in range {
+            let q = &queries[qi * self.dim..(qi + 1) * self.dim];
+            let hint = hints.and_then(|h| {
+                let v = h[qi];
+                (v != NO_HINT).then_some(v as usize)
+            });
+            let (i, d) = self
+                .nearest(engine, q, exclude, hint, local)
+                .expect("batch assignment requires at least one eligible seed");
+            out.push((i as u32, d));
+        }
+    }
+
+    /// [`Self::nearest_batch`] writing into a caller-owned buffer (cleared
+    /// first), so steady-state batch paths reuse one allocation per
+    /// maintainer instead of allocating a result vector per call. The
+    /// results, their order and the `stats` accounting are bit-identical to
+    /// [`Self::nearest_batch`].
+    ///
+    /// # Panics
+    /// Panics if `queries.len()` is not a multiple of `dim`, if `hints` is
+    /// given with a length other than the query count, or if there are
+    /// queries but no eligible seed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn nearest_batch_into(
+        &self,
+        queries: &[f64],
+        exclude: Option<usize>,
+        engine: SeedSearch,
+        hints: Option<&[u32]>,
+        par: Parallelism,
+        stats: &mut SearchStats,
+        out: &mut Vec<(u32, f64)>,
+    ) {
+        out.clear();
         assert_eq!(
             queries.len() % self.dim,
             0,
@@ -565,40 +708,44 @@ impl NearestSeeds {
             assert_eq!(h.len(), k, "one hint per query");
         }
         if k == 0 {
-            return Vec::new();
+            return;
         }
         if engine == SeedSearch::KdTree {
             // Build the shared index once in the calling thread instead of
             // having every worker race on the lazy init.
-            let s = self.len();
             self.kd
-                .get_or_init(|| KdTree::build(self.dim, (0..s).map(|i| (i as u64, self.seed(i)))));
+                .get_or_init(|| KdTree::build_dense(self.dim, self.block.as_flat()));
         }
         // Chunk length in *queries*, so hint and query slices stay aligned.
         let chunk_points = k.div_ceil(par.effective_threads());
+        out.reserve(k);
+        if chunk_points >= k {
+            // Single chunk: fill the caller's buffer directly in the
+            // calling thread — the steady-state serial path allocates
+            // nothing at all.
+            let mut local = SearchStats::new();
+            self.search_range(queries, exclude, engine, hints, 0..k, &mut local, out);
+            *stats += local;
+            return;
+        }
         let per_chunk = run_ranges(k, chunk_points, |range| {
             let mut local = SearchStats::new();
-            let out: Vec<(u32, f64)> = range
-                .map(|qi| {
-                    let q = &queries[qi * self.dim..(qi + 1) * self.dim];
-                    let hint = hints.and_then(|h| {
-                        let v = h[qi];
-                        (v != NO_HINT).then_some(v as usize)
-                    });
-                    let (i, d) = self
-                        .nearest(engine, q, exclude, hint, &mut local)
-                        .expect("batch assignment requires at least one eligible seed");
-                    (i as u32, d)
-                })
-                .collect();
-            (out, local)
+            let mut chunk_out = Vec::with_capacity(range.len());
+            self.search_range(
+                queries,
+                exclude,
+                engine,
+                hints,
+                range,
+                &mut local,
+                &mut chunk_out,
+            );
+            (chunk_out, local)
         });
-        let mut results = Vec::with_capacity(k);
         for (chunk_results, chunk_stats) in per_chunk {
-            results.extend(chunk_results);
+            out.extend(chunk_results);
             *stats += chunk_stats;
         }
-        results
     }
 
     /// [`Self::nearest_batch`] with [`SeedSearch::Brute`] and no hints.
@@ -844,6 +991,81 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert_eq!(s.seed(0), &[0.0, 0.0]);
         assert_order_cache_consistent(&s);
+    }
+
+    #[test]
+    fn swap_remove_repair_handles_duplicate_distance_ties() {
+        // Duplicate seeds create exact distance ties everywhere; the
+        // renamed seed (last → i) must re-splice to its (distance, index)
+        // position, which the tie-break makes unique.
+        let mut s = NearestSeeds::from_seeds(
+            2,
+            [
+                [1.0, 1.0].as_slice(),
+                [5.0, 5.0].as_slice(),
+                [1.0, 1.0].as_slice(),
+                [5.0, 5.0].as_slice(),
+                [1.0, 1.0].as_slice(),
+            ],
+        );
+        for removed in [0usize, 2, 1] {
+            s.swap_remove(removed);
+            assert_order_cache_consistent(&s);
+            // The repaired cache must equal a from-scratch rebuild: the
+            // sorted order with the (distance, index) tie-break is unique.
+            for j in 0..s.len() {
+                assert_eq!(
+                    s.neighbor_order(j),
+                    NearestSeeds::sorted_row(&s.pairwise, j).as_slice(),
+                    "row {j} after removing {removed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swap_remove_repair_touches_o_s_entries() {
+        let n = 60;
+        let seeds: Vec<[f64; 2]> = (0..n).map(|i| [f64::from(i), f64::from(i * i)]).collect();
+        let mut s = NearestSeeds::from_seeds(2, seeds.iter().map(|p| p.as_slice()));
+        let before = s.repair_stats();
+        let mbefore = s.matrix_stats();
+        s.swap_remove(7);
+        let d = s.repair_stats();
+        let md = s.matrix_stats();
+        // Order cache: one removal + one re-splice per surviving row.
+        assert_eq!(d.order_entries - before.order_entries, 2 * (n as u64 - 1));
+        assert_eq!(
+            d.order_naive_entries - before.order_naive_entries,
+            (n as u64 - 1) * (n as u64 - 1)
+        );
+        assert_eq!(d.ops - before.ops, 1);
+        // Matrix: one row copy + one column walk, not a rebuild.
+        let written = md.entries_written - mbefore.entries_written;
+        assert_eq!(written, (n + n - 1) as u64);
+        assert!(written < (n * n) as u64 / 10, "O(s), nowhere near O(s²)");
+    }
+
+    #[test]
+    fn batch_into_reuses_buffer_and_matches_batch() {
+        let s = grid_seeds();
+        let queries: Vec<f64> = (0..30)
+            .flat_map(|i| {
+                let t = f64::from(i);
+                [(t * 0.61) % 11.0, (t * 0.23 + 5.0) % 11.0]
+            })
+            .collect();
+        let mut out = vec![(99u32, -1.0f64); 3]; // stale junk must be cleared
+        for engine in ENGINES {
+            for par in [Parallelism::Serial, Parallelism::Threads(3)] {
+                let mut stats = SearchStats::new();
+                let want = s.nearest_batch(&queries, None, engine, None, par, &mut stats);
+                let mut got_stats = SearchStats::new();
+                s.nearest_batch_into(&queries, None, engine, None, par, &mut got_stats, &mut out);
+                assert_eq!(out, want, "engine={engine:?} par={par:?}");
+                assert_eq!(got_stats, stats, "engine={engine:?} par={par:?}");
+            }
+        }
     }
 
     #[test]

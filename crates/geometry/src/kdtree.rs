@@ -83,6 +83,38 @@ impl KdTree {
         }
     }
 
+    /// Builds a tree over a contiguous dimension-strided coordinate block
+    /// (point `i` is `flat[i*dim .. (i+1)*dim]`), with external ids
+    /// `0..n` — the layout a [`SeedBlock`](crate::SeedBlock) exposes. One
+    /// bulk copy of the block replaces the per-point gather of
+    /// [`Self::build`]; the resulting tree is identical to
+    /// `build(dim, (0..n).map(|i| (i as u64, point_i)))`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `flat.len()` is not a multiple of `dim`.
+    #[must_use]
+    pub fn build_dense(dim: usize, flat: &[f64]) -> Self {
+        assert!(dim > 0, "k-d tree requires dim > 0");
+        assert_eq!(
+            flat.len() % dim,
+            0,
+            "flat buffer length must be a multiple of dim"
+        );
+        let n = flat.len() / dim;
+        let coords = flat.to_vec();
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = Vec::with_capacity(n);
+        let root = Self::build_rec(dim, &coords, &mut order, 0, &mut nodes);
+        Self {
+            dim,
+            coords,
+            ids,
+            nodes,
+            root,
+        }
+    }
+
     fn build_rec(
         dim: usize,
         coords: &[f64],
@@ -539,5 +571,29 @@ mod tests {
         let pts = sample_points();
         let tree = KdTree::build(2, pts.iter().map(|(id, p)| (*id, p.as_slice())));
         assert!(tree.knn(&[0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn build_dense_is_identical_to_the_iterator_build() {
+        let flat: Vec<f64> = (0..42)
+            .flat_map(|i| {
+                let t = f64::from(i);
+                [(t * 0.37) % 7.0, (t * 1.13) % 5.0, t % 3.0]
+            })
+            .collect();
+        let dense = KdTree::build_dense(3, &flat);
+        let iter = KdTree::build(
+            3,
+            flat.chunks_exact(3).enumerate().map(|(i, p)| (i as u64, p)),
+        );
+        // Same tree means bit-identical query results and accounting.
+        for q in [[0.0, 0.0, 0.0], [3.5, 2.5, 1.5], [6.9, 4.9, 2.9]] {
+            let (mut sa, mut sb) = (SearchStats::new(), SearchStats::new());
+            let a = dense.nearest_one(&q, None, None, &mut sa);
+            let b = iter.nearest_one(&q, None, None, &mut sb);
+            assert_eq!(a, b, "query {q:?}");
+            assert_eq!(sa, sb, "accounting for {q:?}");
+            assert_eq!(dense.knn(&q, 5), iter.knn(&q, 5));
+        }
     }
 }

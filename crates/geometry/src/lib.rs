@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod assign;
+pub mod block;
 pub mod kdtree;
 pub mod matrix;
 pub mod metric;
@@ -38,10 +39,11 @@ pub mod obs;
 pub mod parallel;
 pub mod stats;
 
-pub use assign::{NearestSeeds, SeedSearch, NO_HINT};
+pub use assign::{NearestSeeds, RepairStats, SeedSearch, NO_HINT};
+pub use block::SeedBlock;
 pub use kdtree::KdTree;
-pub use matrix::SymMatrix;
+pub use matrix::{MatrixStats, SymMatrix};
 pub use metric::{dist, sq_dist};
-pub use obs::SearchMetrics;
+pub use obs::{RepairMetrics, SearchMetrics};
 pub use parallel::{EnvParseError, Parallelism};
 pub use stats::SearchStats;

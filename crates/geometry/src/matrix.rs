@@ -7,15 +7,78 @@
 //! contiguous buffer: row access during the pruning pass is then a linear
 //! scan, which matters because the pruning loop is the hottest comparison
 //! loop in the whole system.
+//!
+//! # Incremental maintenance (DESIGN.md §15)
+//!
+//! Seed-set changes are frequent on the dynamic paths (every split, grow and
+//! retire), so the structural operations are incremental rather than
+//! rebuilding: the buffer is laid out with a row stride equal to a doubling
+//! *capacity*, so [`SymMatrix::push_row`] only zeroes the new row and column
+//! (amortized `O(n)`) instead of copying the whole matrix into a fresh
+//! `(n+1)²` buffer, and [`SymMatrix::swap_remove`] moves the last row and
+//! column into place with one contiguous row copy plus one strided column
+//! walk (`O(n)`) instead of re-gathering all `(n−1)²` entries. The only
+//! remaining `O(n²)` moment is the capacity relayout, which doubles, so it
+//! amortizes away; the relayout copies row blocks of `RELAYOUT_BLOCK` rows
+//! at a time to stay cache-resident on both buffers. [`MatrixStats`] counts
+//! every entry written next to the entry count a naive full rebuild would
+//! have written, which is how `kernel_report` and the repair-locality tests
+//! verify the `O(n)`-per-change claim.
+
+/// Rows copied per block during a capacity relayout; sized so one block of
+/// source and destination rows (2 × 64 rows × ≤8 KiB) stays within L2.
+const RELAYOUT_BLOCK: usize = 64;
+
+/// Cumulative write accounting for a [`SymMatrix`].
+///
+/// `entries_written` counts actual `f64` stores performed by the structural
+/// operations (`push_row`, `swap_remove`, `refresh_row`, `set`, relayouts);
+/// `naive_entries` counts what a full-matrix rebuild per structural change —
+/// the pre-PR-8 strategy — would have written. The gap between the two is
+/// the "rows saved" number reported by `kernel_report`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatrixStats {
+    /// `f64` stores actually performed.
+    pub entries_written: u64,
+    /// Stores an eager full rebuild per structural change would perform.
+    pub naive_entries: u64,
+    /// Capacity relayouts (each copies the live `n × n` block once).
+    pub relayouts: u64,
+}
+
+impl MatrixStats {
+    /// The accounting accumulated since `before` was captured.
+    #[must_use]
+    pub fn delta_since(&self, before: &Self) -> Self {
+        Self {
+            entries_written: self.entries_written - before.entries_written,
+            naive_entries: self.naive_entries - before.naive_entries,
+            relayouts: self.relayouts - before.relayouts,
+        }
+    }
+}
 
 /// Dense symmetric `n × n` matrix of `f64` values with zero diagonal.
 ///
 /// Both `(i, j)` and `(j, i)` entries are materialized so that reading a full
-/// row never needs index arithmetic beyond `row * n + col`.
-#[derive(Debug, Clone, PartialEq)]
+/// row never needs index arithmetic beyond `row * stride + col`. Rows are
+/// strided by an amortized-doubling capacity, so growth by one row does not
+/// move existing entries.
+#[derive(Debug, Clone)]
 pub struct SymMatrix {
     n: usize,
+    cap: usize,
     data: Vec<f64>,
+    stats: MatrixStats,
+}
+
+impl PartialEq for SymMatrix {
+    /// Logical equality: same dimensions and same entries. The capacity,
+    /// any garbage beyond the live `n × n` block, and the write accounting
+    /// are representation details and do not participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && (0..self.n).all(|i| self.row(i) == other.row(i))
+    }
 }
 
 impl SymMatrix {
@@ -24,7 +87,9 @@ impl SymMatrix {
     pub fn zeros(n: usize) -> Self {
         Self {
             n,
+            cap: n,
             data: vec![0.0; n * n],
+            stats: MatrixStats::default(),
         }
     }
 
@@ -40,6 +105,12 @@ impl SymMatrix {
         self.n == 0
     }
 
+    /// Cumulative write accounting since construction.
+    #[must_use]
+    pub fn stats(&self) -> MatrixStats {
+        self.stats
+    }
+
     /// Reads the entry at `(i, j)`.
     ///
     /// # Panics
@@ -48,7 +119,7 @@ impl SymMatrix {
     #[must_use]
     pub fn get(&self, i: usize, j: usize) -> f64 {
         assert!(i < self.n && j < self.n, "SymMatrix index out of bounds");
-        self.data[i * self.n + j]
+        self.data[i * self.cap + j]
     }
 
     /// Sets the symmetric pair `(i, j)` and `(j, i)` to `value`.
@@ -58,8 +129,9 @@ impl SymMatrix {
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
         assert!(i < self.n && j < self.n, "SymMatrix index out of bounds");
-        self.data[i * self.n + j] = value;
-        self.data[j * self.n + i] = value;
+        self.data[i * self.cap + j] = value;
+        self.data[j * self.cap + i] = value;
+        self.stats.entries_written += 2;
     }
 
     /// Borrow of row `i` as a contiguous slice of length `n`.
@@ -70,26 +142,52 @@ impl SymMatrix {
     #[must_use]
     pub fn row(&self, i: usize) -> &[f64] {
         assert!(i < self.n, "SymMatrix row out of bounds");
-        &self.data[i * self.n..(i + 1) * self.n]
+        &self.data[i * self.cap..i * self.cap + self.n]
+    }
+
+    /// Moves the live block into a buffer with at least `min_cap` row
+    /// capacity, copying in blocks of [`RELAYOUT_BLOCK`] rows.
+    fn relayout(&mut self, min_cap: usize) {
+        let new_cap = (self.cap * 2).max(min_cap).max(4);
+        let mut data = vec![0.0; new_cap * new_cap];
+        for block in (0..self.n).step_by(RELAYOUT_BLOCK) {
+            let end = (block + RELAYOUT_BLOCK).min(self.n);
+            for i in block..end {
+                data[i * new_cap..i * new_cap + self.n]
+                    .copy_from_slice(&self.data[i * self.cap..i * self.cap + self.n]);
+            }
+        }
+        self.cap = new_cap;
+        self.data = data;
+        self.stats.relayouts += 1;
+        self.stats.entries_written += (self.n * self.n) as u64;
     }
 
     /// Grows the matrix by one zero row/column, returning the new index.
+    ///
+    /// Amortized `O(n)`: only the fresh row and column are written; existing
+    /// entries stay in place unless a capacity relayout is due.
     pub fn push_row(&mut self) -> usize {
         let old = self.n;
         let new = old + 1;
-        let mut data = vec![0.0; new * new];
+        if new > self.cap {
+            self.relayout(new);
+        }
+        let cap = self.cap;
+        self.data[old * cap..old * cap + new].fill(0.0);
         for i in 0..old {
-            data[i * new..i * new + old].copy_from_slice(&self.data[i * old..(i + 1) * old]);
+            self.data[i * cap + old] = 0.0;
         }
         self.n = new;
-        self.data = data;
+        self.stats.entries_written += (2 * new - 1) as u64;
+        self.stats.naive_entries += (new * new) as u64;
         old
     }
 
     /// Removes row/column `i` by moving the last row/column into its place
     /// (swap-remove semantics): the element previously at index `n − 1` is
-    /// afterwards at index `i`. O(n²), used only by rare structural
-    /// operations (retiring a data bubble).
+    /// afterwards at index `i`. `O(n)`: one contiguous row copy plus one
+    /// strided column walk, in place.
     ///
     /// # Panics
     /// Panics if `i` is out of bounds.
@@ -97,15 +195,23 @@ impl SymMatrix {
         let n = self.n;
         assert!(i < n, "SymMatrix index out of bounds");
         let m = n - 1;
-        let map = |k: usize| if k == i { m } else { k };
-        let mut data = vec![0.0; m * m];
-        for a in 0..m {
-            for b in 0..m {
-                data[a * m + b] = self.data[map(a) * n + map(b)];
+        let cap = self.cap;
+        if i != m {
+            // Row m → row i (contiguous), then column m → column i for the
+            // surviving rows; the diagonal (i, i) is re-zeroed because the
+            // row copy put the old (m, i) entry there.
+            let (lo, hi) = self.data.split_at_mut(m * cap);
+            lo[i * cap..i * cap + n].copy_from_slice(&hi[..n]);
+            for r in 0..m {
+                if r != i {
+                    self.data[r * cap + i] = self.data[r * cap + m];
+                }
             }
+            self.data[i * cap + i] = 0.0;
+            self.stats.entries_written += (n + m) as u64;
         }
         self.n = m;
-        self.data = data;
+        self.stats.naive_entries += (m * m) as u64;
     }
 
     /// Recomputes row (and the mirrored column) `i` from a distance oracle.
@@ -123,6 +229,7 @@ impl SymMatrix {
             let d = oracle(j);
             self.set(i, j, d);
         }
+        self.stats.naive_entries += (self.n * self.n) as u64;
     }
 }
 
@@ -173,6 +280,46 @@ mod tests {
     }
 
     #[test]
+    fn push_row_from_empty_and_through_relayouts() {
+        let mut m = SymMatrix::zeros(0);
+        for k in 0..40 {
+            let idx = m.push_row();
+            assert_eq!(idx, k);
+            m.refresh_row(idx, |j| (j as f64) + (idx as f64) * 100.0);
+        }
+        assert_eq!(m.len(), 40);
+        for i in 0..40usize {
+            for j in 0..40usize {
+                let expect = if i == j {
+                    0.0
+                } else {
+                    let (lo, hi) = (i.min(j), i.max(j));
+                    lo as f64 + hi as f64 * 100.0
+                };
+                assert_eq!(m.get(i, j), expect, "entry ({i}, {j})");
+            }
+        }
+        assert!(m.stats().relayouts >= 1, "doubling must have happened");
+    }
+
+    #[test]
+    fn push_row_writes_o_n_entries_not_o_n_squared() {
+        let mut m = SymMatrix::zeros(0);
+        // Pre-grow past the 64 → 128 doubling so the steady-state push is
+        // measured without a relayout.
+        for _ in 0..70 {
+            m.push_row();
+        }
+        let relayouts = m.stats().relayouts;
+        let before = m.stats();
+        m.push_row();
+        assert_eq!(m.stats().relayouts, relayouts, "no relayout at 71");
+        let delta = m.stats().entries_written - before.entries_written;
+        assert_eq!(delta, 2 * 71 - 1, "one row + one column, nothing else");
+        assert_eq!(m.stats().naive_entries - before.naive_entries, 71 * 71);
+    }
+
+    #[test]
     fn refresh_row_updates_row_and_column() {
         let mut m = SymMatrix::zeros(3);
         m.set(0, 1, 9.0);
@@ -199,6 +346,44 @@ mod tests {
     }
 
     #[test]
+    fn swap_remove_matches_a_rebuilt_reference() {
+        // Exhaustive cross-check of the in-place move against an
+        // index-remapped rebuild, for every removal position.
+        let n = 9;
+        for removed in 0..n {
+            let mut m = SymMatrix::zeros(n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    m.set(i, j, (i * n + j) as f64);
+                }
+            }
+            let reference = {
+                let mm = n - 1;
+                let map = |k: usize| if k == removed { n - 1 } else { k };
+                let mut r = SymMatrix::zeros(mm);
+                for a in 0..mm {
+                    for b in (a + 1)..mm {
+                        let (x, y) = (map(a).min(map(b)), map(a).max(map(b)));
+                        r.set(a, b, (x * n + y) as f64);
+                    }
+                }
+                r
+            };
+            m.swap_remove(removed);
+            assert_eq!(m, reference, "removal at {removed}");
+        }
+    }
+
+    #[test]
+    fn swap_remove_writes_o_n_entries() {
+        let mut m = SymMatrix::zeros(50);
+        let before = m.stats();
+        m.swap_remove(7);
+        let delta = m.stats().entries_written - before.entries_written;
+        assert_eq!(delta, 50 + 49, "row copy + column walk only");
+    }
+
+    #[test]
     fn swap_remove_last_just_shrinks() {
         let mut m = SymMatrix::zeros(3);
         m.set(0, 1, 5.0);
@@ -206,6 +391,20 @@ mod tests {
         m.swap_remove(2);
         assert_eq!(m.len(), 2);
         assert_eq!(m.get(0, 1), 5.0);
+    }
+
+    #[test]
+    fn equality_ignores_capacity() {
+        let mut grown = SymMatrix::zeros(0);
+        for _ in 0..3 {
+            grown.push_row();
+        }
+        grown.set(0, 1, 1.5);
+        let mut fresh = SymMatrix::zeros(3);
+        fresh.set(0, 1, 1.5);
+        assert_eq!(grown, fresh);
+        fresh.set(1, 2, 9.0);
+        assert_ne!(grown, fresh);
     }
 
     #[test]

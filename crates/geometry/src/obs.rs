@@ -22,6 +22,8 @@
 //! `Parallelism::Threads(n)`. The latency histogram is wall-clock and is
 //! excluded from that contract.
 
+use crate::assign::RepairStats;
+use crate::matrix::MatrixStats;
 use crate::stats::SearchStats;
 use idb_obs::{Counter, Histogram, MetricsRegistry};
 
@@ -59,6 +61,57 @@ impl SearchMetrics {
         self.pruned.add(delta.pruned);
         self.partial.add(delta.partial);
         self.latency.record(us);
+    }
+}
+
+/// Registry handles for the seed-set structural-repair metrics
+/// (DESIGN.md §15): how much matrix and order-cache work the incremental
+/// repair paths actually performed versus what eager per-mutation rebuilds
+/// would have cost.
+///
+/// ```text
+/// repair.<engine>.ops            structural seed mutations (push/replace/remove)
+/// repair.<engine>.matrix_writes  pairwise-matrix f64 stores performed
+/// repair.<engine>.matrix_naive   stores an eager full rebuild would perform
+/// repair.<engine>.order_writes   order-cache slots spliced or rebuilt
+/// repair.<engine>.order_naive    slots a full per-mutation re-sort would touch
+/// ```
+///
+/// Like [`SearchMetrics`], values inherit the bit-identity guarantee: the
+/// mutators run on the single thread driving the maintainer, so counts are
+/// identical under every [`Parallelism`](crate::Parallelism) mode.
+#[derive(Debug, Clone)]
+pub struct RepairMetrics {
+    ops: Counter,
+    matrix_writes: Counter,
+    matrix_naive: Counter,
+    order_writes: Counter,
+    order_naive: Counter,
+}
+
+impl RepairMetrics {
+    /// Looks up (creating on first use) the metric family
+    /// `repair.<engine>.*` in `registry`.
+    #[must_use]
+    pub fn register(registry: &MetricsRegistry, engine: &str) -> Self {
+        let name = |suffix: &str| format!("repair.{engine}.{suffix}");
+        RepairMetrics {
+            ops: registry.counter(&name("ops")),
+            matrix_writes: registry.counter(&name("matrix_writes")),
+            matrix_naive: registry.counter(&name("matrix_naive")),
+            order_writes: registry.counter(&name("order_writes")),
+            order_naive: registry.counter(&name("order_naive")),
+        }
+    }
+
+    /// Folds one structural phase into the registry: the matrix and
+    /// order-cache accounting deltas accumulated across its mutations.
+    pub fn observe(&self, matrix: &MatrixStats, repair: &RepairStats) {
+        self.ops.add(repair.ops);
+        self.matrix_writes.add(matrix.entries_written);
+        self.matrix_naive.add(matrix.naive_entries);
+        self.order_writes.add(repair.order_entries);
+        self.order_naive.add(repair.order_naive_entries);
     }
 }
 
@@ -104,5 +157,35 @@ mod tests {
             .find(|(n, _)| n == "assign.brute.queries")
             .unwrap();
         assert_eq!(q.1, 3);
+    }
+
+    #[test]
+    fn repair_metrics_fold_deltas_into_named_counters() {
+        let registry = MetricsRegistry::new();
+        let m = RepairMetrics::register(&registry, "pruned");
+        let matrix = MatrixStats {
+            entries_written: 11,
+            naive_entries: 400,
+            relayouts: 1,
+        };
+        let repair = RepairStats {
+            order_entries: 9,
+            order_naive_entries: 100,
+            ops: 3,
+        };
+        m.observe(&matrix, &repair);
+        let counters = registry.counters();
+        let get = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert_eq!(get("repair.pruned.ops"), 3);
+        assert_eq!(get("repair.pruned.matrix_writes"), 11);
+        assert_eq!(get("repair.pruned.matrix_naive"), 400);
+        assert_eq!(get("repair.pruned.order_writes"), 9);
+        assert_eq!(get("repair.pruned.order_naive"), 100);
     }
 }
