@@ -61,6 +61,21 @@ for crash_seed in 11 1986 777216; do
     IDB_CRASH_SEED="$crash_seed" cargo test $CARGOFLAGS -q -p idb-core --test crash_consistency \
         kill_at_random_crash_point_smoke
 done
+# Bounded storage (DESIGN.md §16): the differential, crash-consistency,
+# fault-injection and hardening suites again under a tiny ambient segment
+# budget and a finite disk budget in a hermetic WAL dir — rotation,
+# compaction and budget enforcement must never change an outcome (suites
+# that exercise the knobs pin their own values).
+IDB_BUDGET_WAL_DIR="$(mktemp -d)"
+IDB_WAL_SEGMENT_BYTES=2048 IDB_DISK_BUDGET=1048576 IDB_WAL_DIR="$IDB_BUDGET_WAL_DIR" \
+    cargo test $CARGOFLAGS -q -p idb-core --test differential
+IDB_WAL_SEGMENT_BYTES=2048 IDB_DISK_BUDGET=1048576 IDB_WAL_DIR="$IDB_BUDGET_WAL_DIR" \
+    cargo test $CARGOFLAGS -q -p idb-core --test crash_consistency
+IDB_WAL_SEGMENT_BYTES=2048 IDB_DISK_BUDGET=1048576 IDB_WAL_DIR="$IDB_BUDGET_WAL_DIR" \
+    cargo test $CARGOFLAGS -q -p idb-core --test fault_injection
+IDB_WAL_SEGMENT_BYTES=2048 IDB_DISK_BUDGET=1048576 IDB_WAL_DIR="$IDB_BUDGET_WAL_DIR" \
+    cargo test $CARGOFLAGS -q -p idb-store --test hardening
+rm -rf "$IDB_BUDGET_WAL_DIR"
 # Sharded service layer (DESIGN.md §13): the shard-count differential
 # suite and the quarantine/crash fault-isolation suite, run under
 # IDB_SHARDS=4 as the ambient default (the suites pin their own shard

@@ -20,15 +20,18 @@
 
 use idb_bench::complex_fixture;
 use idb_core::{
-    recover, DurabilityConfig, DurableMaintainer, IncrementalBubbles, MaintainerConfig,
-    MemCheckpoints, Parallelism, SeedSearch,
+    recover, recover_chain, DurabilityConfig, DurableMaintainer, IncrementalBubbles,
+    MaintainerConfig, MemCheckpoints, Parallelism, SeedSearch,
 };
 use idb_geometry::SearchStats;
+use idb_obs::{EventKind, Obs, RingRecorder};
+use idb_store::segment::{MemSegments, SegmentedSink};
 use idb_store::wal::{read_wal, scratch_dir, FileSink, MemSink};
 use idb_store::Batch;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 const REPS: usize = 5;
@@ -240,7 +243,167 @@ fn main() {
         "  \"checkpoint\": {{\"median_encode_secs\": {:.6}, \"blob_bytes\": {}}},",
         checkpoint_cost.0, checkpoint_cost.1
     );
-    json.push_str("  \"note\": \"complex d2 n20000 s200 scenario, 64 pre-planned batches with maintenance after each, serial mode; durable runs use validate + WAL append + group commit + apply + checkpoint cadence as configured; recovery replays the WAL tail beyond the newest checkpoint\"\n}\n");
+
+    // Bounded footprint under the segmented WAL: the same stream against
+    // a segment chain with streaming checkpoints and compaction, sampling
+    // the live footprint after every batch. Disk amplification is total
+    // bytes ever appended over the peak live footprint — the compaction
+    // win the flat WAL cannot have.
+    const SEGMENT_BYTES: u64 = 4096;
+    const CKPT_INTERVAL: u64 = 8;
+    let ring = Arc::new(RingRecorder::new());
+    let medium = MemSegments::new();
+    let mut ib = build(&stream);
+    ib.set_obs(Obs::with_recorder(ring.clone()));
+    let mut dm = DurableMaintainer::adopt(
+        stream.store.clone(),
+        ib,
+        DurabilityConfig {
+            checkpoint_interval: CKPT_INTERVAL,
+            full_rebase_interval: 3,
+            checkpoint_chunk_bytes: 256 * 1024,
+            ..DurabilityConfig::default()
+        },
+        SegmentedSink::fresh(medium.clone(), SEGMENT_BYTES).expect("fresh chain"),
+        MemCheckpoints::new(),
+    )
+    .expect("mem segments are healthy");
+    let mut stats = SearchStats::new();
+    let mut max_live = 0u64;
+    for (batch, seed) in &stream.steps {
+        dm.apply_with(batch, *seed, true, &mut stats)
+            .expect("planned batches are valid");
+        max_live = max_live.max(dm.live_wal_bytes().expect("segmented sink reports live"));
+    }
+    dm.sync();
+    let final_live = dm.live_wal_bytes().expect("segmented sink reports live");
+    let (_, _, _, seg_ckpts) = dm.into_parts();
+    let (mut rotations, mut compactions, mut reclaimed, mut chunks) = (0u64, 0u64, 0u64, 0u64);
+    for e in ring.events() {
+        match e.kind {
+            EventKind::WalRotate { .. } => rotations += 1,
+            EventKind::WalCompact { bytes, .. } => {
+                compactions += 1;
+                reclaimed += bytes;
+            }
+            EventKind::CheckpointChunk { .. } => chunks += 1,
+            _ => {}
+        }
+    }
+    let total_appended = reclaimed + final_live;
+    let amplification = total_appended as f64 / max_live.max(1) as f64;
+    let times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            let rec = recover_chain(&medium, &seg_ckpts).expect("clean chain recovery");
+            std::hint::black_box(rec.batches_durable);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    let rec = recover_chain(&medium, &seg_ckpts).expect("clean chain recovery");
+    assert_eq!(rec.batches_durable as usize, BATCHES);
+    let chain_secs = median(times);
+    eprintln!(
+        "segmented (segment={SEGMENT_BYTES}B, ckpt every {CKPT_INTERVAL}): \
+         peak live {max_live}B, appended {total_appended}B (x{amplification:.2}), \
+         {rotations} rotations, {compactions} compactions; \
+         chain recovery (replay {}): {chain_secs:.4}s",
+        rec.replayed
+    );
+    let _ = writeln!(
+        json,
+        "  \"segmented\": {{\"segment_bytes\": {SEGMENT_BYTES}, \"checkpoint_interval\": {CKPT_INTERVAL}, \
+         \"max_live_wal_bytes\": {max_live}, \"final_live_wal_bytes\": {final_live}, \
+         \"total_appended_bytes\": {total_appended}, \"disk_amplification\": {amplification:.3}, \
+         \"rotations\": {rotations}, \"compactions\": {compactions}, \"reclaimed_bytes\": {reclaimed}, \
+         \"checkpoint_chunks\": {chunks}, \
+         \"chain_recovery\": {{\"median_secs\": {chain_secs:.6}, \"replayed_batches\": {}}}}},",
+        rec.replayed
+    );
+
+    // The bound that matters for a forever-stream: a sustained
+    // multi-thousand-batch run whose live footprint plateaus while total
+    // appended bytes grow linearly. Smaller fixture, one rep — this is a
+    // footprint measurement, not a timing one.
+    const SUSTAINED_BATCHES: usize = 2500;
+    let (mut scenario, small_store, mut srng) = complex_fixture(2, 2_000, 31);
+    let mut sim = small_store.clone();
+    let sustained_steps: Vec<(Batch, u64)> = (0..SUSTAINED_BATCHES)
+        .map(|_| {
+            let (batch, _) = scenario.step_plain(&mut sim, &mut srng);
+            (batch, srng.gen::<u64>())
+        })
+        .collect();
+    let ring = Arc::new(RingRecorder::new());
+    let medium = MemSegments::new();
+    let mut srng2 = StdRng::seed_from_u64(8);
+    let mut sstats = SearchStats::new();
+    let mut ib = IncrementalBubbles::build(
+        &small_store,
+        MaintainerConfig::new(50)
+            .with_seed_search(SeedSearch::Pruned)
+            .with_parallelism(Parallelism::Serial),
+        &mut srng2,
+        &mut sstats,
+    );
+    ib.set_obs(Obs::with_recorder(ring.clone()));
+    let mut dm = DurableMaintainer::adopt(
+        small_store,
+        ib,
+        DurabilityConfig {
+            checkpoint_interval: 64,
+            full_rebase_interval: 4,
+            ..DurabilityConfig::default()
+        },
+        SegmentedSink::fresh(medium.clone(), 8192).expect("fresh chain"),
+        MemCheckpoints::new(),
+    )
+    .expect("mem segments are healthy");
+    let (mut s_max_live, mut half_max_live) = (0u64, 0u64);
+    for (i, (batch, seed)) in sustained_steps.iter().enumerate() {
+        dm.apply_with(batch, *seed, true, &mut sstats)
+            .expect("planned batches are valid");
+        let live = dm.live_wal_bytes().expect("segmented sink reports live");
+        s_max_live = s_max_live.max(live);
+        if i < SUSTAINED_BATCHES / 2 {
+            half_max_live = half_max_live.max(live);
+        }
+    }
+    dm.sync();
+    let s_final_live = dm.live_wal_bytes().expect("segmented sink reports live");
+    let (mut s_rotations, mut s_compactions, mut s_reclaimed) = (0u64, 0u64, 0u64);
+    for e in ring.events() {
+        match e.kind {
+            EventKind::WalRotate { .. } => s_rotations += 1,
+            EventKind::WalCompact { bytes, .. } => {
+                s_compactions += 1;
+                s_reclaimed += bytes;
+            }
+            _ => {}
+        }
+    }
+    let s_appended = s_reclaimed + s_final_live;
+    // Bounded means the peak does not track stream length: the second
+    // half of the stream must not push the footprint meaningfully past
+    // the first half's peak.
+    assert!(
+        s_max_live < 2 * half_max_live,
+        "live footprint kept growing: peak {s_max_live} vs first-half peak {half_max_live}"
+    );
+    eprintln!(
+        "sustained ({SUSTAINED_BATCHES} batches, segment=8192B, ckpt every 64): \
+         appended {s_appended}B, peak live {s_max_live}B (first half {half_max_live}B), \
+         {s_rotations} rotations, {s_compactions} compactions"
+    );
+    let _ = writeln!(
+        json,
+        "  \"sustained\": {{\"batches\": {SUSTAINED_BATCHES}, \"segment_bytes\": 8192, \
+         \"checkpoint_interval\": 64, \"total_appended_bytes\": {s_appended}, \
+         \"max_live_wal_bytes\": {s_max_live}, \"first_half_max_live_wal_bytes\": {half_max_live}, \
+         \"final_live_wal_bytes\": {s_final_live}, \"rotations\": {s_rotations}, \
+         \"compactions\": {s_compactions}, \"reclaimed_bytes\": {s_reclaimed}}},"
+    );
+    json.push_str("  \"note\": \"complex d2 n20000 s200 scenario, 64 pre-planned batches with maintenance after each, serial mode; durable runs use validate + WAL append + group commit + apply + checkpoint cadence as configured; recovery replays the WAL tail beyond the newest checkpoint; the segmented section streams the same batches through a segment chain with delta checkpoints and compaction, so the live footprint stays bounded while total appended bytes grow\"\n}\n");
     std::fs::write(&out_path, json).expect("write report");
     eprintln!("wrote {out_path}");
 }

@@ -540,11 +540,11 @@ mod tests {
         // Two fine clusters inside one coarse cluster, plus a separate
         // coarse cluster: plot [inf, A..., 1.0, B..., 10.0, C...].
         let mut reach = vec![INF];
-        reach.extend(std::iter::repeat(0.1).take(6));
+        reach.extend(std::iter::repeat_n(0.1, 6));
         reach.push(1.0);
-        reach.extend(std::iter::repeat(0.1).take(6));
+        reach.extend(std::iter::repeat_n(0.1, 6));
         reach.push(10.0);
-        reach.extend(std::iter::repeat(0.3).take(6));
+        reach.extend(std::iter::repeat_n(0.3, 6));
         let plot = plot_of(&reach);
         let params = ExtractParams::with_min_size(4);
         let tree = cluster_tree(&plot, &params);

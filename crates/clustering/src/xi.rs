@@ -318,11 +318,11 @@ mod tests {
     #[test]
     fn nested_valleys_produce_nested_clusters() {
         let mut reach = vec![INF];
-        reach.extend(std::iter::repeat(0.1).take(5));
+        reach.extend(std::iter::repeat_n(0.1, 5));
         reach.push(1.0);
-        reach.extend(std::iter::repeat(0.1).take(5));
+        reach.extend(std::iter::repeat_n(0.1, 5));
         reach.push(10.0);
-        reach.extend(std::iter::repeat(3.0).take(5));
+        reach.extend(std::iter::repeat_n(3.0, 5));
         let plot = plot_of(&reach);
         let clusters = extract_xi(&plot, &XiParams::new(0.2, 3));
         // Expect at least the two fine valleys; a surrounding coarse

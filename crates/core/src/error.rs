@@ -66,6 +66,11 @@ pub enum UpdateError {
         /// The policy's `max_avg_points`.
         max_avg_points: f64,
     },
+    /// The batch was shed by the durability layer before application: the
+    /// disk budget or the degraded-mode buffer cap was reached. The
+    /// summarization and the store are untouched; the caller may retry
+    /// after compaction or recovery frees resources.
+    Storage(idb_store::StorageError),
 }
 
 impl fmt::Display for UpdateError {
@@ -97,11 +102,25 @@ impl fmt::Display for UpdateError {
                 "adaptive policy requires 0 < min_avg_points < max_avg_points \
                  (got min = {min_avg_points}, max = {max_avg_points})"
             ),
+            Self::Storage(e) => write!(f, "batch shed: {e}"),
         }
     }
 }
 
-impl std::error::Error for UpdateError {}
+impl std::error::Error for UpdateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<idb_store::StorageError> for UpdateError {
+    fn from(e: idb_store::StorageError) -> Self {
+        Self::Storage(e)
+    }
+}
 
 /// One violated invariant found by [`IncrementalBubbles::audit`].
 ///

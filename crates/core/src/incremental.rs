@@ -196,6 +196,13 @@ pub struct IncrementalBubbles {
     /// The recorded change log; `None` while invalidated (an untrackable
     /// operation — invariant repair — happened since the last drain).
     changes: Option<Vec<BubbleChange>>,
+    /// Whether a second, independently drained change log is being
+    /// recorded for [`Self::take_ckpt_changes`] — the incremental-
+    /// checkpoint dirty tracker. Off by default.
+    ckpt_track: bool,
+    /// The checkpoint-side change log; same invalidation contract as
+    /// `changes`, drained on its own schedule.
+    ckpt_changes: Option<Vec<BubbleChange>>,
     /// Reusable working memory for the dynamic paths. Never semantic.
     scratch: Scratch,
 }
@@ -248,6 +255,8 @@ impl IncrementalBubbles {
             obs,
             track_changes: false,
             changes: None,
+            ckpt_track: false,
+            ckpt_changes: None,
             scratch: Scratch::default(),
         };
         let mut ids = Vec::with_capacity(store.len());
@@ -406,18 +415,48 @@ impl IncrementalBubbles {
         drained
     }
 
-    /// Appends to the change log when tracking is on and the log is valid.
+    /// Turns the checkpoint-side structural change log on or off.
+    ///
+    /// A second, independently drained channel with exactly the contract
+    /// of [`Self::set_change_tracking`] / [`Self::take_changes`]: the
+    /// delta-subscription consumer and the incremental-checkpoint dirty
+    /// tracker drain on different schedules, so they cannot share one log.
+    /// Enabling starts with an *invalid* log (first drain returns `None`).
+    pub fn set_ckpt_tracking(&mut self, on: bool) {
+        self.ckpt_track = on;
+        self.ckpt_changes = None;
+    }
+
+    /// Drains the checkpoint-side change log recorded since the previous
+    /// drain. Same validity contract as [`Self::take_changes`]: `None`
+    /// means the consumer must treat every slot as dirty.
+    pub fn take_ckpt_changes(&mut self) -> Option<Vec<BubbleChange>> {
+        if !self.ckpt_track {
+            return None;
+        }
+        let drained = self.ckpt_changes.take();
+        self.ckpt_changes = Some(Vec::new());
+        drained
+    }
+
+    /// Appends to the change logs when tracking is on and the log is valid.
     fn record_change(&mut self, change: BubbleChange) {
         if let Some(log) = self.changes.as_mut() {
             log.push(change);
         }
+        if let Some(log) = self.ckpt_changes.as_mut() {
+            log.push(change);
+        }
     }
 
-    /// Marks the change log invalid until the next drain (an operation
+    /// Marks the change logs invalid until the next drain (an operation
     /// mutated bubbles in a way the log cannot describe precisely).
     fn invalidate_changes(&mut self) {
         if self.track_changes {
             self.changes = None;
+        }
+        if self.ckpt_track {
+            self.ckpt_changes = None;
         }
     }
 
@@ -1223,6 +1262,8 @@ impl IncrementalBubbles {
             // re-enables tracking starts from a full recompute anyway.
             track_changes: false,
             changes: None,
+            ckpt_track: false,
+            ckpt_changes: None,
             scratch: Scratch::default(),
         }
     }

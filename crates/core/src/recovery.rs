@@ -25,22 +25,32 @@
 
 use crate::config::MaintainerConfig;
 use crate::error::UpdateError;
-use crate::incremental::IncrementalBubbles;
+use crate::incremental::{BubbleChange, IncrementalBubbles};
 use idb_geometry::SearchStats;
 use idb_obs::{EventKind, Obs};
-use idb_store::snapshot::{read_frame, read_u64, write_frame, write_u64, SnapshotError};
-use idb_store::wal::{read_wal, DurableSink, WalError, WalRecord, WalWriter};
-use idb_store::{Batch, PointId, PointStore};
+use idb_store::segment::{read_chain, SegmentMedium};
+use idb_store::snapshot::{
+    read_frame, read_u32, read_u64, write_frame, write_u32, write_u64, SnapshotError,
+};
+use idb_store::wal::{read_wal, DurableSink, WalContents, WalError, WalRecord, WalWriter};
+use idb_store::{Batch, PointId, PointStore, StorageBudget, StorageError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-/// Magic prefix of a checkpoint blob.
+/// Magic prefix of a full checkpoint blob.
 pub const CHECKPOINT_MAGIC: &[u8; 4] = b"IDBC";
+
+/// Magic prefix of an incremental (delta) checkpoint blob: only the
+/// bubbles dirtied since the newest full base are persisted; the store
+/// contents are reconstructed by replaying the WAL from the base's
+/// coverage.
+pub const DELTA_CHECKPOINT_MAGIC: &[u8; 4] = b"IDBD";
 
 /// Recovery failure. Torn WAL tails are *not* errors (they are truncated
 /// silently, per the WAL module docs); everything here is real damage or
@@ -127,6 +137,57 @@ pub trait CheckpointStore {
     /// # Errors
     /// Whatever the medium reports.
     fn load(&self, seq: u64) -> io::Result<Vec<u8>>;
+
+    /// Whether this medium supports chunked (streaming) saves. When
+    /// `false` (the default), [`DurableMaintainer`] falls back to one
+    /// [`CheckpointStore::save`] call per checkpoint.
+    fn supports_streaming(&self) -> bool {
+        false
+    }
+
+    /// Opens a streaming save of checkpoint `seq`, discarding any
+    /// abandoned stream for the same sequence. The chunks are staged:
+    /// until [`CheckpointStore::finish_stream`] returns, the checkpoint
+    /// must not be visible to [`CheckpointStore::seqs`] /
+    /// [`CheckpointStore::load`] — a crash mid-stream must leave the
+    /// previous checkpoint population intact.
+    ///
+    /// # Errors
+    /// `Unsupported` unless the medium opts in; otherwise whatever it
+    /// reports.
+    fn begin_stream(&mut self, _seq: u64) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "checkpoint medium does not stream",
+        ))
+    }
+
+    /// Appends one chunk to the open stream for `seq`.
+    ///
+    /// # Errors
+    /// As [`CheckpointStore::begin_stream`].
+    fn stream_chunk(&mut self, _seq: u64, _chunk: &[u8]) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "checkpoint medium does not stream",
+        ))
+    }
+
+    /// Atomically publishes the staged stream for `seq` as the
+    /// checkpoint blob.
+    ///
+    /// # Errors
+    /// As [`CheckpointStore::begin_stream`].
+    fn finish_stream(&mut self, _seq: u64) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "checkpoint medium does not stream",
+        ))
+    }
+
+    /// Discards the staged stream for `seq`, if any. Infallible: abort is
+    /// best-effort cleanup on an already-failing path.
+    fn abort_stream(&mut self, _seq: u64) {}
 }
 
 /// An in-memory [`CheckpointStore`] for tests; `Clone` lets the
@@ -135,6 +196,9 @@ pub trait CheckpointStore {
 #[derive(Debug, Clone, Default)]
 pub struct MemCheckpoints {
     entries: Vec<(u64, Vec<u8>)>,
+    /// The open streaming save, staged apart from `entries` so a "crash"
+    /// (cloning the store mid-stream) never exposes a half-written blob.
+    staging: Option<(u64, Vec<u8>)>,
 }
 
 impl MemCheckpoints {
@@ -177,6 +241,41 @@ impl CheckpointStore for MemCheckpoints {
             .map(|(_, b)| b.clone())
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("checkpoint {seq}")))
     }
+
+    fn supports_streaming(&self) -> bool {
+        true
+    }
+
+    fn begin_stream(&mut self, seq: u64) -> io::Result<()> {
+        self.staging = Some((seq, Vec::new()));
+        Ok(())
+    }
+
+    fn stream_chunk(&mut self, seq: u64, chunk: &[u8]) -> io::Result<()> {
+        match &mut self.staging {
+            Some((s, buf)) if *s == seq => {
+                buf.extend_from_slice(chunk);
+                Ok(())
+            }
+            _ => Err(io::Error::other(format!("no open stream for {seq}"))),
+        }
+    }
+
+    fn finish_stream(&mut self, seq: u64) -> io::Result<()> {
+        match self.staging.take() {
+            Some((s, buf)) if s == seq => self.save(seq, &buf),
+            other => {
+                self.staging = other;
+                Err(io::Error::other(format!("no open stream for {seq}")))
+            }
+        }
+    }
+
+    fn abort_stream(&mut self, seq: u64) {
+        if matches!(self.staging, Some((s, _)) if s == seq) {
+            self.staging = None;
+        }
+    }
 }
 
 /// A directory-backed [`CheckpointStore`]: one `checkpoint-<seq>.idbc`
@@ -202,11 +301,15 @@ impl FsCheckpoints {
     fn path(&self, seq: u64) -> PathBuf {
         self.dir.join(format!("checkpoint-{seq}.idbc"))
     }
+
+    fn tmp_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!(".checkpoint-{seq}.tmp"))
+    }
 }
 
 impl CheckpointStore for FsCheckpoints {
     fn save(&mut self, seq: u64, bytes: &[u8]) -> io::Result<()> {
-        let tmp = self.dir.join(format!(".checkpoint-{seq}.tmp"));
+        let tmp = self.tmp_path(seq);
         fs::write(&tmp, bytes)?;
         fs::rename(&tmp, self.path(seq))
     }
@@ -229,6 +332,32 @@ impl CheckpointStore for FsCheckpoints {
 
     fn load(&self, seq: u64) -> io::Result<Vec<u8>> {
         fs::read(self.path(seq))
+    }
+
+    fn supports_streaming(&self) -> bool {
+        true
+    }
+
+    fn begin_stream(&mut self, seq: u64) -> io::Result<()> {
+        fs::write(self.tmp_path(seq), [])
+    }
+
+    fn stream_chunk(&mut self, seq: u64, chunk: &[u8]) -> io::Result<()> {
+        use io::Write as _;
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(self.tmp_path(seq))?;
+        f.write_all(chunk)
+    }
+
+    fn finish_stream(&mut self, seq: u64) -> io::Result<()> {
+        // The rename is the publication point: a kill anywhere earlier
+        // leaves only the `.tmp`, which `seqs` never lists.
+        fs::rename(self.tmp_path(seq), self.path(seq))
+    }
+
+    fn abort_stream(&mut self, seq: u64) {
+        let _ = fs::remove_file(self.tmp_path(seq));
     }
 }
 
@@ -282,6 +411,254 @@ pub fn decode_checkpoint(
             cur.len()
         )));
     }
+    Ok((seq, covered, store, bubbles))
+}
+
+/// A bubbles-snapshot body plus the byte span of each live bubble record.
+type BodySpans = (Vec<u8>, Vec<(usize, usize)>);
+
+/// Parses a framed bubbles snapshot into its raw body plus the byte span
+/// of each live bubble record — the splice points delta checkpoints work
+/// over. Record layout per `snapshot::write_body`: `seed f64×dim | n u64 |
+/// ls f64×dim | ss f64 | member_count u64 | ids u32×mc`.
+fn bubble_record_spans(frame: &[u8]) -> Result<BodySpans, SnapshotError> {
+    let mut r: &[u8] = frame;
+    let Some(body) = read_frame(&mut r, crate::snapshot::MAGIC)? else {
+        return Err(SnapshotError::Corrupt(
+            "legacy v1 bubble snapshots cannot be delta-spliced".into(),
+        ));
+    };
+    // Header: dim u64 | num_bubbles u64 | probability f64 | 3 enum bytes |
+    // live_count u64 — records start at byte 35.
+    if body.len() < 35 {
+        return Err(SnapshotError::Corrupt(
+            "bubble snapshot body too short for its header".into(),
+        ));
+    }
+    let dim = read_u64(&mut &body[0..8])? as usize;
+    if dim == 0 || dim > (1 << 20) {
+        return Err(SnapshotError::Corrupt(format!(
+            "implausible dimensionality {dim} in bubble snapshot"
+        )));
+    }
+    let live = read_u64(&mut &body[27..35])? as usize;
+    if live > (1 << 24) {
+        return Err(SnapshotError::Corrupt(format!(
+            "implausible bubble count {live} in bubble snapshot"
+        )));
+    }
+    let fixed = 16 * dim + 24;
+    let mut spans = Vec::with_capacity(live);
+    let mut at = 35usize;
+    for slot in 0..live {
+        let mc_at = at + 16 * dim + 16;
+        if mc_at + 8 > body.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "bubble record {slot} is truncated"
+            )));
+        }
+        let mc = read_u64(&mut &body[mc_at..mc_at + 8])? as usize;
+        if mc > (1 << 32) {
+            return Err(SnapshotError::Corrupt(format!(
+                "implausible member count {mc} in bubble record {slot}"
+            )));
+        }
+        let len = fixed + 4 * mc;
+        if at + len > body.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "bubble record {slot} overruns the body"
+            )));
+        }
+        spans.push((at, at + len));
+        at += len;
+    }
+    if at != body.len() {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes after the bubble records",
+            body.len() - at
+        )));
+    }
+    Ok((body, spans))
+}
+
+/// Encodes an incremental (delta) checkpoint: a v2 frame whose payload is
+/// `seq | covered | base_seq | base_covered | live_count | dirty_count |
+/// (slot u32 | record_len u64 | record bytes)×` — only the bubble records
+/// in `dirty` (slots dirtied since the full checkpoint `base_seq`, which
+/// covered `base_covered` batches) are persisted. [`decode_delta_checkpoint`]
+/// reconstructs the full state from the base blob plus the WAL records in
+/// `[base_covered, covered)`.
+///
+/// # Errors
+/// When a dirty slot is out of range for the live population (a dirty-
+/// tracking bug, surfaced as a typed error rather than a bad blob).
+pub fn encode_delta_checkpoint(
+    seq: u64,
+    covered: u64,
+    base_seq: u64,
+    base_covered: u64,
+    bubbles: &IncrementalBubbles,
+    dirty: &BTreeSet<u32>,
+) -> io::Result<Vec<u8>> {
+    let mut snap = Vec::new();
+    bubbles.write_snapshot(&mut snap)?;
+    let (body, spans) = bubble_record_spans(&snap)
+        .map_err(|e| io::Error::other(format!("own snapshot failed to parse: {e}")))?;
+    let live = spans.len();
+    let mut payload = Vec::new();
+    write_u64(&mut payload, seq)?;
+    write_u64(&mut payload, covered)?;
+    write_u64(&mut payload, base_seq)?;
+    write_u64(&mut payload, base_covered)?;
+    write_u64(&mut payload, live as u64)?;
+    write_u64(&mut payload, dirty.len() as u64)?;
+    for &slot in dirty {
+        let (start, end) = *spans.get(slot as usize).ok_or_else(|| {
+            io::Error::other(format!("dirty slot {slot} out of range ({live} live)"))
+        })?;
+        write_u32(&mut payload, slot)?;
+        write_u64(&mut payload, (end - start) as u64)?;
+        payload.extend_from_slice(&body[start..end]);
+    }
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    write_frame(&mut out, DELTA_CHECKPOINT_MAGIC, &payload)?;
+    Ok(out)
+}
+
+/// The `base_seq` a delta checkpoint builds on, without decoding the rest.
+///
+/// # Errors
+/// [`SnapshotError`] when the frame is damaged or not a delta checkpoint.
+pub fn delta_base_seq(bytes: &[u8]) -> Result<u64, SnapshotError> {
+    let mut r: &[u8] = bytes;
+    let Some(payload) = read_frame(&mut r, DELTA_CHECKPOINT_MAGIC)? else {
+        return Err(SnapshotError::Corrupt(
+            "legacy v1 framing is not valid for delta checkpoints".into(),
+        ));
+    };
+    let mut cur: &[u8] = &payload;
+    let _seq = read_u64(&mut cur)?;
+    let _covered = read_u64(&mut cur)?;
+    Ok(read_u64(&mut cur)?)
+}
+
+/// Decodes a delta checkpoint against its full base blob and the WAL it
+/// was logged into: the base's store is rolled forward by replaying the
+/// logged batches in `[base_covered, covered)` (deletes then inserts per
+/// record, exactly the live path's order, so the free list is
+/// bit-identical), the dirty bubble records are spliced over the base's
+/// snapshot body, and the result is validated by the ordinary snapshot
+/// reader. Returns `(seq, covered, store, bubbles)`.
+///
+/// # Errors
+/// [`SnapshotError`] when either frame is damaged, the base does not
+/// match what the delta claims, the WAL no longer covers
+/// `[base_covered, covered)`, or the spliced snapshot fails validation.
+pub fn decode_delta_checkpoint(
+    bytes: &[u8],
+    base: &[u8],
+    wal_base: u64,
+    wal_records: &[WalRecord],
+) -> Result<(u64, u64, PointStore, IncrementalBubbles), SnapshotError> {
+    let mut r: &[u8] = bytes;
+    let Some(payload) = read_frame(&mut r, DELTA_CHECKPOINT_MAGIC)? else {
+        return Err(SnapshotError::Corrupt(
+            "legacy v1 framing is not valid for delta checkpoints".into(),
+        ));
+    };
+    let mut cur: &[u8] = &payload;
+    let seq = read_u64(&mut cur)?;
+    let covered = read_u64(&mut cur)?;
+    let base_seq = read_u64(&mut cur)?;
+    let base_covered = read_u64(&mut cur)?;
+    let live = read_u64(&mut cur)? as usize;
+    let dirty_count = read_u64(&mut cur)? as usize;
+    if covered < base_covered {
+        return Err(SnapshotError::Corrupt(format!(
+            "delta covers {covered} batches, before its base's {base_covered}"
+        )));
+    }
+    let mut dirty: BTreeMap<u32, &[u8]> = BTreeMap::new();
+    for _ in 0..dirty_count {
+        let slot = read_u32(&mut cur)?;
+        let len = read_u64(&mut cur)? as usize;
+        if len > cur.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "dirty record for slot {slot} overruns the payload"
+            )));
+        }
+        let (rec, rest) = cur.split_at(len);
+        dirty.insert(slot, rec);
+        cur = rest;
+    }
+    if !cur.is_empty() {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes after the delta payload",
+            cur.len()
+        )));
+    }
+
+    // The full base: `seq | covered | store | bubbles`.
+    let mut br: &[u8] = base;
+    let Some(bpayload) = read_frame(&mut br, CHECKPOINT_MAGIC)? else {
+        return Err(SnapshotError::Corrupt(
+            "a delta's base must be a full checkpoint".into(),
+        ));
+    };
+    let mut bcur: &[u8] = &bpayload;
+    let bseq = read_u64(&mut bcur)?;
+    let bcov = read_u64(&mut bcur)?;
+    if bseq != base_seq || bcov != base_covered {
+        return Err(SnapshotError::Corrupt(format!(
+            "delta claims base {base_seq} covering {base_covered}, \
+             blob is {bseq} covering {bcov}"
+        )));
+    }
+    let mut store = PointStore::read_snapshot(&mut bcur)?;
+    let bubbles_frame = bcur;
+
+    // Roll the store forward with the logged batches the delta sits on.
+    if wal_base > base_covered {
+        return Err(SnapshotError::Corrupt(format!(
+            "wal base {wal_base} is past the delta's store base {base_covered}"
+        )));
+    }
+    let have = wal_base + wal_records.len() as u64;
+    if have < covered {
+        return Err(SnapshotError::Corrupt(format!(
+            "wal holds batches up to {have}, delta needs {covered}"
+        )));
+    }
+    for i in (base_covered - wal_base)..(covered - wal_base) {
+        let batch = &wal_records[usize::try_from(i).expect("record index fits usize")].batch;
+        for &id in &batch.deletes {
+            store.remove(id);
+        }
+        for (p, label) in &batch.inserts {
+            store.insert(p, *label);
+        }
+    }
+
+    // Splice the dirty records over the base body.
+    let (body, spans) = bubble_record_spans(bubbles_frame)?;
+    let mut new_body = Vec::with_capacity(body.len());
+    new_body.extend_from_slice(&body[0..27]);
+    write_u64(&mut new_body, live as u64)?;
+    for slot in 0..live {
+        if let Some(rec) = dirty.get(&u32::try_from(slot).expect("slot fits u32")) {
+            new_body.extend_from_slice(rec);
+        } else if let Some(&(s, e)) = spans.get(slot) {
+            new_body.extend_from_slice(&body[s..e]);
+        } else {
+            return Err(SnapshotError::Corrupt(format!(
+                "slot {slot} grew past the base population but is not in the delta"
+            )));
+        }
+    }
+    let mut framed = Vec::with_capacity(new_body.len() + 24);
+    write_frame(&mut framed, crate::snapshot::MAGIC, &new_body)?;
+    let mut fr: &[u8] = &framed;
+    let bubbles = IncrementalBubbles::read_snapshot(&mut fr, &store)?;
     Ok((seq, covered, store, bubbles))
 }
 
@@ -347,11 +724,70 @@ pub fn recover_with_obs<C: CheckpointStore>(
         },
         0,
     );
-    let wal = read_wal(wal_bytes).map_err(|e| match e {
+    let wal = read_wal(wal_bytes).map_err(wal_to_recovery)?;
+    recover_parsed(&wal, checkpoints, obs, &timer)
+}
+
+/// [`recover`] over a segmented WAL chain: walks the newest epoch on
+/// `medium` (see [`read_chain`]) and recovers from the merged record
+/// stream. Compaction may have reclaimed the chain's oldest segments;
+/// checkpoints older than the surviving base are skipped exactly like
+/// checkpoints from an earlier epoch.
+///
+/// # Errors
+/// As [`recover`]; chain-level damage ([`WalError::ChainGap`],
+/// [`WalError::CorruptSegment`]) surfaces as
+/// [`RecoveryError::CorruptWal`].
+pub fn recover_chain<M: SegmentMedium, C: CheckpointStore>(
+    medium: &M,
+    checkpoints: &C,
+) -> Result<Recovered, RecoveryError> {
+    recover_chain_with_obs(medium, checkpoints, &Obs::from_env())
+}
+
+/// [`recover_chain`] journaling through an explicit observability handle.
+///
+/// # Errors
+/// As [`recover_chain`].
+pub fn recover_chain_with_obs<M: SegmentMedium, C: CheckpointStore>(
+    medium: &M,
+    checkpoints: &C,
+    obs: &Obs,
+) -> Result<Recovered, RecoveryError> {
+    let timer = obs.start();
+    let chain = read_chain(medium).map_err(wal_to_recovery)?;
+    obs.emit(
+        EventKind::RecoverStart {
+            wal_bytes: chain.bytes,
+        },
+        0,
+    );
+    let wal = chain.into_wal_contents();
+    recover_parsed(&wal, checkpoints, obs, &timer)
+}
+
+fn wal_to_recovery(e: WalError) -> RecoveryError {
+    match e {
         WalError::Io(e) => RecoveryError::Io(e),
         WalError::Corrupt { offset, detail } => RecoveryError::CorruptWal { offset, detail },
-    })?;
+        e @ (WalError::ChainGap { .. } | WalError::CorruptSegment { .. }) => {
+            RecoveryError::CorruptWal {
+                offset: 0,
+                detail: e.to_string(),
+            }
+        }
+    }
+}
 
+/// The shared checkpoint-candidate loop: newest first, skipping damaged
+/// or misaligned candidates. Full blobs decode directly; delta blobs pull
+/// in their full base and the WAL records they sit on.
+fn recover_parsed<C: CheckpointStore>(
+    wal: &WalContents,
+    checkpoints: &C,
+    obs: &Obs,
+    timer: &idb_obs::ObsTimer,
+) -> Result<Recovered, RecoveryError> {
     let mut seqs = checkpoints.seqs()?;
     seqs.sort_unstable();
     let mut tried = 0;
@@ -365,7 +801,19 @@ pub fn recover_with_obs<C: CheckpointStore>(
                 continue;
             }
         };
-        let (cseq, covered, store, bubbles) = match decode_checkpoint(&blob) {
+        let decoded = if blob.starts_with(DELTA_CHECKPOINT_MAGIC) {
+            match delta_base_seq(&blob) {
+                Err(e) => Err(e.to_string()),
+                Ok(bseq) => match checkpoints.load(bseq) {
+                    Err(e) => Err(format!("delta base {bseq}: load failed: {e}")),
+                    Ok(base) => decode_delta_checkpoint(&blob, &base, wal.base, &wal.records)
+                        .map_err(|e| e.to_string()),
+                },
+            }
+        } else {
+            decode_checkpoint(&blob).map_err(|e| e.to_string())
+        };
+        let (cseq, covered, store, bubbles) = match decoded {
             Ok(parts) => parts,
             Err(e) => {
                 detail = format!("checkpoint {seq}: {e}");
@@ -377,8 +825,9 @@ pub fn recover_with_obs<C: CheckpointStore>(
             continue;
         }
         if covered < wal.base {
-            // Taken in an earlier WAL epoch; this log's records would be
-            // double-counted on top of it.
+            // Taken in an earlier WAL epoch (or before the compaction
+            // floor); this log's records would be double-counted on top
+            // of it.
             detail = format!(
                 "checkpoint {seq} covers {covered} batches, before the wal epoch base {}",
                 wal.base
@@ -394,7 +843,7 @@ pub fn recover_with_obs<C: CheckpointStore>(
             continue;
         }
         obs.emit(EventKind::RecoverCheckpoint { seq, covered }, 0);
-        return replay(&wal, seq, covered, store, bubbles, obs, &timer);
+        return replay(wal, seq, covered, store, bubbles, obs, timer);
     }
     Err(RecoveryError::NoUsableCheckpoint { tried, detail })
 }
@@ -470,6 +919,23 @@ pub struct DurabilityConfig {
     /// Sleep before the first retry, doubling each attempt. Zero (the
     /// default, and what tests use) retries immediately without sleeping.
     pub retry_backoff: Duration,
+    /// Hard cap on WAL records buffered in memory while the sink is down.
+    /// Past it, new batches are shed with a typed
+    /// [`StorageError`] instead of growing memory without bound.
+    pub max_buffered: usize,
+    /// Bytes of an in-flight checkpoint written per applied batch when the
+    /// checkpoint medium streams: chunked writes interleave with batch
+    /// application instead of stopping the world.
+    pub checkpoint_chunk_bytes: usize,
+    /// Every Nth checkpoint is a full rebase; the ones between persist
+    /// only the bubbles dirtied since the newest full base (a delta
+    /// checkpoint). `1` takes a full checkpoint every time.
+    pub full_rebase_interval: u64,
+    /// Budget on the live WAL chain's disk footprint. On breach the
+    /// maintainer compacts first, then forces a full checkpoint to
+    /// advance the compaction floor, and only then sheds the batch with a
+    /// typed [`StorageError::BudgetExceeded`].
+    pub disk_budget: StorageBudget,
 }
 
 impl Default for DurabilityConfig {
@@ -479,6 +945,10 @@ impl Default for DurabilityConfig {
             checkpoint_interval: 64,
             max_retries: 3,
             retry_backoff: Duration::ZERO,
+            max_buffered: 1024,
+            checkpoint_chunk_bytes: 64 * 1024,
+            full_rebase_interval: 4,
+            disk_budget: StorageBudget::from_env(),
         }
     }
 }
@@ -488,12 +958,97 @@ impl Default for DurabilityConfig {
 pub enum Health {
     /// The sink and checkpoint store are accepting writes.
     Healthy,
-    /// The sink (or checkpoint store) is down; the maintainer keeps
-    /// serving from memory and buffers WAL records for when it heals.
+    /// The sink (or checkpoint store) is down, or the disk budget is
+    /// breached; the maintainer keeps serving from memory and buffers WAL
+    /// records (up to [`DurabilityConfig::max_buffered`]) for when it
+    /// heals.
     Degraded {
         /// WAL records buffered in memory, not yet durable.
         buffered_batches: usize,
+        /// Batches shed with a typed error over the maintainer's life
+        /// (buffer cap or disk budget).
+        shed_batches: u64,
     },
+}
+
+/// Mirrors the maintainer's [`BubbleChange`] log into the set of bubble
+/// slots dirtied since the newest full checkpoint — what a delta
+/// checkpoint persists. The key invariant: a slot *not* in `dirty` holds
+/// byte-identical snapshot content to the same slot in the base full
+/// checkpoint (only the last slot ever moves, and its landing slot is
+/// marked dirty).
+#[derive(Debug)]
+struct DirtyTracker {
+    /// `false` until the first full rebase, or after an untrackable
+    /// operation (repair) — a delta cannot be taken, only a full.
+    valid: bool,
+    /// Mirror of the live bubble count.
+    count: usize,
+    dirty: BTreeSet<u32>,
+}
+
+impl DirtyTracker {
+    fn new() -> Self {
+        Self {
+            valid: false,
+            count: 0,
+            dirty: BTreeSet::new(),
+        }
+    }
+
+    /// Folds one drained change log in. `None` (tracking gap) invalidates.
+    fn absorb(&mut self, changes: Option<Vec<BubbleChange>>) {
+        let Some(changes) = changes else {
+            self.invalidate();
+            return;
+        };
+        if !self.valid {
+            return;
+        }
+        for c in changes {
+            match c {
+                BubbleChange::Touched(i) => {
+                    self.dirty.insert(i);
+                }
+                BubbleChange::Pushed => {
+                    self.dirty.insert(self.count as u32);
+                    self.count += 1;
+                }
+                BubbleChange::SwapRemoved(i) => {
+                    let last = (self.count - 1) as u32;
+                    // The old last slot's content moved into `i`; the
+                    // vacated slot no longer exists.
+                    self.dirty.remove(&last);
+                    if i != last {
+                        self.dirty.insert(i);
+                    }
+                    self.count -= 1;
+                }
+            }
+        }
+    }
+
+    /// Starts a fresh dirty window against a just-encoded full base.
+    fn rebase(&mut self, live_count: usize) {
+        self.valid = true;
+        self.count = live_count;
+        self.dirty.clear();
+    }
+
+    fn invalidate(&mut self) {
+        self.valid = false;
+        self.dirty.clear();
+    }
+}
+
+/// A checkpoint being streamed out across batch applications.
+#[derive(Debug)]
+struct PendingCheckpoint {
+    seq: u64,
+    covered: u64,
+    blob: Vec<u8>,
+    written: usize,
+    is_full: bool,
 }
 
 /// The live-side durability wrapper: validate → log → apply.
@@ -521,6 +1076,27 @@ pub struct DurableMaintainer<S: DurableSink, C: CheckpointStore> {
     /// Whether the last emitted health event said "degraded" — health
     /// events fire on transitions only.
     reported_degraded: bool,
+    /// Absolute batch sequence number of this WAL epoch's first record
+    /// (what rotation stamps into new segment headers).
+    wal_base: u64,
+    /// `(seq, covered)` of the newest durable *full* checkpoint: the
+    /// delta base and the compaction floor.
+    last_full: Option<(u64, u64)>,
+    /// Checkpoints taken since the last full rebase.
+    checkpoints_since_full: u64,
+    /// Bubble slots dirtied since `last_full`.
+    dirty: DirtyTracker,
+    /// The checkpoint currently streaming out, one chunk per batch.
+    pending_ckpt: Option<PendingCheckpoint>,
+    /// Batches shed with a typed error (buffer cap or disk budget).
+    shed_batches: u64,
+    /// Whether the last sink failure reported `StorageFull` (ENOSPC) —
+    /// a shed at the buffer cap then surfaces as
+    /// [`StorageError::Enospc`] rather than a plain buffer overflow.
+    sink_full: bool,
+    /// Whether the disk budget was breached and could not be compacted
+    /// back under the cap.
+    budget_pressure: bool,
 }
 
 impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
@@ -591,7 +1167,7 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
 
     fn start(
         store: PointStore,
-        bubbles: IncrementalBubbles,
+        mut bubbles: IncrementalBubbles,
         dcfg: DurabilityConfig,
         sink: S,
         checkpoints: C,
@@ -600,6 +1176,10 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
         // The wrapper journals into the same stream as the summarization
         // it wraps; the WAL writer gets a clone so commits land there too.
         let obs = bubbles.obs().clone();
+        // The incremental-checkpoint dirty tracker feeds off the
+        // checkpoint-side change channel (independent of the consumer-
+        // facing one).
+        bubbles.set_ckpt_tracking(true);
         let mut wal = WalWriter::new(sink, store.dim(), base, dcfg.group_commit);
         wal.set_obs(obs.clone());
         wal.commit()?; // The header must be durable before any checkpoint.
@@ -617,6 +1197,14 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
             checkpoint_down: false,
             obs,
             reported_degraded: false,
+            wal_base: base,
+            last_full: None,
+            checkpoints_since_full: 0,
+            dirty: DirtyTracker::new(),
+            pending_ckpt: None,
+            shed_batches: 0,
+            sink_full: false,
+            budget_pressure: false,
         };
         this.checkpoint_now()?; // The recovery anchor for this epoch.
         Ok(this)
@@ -625,7 +1213,7 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
     /// Emits a `health` journal event when the degraded/healthy state has
     /// changed since the last one.
     fn note_health(&mut self) {
-        let degraded = self.wal_down || self.checkpoint_down;
+        let degraded = self.wal_down || self.checkpoint_down || self.budget_pressure;
         if degraded != self.reported_degraded {
             self.reported_degraded = degraded;
             self.obs.emit(
@@ -660,10 +1248,16 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
     ///
     /// Sink failures do **not** fail the batch: the maintainer retries per
     /// [`DurabilityConfig`], then degrades to in-memory operation and
-    /// keeps the record buffered (see [`DurableMaintainer::health`]).
+    /// keeps the record buffered (see [`DurableMaintainer::health`]) — up
+    /// to [`DurabilityConfig::max_buffered`] records, past which batches
+    /// are shed with a typed error. The disk budget is enforced the same
+    /// way: compact first, then force a full checkpoint to advance the
+    /// floor, and only shed when the chain still will not fit.
     ///
     /// # Errors
-    /// The typed [`UpdateError`] when the batch itself is invalid.
+    /// The typed [`UpdateError`] when the batch itself is invalid, or
+    /// [`UpdateError::Storage`] when the batch was shed by the bounded
+    /// durability layer (the summarization and the store are untouched).
     pub fn apply_with(
         &mut self,
         batch: &Batch,
@@ -674,6 +1268,10 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
         // Validate before logging: the WAL must only ever contain batches
         // that replay cleanly.
         self.bubbles.check_batch(&self.store, batch)?;
+        // Bounded resources next: shed (typed) before anything is logged
+        // or applied.
+        self.enforce_disk_budget()?;
+        self.enforce_buffer_cap()?;
         self.wal.append(&WalRecord {
             round_seed,
             maintain,
@@ -694,28 +1292,37 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
             self.bubbles.maintain(&self.store, &mut rng, search);
         }
         self.batches_applied += 1;
-        if self.batches_applied - self.last_checkpoint_at >= self.dcfg.checkpoint_interval {
-            match self.checkpoint_now() {
-                Ok(()) => self.checkpoint_down = false,
-                Err(_) => self.checkpoint_down = true, // Retried next interval.
-            }
-            self.note_health();
-        }
+        self.dirty.absorb(self.bubbles.take_ckpt_changes());
+        self.drive_checkpoint();
         Ok(ids)
     }
 
     /// Commits buffered WAL records with bounded retry; on persistent
     /// failure flags the sink as down and leaves the records buffered.
+    /// ENOSPC from the sink triggers a compaction before the retry. After
+    /// a successful commit that made new records durable, the segmented
+    /// sink is offered a rotation.
     fn commit_wal(&mut self) -> bool {
+        let before = self.wal.committed_records();
         let mut backoff = self.dcfg.retry_backoff;
         for attempt in 0..=self.dcfg.max_retries {
             match self.wal.commit() {
                 Ok(()) => {
                     self.wal_down = false;
+                    self.sink_full = false;
                     self.note_health();
+                    if self.wal.committed_records() > before {
+                        self.maybe_roll();
+                    }
                     return true;
                 }
-                Err(_) => {
+                Err(e) => {
+                    self.sink_full = e.kind() == io::ErrorKind::StorageFull;
+                    if self.sink_full {
+                        // Reclaiming covered segments may free exactly the
+                        // space the retry needs.
+                        self.compact();
+                    }
                     if attempt < self.dcfg.max_retries && !backoff.is_zero() {
                         std::thread::sleep(backoff);
                         backoff = backoff.saturating_mul(2);
@@ -728,6 +1335,326 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
         false
     }
 
+    /// Offers the sink a segment rotation (a no-op for unsegmented sinks
+    /// and for segmented ones still under their byte budget). Called only
+    /// after a commit that made records durable, so a sealed segment is
+    /// never empty.
+    fn maybe_roll(&mut self) {
+        let next_base = self.wal_base + self.wal.committed_records();
+        match self.wal.sink_mut().roll(self.store.dim(), next_base) {
+            Ok(None) => {}
+            Ok(Some(report)) => {
+                self.obs.emit(
+                    EventKind::WalRotate {
+                        epoch: report.new_epoch,
+                        seq: report.new_seq,
+                        base: next_base,
+                        sealed_bytes: report.sealed_bytes,
+                    },
+                    0,
+                );
+                if self.obs.metrics_on() {
+                    self.obs.metrics().counter("wal.rotations").inc();
+                }
+            }
+            Err(_) => {
+                // Transient: the active segment keeps absorbing appends;
+                // rotation is retried after the next commit.
+                if self.obs.metrics_on() {
+                    self.obs.metrics().counter("wal.roll_failures").inc();
+                }
+            }
+        }
+    }
+
+    /// Reclaims WAL segments fully covered by the newest durable full
+    /// checkpoint. Returns the bytes reclaimed (0 when there is no floor,
+    /// nothing was reclaimable, or the sink is unsegmented).
+    fn compact(&mut self) -> u64 {
+        let Some((_, floor)) = self.last_full else {
+            return 0;
+        };
+        match self.wal.sink_mut().reclaim(floor) {
+            Ok(report) if report.segments > 0 => {
+                self.obs.emit(
+                    EventKind::WalCompact {
+                        segments: report.segments,
+                        bytes: report.bytes,
+                        floor,
+                    },
+                    0,
+                );
+                if self.obs.metrics_on() {
+                    let m = self.obs.metrics();
+                    m.counter("wal.compactions").inc();
+                    m.counter("wal.reclaimed_bytes").add(report.bytes);
+                }
+                report.bytes
+            }
+            _ => 0,
+        }
+    }
+
+    /// Compact-first-then-shed enforcement of the disk budget, before the
+    /// batch is logged.
+    fn enforce_disk_budget(&mut self) -> Result<(), UpdateError> {
+        let Some(budget) = self.dcfg.disk_budget.max_live_bytes else {
+            self.budget_pressure = false;
+            return Ok(());
+        };
+        // An unsegmented sink cannot report (or bound) its footprint.
+        let Some(live) = self.wal.sink().live_bytes() else {
+            return Ok(());
+        };
+        if live <= budget {
+            self.budget_pressure = false;
+            return Ok(());
+        }
+        // 1) Reclaim what the existing floor already covers.
+        self.compact();
+        if self.wal.sink().live_bytes().unwrap_or(0) <= budget {
+            self.budget_pressure = false;
+            return Ok(());
+        }
+        // 2) Advance the floor with a forced full checkpoint (which
+        //    compacts on success) and re-check.
+        let _ = self.checkpoint_now();
+        let live = self.wal.sink().live_bytes().unwrap_or(0);
+        if live <= budget {
+            self.budget_pressure = false;
+            return Ok(());
+        }
+        // 3) Shed, typed.
+        self.budget_pressure = true;
+        self.shed_batches += 1;
+        self.obs.emit(
+            EventKind::StorageShed {
+                buffered: self.wal.pending_records() as u64,
+                shed: self.shed_batches,
+            },
+            0,
+        );
+        if self.obs.metrics_on() {
+            self.obs.metrics().counter("storage.shed").inc();
+        }
+        self.note_health();
+        Err(StorageError::BudgetExceeded {
+            live_bytes: live,
+            budget,
+        }
+        .into())
+    }
+
+    /// Hard cap on the degraded-mode buffer: one more drain attempt, then
+    /// a typed shed.
+    fn enforce_buffer_cap(&mut self) -> Result<(), UpdateError> {
+        if self.wal.pending_records() < self.dcfg.max_buffered {
+            return Ok(());
+        }
+        if self.commit_wal() && self.wal.pending_records() < self.dcfg.max_buffered {
+            return Ok(());
+        }
+        let buffered = self.wal.pending_records();
+        self.shed_batches += 1;
+        self.obs.emit(
+            EventKind::StorageShed {
+                buffered: buffered as u64,
+                shed: self.shed_batches,
+            },
+            0,
+        );
+        if self.obs.metrics_on() {
+            self.obs.metrics().counter("storage.shed").inc();
+        }
+        self.note_health();
+        let err = if self.sink_full {
+            StorageError::Enospc {
+                detail: format!(
+                    "wal sink out of space with {buffered} records buffered at the cap"
+                ),
+            }
+        } else {
+            StorageError::BufferFull {
+                buffered,
+                max: self.dcfg.max_buffered,
+            }
+        };
+        Err(err.into())
+    }
+
+    /// Starts a checkpoint when the interval is due and advances the
+    /// in-flight one by one chunk — the streaming-checkpoint pump, called
+    /// once per applied batch.
+    fn drive_checkpoint(&mut self) {
+        if self.pending_ckpt.is_none()
+            && self.batches_applied - self.last_checkpoint_at >= self.dcfg.checkpoint_interval
+        {
+            self.begin_checkpoint();
+        }
+        if self.pending_ckpt.is_some() {
+            self.advance_pending();
+        }
+        self.note_health();
+    }
+
+    /// Encodes the next checkpoint — full on the rebase cadence (or when
+    /// the dirty log has a gap), delta otherwise — and stages it for
+    /// chunked writing.
+    fn begin_checkpoint(&mut self) {
+        let seq = self.next_checkpoint_seq;
+        let covered = self.batches_applied;
+        let full = self.last_full.is_none()
+            || !self.dirty.valid
+            || self.checkpoints_since_full + 1 >= self.dcfg.full_rebase_interval.max(1);
+        let blob = if full {
+            let blob = encode_checkpoint(seq, covered, &self.store, &self.bubbles);
+            if blob.is_ok() {
+                // The blob captures the state exactly as of `covered`;
+                // the dirty window restarts against it. If the stream
+                // later fails, `advance_pending` invalidates the tracker.
+                let _ = self.bubbles.take_ckpt_changes();
+                self.dirty.rebase(self.bubbles.bubbles().len());
+            }
+            blob
+        } else {
+            let (base_seq, base_covered) = self.last_full.expect("checked above");
+            encode_delta_checkpoint(
+                seq,
+                covered,
+                base_seq,
+                base_covered,
+                &self.bubbles,
+                &self.dirty.dirty,
+            )
+        };
+        match blob {
+            Ok(blob) => {
+                self.pending_ckpt = Some(PendingCheckpoint {
+                    seq,
+                    covered,
+                    blob,
+                    written: 0,
+                    is_full: full,
+                });
+            }
+            Err(_) => {
+                if full {
+                    self.dirty.invalidate();
+                }
+                self.checkpoint_down = true;
+            }
+        }
+    }
+
+    /// Writes the next chunk of the pending checkpoint (or, on a
+    /// non-streaming medium, the whole blob) and publishes it when done.
+    fn advance_pending(&mut self) {
+        let Some(mut p) = self.pending_ckpt.take() else {
+            return;
+        };
+        let total = p.blob.len() as u64;
+        let timer = self.obs.start();
+        let streaming = self.checkpoints.supports_streaming();
+        let step: io::Result<bool> = if streaming {
+            (|| {
+                if p.written == 0 {
+                    self.checkpoints.begin_stream(p.seq)?;
+                }
+                let end = (p.written + self.dcfg.checkpoint_chunk_bytes.max(1)).min(p.blob.len());
+                self.checkpoints
+                    .stream_chunk(p.seq, &p.blob[p.written..end])?;
+                p.written = end;
+                if p.written == p.blob.len() {
+                    self.checkpoints.finish_stream(p.seq)?;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            })()
+        } else {
+            self.checkpoints.save(p.seq, &p.blob).map(|()| {
+                p.written = p.blob.len();
+                true
+            })
+        };
+        match step {
+            Ok(done) => {
+                if streaming {
+                    self.obs.emit(
+                        EventKind::CheckpointChunk {
+                            seq: p.seq,
+                            written: p.written as u64,
+                            total,
+                        },
+                        timer.us(),
+                    );
+                }
+                if done {
+                    self.finish_checkpoint(&p, timer.us());
+                } else {
+                    self.pending_ckpt = Some(p);
+                }
+            }
+            Err(_) => {
+                if streaming && p.written > 0 {
+                    self.checkpoints.abort_stream(p.seq);
+                }
+                if p.is_full {
+                    // The dirty window was rebased against this blob; it
+                    // never became durable, so a delta can no longer lean
+                    // on it.
+                    self.dirty.invalidate();
+                }
+                // Burn the sequence number: a fresh attempt must not
+                // continue an abandoned chunk stream under the same seq.
+                self.next_checkpoint_seq = p.seq + 1;
+                self.checkpoint_down = true;
+            }
+        }
+    }
+
+    /// Bookkeeping for a checkpoint that became durable.
+    fn finish_checkpoint(&mut self, p: &PendingCheckpoint, us: u64) {
+        self.obs.emit(
+            EventKind::Checkpoint {
+                seq: p.seq,
+                covered: p.covered,
+                bytes: p.blob.len() as u64,
+            },
+            us,
+        );
+        if self.obs.metrics_on() {
+            let m = self.obs.metrics();
+            m.counter("checkpoint.taken").inc();
+            m.counter("checkpoint.bytes").add(p.blob.len() as u64);
+            if !p.is_full {
+                m.counter("checkpoint.delta").inc();
+            }
+        }
+        self.next_checkpoint_seq = p.seq + 1;
+        self.last_checkpoint_at = p.covered;
+        if p.is_full {
+            self.last_full = Some((p.seq, p.covered));
+            self.checkpoints_since_full = 0;
+            self.compact();
+        } else {
+            self.checkpoints_since_full += 1;
+        }
+        self.checkpoint_down = false;
+    }
+
+    /// Drives any in-flight streaming checkpoint to completion (orderly
+    /// shutdown; the live path writes one chunk per batch instead).
+    pub fn flush_checkpoint(&mut self) {
+        while self.pending_ckpt.is_some() {
+            self.advance_pending();
+            if self.checkpoint_down {
+                break; // Typed failure; a fresh attempt starts next interval.
+            }
+        }
+        self.note_health();
+    }
+
     /// Forces buffered WAL records to the sink (with the configured
     /// retries) and reports the resulting health.
     pub fn sync(&mut self) -> Health {
@@ -737,12 +1664,25 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
         self.health()
     }
 
-    /// Takes a checkpoint of the current state right now.
+    /// Takes a **full** checkpoint of the current state right now,
+    /// bypassing the chunked stream (and abandoning any checkpoint that
+    /// was mid-stream). On success the compaction floor advances and
+    /// covered segments are reclaimed.
     ///
     /// # Errors
     /// Whatever the checkpoint medium reports; the maintainer stays
     /// usable and will retry at the next interval.
     pub fn checkpoint_now(&mut self) -> Result<(), RecoveryError> {
+        if let Some(p) = self.pending_ckpt.take() {
+            if self.checkpoints.supports_streaming() && p.written > 0 {
+                self.checkpoints.abort_stream(p.seq);
+            }
+            if p.is_full {
+                self.dirty.invalidate();
+            }
+            // The abandoned stream's seq is burned (see `advance_pending`).
+            self.next_checkpoint_seq = p.seq + 1;
+        }
         let timer = self.obs.start();
         let blob = encode_checkpoint(
             self.next_checkpoint_seq,
@@ -765,22 +1705,44 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
             m.counter("checkpoint.bytes").add(blob.len() as u64);
             m.histogram("checkpoint.encode_us").record(timer.us());
         }
+        let _ = self.bubbles.take_ckpt_changes();
+        self.dirty.rebase(self.bubbles.bubbles().len());
+        self.last_full = Some((self.next_checkpoint_seq, self.batches_applied));
+        self.checkpoints_since_full = 0;
         self.next_checkpoint_seq += 1;
         self.last_checkpoint_at = self.batches_applied;
+        self.checkpoint_down = false;
+        self.compact();
         Ok(())
     }
 
     /// Current durability health: [`Health::Degraded`] while the WAL sink
-    /// or the checkpoint store is rejecting writes.
+    /// or the checkpoint store is rejecting writes, or while the disk
+    /// budget is forcing sheds.
     #[must_use]
     pub fn health(&self) -> Health {
-        if self.wal_down || self.checkpoint_down {
+        if self.wal_down || self.checkpoint_down || self.budget_pressure {
             Health::Degraded {
                 buffered_batches: self.wal.pending_records(),
+                shed_batches: self.shed_batches,
             }
         } else {
             Health::Healthy
         }
+    }
+
+    /// Batches shed by the bounded durability layer over this process
+    /// epoch (buffer cap or disk budget).
+    #[must_use]
+    pub fn shed_batches(&self) -> u64 {
+        self.shed_batches
+    }
+
+    /// Live (unreclaimed) bytes of the WAL chain, when the sink can
+    /// report them (`None` for unsegmented sinks).
+    #[must_use]
+    pub fn live_wal_bytes(&self) -> Option<u64> {
+        self.wal.sink().live_bytes()
     }
 
     /// The live point database.

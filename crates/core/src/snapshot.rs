@@ -20,7 +20,7 @@ use idb_store::snapshot::{
 use idb_store::{PointId, PointStore};
 use std::io::{Read, Write};
 
-const MAGIC: &[u8; 4] = b"IDBB";
+pub(crate) const MAGIC: &[u8; 4] = b"IDBB";
 
 fn enum_to_u8(config: &MaintainerConfig) -> (u8, u8, u8) {
     // `1` is the historical TriangleInequality encoding, which the pruned

@@ -16,17 +16,19 @@
 //! corrupted checkpoints).
 
 use idb_core::{
-    recover, recover_with_obs, CheckpointStore, DurabilityConfig, DurableMaintainer, FsCheckpoints,
-    Health, IncrementalBubbles, MaintainerConfig, MemCheckpoints, Parallelism, RecoveryError,
-    SeedSearch,
+    recover, recover_chain, recover_with_obs, CheckpointStore, DurabilityConfig, DurableMaintainer,
+    FsCheckpoints, Health, IncrementalBubbles, MaintainerConfig, MemCheckpoints, Parallelism,
+    RecoveryError, SeedSearch, DELTA_CHECKPOINT_MAGIC,
 };
 use idb_geometry::SearchStats;
-use idb_obs::{Event, EventKind, Obs, RingRecorder};
+use idb_obs::{check_journal, Event, EventKind, Obs, RingRecorder};
+use idb_store::segment::{MemSegments, SegmentId, SegmentedSink};
 use idb_store::wal::{read_wal, scratch_dir, FileSink, MemSink};
 use idb_store::{Batch, PointStore};
 use idb_synth::{flip_bit, FaultSink, ScenarioEngine, ScenarioKind, ScenarioSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 const ENGINES: [SeedSearch; 3] = [SeedSearch::Brute, SeedSearch::Pruned, SeedSearch::KdTree];
@@ -374,7 +376,8 @@ fn faulty_sinks_degrade_heal_and_recover() {
     assert_eq!(
         dm.health(),
         Health::Degraded {
-            buffered_batches: buffered
+            buffered_batches: buffered,
+            shed_batches: 0
         },
         "outage must surface as Degraded with the backlog size"
     );
@@ -668,4 +671,224 @@ fn kill_at_random_crash_point_smoke() {
         "seed {seed}: finished stream diverged"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Segmented-WAL crash suite: the same bit-identity contract with rotation,
+// compaction, and streaming-checkpoint boundaries in the kill sweep.
+// ---------------------------------------------------------------------------
+
+/// Runs the reference stream over a tiny-budget [`SegmentedSink`] with
+/// streaming checkpoints, snapshotting the entire segment map, the
+/// checkpoint store, and the state fingerprint at every batch boundary —
+/// each snapshot is one crash point for the sweep.
+#[allow(clippy::type_complexity)]
+fn segmented_reference_run(
+    sc: &Scenario,
+    segment_bytes: u64,
+) -> (
+    Vec<Fingerprint>,
+    Vec<BTreeMap<SegmentId, Vec<u8>>>,
+    Vec<MemCheckpoints>,
+    Vec<Event>,
+    MemSegments,
+) {
+    let ring = Arc::new(RingRecorder::new());
+    let mut build_rng = StdRng::seed_from_u64(sc.build_seed);
+    let mut stats = SearchStats::new();
+    let store = sc.store.clone();
+    let mut ib = IncrementalBubbles::build(&store, sc.config.clone(), &mut build_rng, &mut stats);
+    ib.set_obs(Obs::with_recorder(ring.clone()));
+    let medium = MemSegments::new();
+    let sink = SegmentedSink::fresh(medium.clone(), segment_bytes).expect("fresh chain");
+    let mut dm = DurableMaintainer::adopt(store, ib, sc.dcfg.clone(), sink, MemCheckpoints::new())
+        .expect("MemSegments never fails");
+    let mut fps = vec![fingerprint(dm.store(), dm.bubbles())];
+    let mut snaps = vec![medium.snapshot()];
+    let mut ckpts = vec![dm.checkpoints().clone()];
+    for step in &sc.steps {
+        dm.apply_with(&step.batch, step.round_seed, step.maintain, &mut stats)
+            .expect("planned batches are valid");
+        fps.push(fingerprint(dm.store(), dm.bubbles()));
+        snaps.push(medium.snapshot());
+        ckpts.push(dm.checkpoints().clone());
+    }
+    dm.flush_checkpoint();
+    assert_eq!(dm.health(), Health::Healthy);
+    (fps, snaps, ckpts, ring.events(), medium)
+}
+
+/// Recovers a restored segment-map crash point via [`recover_chain`],
+/// checks bit-identity at the recovered batch count, then finishes the
+/// stream and checks the end state.
+fn chain_crash_recover_finish(
+    sc: &Scenario,
+    snap: &BTreeMap<SegmentId, Vec<u8>>,
+    ckpts: &MemCheckpoints,
+    fps: &[Fingerprint],
+    label: &str,
+) {
+    let medium = MemSegments::new();
+    medium.restore(snap.clone());
+    let rec = recover_chain(&medium, ckpts).unwrap_or_else(|e| panic!("{label}: {e}"));
+    let k = rec.batches_durable as usize;
+    assert!(k <= sc.steps.len(), "{label}: durable count out of range");
+    assert_eq!(
+        fingerprint(&rec.store, &rec.bubbles),
+        fps[k],
+        "{label}: recovered state diverged at batch {k}"
+    );
+    let mut dm = DurableMaintainer::resume(rec, sc.dcfg.clone(), MemSink::new(), ckpts.clone())
+        .expect("MemSink never fails");
+    let mut stats = SearchStats::new();
+    for step in &sc.steps[k..] {
+        dm.apply_with(&step.batch, step.round_seed, step.maintain, &mut stats)
+            .expect("planned batches are valid");
+    }
+    assert_eq!(
+        fingerprint(dm.store(), dm.bubbles()),
+        *fps.last().unwrap(),
+        "{label}: finished stream diverged"
+    );
+}
+
+/// The segmented centerpiece: kills at every batch boundary (which, with a
+/// tiny segment budget, a short checkpoint cadence, and a chunk size
+/// smaller than one blob, land between rotations, compactions, and
+/// checkpoint chunks), plus torn cuts inside the active segment and a
+/// crash mid-rotation — every one recovers and finishes bit-identically.
+#[test]
+fn segmented_chain_kill_points_recover_bit_identically() {
+    let mut rng = StdRng::seed_from_u64(0xC4A5_0007);
+    for case in 0..4 {
+        let mut sc = plan_scenario(case, &mut rng);
+        sc.dcfg.checkpoint_interval = 2;
+        sc.dcfg.checkpoint_chunk_bytes = 1024; // Streams span several batches.
+        sc.dcfg.full_rebase_interval = 3; // Mix of full and delta blobs.
+        let (fps, snaps, ckpt_trace, _, _) = segmented_reference_run(&sc, 512);
+        for (k, snap) in snaps.iter().enumerate() {
+            // Clean kill exactly at the batch boundary.
+            chain_crash_recover_finish(
+                &sc,
+                snap,
+                &ckpt_trace[k],
+                &fps,
+                &format!("case {case}, boundary {k}"),
+            );
+            let Some((&last_id, last_bytes)) = snap.iter().next_back() else {
+                continue;
+            };
+            // Torn cut inside the newest segment (a kill mid-append):
+            // everything before it must still recover to *some* earlier
+            // boundary, bit-identically.
+            if last_bytes.len() > 1 {
+                let cut = rng.gen_range(1..last_bytes.len());
+                let mut torn = snap.clone();
+                torn.insert(last_id, last_bytes[..cut].to_vec());
+                chain_crash_recover_finish(
+                    &sc,
+                    &torn,
+                    &ckpt_trace[k],
+                    &fps,
+                    &format!("case {case}, boundary {k}, torn at {cut}"),
+                );
+            }
+            // Crash mid-rotation: the next segment exists with only a
+            // partial header. It contributes nothing and recovery matches
+            // the clean boundary.
+            let mut mid_roll = snap.clone();
+            mid_roll.insert(
+                SegmentId {
+                    epoch: last_id.epoch,
+                    seq: last_id.seq + 1,
+                },
+                last_bytes[..7.min(last_bytes.len())].to_vec(),
+            );
+            chain_crash_recover_finish(
+                &sc,
+                &mid_roll,
+                &ckpt_trace[k],
+                &fps,
+                &format!("case {case}, boundary {k}, mid-rotation"),
+            );
+        }
+    }
+}
+
+/// The segmented run's journal carries the new storage events — rotations,
+/// compactions, checkpoint chunks — and the whole stream satisfies the
+/// journal invariants, including the chunk-accounting ones. The live chain
+/// stays bounded: compaction reclaims sealed segments as checkpoints
+/// advance.
+#[test]
+fn segmented_run_journal_and_footprint_are_well_formed() {
+    let mut rng = StdRng::seed_from_u64(0xC4A5_0008);
+    let mut sc = plan_scenario(5, &mut rng);
+    sc.dcfg.checkpoint_interval = 2;
+    sc.dcfg.checkpoint_chunk_bytes = 1024;
+    sc.dcfg.full_rebase_interval = 2;
+    let (_, _, _, events, medium) = segmented_reference_run(&sc, 512);
+    let summary = check_journal(&events).expect("journal invariants");
+    assert!(summary.wal_rotations > 0, "tiny budget must rotate");
+    assert!(
+        summary.wal_compactions > 0,
+        "full checkpoints must reclaim sealed segments"
+    );
+    assert!(
+        summary.checkpoint_chunks > summary.checkpoints,
+        "a 1 KiB chunk size must split blobs across several chunk events"
+    );
+    // Bounded footprint: rotations minus compacted segments is what's
+    // left; compaction must have removed sealed prefixes, so the live
+    // chain is strictly shorter than the rotation count implies.
+    let live_segments = medium.snapshot().len();
+    assert!(
+        live_segments < summary.wal_rotations as usize,
+        "{live_segments} live segments after {} rotations — compaction never ran",
+        summary.wal_rotations
+    );
+}
+
+/// Full-vs-delta equivalence: with a checkpoint every batch and periodic
+/// full rebases, standing recovery on **any** checkpoint alone (an empty
+/// WAL tail) reproduces the reference state at that batch bit-identically
+/// — whether the blob is a full snapshot or a delta over an earlier base.
+#[test]
+fn delta_checkpoints_decode_bit_identically_to_fulls() {
+    let mut rng = StdRng::seed_from_u64(0xC4A5_0009);
+    let mut sc = plan_scenario(3, &mut rng);
+    sc.dcfg.checkpoint_interval = 1;
+    sc.dcfg.full_rebase_interval = 3;
+    sc.dcfg.checkpoint_chunk_bytes = usize::MAX; // One chunk per blob.
+    let (_, _, fps, wal_bytes, final_ckpts) = reference_run(&sc);
+    let seqs = final_ckpts.seqs().unwrap();
+    let deltas = seqs
+        .iter()
+        .filter(|&&s| {
+            final_ckpts
+                .load(s)
+                .is_ok_and(|b| b.starts_with(DELTA_CHECKPOINT_MAGIC))
+        })
+        .count();
+    assert!(deltas > 0, "the cadence must have produced delta blobs");
+    assert!(deltas < seqs.len(), "and full blobs too");
+
+    // Keep the full WAL (deltas replay the window between their base's
+    // coverage and their own from it) but drop every checkpoint newer
+    // than the one under test, so recovery *must* stand on that blob.
+    for k in 1..=sc.steps.len() {
+        let mut ckpts = final_ckpts.clone();
+        for &s in &seqs {
+            if s > k as u64 {
+                ckpts.remove(s);
+            }
+        }
+        let rec = recover(&wal_bytes, &ckpts).unwrap_or_else(|e| panic!("at checkpoint {k}: {e}"));
+        assert_eq!(rec.batches_durable, sc.steps.len() as u64);
+        assert_eq!(
+            fingerprint(&rec.store, &rec.bubbles),
+            *fps.last().unwrap(),
+            "recovery standing on checkpoint {k} diverged"
+        );
+    }
 }

@@ -27,7 +27,9 @@ use idb_core::{
 };
 use idb_geometry::SearchStats;
 use idb_obs::{check_journal, Obs, RingRecorder};
-use idb_store::{Batch, PointId, PointStore, SnapshotError};
+use idb_store::segment::{MemSegments, SegmentedSink};
+use idb_store::wal::read_wal;
+use idb_store::{Batch, PointId, PointStore, SnapshotError, StorageBudget, StorageError};
 use idb_synth::{
     faulty_batch, flip_bit, BatchFault, FaultSink, ScenarioEngine, ScenarioKind, ScenarioSpec,
     ALL_BATCH_FAULTS,
@@ -609,7 +611,9 @@ fn sink_death_in_a_fleet_stays_contained_and_heals_bit_identically() {
             // not lost, and every sibling stays healthy.
             for (m, (maintainer, _, _)) in fleet.iter_mut().enumerate() {
                 match maintainer.sync() {
-                    Health::Degraded { buffered_batches } => {
+                    Health::Degraded {
+                        buffered_batches, ..
+                    } => {
                         assert_eq!(m, SICK, "only the sick maintainer may degrade");
                         assert!(buffered_batches > 0);
                     }
@@ -644,4 +648,201 @@ fn sink_death_in_a_fleet_stays_contained_and_heals_bit_identically() {
         run(false),
         "the healed fleet must be bit-identical to the never-faulted fleet"
     );
+}
+
+/// A small valid churn batch against the maintainer's current store.
+fn churn_batch<R: Rng + ?Sized>(store: &PointStore, brng: &mut R) -> Batch {
+    let delete = store.ids().next().unwrap();
+    Batch {
+        deletes: vec![delete],
+        inserts: (0..4)
+            .map(|_| {
+                let c = f64::from(brng.gen_range(0u32..3)) * 40.0;
+                (vec![c + brng.gen_range(-1.0..1.0), c], Some(0))
+            })
+            .collect(),
+    }
+}
+
+/// Front 5a: the degraded-mode buffer is hard-capped. While the sink is
+/// down, batches buffer up to `max_buffered`; past it they are shed with a
+/// typed [`StorageError::BufferFull`], leaving state byte-identical. The
+/// shed count surfaces in [`Health::Degraded`], and healing drains the
+/// backlog so the shed batch goes through on retry.
+#[test]
+fn degraded_buffer_cap_sheds_typed_and_heals() {
+    let (store, ib, mut rng, mut search) = fixture(9001);
+    let dcfg = DurabilityConfig {
+        checkpoint_interval: u64::MAX,
+        max_retries: 0,
+        max_buffered: 3,
+        ..DurabilityConfig::default()
+    };
+    let mut dm = DurableMaintainer::adopt(store, ib, dcfg, FaultSink::new(), MemCheckpoints::new())
+        .expect("sink starts healthy");
+    dm.wal_sink_mut().fail_syncs = usize::MAX;
+
+    let mut brng = StdRng::seed_from_u64(0xB0FF);
+    for _ in 0..3 {
+        let batch = churn_batch(dm.store(), &mut brng);
+        dm.apply(&batch, &mut rng, &mut search)
+            .expect("batches under the cap buffer, not fail");
+    }
+    let before = fingerprint(dm.store(), dm.bubbles());
+    let doomed = churn_batch(dm.store(), &mut brng);
+    match dm.apply(&doomed, &mut rng, &mut search) {
+        Err(UpdateError::Storage(StorageError::BufferFull { buffered, max })) => {
+            assert_eq!((buffered, max), (3, 3));
+        }
+        other => panic!("expected a BufferFull shed, got {other:?}"),
+    }
+    assert_eq!(
+        before,
+        fingerprint(dm.store(), dm.bubbles()),
+        "a shed batch must leave state byte-identical"
+    );
+    assert_eq!(
+        dm.health(),
+        Health::Degraded {
+            buffered_batches: 3,
+            shed_batches: 1
+        }
+    );
+    assert_eq!(dm.shed_batches(), 1);
+
+    // Healing drains the backlog; the shed batch goes through on retry and
+    // the full WAL decodes.
+    dm.wal_sink_mut().heal();
+    assert_eq!(dm.sync(), Health::Healthy);
+    dm.apply(&doomed, &mut rng, &mut search)
+        .expect("retry after heal");
+    assert_eq!(dm.sync(), Health::Healthy);
+    let contents = read_wal(dm.wal_sink().bytes()).expect("wal intact after heal");
+    assert_eq!(contents.records.len(), 4);
+}
+
+/// Front 5b: a sink reporting `ENOSPC` (partial write included). Batches
+/// buffer while the disk is full; at the cap the shed error is the typed
+/// [`StorageError::Enospc`]; freeing space heals, the short write is
+/// repaired, and the WAL decodes clean.
+#[test]
+fn enospc_sink_sheds_typed_and_repairs_after_space_frees() {
+    let (store, ib, mut rng, mut search) = fixture(9002);
+    let dcfg = DurabilityConfig {
+        checkpoint_interval: u64::MAX,
+        max_retries: 0,
+        max_buffered: 2,
+        ..DurabilityConfig::default()
+    };
+    let mut dm = DurableMaintainer::adopt(store, ib, dcfg, FaultSink::new(), MemCheckpoints::new())
+        .expect("sink starts healthy");
+    // The device fills five bytes past what is already durable: the next
+    // commit partially writes to the boundary, then fails StorageFull.
+    let full_at = dm.wal_sink().bytes().len() as u64 + 5;
+    dm.wal_sink_mut().enospc_after = Some(full_at);
+
+    let mut brng = StdRng::seed_from_u64(0xE05C);
+    for _ in 0..2 {
+        let batch = churn_batch(dm.store(), &mut brng);
+        dm.apply(&batch, &mut rng, &mut search)
+            .expect("batches under the cap buffer, not fail");
+    }
+    assert!(matches!(
+        dm.health(),
+        Health::Degraded {
+            buffered_batches: 2,
+            ..
+        }
+    ));
+    let before = fingerprint(dm.store(), dm.bubbles());
+    let doomed = churn_batch(dm.store(), &mut brng);
+    match dm.apply(&doomed, &mut rng, &mut search) {
+        Err(UpdateError::Storage(StorageError::Enospc { .. })) => {}
+        other => panic!("expected an Enospc shed, got {other:?}"),
+    }
+    assert_eq!(before, fingerprint(dm.store(), dm.bubbles()));
+
+    // Space frees: the torn prefix is repaired, the backlog lands, the
+    // shed batch goes through on retry, and the WAL decodes clean.
+    dm.wal_sink_mut().heal();
+    assert_eq!(dm.sync(), Health::Healthy);
+    dm.apply(&doomed, &mut rng, &mut search)
+        .expect("retry after space freed");
+    assert_eq!(dm.sync(), Health::Healthy);
+    let contents = read_wal(dm.wal_sink().bytes()).expect("wal intact after repair");
+    assert_eq!(contents.records.len(), 3);
+    assert!(!contents.torn_tail);
+}
+
+/// Front 5c: the disk budget on a segmented chain. With a budget a few
+/// segments wide, the maintainer holds it by compacting behind its own
+/// checkpoints — no batch is ever shed and the footprint stays bounded.
+/// With an impossible budget, every batch sheds with the typed
+/// [`StorageError::BudgetExceeded`] and state never advances.
+#[test]
+fn disk_budget_compacts_first_and_sheds_only_when_impossible() {
+    // Part 1: a holdable budget is held without shedding.
+    let (store, ib, mut rng, mut search) = fixture(9003);
+    let dcfg = DurabilityConfig {
+        checkpoint_interval: 2,
+        full_rebase_interval: 2,
+        disk_budget: StorageBudget::bytes(2048),
+        ..DurabilityConfig::default()
+    };
+    let sink = SegmentedSink::fresh(MemSegments::new(), 256).expect("fresh chain");
+    let mut dm = DurableMaintainer::adopt(store, ib, dcfg, sink, MemCheckpoints::new())
+        .expect("medium starts healthy");
+    let mut brng = StdRng::seed_from_u64(0xD15C);
+    for round in 0..16 {
+        let batch = churn_batch(dm.store(), &mut brng);
+        dm.apply(&batch, &mut rng, &mut search)
+            .unwrap_or_else(|e| panic!("round {round}: a holdable budget must not shed: {e}"));
+        let live = dm.live_wal_bytes().expect("segmented sinks report");
+        assert!(
+            live <= 2048 + 512,
+            "round {round}: live chain {live} bytes despite compaction"
+        );
+    }
+    assert_eq!(dm.shed_batches(), 0);
+    assert_eq!(dm.sync(), Health::Healthy);
+
+    // Part 2: a budget no amount of compaction can meet sheds typed, with
+    // exact rollback, and surfaces in health.
+    let (store, ib, mut rng, mut search) = fixture(9004);
+    let dcfg = DurabilityConfig {
+        checkpoint_interval: u64::MAX,
+        disk_budget: StorageBudget::bytes(8),
+        ..DurabilityConfig::default()
+    };
+    let sink = SegmentedSink::fresh(MemSegments::new(), 256).expect("fresh chain");
+    let mut dm = DurableMaintainer::adopt(store, ib, dcfg, sink, MemCheckpoints::new())
+        .expect("medium starts healthy");
+    let before = fingerprint(dm.store(), dm.bubbles());
+    for round in 0..2 {
+        let batch = churn_batch(dm.store(), &mut brng);
+        match dm.apply(&batch, &mut rng, &mut search) {
+            Err(UpdateError::Storage(StorageError::BudgetExceeded { live_bytes, budget })) => {
+                assert_eq!(budget, 8);
+                assert!(live_bytes > 8);
+            }
+            other => panic!("round {round}: expected BudgetExceeded, got {other:?}"),
+        }
+        assert_eq!(
+            dm.shed_batches(),
+            round + 1,
+            "every breach must count one shed"
+        );
+    }
+    assert_eq!(
+        before,
+        fingerprint(dm.store(), dm.bubbles()),
+        "budget-shed batches must leave state byte-identical"
+    );
+    assert!(matches!(
+        dm.health(),
+        Health::Degraded {
+            shed_batches: 2,
+            ..
+        }
+    ));
 }

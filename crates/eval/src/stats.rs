@@ -89,7 +89,7 @@ mod tests {
 
     #[test]
     fn constant_series_has_zero_std() {
-        let a = Aggregate::from_samples(std::iter::repeat(1.25).take(100));
+        let a = Aggregate::from_samples(std::iter::repeat_n(1.25, 100));
         assert!((a.mean() - 1.25).abs() < 1e-12);
         assert!(a.std_dev() < 1e-12);
     }

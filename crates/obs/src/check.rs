@@ -13,6 +13,18 @@
 //!    events emitted since the previous structural boundary.
 //! 3. **Commit groups** — every [`EventKind::WalCommit`] flushes at least
 //!    one record.
+//! 4. **Rotation monotonicity** — the `base` of successive
+//!    [`EventKind::WalRotate`] events never decreases: segments are
+//!    sealed in batch order.
+//! 5. **Compaction monotonicity** — every [`EventKind::WalCompact`]
+//!    reclaims at least one segment and its `floor` never decreases:
+//!    checkpoint coverage only moves forward.
+//! 6. **Chunk streams** — within one streaming checkpoint's
+//!    [`EventKind::CheckpointChunk`] events, `written` is strictly
+//!    increasing, `total` is constant, and `written <= total`; the
+//!    [`EventKind::Checkpoint`] that closes the stream sees
+//!    `written == total`. A trailing incomplete stream (crash mid
+//!    checkpoint) is tolerated.
 //!
 //! A sharded deployment interleaves several maintainers' events into one
 //! journal; the invariants above only hold *per maintainer domain*, so
@@ -44,8 +56,16 @@ pub struct JournalSummary {
     pub grows: u64,
     /// WAL commit groups.
     pub wal_commits: u64,
+    /// WAL segment rotations.
+    pub wal_rotations: u64,
+    /// WAL compaction passes that reclaimed at least one segment.
+    pub wal_compactions: u64,
     /// Checkpoints persisted.
     pub checkpoints: u64,
+    /// Streaming-checkpoint chunks written.
+    pub checkpoint_chunks: u64,
+    /// Batches shed at the degraded-buffer cap.
+    pub sheds: u64,
     /// Delta-clustering epochs.
     pub delta_epochs: u64,
 }
@@ -64,6 +84,11 @@ pub fn check_journal(events: &[Event]) -> Result<JournalSummary, String> {
     // accounting.
     let mut pending_inserts: u32 = 0;
     let mut pending_deletes: u32 = 0;
+    // Monotonicity witnesses for the segmented-WAL events.
+    let mut last_rotate_base: Option<u64> = None;
+    let mut last_compact_floor: Option<u64> = None;
+    // The open streaming-checkpoint chunk stream: (seq, written, total).
+    let mut open_chunks: Option<(u64, u64, u64)> = None;
 
     for (i, ev) in events.iter().enumerate() {
         summary.events += 1;
@@ -116,7 +141,78 @@ pub fn check_journal(events: &[Event]) -> Result<JournalSummary, String> {
                     return Err(format!("event {i}: wal_commit with an empty group"));
                 }
             }
-            EventKind::Checkpoint { .. } => summary.checkpoints += 1,
+            EventKind::WalRotate { base, .. } => {
+                summary.wal_rotations += 1;
+                if let Some(prev) = last_rotate_base {
+                    if *base < prev {
+                        return Err(format!(
+                            "event {i}: wal_rotate base {base} went backwards (previous \
+                             rotation sealed at {prev})"
+                        ));
+                    }
+                }
+                last_rotate_base = Some(*base);
+            }
+            EventKind::WalCompact {
+                segments, floor, ..
+            } => {
+                summary.wal_compactions += 1;
+                if *segments == 0 {
+                    return Err(format!("event {i}: wal_compact reclaimed no segments"));
+                }
+                if let Some(prev) = last_compact_floor {
+                    if *floor < prev {
+                        return Err(format!(
+                            "event {i}: wal_compact floor {floor} went backwards \
+                             (previous floor {prev})"
+                        ));
+                    }
+                }
+                last_compact_floor = Some(*floor);
+            }
+            EventKind::Checkpoint { seq, .. } => {
+                summary.checkpoints += 1;
+                if let Some((cseq, written, total)) = open_chunks.take() {
+                    if cseq == *seq && written != total {
+                        return Err(format!(
+                            "event {i}: checkpoint {seq} closed a chunk stream at \
+                             {written} of {total} bytes"
+                        ));
+                    }
+                }
+            }
+            EventKind::CheckpointChunk {
+                seq,
+                written,
+                total,
+            } => {
+                summary.checkpoint_chunks += 1;
+                if *written > *total {
+                    return Err(format!(
+                        "event {i}: checkpoint_chunk wrote {written} of only {total} bytes"
+                    ));
+                }
+                if let Some((cseq, cwritten, ctotal)) = open_chunks {
+                    if cseq == *seq {
+                        if *written <= cwritten {
+                            return Err(format!(
+                                "event {i}: checkpoint_chunk for seq {seq} did not \
+                                 advance ({written} after {cwritten})"
+                            ));
+                        }
+                        if *total != ctotal {
+                            return Err(format!(
+                                "event {i}: checkpoint_chunk for seq {seq} changed its \
+                                 total ({total} after {ctotal})"
+                            ));
+                        }
+                    }
+                    // A new seq abandons the previous stream: crash or
+                    // typed abort mid-checkpoint, tolerated.
+                }
+                open_chunks = Some((*seq, *written, *total));
+            }
+            EventKind::StorageShed { .. } => summary.sheds += 1,
             EventKind::DeltaEpoch { touched, total, .. } => {
                 summary.delta_epochs += 1;
                 if touched > total {
@@ -331,6 +427,115 @@ mod tests {
         })];
         let err = check_journal(&bad).unwrap_err();
         assert!(err.contains("touched 10 of only 9"), "{err}");
+    }
+
+    #[test]
+    fn rotation_bases_must_not_go_backwards() {
+        let rotate = |base| {
+            ev(EventKind::WalRotate {
+                epoch: 1,
+                seq: 1,
+                base,
+                sealed_bytes: 100,
+            })
+        };
+        let good = vec![rotate(4), rotate(4), rotate(9)];
+        let summary = check_journal(&good).expect("monotone bases");
+        assert_eq!(summary.wal_rotations, 3);
+
+        let bad = vec![rotate(9), rotate(4)];
+        let err = check_journal(&bad).unwrap_err();
+        assert!(err.contains("went backwards"), "{err}");
+    }
+
+    #[test]
+    fn compaction_must_reclaim_and_floors_must_advance() {
+        let compact = |segments, floor| {
+            ev(EventKind::WalCompact {
+                segments,
+                bytes: 100,
+                floor,
+            })
+        };
+        let good = vec![compact(2, 8), compact(1, 8), compact(3, 20)];
+        let summary = check_journal(&good).expect("monotone floors");
+        assert_eq!(summary.wal_compactions, 3);
+
+        let empty = vec![compact(0, 8)];
+        assert!(check_journal(&empty).unwrap_err().contains("no segments"));
+
+        let backwards = vec![compact(1, 8), compact(1, 4)];
+        let err = check_journal(&backwards).unwrap_err();
+        assert!(err.contains("went backwards"), "{err}");
+    }
+
+    #[test]
+    fn chunk_streams_advance_and_close_exactly() {
+        let chunk = |seq, written, total| {
+            ev(EventKind::CheckpointChunk {
+                seq,
+                written,
+                total,
+            })
+        };
+        let close = |seq| {
+            ev(EventKind::Checkpoint {
+                seq,
+                covered: 10,
+                bytes: 30,
+            })
+        };
+        let good = vec![
+            chunk(2, 10, 30),
+            chunk(2, 20, 30),
+            chunk(2, 30, 30),
+            close(2),
+        ];
+        let summary = check_journal(&good).expect("well-formed stream");
+        assert_eq!(summary.checkpoint_chunks, 3);
+        assert_eq!(summary.checkpoints, 1);
+
+        // A trailing incomplete stream is a crash, not a violation.
+        let torn = vec![chunk(2, 10, 30), chunk(2, 20, 30)];
+        assert!(check_journal(&torn).is_ok());
+
+        // An abandoned stream followed by a fresh seq is tolerated too.
+        let abandoned = vec![
+            chunk(2, 10, 30),
+            chunk(3, 5, 50),
+            chunk(3, 50, 50),
+            close(3),
+        ];
+        assert!(check_journal(&abandoned).is_ok());
+
+        let stalled = vec![chunk(2, 10, 30), chunk(2, 10, 30)];
+        assert!(check_journal(&stalled).unwrap_err().contains("advance"));
+
+        let resized = vec![chunk(2, 10, 30), chunk(2, 20, 40)];
+        assert!(check_journal(&resized).unwrap_err().contains("total"));
+
+        let overflow = vec![chunk(2, 31, 30)];
+        assert!(check_journal(&overflow).unwrap_err().contains("of only"));
+
+        let short_close = vec![chunk(2, 10, 30), close(2)];
+        let err = check_journal(&short_close).unwrap_err();
+        assert!(err.contains("closed a chunk stream"), "{err}");
+    }
+
+    #[test]
+    fn sheds_are_counted() {
+        let events = vec![
+            ev(EventKind::StorageShed {
+                buffered: 64,
+                shed: 1,
+            }),
+            ev(EventKind::StorageShed {
+                buffered: 64,
+                shed: 2,
+            }),
+        ];
+        let summary = check_journal(&events).expect("well-formed");
+        assert_eq!(summary.sheds, 2);
     }
 
     #[test]

@@ -187,6 +187,29 @@ pub enum EventKind {
         /// The length truncated to.
         len: u64,
     },
+    /// The segmented WAL sealed its active segment and rotated to a new
+    /// one.
+    WalRotate {
+        /// Epoch of the new active segment.
+        epoch: u64,
+        /// Sequence number of the new active segment within its epoch.
+        seq: u64,
+        /// Absolute batch sequence number the new segment starts at.
+        base: u64,
+        /// Bytes in the segment that was sealed.
+        sealed_bytes: u64,
+    },
+    /// Compaction reclaimed sealed WAL segments fully covered by a
+    /// durable checkpoint.
+    WalCompact {
+        /// Segments deleted.
+        segments: u64,
+        /// Bytes those segments held.
+        bytes: u64,
+        /// The checkpoint coverage (absolute batch sequence number) that
+        /// made them reclaimable.
+        floor: u64,
+    },
     /// A checkpoint was persisted.
     Checkpoint {
         /// Checkpoint sequence number.
@@ -195,6 +218,24 @@ pub enum EventKind {
         covered: u64,
         /// Encoded checkpoint size.
         bytes: u64,
+    },
+    /// One chunk of a streaming checkpoint was written (the final chunk
+    /// is followed by the `checkpoint` event for the same sequence).
+    CheckpointChunk {
+        /// The streaming checkpoint's sequence number.
+        seq: u64,
+        /// Bytes written so far, including this chunk.
+        written: u64,
+        /// Total encoded checkpoint size.
+        total: u64,
+    },
+    /// The degraded-mode buffer hit its hard cap and a batch was shed
+    /// with a typed error instead of growing memory without limit.
+    StorageShed {
+        /// Records buffered when the shed happened.
+        buffered: u64,
+        /// Batches shed so far in this degradation episode.
+        shed: u64,
     },
     /// Recovery started over a WAL image.
     RecoverStart {
@@ -278,7 +319,11 @@ impl EventKind {
             EventKind::WalAppend { .. } => "wal_append",
             EventKind::WalCommit { .. } => "wal_commit",
             EventKind::WalTruncate { .. } => "wal_truncate",
+            EventKind::WalRotate { .. } => "wal_rotate",
+            EventKind::WalCompact { .. } => "wal_compact",
             EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::CheckpointChunk { .. } => "checkpoint_chunk",
+            EventKind::StorageShed { .. } => "storage_shed",
             EventKind::RecoverStart { .. } => "recover_start",
             EventKind::RecoverCheckpoint { .. } => "recover_checkpoint",
             EventKind::RecoverDone { .. } => "recover_done",
@@ -442,6 +487,26 @@ impl Event {
                 num(&mut s, "records", u64::from(*records));
             }
             EventKind::WalTruncate { len } => num(&mut s, "len", *len),
+            EventKind::WalRotate {
+                epoch,
+                seq,
+                base,
+                sealed_bytes,
+            } => {
+                num(&mut s, "epoch", *epoch);
+                num(&mut s, "seq", *seq);
+                num(&mut s, "base", *base);
+                num(&mut s, "sealed_bytes", *sealed_bytes);
+            }
+            EventKind::WalCompact {
+                segments,
+                bytes,
+                floor,
+            } => {
+                num(&mut s, "segments", *segments);
+                num(&mut s, "bytes", *bytes);
+                num(&mut s, "floor", *floor);
+            }
             EventKind::Checkpoint {
                 seq,
                 covered,
@@ -450,6 +515,19 @@ impl Event {
                 num(&mut s, "seq", *seq);
                 num(&mut s, "covered", *covered);
                 num(&mut s, "bytes", *bytes);
+            }
+            EventKind::CheckpointChunk {
+                seq,
+                written,
+                total,
+            } => {
+                num(&mut s, "seq", *seq);
+                num(&mut s, "written", *written);
+                num(&mut s, "total", *total);
+            }
+            EventKind::StorageShed { buffered, shed } => {
+                num(&mut s, "buffered", *buffered);
+                num(&mut s, "shed", *shed);
             }
             EventKind::RecoverStart { wal_bytes } => num(&mut s, "wal_bytes", *wal_bytes),
             EventKind::RecoverCheckpoint { seq, covered } => {
@@ -569,10 +647,30 @@ impl Event {
             "wal_truncate" => EventKind::WalTruncate {
                 len: get_u64("len")?,
             },
+            "wal_rotate" => EventKind::WalRotate {
+                epoch: get_u64("epoch")?,
+                seq: get_u64("seq")?,
+                base: get_u64("base")?,
+                sealed_bytes: get_u64("sealed_bytes")?,
+            },
+            "wal_compact" => EventKind::WalCompact {
+                segments: get_u64("segments")?,
+                bytes: get_u64("bytes")?,
+                floor: get_u64("floor")?,
+            },
             "checkpoint" => EventKind::Checkpoint {
                 seq: get_u64("seq")?,
                 covered: get_u64("covered")?,
                 bytes: get_u64("bytes")?,
+            },
+            "checkpoint_chunk" => EventKind::CheckpointChunk {
+                seq: get_u64("seq")?,
+                written: get_u64("written")?,
+                total: get_u64("total")?,
+            },
+            "storage_shed" => EventKind::StorageShed {
+                buffered: get_u64("buffered")?,
+                shed: get_u64("shed")?,
             },
             "recover_start" => EventKind::RecoverStart {
                 wal_bytes: get_u64("wal_bytes")?,
@@ -741,12 +839,44 @@ mod tests {
             ),
             Event::new(EventKind::WalTruncate { len: 20 }, 5),
             Event::new(
+                EventKind::WalRotate {
+                    epoch: 1,
+                    seq: 4,
+                    base: 96,
+                    sealed_bytes: 4096,
+                },
+                9,
+            ),
+            Event::new(
+                EventKind::WalCompact {
+                    segments: 3,
+                    bytes: 12_288,
+                    floor: 96,
+                },
+                14,
+            ),
+            Event::new(
                 EventKind::Checkpoint {
                     seq: 3,
                     covered: 12,
                     bytes: 40_000,
                 },
                 2500,
+            ),
+            Event::new(
+                EventKind::CheckpointChunk {
+                    seq: 3,
+                    written: 16_384,
+                    total: 40_000,
+                },
+                30,
+            ),
+            Event::new(
+                EventKind::StorageShed {
+                    buffered: 1024,
+                    shed: 2,
+                },
+                0,
             ),
             Event::new(EventKind::RecoverStart { wal_bytes: 812 }, 0),
             Event::new(EventKind::RecoverCheckpoint { seq: 2, covered: 8 }, 120),

@@ -10,6 +10,7 @@
 
 use crate::route::MAX_PARTITIONS;
 use idb_geometry::parallel::EnvParseError;
+use idb_store::StorageBudget;
 
 /// Environment variable defaulting the shard count.
 pub const SHARDS_ENV: &str = "IDB_SHARDS";
@@ -34,6 +35,13 @@ pub struct ShardConfig {
     /// Consecutive healthy polls before a quarantined partition is
     /// released.
     pub heal_after: u32,
+    /// When set, overrides the *per-partition* WAL disk budget of the
+    /// [`DurabilityConfig`](idb_core::DurabilityConfig) handed to
+    /// [`ShardRouter::create`](crate::ShardRouter::create) — every
+    /// partition gets its own copy, so one partition exhausting its
+    /// budget sheds only its own batches while siblings keep serving.
+    /// `None` leaves the durability config's budget untouched.
+    pub disk_budget: Option<StorageBudget>,
 }
 
 impl ShardConfig {
@@ -56,6 +64,7 @@ impl ShardConfig {
             queue_capacity: 1024,
             quarantine_after: 3,
             heal_after: 2,
+            disk_budget: None,
         }
     }
 
@@ -78,6 +87,14 @@ impl ShardConfig {
     pub fn with_supervision(mut self, quarantine_after: u32, heal_after: u32) -> Self {
         self.quarantine_after = quarantine_after.max(1);
         self.heal_after = heal_after.max(1);
+        self
+    }
+
+    /// Sets the per-partition WAL disk budget (see
+    /// [`ShardConfig::disk_budget`]).
+    #[must_use]
+    pub fn with_disk_budget(mut self, budget: StorageBudget) -> Self {
+        self.disk_budget = Some(budget);
         self
     }
 

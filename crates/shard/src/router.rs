@@ -95,6 +95,8 @@ pub enum PartitionStatus {
     Degraded {
         /// Buffered (non-durable) WAL records.
         buffered_batches: usize,
+        /// Batches shed by the bounded durability layer this epoch.
+        shed_batches: u64,
     },
     /// Shedding submissions while the supervisor waits for a heal.
     Quarantined,
@@ -171,6 +173,12 @@ impl<S: DurableSink, C: CheckpointStore> ShardRouter<S, C> {
             initial.deletes.is_empty(),
             "the initial batch must be insert-only"
         );
+        let mut dcfg = dcfg;
+        if let Some(budget) = scfg.disk_budget {
+            // Each partition owns a full copy of the durability config, so
+            // the budget is enforced per partition.
+            dcfg.disk_budget = budget;
+        }
         let partitions = scfg.partitions;
         // Route the initial population.
         let mut stores: Vec<PointStore> = (0..partitions).map(|_| PointStore::new(dim)).collect();
@@ -461,7 +469,10 @@ impl<S: DurableSink, C: CheckpointStore> ShardRouter<S, C> {
                     maintainer.health()
                 };
                 match health {
-                    Health::Degraded { buffered_batches } => {
+                    Health::Degraded {
+                        buffered_batches,
+                        shed_batches,
+                    } => {
                         slot.consec_healthy = 0;
                         slot.consec_degraded += 1;
                         if !slot.quarantined && slot.consec_degraded >= quarantine_after {
@@ -471,7 +482,10 @@ impl<S: DurableSink, C: CheckpointStore> ShardRouter<S, C> {
                         if slot.quarantined {
                             PartitionStatus::Quarantined
                         } else {
-                            PartitionStatus::Degraded { buffered_batches }
+                            PartitionStatus::Degraded {
+                                buffered_batches,
+                                shed_batches,
+                            }
                         }
                     }
                     Health::Healthy => {
@@ -507,9 +521,13 @@ impl<S: DurableSink, C: CheckpointStore> ShardRouter<S, C> {
             Some(_) if slot.quarantined => PartitionStatus::Quarantined,
             Some(m) => match m.health() {
                 Health::Healthy => PartitionStatus::Healthy,
-                Health::Degraded { buffered_batches } => {
-                    PartitionStatus::Degraded { buffered_batches }
-                }
+                Health::Degraded {
+                    buffered_batches,
+                    shed_batches,
+                } => PartitionStatus::Degraded {
+                    buffered_batches,
+                    shed_batches,
+                },
             },
         }
     }

@@ -7,11 +7,12 @@
 //! system state is **bit-identical** to a run where the fault never
 //! happened.
 
-use idb_core::{DurabilityConfig, MaintainerConfig, MemCheckpoints};
+use idb_core::{DurabilityConfig, MaintainerConfig, MemCheckpoints, UpdateError};
 use idb_geometry::Parallelism;
 use idb_obs::{check_journal_sharded, Event, EventKind, Obs, RingRecorder};
 use idb_shard::{route_point, GlobalId, PartitionStatus, ShardConfig, ShardError, ShardRouter};
-use idb_store::{Batch, MemSink, PointId};
+use idb_store::segment::{MemSegments, SegmentedSink};
+use idb_store::{Batch, MemSink, PointId, StorageBudget, StorageError};
 use idb_synth::FaultSink;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -130,7 +131,7 @@ fn sink_fault_run(fault: bool) -> SinkFaultRun {
     if fault {
         assert!(matches!(
             router.status(TARGET),
-            PartitionStatus::Degraded { buffered_batches } if buffered_batches > 0
+            PartitionStatus::Degraded { buffered_batches, .. } if buffered_batches > 0
         ));
         // Two degraded polls quarantine the target; every sibling stays
         // healthy through both.
@@ -139,6 +140,7 @@ fn sink_fault_run(fault: bool) -> SinkFaultRun {
                 1,
                 PartitionStatus::Degraded {
                     buffered_batches: 1,
+                    shed_batches: 0,
                 },
             ),
             (2, PartitionStatus::Quarantined),
@@ -486,4 +488,126 @@ fn unknown_delete_ids_are_rejected_at_the_routing_boundary() {
             inserts: Vec::new(),
         })
         .expect("valid delete");
+}
+
+/// One partition exhausts its disk budget; its submissions shed with a
+/// typed [`StorageError::BudgetExceeded`] and exact rollback, while every
+/// sibling keeps serving Healthy throughout.
+///
+/// Each partition writes a segmented WAL whose segment budget is larger
+/// than the disk budget, so the active segment can never seal and
+/// compaction cannot reclaim a byte: the bounded-degradation ladder
+/// (compact, then checkpoint, then shed) is forced all the way down on
+/// the flooded partition only.
+#[test]
+fn disk_budget_exhaustion_is_partition_local() {
+    let obs = Obs::default();
+    const BUDGET: u64 = 64 * 1024;
+    let scfg = ShardConfig::new(PARTITIONS)
+        .with_shards(2)
+        .with_disk_budget(StorageBudget::bytes(BUDGET));
+    let mut brng = StdRng::seed_from_u64(907);
+    let (mut router, _live) = ShardRouter::create(
+        DIM,
+        &initial_batch(&mut brng, 600),
+        &MaintainerConfig::new(10),
+        scfg,
+        DurabilityConfig::default(),
+        907,
+        &obs,
+        // Segment budget 1 MiB > disk budget: rotation never fires, so the
+        // live footprint is exactly the unreclaimable active segment.
+        |_| {
+            (
+                SegmentedSink::fresh(MemSegments::new(), 1 << 20).expect("fresh chain"),
+                MemCheckpoints::new(),
+            )
+        },
+    )
+    .expect("create");
+
+    // Flood only the target partition until its live WAL crosses the
+    // budget and the maintainer sheds.
+    let mut sheds = 0u64;
+    for round in 0..200 {
+        let flood = Batch {
+            deletes: Vec::new(),
+            inserts: (0..200)
+                .map(|_| (point_routing(&mut brng, TARGET, true), Some(3)))
+                .collect(),
+        };
+        let before = all_fingerprints(&router);
+        match router.apply(&flood) {
+            Ok(_) => {
+                let live = router
+                    .maintainer(TARGET)
+                    .expect("online")
+                    .live_wal_bytes()
+                    .expect("segmented sink reports live bytes");
+                assert!(
+                    live <= BUDGET + 64 * 1024,
+                    "round {round}: accepted batch left live={live} far over budget"
+                );
+            }
+            Err(ShardError::Rejected { partition, source }) => {
+                assert_eq!(partition, TARGET, "only the flooded partition sheds");
+                match source {
+                    UpdateError::Storage(StorageError::BudgetExceeded { live_bytes, budget }) => {
+                        assert_eq!(budget, BUDGET);
+                        assert!(live_bytes > budget);
+                    }
+                    other => panic!("expected BudgetExceeded, got {other:?}"),
+                }
+                // Shedding is a pure rejection: no partition moved.
+                assert_eq!(
+                    all_fingerprints(&router),
+                    before,
+                    "shed batch must roll back exactly"
+                );
+                sheds += 1;
+                if sheds == 2 {
+                    break;
+                }
+            }
+            Err(other) => panic!("unexpected shard error: {other:?}"),
+        }
+    }
+    assert_eq!(sheds, 2, "flood never breached the disk budget");
+
+    // The flooded partition reports Degraded with its shed count; every
+    // sibling is Healthy.
+    match router.status(TARGET) {
+        PartitionStatus::Degraded { shed_batches, .. } => assert_eq!(shed_batches, 2),
+        other => panic!("expected Degraded target, got {other:?}"),
+    }
+    for p in 0..PARTITIONS {
+        if p != TARGET {
+            assert_eq!(
+                router.status(p),
+                PartitionStatus::Healthy,
+                "sibling {p} must stay healthy"
+            );
+            let live = router
+                .maintainer(p)
+                .expect("online")
+                .live_wal_bytes()
+                .expect("live bytes");
+            assert!(live <= BUDGET, "sibling {p} is nowhere near its budget");
+        }
+    }
+
+    // Siblings keep serving: a sibling-only round lands while the target
+    // is over budget.
+    let sibling_batch = Batch {
+        deletes: Vec::new(),
+        inserts: (0..20)
+            .map(|_| (point_routing(&mut brng, TARGET, false), Some(4)))
+            .collect(),
+    };
+    router.apply(&sibling_batch).expect("siblings must serve");
+    for p in 0..PARTITIONS {
+        if p != TARGET {
+            assert_eq!(router.status(p), PartitionStatus::Healthy);
+        }
+    }
 }

@@ -22,8 +22,13 @@
 use rand::Rng;
 
 pub mod layout;
+pub mod segment;
 pub mod snapshot;
 pub mod wal;
+pub use segment::{
+    read_chain, ChainContents, FsSegments, MemSegments, SegmentId, SegmentMedium, SegmentedSink,
+    StorageBudget, StorageError,
+};
 pub use snapshot::SnapshotError;
 pub use wal::{DurableSink, FileSink, MemSink, WalError, WalRecord, WalWriter};
 

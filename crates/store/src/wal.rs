@@ -68,6 +68,29 @@ pub enum WalError {
         /// What was wrong.
         detail: String,
     },
+    /// A segmented chain is missing an interior segment: the sequence
+    /// numbers within the newest epoch are not contiguous. Compaction only
+    /// ever removes a *prefix* of the chain, so a hole means a segment was
+    /// lost or deleted out from under us — data loss, never silently
+    /// tolerated.
+    ChainGap {
+        /// Epoch of the broken chain.
+        epoch: u64,
+        /// The sequence number that should exist but does not.
+        expected_seq: u64,
+    },
+    /// A non-final segment of a chain is damaged: torn, checksum-corrupt,
+    /// dim-inconsistent, or its record count disagrees with its successor's
+    /// base. Only the *final* segment may be torn (the crash rule); damage
+    /// anywhere else is bit rot or tampering.
+    CorruptSegment {
+        /// Epoch of the damaged segment.
+        epoch: u64,
+        /// Sequence number of the damaged segment within the epoch.
+        seq: u64,
+        /// What was wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for WalError {
@@ -76,6 +99,18 @@ impl fmt::Display for WalError {
             Self::Io(e) => write!(f, "wal i/o error: {e}"),
             Self::Corrupt { offset, detail } => {
                 write!(f, "corrupt wal record at byte {offset}: {detail}")
+            }
+            Self::ChainGap {
+                epoch,
+                expected_seq,
+            } => {
+                write!(
+                    f,
+                    "wal chain gap: epoch {epoch} is missing segment seq {expected_seq}"
+                )
+            }
+            Self::CorruptSegment { epoch, seq, detail } => {
+                write!(f, "corrupt wal segment {epoch:08x}-{seq:08x}: {detail}")
             }
         }
     }
@@ -126,6 +161,58 @@ pub trait DurableSink {
     /// # Errors
     /// Whatever the medium reports.
     fn truncate(&mut self, len: u64) -> io::Result<()>;
+
+    /// Asks the medium to rotate to a fresh segment whose first record
+    /// will carry absolute sequence number `next_base`. Single-extent
+    /// media (this default) never rotate and return `Ok(None)`; a
+    /// segmented medium seals the active segment once it has reached its
+    /// byte budget and reports the rotation. Only ever called at a commit
+    /// boundary (no bytes in flight).
+    ///
+    /// # Errors
+    /// Whatever the medium reports. A failed rotation leaves the medium
+    /// usable — the caller keeps appending to the over-budget segment.
+    fn roll(&mut self, _dim: usize, _next_base: u64) -> io::Result<Option<RollReport>> {
+        Ok(None)
+    }
+
+    /// Asks the medium to reclaim storage wholly covered by a durable
+    /// checkpoint: every sealed segment whose records all have absolute
+    /// sequence numbers below `covered_seq` may be deleted. Single-extent
+    /// media reclaim nothing.
+    ///
+    /// # Errors
+    /// Whatever the medium reports.
+    fn reclaim(&mut self, _covered_seq: u64) -> io::Result<ReclaimReport> {
+        Ok(ReclaimReport::default())
+    }
+
+    /// Live bytes currently held by the medium, when it can tell
+    /// (segmented media can; plain sinks return `None`, making a disk
+    /// budget unenforceable rather than silently wrong).
+    fn live_bytes(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// What a successful [`DurableSink::roll`] rotation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RollReport {
+    /// Bytes in the segment that was just sealed.
+    pub sealed_bytes: u64,
+    /// Epoch of the new active segment.
+    pub new_epoch: u64,
+    /// Sequence number of the new active segment within its epoch.
+    pub new_seq: u64,
+}
+
+/// What a [`DurableSink::reclaim`] compaction freed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReclaimReport {
+    /// Sealed segments deleted.
+    pub segments: u64,
+    /// Bytes those segments held.
+    pub bytes: u64,
 }
 
 /// An in-memory [`DurableSink`] — the reference medium for the

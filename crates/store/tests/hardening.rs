@@ -6,8 +6,9 @@
 //! produce a typed error or a clean torn-tail result — never a panic and
 //! never an allocation beyond a fixed multiple of the input size.
 
-use idb_store::wal::{read_wal, WalError};
-use idb_store::{PointStore, SnapshotError};
+use idb_store::segment::{read_chain, MemSegments, SegmentId, SegmentedSink};
+use idb_store::wal::{read_wal, WalError, WalRecord, WalWriter};
+use idb_store::{Batch, DurableSink, PointId, PointStore, SnapshotError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -181,5 +182,168 @@ fn wal_decode_errors_carry_offsets_and_details() {
             assert!(!detail.is_empty());
         }
         other => panic!("expected a corrupt record, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment-chain hostile corpus: read_chain over damaged multi-segment WALs.
+// ---------------------------------------------------------------------------
+
+/// A valid multi-segment chain (tiny per-segment budget forces several
+/// rotations) plus its shared medium handle for sabotage.
+fn sample_chain(seed: u64) -> (MemSegments, Vec<WalRecord>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let records: Vec<WalRecord> = (0..24)
+        .map(|_| WalRecord {
+            round_seed: rng.gen(),
+            maintain: rng.gen_bool(0.5),
+            batch: Batch {
+                deletes: (0..rng.gen_range(0..3))
+                    .map(|_| PointId(rng.gen()))
+                    .collect(),
+                inserts: (0..rng.gen_range(1..4))
+                    .map(|_| {
+                        (
+                            vec![rng.gen_range(-9.0..9.0), rng.gen_range(-9.0..9.0)],
+                            None,
+                        )
+                    })
+                    .collect(),
+            },
+        })
+        .collect();
+    let medium = MemSegments::new();
+    let sink = SegmentedSink::fresh(medium.clone(), 200).unwrap();
+    let mut w = WalWriter::new(sink, 2, 0, 1);
+    w.commit().unwrap();
+    for r in &records {
+        w.append(r);
+        w.commit().unwrap();
+        let next = w.committed_records();
+        w.sink_mut().roll(2, next).unwrap();
+    }
+    assert!(
+        w.sink().segment_count() >= 4,
+        "the corpus needs a real chain, got {} segments",
+        w.sink().segment_count()
+    );
+    (medium, records)
+}
+
+#[test]
+fn missing_interior_segment_is_a_typed_chain_gap() {
+    let (medium, _) = sample_chain(0x5E61);
+    let ids: Vec<SegmentId> = medium.snapshot().into_keys().collect();
+    for (victim, id) in ids.iter().enumerate().take(ids.len() - 1).skip(1) {
+        let damaged = MemSegments::new();
+        let mut m = medium.snapshot();
+        m.remove(id);
+        damaged.restore(m);
+        match read_chain(&damaged) {
+            Err(WalError::ChainGap {
+                epoch,
+                expected_seq,
+            }) => {
+                assert_eq!(epoch, id.epoch);
+                assert_eq!(expected_seq, id.seq);
+            }
+            other => panic!("segment {victim} removed: expected ChainGap, got {other:?}"),
+        }
+    }
+    // Removing the *final* segment leaves a shorter but well-formed chain.
+    let mut m = medium.snapshot();
+    m.remove(ids.last().unwrap());
+    let damaged = MemSegments::new();
+    damaged.restore(m);
+    assert!(read_chain(&damaged).is_ok(), "a shorter chain is legal");
+}
+
+#[test]
+fn swapped_segment_contents_fail_the_base_handoff() {
+    let (medium, _) = sample_chain(0x5E62);
+    let snap = medium.snapshot();
+    let ids: Vec<SegmentId> = snap.keys().copied().collect();
+    // Swap two interior segments' bytes: sequence numbers stay contiguous
+    // but each segment's base no longer matches its predecessor's end.
+    let mut m = snap.clone();
+    let (a, b) = (ids[1], ids[2]);
+    let (ba, bb) = (m[&a].clone(), m[&b].clone());
+    m.insert(a, bb);
+    m.insert(b, ba);
+    let damaged = MemSegments::new();
+    damaged.restore(m);
+    assert!(
+        matches!(read_chain(&damaged), Err(WalError::CorruptSegment { .. })),
+        "reordered contents must fail the base handoff"
+    );
+}
+
+#[test]
+fn interior_bit_flips_and_truncations_are_typed_never_panics() {
+    let (medium, records) = sample_chain(0x5E63);
+    let snap = medium.snapshot();
+    let ids: Vec<SegmentId> = snap.keys().copied().collect();
+    let mut rng = StdRng::seed_from_u64(0x5E64);
+    for trial in 0..128 {
+        let victim = ids[rng.gen_range(0..ids.len())];
+        let mut m = snap.clone();
+        let bytes = m.get_mut(&victim).unwrap();
+        if trial % 2 == 0 {
+            let len = bytes.len();
+            bytes[rng.gen_range(0..len)] ^= 1u8 << rng.gen_range(0..8);
+        } else {
+            bytes.truncate(rng.gen_range(0..bytes.len()));
+        }
+        let damaged = MemSegments::new();
+        damaged.restore(m);
+        match read_chain(&damaged) {
+            Ok(chain) => {
+                // Only damage confined to the final segment may read clean
+                // (as a shorter/torn chain); the survivors must be a prefix
+                // of the reference stream.
+                assert_eq!(
+                    chain.records,
+                    records[..chain.records.len()],
+                    "trial {trial}"
+                );
+            }
+            Err(WalError::ChainGap { .. } | WalError::CorruptSegment { .. } | WalError::Io(_)) => {}
+            Err(other) => panic!("trial {trial}: unexpected error class: {other}"),
+        }
+    }
+}
+
+#[test]
+fn gigabyte_claiming_segment_headers_fail_typed_without_allocating() {
+    let (medium, records) = sample_chain(0x5E65);
+    let snap = medium.snapshot();
+    let ids: Vec<SegmentId> = snap.keys().copied().collect();
+    // A hostile record framing planted at the start of a segment's record
+    // area: a u32 length claiming ~4 GiB. In an interior segment that is
+    // typed corruption (interior tails must be clean); as the final
+    // segment it is an ordinary torn tail.
+    let hostile_tail: Vec<u8> = (u32::MAX - 8)
+        .to_le_bytes()
+        .into_iter()
+        .chain(0u32.to_le_bytes())
+        .chain([0u8; 64])
+        .collect();
+    for (k, &victim) in ids.iter().enumerate() {
+        let mut m = snap.clone();
+        let bytes = m.get_mut(&victim).unwrap();
+        bytes.truncate(20); // Keep only the segment header...
+        bytes.extend_from_slice(&hostile_tail); // ...then claim gigabytes.
+        let damaged = MemSegments::new();
+        damaged.restore(m);
+        match read_chain(&damaged) {
+            Ok(chain) if k == ids.len() - 1 => {
+                assert!(chain.torn_tail, "an oversized claim is a torn tail");
+                assert_eq!(chain.records, records[..chain.records.len()]);
+            }
+            Err(WalError::CorruptSegment { epoch, seq, .. }) if k < ids.len() - 1 => {
+                assert_eq!((epoch, seq), (victim.epoch, victim.seq));
+            }
+            other => panic!("victim {k}: unexpected outcome: {other:?}"),
+        }
     }
 }

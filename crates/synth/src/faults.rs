@@ -8,9 +8,11 @@
 //! vocabulary of faults.
 
 use idb_obs::{EventKind, Obs, SinkOp};
+use idb_store::segment::{MemSegmentSink, MemSegments, SegmentId, SegmentMedium};
 use idb_store::{Batch, DurableSink, PointId, PointStore};
 use rand::Rng;
 use std::io;
+use std::sync::{Arc, Mutex};
 
 /// The kinds of invalid update batch the validating entry point must
 /// reject.
@@ -104,6 +106,10 @@ pub fn faulty_batch<R: Rng + ?Sized>(store: &PointStore, fault: BatchFault, rng:
 /// * **transient append/fsync errors** — the next `fail_appends` /
 ///   `fail_syncs` calls return an error without touching the buffer,
 ///   driving the maintainer's retry and degradation paths;
+/// * **disk exhaustion** — with `enospc_after`, appends persist only up
+///   to that total byte position and then fail with
+///   [`io::ErrorKind::StorageFull`], exactly like `write(2)` returning
+///   `ENOSPC` after a partial write to the end of the device;
 /// * **kills at arbitrary byte positions** — tests slice [`FaultSink::bytes`]
 ///   at any crash point and hand the prefix to recovery.
 #[derive(Debug, Clone, Default)]
@@ -116,6 +122,11 @@ pub struct FaultSink {
     pub fail_appends: usize,
     /// Number of upcoming `sync` calls that fail.
     pub fail_syncs: usize,
+    /// When set, total capacity in bytes: appends that would grow the
+    /// buffer past it write up to the boundary, then fail with
+    /// [`io::ErrorKind::StorageFull`] — until [`FaultSink::heal`] "frees
+    /// space". Unlike `write_cap` this does not clear after firing.
+    pub enospc_after: Option<u64>,
     /// Journal sink; every injected failure emits a `sink_fault` event so
     /// suites can correlate degradation with the fault that caused it.
     obs: Obs,
@@ -135,11 +146,13 @@ impl FaultSink {
         &self.data
     }
 
-    /// Clears every pending fault.
+    /// Clears every pending fault (including the `enospc_after` capacity
+    /// limit — "space was freed").
     pub fn heal(&mut self) {
         self.write_cap = None;
         self.fail_appends = 0;
         self.fail_syncs = 0;
+        self.enospc_after = None;
     }
 
     /// Installs the observability handle injected faults are journaled
@@ -163,6 +176,19 @@ impl DurableSink for FaultSink {
                 .emit(EventKind::SinkFault { op: SinkOp::Append }, 0);
             return Err(io::Error::other("injected short write"));
         }
+        if let Some(cap) = self.enospc_after {
+            let room =
+                usize::try_from(cap.saturating_sub(self.data.len() as u64)).unwrap_or(usize::MAX);
+            if bytes.len() > room {
+                self.data.extend_from_slice(&bytes[..room]);
+                self.obs
+                    .emit(EventKind::SinkFault { op: SinkOp::Append }, 0);
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "injected ENOSPC",
+                ));
+            }
+        }
         self.data.extend_from_slice(bytes);
         Ok(())
     }
@@ -180,6 +206,129 @@ impl DurableSink for FaultSink {
         self.data
             .truncate(usize::try_from(len).unwrap_or(usize::MAX));
         Ok(())
+    }
+}
+
+/// Shared fault plan of a [`FaultSegments`] medium.
+#[derive(Debug, Default)]
+struct SegmentPlan {
+    fail_creates: usize,
+    enospc_after: Option<u64>,
+}
+
+/// A fault-injecting [`SegmentMedium`] for the segmented-WAL crash and
+/// disk-exhaustion suites. Wraps a [`MemSegments`] store (clone-shared, so
+/// tests snapshot/restore/corrupt exactly as with the plain medium) and
+/// adds two injectable failure modes:
+///
+/// * **rotation crashes** — the next `fail_creates` segment creations
+///   fail, so a `roll` dies between sealing the old segment and stamping
+///   the new one's header;
+/// * **device exhaustion** — with `enospc_after`, any append that would
+///   push the medium's **total** bytes past the cap writes up to the
+///   boundary and fails with [`io::ErrorKind::StorageFull`], until
+///   [`FaultSegments::heal`] lifts the cap.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSegments {
+    inner: MemSegments,
+    plan: Arc<Mutex<SegmentPlan>>,
+}
+
+impl FaultSegments {
+    /// A healthy, empty medium.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The wrapped in-memory medium (snapshot/restore/corrupt handles).
+    #[must_use]
+    pub fn inner(&self) -> &MemSegments {
+        &self.inner
+    }
+
+    /// Arms the next `n` segment creations to fail.
+    pub fn fail_creates(&self, n: usize) {
+        self.plan.lock().expect("fault plan poisoned").fail_creates = n;
+    }
+
+    /// Caps the device at `cap` total bytes across all segments.
+    pub fn set_enospc_after(&self, cap: u64) {
+        self.plan.lock().expect("fault plan poisoned").enospc_after = Some(cap);
+    }
+
+    /// Clears every pending fault ("space was freed, the disk recovered").
+    pub fn heal(&self) {
+        let mut plan = self.plan.lock().expect("fault plan poisoned");
+        plan.fail_creates = 0;
+        plan.enospc_after = None;
+    }
+}
+
+/// The append sink of one [`FaultSegments`] segment: a [`MemSegmentSink`]
+/// that honours the shared device-capacity plan.
+#[derive(Debug)]
+pub struct FaultSegmentSink {
+    inner: MemSegmentSink,
+    medium: MemSegments,
+    plan: Arc<Mutex<SegmentPlan>>,
+}
+
+impl DurableSink for FaultSegmentSink {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let cap = self.plan.lock().expect("fault plan poisoned").enospc_after;
+        if let Some(cap) = cap {
+            let used = self.medium.total_bytes();
+            let room = usize::try_from(cap.saturating_sub(used)).unwrap_or(usize::MAX);
+            if bytes.len() > room {
+                self.inner.append(&bytes[..room])?;
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "injected ENOSPC",
+                ));
+            }
+        }
+        self.inner.append(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.inner.sync()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.inner.truncate(len)
+    }
+}
+
+impl SegmentMedium for FaultSegments {
+    type Sink = FaultSegmentSink;
+
+    fn create(&mut self, id: SegmentId) -> io::Result<Self::Sink> {
+        {
+            let mut plan = self.plan.lock().expect("fault plan poisoned");
+            if plan.fail_creates > 0 {
+                plan.fail_creates -= 1;
+                return Err(io::Error::other("injected segment-create failure"));
+            }
+        }
+        let inner = self.inner.create(id)?;
+        Ok(FaultSegmentSink {
+            inner,
+            medium: self.inner.clone(),
+            plan: Arc::clone(&self.plan),
+        })
+    }
+
+    fn read(&self, id: SegmentId) -> io::Result<Vec<u8>> {
+        self.inner.read(id)
+    }
+
+    fn list(&self) -> io::Result<Vec<SegmentId>> {
+        self.inner.list()
+    }
+
+    fn remove(&mut self, id: SegmentId) -> io::Result<u64> {
+        self.inner.remove(id)
     }
 }
 

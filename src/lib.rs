@@ -56,6 +56,15 @@
 //! from the newest usable checkpoint plus the WAL tail (see the
 //! "Durability" section of the README for a quickstart).
 //!
+//! Durability can run *bounded*: a [`store::segment::SegmentedSink`]
+//! rotates the log into segments and compaction reclaims everything
+//! covered by the newest full checkpoint, checkpoints stream in chunks
+//! (most as dirty-bubble deltas over a periodic full rebase), and a
+//! [`store::StorageBudget`] turns disk exhaustion into typed,
+//! exactly-rolled-back sheds instead of unbounded buffering
+//! ([`core::recover_chain`] walks the segment chain after a crash; see
+//! the "Storage" section of the README).
+//!
 //! Operational visibility comes from the [`obs`] layer: a metrics
 //! registry of named counters and latency histograms, plus a structured
 //! op journal — every insert, delete, merge, split, WAL commit,
@@ -111,10 +120,10 @@ pub mod prelude {
         extract_clusters, optics_bubbles, optics_points, ExtractParams, ReachabilityPlot,
     };
     pub use idb_core::{
-        recover, AuditError, AuditIssue, AuditReport, Bubble, CheckpointStore, DataSummary,
-        DurabilityConfig, DurableMaintainer, FsCheckpoints, Health, IncrementalBubbles,
-        MaintainerConfig, MemCheckpoints, QualityKind, Recovered, RecoveryError, RepairReport,
-        SeedSearch, SplitSeedPolicy, SufficientStats, UpdateError,
+        recover, recover_chain, AuditError, AuditIssue, AuditReport, Bubble, CheckpointStore,
+        DataSummary, DurabilityConfig, DurableMaintainer, FsCheckpoints, Health,
+        IncrementalBubbles, MaintainerConfig, MemCheckpoints, QualityKind, Recovered,
+        RecoveryError, RepairReport, SeedSearch, SplitSeedPolicy, SufficientStats, UpdateError,
     };
     pub use idb_delta::{
         router_epoch, ClusterDelta, ClusterId, DeltaEngine, DeltaParams, EpochReport, Interest,
@@ -130,7 +139,9 @@ pub mod prelude {
         GlobalId, PartitionStatus, RestartReport, ShardConfig, ShardError, ShardRouter,
     };
     pub use idb_store::{
-        Batch, DurableSink, FileSink, Label, MemSink, PointId, PointStore, WalError,
+        segment::{FsSegments, MemSegments, SegmentedSink},
+        Batch, DurableSink, FileSink, Label, MemSink, PointId, PointStore, StorageBudget,
+        StorageError, WalError,
     };
     pub use idb_synth::{
         ClusterModel, MixtureModel, MultiStreamEngine, ScenarioEngine, ScenarioKind, ScenarioSpec,
