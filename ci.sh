@@ -76,6 +76,19 @@ IDB_WAL_SEGMENT_BYTES=2048 IDB_DISK_BUDGET=1048576 IDB_WAL_DIR="$IDB_BUDGET_WAL_
 IDB_WAL_SEGMENT_BYTES=2048 IDB_DISK_BUDGET=1048576 IDB_WAL_DIR="$IDB_BUDGET_WAL_DIR" \
     cargo test $CARGOFLAGS -q -p idb-store --test hardening
 rm -rf "$IDB_BUDGET_WAL_DIR"
+# Tiered point store (DESIGN.md §17): the differential, crash-consistency
+# and fault-injection suites again with an ambient 256-point hot budget
+# and a hermetic file-backed cold spill dir — demand fetch, clock
+# eviction and cold rewrites must never change an outcome (suites that
+# exercise the tier pin their own budgets).
+IDB_TIER_COLD_DIR="$(mktemp -d)"
+IDB_HOT_POINTS=256 IDB_COLD_DIR="$IDB_TIER_COLD_DIR" \
+    cargo test $CARGOFLAGS -q -p idb-core --test differential
+IDB_HOT_POINTS=256 IDB_COLD_DIR="$IDB_TIER_COLD_DIR" \
+    cargo test $CARGOFLAGS -q -p idb-core --test crash_consistency
+IDB_HOT_POINTS=256 IDB_COLD_DIR="$IDB_TIER_COLD_DIR" \
+    cargo test $CARGOFLAGS -q -p idb-core --test fault_injection
+rm -rf "$IDB_TIER_COLD_DIR"
 # Sharded service layer (DESIGN.md §13): the shard-count differential
 # suite and the quarantine/crash fault-isolation suite, run under
 # IDB_SHARDS=4 as the ambient default (the suites pin their own shard

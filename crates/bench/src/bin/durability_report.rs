@@ -403,7 +403,131 @@ fn main() {
          \"final_live_wal_bytes\": {s_final_live}, \"rotations\": {s_rotations}, \
          \"compactions\": {s_compactions}, \"reclaimed_bytes\": {s_reclaimed}}},"
     );
-    json.push_str("  \"note\": \"complex d2 n20000 s200 scenario, 64 pre-planned batches with maintenance after each, serial mode; durable runs use validate + WAL append + group commit + apply + checkpoint cadence as configured; recovery replays the WAL tail beyond the newest checkpoint; the segmented section streams the same batches through a segment chain with delta checkpoints and compaction, so the live footprint stays bounded while total appended bytes grow\"\n}\n");
+    // Tiered point store: the O(bubbles + hot points) resident set. The
+    // same pre-planned stream runs once fully resident and once with a
+    // 64-point hot budget over the default cold medium; the tiered run's
+    // resident payload curve must stay flat while the cumulative stream
+    // grows 20× past the hot cap, and the two final states must be
+    // byte-identical (snapshot encoding included) — tiering is physics,
+    // never semantics.
+    const HOT: usize = 64;
+    const TIER_BATCHES: usize = 160;
+    let (mut scenario, tier_store, mut trng) = complex_fixture(2, 2_000, 47);
+    let tier_dim = tier_store.dim();
+    let mut sim = tier_store.clone();
+    let tier_steps: Vec<(Batch, u64)> = (0..TIER_BATCHES)
+        .map(|_| {
+            let (batch, _) = scenario.step_plain(&mut sim, &mut trng);
+            (batch, trng.gen::<u64>())
+        })
+        .collect();
+    let max_inserts = tier_steps
+        .iter()
+        .map(|(b, _)| b.inserts.len())
+        .max()
+        .unwrap_or(0);
+    let mut stream_points = 0usize;
+    let run_tiered = |hot: Option<usize>, stream_points: &mut usize| {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut stats = SearchStats::new();
+        let ib = IncrementalBubbles::build(
+            &tier_store,
+            MaintainerConfig::new(50)
+                .with_seed_search(SeedSearch::Pruned)
+                .with_parallelism(Parallelism::Serial),
+            &mut rng,
+            &mut stats,
+        );
+        let mut dm = DurableMaintainer::adopt(
+            tier_store.clone(),
+            ib,
+            DurabilityConfig {
+                checkpoint_interval: 64,
+                hot_points: hot,
+                ..DurabilityConfig::default()
+            },
+            MemSink::new(),
+            MemCheckpoints::new(),
+        )
+        .expect("mem sink is healthy");
+        *stream_points = dm.store().len();
+        let mut curve = Vec::new();
+        for (i, (batch, seed)) in tier_steps.iter().enumerate() {
+            dm.apply_with(batch, *seed, true, &mut stats)
+                .expect("planned batches are valid");
+            *stream_points += batch.inserts.len();
+            if i % 16 == 15 {
+                curve.push((
+                    *stream_points,
+                    dm.store().len(),
+                    dm.store().resident_points(),
+                    dm.store().resident_coord_bytes(),
+                ));
+            }
+        }
+        let mut snap = Vec::new();
+        dm.store().write_snapshot(&mut snap).expect("vec write");
+        dm.bubbles().write_snapshot(&mut snap).expect("vec write");
+        (curve, snap, dm.store().tier_counters())
+    };
+    let (tier_curve, tiered_snap, tier_counters) = run_tiered(Some(HOT), &mut stream_points);
+    let mut ignored = 0usize;
+    let (_, resident_snap, untiered_counters) = run_tiered(None, &mut ignored);
+    assert!(
+        untiered_counters.is_none(),
+        "the resident run must not mount a tier"
+    );
+    assert_eq!(
+        tiered_snap, resident_snap,
+        "tiered and fully resident runs must end byte-identical"
+    );
+    let tc = tier_counters.expect("tiered run exposes counters");
+    let resident_bound = (HOT + max_inserts + 1) * tier_dim * 8;
+    for &(stream, _, resident, bytes) in &tier_curve {
+        assert!(
+            resident <= HOT + max_inserts,
+            "resident points {resident} past the bound at stream length {stream}"
+        );
+        assert!(
+            bytes <= resident_bound,
+            "resident arena {bytes}B past the {resident_bound}B bound at stream length {stream}"
+        );
+    }
+    let final_stream = tier_curve.last().expect("curve sampled").0;
+    assert!(
+        final_stream >= 20 * HOT,
+        "the stream must outgrow the hot cap 20x: {final_stream} points vs cap {HOT}"
+    );
+    eprintln!(
+        "tier (hot={HOT}, {TIER_BATCHES} batches, {final_stream} cumulative points): \
+         resident flat at <= {} points / {resident_bound}B; \
+         {} cold reads ({}B), {} evictions; tiered == resident: bit-identical",
+        HOT + max_inserts,
+        tc.cold_reads,
+        tc.cold_bytes,
+        tc.evictions
+    );
+    json.push_str("  \"tier\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"hot_points\": {HOT}, \"batches\": {TIER_BATCHES}, \"dim\": {tier_dim}, \
+         \"max_batch_inserts\": {max_inserts}, \"resident_bound_bytes\": {resident_bound}, \
+         \"bit_identical_to_resident\": true, \"hits\": {}, \"misses\": {}, \
+         \"cold_reads\": {}, \"cold_bytes\": {}, \"evictions\": {},",
+        tc.hits, tc.misses, tc.cold_reads, tc.cold_bytes, tc.evictions
+    );
+    json.push_str("    \"resident_curve\": [\n");
+    for (i, (stream, live, resident, bytes)) in tier_curve.iter().enumerate() {
+        let comma = if i + 1 == tier_curve.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "      {{\"stream_points\": {stream}, \"live_points\": {live}, \
+             \"resident_points\": {resident}, \"resident_coord_bytes\": {bytes}}}{comma}"
+        );
+    }
+    json.push_str("    ]\n  },\n");
+
+    json.push_str("  \"note\": \"complex d2 n20000 s200 scenario, 64 pre-planned batches with maintenance after each, serial mode; durable runs use validate + WAL append + group commit + apply + checkpoint cadence as configured; recovery replays the WAL tail beyond the newest checkpoint; the segmented section streams the same batches through a segment chain with delta checkpoints and compaction, so the live footprint stays bounded while total appended bytes grow; the tier section replays a pre-planned stream tiered (hot cap 64) and fully resident, proving a flat resident-set curve with bit-identical final snapshots\"\n}\n");
     std::fs::write(&out_path, json).expect("write report");
     eprintln!("wrote {out_path}");
 }

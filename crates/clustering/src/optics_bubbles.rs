@@ -190,10 +190,15 @@ impl PartialOrd for Seed {
 }
 impl Ord for Seed {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed operands turn `BinaryHeap`'s max-heap into a min-heap.
+        // `total_cmp` keeps the order total even over NaN (a NaN
+        // reachability — conceivable from non-finite inputs — sorts
+        // below every real value here instead of collapsing the
+        // comparison to "equal", which made heap order, and thus the
+        // whole cluster ordering, depend on insertion order).
         other
             .reach
-            .partial_cmp(&self.reach)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.reach)
             .then(other.idx.cmp(&self.idx))
     }
 }
@@ -403,7 +408,11 @@ pub fn optics_from_matrix_with_scratch<S: DataSummary>(
                 neigh.push((j, d));
             }
         }
-        neigh.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
+        // `total_cmp` with the index tiebreak: a NaN distance (possible
+        // when a summary carries non-finite coordinates) must not make
+        // the neighbour order — and with it the core distance — depend
+        // on the sort algorithm's comparison sequence.
+        neigh.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         let core = core_dist(i, neigh);
         if core.is_infinite() {
             return;
@@ -526,6 +535,77 @@ mod tests {
         let a = Ball::new(&[3.0, 4.0], 2.0, 15);
         let b = Ball::new(&[30.0, -7.0], 0.5, 8);
         assert_eq!(bubble_distance(&a, &b), bubble_distance(&b, &a));
+    }
+
+    #[test]
+    fn nan_reachability_orders_last_and_deterministically() {
+        // `total_cmp` sorts every NaN above every real value, so the
+        // lazy min-heap yields real seeds first (ascending, index
+        // tiebreak) and NaN seeds last, in index order — independent of
+        // push order. The old `partial_cmp(..).unwrap_or(Equal)`
+        // comparator declared NaN equal to *everything*, which is not
+        // transitive, breaking the heap invariant and making pop order
+        // depend on insertion history.
+        let seeds = [
+            (f64::NAN, 3u32),
+            (1.0, 1),
+            (f64::NAN, 2),
+            (0.5, 4),
+            (f64::INFINITY, 0),
+        ];
+        let mut forward = BinaryHeap::new();
+        for &(reach, idx) in &seeds {
+            forward.push(Seed { reach, idx });
+        }
+        let mut reversed = BinaryHeap::new();
+        for &(reach, idx) in seeds.iter().rev() {
+            reversed.push(Seed { reach, idx });
+        }
+        let drain = |mut h: BinaryHeap<Seed>| -> Vec<u32> {
+            std::iter::from_fn(|| h.pop()).map(|s| s.idx).collect()
+        };
+        let f = drain(forward);
+        assert_eq!(f, vec![4, 1, 0, 2, 3]);
+        assert_eq!(
+            f,
+            drain(reversed),
+            "pop order must not depend on push order"
+        );
+    }
+
+    #[test]
+    fn nan_pair_distances_are_no_edges() {
+        // A NaN bubble distance (conceivable from non-finite summary
+        // stats) satisfies no `d <= eps` test, so it must behave as "no
+        // edge": the expansion completes, visits every summary, and the
+        // NaN never infects a reachability value or panics the
+        // neighbour sort.
+        let summaries = vec![
+            Ball::new(&[0.0, 0.0], 1.0, 30),
+            Ball::new(&[3.0, 0.0], 1.0, 30),
+            Ball::new(&[100.0, 0.0], 1.0, 30),
+        ];
+        let live = [0usize, 1, 2];
+        let mut pair = vec![0.0; 9];
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    pair[i * 3 + j] = bubble_distance(&summaries[i], &summaries[j]);
+                }
+            }
+        }
+        pair[2] = f64::NAN; // poison 0↔2 ...
+        pair[6] = f64::NAN; // ... in both directions
+        let a = optics_from_matrix(&summaries, &live, &pair, f64::INFINITY, 10);
+        assert_eq!(a.order.len(), 3, "every summary is still visited");
+        assert!(
+            a.reachability.iter().all(|r| !r.is_nan()),
+            "NaN never becomes a reachability: {:?}",
+            a.reachability
+        );
+        let b = optics_from_matrix(&summaries, &live, &pair, f64::INFINITY, 10);
+        assert_eq!(a.order, b.order);
+        assert_eq!(a.reachability, b.reachability);
     }
 
     #[test]

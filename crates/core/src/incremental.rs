@@ -41,7 +41,7 @@ use idb_geometry::{
     dist, MatrixStats, NearestSeeds, RepairMetrics, RepairStats, SearchMetrics, SearchStats,
 };
 use idb_obs::{Cause, EventKind, Obs};
-use idb_store::{Batch, PointId, PointStore};
+use idb_store::{Batch, PointId, PointStore, StorageError};
 use rand::Rng;
 
 const NONE: u32 = u32::MAX;
@@ -231,6 +231,13 @@ impl IncrementalBubbles {
         assert!(
             store.len() >= config.num_bubbles,
             "database smaller than the requested number of bubbles"
+        );
+        // A full build touches every payload anyway; require them resident
+        // and keep the hot path free of per-point fetch fallibility.
+        // (Tiered flows build first, then call `enable_tier`.)
+        assert!(
+            store.all_resident(),
+            "build requires a fully resident store; enable the cold tier after building"
         );
         let obs = Obs::from_env();
         let timer = obs.start();
@@ -746,7 +753,11 @@ impl IncrementalBubbles {
     /// * [`UpdateError::StaleDelete`] — a delete of a point that is not
     ///   live (or not tracked by this summarization);
     /// * [`UpdateError::ConflictingOps`] — the same point deleted twice in
-    ///   one batch.
+    ///   one batch;
+    /// * [`UpdateError::Storage`] — a tiered store could not read a
+    ///   deleted point's cold record. All payloads are staged *before*
+    ///   the first mutation, so this rejects the batch with the state
+    ///   untouched, exactly like a validation failure.
     pub fn try_apply_batch(
         &mut self,
         store: &mut PointStore,
@@ -756,13 +767,19 @@ impl IncrementalBubbles {
         self.validate_batch(store, batch)?;
         let timer = self.obs.start();
         let before = *search;
-        // One scratch buffer carries every deleted point's coordinates in
-        // turn — the delete path of a steady-state stream allocates nothing.
+        // One scratch buffer carries every deleted point's coordinates —
+        // staged up front (a cold-tier read failure must reject the batch
+        // before anything mutates), strided by `dim` for the remove loop.
         let mut coords = std::mem::take(&mut self.scratch.coords);
+        coords.clear();
         for &id in &batch.deletes {
-            coords.clear();
-            coords.extend_from_slice(store.point(id));
-            self.remove_point(id, &coords);
+            if let Err(e) = store.read_point_into(id, &mut coords) {
+                self.scratch.coords = coords;
+                return Err(UpdateError::Storage(e));
+            }
+        }
+        for (i, &id) in batch.deletes.iter().enumerate() {
+            self.remove_point(id, &coords[i * self.dim..(i + 1) * self.dim]);
             store.remove(id);
         }
         self.scratch.coords = coords;
@@ -798,27 +815,35 @@ impl IncrementalBubbles {
     /// Every search warm-starts at the donor's nearest surviving
     /// neighbour: the donor held these points, so its closest other seed
     /// is almost always at (or very near) the true answer.
+    /// # Errors
+    /// [`StorageError::ColdIo`] when a member's cold record cannot be
+    /// read. Payloads are staged before the first mutation, so on `Err`
+    /// the maintainer and store are untouched.
     fn merge_away(
         &mut self,
         donor: usize,
         store: &PointStore,
         search: &mut SearchStats,
         cause: Cause,
-    ) -> u64 {
+    ) -> Result<u64, StorageError> {
         let timer = self.obs.start();
+        // Stage the drain through the scratch arena: the coordinate batch,
+        // the repeated warm-start hint and the target list all reuse the
+        // capacity left by previous drains (`mem::take` sidesteps the
+        // borrow of `self` the batched search needs). Staging runs before
+        // `take_members` so a cold-tier failure aborts with nothing moved.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.flat.clear();
+        for &id in self.bubbles[donor].members() {
+            if let Err(e) = store.read_point_into(id, &mut scratch.flat) {
+                self.scratch = scratch;
+                return Err(e);
+            }
+        }
         let members = self.bubbles[donor].take_members();
         self.bubbles[donor].stats_mut().clear();
         self.record_change(BubbleChange::Touched(donor as u32));
         let released = members.len() as u64;
-        // Stage the drain through the scratch arena: the coordinate batch,
-        // the repeated warm-start hint and the target list all reuse the
-        // capacity left by previous drains (`mem::take` sidesteps the
-        // borrow of `self` the batched search needs).
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.flat.clear();
-        for &id in &members {
-            scratch.flat.extend_from_slice(store.point(id));
-        }
         let hint = self
             .seeds
             .neighbor_order(donor)
@@ -841,13 +866,18 @@ impl IncrementalBubbles {
             search,
             &mut scratch.targets,
         );
-        for (&id, &(target, _)) in members.iter().zip(&scratch.targets) {
+        for (i, (&id, &(target, _))) in members.iter().zip(&scratch.targets).enumerate() {
             let slot = id.index();
             self.assign[slot] = NONE;
             self.member_pos[slot] = NONE;
             // `detach` was bypassed (the member list is already drained), so
-            // attach directly to the closest bubble other than the donor.
-            self.attach(id, target as usize, store.point(id));
+            // attach directly to the closest bubble other than the donor,
+            // reading the staged payload (the store copy may be cold).
+            self.attach(
+                id,
+                target as usize,
+                &scratch.flat[i * self.dim..(i + 1) * self.dim],
+            );
         }
         self.scratch = scratch;
         self.obs.emit(
@@ -858,12 +888,17 @@ impl IncrementalBubbles {
             },
             timer.us(),
         );
-        released
+        Ok(released)
     }
 
     /// Splits an over-filled bubble between two fresh seeds drawn from its
     /// members: one half keeps the bubble, the other is adopted by the
     /// (now empty) donor. Returns the number of redistributed points.
+    ///
+    /// # Errors
+    /// [`StorageError::ColdIo`] when a member's cold record cannot be
+    /// read. Payloads are staged before the first mutation, so on `Err`
+    /// the maintainer and store are untouched.
     fn split<R: Rng + ?Sized>(
         &mut self,
         over: usize,
@@ -872,18 +907,33 @@ impl IncrementalBubbles {
         rng: &mut R,
         search: &mut SearchStats,
         cause: Cause,
-    ) -> u64 {
+    ) -> Result<u64, StorageError> {
         let timer = self.obs.start();
+        let dim = self.dim;
+        // Stage every member payload once, before the first mutation: the
+        // seed draws, the spread scan, the half assignment and the attach
+        // loop all read the staged batch (the store copies may be cold),
+        // and a cold-tier failure aborts with nothing moved.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.flat.clear();
+        for &id in self.bubbles[over].members() {
+            if let Err(e) = store.read_point_into(id, &mut scratch.flat) {
+                self.scratch = scratch;
+                return Err(e);
+            }
+        }
         let members = self.bubbles[over].take_members();
         self.bubbles[over].stats_mut().clear();
         self.record_change(BubbleChange::Touched(over as u32));
         self.record_change(BubbleChange::Touched(donor as u32));
         debug_assert!(members.len() >= 2, "split requires at least two members");
+        let flat = &scratch.flat;
+        let pt = |i: usize| &flat[i * dim..(i + 1) * dim];
 
         // Seed 1: a random member, repositioning the donor (Figure 6:
         // "select a new seed s1 from the current points in B_overfilled").
         let i1 = rng.gen_range(0..members.len());
-        let p1 = store.point(members[i1]).to_vec();
+        let p1 = pt(i1).to_vec();
 
         // Seed 2: per policy — another random member, or the member
         // farthest from seed 1.
@@ -897,18 +947,18 @@ impl IncrementalBubbles {
                         i2 = rng.gen_range(0..members.len());
                     }
                 }
-                store.point(members[i2]).to_vec()
+                pt(i2).to_vec()
             }
             SplitSeedPolicy::Spread => {
                 let mut best = (0usize, -1.0f64);
-                for (i, &id) in members.iter().enumerate() {
-                    let d = dist(&p1, store.point(id));
+                for i in 0..members.len() {
+                    let d = dist(&p1, pt(i));
                     search.computed += 1;
                     if d > best.1 {
                         best = (i, d);
                     }
                 }
-                store.point(members[best.0]).to_vec()
+                pt(best.0).to_vec()
             }
         };
 
@@ -929,38 +979,41 @@ impl IncrementalBubbles {
         // vectors into the same buffer in chunk order (identical contents).
         let reassigned = members.len() as u64;
         let threads = self.config.parallelism.effective_threads();
-        let mut halves = std::mem::take(&mut self.scratch.halves);
-        halves.clear();
+        scratch.halves.clear();
         if threads <= 1 {
-            halves.extend(members.iter().map(|&id| {
-                let p = store.point(id);
-                dist(p, &p1) <= dist(p, &p2)
-            }));
+            for i in 0..members.len() {
+                let p = &scratch.flat[i * dim..(i + 1) * dim];
+                scratch.halves.push(dist(p, &p1) <= dist(p, &p2));
+            }
         } else {
+            // The threads read the staged slices by index, so the store is
+            // never touched off the apply thread.
             let p1_ref = &p1;
             let p2_ref = &p2;
-            let chunked: Vec<Vec<bool>> = run_chunks(&members, threads, |chunk| {
+            let flat_ref = &scratch.flat;
+            let indices: Vec<usize> = (0..members.len()).collect();
+            let chunked: Vec<Vec<bool>> = run_chunks(&indices, threads, |chunk| {
                 chunk
                     .iter()
-                    .map(|&id| {
-                        let p = store.point(id);
+                    .map(|&i| {
+                        let p = &flat_ref[i * dim..(i + 1) * dim];
                         dist(p, p1_ref) <= dist(p, p2_ref)
                     })
                     .collect()
             });
             for chunk in chunked {
-                halves.extend(chunk);
+                scratch.halves.extend(chunk);
             }
         }
         search.computed += 2 * reassigned;
-        for (&id, &to_donor) in members.iter().zip(&halves) {
+        for (i, &id) in members.iter().enumerate() {
             let slot = id.index();
             self.assign[slot] = NONE;
             self.member_pos[slot] = NONE;
-            let target = if to_donor { donor } else { over };
-            self.attach(id, target, store.point(id));
+            let target = if scratch.halves[i] { donor } else { over };
+            self.attach(id, target, &scratch.flat[i * dim..(i + 1) * dim]);
         }
-        self.scratch.halves = halves;
+        self.scratch = scratch;
         self.obs.emit(
             EventKind::Split {
                 over: over as u32,
@@ -970,30 +1023,51 @@ impl IncrementalBubbles {
             },
             timer.us(),
         );
-        reassigned
+        Ok(reassigned)
     }
 
     /// One maintenance round (run after each applied batch): classify the
     /// population, then repair every over-filled bubble with a synchronized
     /// merge/split. Returns what was done.
+    ///
+    /// Panics when a cold-tier read fails mid-round; callers running over a
+    /// tiered store should use [`Self::try_maintain`] and degrade instead.
     pub fn maintain<R: Rng + ?Sized>(
         &mut self,
         store: &PointStore,
         rng: &mut R,
         search: &mut SearchStats,
     ) -> MaintenanceReport {
+        self.try_maintain(store, rng, search)
+            .expect("cold tier failed during maintenance")
+    }
+
+    /// Fallible [`Self::maintain`]: surfaces cold-tier read failures as
+    /// [`StorageError`] instead of panicking.
+    ///
+    /// # Errors
+    /// [`StorageError::ColdIo`] when a member payload could not be fetched.
+    /// Each merge/split stages its reads before mutating, so the structure
+    /// stays valid on `Err` — but the round stops early, leaving the
+    /// remaining over-filled bubbles for a later (healed) round.
+    pub fn try_maintain<R: Rng + ?Sized>(
+        &mut self,
+        store: &PointStore,
+        rng: &mut R,
+        search: &mut SearchStats,
+    ) -> Result<MaintenanceReport, StorageError> {
         self.maintain_with_cause(store, rng, search, Cause::Maintain)
     }
 
-    /// [`Self::maintain`] journaled under an explicit cause (the adaptive
-    /// round tags its base pass [`Cause::Adaptive`]).
+    /// [`Self::try_maintain`] journaled under an explicit cause (the
+    /// adaptive round tags its base pass [`Cause::Adaptive`]).
     fn maintain_with_cause<R: Rng + ?Sized>(
         &mut self,
         store: &PointStore,
         rng: &mut R,
         search: &mut SearchStats,
         cause: Cause,
-    ) -> MaintenanceReport {
+    ) -> Result<MaintenanceReport, StorageError> {
         let timer = self.obs.start();
         let before = *search;
         let classification = self.classify_now();
@@ -1042,8 +1116,8 @@ impl IncrementalBubbles {
             };
             used[d] = true;
 
-            report.released_points += self.merge_away(d, store, search, cause);
-            report.reassigned_points += self.split(o, d, store, rng, search, cause);
+            report.released_points += self.merge_away(d, store, search, cause)?;
+            report.reassigned_points += self.split(o, d, store, rng, search, cause)?;
             report.splits += 1;
             report.rebuilt_bubbles += 2;
             if from_good {
@@ -1063,7 +1137,7 @@ impl IncrementalBubbles {
             },
             timer.us(),
         );
-        report
+        Ok(report)
     }
 
     /// Splits the given bubble into two by *adding a brand-new bubble*
@@ -1083,6 +1157,27 @@ impl IncrementalBubbles {
         rng: &mut R,
         search: &mut SearchStats,
     ) -> usize {
+        self.try_grow_bubble(over, store, rng, search)
+            .expect("cold tier failed during grow")
+    }
+
+    /// Fallible [`Self::grow_bubble`].
+    ///
+    /// # Errors
+    /// [`StorageError::ColdIo`] when a member payload could not be
+    /// fetched for the split. The freshly added bubble then exists but
+    /// holds no members — a valid (under-filled) population that a later
+    /// healed round repairs.
+    ///
+    /// # Panics
+    /// Panics if the bubble has fewer than two members.
+    pub fn try_grow_bubble<R: Rng + ?Sized>(
+        &mut self,
+        over: usize,
+        store: &PointStore,
+        rng: &mut R,
+        search: &mut SearchStats,
+    ) -> Result<usize, StorageError> {
         assert!(
             self.bubbles[over].members().len() >= 2,
             "growing requires at least two members to split"
@@ -1106,8 +1201,8 @@ impl IncrementalBubbles {
             },
             0,
         );
-        self.split(over, new_idx, store, rng, search, Cause::Adaptive);
-        new_idx
+        self.split(over, new_idx, store, rng, search, Cause::Adaptive)?;
+        Ok(new_idx)
     }
 
     /// Retires bubble `i`: releases its members to their next-closest
@@ -1119,12 +1214,31 @@ impl IncrementalBubbles {
     /// Panics if fewer than three bubbles exist (the population never
     /// shrinks below two) or `i` is out of bounds.
     pub fn retire_bubble(&mut self, i: usize, store: &PointStore, search: &mut SearchStats) {
+        self.try_retire_bubble(i, store, search)
+            .expect("cold tier failed during retire");
+    }
+
+    /// Fallible [`Self::retire_bubble`].
+    ///
+    /// # Errors
+    /// [`StorageError::ColdIo`] when a member payload could not be
+    /// fetched; the release stages its reads first, so on `Err` nothing
+    /// was retired.
+    ///
+    /// # Panics
+    /// Panics if fewer than three bubbles exist or `i` is out of bounds.
+    pub fn try_retire_bubble(
+        &mut self,
+        i: usize,
+        store: &PointStore,
+        search: &mut SearchStats,
+    ) -> Result<(), StorageError> {
         assert!(
             self.bubbles.len() > 2,
             "the bubble population never shrinks below two"
         );
         assert!(i < self.bubbles.len(), "bubble index out of bounds");
-        self.merge_away(i, store, search, Cause::Retire);
+        self.merge_away(i, store, search, Cause::Retire)?;
         self.bubbles.swap_remove(i);
         let matrix_before = self.seeds.matrix_stats();
         let repair_before = self.seeds.repair_stats();
@@ -1154,6 +1268,7 @@ impl IncrementalBubbles {
             },
             0,
         );
+        Ok(())
     }
 
     /// Maintenance with a dynamic bubble budget: runs the regular
@@ -1196,7 +1311,7 @@ impl IncrementalBubbles {
         policy: &AdaptivePolicy,
     ) -> Result<AdaptiveReport, UpdateError> {
         policy.check()?;
-        let base = self.maintain_with_cause(store, rng, search, Cause::Adaptive);
+        let base = self.maintain_with_cause(store, rng, search, Cause::Adaptive)?;
         let mut grown = 0usize;
         let mut retired = 0usize;
 
@@ -1211,7 +1326,7 @@ impl IncrementalBubbles {
             if self.bubbles[heaviest].members().len() < 2 {
                 break;
             }
-            self.grow_bubble(heaviest, store, rng, search);
+            self.try_grow_bubble(heaviest, store, rng, search)?;
             grown += 1;
         }
 
@@ -1223,7 +1338,7 @@ impl IncrementalBubbles {
             let lightest = (0..self.bubbles.len())
                 .min_by_key(|&i| self.bubbles[i].members().len())
                 .expect("population is non-empty");
-            self.retire_bubble(lightest, store, search);
+            self.try_retire_bubble(lightest, store, search)?;
             retired += 1;
         }
 
@@ -1276,6 +1391,7 @@ impl IncrementalBubbles {
     pub fn validate(&self, store: &PointStore) {
         assert_eq!(self.total_points, store.len() as u64, "total point count");
         let mut seen = 0u64;
+        let mut buf = Vec::new();
         for (bi, b) in self.bubbles.iter().enumerate() {
             assert_eq!(
                 b.stats().n() as usize,
@@ -1295,7 +1411,11 @@ impl IncrementalBubbles {
                     pos,
                     "bubble {bi}: member_pos disagrees for {id:?}"
                 );
-                for (l, &x) in ls.iter_mut().zip(store.point(id)) {
+                buf.clear();
+                store
+                    .read_point_into(id, &mut buf)
+                    .expect("validate: cold point fetch failed");
+                for (l, &x) in ls.iter_mut().zip(&buf) {
                     *l += x;
                 }
                 seen += 1;
@@ -1311,7 +1431,7 @@ impl IncrementalBubbles {
             assert_eq!(self.seeds.seed(bi), b.seed(), "bubble {bi}: seed sync");
         }
         assert_eq!(seen, self.total_points, "membership covers all points");
-        for (id, _, _) in store.iter() {
+        for id in store.ids() {
             assert!(
                 self.assign[id.index()] != NONE,
                 "live point {id:?} unassigned"
@@ -1343,6 +1463,7 @@ impl IncrementalBubbles {
     fn bubble_issues(&self, bi: usize, store: &PointStore) -> Vec<AuditIssue> {
         let b = &self.bubbles[bi];
         let mut issues = Vec::new();
+        let mut buf = Vec::new();
         if b.seed().len() != self.dim || b.seed().iter().any(|x| !x.is_finite()) {
             issues.push(AuditIssue::NonFiniteSeed { bubble: bi });
         }
@@ -1389,11 +1510,14 @@ impl IncrementalBubbles {
                     expected: pos,
                 });
             }
-            let p = store.point(id);
-            for (l, &x) in ls.iter_mut().zip(p) {
+            buf.clear();
+            store
+                .read_point_into(id, &mut buf)
+                .expect("audit: cold point fetch failed");
+            for (l, &x) in ls.iter_mut().zip(&buf) {
                 *l += x;
             }
-            ss += p.iter().map(|&x| x * x).sum::<f64>();
+            ss += buf.iter().map(|&x| x * x).sum::<f64>();
         }
         if members_sound {
             for (axis, (&stored, &recomputed)) in stats.linear_sum().iter().zip(&ls).enumerate() {
@@ -1455,7 +1579,7 @@ impl IncrementalBubbles {
 
         // Reverse direction: every live point must resolve, through the
         // assignment tables, back to its own member-list slot.
-        for (id, _, _) in store.iter() {
+        for id in store.ids() {
             let slot = id.index();
             let covered = match self.assign.get(slot) {
                 Some(&a) if a != NONE => {
@@ -1630,7 +1754,11 @@ impl IncrementalBubbles {
                 && self.bubbles[bi].seed().iter().all(|x| x.is_finite());
             if !seed_ok {
                 let fresh = if !store.is_empty() {
-                    store.point(store.sample_distinct(1, rng)[0]).to_vec()
+                    let mut p = Vec::with_capacity(self.dim);
+                    store
+                        .read_point_into(store.sample_distinct(1, rng)[0], &mut p)
+                        .expect("repair: cold point fetch failed");
+                    p
                 } else {
                     vec![0.0; self.dim]
                 };
@@ -1641,9 +1769,12 @@ impl IncrementalBubbles {
             self.seeds.replace(bi, &seed);
         }
 
-        // 4. Reattach every uncovered live point, like an insertion.
+        // 4. Reattach every uncovered live point, like an insertion. The
+        // payload is fetched lazily — only uncovered points need it, so a
+        // mostly-healthy tiered store stays mostly cold.
         self.ensure_slots(store.slots());
-        for (id, p, _) in store.iter() {
+        let mut buf = Vec::new();
+        for id in store.ids() {
             let slot = id.index();
             let covered = match self.assign[slot] {
                 NONE => false,
@@ -1663,10 +1794,14 @@ impl IncrementalBubbles {
                 Some(&a) if a != NONE && (a as usize) < self.bubbles.len() => Some(a as usize),
                 _ => None,
             };
+            buf.clear();
+            store
+                .read_point_into(id, &mut buf)
+                .expect("repair: cold point fetch failed");
             let target = self
-                .nearest(p, None, hint, search)
+                .nearest(&buf, None, hint, search)
                 .expect("bubble population is never empty");
-            self.attach(id, target, p);
+            self.attach(id, target, &buf);
             report.reassigned_points += 1;
         }
 

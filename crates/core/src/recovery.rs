@@ -936,6 +936,11 @@ pub struct DurabilityConfig {
     /// advance the compaction floor, and only then sheds the batch with a
     /// typed [`StorageError::BudgetExceeded`].
     pub disk_budget: StorageBudget,
+    /// Hot-point budget for the tiered point store: at most this many
+    /// payloads stay resident; the rest spill to the cold medium.
+    /// `None` (the default when `IDB_HOT_POINTS` is unset) keeps the
+    /// store untiered — every payload resident, no cold tier at all.
+    pub hot_points: Option<usize>,
 }
 
 impl Default for DurabilityConfig {
@@ -949,6 +954,7 @@ impl Default for DurabilityConfig {
             checkpoint_chunk_bytes: 64 * 1024,
             full_rebase_interval: 4,
             disk_budget: StorageBudget::from_env(),
+            hot_points: idb_store::tier::hot_points_from_env(),
         }
     }
 }
@@ -1097,6 +1103,17 @@ pub struct DurableMaintainer<S: DurableSink, C: CheckpointStore> {
     /// Whether the disk budget was breached and could not be compacted
     /// back under the cap.
     budget_pressure: bool,
+    /// Whether the cold tier last refused IO (outage on the spill medium).
+    /// Batches are rejected typed while down; a successful prefetch or
+    /// budget sweep heals it.
+    tier_down: bool,
+    /// Whether a cold failure struck *after* a batch was logged (mid-apply
+    /// or mid-maintenance): the in-memory state then diverges from what
+    /// replaying the WAL would produce, so every further batch is rejected
+    /// until the caller rebuilds via recovery.
+    tier_poisoned: bool,
+    /// Tier counters at the last mirror, for per-batch deltas.
+    tier_seen: idb_store::TierCounters,
 }
 
 impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
@@ -1205,7 +1222,23 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
             shed_batches: 0,
             sink_full: false,
             budget_pressure: false,
+            tier_down: false,
+            tier_poisoned: false,
+            tier_seen: idb_store::TierCounters::default(),
         };
+        // Tiering starts *after* the (untiered) build/recovery produced the
+        // summarization: the store spills everything to the cold medium and
+        // serves reads on demand. The cold file is an ephemeral spill, not
+        // durability state — recovery always rebuilds untiered and re-tiers
+        // here.
+        if let Some(hot) = this.dcfg.hot_points {
+            if !this.store.tiered() {
+                this.store
+                    .enable_tier(idb_store::tier::default_cold_medium(), hot.max(1))
+                    .map_err(|e| RecoveryError::Io(io::Error::other(e.to_string())))?;
+            }
+            this.tier_seen = this.store.tier_counters().unwrap_or_default();
+        }
         this.checkpoint_now()?; // The recovery anchor for this epoch.
         Ok(this)
     }
@@ -1213,7 +1246,11 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
     /// Emits a `health` journal event when the degraded/healthy state has
     /// changed since the last one.
     fn note_health(&mut self) {
-        let degraded = self.wal_down || self.checkpoint_down || self.budget_pressure;
+        let degraded = self.wal_down
+            || self.checkpoint_down
+            || self.budget_pressure
+            || self.tier_down
+            || self.tier_poisoned;
         if degraded != self.reported_degraded {
             self.reported_degraded = degraded;
             self.obs.emit(
@@ -1265,9 +1302,47 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
         maintain: bool,
         search: &mut SearchStats,
     ) -> Result<Vec<PointId>, UpdateError> {
+        // A poisoned tier means the in-memory state diverged from what
+        // replaying the WAL would produce (a cold failure struck after a
+        // record was logged); nothing further may apply until the caller
+        // rebuilds through recovery.
+        if self.tier_poisoned {
+            return Err(UpdateError::Storage(StorageError::ColdIo {
+                op: "apply",
+                detail: "cold tier failed mid-round; state diverged from the WAL, \
+                         rebuild via recovery"
+                    .into(),
+            }));
+        }
         // Validate before logging: the WAL must only ever contain batches
         // that replay cleanly.
         self.bubbles.check_batch(&self.store, batch)?;
+        // Probe the cold tier before logging: every payload this batch
+        // needs must be fetchable, so a cold outage rejects the batch
+        // typed — logged nowhere, nothing applied — instead of poisoning.
+        if self.store.tiered() {
+            match self.store.prefetch(&batch.deletes) {
+                Ok(()) => {
+                    if self.tier_down {
+                        self.tier_down = false;
+                        self.note_health();
+                    }
+                }
+                Err(e) => {
+                    self.tier_down = true;
+                    self.shed_batches += 1;
+                    self.obs.emit(
+                        EventKind::StorageShed {
+                            buffered: self.wal.pending_records() as u64,
+                            shed: self.shed_batches,
+                        },
+                        0,
+                    );
+                    self.note_health();
+                    return Err(UpdateError::Storage(e));
+                }
+            }
+        }
         // Bounded resources next: shed (typed) before anything is logged
         // or applied.
         self.enforce_disk_budget()?;
@@ -1283,18 +1358,84 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
         // `check_batch` above guarantees this succeeds; if the validator
         // and the applier ever disagree (a bug), surface the typed error
         // instead of aborting the process — the caller still holds a
-        // consistent pre-batch view and can drop the maintainer.
-        let ids = self
-            .bubbles
-            .try_apply_batch(&mut self.store, batch, search)?;
+        // consistent pre-batch view and can drop the maintainer. A cold
+        // failure *here* is past the point of no return (the record is
+        // logged): poison the tier so the divergence cannot compound.
+        let ids = match self.bubbles.try_apply_batch(&mut self.store, batch, search) {
+            Ok(ids) => ids,
+            Err(e) => {
+                if matches!(e, UpdateError::Storage(StorageError::ColdIo { .. })) {
+                    self.tier_down = true;
+                    self.tier_poisoned = true;
+                    self.note_health();
+                }
+                return Err(e);
+            }
+        };
         if maintain {
             let mut rng = StdRng::seed_from_u64(round_seed);
-            self.bubbles.maintain(&self.store, &mut rng, search);
+            if let Err(e) = self.bubbles.try_maintain(&self.store, &mut rng, search) {
+                self.tier_down = true;
+                self.tier_poisoned = true;
+                self.note_health();
+                return Err(UpdateError::Storage(e));
+            }
         }
         self.batches_applied += 1;
         self.dirty.absorb(self.bubbles.take_ckpt_changes());
         self.drive_checkpoint();
+        self.enforce_hot_budget();
         Ok(ids)
+    }
+
+    /// Per-batch tier upkeep: evict back down to the hot budget, journal
+    /// the tier traffic this batch generated, and mirror the counters into
+    /// metrics. Eviction failures degrade ([`Health::Degraded`]) without
+    /// failing the batch — the store stays consistent, merely over budget,
+    /// and the next batch (or [`DurableMaintainer::sync`]) retries.
+    fn enforce_hot_budget(&mut self) {
+        if !self.store.tiered() {
+            return;
+        }
+        match self.store.enforce_hot_budget() {
+            Ok(evicted) => {
+                if self.tier_down {
+                    self.tier_down = false;
+                }
+                if evicted > 0 {
+                    self.obs.emit(
+                        EventKind::TierEvict {
+                            evicted,
+                            resident: self.store.resident_points() as u64,
+                        },
+                        0,
+                    );
+                }
+            }
+            Err(_) => {
+                self.tier_down = true;
+            }
+        }
+        let now = self.store.tier_counters().unwrap_or_default();
+        let fetches = now.cold_reads - self.tier_seen.cold_reads;
+        let bytes = now.cold_bytes - self.tier_seen.cold_bytes;
+        if fetches > 0 {
+            // Zero-traffic windows are elided, never journaled (the
+            // journal checker enforces this).
+            self.obs.emit(EventKind::TierFetch { fetches, bytes }, 0);
+        }
+        if self.obs.metrics_on() {
+            let m = self.obs.metrics();
+            m.counter("tier.hits").add(now.hits - self.tier_seen.hits);
+            m.counter("tier.misses")
+                .add(now.misses - self.tier_seen.misses);
+            m.counter("tier.cold_reads").add(fetches);
+            m.counter("tier.cold_bytes").add(bytes);
+            m.counter("tier.evictions")
+                .add(now.evictions - self.tier_seen.evictions);
+        }
+        self.tier_seen = now;
+        self.note_health();
     }
 
     /// Commits buffered WAL records with bounded retry; on persistent
@@ -1656,10 +1797,14 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
     }
 
     /// Forces buffered WAL records to the sink (with the configured
-    /// retries) and reports the resulting health.
+    /// retries), retries a failed hot-budget sweep when the cold tier was
+    /// down, and reports the resulting health.
     pub fn sync(&mut self) -> Health {
         if self.wal.pending_records() > 0 || self.wal_down {
             self.commit_wal();
+        }
+        if self.tier_down && !self.tier_poisoned {
+            self.enforce_hot_budget();
         }
         self.health()
     }
@@ -1717,11 +1862,16 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
     }
 
     /// Current durability health: [`Health::Degraded`] while the WAL sink
-    /// or the checkpoint store is rejecting writes, or while the disk
-    /// budget is forcing sheds.
+    /// or the checkpoint store is rejecting writes, while the disk
+    /// budget is forcing sheds, or while the cold tier is down/poisoned.
     #[must_use]
     pub fn health(&self) -> Health {
-        if self.wal_down || self.checkpoint_down || self.budget_pressure {
+        if self.wal_down
+            || self.checkpoint_down
+            || self.budget_pressure
+            || self.tier_down
+            || self.tier_poisoned
+        {
             Health::Degraded {
                 buffered_batches: self.wal.pending_records(),
                 shed_batches: self.shed_batches,
@@ -1732,10 +1882,18 @@ impl<S: DurableSink, C: CheckpointStore> DurableMaintainer<S, C> {
     }
 
     /// Batches shed by the bounded durability layer over this process
-    /// epoch (buffer cap or disk budget).
+    /// epoch (buffer cap, disk budget, or cold-tier outage).
     #[must_use]
     pub fn shed_batches(&self) -> u64 {
         self.shed_batches
+    }
+
+    /// Whether a cold-tier failure after a logged record poisoned the
+    /// live state (see [`DurableMaintainer::apply_with`]): every further
+    /// batch is rejected typed until the caller rebuilds via recovery.
+    #[must_use]
+    pub fn tier_poisoned(&self) -> bool {
+        self.tier_poisoned
     }
 
     /// Live (unreclaimed) bytes of the WAL chain, when the sink can
@@ -1837,7 +1995,11 @@ mod tests {
 
     fn fingerprint(store: &PointStore, ib: &IncrementalBubbles) -> String {
         let mut s = String::new();
-        for (id, p, l) in store.iter() {
+        let mut p = Vec::new();
+        for id in store.ids() {
+            p.clear();
+            store.read_point_into(id, &mut p).expect("point fetch");
+            let l = store.label(id);
             s.push_str(&format!("{};{p:?};{l:?}|", id.0));
         }
         s.push_str(&format!("free={:?}|", store.free_slots()));

@@ -43,9 +43,22 @@ type Fingerprint = (
 );
 
 fn fingerprint(store: &PointStore, ib: &IncrementalBubbles) -> Fingerprint {
+    // Payloads go through the demand-fetch path so the fingerprint works
+    // over tiered stores too (ambient IDB_HOT_POINTS runs of this suite).
+    let mut buf = Vec::new();
     let points = store
-        .iter()
-        .map(|(id, p, l)| (id.0, p.iter().map(|x| x.to_bits()).collect(), l))
+        .ids()
+        .map(|id| {
+            buf.clear();
+            store
+                .read_point_into(id, &mut buf)
+                .expect("fingerprint: point fetch failed");
+            (
+                id.0,
+                buf.iter().map(|x| x.to_bits()).collect(),
+                store.label(id),
+            )
+        })
         .collect();
     let free = store.free_slots().to_vec();
     let bubbles = ib
@@ -890,5 +903,172 @@ fn delta_checkpoints_decode_bit_identically_to_fulls() {
             *fps.last().unwrap(),
             "recovery standing on checkpoint {k} diverged"
         );
+    }
+}
+
+/// Tiered crash consistency (DESIGN.md §17): the cold tier is an
+/// ephemeral spill, never durability state. A tiered run writes a WAL
+/// byte-identical to the untiered one, so killing it at any byte —
+/// record boundaries, mid-record, and in particular right after a
+/// commit whose eviction sweep never ran — recovers through the
+/// ordinary untiered replay path bit-identically, and the resumed
+/// (re-tiered) maintainer finishes the stream bit-identically.
+#[test]
+fn tiered_crash_points_recover_bit_identically() {
+    let mut rng = StdRng::seed_from_u64(0x71E2_C4A5);
+    for case in 0..6 {
+        let mut sc = plan_scenario(case, &mut rng);
+        let hot = rng.gen_range(2..=16);
+
+        // Untiered reference first: identical WAL bytes let the tiered
+        // run reuse the untiered crash-point arithmetic unchanged.
+        sc.dcfg.hot_points = None;
+        let (lens_untiered, _, _, wal_untiered, _) = reference_run(&sc);
+        sc.dcfg.hot_points = Some(hot);
+        let (lens, ckpts, fps, wal, _) = reference_run(&sc);
+        assert_eq!(
+            wal, wal_untiered,
+            "case {case} (hot={hot}): tiering changed the WAL bytes"
+        );
+        assert_eq!(lens, lens_untiered, "case {case}: commit offsets diverged");
+        let ends = read_wal(&wal).expect("reference wal is intact").ends;
+
+        // Every record boundary — the boundary immediately after a commit
+        // is exactly the kill-mid-eviction moment: the batch is durable
+        // but the clock sweep it triggered is lost with the process.
+        for &cut in &ends {
+            crash_recover_finish(
+                &sc,
+                &wal,
+                &ends,
+                &ckpts,
+                &fps,
+                cut,
+                false,
+                "tiered boundary",
+            );
+        }
+        for _ in 0..4 {
+            let cut = rng.gen_range(0..=wal.len());
+            crash_recover_finish(
+                &sc,
+                &wal,
+                &ends,
+                &ckpts,
+                &fps,
+                cut,
+                false,
+                "tiered mid-record",
+            );
+        }
+    }
+}
+
+/// A kill mid-cold-rewrite leaves real filesystem wreckage: a stale
+/// spill file with arbitrary stale bytes and an abandoned `.tmp` from
+/// the interrupted tmp+rename cycle. Recovery must ignore both —
+/// the WAL + checkpoints alone rebuild the state — and resuming over a
+/// fresh `FsCold` at the same (polluted) path must truncate the
+/// wreckage and finish the stream bit-identically.
+#[test]
+fn kill_mid_cold_rewrite_leaves_recoverable_wreckage() {
+    let mut rng = StdRng::seed_from_u64(0x71E2_F5C0);
+    let dir = scratch_dir();
+    for case in 0..4 {
+        let mut sc = plan_scenario(case, &mut rng);
+        let hot = rng.gen_range(2..=8);
+        sc.dcfg.hot_points = Some(hot);
+        let cold_path = dir.join(format!("idb_test_cold_rewrite_{case}_{hot}.bin"));
+
+        // Tiered run over a real FsCold medium. The tier is mounted by
+        // hand so the test controls the spill path; `start` sees the
+        // store already tiered and leaves it alone.
+        let mut build_rng = StdRng::seed_from_u64(sc.build_seed);
+        let mut stats = SearchStats::new();
+        let mut store = sc.store.clone();
+        let ib = IncrementalBubbles::build(&store, sc.config.clone(), &mut build_rng, &mut stats);
+        store
+            .enable_tier(
+                Box::new(idb_store::tier::FsCold::create(&cold_path).expect("create spill")),
+                hot,
+            )
+            .expect("initial spill");
+        let mut dm = DurableMaintainer::adopt(
+            store,
+            ib,
+            sc.dcfg.clone(),
+            MemSink::new(),
+            MemCheckpoints::new(),
+        )
+        .expect("MemSink never fails");
+        let mut fps = vec![fingerprint(dm.store(), dm.bubbles())];
+        let mut wal_lens = vec![dm.wal_sink().bytes().len()];
+        let mut ckpt_trace = vec![dm.checkpoints().clone()];
+        for step in &sc.steps {
+            dm.apply_with(&step.batch, step.round_seed, step.maintain, &mut stats)
+                .expect("planned batches are valid");
+            fps.push(fingerprint(dm.store(), dm.bubbles()));
+            wal_lens.push(dm.wal_sink().bytes().len());
+            ckpt_trace.push(dm.checkpoints().clone());
+        }
+        let final_fp = fps.last().unwrap().clone();
+        let (_, _, sink, _) = dm.into_parts();
+        let wal = sink.into_bytes();
+
+        // Crash after a mid-stream batch committed, with the cold
+        // rewrite caught halfway: the spill file holds stale garbage and
+        // the tmp of the interrupted cycle is still on disk.
+        let durable = sc.steps.len() / 2;
+        std::fs::write(&cold_path, b"stale spill contents from before the kill").unwrap();
+        let tmp_path = {
+            let mut os = cold_path.clone().into_os_string();
+            os.push(".tmp");
+            std::path::PathBuf::from(os)
+        };
+        std::fs::write(&tmp_path, b"half-written rewrite").unwrap();
+
+        // Recovery never opens the spill: WAL + checkpoints suffice, and
+        // the recovered store comes back fully resident (untiered). Only
+        // checkpoints persisted before the kill exist at recovery time.
+        let replay_ckpts = ckpt_trace[durable].clone();
+        let cut = wal_lens[durable];
+        let rec = recover(&wal[..cut], &replay_ckpts).expect("recovery ignores the spill file");
+        assert_eq!(rec.batches_durable, durable as u64);
+        assert!(
+            rec.store.all_resident(),
+            "recovery must rebuild an untiered, fully resident store"
+        );
+        assert_eq!(
+            fingerprint(&rec.store, &rec.bubbles),
+            fps[durable],
+            "case {case}: recovered state diverged from the reference"
+        );
+
+        // Resume re-tiers over the same polluted path: FsCold::create
+        // truncates the stale spill, the abandoned tmp is inert, and the
+        // finished stream is bit-identical to the uninterrupted run.
+        let mut recovered = rec;
+        recovered
+            .store
+            .enable_tier(
+                Box::new(idb_store::tier::FsCold::create(&cold_path).expect("re-create spill")),
+                hot,
+            )
+            .expect("re-tier spill");
+        let mut dm =
+            DurableMaintainer::resume(recovered, sc.dcfg.clone(), MemSink::new(), replay_ckpts)
+                .expect("MemSink never fails");
+        let mut stats = SearchStats::new();
+        for step in &sc.steps[durable..] {
+            dm.apply_with(&step.batch, step.round_seed, step.maintain, &mut stats)
+                .expect("planned batches are valid");
+        }
+        assert_eq!(
+            fingerprint(dm.store(), dm.bubbles()),
+            final_fp,
+            "case {case}: finished stream diverged after the mid-rewrite kill"
+        );
+        let _ = std::fs::remove_file(&cold_path);
+        let _ = std::fs::remove_file(&tmp_path);
     }
 }

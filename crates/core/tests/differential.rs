@@ -552,3 +552,137 @@ fn journal_and_counters_are_bit_identical_between_serial_and_threaded_runs() {
         }
     }
 }
+
+/// Entry point 8: the cold tier. A durable stream applied with a tiny
+/// hot-point budget must be bit-identical to the same stream applied
+/// fully resident — per-step store and summary snapshot bytes, the final
+/// WAL byte stream, the search counters, and the journal up to the
+/// tier's own traffic events (`tier_fetch`/`tier_evict`, which by design
+/// exist only when a tier is mounted) — while the tiered run's resident
+/// payload count stays bounded by the hot budget plus one batch of
+/// overshoot. Tiering, like threads and engines, is pure physics.
+#[test]
+fn tiered_runs_are_bit_identical_to_untiered() {
+    use idb_core::{DurabilityConfig, DurableMaintainer, MemCheckpoints};
+    use idb_obs::EventKind;
+    use idb_store::MemSink;
+
+    let mut rng = StdRng::seed_from_u64(0x71E2_0001);
+    let mut total_cold_reads = 0u64;
+    let mut total_evictions = 0u64;
+    for case_no in 0..24 {
+        let dim = rng.gen_range(1..=3);
+        let num_bubbles: usize = rng.gen_range(3..=8);
+        let n = rng.gen_range((num_bubbles + 2).max(30)..=120);
+        let base_store = random_store(&mut rng, dim, n);
+        let build_seed: u64 = rng.gen();
+        let hot = rng.gen_range(2..=8usize);
+
+        // Plan the whole stream against a simulation copy so both runs
+        // see byte-identical batches: deletes reference ids that are live
+        // at that step, and id assignment is deterministic (same
+        // free-list evolution on both sides).
+        let mut sim = base_store.clone();
+        let steps: Vec<(Batch, u64)> = (0..5)
+            .map(|_| {
+                let batch = random_batch(&sim, &mut rng);
+                for &id in &batch.deletes {
+                    sim.remove(id);
+                }
+                for (p, l) in &batch.inserts {
+                    sim.insert(p, *l);
+                }
+                (batch, rng.gen())
+            })
+            .collect();
+
+        let run = |hot_points: Option<usize>| {
+            let mut stats = SearchStats::new();
+            let store = base_store.clone();
+            let mut ib = IncrementalBubbles::build(
+                &store,
+                MaintainerConfig::new(num_bubbles),
+                &mut StdRng::seed_from_u64(build_seed),
+                &mut stats,
+            );
+            let ring = Arc::new(RingRecorder::new());
+            ib.set_obs(Obs::with_recorder(ring.clone()));
+            let dcfg = DurabilityConfig {
+                checkpoint_interval: 2,
+                hot_points,
+                ..DurabilityConfig::default()
+            };
+            let mut dm =
+                DurableMaintainer::adopt(store, ib, dcfg, MemSink::new(), MemCheckpoints::new())
+                    .expect("adopt");
+            let mut trace: Vec<Vec<u8>> = Vec::new();
+            for (batch, seed) in &steps {
+                dm.apply_with(batch, *seed, true, &mut stats)
+                    .expect("apply");
+                if let Some(hot) = hot_points {
+                    let resident = dm.store().resident_points();
+                    assert!(
+                        resident <= hot + batch.inserts.len(),
+                        "case {case_no}: {resident} resident points exceeds the \
+                         hot budget {hot} plus one batch of {} inserts",
+                        batch.inserts.len()
+                    );
+                }
+                let mut snap = Vec::new();
+                dm.store().write_snapshot(&mut snap).expect("vec write");
+                dm.bubbles().write_snapshot(&mut snap).expect("vec write");
+                trace.push(snap);
+            }
+            let wal = dm.wal_sink().bytes().to_vec();
+            let events: Vec<_> = ring
+                .events()
+                .iter()
+                .map(|e| e.masked())
+                .filter(|e| {
+                    !matches!(
+                        e.kind,
+                        EventKind::TierFetch { .. } | EventKind::TierEvict { .. }
+                    )
+                })
+                .collect();
+            let counters = dm.store().tier_counters();
+            (trace, wal, events, stats, counters)
+        };
+
+        let untiered = run(None);
+        let tiered = run(Some(hot));
+        assert_eq!(
+            tiered.0, untiered.0,
+            "case {case_no} (hot={hot}): snapshot byte trace diverged"
+        );
+        assert_eq!(
+            tiered.1, untiered.1,
+            "case {case_no} (hot={hot}): WAL byte stream diverged"
+        );
+        assert_eq!(
+            tiered.2, untiered.2,
+            "case {case_no} (hot={hot}): journal diverged beyond tier traffic"
+        );
+        assert_eq!(
+            tiered.3, untiered.3,
+            "case {case_no} (hot={hot}): search counters diverged"
+        );
+        assert!(
+            untiered.4.is_none(),
+            "case {case_no}: the untiered run must not mount a tier"
+        );
+        let c = tiered.4.expect("tiered run must expose tier counters");
+        total_cold_reads += c.cold_reads;
+        total_evictions += c.evictions;
+    }
+    // The equivalence must not be vacuous: across the suite the tiered
+    // runs have to actually hit the cold medium and run the clock hand.
+    assert!(
+        total_cold_reads > 0,
+        "no case ever read from the cold tier — budgets too generous"
+    );
+    assert!(
+        total_evictions > 0,
+        "no case ever evicted — budgets too generous"
+    );
+}

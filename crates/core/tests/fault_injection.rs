@@ -846,3 +846,103 @@ fn disk_budget_compacts_first_and_sheds_only_when_impossible() {
         }
     ));
 }
+
+/// The cold tier's degrade → heal ladder (DESIGN.md §17). A read outage
+/// on the cold medium is caught by the pre-WAL prefetch probe: the batch
+/// is shed with a typed [`StorageError::ColdIo`], no WAL record lands,
+/// the state fingerprint is untouched, health degrades but the tier is
+/// *not* poisoned — and after the volume heals, the identical batch
+/// applies. A write outage strikes only the post-commit eviction sweep:
+/// the batch itself succeeds, the maintainer degrades without shedding,
+/// and heal + `sync()` re-runs the sweep and restores the resident-set
+/// bound.
+#[test]
+fn cold_tier_outage_degrades_typed_and_heals() {
+    use idb_store::MemSink;
+    use idb_synth::FaultCold;
+
+    let (mut store, ib, mut rng, mut search) = fixture(0xC01D);
+    let hot = 8;
+    let cold = FaultCold::new();
+    store
+        .enable_tier(Box::new(cold.clone()), hot)
+        .expect("initial spill over a healthy medium");
+    let dcfg = DurabilityConfig {
+        checkpoint_interval: 2,
+        hot_points: Some(hot),
+        ..DurabilityConfig::default()
+    };
+    let mut dm = DurableMaintainer::adopt(store, ib, dcfg, MemSink::new(), MemCheckpoints::new())
+        .expect("MemSink never fails");
+
+    // Warm-up: a healthy tiered batch applies clean and stays bounded.
+    let b0 = churn_batch(dm.store(), &mut rng);
+    dm.apply_with(&b0, 1, true, &mut search)
+        .expect("healthy tier applies");
+    assert_eq!(dm.health(), Health::Healthy);
+    assert!(dm.store().resident_points() <= hot);
+    let before = fingerprint(dm.store(), dm.bubbles());
+    let wal_before = dm.wal_sink().bytes().len();
+
+    // Read outage ("the volume detached"): shed pre-WAL, typed, clean.
+    cold.set_read_outage(true);
+    let b1 = churn_batch(dm.store(), &mut rng);
+    let err = dm
+        .apply_with(&b1, 2, true, &mut search)
+        .expect_err("a read outage must shed the batch");
+    assert!(
+        matches!(err, UpdateError::Storage(StorageError::ColdIo { .. })),
+        "expected a typed cold-IO shed, got: {err}"
+    );
+    assert!(
+        matches!(dm.health(), Health::Degraded { .. }),
+        "a cold outage must surface as degraded health"
+    );
+    assert!(
+        !dm.tier_poisoned(),
+        "a pre-WAL shed never poisons: nothing was logged"
+    );
+    assert_eq!(
+        dm.wal_sink().bytes().len(),
+        wal_before,
+        "the shed happens before the WAL: no record may land"
+    );
+
+    // Heal: the state is exactly what it was before the shed, and the
+    // *identical* batch now applies.
+    cold.heal();
+    assert_eq!(
+        fingerprint(dm.store(), dm.bubbles()),
+        before,
+        "the shed batch must leave the state untouched"
+    );
+    dm.apply_with(&b1, 2, true, &mut search)
+        .expect("the healed tier applies the previously shed batch");
+    assert_eq!(dm.health(), Health::Healthy);
+
+    // Write outage ("the disk stopped accepting writes"): the eviction
+    // sweep runs after the commit, so the batch itself must succeed.
+    cold.set_write_outage(true);
+    let b2 = churn_batch(dm.store(), &mut rng);
+    dm.apply_with(&b2, 3, true, &mut search)
+        .expect("a write outage must not fail the committed batch");
+    assert!(
+        matches!(dm.health(), Health::Degraded { .. }),
+        "a failed eviction sweep must degrade"
+    );
+    assert!(
+        !dm.tier_poisoned(),
+        "a failed sweep is recoverable in place"
+    );
+
+    // Heal + sync: the sweep re-runs and the bound is restored.
+    cold.heal();
+    assert_eq!(dm.sync(), Health::Healthy);
+    assert!(
+        dm.store().resident_points() <= hot,
+        "post-heal sweep must restore the resident-set bound"
+    );
+    let counters = dm.store().tier_counters().expect("tiered");
+    assert!(counters.cold_reads > 0, "the run must exercise cold reads");
+    assert!(counters.evictions > 0, "the run must exercise evictions");
+}

@@ -25,6 +25,10 @@
 //!    [`EventKind::Checkpoint`] that closes the stream sees
 //!    `written == total`. A trailing incomplete stream (crash mid
 //!    checkpoint) is tolerated.
+//! 7. **Tier traffic** — every [`EventKind::TierFetch`] reports a
+//!    nonzero fetch count with nonzero bytes, and every
+//!    [`EventKind::TierEvict`] a nonzero eviction count: zero-traffic
+//!    windows are elided, never journaled.
 //!
 //! A sharded deployment interleaves several maintainers' events into one
 //! journal; the invariants above only hold *per maintainer domain*, so
@@ -66,6 +70,10 @@ pub struct JournalSummary {
     pub checkpoint_chunks: u64,
     /// Batches shed at the degraded-buffer cap.
     pub sheds: u64,
+    /// Cold records demand-fetched across all `tier_fetch` events.
+    pub tier_fetches: u64,
+    /// Points evicted to the cold tier across all `tier_evict` events.
+    pub tier_evictions: u64,
     /// Delta-clustering epochs.
     pub delta_epochs: u64,
 }
@@ -213,6 +221,27 @@ pub fn check_journal(events: &[Event]) -> Result<JournalSummary, String> {
                 open_chunks = Some((*seq, *written, *total));
             }
             EventKind::StorageShed { .. } => summary.sheds += 1,
+            EventKind::TierFetch { fetches, bytes } => {
+                summary.tier_fetches += fetches;
+                if *fetches == 0 {
+                    return Err(format!(
+                        "event {i}: tier_fetch with zero fetches (must be elided)"
+                    ));
+                }
+                if *bytes == 0 {
+                    return Err(format!(
+                        "event {i}: tier_fetch of {fetches} records moved no bytes"
+                    ));
+                }
+            }
+            EventKind::TierEvict { evicted, .. } => {
+                summary.tier_evictions += evicted;
+                if *evicted == 0 {
+                    return Err(format!(
+                        "event {i}: tier_evict with zero evictions (must be elided)"
+                    ));
+                }
+            }
             EventKind::DeltaEpoch { touched, total, .. } => {
                 summary.delta_epochs += 1;
                 if touched > total {
@@ -536,6 +565,49 @@ mod tests {
         ];
         let summary = check_journal(&events).expect("well-formed");
         assert_eq!(summary.sheds, 2);
+    }
+
+    #[test]
+    fn tier_traffic_is_counted_and_zero_windows_are_flagged() {
+        let events = vec![
+            ev(EventKind::TierFetch {
+                fetches: 3,
+                bytes: 96,
+            }),
+            ev(EventKind::TierEvict {
+                evicted: 7,
+                resident: 256,
+            }),
+            ev(EventKind::TierFetch {
+                fetches: 2,
+                bytes: 64,
+            }),
+        ];
+        let summary = check_journal(&events).expect("well-formed");
+        assert_eq!(summary.tier_fetches, 5);
+        assert_eq!(summary.tier_evictions, 7);
+
+        let empty_fetch = vec![ev(EventKind::TierFetch {
+            fetches: 0,
+            bytes: 0,
+        })];
+        assert!(check_journal(&empty_fetch)
+            .unwrap_err()
+            .contains("zero fetches"));
+
+        let zero_bytes = vec![ev(EventKind::TierFetch {
+            fetches: 2,
+            bytes: 0,
+        })];
+        assert!(check_journal(&zero_bytes).unwrap_err().contains("no bytes"));
+
+        let empty_evict = vec![ev(EventKind::TierEvict {
+            evicted: 0,
+            resident: 1,
+        })];
+        assert!(check_journal(&empty_evict)
+            .unwrap_err()
+            .contains("zero evictions"));
     }
 
     #[test]

@@ -237,6 +237,21 @@ pub enum EventKind {
         /// Batches shed so far in this degradation episode.
         shed: u64,
     },
+    /// A batch's maintenance window read points from the cold tier
+    /// (aggregated per batch; absent when everything needed was hot).
+    TierFetch {
+        /// Cold records demand-fetched during the window.
+        fetches: u64,
+        /// Payload bytes read from the cold medium.
+        bytes: u64,
+    },
+    /// A hot-budget sweep evicted points to the cold tier.
+    TierEvict {
+        /// Points written out by this sweep.
+        evicted: u64,
+        /// Resident points after the sweep.
+        resident: u64,
+    },
     /// Recovery started over a WAL image.
     RecoverStart {
         /// WAL bytes presented to recovery.
@@ -324,6 +339,8 @@ impl EventKind {
             EventKind::Checkpoint { .. } => "checkpoint",
             EventKind::CheckpointChunk { .. } => "checkpoint_chunk",
             EventKind::StorageShed { .. } => "storage_shed",
+            EventKind::TierFetch { .. } => "tier_fetch",
+            EventKind::TierEvict { .. } => "tier_evict",
             EventKind::RecoverStart { .. } => "recover_start",
             EventKind::RecoverCheckpoint { .. } => "recover_checkpoint",
             EventKind::RecoverDone { .. } => "recover_done",
@@ -529,6 +546,14 @@ impl Event {
                 num(&mut s, "buffered", *buffered);
                 num(&mut s, "shed", *shed);
             }
+            EventKind::TierFetch { fetches, bytes } => {
+                num(&mut s, "fetches", *fetches);
+                num(&mut s, "bytes", *bytes);
+            }
+            EventKind::TierEvict { evicted, resident } => {
+                num(&mut s, "evicted", *evicted);
+                num(&mut s, "resident", *resident);
+            }
             EventKind::RecoverStart { wal_bytes } => num(&mut s, "wal_bytes", *wal_bytes),
             EventKind::RecoverCheckpoint { seq, covered } => {
                 num(&mut s, "seq", *seq);
@@ -671,6 +696,14 @@ impl Event {
             "storage_shed" => EventKind::StorageShed {
                 buffered: get_u64("buffered")?,
                 shed: get_u64("shed")?,
+            },
+            "tier_fetch" => EventKind::TierFetch {
+                fetches: get_u64("fetches")?,
+                bytes: get_u64("bytes")?,
+            },
+            "tier_evict" => EventKind::TierEvict {
+                evicted: get_u64("evicted")?,
+                resident: get_u64("resident")?,
             },
             "recover_start" => EventKind::RecoverStart {
                 wal_bytes: get_u64("wal_bytes")?,
@@ -877,6 +910,20 @@ mod tests {
                     shed: 2,
                 },
                 0,
+            ),
+            Event::new(
+                EventKind::TierFetch {
+                    fetches: 12,
+                    bytes: 768,
+                },
+                4,
+            ),
+            Event::new(
+                EventKind::TierEvict {
+                    evicted: 32,
+                    resident: 256,
+                },
+                4,
             ),
             Event::new(EventKind::RecoverStart { wal_bytes: 812 }, 0),
             Event::new(EventKind::RecoverCheckpoint { seq: 2, covered: 8 }, 120),

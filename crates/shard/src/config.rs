@@ -42,6 +42,15 @@ pub struct ShardConfig {
     /// budget sheds only its own batches while siblings keep serving.
     /// `None` leaves the durability config's budget untouched.
     pub disk_budget: Option<StorageBudget>,
+    /// When set, overrides the *per-partition* hot-point budget of the
+    /// [`DurabilityConfig`](idb_core::DurabilityConfig) handed to
+    /// [`ShardRouter::create`](crate::ShardRouter::create): each
+    /// partition gets its own cold tier and keeps at most this many
+    /// payloads resident, so the whole service's point residency is
+    /// `partitions × hot_points` regardless of stream length. `None`
+    /// leaves the durability config's own setting (ambient
+    /// `IDB_HOT_POINTS` by default) untouched.
+    pub hot_points: Option<Option<usize>>,
 }
 
 impl ShardConfig {
@@ -65,6 +74,7 @@ impl ShardConfig {
             quarantine_after: 3,
             heal_after: 2,
             disk_budget: None,
+            hot_points: None,
         }
     }
 
@@ -95,6 +105,15 @@ impl ShardConfig {
     #[must_use]
     pub fn with_disk_budget(mut self, budget: StorageBudget) -> Self {
         self.disk_budget = Some(budget);
+        self
+    }
+
+    /// Sets the per-partition hot-point budget (see
+    /// [`ShardConfig::hot_points`]); `None` disables tiering for every
+    /// partition regardless of the ambient `IDB_HOT_POINTS`.
+    #[must_use]
+    pub fn with_hot_points(mut self, hot_points: Option<usize>) -> Self {
+        self.hot_points = Some(hot_points);
         self
     }
 

@@ -33,6 +33,17 @@ pub enum ShardError {
         /// The offending client id.
         id: PointId,
     },
+    /// The batch's inserts would grow a partition's store past the
+    /// packed-id local field ([`MAX_LOCAL`](crate::MAX_LOCAL) slots):
+    /// the ids could no longer be packed without aliasing the partition
+    /// bits, so the submission is shed whole instead of silently
+    /// truncating ids. Re-route to more partitions or delete first.
+    Capacity {
+        /// The partition at its slot ceiling.
+        partition: u32,
+        /// The ceiling itself (`MAX_LOCAL`).
+        limit: u32,
+    },
     /// A partition's maintainer rejected its sub-batch with a typed
     /// validation error. That partition is untouched; sibling partitions
     /// of the same submission may have applied theirs (atomicity is
@@ -65,6 +76,12 @@ impl fmt::Display for ShardError {
                 write!(f, "partition {partition} is quarantined or offline")
             }
             Self::UnknownId { id } => write!(f, "client id {} names no partition", id.0),
+            Self::Capacity { partition, limit } => {
+                write!(
+                    f,
+                    "partition {partition} is at its {limit}-slot id ceiling: submission shed"
+                )
+            }
             Self::Rejected { partition, source } => {
                 write!(f, "partition {partition} rejected the batch: {source}")
             }

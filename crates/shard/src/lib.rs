@@ -67,7 +67,7 @@ pub mod router;
 pub use config::{shards_from_env, shards_from_env_strict, ShardConfig, SHARDS_ENV};
 pub use error::ShardError;
 pub use route::{
-    partition_round_seed, route_point, GlobalId, LOCAL_BITS, MAX_LOCAL, MAX_PARTITIONS,
-    PARTITION_BITS,
+    local_capacity_exceeded, partition_round_seed, route_point, GlobalId, LOCAL_BITS, MAX_LOCAL,
+    MAX_PARTITIONS, PARTITION_BITS,
 };
 pub use router::{PartitionStatus, RestartReport, ShardRouter, TicketResult};

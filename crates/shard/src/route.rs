@@ -23,8 +23,27 @@ pub const PARTITION_BITS: u32 = 8;
 pub const LOCAL_BITS: u32 = 32 - PARTITION_BITS;
 /// Upper bound on the partition count (the packed-id partition field).
 pub const MAX_PARTITIONS: u32 = 1 << PARTITION_BITS;
-/// Upper bound on live points per partition (the packed-id local field).
+/// Upper bound on *store slots* per partition (the packed-id local
+/// field): a partition whose point store would have to grow past
+/// 2^24 slots can no longer pack its local ids into a client id, so
+/// the router rejects such inserts up front with
+/// [`ShardError::Capacity`](crate::ShardError::Capacity) instead of
+/// handing out ids that alias the partition bits. Note the limit is on
+/// slots (live points + free slots awaiting reuse), not on live points:
+/// the store hands out the lowest free slot first, so slot count only
+/// grows when a batch inserts more than it deletes.
 pub const MAX_LOCAL: u32 = 1 << LOCAL_BITS;
+
+/// Whether applying `deletes` then `inserts` to a partition store with
+/// `slots` total slots (of which `free` await reuse) would force the
+/// slot count past [`MAX_LOCAL`]. Deletes free their slots before
+/// inserts claim any, so a batch only grows the store by what its
+/// inserts cannot recycle.
+#[must_use]
+pub fn local_capacity_exceeded(slots: usize, free: usize, deletes: usize, inserts: usize) -> bool {
+    let grown = slots + inserts.saturating_sub(free + deletes);
+    grown > MAX_LOCAL as usize
+}
 
 /// FNV-1a over a byte stream (the 64-bit variant).
 #[must_use]
@@ -39,6 +58,17 @@ fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
 
 /// The partition owning `point` under a `partitions`-way split.
 ///
+/// Negative zero is normalized to `+0.0` before hashing: `-0.0` and
+/// `0.0` compare equal everywhere else in the system (distance, seeds,
+/// snapshots round-trip both bit patterns faithfully), so two points
+/// that no query can tell apart must never land in different
+/// partitions. Compatibility note: this changes the routing of any
+/// point containing a `-0.0` coordinate relative to pre-fix builds —
+/// snapshots and WALs themselves are unaffected (they store exact bit
+/// patterns and replay within their own partition), but a router
+/// *re-created* from raw points that previously routed `-0.0` under its
+/// raw bit pattern will place those points in the `+0.0` partition.
+///
 /// # Panics
 /// Panics if `partitions` is zero or exceeds [`MAX_PARTITIONS`].
 #[must_use]
@@ -47,7 +77,10 @@ pub fn route_point(point: &[f64], partitions: u32) -> u32 {
         (1..=MAX_PARTITIONS).contains(&partitions),
         "partitions must be in 1..={MAX_PARTITIONS}"
     );
-    let h = fnv1a(point.iter().flat_map(|x| x.to_bits().to_le_bytes()));
+    let h = fnv1a(point.iter().flat_map(|&x| {
+        let x = if x == 0.0 { 0.0 } else { x }; // -0.0 routes as +0.0
+        x.to_bits().to_le_bytes()
+    }));
     (h % u64::from(partitions)) as u32
 }
 
@@ -125,13 +158,42 @@ mod tests {
         assert_eq!(a, route_point(&p, 8));
         assert!(a < 8);
         assert_eq!(route_point(&p, 1), 0);
-        // -0.0 and 0.0 differ in bits, so they may route differently —
-        // the hash must see bits, not values.
-        let pos = route_point(&[0.0; 4], 251);
-        let neg = route_point(&[-0.0; 4], 251);
-        // Not asserting inequality (they could collide), but both must
-        // be stable and in range.
-        assert!(pos < 251 && neg < 251);
+    }
+
+    #[test]
+    fn negative_zero_routes_with_positive_zero() {
+        // -0.0 == 0.0, and no query can distinguish them — so they must
+        // never route apart, in any position, under any partition count.
+        for parts in [2, 8, 251] {
+            assert_eq!(
+                route_point(&[0.0; 4], parts),
+                route_point(&[-0.0; 4], parts)
+            );
+            assert_eq!(
+                route_point(&[1.5, -0.0, 3.25], parts),
+                route_point(&[1.5, 0.0, 3.25], parts)
+            );
+        }
+        // Normalization touches only the zero bit pattern: denormals and
+        // ordinary negatives keep routing by their exact bits.
+        assert_eq!(
+            route_point(&[-1.5, f64::MIN_POSITIVE / 2.0], 7),
+            route_point(&[-1.5, f64::MIN_POSITIVE / 2.0], 7)
+        );
+    }
+
+    #[test]
+    fn local_capacity_boundary() {
+        let max = MAX_LOCAL as usize;
+        // Exactly at the ceiling: fine. One past: rejected.
+        assert!(!local_capacity_exceeded(max - 1, 0, 0, 1));
+        assert!(local_capacity_exceeded(max, 0, 0, 1));
+        assert!(!local_capacity_exceeded(max, 0, 0, 0));
+        // Free slots and same-batch deletes are recycled before growth.
+        assert!(!local_capacity_exceeded(max, 5, 0, 5));
+        assert!(local_capacity_exceeded(max, 5, 0, 6));
+        assert!(!local_capacity_exceeded(max, 0, 3, 3));
+        assert!(local_capacity_exceeded(max, 0, 3, 4));
     }
 
     #[test]

@@ -179,6 +179,11 @@ impl<S: DurableSink, C: CheckpointStore> ShardRouter<S, C> {
             // the budget is enforced per partition.
             dcfg.disk_budget = budget;
         }
+        if let Some(hot) = scfg.hot_points {
+            // Same per-partition ownership for the hot-point budget: every
+            // partition hangs its own cold tier off its own store.
+            dcfg.hot_points = hot;
+        }
         let partitions = scfg.partitions;
         // Route the initial population.
         let mut stores: Vec<PointStore> = (0..partitions).map(|_| PointStore::new(dim)).collect();
@@ -328,6 +333,31 @@ impl<S: DurableSink, C: CheckpointStore> ShardRouter<S, C> {
             let slot = &self.slots[p as usize];
             if slot.quarantined || slot.maintainer.is_none() {
                 return Err(ShardError::Unavailable { partition: p });
+            }
+        }
+        // Id-space capacity: an insert that would grow a partition's
+        // store past the packed-id local field is rejected typed up
+        // front (the 24-bit ceiling used to overflow silently into the
+        // partition bits).
+        for (&p, (sub, _)) in &subs {
+            if sub.inserts.is_empty() {
+                continue;
+            }
+            let Some(m) = self.slots[p as usize].maintainer.as_ref() else {
+                continue; // unreachable: availability checked above
+            };
+            let store = m.store();
+            let free = store.slots() - store.len();
+            if crate::local_capacity_exceeded(
+                store.slots(),
+                free,
+                sub.deletes.len(),
+                sub.inserts.len(),
+            ) {
+                return Err(ShardError::Capacity {
+                    partition: p,
+                    limit: crate::MAX_LOCAL,
+                });
             }
         }
         // Backpressure: all target queues must have room for all new

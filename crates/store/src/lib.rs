@@ -24,13 +24,20 @@ use rand::Rng;
 pub mod layout;
 pub mod segment;
 pub mod snapshot;
+pub mod tier;
 pub mod wal;
 pub use segment::{
     read_chain, ChainContents, FsSegments, MemSegments, SegmentId, SegmentMedium, SegmentedSink,
     StorageBudget, StorageError,
 };
 pub use snapshot::SnapshotError;
+pub use tier::{
+    default_cold_medium, hot_points_from_env, hot_points_from_env_strict, ColdMedium, ColdRewriter,
+    FsCold, MemCold, TierCounters, COLD_DIR_ENV, HOT_POINTS_ENV,
+};
 pub use wal::{DurableSink, FileSink, MemSink, WalError, WalRecord, WalWriter};
+
+use tier::{Tier, FREE_FRAME, NONE_FRAME};
 
 /// Stable identifier of a live point: an index into the store's slot space.
 ///
@@ -100,9 +107,19 @@ impl Batch {
 /// assert_eq!(store.len(), 1);
 /// assert_eq!(store.label(b), None);
 /// ```
+/// # Tiered mode
+///
+/// [`PointStore::enable_tier`] bounds the resident coordinate slab: at
+/// most `hot_cap` points stay in memory, the rest live as fixed-stride
+/// records on a [`ColdMedium`]. In tiered mode `coords` is
+/// *frame*-strided (a compact hot arena) instead of slot-strided, and
+/// cold points must be read through [`PointStore::read_point_into`] —
+/// [`PointStore::point`] and [`PointStore::iter`] panic on them. See
+/// [`tier`] for the determinism and failure contracts.
 #[derive(Debug, Clone)]
 pub struct PointStore {
     dim: usize,
+    /// Untiered: slot-strided payloads. Tiered: frame-strided hot arena.
     coords: Vec<f64>,
     labels: Vec<u32>,
     /// slot -> position in `live_list`, or `u32::MAX` when the slot is free.
@@ -110,6 +127,8 @@ pub struct PointStore {
     /// Dense list of live slots, for O(1) sampling and fast iteration.
     live_list: Vec<u32>,
     free: Vec<u32>,
+    /// Cold-tier state; `None` = classic all-resident store.
+    tier: Option<Tier>,
 }
 
 const FREE: u32 = u32::MAX;
@@ -129,6 +148,7 @@ impl PointStore {
             live_pos: Vec::new(),
             live_list: Vec::new(),
             free: Vec::new(),
+            tier: None,
         }
     }
 
@@ -143,6 +163,7 @@ impl PointStore {
             live_pos: Vec::with_capacity(capacity),
             live_list: Vec::with_capacity(capacity),
             free: Vec::new(),
+            tier: None,
         }
     }
 
@@ -173,6 +194,11 @@ impl PointStore {
 
     /// Inserts a point, returning its id. Reuses a free slot when available.
     ///
+    /// In tiered mode the new point always lands *hot* (its clock
+    /// reference bit set), possibly overshooting the hot budget until the
+    /// next [`enforce_hot_budget`](Self::enforce_hot_budget) sweep —
+    /// insertion itself stays infallible.
+    ///
     /// # Panics
     /// Panics if the point's dimensionality differs from the store's.
     pub fn insert(&mut self, point: &[f64], label: Label) -> PointId {
@@ -180,19 +206,50 @@ impl PointStore {
         let label = label.unwrap_or(NOISE_SENTINEL);
         let slot = if let Some(slot) = self.free.pop() {
             let s = slot as usize;
-            self.coords[s * self.dim..(s + 1) * self.dim].copy_from_slice(point);
+            if self.tier.is_some() {
+                self.place_hot(s, point);
+            } else {
+                self.coords[s * self.dim..(s + 1) * self.dim].copy_from_slice(point);
+            }
             self.labels[s] = label;
             slot
         } else {
             let slot = self.live_pos.len() as u32;
-            self.coords.extend_from_slice(point);
+            if let Some(tier) = &mut self.tier {
+                tier.frame_of.push(NONE_FRAME);
+            } else {
+                self.coords.extend_from_slice(point);
+            }
             self.labels.push(label);
             self.live_pos.push(FREE);
+            if self.tier.is_some() {
+                self.place_hot(slot as usize, point);
+            }
             slot
         };
         self.live_pos[slot as usize] = self.live_list.len() as u32;
         self.live_list.push(slot);
         PointId(slot)
+    }
+
+    /// Puts `point` into a hot frame bound to `slot` (tiered mode only).
+    fn place_hot(&mut self, slot: usize, point: &[f64]) {
+        let dim = self.dim;
+        let tier = self.tier.as_mut().expect("tiered mode");
+        debug_assert_eq!(tier.frame_of[slot], NONE_FRAME, "slot already hot");
+        let f = if let Some(f) = tier.free_frames.pop() {
+            f as usize
+        } else {
+            let f = tier.frame_slot.len();
+            tier.frame_slot.push(FREE_FRAME);
+            tier.ref_bit.push(false);
+            self.coords.resize((f + 1) * dim, 0.0);
+            f
+        };
+        self.coords[f * dim..(f + 1) * dim].copy_from_slice(point);
+        tier.frame_slot[f] = slot as u32;
+        tier.frame_of[slot] = f as u32;
+        tier.ref_bit[f] = true;
     }
 
     /// Deletes a live point.
@@ -214,6 +271,18 @@ impl PointStore {
         }
         self.live_pos[slot] = FREE;
         self.free.push(id.0);
+        if let Some(tier) = &mut self.tier {
+            // A hot frame is vacated immediately; a cold record simply
+            // becomes garbage until the slot is reused (the reusing
+            // insert lands hot and a later eviction overwrites it).
+            let f = tier.frame_of[slot];
+            if f != NONE_FRAME {
+                tier.frame_of[slot] = NONE_FRAME;
+                tier.frame_slot[f as usize] = FREE_FRAME;
+                tier.ref_bit[f as usize] = false;
+                tier.free_frames.push(f);
+            }
+        }
     }
 
     /// `true` when `id` refers to a live point.
@@ -223,16 +292,34 @@ impl PointStore {
         slot < self.live_pos.len() && self.live_pos[slot] != FREE
     }
 
-    /// Coordinates of a live point.
+    /// Coordinates of a live, *resident* point.
     ///
     /// # Panics
-    /// Panics if `id` is not live.
+    /// Panics if `id` is not live, or (in tiered mode) if the point is
+    /// cold — demand-fetch paths must use
+    /// [`read_point_into`](Self::read_point_into) instead.
     #[inline]
     #[must_use]
     pub fn point(&self, id: PointId) -> &[f64] {
         assert!(self.contains(id), "access to non-live point {id:?}");
-        let s = id.index();
-        &self.coords[s * self.dim..(s + 1) * self.dim]
+        self.coords_of(id.index())
+    }
+
+    /// Resident coordinates of live slot `s` (tier-aware addressing).
+    #[inline]
+    fn coords_of(&self, s: usize) -> &[f64] {
+        let f = match &self.tier {
+            None => s,
+            Some(tier) => {
+                let f = tier.frame_of[s];
+                assert!(
+                    f != NONE_FRAME,
+                    "point in slot {s} is cold; use read_point_into"
+                );
+                f as usize
+            }
+        };
+        &self.coords[f * self.dim..(f + 1) * self.dim]
     }
 
     /// Ground-truth label of a live point (`None` = noise).
@@ -249,6 +336,12 @@ impl PointStore {
     }
 
     /// Iterates over all live points as `(id, coordinates, label)`.
+    ///
+    /// # Panics
+    /// In tiered mode the coordinate slice is computed per item and
+    /// panics on a cold point (even if the caller ignores it) — id-only
+    /// walks must use [`ids`](Self::ids), payload walks
+    /// [`read_point_into`](Self::read_point_into).
     pub fn iter(&self) -> impl Iterator<Item = (PointId, &[f64], Label)> + '_ {
         self.live_list.iter().map(move |&slot| {
             let s = slot as usize;
@@ -256,11 +349,7 @@ impl PointStore {
                 NOISE_SENTINEL => None,
                 l => Some(l),
             };
-            (
-                PointId(slot),
-                &self.coords[s * self.dim..(s + 1) * self.dim],
-                label,
-            )
+            (PointId(slot), self.coords_of(s), label)
         })
     }
 
@@ -319,6 +408,7 @@ impl PointStore {
             live_pos,
             live_list,
             free,
+            tier: None,
         }
     }
 
@@ -337,6 +427,227 @@ impl PointStore {
             .iter()
             .map(|(p, label)| self.insert(p, *label))
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Cold tier (see the `tier` module for the contracts)
+    // ------------------------------------------------------------------
+
+    /// Enables the cold tier: spills **all** current payloads to `cold`
+    /// (one atomic rewrite, dead slots padded to keep the stride) and
+    /// caps the resident set at `hot_cap` points from here on. The store
+    /// starts all-cold; subsequent inserts populate the hot set.
+    ///
+    /// # Errors
+    /// [`StorageError::ColdIo`] when the spill fails; the store is left
+    /// untiered and unchanged.
+    ///
+    /// # Panics
+    /// Panics if the tier is already enabled or `hot_cap == 0`.
+    pub fn enable_tier(
+        &mut self,
+        cold: Box<dyn ColdMedium>,
+        hot_cap: usize,
+    ) -> Result<(), StorageError> {
+        assert!(self.tier.is_none(), "cold tier already enabled");
+        assert!(hot_cap >= 1, "hot_cap must be at least 1");
+        let dim = self.dim;
+        let slots = self.live_pos.len();
+        {
+            let mut rw = cold.start_rewrite()?;
+            let zero = vec![0u8; dim * 8];
+            let mut buf = Vec::with_capacity(dim * 8);
+            for s in 0..slots {
+                if self.live_pos[s] == FREE {
+                    rw.append(&zero)?;
+                } else {
+                    buf.clear();
+                    for x in &self.coords[s * dim..(s + 1) * dim] {
+                        buf.extend_from_slice(&x.to_le_bytes());
+                    }
+                    rw.append(&buf)?;
+                }
+            }
+            rw.commit()?;
+        }
+        self.coords = Vec::new();
+        self.tier = Some(Tier {
+            cold,
+            hot_cap,
+            frame_of: vec![NONE_FRAME; slots],
+            frame_slot: Vec::new(),
+            ref_bit: Vec::new(),
+            free_frames: Vec::new(),
+            hand: 0,
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+            cold_reads: std::sync::atomic::AtomicU64::new(0),
+            cold_bytes: std::sync::atomic::AtomicU64::new(0),
+            evictions: 0,
+        });
+        Ok(())
+    }
+
+    /// `true` when the cold tier is enabled.
+    #[must_use]
+    pub fn tiered(&self) -> bool {
+        self.tier.is_some()
+    }
+
+    /// The hot-point budget, when tiered.
+    #[must_use]
+    pub fn hot_cap(&self) -> Option<usize> {
+        self.tier.as_ref().map(|t| t.hot_cap)
+    }
+
+    /// Live points currently resident in memory. Untiered stores hold
+    /// everything; tiered stores hold at most the hot budget (plus any
+    /// not-yet-swept overshoot).
+    #[must_use]
+    pub fn resident_points(&self) -> usize {
+        match &self.tier {
+            None => self.len(),
+            Some(t) => t.live_frames(),
+        }
+    }
+
+    /// Bytes held by the resident coordinate slab (the quantity the hot
+    /// budget bounds).
+    #[must_use]
+    pub fn resident_coord_bytes(&self) -> usize {
+        self.coords.len() * 8
+    }
+
+    /// `true` when every live point is resident (trivially so untiered).
+    #[must_use]
+    pub fn all_resident(&self) -> bool {
+        match &self.tier {
+            None => true,
+            Some(t) => t.live_frames() == self.len(),
+        }
+    }
+
+    /// Snapshot of tier traffic counters, when tiered.
+    #[must_use]
+    pub fn tier_counters(&self) -> Option<TierCounters> {
+        self.tier.as_ref().map(Tier::counters)
+    }
+
+    /// Reads a live point's coordinates, hot or cold, appending `dim`
+    /// values to `out`. This is the demand-fetch path: cold reads copy
+    /// the record out **without promoting it** (reads never perturb the
+    /// eviction state, which keeps tiering bit-transparent).
+    ///
+    /// # Errors
+    /// [`StorageError::ColdIo`] when the cold medium fails; `out` is
+    /// left as passed in.
+    ///
+    /// # Panics
+    /// Panics if `id` is not live.
+    pub fn read_point_into(&self, id: PointId, out: &mut Vec<f64>) -> Result<(), StorageError> {
+        assert!(self.contains(id), "access to non-live point {id:?}");
+        let s = id.index();
+        let dim = self.dim;
+        use std::sync::atomic::Ordering::Relaxed;
+        let Some(tier) = &self.tier else {
+            out.extend_from_slice(&self.coords[s * dim..(s + 1) * dim]);
+            return Ok(());
+        };
+        let f = tier.frame_of[s];
+        if f != NONE_FRAME {
+            tier.hits.fetch_add(1, Relaxed);
+            let f = f as usize;
+            out.extend_from_slice(&self.coords[f * dim..(f + 1) * dim]);
+            return Ok(());
+        }
+        let mut bytes = vec![0u8; dim * 8];
+        tier.cold.read_at((s * dim * 8) as u64, &mut bytes)?;
+        tier.misses.fetch_add(1, Relaxed);
+        tier.cold_reads.fetch_add(1, Relaxed);
+        tier.cold_bytes.fetch_add((dim * 8) as u64, Relaxed);
+        out.extend(
+            bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+        );
+        Ok(())
+    }
+
+    /// Verifies that every id in `ids` is readable (hot or cold). The
+    /// durable path calls this *before* appending a batch to the WAL so
+    /// a cold outage rejects the batch typed instead of failing halfway.
+    ///
+    /// # Errors
+    /// [`StorageError::ColdIo`] on the first unreadable point.
+    ///
+    /// # Panics
+    /// Panics if any id is not live.
+    pub fn prefetch(&self, ids: &[PointId]) -> Result<(), StorageError> {
+        let mut buf = Vec::with_capacity(self.dim);
+        for &id in ids {
+            buf.clear();
+            self.read_point_into(id, &mut buf)?;
+        }
+        Ok(())
+    }
+
+    /// Clock-evicts hot points down to the budget, writing each victim's
+    /// record to the cold medium, then returns how many were evicted.
+    /// Called at batch boundaries; a no-op untiered or under budget.
+    ///
+    /// The sweep is deterministic: the hand and reference bits depend
+    /// only on the sequence of inserts/removes/sweeps, never on reads.
+    ///
+    /// # Errors
+    /// [`StorageError::ColdIo`] when a victim's cold write fails. The
+    /// slab stays consistent (the victim simply stays hot) and the
+    /// resident set may exceed the budget until a later sweep succeeds.
+    pub fn enforce_hot_budget(&mut self) -> Result<u64, StorageError> {
+        let dim = self.dim;
+        let Some(tier) = &mut self.tier else {
+            return Ok(0);
+        };
+        let mut evicted = 0u64;
+        let mut buf = Vec::with_capacity(dim * 8);
+        while tier.live_frames() > tier.hot_cap {
+            let nframes = tier.frame_slot.len();
+            loop {
+                let f = tier.hand % nframes;
+                tier.hand = (f + 1) % nframes;
+                if tier.frame_slot[f] == FREE_FRAME {
+                    continue;
+                }
+                if tier.ref_bit[f] {
+                    tier.ref_bit[f] = false;
+                    continue;
+                }
+                let slot = tier.frame_slot[f] as usize;
+                buf.clear();
+                for x in &self.coords[f * dim..(f + 1) * dim] {
+                    buf.extend_from_slice(&x.to_le_bytes());
+                }
+                tier.cold.write_at((slot * dim * 8) as u64, &buf)?;
+                tier.frame_of[slot] = NONE_FRAME;
+                tier.frame_slot[f] = FREE_FRAME;
+                tier.free_frames.push(f as u32);
+                tier.evictions += 1;
+                evicted += 1;
+                break;
+            }
+        }
+        // Give memory back: drop trailing vacant frames so the arena
+        // physically shrinks to the high-water mark of the hot set.
+        while tier.frame_slot.last() == Some(&FREE_FRAME) {
+            tier.frame_slot.pop();
+            tier.ref_bit.pop();
+        }
+        self.coords.truncate(tier.frame_slot.len() * dim);
+        let nframes = tier.frame_slot.len() as u32;
+        tier.free_frames.retain(|&f| f < nframes);
+        if tier.hand >= tier.frame_slot.len() {
+            tier.hand = 0;
+        }
+        Ok(evicted)
     }
 }
 
@@ -480,6 +791,108 @@ mod tests {
         assert!(s.contains(b));
         assert_eq!(s.point(new_ids[0]), &[5.0]);
         assert_eq!(s.label(new_ids[1]), None);
+    }
+
+    #[test]
+    fn tiered_store_round_trips_hot_and_cold() {
+        let mut s = PointStore::new(2);
+        let ids: Vec<PointId> = (0..10)
+            .map(|i| s.insert(&[f64::from(i), f64::from(i) + 0.5], Some(i)))
+            .collect();
+        s.enable_tier(Box::new(MemCold::new()), 3).unwrap();
+        assert!(s.tiered());
+        assert_eq!(s.hot_cap(), Some(3));
+        assert_eq!(s.resident_points(), 0, "enable_tier starts all-cold");
+        assert!(!s.all_resident());
+        let mut buf = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            buf.clear();
+            s.read_point_into(*id, &mut buf).unwrap();
+            assert_eq!(buf, vec![i as f64, i as f64 + 0.5]);
+            assert_eq!(s.label(*id), Some(i as u32), "labels stay resident");
+        }
+        let c = s.tier_counters().unwrap();
+        assert_eq!(c.misses, 10);
+        assert_eq!(c.cold_reads, 10);
+        assert_eq!(c.cold_bytes, 10 * 16);
+        assert_eq!(c.hits, 0);
+    }
+
+    #[test]
+    fn eviction_enforces_budget_and_preserves_payloads() {
+        let mut s = PointStore::new(1);
+        s.enable_tier(Box::new(MemCold::new()), 4).unwrap();
+        let ids: Vec<PointId> = (0..32).map(|i| s.insert(&[f64::from(i)], None)).collect();
+        assert_eq!(s.resident_points(), 32, "inserts land hot, over budget");
+        let evicted = s.enforce_hot_budget().unwrap();
+        assert_eq!(evicted, 28);
+        assert_eq!(s.resident_points(), 4);
+        // Every payload still reads back exactly, hot or cold.
+        let mut buf = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            buf.clear();
+            s.read_point_into(*id, &mut buf).unwrap();
+            assert_eq!(buf, vec![i as f64]);
+        }
+        let c = s.tier_counters().unwrap();
+        assert_eq!(c.evictions, 28);
+        assert_eq!(c.hits + c.misses, 32);
+        // The arena is bounded by the high-water mark, not the stream.
+        assert!(s.resident_coord_bytes() <= 32 * 8);
+        // Another big wave reuses vacated frames instead of growing.
+        for i in 0..20 {
+            s.insert(&[f64::from(100 + i)], None);
+        }
+        assert!(s.resident_coord_bytes() <= 32 * 8, "frame reuse, no growth");
+        s.enforce_hot_budget().unwrap();
+        assert_eq!(s.resident_points(), 4);
+    }
+
+    #[test]
+    fn tiered_eviction_is_deterministic_across_runs() {
+        let run = || {
+            let mut s = PointStore::new(2);
+            s.enable_tier(Box::new(MemCold::new()), 5).unwrap();
+            let mut ids = Vec::new();
+            for round in 0..6 {
+                for i in 0..8 {
+                    ids.push(s.insert(&[f64::from(round * 8 + i), 0.5], None));
+                }
+                if round % 2 == 1 {
+                    // Interleave deletes (and demand reads, which must NOT
+                    // perturb eviction) with budget sweeps.
+                    let mut buf = Vec::new();
+                    s.read_point_into(ids[round as usize], &mut buf).unwrap();
+                    let victim = ids.remove(3);
+                    s.remove(victim);
+                }
+                s.enforce_hot_budget().unwrap();
+            }
+            let snap: Vec<(PointId, Vec<f64>)> = {
+                let mut out = Vec::new();
+                let mut buf = Vec::new();
+                let mut live: Vec<PointId> = s.ids().collect();
+                live.sort_unstable();
+                for id in live {
+                    buf.clear();
+                    s.read_point_into(id, &mut buf).unwrap();
+                    out.push((id, buf.clone()));
+                }
+                out
+            };
+            (snap, s.resident_points(), s.tier_counters().unwrap())
+        };
+        assert_eq!(run(), run(), "same op stream, same tier state");
+    }
+
+    #[test]
+    fn cold_point_access_through_point_panics() {
+        let mut s = PointStore::new(1);
+        let id = s.insert(&[1.0], None);
+        s.enable_tier(Box::new(MemCold::new()), 1).unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.point(id)));
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("cold"), "{msg}");
     }
 
     #[test]

@@ -211,10 +211,27 @@ impl DurableSink for MemSegmentSink {
             .expect("segment map poisoned")
             .get_mut(&self.id)
         {
-            seg.truncate(usize::try_from(len).unwrap_or(usize::MAX));
+            // Truncation only ever shortens (short-write repair, epoch
+            // reset); a length beyond the current size means the caller's
+            // bookkeeping is wrong and must surface typed, not clamp.
+            truncate_in_memory(seg, len)?;
         }
         Ok(())
     }
+}
+
+/// Shared guard for the in-memory sinks: cuts `data` to `len` bytes,
+/// rejecting a `len` beyond the current size with
+/// [`io::ErrorKind::InvalidInput`] instead of silently clamping.
+pub fn truncate_in_memory(data: &mut Vec<u8>, len: u64) -> io::Result<()> {
+    if len > data.len() as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("truncate to {len} beyond current size {}", data.len()),
+        ));
+    }
+    data.truncate(usize::try_from(len).expect("len bounded by current size"));
+    Ok(())
 }
 
 impl SegmentMedium for MemSegments {
@@ -750,6 +767,15 @@ pub enum StorageError {
         /// The configured cap.
         max: usize,
     },
+    /// A cold-tier point read or write failed. The point slab stays
+    /// consistent; the maintainer degrades typed and retries, exactly
+    /// like the ENOSPC ladder above.
+    ColdIo {
+        /// Which tier operation failed (`"read"`, `"write"`, ...).
+        op: &'static str,
+        /// What the medium reported.
+        detail: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -764,6 +790,9 @@ impl fmt::Display for StorageError {
             Self::Enospc { detail } => write!(f, "storage full: {detail}"),
             Self::BufferFull { buffered, max } => {
                 write!(f, "degraded buffer full: {buffered} records >= cap {max}")
+            }
+            Self::ColdIo { op, detail } => {
+                write!(f, "cold tier {op} failed: {detail}")
             }
         }
     }
@@ -1037,6 +1066,26 @@ mod tests {
             matches!(err, WalError::CorruptSegment { .. }),
             "expected CorruptSegment, got {err}"
         );
+    }
+
+    #[test]
+    fn truncate_beyond_current_size_is_rejected_typed() {
+        // Regression: the in-memory sinks used to clamp the requested
+        // length (`usize::try_from(len).unwrap_or(usize::MAX)`) instead
+        // of reporting the caller's bookkeeping error.
+        let mut medium = MemSegments::new();
+        let id = SegmentId { epoch: 1, seq: 0 };
+        let mut sink = medium.create(id).unwrap();
+        sink.append(b"0123456789").unwrap();
+        let err = sink.truncate(11).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{err}");
+        sink.truncate(4).unwrap();
+        assert_eq!(medium.segment_bytes(id).unwrap(), b"0123");
+        // Same guard on the raw helper.
+        let mut data = vec![0u8; 4];
+        assert!(truncate_in_memory(&mut data, u64::MAX).is_err());
+        truncate_in_memory(&mut data, 0).unwrap();
+        assert!(data.is_empty());
     }
 
     #[test]

@@ -249,12 +249,19 @@ impl PointStore {
         write_u64(w, self.dim() as u64)?;
         write_u64(w, self.slots() as u64)?;
         write_u64(w, self.len() as u64)?;
-        for (id, p, label) in self.iter() {
+        // Demand-fetch each payload so tiered stores snapshot without
+        // materializing the cold set; the bytes are identical to the
+        // classic all-resident encoding. A cold-read failure surfaces as
+        // an I/O error and feeds the caller's checkpoint failure ladder.
+        let mut p = Vec::with_capacity(self.dim());
+        for id in self.ids() {
             write_u32(w, id.0)?;
-            for &x in p {
+            p.clear();
+            self.read_point_into(id, &mut p).map_err(io::Error::other)?;
+            for &x in &p {
                 write_f64(w, x)?;
             }
-            write_u32(w, label.unwrap_or(LABEL_NOISE))?;
+            write_u32(w, self.label(id).unwrap_or(LABEL_NOISE))?;
         }
         // The free list in reuse order: slot ids are only stable across a
         // restart if a restored store recycles slots in the exact order the

@@ -254,9 +254,7 @@ impl DurableSink for MemSink {
     }
 
     fn truncate(&mut self, len: u64) -> io::Result<()> {
-        self.data
-            .truncate(usize::try_from(len).unwrap_or(usize::MAX));
-        Ok(())
+        crate::segment::truncate_in_memory(&mut self.data, len)
     }
 }
 

@@ -9,7 +9,8 @@
 
 use idb_obs::{EventKind, Obs, SinkOp};
 use idb_store::segment::{MemSegmentSink, MemSegments, SegmentId, SegmentMedium};
-use idb_store::{Batch, DurableSink, PointId, PointStore};
+use idb_store::tier::{ColdMedium, ColdRewriter, MemCold};
+use idb_store::{Batch, DurableSink, PointId, PointStore, StorageError};
 use rand::Rng;
 use std::io;
 use std::sync::{Arc, Mutex};
@@ -203,9 +204,7 @@ impl DurableSink for FaultSink {
     }
 
     fn truncate(&mut self, len: u64) -> io::Result<()> {
-        self.data
-            .truncate(usize::try_from(len).unwrap_or(usize::MAX));
-        Ok(())
+        idb_store::segment::truncate_in_memory(&mut self.data, len)
     }
 }
 
@@ -329,6 +328,91 @@ impl SegmentMedium for FaultSegments {
 
     fn remove(&mut self, id: SegmentId) -> io::Result<u64> {
         self.inner.remove(id)
+    }
+}
+
+/// Shared fault plan of a [`FaultCold`] medium.
+#[derive(Debug, Default)]
+struct ColdPlan {
+    read_outage: bool,
+    write_outage: bool,
+}
+
+/// A fault-injecting [`ColdMedium`] for the tiered-store suites: wraps a
+/// [`MemCold`] and simulates read/write outages (a detached volume, a
+/// failing disk) that persist until [`FaultCold::heal`] — driving the
+/// maintainer's typed degrade-and-recover ladder for the cold tier, like
+/// [`FaultSegments`] does for the WAL.
+#[derive(Debug, Clone, Default)]
+pub struct FaultCold {
+    inner: MemCold,
+    plan: Arc<Mutex<ColdPlan>>,
+}
+
+impl FaultCold {
+    /// A healthy, empty cold medium.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The wrapped in-memory medium (content inspection in tests).
+    #[must_use]
+    pub fn inner(&self) -> &MemCold {
+        &self.inner
+    }
+
+    /// Starts/stops failing every cold read.
+    pub fn set_read_outage(&self, on: bool) {
+        self.plan.lock().expect("cold plan poisoned").read_outage = on;
+    }
+
+    /// Starts/stops failing every cold write (including rewrites).
+    pub fn set_write_outage(&self, on: bool) {
+        self.plan.lock().expect("cold plan poisoned").write_outage = on;
+    }
+
+    /// Clears every pending fault ("the volume came back").
+    pub fn heal(&self) {
+        let mut plan = self.plan.lock().expect("cold plan poisoned");
+        plan.read_outage = false;
+        plan.write_outage = false;
+    }
+}
+
+impl ColdMedium for FaultCold {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), StorageError> {
+        if self.plan.lock().expect("cold plan poisoned").read_outage {
+            return Err(StorageError::ColdIo {
+                op: "read",
+                detail: "injected cold read outage".into(),
+            });
+        }
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), StorageError> {
+        if self.plan.lock().expect("cold plan poisoned").write_outage {
+            return Err(StorageError::ColdIo {
+                op: "write",
+                detail: "injected cold write outage".into(),
+            });
+        }
+        self.inner.write_at(offset, data)
+    }
+
+    fn start_rewrite(&self) -> Result<Box<dyn ColdRewriter + '_>, StorageError> {
+        if self.plan.lock().expect("cold plan poisoned").write_outage {
+            return Err(StorageError::ColdIo {
+                op: "rewrite",
+                detail: "injected cold write outage".into(),
+            });
+        }
+        self.inner.start_rewrite()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ColdMedium> {
+        Box::new(self.clone())
     }
 }
 

@@ -34,7 +34,7 @@ pub mod scenario;
 
 pub use dataset::{ClusterModel, MixtureModel};
 pub use faults::{
-    faulty_batch, flip_bit, BatchFault, FaultSegmentSink, FaultSegments, FaultSink,
+    faulty_batch, flip_bit, BatchFault, FaultCold, FaultSegmentSink, FaultSegments, FaultSink,
     ALL_BATCH_FAULTS,
 };
 pub use io::{load_csv, save_csv, CsvError};
